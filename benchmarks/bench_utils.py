@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one figure (or ablation) of the paper's evaluation
+section on a scaled-down scenario, checks the qualitative shape of the result
+(who wins, by roughly what factor) and records the headline numbers to
+``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be refreshed from a
+benchmark run.
+
+The scenarios are smaller than the paper's (shorter simulated time, scaled
+arrival rates) so the whole suite finishes in a few minutes on a laptop.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Make the in-repo sources importable even without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scaled-down per-figure scenario settings (seconds of workload, seed).
+FIGURE_SIM_TIME_S = 12.0
+FIGURE_SEED = 2013  # the paper's publication year, for flavour
+
+
+def save_result(results_dir: Path, name: str, payload: dict) -> None:
+    """Persist one benchmark's headline numbers as JSON."""
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float))
+
+
+def scenario_video_with_control():
+    from repro.experiments.config import ScenarioConfig
+
+    return ScenarioConfig.video_with_control(sim_time=FIGURE_SIM_TIME_S, seed=FIGURE_SEED)
+
+
+def scenario_video_without_control():
+    from repro.experiments.config import ScenarioConfig
+
+    return ScenarioConfig.video_without_control(sim_time=FIGURE_SIM_TIME_S, seed=FIGURE_SEED)
+
+
+def scenario_datacenter(k: float):
+    from repro.experiments.config import ScenarioConfig
+
+    return ScenarioConfig.datacenter(
+        bandwidth_factor=k, sim_time=FIGURE_SIM_TIME_S, seed=FIGURE_SEED
+    )
+
+
+def scenario_pareto_poisson():
+    from repro.experiments.config import ScenarioConfig
+
+    return ScenarioConfig.pareto_poisson(
+        sim_time=FIGURE_SIM_TIME_S, seed=FIGURE_SEED, arrival_rate_per_s=50.0
+    )

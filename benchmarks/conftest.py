@@ -1,0 +1,22 @@
+"""Pytest fixtures for the benchmark harness (see ``bench_utils`` for helpers)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the in-repo sources and the sibling helper module importable.
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from bench_utils import RESULTS_DIR  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where every benchmark drops its headline-numbers JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

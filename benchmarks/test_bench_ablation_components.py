@@ -1,0 +1,62 @@
+"""Ablation: which half of SCDA delivers the gains?
+
+SCDA differs from RandTCP along two axes — informed server selection and
+explicit rate control.  This benchmark runs the four combinations on the same
+Pareto/Poisson workload:
+
+* RandTCP                (random selection, TCP)
+* SCDA-select + TCP      (informed selection, TCP)
+* Random + SCDA-rate     (random selection, explicit rates)
+* SCDA                   (informed selection, explicit rates)
+
+and checks that the full system is at least as good as either half, which is
+the implicit claim behind the paper's design (both mechanisms are needed).
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+
+@pytest.mark.benchmark(group="ablation components")
+def test_bench_ablation_selection_vs_rate_control(benchmark, results_dir):
+    from repro.baselines.schemes import (
+        RAND_TCP,
+        RANDOM_SELECT_SCDA,
+        SCDA_SCHEME,
+        SCDA_SELECT_TCP,
+    )
+    from repro.experiments.runner import generate_workload, run_scheme
+
+    scenario = scenario_pareto_poisson()
+    workload = generate_workload(scenario)
+    specs = [RAND_TCP, SCDA_SELECT_TCP, RANDOM_SELECT_SCDA, SCDA_SCHEME]
+
+    def run_all():
+        return {spec.name: run_scheme(scenario, spec, workload) for spec in specs}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mean_fcts = {name: result.mean_fct_s() for name, result in results.items()}
+    save_result(
+        results_dir,
+        "ablation_components",
+        {
+            "scenario": scenario.name,
+            "mean_fct_s": mean_fcts,
+            "mean_throughput_kBps": {
+                name: result.mean_throughput_kBps() for name, result in results.items()
+            },
+        },
+    )
+
+    # Every scheme finished the same offered workload.
+    completed = {name: result.completed_flows for name, result in results.items()}
+    assert len(set(completed.values())) == 1, completed
+
+    # The full system beats the baseline and is at least as good as each half.
+    assert mean_fcts["SCDA"] < mean_fcts["RandTCP"]
+    assert mean_fcts["SCDA"] <= mean_fcts["SCDA-select+TCP"] * 1.05
+    assert mean_fcts["SCDA"] <= mean_fcts["Random+SCDA-rate"] * 1.05
+    # Each individual mechanism already helps over the baseline.
+    assert mean_fcts["SCDA-select+TCP"] <= mean_fcts["RandTCP"] * 1.05
+    assert mean_fcts["Random+SCDA-rate"] <= mean_fcts["RandTCP"] * 1.05

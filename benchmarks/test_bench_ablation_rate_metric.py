@@ -1,0 +1,36 @@
+"""Ablation: full rate metric (eq. 2-4) versus the simplified metric (eq. 5).
+
+The simplified metric replaces the per-flow rate sums with the measured
+arrival rate, removing the need for RMs/RAs to report ``S`` upstream.  The
+benchmark verifies the cheaper variant stays within a reasonable factor of the
+full metric (the paper presents it as an interchangeable alternative).
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+
+@pytest.mark.benchmark(group="ablation rate metric")
+def test_bench_full_vs_simplified_rate_metric(benchmark, results_dir):
+    from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SCDA_SIMPLIFIED
+    from repro.experiments.runner import generate_workload, run_scheme
+
+    scenario = scenario_pareto_poisson()
+    workload = generate_workload(scenario)
+
+    def run_all():
+        return {
+            spec.name: run_scheme(scenario, spec, workload)
+            for spec in (SCDA_SCHEME, SCDA_SIMPLIFIED, RAND_TCP)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mean_fcts = {name: result.mean_fct_s() for name, result in results.items()}
+    save_result(results_dir, "ablation_rate_metric", {"mean_fct_s": mean_fcts})
+
+    # Both SCDA variants clearly beat the baseline...
+    assert mean_fcts["SCDA"] < mean_fcts["RandTCP"]
+    assert mean_fcts["SCDA-simplified"] < mean_fcts["RandTCP"]
+    # ...and the simplified metric stays within 2x of the full metric.
+    assert mean_fcts["SCDA-simplified"] <= 2.0 * mean_fcts["SCDA"]

@@ -1,0 +1,117 @@
+"""Energy: dormant-server scale-down with passive content (Section VII-C/D).
+
+SCDA steers passive replicas onto nearly idle ("dormant") servers and keeps
+active content away from them, so a large fraction of the fleet can stay in a
+low-power state.  This benchmark drives a mixed active/passive workload
+through the cluster, runs the dormancy manager, and compares fleet energy
+with and without scale-down.
+"""
+
+import pytest
+
+from bench_utils import save_result
+
+
+def _run_energy_scenario(enable_scale_down: bool):
+    from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+    from repro.cluster.content import Content, ContentClass
+    from repro.cluster.placement import ScdaPlacement
+    from repro.core.controller import ScdaController, ScdaControllerConfig
+    from repro.energy.accounting import EnergyAccountant
+    from repro.energy.dormant import DormancyConfig, DormancyManager
+    from repro.network.fabric import FabricSimulator
+    from repro.network.flow import FlowKind
+    from repro.network.transport.scda import ScdaTransport
+    from repro.network.tree import TreeTopologyConfig, build_tree_topology
+    from repro.sim.engine import Simulator
+    from repro.sim.random import RandomStreams
+    from repro.sim.timers import PeriodicTimer
+
+    MBPS = 1e6
+    sim = Simulator()
+    topology = build_tree_topology(
+        TreeTopologyConfig(base_bandwidth_bps=200 * MBPS, num_agg=2, racks_per_agg=2,
+                           hosts_per_rack=4, num_clients=4)
+    )
+    server_ids = [h.node_id for h in topology.hosts()]
+    dormancy = DormancyManager(
+        server_ids,
+        DormancyConfig(
+            scale_down_threshold_bps=100 * MBPS,
+            max_dormant_fraction=0.5 if enable_scale_down else 0.0,
+        ),
+    )
+    controller = ScdaController(
+        sim,
+        topology,
+        ScdaControllerConfig(scale_down_threshold_bps=100 * MBPS),
+        power_lookup=dormancy.power_of,
+        dormant_lookup=dormancy.is_dormant,
+    )
+    fabric = FabricSimulator(sim, topology, ScdaTransport(controller))
+    controller.attach_fabric(fabric)
+    cluster = StorageCluster(sim, topology, fabric, ScdaPlacement(controller),
+                             config=StorageClusterConfig())
+    accountant = EnergyAccountant(sim, dormancy, sample_interval_s=1.0)
+    accountant.start()
+
+    def refresh_dormancy(now):
+        rates = {m.host_id: m.up_bps for m in controller.tree.host_metrics()}
+        utilisation = {}
+        for host_id in server_ids:
+            host = topology.node(host_id)
+            uplink = topology.uplink_of(host)
+            active_rate = sum(
+                f.current_rate_bps for f in fabric.active_flows if f.uses_link(uplink)
+            )
+            utilisation[host_id] = active_rate / uplink.capacity_bps
+        dormancy.update(rates, utilisation, now)
+
+    PeriodicTimer(sim, 1.0, refresh_dormancy)
+
+    # A mixed workload: interactive chatter plus passive archives.
+    streams = RandomStreams(99)
+    clients = topology.clients()
+    rng = streams.stream("arrivals")
+    t = 0.0
+    while t < 20.0:
+        t += float(rng.exponential(0.4))
+        if t >= 20.0:
+            break
+        client = clients[int(rng.integers(0, len(clients)))]
+        if rng.random() < 0.3:
+            content = Content.create(256 * 1024.0, declared_class=ContentClass.LWLR)
+            kind = FlowKind.DATA
+        else:
+            content = Content.create(4 * 1024 * 1024.0, declared_class=ContentClass.HWHR)
+            kind = FlowKind.DATA
+        sim.call_at(t, cluster.write, client, content, kind)
+
+    sim.run(until=40.0)
+    accountant.stop()
+    return {
+        "energy_joules": accountant.total_energy_joules,
+        "avg_dormant_servers": accountant.average_dormant_servers(),
+        "completed_requests": len(cluster.completed_requests()),
+        "requests": len(cluster.requests),
+    }
+
+
+@pytest.mark.benchmark(group="energy scale-down")
+def test_bench_energy_scale_down(benchmark, results_dir):
+    def run_both():
+        return {
+            "with_scale_down": _run_energy_scenario(True),
+            "without_scale_down": _run_energy_scenario(False),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_result(results_dir, "energy_scale_down", results)
+
+    with_sd = results["with_scale_down"]
+    without_sd = results["without_scale_down"]
+    # The same workload completes either way...
+    assert with_sd["completed_requests"] == without_sd["completed_requests"]
+    # ...but scale-down puts servers to sleep and saves energy.
+    assert with_sd["avg_dormant_servers"] > 0.0
+    assert with_sd["energy_joules"] < without_sd["energy_joules"]

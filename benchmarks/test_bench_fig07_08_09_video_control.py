@@ -1,0 +1,92 @@
+"""Figures 7-9: video traces *with* control flows (Section X-A1).
+
+* Figure 7 — average instantaneous throughput over time, SCDA vs RandTCP.
+* Figure 8 — content upload time (FCT) CDF.
+* Figure 9 — AFCT versus file size (MB).
+
+The three figures share one scenario, so the first benchmark runs the full
+SCDA-vs-RandTCP simulation (the expensive part) and caches the comparison;
+the remaining two benchmark their figure construction on top of it.
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_video_with_control
+
+_CACHE = {}
+
+
+def _comparison():
+    from repro.experiments.runner import run_comparison
+
+    if "comparison" not in _CACHE:
+        _CACHE["comparison"] = run_comparison(scenario_video_with_control())
+    return _CACHE["comparison"]
+
+
+@pytest.mark.benchmark(group="fig07-09 video+control")
+def test_bench_fig07_throughput_video_control(benchmark, results_dir):
+    """Figure 7: the full simulation plus the throughput time series."""
+    from repro.experiments.figures import figure07
+
+    scenario = scenario_video_with_control()
+
+    def generate():
+        comparison = _comparison()
+        return figure07(comparison=comparison)
+
+    figure = benchmark.pedantic(generate, rounds=1, iterations=1)
+    from repro.experiments.shapes import check_comparison_shape
+
+    shape = check_comparison_shape(figure.comparison)
+    save_result(
+        results_dir,
+        "fig07",
+        {
+            "figure": "fig07",
+            "title": figure.title,
+            "scenario": scenario.name,
+            "sim_time_s": scenario.sim_time_s,
+            "summary": figure.summary,
+            "shape": {
+                "fct_reduction_fraction": shape.fct_reduction_fraction,
+                "throughput_gain_fraction": shape.throughput_gain_fraction,
+                "cdf_dominance": shape.cdf_dominance,
+                "all_passed": shape.all_passed,
+            },
+        },
+    )
+    assert set(figure.series) == {"SCDA", "RandTCP"}
+    # The paper's claim: SCDA's average instantaneous throughput is higher.
+    assert shape.throughput_not_worse
+    assert figure.summary["throughput_gain_fraction"] > 0.0
+
+
+@pytest.mark.benchmark(group="fig07-09 video+control")
+def test_bench_fig08_fct_cdf_video_control(benchmark, results_dir):
+    """Figure 8: FCT CDF — SCDA's CDF lies above (left of) RandTCP's."""
+    from repro.experiments.figures import figure08
+
+    figure = benchmark.pedantic(
+        lambda: figure08(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig08", {"figure": "fig08", "summary": figure.summary})
+    assert figure.summary["cdf_dominance"] >= 0.7
+    assert figure.summary["speedup_afct"] > 1.0
+
+
+@pytest.mark.benchmark(group="fig07-09 video+control")
+def test_bench_fig09_afct_video_control(benchmark, results_dir):
+    """Figure 9: AFCT vs file size — SCDA's curve sits below RandTCP's."""
+    import numpy as np
+
+    from repro.experiments.figures import figure09
+
+    figure = benchmark.pedantic(
+        lambda: figure09(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig09", {"figure": "fig09", "summary": figure.summary})
+    scda_x, scda_y = figure.series["SCDA"]
+    rand_x, rand_y = figure.series["RandTCP"]
+    # Compare the AFCT means across populated bins: SCDA must be lower overall.
+    assert np.nanmean(scda_y) < np.nanmean(rand_y)

@@ -1,0 +1,69 @@
+"""Figures 10-12: video traces *without* control flows (Section X-A1).
+
+Same metrics as Figures 7-9 but the workload contains only the video flows,
+isolating the behaviour on large transfers.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import save_result, scenario_video_without_control
+
+_CACHE = {}
+
+
+def _comparison():
+    from repro.experiments.runner import run_comparison
+
+    if "comparison" not in _CACHE:
+        _CACHE["comparison"] = run_comparison(scenario_video_without_control())
+    return _CACHE["comparison"]
+
+
+@pytest.mark.benchmark(group="fig10-12 video only")
+def test_bench_fig10_throughput_video_nocontrol(benchmark, results_dir):
+    """Figure 10: average instantaneous throughput (video-only workload)."""
+    from repro.experiments.figures import figure10
+    from repro.experiments.shapes import check_comparison_shape
+
+    figure = benchmark.pedantic(
+        lambda: figure10(comparison=_comparison()), rounds=1, iterations=1
+    )
+    shape = check_comparison_shape(figure.comparison)
+    save_result(
+        results_dir,
+        "fig10",
+        {"figure": "fig10", "summary": figure.summary, "all_passed": shape.all_passed},
+    )
+    assert shape.throughput_not_worse
+    assert shape.fct_improved
+
+
+@pytest.mark.benchmark(group="fig10-12 video only")
+def test_bench_fig11_fct_cdf_video_nocontrol(benchmark, results_dir):
+    """Figure 11: FCT CDF for video-only traffic."""
+    from repro.experiments.figures import figure11
+
+    figure = benchmark.pedantic(
+        lambda: figure11(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig11", {"figure": "fig11", "summary": figure.summary})
+    assert figure.summary["cdf_dominance"] >= 0.7
+    # Paper: FCT more than 50 % lower for most flows; require a clear gap here.
+    assert figure.summary["fct_reduction_fraction"] >= 0.25
+
+
+@pytest.mark.benchmark(group="fig10-12 video only")
+def test_bench_fig12_afct_video_nocontrol(benchmark, results_dir):
+    """Figure 12: AFCT vs file size for video-only traffic."""
+    from repro.experiments.figures import figure12
+
+    figure = benchmark.pedantic(
+        lambda: figure12(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig12", {"figure": "fig12", "summary": figure.summary})
+    scda_y = figure.series["SCDA"][1]
+    rand_y = figure.series["RandTCP"][1]
+    assert np.nanmean(scda_y) < np.nanmean(rand_y)
+    # Video uploads are capped at ~30 MB; the size axis must respect that.
+    assert figure.series["SCDA"][0].max() <= 31.0

@@ -1,0 +1,56 @@
+"""Figures 13-14: general datacenter traces with bandwidth factor K = 1.
+
+* Figure 13 — AFCT versus file size (KB).
+* Figure 14 — FCT CDF.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import save_result, scenario_datacenter
+
+_CACHE = {}
+
+
+def _comparison():
+    from repro.experiments.runner import run_comparison
+
+    if "comparison" not in _CACHE:
+        _CACHE["comparison"] = run_comparison(scenario_datacenter(1.0))
+    return _CACHE["comparison"]
+
+
+@pytest.mark.benchmark(group="fig13-14 datacenter K=1")
+def test_bench_fig13_afct_datacenter_k1(benchmark, results_dir):
+    """Figure 13: AFCT vs size; SCDA avoids RandTCP's hotspot-driven spikes."""
+    from repro.experiments.figures import figure13
+    from repro.experiments.shapes import check_comparison_shape
+
+    figure = benchmark.pedantic(
+        lambda: figure13(comparison=_comparison()), rounds=1, iterations=1
+    )
+    shape = check_comparison_shape(figure.comparison)
+    save_result(
+        results_dir,
+        "fig13",
+        {"figure": "fig13", "summary": figure.summary, "all_passed": shape.all_passed},
+    )
+    assert shape.fct_improved
+    scda_y = figure.series["SCDA"][1]
+    rand_y = figure.series["RandTCP"][1]
+    assert np.nanmean(scda_y) < np.nanmean(rand_y)
+    # The size axis of the paper's figure runs to ~7000 KB.
+    assert figure.series["SCDA"][0].max() <= 7000.0
+
+
+@pytest.mark.benchmark(group="fig13-14 datacenter K=1")
+def test_bench_fig14_fct_cdf_datacenter_k1(benchmark, results_dir):
+    """Figure 14: FCT CDF; most SCDA flows finish much earlier."""
+    from repro.experiments.figures import figure14
+
+    figure = benchmark.pedantic(
+        lambda: figure14(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig14", {"figure": "fig14", "summary": figure.summary})
+    assert figure.summary["cdf_dominance"] >= 0.7
+    assert figure.summary["speedup_afct"] > 1.0

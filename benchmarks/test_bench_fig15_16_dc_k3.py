@@ -1,0 +1,60 @@
+"""Figures 15-16: general datacenter traces with bandwidth factor K = 3.
+
+Same workload as Figures 13-14 but the right half of the tree gets K·X
+links (heterogeneous bandwidth), showing SCDA is not restricted to equal
+bandwidth datacenter architectures.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import save_result, scenario_datacenter
+
+_CACHE = {}
+
+
+def _comparison():
+    from repro.experiments.runner import run_comparison
+
+    if "comparison" not in _CACHE:
+        _CACHE["comparison"] = run_comparison(scenario_datacenter(3.0))
+    return _CACHE["comparison"]
+
+
+@pytest.mark.benchmark(group="fig15-16 datacenter K=3")
+def test_bench_fig15_afct_datacenter_k3(benchmark, results_dir):
+    """Figure 15: AFCT vs size with K=3 heterogeneous links."""
+    from repro.experiments.figures import figure15
+    from repro.experiments.shapes import check_comparison_shape
+
+    figure = benchmark.pedantic(
+        lambda: figure15(comparison=_comparison()), rounds=1, iterations=1
+    )
+    shape = check_comparison_shape(figure.comparison)
+    save_result(
+        results_dir,
+        "fig15",
+        {"figure": "fig15", "summary": figure.summary, "all_passed": shape.all_passed},
+    )
+    assert shape.fct_improved
+    scda_y = figure.series["SCDA"][1]
+    rand_y = figure.series["RandTCP"][1]
+    assert np.nanmean(scda_y) < np.nanmean(rand_y)
+
+
+@pytest.mark.benchmark(group="fig15-16 datacenter K=3")
+def test_bench_fig16_fct_cdf_datacenter_k3(benchmark, results_dir):
+    """Figure 16: FCT CDF with K=3; more than half of SCDA flows finish sooner."""
+    from repro.experiments.figures import figure16
+    from repro.metrics.cdf import cdf_at
+
+    figure = benchmark.pedantic(
+        lambda: figure16(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig16", {"figure": "fig16", "summary": figure.summary})
+    assert figure.summary["cdf_dominance"] >= 0.7
+    # Paper: "more than 60 % of SCDA flows achieve upto 50 % smaller transfer time".
+    comparison = figure.comparison
+    baseline_median = float(np.median(comparison.baseline.fcts()))
+    scda_at_half_baseline_median = cdf_at(comparison.candidate.fcts(), 0.5 * baseline_median)
+    assert scda_at_half_baseline_median >= 0.5

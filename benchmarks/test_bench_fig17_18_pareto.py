@@ -1,0 +1,56 @@
+"""Figures 17-18: Pareto file sizes with Poisson arrivals (Section X-B).
+
+* Figure 17 — average instantaneous throughput over time.
+* Figure 18 — FCT CDF.
+
+The paper uses mean size 500 KB (shape 1.6), 200 flows/s, X = 200 Mb/s and
+K = 3; the benchmark keeps those size/topology parameters and scales the
+arrival rate and duration down so the run stays laptop-sized.
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+_CACHE = {}
+
+
+def _comparison():
+    from repro.experiments.runner import run_comparison
+
+    if "comparison" not in _CACHE:
+        _CACHE["comparison"] = run_comparison(scenario_pareto_poisson())
+    return _CACHE["comparison"]
+
+
+@pytest.mark.benchmark(group="fig17-18 pareto/poisson")
+def test_bench_fig17_throughput_pareto_poisson(benchmark, results_dir):
+    """Figure 17: SCDA sustains a higher average instantaneous throughput."""
+    from repro.experiments.figures import figure17
+    from repro.experiments.shapes import check_comparison_shape
+
+    figure = benchmark.pedantic(
+        lambda: figure17(comparison=_comparison()), rounds=1, iterations=1
+    )
+    shape = check_comparison_shape(figure.comparison)
+    save_result(
+        results_dir,
+        "fig17",
+        {"figure": "fig17", "summary": figure.summary, "all_passed": shape.all_passed},
+    )
+    assert shape.throughput_not_worse
+    assert figure.summary["throughput_gain_fraction"] > 0.0
+    assert shape.fct_improved
+
+
+@pytest.mark.benchmark(group="fig17-18 pareto/poisson")
+def test_bench_fig18_fct_cdf_pareto_poisson(benchmark, results_dir):
+    """Figure 18: the SCDA FCT CDF dominates RandTCP's."""
+    from repro.experiments.figures import figure18
+
+    figure = benchmark.pedantic(
+        lambda: figure18(comparison=_comparison()), rounds=1, iterations=1
+    )
+    save_result(results_dir, "fig18", {"figure": "fig18", "summary": figure.summary})
+    assert figure.summary["cdf_dominance"] >= 0.7
+    assert figure.summary["fct_reduction_fraction"] >= 0.25

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are conventional performance benchmarks (pytest-benchmark statistics
+are meaningful here): event throughput of the discrete-event engine, the cost
+of the max-min water-filler, and one SCDA control round on the paper-scale
+tree.  They guard against performance regressions that would make the figure
+suite impractically slow.
+"""
+
+import pytest
+
+from bench_utils import scenario_pareto_poisson
+
+MBPS = 1e6
+
+
+@pytest.mark.benchmark(group="kernel micro")
+def test_bench_event_engine_throughput(benchmark):
+    from repro.sim.engine import Simulator
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                sim.call_in(0.001, tick)
+
+        sim.call_in(0.001, tick)
+        sim.run()
+        return count
+
+    count = benchmark(run_events)
+    assert count == 20_000
+
+
+@pytest.mark.benchmark(group="kernel micro")
+def test_bench_max_min_water_filling(benchmark):
+    from repro.network.flow import Flow
+    from repro.network.fluid import max_min_shares
+    from repro.network.routing import Router
+    from repro.network.tree import TreeTopologyConfig, build_tree_topology
+    from repro.sim.random import RandomStreams
+
+    topology = build_tree_topology(TreeTopologyConfig())
+    router = Router(topology)
+    hosts = topology.hosts()
+    clients = topology.clients()
+    rng = RandomStreams(7).stream("pairs")
+    flows = []
+    for i in range(120):
+        src = clients[int(rng.integers(0, len(clients)))]
+        dst = hosts[int(rng.integers(0, len(hosts)))]
+        flows.append(Flow(src, dst, 1e9, router.path(src, dst)))
+
+    rates = benchmark(lambda: max_min_shares(flows))
+    assert len(rates) == len(flows)
+    assert all(rate > 0 for rate in rates.values())
+
+
+@pytest.mark.benchmark(group="kernel micro")
+def test_bench_scda_control_round(benchmark):
+    from repro.core.controller import ScdaController, ScdaControllerConfig
+    from repro.network.fabric import FabricSimulator
+    from repro.network.flow import FlowKind
+    from repro.network.transport.scda import ScdaTransport
+    from repro.network.tree import TreeTopologyConfig, build_tree_topology
+    from repro.sim.engine import Simulator
+    from repro.sim.random import RandomStreams
+
+    sim = Simulator()
+    topology = build_tree_topology(TreeTopologyConfig())
+    controller = ScdaController(sim, topology, ScdaControllerConfig())
+    fabric = FabricSimulator(sim, topology, ScdaTransport(controller))
+    controller.attach_fabric(fabric)
+    rng = RandomStreams(11).stream("pairs")
+    hosts, clients = topology.hosts(), topology.clients()
+    for _ in range(80):
+        src = clients[int(rng.integers(0, len(clients)))]
+        dst = hosts[int(rng.integers(0, len(hosts)))]
+        fabric.start_flow(src, dst, 1e9, FlowKind.DATA)
+
+    benchmark(lambda: controller.control_round(sim.now, force=True))
+    assert controller.rounds_run >= 1
+
+
+@pytest.mark.benchmark(group="kernel micro")
+def test_bench_workload_generation(benchmark):
+    from repro.experiments.runner import generate_workload
+
+    scenario = scenario_pareto_poisson()
+    workload = benchmark(lambda: generate_workload(scenario))
+    assert len(workload) > 0

@@ -1,0 +1,79 @@
+"""Metadata-plane scalability: one NNS versus several NNS behind the FES.
+
+The paper's first design feature is removing the single-name-node bottleneck
+of GFS/HDFS by hashing requests over multiple NNS through a light-weight FES.
+This benchmark measures (a) how evenly the FES spreads a large request
+population and (b) the per-NNS metadata load with 1, 2, 4 and 8 name nodes.
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+
+@pytest.mark.benchmark(group="nns scalability")
+def test_bench_fes_spreads_load_across_name_nodes(benchmark, results_dir):
+    from repro.cluster.front_end import FrontEndServer
+
+    keys = [f"client-{i}" for i in range(20_000)]
+
+    def route_all():
+        loads = {}
+        for n in (1, 2, 4, 8):
+            fes = FrontEndServer([f"nns-{i}" for i in range(n)])
+            loads[n] = fes.load_per_name_node(keys)
+        return loads
+
+    loads = benchmark(route_all)
+    imbalance = {
+        n: max(per_nns.values()) / (len(keys) / n) for n, per_nns in loads.items()
+    }
+    save_result(results_dir, "nns_scalability_hashing", {"imbalance": imbalance})
+    # With 8 NNS, the most loaded one should see < 15 % more than its fair share.
+    assert imbalance[8] < 1.15
+    # And the per-NNS load with 8 NNS is ~1/8 of the single-NNS load.
+    assert max(loads[8].values()) < 0.2 * max(loads[1].values())
+
+
+@pytest.mark.benchmark(group="nns scalability")
+def test_bench_cluster_with_multiple_name_nodes(benchmark, results_dir):
+    """End-to-end: the same workload served by 1 vs 4 name nodes."""
+    from repro.baselines.schemes import SCDA_SCHEME
+    from repro.experiments.runner import build_stack, generate_workload, _issue_request
+
+    scenario = scenario_pareto_poisson().with_overrides(sim_time_s=6.0)
+    workload = generate_workload(scenario)
+
+    def run_with(num_nns):
+        stack = build_stack(scenario, SCDA_SCHEME)
+        # Rebuild the cluster with the requested number of name nodes.
+        from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+
+        stack.cluster = StorageCluster(
+            stack.sim,
+            stack.topology,
+            stack.fabric,
+            stack.placement,
+            config=StorageClusterConfig(num_name_nodes=num_nns),
+        )
+        clients = stack.topology.clients()
+        for request in workload:
+            stack.sim.call_at(request.arrival_time_s, _issue_request, stack, request, clients)
+        stack.sim.run(until=scenario.total_time_s)
+        per_nns_writes = {
+            nns_id: nns.write_requests for nns_id, nns in stack.cluster.name_nodes.items()
+        }
+        return per_nns_writes
+
+    def run_both():
+        return {1: run_with(1), 4: run_with(4)}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_result(results_dir, "nns_scalability_cluster", {"write_requests": results})
+
+    single_nns_load = max(results[1].values())
+    multi_nns_load = max(results[4].values())
+    total_requests = sum(results[1].values())
+    assert sum(results[4].values()) == total_requests
+    # Spreading over 4 NNS cuts the hottest NNS's load substantially.
+    assert multi_nns_load < 0.6 * single_nns_load

@@ -1,0 +1,43 @@
+"""Sensitivity of SCDA to the control interval τ.
+
+The RM/RA computation runs every τ; the paper suggests setting τ to the
+average (or maximum) RTT of a block server's flows.  This sweep checks that
+SCDA's advantage over RandTCP is robust for τ between 5 ms and 100 ms, and
+records how the mean FCT degrades as the control loop slows down.
+"""
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+
+@pytest.mark.benchmark(group="tau sweep")
+def test_bench_control_interval_sweep(benchmark, results_dir):
+    from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
+    from repro.experiments.runner import generate_workload, run_scheme
+
+    base = scenario_pareto_poisson().with_overrides(sim_time_s=6.0)
+    workload = generate_workload(base)
+    taus = (0.005, 0.010, 0.050, 0.100)
+
+    def sweep():
+        results = {}
+        for tau in taus:
+            scenario = base.with_overrides(control_interval_s=tau)
+            results[tau] = run_scheme(scenario, SCDA_SCHEME, workload).mean_fct_s()
+        results["randtcp"] = run_scheme(base, RAND_TCP, workload).mean_fct_s()
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "tau_sweep",
+        {"mean_fct_s": {str(k): v for k, v in results.items()}},
+    )
+
+    baseline_fct = results["randtcp"]
+    for tau in taus:
+        # SCDA keeps a clear advantage over RandTCP across the whole sweep.
+        assert results[tau] < baseline_fct, f"tau={tau}: {results[tau]} vs {baseline_fct}"
+    # A faster control loop should not be (much) worse than a slow one.
+    assert results[0.005] <= results[0.100] * 1.25

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. in a fully offline environment where ``pip install -e .`` cannot fetch
+build dependencies).  When the package *is* installed this is a harmless
+no-op because the installed editable path points at the same directory.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""SLA-aware operation: reservations, priorities and real-time violation detection.
+
+This example exercises the parts of SCDA that the headline figures do not
+show directly (Sections IV-A and IV-C):
+
+* a *gold* tenant reserves a minimum rate for its uploads (``M_j``),
+* short flows are boosted with shortest-job-first priority weights (``℘_j``),
+* the RM/RA hierarchy detects SLA violations (demand exceeding the effective
+  link capacity) within one control interval and the controller reports where
+  they happened, and
+* the ``ADD_BANDWIDTH`` mitigation brings reserve capacity online so the
+  violations stop.
+
+Run it with::
+
+    python examples/sla_monitoring.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.placement import ScdaPlacement
+from repro.core import ScdaController, ScdaControllerConfig, SjfWeightPolicy, SlaPolicy
+from repro.core.rate_metric import ScdaParams
+from repro.core.sla import MitigationAction, check_flow_slas
+from repro.network import FabricSimulator, TreeTopologyConfig, build_tree_topology
+from repro.network.flow import FlowKind
+from repro.network.transport import ScdaTransport
+from repro.sim import Simulator
+
+MBPS = 1e6
+MB = 1024.0 * 1024.0
+
+
+def build_stack(mitigation: MitigationAction):
+    sim = Simulator()
+    topology = build_tree_topology(
+        TreeTopologyConfig(
+            base_bandwidth_bps=100 * MBPS,
+            num_agg=2,
+            racks_per_agg=2,
+            hosts_per_rack=3,
+            num_clients=6,
+            client_bandwidth_bps=300 * MBPS,
+        )
+    )
+    controller = ScdaController(
+        sim,
+        topology,
+        ScdaControllerConfig(
+            params=ScdaParams(control_interval_s=0.01),
+            sla_mitigation=mitigation,
+            sla_bandwidth_boost=1.5,
+        ),
+        weight_policy=SjfWeightPolicy(reference_size_bytes=1 * MB),
+    )
+    fabric = FabricSimulator(sim, topology, ScdaTransport(controller))
+    controller.attach_fabric(fabric)
+    cluster = StorageCluster(
+        sim, topology, fabric, ScdaPlacement(controller), config=StorageClusterConfig()
+    )
+    return sim, topology, controller, fabric, cluster
+
+
+def run(mitigation: MitigationAction):
+    sim, topology, controller, fabric, cluster = build_stack(mitigation)
+    clients = topology.clients()
+    gold_sla = SlaPolicy("gold", min_throughput_bps=20 * MBPS, max_fct_s=5.0)
+
+    gold_requests = []
+    # The gold tenant uploads steadily, with an explicit 20 Mb/s reservation.
+    for i in range(8):
+        content = Content.create(8 * MB, declared_class=ContentClass.LWHR, owner="gold")
+        request = cluster.write(
+            clients[0], content, flow_kind=FlowKind.DATA, created_at=None, reserve_bps=20 * MBPS
+        )
+        gold_requests.append(request)
+        sim.run(until=0.5 * (i + 1))
+
+    # Meanwhile a noisy tenant floods one rack with best-effort bulk traffic.
+    for i in range(30):
+        content = Content.create(12 * MB, declared_class=ContentClass.LWLR, owner="bulk")
+        cluster.write(clients[1 + (i % 3)], content, flow_kind=FlowKind.DATA)
+    sim.run(until=30.0)
+
+    gold_flows = [r.flow for r in gold_requests if r.flow is not None]
+    offenders = check_flow_slas(gold_flows, lambda f: gold_sla)
+    return controller, gold_flows, offenders
+
+
+def main() -> int:
+    print("=== Without mitigation " + "=" * 40)
+    controller, gold_flows, offenders = run(MitigationAction.NONE)
+    print(f"gold uploads: {len(gold_flows)}, SLA offenders: {len(offenders)}")
+    print(f"SLA violations detected by the RM/RA hierarchy: {controller.sla_monitor.count}")
+    hot = sorted(controller.sla_monitor.summary().items(), key=lambda kv: -kv[1])[:3]
+    for location, count in hot:
+        print(f"  hottest detector: {location:10s} ({count} violation reports)")
+
+    print()
+    print("=== With ADD_BANDWIDTH mitigation (reserve links) " + "=" * 14)
+    controller2, gold_flows2, offenders2 = run(MitigationAction.ADD_BANDWIDTH)
+    print(f"gold uploads: {len(gold_flows2)}, SLA offenders: {len(offenders2)}")
+    print(f"SLA violations detected: {controller2.sla_monitor.count}")
+    boosted = {v.location for v in controller2.sla_monitor.violations
+               if v.mitigation is MitigationAction.ADD_BANDWIDTH}
+    print(f"links boosted with reserve capacity at: {sorted(boosted) if boosted else 'none'}")
+
+    print()
+    print("The reservation keeps the gold tenant's uploads at or above their "
+          "minimum rate even while the bulk tenant saturates the rack; the "
+          "violation reports tell the operator exactly which links ran out of "
+          "capacity, and the mitigation removes the remaining offenders "
+          f"({len(offenders)} -> {len(offenders2)}).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

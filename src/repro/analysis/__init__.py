@@ -1,0 +1,31 @@
+"""Analysis and reporting utilities.
+
+* :mod:`~repro.analysis.ascii_plot` — dependency-free terminal plots of the
+  figure series (the repository deliberately has no matplotlib dependency so
+  it runs in minimal offline environments).
+* :mod:`~repro.analysis.report` — turn the JSON files dropped by the
+  benchmark harness (``benchmarks/results/*.json``) into a markdown report of
+  paper-vs-measured numbers.
+* :mod:`~repro.analysis.convergence` — step-response analysis of the SCDA
+  rate metric: how many control intervals equation 2 needs to converge to the
+  max-min rate after load changes.
+"""
+
+from repro.analysis.ascii_plot import ascii_line_plot, ascii_cdf_plot, render_figure
+from repro.analysis.report import BenchmarkReport, load_benchmark_results
+from repro.analysis.convergence import (
+    ConvergenceResult,
+    rate_metric_step_response,
+    rounds_to_converge,
+)
+
+__all__ = [
+    "ascii_line_plot",
+    "ascii_cdf_plot",
+    "render_figure",
+    "BenchmarkReport",
+    "load_benchmark_results",
+    "ConvergenceResult",
+    "rate_metric_step_response",
+    "rounds_to_converge",
+]

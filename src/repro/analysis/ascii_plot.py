@@ -1,0 +1,118 @@
+"""Terminal (ASCII) plots for figure series.
+
+The experiment figures are (x, y) series per scheme; these helpers render
+them as fixed-width character plots so results can be inspected over SSH or
+in CI logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: characters used for successive series, in order
+SERIES_MARKERS = "*o+x#@"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return int(round(position * (size - 1)))
+
+
+def ascii_line_plot(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series on a shared-axes character grid.
+
+    Parameters
+    ----------
+    series:
+        ``name -> (x values, y values)``.  Series are drawn in insertion
+        order with the markers ``* o + x # @``.
+    width, height:
+        Plot area size in characters (excluding axes and labels).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot area must be at least 16x4 characters")
+    cleaned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(list(xs), dtype=float)
+        y = np.asarray(list(ys), dtype=float)
+        mask = np.isfinite(x) & np.isfinite(y)
+        if mask.any():
+            cleaned[name] = (x[mask], y[mask])
+    if not cleaned:
+        return f"{title}\n(no data)"
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(min(all_y.min(), 0.0)), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (x, y)) in enumerate(cleaned.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        for xv, yv in zip(x, y):
+            col = _scale(xv, x_lo, x_hi, width)
+            row = height - 1 - _scale(yv, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:.3g} ".rjust(10) + "+" + "-" * width)
+    for row_index, row in enumerate(grid):
+        prefix = " " * 10
+        if row_index == height - 1:
+            prefix = f"{y_lo:.3g} ".rjust(10)
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 11 + f"{x_lo:.3g}".ljust(width - 12) + f"{x_hi:.3g}")
+    lines.append(" " * 11 + f"{x_label}  (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf_plot(
+    samples: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "value",
+    title: str = "",
+) -> str:
+    """Render empirical CDFs of one or more sample sets."""
+    from repro.metrics.cdf import empirical_cdf
+
+    series = {}
+    for name, values in samples.items():
+        x, y = empirical_cdf(values)
+        if x.size:
+            series[name] = (x, y)
+    return ascii_line_plot(
+        series, width=width, height=height, x_label=x_label, y_label="CDF", title=title
+    )
+
+
+def render_figure(figure, width: int = 72, height: int = 18) -> str:
+    """Render a :class:`repro.experiments.figures.FigureData` as an ASCII plot."""
+    return ascii_line_plot(
+        figure.series,
+        width=width,
+        height=height,
+        x_label=figure.x_label,
+        y_label=figure.y_label,
+        title=f"{figure.figure_id}: {figure.title}",
+    )

@@ -1,0 +1,127 @@
+"""Step-response analysis of the SCDA rate metric.
+
+The RM/RA allocation (equation 2 with the effective flow count of equation 3)
+is an iterative, distributed computation: after a load change the advertised
+rate needs a few control intervals to settle on the new max-min share.  These
+helpers quantify that — how many rounds to converge, how large the transient
+over-subscription is — and back the τ-sweep ablation with analysis rather
+than only end-to-end FCT numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rate_metric import LinkRateCalculator, ScdaParams
+
+
+@dataclass
+class ConvergenceResult:
+    """The trajectory of one step-response experiment."""
+
+    rates_bps: List[float]
+    target_bps: float
+    tolerance: float
+    queue_bytes: List[float] = field(default_factory=list)
+
+    @property
+    def rounds_to_converge(self) -> Optional[int]:
+        """First round after which the rate stays within tolerance of the target.
+
+        None if it never converges within the simulated rounds.
+        """
+        rates = np.asarray(self.rates_bps)
+        within = np.abs(rates - self.target_bps) <= self.tolerance * self.target_bps
+        for start in range(len(rates)):
+            if within[start:].all():
+                return start
+        return None
+
+    @property
+    def max_overshoot_fraction(self) -> float:
+        """Largest transient excess of total demand over the target rate."""
+        rates = np.asarray(self.rates_bps)
+        if rates.size == 0 or self.target_bps <= 0:
+            return 0.0
+        return float(max(0.0, rates.max() / self.target_bps - 1.0))
+
+    @property
+    def converged(self) -> bool:
+        return self.rounds_to_converge is not None
+
+
+def rate_metric_step_response(
+    capacity_bps: float,
+    num_flows_before: int,
+    num_flows_after: int,
+    rounds: int = 40,
+    params: Optional[ScdaParams] = None,
+    tolerance: float = 0.05,
+    track_queue: bool = True,
+) -> ConvergenceResult:
+    """Simulate a closed-loop step change in the number of flows on one link.
+
+    Flows always send at whatever the link advertised in the previous round
+    (the SCDA transport's behaviour); at round ``rounds // 2`` the flow count
+    steps from ``num_flows_before`` to ``num_flows_after``.  Returns the
+    trajectory of the advertised rate and the (fluid) queue that builds up
+    while the allocation is catching up.
+    """
+    if num_flows_before < 0 or num_flows_after < 0:
+        raise ValueError("flow counts must be non-negative")
+    if rounds < 2:
+        raise ValueError("need at least two rounds")
+    params = params or ScdaParams()
+    calc = LinkRateCalculator(capacity_bps, params)
+    tau = params.control_interval_s
+
+    rates: List[float] = []
+    queues: List[float] = []
+    queue_bytes = 0.0
+    step_round = rounds // 2
+    for round_index in range(rounds):
+        n = num_flows_before if round_index < step_round else num_flows_after
+        advertised = calc.current_rate_bps
+        # Every flow sends at the advertised per-flow rate for one interval.
+        offered_bps = n * advertised
+        # Fluid queue at the link: grows when offered exceeds raw capacity.
+        queue_bytes = max(0.0, queue_bytes + (offered_bps - capacity_bps) * tau / 8.0)
+        new_rate = calc.update(
+            queue_bytes=queue_bytes if track_queue else 0.0,
+            flow_rates_bps=[advertised] * n,
+        )
+        rates.append(new_rate)
+        queues.append(queue_bytes)
+
+    n_final = max(num_flows_after, 1)
+    target = params.alpha * capacity_bps / n_final if num_flows_after > 0 else params.alpha * capacity_bps
+    # Only the post-step trajectory matters for convergence.
+    return ConvergenceResult(
+        rates_bps=rates[step_round:],
+        target_bps=target,
+        tolerance=tolerance,
+        queue_bytes=queues[step_round:],
+    )
+
+
+def rounds_to_converge(
+    capacity_bps: float,
+    num_flows_before: int,
+    num_flows_after: int,
+    params: Optional[ScdaParams] = None,
+    tolerance: float = 0.05,
+    max_rounds: int = 200,
+) -> Optional[int]:
+    """Convenience wrapper returning only the convergence round count."""
+    result = rate_metric_step_response(
+        capacity_bps,
+        num_flows_before,
+        num_flows_after,
+        rounds=max_rounds,
+        params=params,
+        tolerance=tolerance,
+    )
+    return result.rounds_to_converge

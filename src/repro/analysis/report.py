@@ -1,0 +1,121 @@
+"""Benchmark-result reporting.
+
+The benchmark harness drops one JSON file per figure/ablation under
+``benchmarks/results``.  :class:`BenchmarkReport` loads them and renders a
+markdown table of the headline numbers (mean FCT per scheme, FCT reduction,
+throughput gain, CDF dominance) — the same numbers EXPERIMENTS.md quotes —
+so the documentation can be refreshed from an actual run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+
+def load_benchmark_results(results_dir) -> Dict[str, dict]:
+    """Load every ``*.json`` in ``results_dir`` keyed by its stem."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no benchmark results directory at {results_dir}")
+    loaded: Dict[str, dict] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            loaded[path.stem] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt benchmark result {path}: {exc}") from exc
+    return loaded
+
+
+#: What the paper qualitatively claims per figure, quoted in the report.
+PAPER_CLAIMS: Mapping[str, str] = {
+    "fig07": "SCDA throughput above RandTCP (video + control)",
+    "fig08": "most SCDA uploads finish much earlier",
+    "fig09": "SCDA AFCT below RandTCP for 10-90 MB files",
+    "fig10": "SCDA throughput above RandTCP (video only)",
+    "fig11": "FCT >50% lower for most flows",
+    "fig12": "SCDA AFCT below; RandTCP fluctuates wildly",
+    "fig13": "AFCT up to 50% lower (DC traces, K=1)",
+    "fig14": ">60% of flows up to 50% faster",
+    "fig15": "AFCT up to 50% lower (DC traces, K=3)",
+    "fig16": ">60% of flows up to 50% faster",
+    "fig17": "SCDA throughput above RandTCP (Pareto/Poisson)",
+    "fig18": "SCDA FCT CDF far to the left",
+}
+
+
+@dataclass
+class BenchmarkReport:
+    """A loaded set of benchmark results with markdown rendering."""
+
+    results: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def from_directory(cls, results_dir) -> "BenchmarkReport":
+        return cls(load_benchmark_results(results_dir))
+
+    # -- queries --------------------------------------------------------------------------
+    def figures(self) -> List[str]:
+        """Names of the figure entries present (fig07..fig18, sorted)."""
+        return sorted(name for name in self.results if name.startswith("fig"))
+
+    def ablations(self) -> List[str]:
+        """Names of the non-figure entries present."""
+        return sorted(name for name in self.results if not name.startswith("fig"))
+
+    def summary_of(self, name: str) -> dict:
+        """The ``summary`` block of one result (empty dict if missing)."""
+        return dict(self.results.get(name, {}).get("summary", {}))
+
+    def all_shapes_passed(self) -> bool:
+        """True when every figure entry that recorded a shape verdict passed."""
+        verdicts = []
+        for name in self.figures():
+            shape = self.results[name].get("shape")
+            if isinstance(shape, dict) and "all_passed" in shape:
+                verdicts.append(bool(shape["all_passed"]))
+            elif "all_passed" in self.results[name]:
+                verdicts.append(bool(self.results[name]["all_passed"]))
+        return all(verdicts) if verdicts else False
+
+    # -- rendering --------------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        """Render the figure table plus an ablation section as markdown."""
+        lines = [
+            "# SCDA reproduction — benchmark report",
+            "",
+            "| Figure | Paper claim | SCDA mean FCT (s) | RandTCP mean FCT (s) | FCT reduction | CDF dominance |",
+            "|---|---|---|---|---|---|",
+        ]
+        for name in self.figures():
+            summary = self.summary_of(name)
+            if not summary:
+                continue
+            claim = PAPER_CLAIMS.get(name, "")
+            lines.append(
+                "| {fig} | {claim} | {cand:.3f} | {base:.3f} | {red:.0%} | {dom:.0%} |".format(
+                    fig=name,
+                    claim=claim,
+                    cand=summary.get("candidate_mean_fct_s", float("nan")),
+                    base=summary.get("baseline_mean_fct_s", float("nan")),
+                    red=summary.get("fct_reduction_fraction", float("nan")),
+                    dom=summary.get("cdf_dominance", float("nan")),
+                )
+            )
+        ablations = self.ablations()
+        if ablations:
+            lines.extend(["", "## Ablations", ""])
+            for name in ablations:
+                lines.append(f"### {name}")
+                lines.append("```json")
+                lines.append(json.dumps(self.results[name], indent=2, sort_keys=True))
+                lines.append("```")
+        return "\n".join(lines)
+
+    def write_markdown(self, path) -> Path:
+        """Write :meth:`to_markdown` to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_markdown())
+        return path

@@ -1,0 +1,47 @@
+"""Baseline schemes and scheme composition.
+
+A *scheme* is the pair (server-selection policy, transport model).  The paper
+compares
+
+* **SCDA** — RM/RA-driven selection + explicit-rate transport, against
+* **RandTCP** — random server selection + TCP, "a random server selection and
+  TCP rate control approach used by well known architectures such as VL2 and
+  Hedera".
+
+The ablation benchmarks also exercise the two mixed combinations (SCDA
+selection with TCP, random selection with the SCDA transport) and an
+idealised centralised max-min oracle.  :mod:`~repro.baselines.hedera`
+additionally models Hedera's elephant-flow rerouting for multi-path fabrics.
+"""
+
+from repro.baselines.schemes import (
+    SchemeSpec,
+    RAND_TCP,
+    SCDA_SCHEME,
+    SCDA_SELECT_TCP,
+    RANDOM_SELECT_SCDA,
+    IDEAL_ORACLE,
+    ROUND_ROBIN_TCP,
+    LEAST_LOADED_TCP,
+    SCDA_SIMPLIFIED,
+    all_schemes,
+)
+from repro.baselines.hedera import HederaScheduler, HederaConfig
+from repro.baselines.vlb import vlb_path_choice, ecmp_path_choice
+
+__all__ = [
+    "SchemeSpec",
+    "RAND_TCP",
+    "SCDA_SCHEME",
+    "SCDA_SELECT_TCP",
+    "RANDOM_SELECT_SCDA",
+    "IDEAL_ORACLE",
+    "ROUND_ROBIN_TCP",
+    "LEAST_LOADED_TCP",
+    "SCDA_SIMPLIFIED",
+    "all_schemes",
+    "HederaScheduler",
+    "HederaConfig",
+    "vlb_path_choice",
+    "ecmp_path_choice",
+]

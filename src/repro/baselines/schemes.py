@@ -1,0 +1,86 @@
+"""Scheme specifications: (placement policy, transport model) pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+PLACEMENTS = ("random", "scda", "round-robin", "least-loaded")
+TRANSPORTS = ("tcp", "scda", "ideal")
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative description of a scheme; the experiment runner builds it.
+
+    Attributes
+    ----------
+    name:
+        Display name used in figures and reports.
+    placement:
+        One of ``random``, ``scda``, ``round-robin``, ``least-loaded``.
+    transport:
+        One of ``tcp``, ``scda``, ``ideal``.
+    power_aware:
+        Use the rate-per-watt selection variant (Section VII-D).
+    simplified_metric:
+        Use equation 5 instead of equations 2-4 in the RM/RA calculators.
+    """
+
+    name: str
+    placement: str
+    transport: str
+    power_aware: bool = False
+    simplified_metric: bool = False
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {self.placement!r}; expected one of {PLACEMENTS}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}; expected one of {TRANSPORTS}")
+
+    @property
+    def needs_controller(self) -> bool:
+        """True when the scheme requires an :class:`ScdaController`."""
+        return self.placement == "scda" or self.transport == "scda" or self.power_aware
+
+
+#: The paper's baseline: random server selection + TCP (VL2/Hedera-style).
+RAND_TCP = SchemeSpec("RandTCP", placement="random", transport="tcp")
+
+#: The paper's system: SCDA selection + SCDA explicit-rate transport.
+SCDA_SCHEME = SchemeSpec("SCDA", placement="scda", transport="scda")
+
+#: Ablation: SCDA's server selection but TCP rate control.
+SCDA_SELECT_TCP = SchemeSpec("SCDA-select+TCP", placement="scda", transport="tcp")
+
+#: Ablation: random selection but SCDA's explicit-rate transport.
+RANDOM_SELECT_SCDA = SchemeSpec("Random+SCDA-rate", placement="random", transport="scda")
+
+#: Upper bound: random selection replaced by least-loaded and an instantaneous
+#: centralised max-min allocation.
+IDEAL_ORACLE = SchemeSpec("Ideal-oracle", placement="least-loaded", transport="ideal")
+
+#: Engineering baselines used in the ablation benches.
+ROUND_ROBIN_TCP = SchemeSpec("RoundRobin+TCP", placement="round-robin", transport="tcp")
+LEAST_LOADED_TCP = SchemeSpec("LeastLoaded+TCP", placement="least-loaded", transport="tcp")
+
+#: SCDA with the simplified rate metric of equation 5.
+SCDA_SIMPLIFIED = SchemeSpec(
+    "SCDA-simplified", placement="scda", transport="scda", simplified_metric=True
+)
+
+
+def all_schemes() -> List[SchemeSpec]:
+    """Every predefined scheme (useful for sweep-style benchmarks)."""
+    return [
+        RAND_TCP,
+        SCDA_SCHEME,
+        SCDA_SELECT_TCP,
+        RANDOM_SELECT_SCDA,
+        IDEAL_ORACLE,
+        ROUND_ROBIN_TCP,
+        LEAST_LOADED_TCP,
+        SCDA_SIMPLIFIED,
+    ]

@@ -1,0 +1,51 @@
+"""Valiant load balancing (VLB) and ECMP path choice helpers.
+
+VL2 forwards flows through a *random* intermediate switch (VLB) and spreads
+them over equal-cost paths with ECMP; per-flow, both reduce to hashing the
+flow onto one of the candidate paths, which — as the SCDA paper points out —
+"can lead to persistent congestion on some links while other links are
+under-utilized" for elephant-heavy traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.routing import EcmpRouter, Path
+from repro.network.topology import Node
+
+
+def ecmp_path_choice(router: EcmpRouter, src: Node, dst: Node, flow_id: int) -> Path:
+    """ECMP: deterministic hash of the flow id onto one equal-cost path."""
+    return router.path_for_flow(src, dst, flow_id)
+
+
+def vlb_path_choice(
+    router: EcmpRouter,
+    src: Node,
+    dst: Node,
+    rng: np.random.Generator,
+    intermediates: Optional[Sequence[Node]] = None,
+) -> Path:
+    """VLB: bounce through a uniformly random intermediate switch.
+
+    When ``intermediates`` is not given, the highest-level switches of the
+    topology are used (VL2 bounces off the intermediate tier).
+    """
+    topo = router.topology
+    if intermediates is None:
+        top = topo.max_level()
+        intermediates = [s for s in topo.switches() if s.level == top]
+    if not intermediates:
+        return router.path(src, dst)
+    pivot = intermediates[int(rng.integers(0, len(intermediates)))]
+    first_leg = router.path(src, pivot)
+    second_leg = router.path(pivot, dst)
+    # Avoid immediate hairpins: if the same link appears in both legs the
+    # direct path is just as random for our purposes.
+    seen = {l.link_id for l in first_leg}
+    if any(l.link_id in seen for l in second_leg):
+        return router.path(src, dst)
+    return first_leg + second_leg

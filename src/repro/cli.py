@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``
+    Run SCDA against RandTCP on one of the paper's scenarios and print the
+    headline numbers (optionally as JSON).
+``figure``
+    Regenerate one of the paper's figures (fig07..fig18) and print it as a
+    table and/or an ASCII plot.
+``workload``
+    Generate one of the synthetic workloads and write it to CSV.
+``replay``
+    Replay a workload CSV through both schemes and compare them.
+``report``
+    Render a markdown report from the benchmark result JSONs.
+
+The CLI only wraps the public library API, so everything it does can also be
+done programmatically; it exists to make quick experiments reproducible from
+a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from repro._version import __version__
+
+SCENARIOS = ("video", "video-nocontrol", "datacenter-k1", "datacenter-k3", "pareto")
+
+
+def _scenario_from_name(name: str, sim_time: float, seed: int):
+    from repro.experiments.config import ScenarioConfig
+
+    if name == "video":
+        return ScenarioConfig.video_with_control(sim_time=sim_time, seed=seed)
+    if name == "video-nocontrol":
+        return ScenarioConfig.video_without_control(sim_time=sim_time, seed=seed)
+    if name == "datacenter-k1":
+        return ScenarioConfig.datacenter(bandwidth_factor=1.0, sim_time=sim_time, seed=seed)
+    if name == "datacenter-k3":
+        return ScenarioConfig.datacenter(bandwidth_factor=3.0, sim_time=sim_time, seed=seed)
+    if name == "pareto":
+        return ScenarioConfig.pareto_poisson(sim_time=sim_time, seed=seed)
+    raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
+
+
+def _add_common_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", choices=SCENARIOS, default="pareto",
+                        help="which of the paper's scenarios to run")
+    parser.add_argument("--sim-time", type=float, default=10.0,
+                        help="seconds of workload to generate")
+    parser.add_argument("--seed", type=int, default=1, help="workload random seed")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_comparison
+    from repro.experiments.shapes import check_comparison_shape
+
+    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
+    comparison = run_comparison(scenario)
+    summary = comparison.summary()
+    shape = check_comparison_shape(comparison)
+    if args.json:
+        payload = {"scenario": scenario.name, "summary": summary, "all_passed": shape.all_passed}
+        print(json.dumps(payload, indent=2, default=float))
+    else:
+        print(f"scenario: {scenario.name} (sim_time={scenario.sim_time_s:g}s, seed={scenario.seed})")
+        print(f"  mean FCT       RandTCP {summary['baseline_mean_fct_s']:.3f}s"
+              f"   SCDA {summary['candidate_mean_fct_s']:.3f}s"
+              f"   (-{100 * summary['fct_reduction_fraction']:.0f}%)")
+        print(f"  per-flow goodput  RandTCP {summary['baseline_mean_goodput_kBps']:.0f} KB/s"
+              f"   SCDA {summary['candidate_mean_goodput_kBps']:.0f} KB/s")
+        print(f"  FCT CDF dominance: {100 * summary['cdf_dominance']:.0f}%"
+              f"   shape checks passed: {shape.all_passed}")
+    return 0 if shape.all_passed else 1
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import render_figure
+    from repro.experiments.figures import FIGURE_GENERATORS
+
+    if args.figure not in FIGURE_GENERATORS:
+        print(f"unknown figure {args.figure!r}; choose from {', '.join(sorted(FIGURE_GENERATORS))}",
+              file=sys.stderr)
+        return 2
+    # Map each figure to its default scenario but honour --scenario if given.
+    scenario_name = args.scenario
+    if scenario_name is None:
+        defaults = {
+            "fig07": "video", "fig08": "video", "fig09": "video",
+            "fig10": "video-nocontrol", "fig11": "video-nocontrol", "fig12": "video-nocontrol",
+            "fig13": "datacenter-k1", "fig14": "datacenter-k1",
+            "fig15": "datacenter-k3", "fig16": "datacenter-k3",
+            "fig17": "pareto", "fig18": "pareto",
+        }
+        scenario_name = defaults[args.figure]
+    scenario = _scenario_from_name(scenario_name, args.sim_time, args.seed)
+    figure = FIGURE_GENERATORS[args.figure](config=scenario)
+    if args.plot:
+        print(render_figure(figure))
+        print()
+    print(figure.as_table())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(
+                {
+                    "figure": figure.figure_id,
+                    "title": figure.title,
+                    "summary": figure.summary,
+                    "series": {k: [list(map(float, v[0])), list(map(float, v[1]))]
+                               for k, v in figure.series.items()},
+                },
+                indent=2,
+            )
+        )
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import generate_workload
+
+    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
+    workload = generate_workload(scenario)
+    workload.to_csv(args.out)
+    summary = workload.summary()
+    print(f"wrote {len(workload)} requests to {args.out}")
+    print(f"  duration {summary['duration_s']:.1f}s, mean size {summary['mean_size_bytes'] / 1024:.1f} KB, "
+          f"offered load {summary['offered_load_bps'] / 1e6:.1f} Mb/s")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_comparison
+    from repro.experiments.shapes import check_comparison_shape
+    from repro.workloads.traces import Workload
+
+    workload = Workload.from_csv(args.workload)
+    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
+    # The replayed trace defines the arrivals; stretch the horizon to cover it.
+    scenario = scenario.with_overrides(sim_time_s=max(scenario.sim_time_s, workload.duration_s + 1.0))
+
+    from repro.experiments.runner import run_scheme
+    from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
+    from repro.metrics.comparison import ComparisonResult
+
+    candidate = run_scheme(scenario, SCDA_SCHEME, workload)
+    baseline = run_scheme(scenario, RAND_TCP, workload)
+    comparison = ComparisonResult(scenario=f"replay:{args.workload}", candidate=candidate, baseline=baseline)
+    shape = check_comparison_shape(comparison)
+    summary = comparison.summary()
+    print(f"replayed {len(workload)} requests from {args.workload}")
+    print(f"  mean FCT   RandTCP {summary['baseline_mean_fct_s']:.3f}s"
+          f"   SCDA {summary['candidate_mean_fct_s']:.3f}s"
+          f"   (-{100 * summary['fct_reduction_fraction']:.0f}%)")
+    print(f"  shape checks passed: {shape.all_passed}")
+    return 0 if shape.all_passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import BenchmarkReport
+
+    try:
+        report = BenchmarkReport.from_directory(args.results_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    markdown = report.to_markdown()
+    if args.out:
+        Path(args.out).write_text(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown)
+    return 0 if report.all_shapes_passed() or not report.figures() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCDA (HPDC 2013) reproduction — run comparisons, figures and reports.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="run SCDA vs RandTCP on a scenario")
+    _add_common_scenario_args(compare)
+    compare.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    compare.set_defaults(func=cmd_compare)
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("figure", help="figure id, e.g. fig09")
+    figure.add_argument("--scenario", choices=SCENARIOS, default=None,
+                        help="override the figure's default scenario")
+    figure.add_argument("--sim-time", type=float, default=10.0)
+    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
+    figure.add_argument("--out", default=None, help="write the series to a JSON file")
+    figure.set_defaults(func=cmd_figure)
+
+    workload = subparsers.add_parser("workload", help="generate a synthetic workload CSV")
+    _add_common_scenario_args(workload)
+    workload.add_argument("--out", required=True, help="output CSV path")
+    workload.set_defaults(func=cmd_workload)
+
+    replay = subparsers.add_parser(
+        "replay", help="replay a workload CSV through SCDA and RandTCP and compare"
+    )
+    replay.add_argument("workload", help="CSV produced by the 'workload' command (or any trace)")
+    _add_common_scenario_args(replay)
+    replay.set_defaults(func=cmd_replay)
+
+    report = subparsers.add_parser("report", help="render a markdown benchmark report")
+    report.add_argument("--results-dir", default="benchmarks/results",
+                        help="directory with the benchmark JSON files")
+    report.add_argument("--out", default=None, help="write markdown here instead of stdout")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Storage cluster substrate: the GFS/HDFS-like distributed file system.
+
+SCDA's data plane (Section III-A): a light-weight front-end server (FES)
+forwards client requests to one of *several* name-node servers (NNS), which
+keep the metadata mapping content to blocks to block servers (BS).  Block
+servers store the data and replicate it to other block servers chosen by the
+server-selection policy.
+
+* :mod:`~repro.cluster.content` — content model and activity classification
+  (Section II-B).
+* :mod:`~repro.cluster.block` — blocks and the block map of a content item.
+* :mod:`~repro.cluster.block_server` — block servers (storage, power state).
+* :mod:`~repro.cluster.name_node` — name nodes (metadata, placement).
+* :mod:`~repro.cluster.front_end` — the FES hashing/forwarding tier.
+* :mod:`~repro.cluster.client` — user clients (UCL).
+* :mod:`~repro.cluster.placement` — placement policies (random baseline,
+  SCDA, round-robin, least-loaded).
+* :mod:`~repro.cluster.replication` — replication management.
+* :mod:`~repro.cluster.cluster` — :class:`StorageCluster`, the facade that
+  executes the request-serving protocols of Section VIII on the fabric.
+"""
+
+from repro.cluster.content import (
+    Content,
+    ContentClass,
+    ContentClassifier,
+    AccessStats,
+)
+from repro.cluster.block import Block, BlockMap
+from repro.cluster.block_server import BlockServer
+from repro.cluster.name_node import NameNodeServer
+from repro.cluster.front_end import FrontEndServer
+from repro.cluster.client import UserClient
+from repro.cluster.placement import (
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    LeastLoadedPlacement,
+    ScdaPlacement,
+)
+from repro.cluster.replication import ReplicationManager, ReplicationConfig
+from repro.cluster.host_resources import HostResourceProfile, HostResourceSimulator
+from repro.cluster.cluster import StorageCluster, StorageClusterConfig, RequestRecord
+
+__all__ = [
+    "Content",
+    "ContentClass",
+    "ContentClassifier",
+    "AccessStats",
+    "Block",
+    "BlockMap",
+    "BlockServer",
+    "NameNodeServer",
+    "FrontEndServer",
+    "UserClient",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "ScdaPlacement",
+    "ReplicationManager",
+    "ReplicationConfig",
+    "HostResourceProfile",
+    "HostResourceSimulator",
+    "StorageCluster",
+    "StorageClusterConfig",
+    "RequestRecord",
+]

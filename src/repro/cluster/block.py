@@ -1,0 +1,110 @@
+"""Blocks: the unit of storage and replication.
+
+Like GFS/HDFS, SCDA stores content as fixed-size blocks; the name nodes keep
+the map from content to blocks to the block servers holding each replica.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Block:
+    """One block of a content item."""
+
+    block_id: str
+    content_id: str
+    index: int
+    size_bytes: float
+    #: block-server ids currently holding a replica of this block
+    replicas: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if self.index < 0:
+            raise ValueError("block index must be non-negative")
+
+    def add_replica(self, server_id: str) -> None:
+        """Record that ``server_id`` now holds this block."""
+        if server_id not in self.replicas:
+            self.replicas.append(server_id)
+
+    def remove_replica(self, server_id: str) -> None:
+        """Record that ``server_id`` no longer holds this block."""
+        if server_id in self.replicas:
+            self.replicas.remove(server_id)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+
+class BlockMap:
+    """The block manifest of one content item."""
+
+    def __init__(self, content_id: str, content_size_bytes: float, block_size_bytes: float) -> None:
+        if content_size_bytes <= 0:
+            raise ValueError("content size must be positive")
+        if block_size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        self.content_id = content_id
+        self.block_size_bytes = float(block_size_bytes)
+        self.blocks: List[Block] = []
+        count = max(1, int(math.ceil(content_size_bytes / block_size_bytes)))
+        remaining = float(content_size_bytes)
+        for index in range(count):
+            size = min(block_size_bytes, remaining)
+            self.blocks.append(
+                Block(
+                    block_id=f"{content_id}/blk-{index}",
+                    content_id=content_id,
+                    index=index,
+                    size_bytes=size,
+                )
+            )
+            remaining -= size
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of block sizes (equals the content size)."""
+        return sum(b.size_bytes for b in self.blocks)
+
+    def block(self, index: int) -> Block:
+        """The block at position ``index``."""
+        return self.blocks[index]
+
+    def servers(self) -> List[str]:
+        """All block servers holding at least one block of the content."""
+        seen: List[str] = []
+        for block in self.blocks:
+            for server in block.replicas:
+                if server not in seen:
+                    seen.append(server)
+        return seen
+
+    def servers_with_full_copy(self) -> List[str]:
+        """Block servers holding *every* block of the content."""
+        if not self.blocks:
+            return []
+        candidates = set(self.blocks[0].replicas)
+        for block in self.blocks[1:]:
+            candidates &= set(block.replicas)
+        # Preserve the deterministic order of the first block's replica list.
+        return [s for s in self.blocks[0].replicas if s in candidates]
+
+    def min_replication(self) -> int:
+        """The smallest replica count over all blocks."""
+        if not self.blocks:
+            return 0
+        return min(b.replica_count for b in self.blocks)

@@ -1,0 +1,115 @@
+"""Block servers (BS): the storage nodes of the cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.block import Block
+from repro.network.topology import Node
+
+
+class StorageFullError(Exception):
+    """Raised when a block server has no room for a block."""
+
+
+class BlockServer:
+    """A storage server bound to a host node of the topology.
+
+    The server tracks the blocks it stores, its remaining disk capacity and
+    simple access counters; the energy model (``repro.energy``) and the RM
+    attach to the same host id.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        disk_capacity_bytes: float = 4e12,
+        disk_bandwidth_bps: float = float("inf"),
+    ) -> None:
+        if disk_capacity_bytes <= 0:
+            raise ValueError("disk capacity must be positive")
+        if disk_bandwidth_bps <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        self.node = node
+        self.server_id = node.node_id
+        self.disk_capacity_bytes = float(disk_capacity_bytes)
+        self.disk_bandwidth_bps = float(disk_bandwidth_bps)
+        self.used_bytes = 0.0
+        self._blocks: Dict[str, Block] = {}
+        #: content_id -> number of accesses served by this BS (used to learn popularity)
+        self.access_counts: Dict[str, int] = {}
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+
+    # -- capacity -----------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> float:
+        """Remaining disk capacity."""
+        return self.disk_capacity_bytes - self.used_bytes
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the disk in use."""
+        return self.used_bytes / self.disk_capacity_bytes
+
+    def can_store(self, size_bytes: float) -> bool:
+        """True if a block of ``size_bytes`` fits."""
+        return size_bytes <= self.free_bytes + 1e-9
+
+    # -- block management ------------------------------------------------------------------
+    def store_block(self, block: Block) -> None:
+        """Store a replica of ``block`` on this server."""
+        if block.block_id in self._blocks:
+            return
+        if not self.can_store(block.size_bytes):
+            raise StorageFullError(
+                f"{self.server_id}: cannot store {block.block_id} "
+                f"({block.size_bytes:.0f} B needed, {self.free_bytes:.0f} B free)"
+            )
+        self._blocks[block.block_id] = block
+        self.used_bytes += block.size_bytes
+        self.bytes_written += block.size_bytes
+        block.add_replica(self.server_id)
+
+    def evict_block(self, block_id: str) -> Optional[Block]:
+        """Remove a block replica (returns it, or None if not present)."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self.used_bytes -= block.size_bytes
+            block.remove_replica(self.server_id)
+        return block
+
+    def has_block(self, block_id: str) -> bool:
+        """True if this server holds a replica of ``block_id``."""
+        return block_id in self._blocks
+
+    def blocks(self) -> List[Block]:
+        """All block replicas held by this server."""
+        return list(self._blocks.values())
+
+    def stored_content_ids(self) -> List[str]:
+        """Content ids with at least one block on this server."""
+        seen: List[str] = []
+        for block in self._blocks.values():
+            if block.content_id not in seen:
+                seen.append(block.content_id)
+        return seen
+
+    # -- access accounting ---------------------------------------------------------------------
+    def record_read(self, content_id: str, size_bytes: float) -> None:
+        """Account a read of ``content_id`` served from this server."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        self.access_counts[content_id] = self.access_counts.get(content_id, 0) + 1
+        self.bytes_read += size_bytes
+
+    def popularity(self, content_id: str) -> int:
+        """Number of accesses of ``content_id`` served by this server."""
+        return self.access_counts.get(content_id, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BlockServer {self.server_id} blocks={len(self._blocks)} "
+            f"used={self.used_bytes / 1e9:.2f}GB>"
+        )

@@ -1,0 +1,33 @@
+"""User clients (UCL): the external requesters of cloud storage services."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.topology import Node
+
+
+@dataclass
+class UserClient:
+    """An external client attached to the datacenter through an access link."""
+
+    node: Node
+    client_id: str = ""
+    #: content ids this client has written (its "library")
+    owned_content: List[str] = field(default_factory=list)
+    requests_issued: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            self.client_id = self.node.node_id
+
+    def record_write(self, content_id: str) -> None:
+        """Remember a content item written by this client."""
+        if content_id not in self.owned_content:
+            self.owned_content.append(content_id)
+        self.requests_issued += 1
+
+    def record_read(self) -> None:
+        """Account a read request issued by this client."""
+        self.requests_issued += 1

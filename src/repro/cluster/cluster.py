@@ -1,0 +1,408 @@
+"""The storage cluster facade: executes the request-serving protocols.
+
+:class:`StorageCluster` wires the FES, the name nodes, the block servers and
+the network fabric together and exposes the two operations the workloads
+drive:
+
+* :meth:`StorageCluster.write` — the external write protocol of
+  Section VIII-A (client -> FES -> NNS -> placement -> data flow), followed by
+  the internal replication protocol of Section VIII-B;
+* :meth:`StorageCluster.read` — the external read protocol of
+  Section VIII-C (replica selection by upload rate, then a data flow from the
+  chosen block server to the client).
+
+Connection setup (the control messages 1-12 of Figures 3-5) is modelled as a
+configurable number of client↔server round-trips before the data flow starts;
+the flow's ``created_at`` is the original request time, so FCT includes the
+setup latency for both SCDA and the baselines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.block_server import BlockServer
+from repro.cluster.client import UserClient
+from repro.cluster.content import Content, ContentClass, ContentClassifier
+from repro.cluster.front_end import FrontEndServer
+from repro.cluster.name_node import NameNodeServer, UnknownContentError
+from repro.cluster.placement import PlacementPolicy
+from repro.cluster.replication import ReplicationConfig, ReplicationManager, ReplicationTask
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import Flow, FlowKind
+from repro.network.topology import Node, NodeKind, Topology
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class StorageClusterConfig:
+    """Cluster-wide configuration."""
+
+    num_name_nodes: int = 3
+    block_size_bytes: float = 64 * 1024 * 1024.0
+    #: connection-setup latency, in units of the client<->server base RTT
+    setup_rtts: float = 1.5
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    disk_capacity_bytes: float = 4e12
+
+    def __post_init__(self) -> None:
+        if self.num_name_nodes < 1:
+            raise ValueError("need at least one name node")
+        if self.block_size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if self.setup_rtts < 0:
+            raise ValueError("setup_rtts must be non-negative")
+        if self.disk_capacity_bytes <= 0:
+            raise ValueError("disk capacity must be positive")
+
+
+@dataclass
+class RequestRecord:
+    """Book-keeping for one client request (write or read)."""
+
+    request_id: int
+    kind: str                      #: "write" or "read"
+    client_id: str
+    content_id: str
+    size_bytes: float
+    created_at: float
+    flow_kind: FlowKind
+    primary_server: Optional[str] = None
+    flow: Optional[Flow] = None
+    completed_at: Optional[float] = None
+    replication_flows: List[Flow] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Request completion time including setup latency."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+
+class StorageCluster:
+    """The full SCDA data plane on top of a fabric."""
+
+    _request_ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        fabric: FabricSimulator,
+        placement: PlacementPolicy,
+        config: Optional[StorageClusterConfig] = None,
+        classifier: Optional[ContentClassifier] = None,
+        on_request_completed: Optional[Callable[[RequestRecord], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.fabric = fabric
+        self.placement = placement
+        self.config = config or StorageClusterConfig()
+        self.classifier = classifier or ContentClassifier()
+        self.on_request_completed = on_request_completed
+
+        hosts = topology.hosts()
+        if not hosts:
+            raise ValueError("topology has no host nodes to run block servers on")
+        self.block_servers: Dict[str, BlockServer] = {
+            host.node_id: BlockServer(host, self.config.disk_capacity_bytes) for host in hosts
+        }
+        nns_count = min(self.config.num_name_nodes, len(hosts))
+        self.name_nodes: Dict[str, NameNodeServer] = {}
+        for index in range(nns_count):
+            nns_id = f"nns-{index}"
+            self.name_nodes[nns_id] = NameNodeServer(
+                nns_id, placement, self.classifier, self.config.block_size_bytes
+            )
+        self.front_end = FrontEndServer(list(self.name_nodes))
+        self.replication = ReplicationManager(self.config.replication)
+
+        self.clients: Dict[str, UserClient] = {
+            node.node_id: UserClient(node) for node in topology.clients()
+        }
+        self.requests: List[RequestRecord] = []
+        self._requests_by_flow: Dict[int, RequestRecord] = {}
+        self._content_registry: Dict[str, Content] = {}
+        self._nns_of_content: Dict[str, str] = {}
+
+        fabric.on_flow_finished(self._on_flow_finished)
+
+    # -- helpers ---------------------------------------------------------------------------
+    def _client_node(self, client: Union[Node, UserClient, str]) -> Node:
+        if isinstance(client, UserClient):
+            return client.node
+        if isinstance(client, Node):
+            return client
+        node = self.topology.node(str(client))
+        return node
+
+    def _server_node(self, server_id: str) -> Node:
+        return self.block_servers[server_id].node
+
+    def server_ids(self) -> List[str]:
+        """All block-server ids."""
+        return list(self.block_servers)
+
+    def name_node_for_client(self, client_id: str) -> NameNodeServer:
+        """Route a client key through the FES to its NNS."""
+        return self.name_nodes[self.front_end.route_client(client_id)]
+
+    def name_node_for_content(self, content_id: str) -> NameNodeServer:
+        """The NNS holding (or that will hold) the metadata of ``content_id``."""
+        if content_id in self._nns_of_content:
+            return self.name_nodes[self._nns_of_content[content_id]]
+        return self.name_nodes[self.front_end.route_content(content_id)]
+
+    def content(self, content_id: str) -> Content:
+        """Look up a stored content item."""
+        return self._content_registry[content_id]
+
+    def _setup_delay(self, a: Node, b: Node) -> float:
+        return self.config.setup_rtts * self.fabric.router.base_rtt(a, b)
+
+    # -- external write (Section VIII-A) ---------------------------------------------------------
+    def write(
+        self,
+        client: Union[Node, UserClient, str],
+        content: Content,
+        flow_kind: FlowKind = FlowKind.DATA,
+        created_at: Optional[float] = None,
+        priority_weight: float = 1.0,
+        reserve_bps: float = 0.0,
+    ) -> RequestRecord:
+        """Store ``content`` in the cloud on behalf of ``client``.
+
+        Returns immediately with a :class:`RequestRecord`; the data flow starts
+        after the connection-setup latency and the record is completed when the
+        flow finishes (replication continues in the background).
+        """
+        now = self.sim.now
+        created = now if created_at is None else created_at
+        client_node = self._client_node(client)
+        ucl = self.clients.get(client_node.node_id)
+
+        # FES hashes the client id and forwards to the responsible NNS (steps 1-2).
+        nns_id = self.front_end.route_client(client_node.node_id)
+        nns = self.name_nodes[nns_id]
+        # The NNS asks the RA/placement for the best BS (steps 3-5).
+        record = nns.register_write(content, self.server_ids(), now)
+        primary = record.primary_server
+        self._content_registry[content.content_id] = content
+        self._nns_of_content[content.content_id] = nns_id
+        if ucl is not None:
+            ucl.record_write(content.content_id)
+
+        request = RequestRecord(
+            request_id=next(self._request_ids),
+            kind="write",
+            client_id=client_node.node_id,
+            content_id=content.content_id,
+            size_bytes=content.size_bytes,
+            created_at=created,
+            flow_kind=flow_kind,
+            primary_server=primary,
+        )
+        self.requests.append(request)
+
+        # Steps 6-12: rate/window exchange — modelled as setup latency, then the
+        # data transfer starts (step 13).
+        primary_node = self._server_node(primary)
+        delay = self._setup_delay(client_node, primary_node)
+        self.sim.call_in(
+            delay,
+            self._start_write_flow,
+            request,
+            client_node,
+            primary_node,
+            priority_weight,
+            reserve_bps,
+        )
+        return request
+
+    def _start_write_flow(
+        self,
+        request: RequestRecord,
+        client_node: Node,
+        primary_node: Node,
+        priority_weight: float,
+        reserve_bps: float,
+    ) -> None:
+        meta = {"request_id": request.request_id, "role": "client-write"}
+        if reserve_bps > 0:
+            meta["reserve_bps"] = reserve_bps
+        flow = self.fabric.start_flow(
+            src=client_node,
+            dst=primary_node,
+            size_bytes=request.size_bytes,
+            kind=request.flow_kind,
+            created_at=request.created_at,
+            priority_weight=priority_weight,
+            meta=meta,
+        )
+        request.flow = flow
+        self._requests_by_flow[flow.flow_id] = request
+
+    # -- external read (Section VIII-C) -----------------------------------------------------------
+    def read(
+        self,
+        client: Union[Node, UserClient, str],
+        content_id: str,
+        flow_kind: FlowKind = FlowKind.DATA,
+        created_at: Optional[float] = None,
+        priority_weight: float = 1.0,
+    ) -> RequestRecord:
+        """Retrieve ``content_id`` for ``client``."""
+        now = self.sim.now
+        created = now if created_at is None else created_at
+        client_node = self._client_node(client)
+        ucl = self.clients.get(client_node.node_id)
+        if ucl is not None:
+            ucl.record_read()
+
+        nns = self.name_node_for_content(content_id)
+        if not nns.knows(content_id):
+            raise UnknownContentError(content_id)
+        source_id = nns.resolve_read(content_id, now)
+        source_node = self._server_node(source_id)
+        content = self._content_registry[content_id]
+        self.block_servers[source_id].record_read(content_id, content.size_bytes)
+
+        request = RequestRecord(
+            request_id=next(self._request_ids),
+            kind="read",
+            client_id=client_node.node_id,
+            content_id=content_id,
+            size_bytes=content.size_bytes,
+            created_at=created,
+            flow_kind=flow_kind,
+            primary_server=source_id,
+        )
+        self.requests.append(request)
+
+        delay = self._setup_delay(client_node, source_node)
+        self.sim.call_in(
+            delay, self._start_read_flow, request, source_node, client_node, priority_weight
+        )
+        return request
+
+    def _start_read_flow(
+        self,
+        request: RequestRecord,
+        source_node: Node,
+        client_node: Node,
+        priority_weight: float,
+    ) -> None:
+        flow = self.fabric.start_flow(
+            src=source_node,
+            dst=client_node,
+            size_bytes=request.size_bytes,
+            kind=request.flow_kind,
+            created_at=request.created_at,
+            priority_weight=priority_weight,
+            meta={"request_id": request.request_id, "role": "client-read"},
+        )
+        request.flow = flow
+        self._requests_by_flow[flow.flow_id] = request
+
+    # -- internal replication (Section VIII-B) -------------------------------------------------------
+    def _schedule_replication(self, request: RequestRecord) -> None:
+        content = self._content_registry[request.content_id]
+        if not self.replication.should_replicate(content.size_bytes):
+            return
+        nns = self.name_node_for_content(request.content_id)
+        targets: List[str] = []
+        primary = request.primary_server or ""
+        for _ in range(self.config.replication.extra_replicas):
+            target = nns.plan_replication(request.content_id, self.server_ids(), self.sim.now)
+            if target is None or target in targets:
+                break
+            targets.append(target)
+        tasks = self.replication.plan(request.content_id, content.size_bytes, primary, targets)
+        for task in tasks:
+            self.sim.call_in(task.start_after_s, self._start_replication_flow, request, task)
+
+    def _start_replication_flow(self, request: RequestRecord, task: ReplicationTask) -> None:
+        source = self._server_node(task.source_server)
+        target = self._server_node(task.target_server)
+        flow = self.fabric.start_flow(
+            src=source,
+            dst=target,
+            size_bytes=task.size_bytes,
+            kind=FlowKind.REPLICATION,
+            meta={
+                "request_id": request.request_id,
+                "role": "replication",
+                "content_id": task.content_id,
+                "target_server": task.target_server,
+            },
+        )
+        request.replication_flows.append(flow)
+        self._requests_by_flow[flow.flow_id] = request
+
+    # -- flow completion dispatch ---------------------------------------------------------------------
+    def _on_flow_finished(self, flow: Flow, now: float) -> None:
+        request = self._requests_by_flow.pop(flow.flow_id, None)
+        if request is None:
+            return
+        role = flow.meta.get("role")
+        if role == "client-write":
+            self._complete_write(request, flow, now)
+        elif role == "client-read":
+            request.completed_at = now
+            if self.on_request_completed is not None:
+                self.on_request_completed(request)
+        elif role == "replication":
+            self._complete_replication(request, flow)
+
+    def _complete_write(self, request: RequestRecord, flow: Flow, now: float) -> None:
+        primary = request.primary_server
+        nns = self.name_node_for_content(request.content_id)
+        if primary is not None:
+            server = self.block_servers[primary]
+            for block in nns.record_of(request.content_id).block_map:
+                if not server.has_block(block.block_id):
+                    server.store_block(block)
+            nns.commit_write(request.content_id, primary)
+        request.completed_at = now
+        if self.on_request_completed is not None:
+            self.on_request_completed(request)
+        self._schedule_replication(request)
+
+    def _complete_replication(self, request: RequestRecord, flow: Flow) -> None:
+        target_id = str(flow.meta.get("target_server"))
+        content_id = str(flow.meta.get("content_id"))
+        nns = self.name_node_for_content(content_id)
+        server = self.block_servers.get(target_id)
+        if server is not None:
+            for block in nns.record_of(content_id).block_map:
+                if not server.has_block(block.block_id):
+                    server.store_block(block)
+            nns.commit_replica(content_id, target_id)
+        self.replication.tasks_completed += 1
+
+    # -- reporting ------------------------------------------------------------------------------------
+    def completed_requests(self, kind: Optional[str] = None) -> List[RequestRecord]:
+        """Requests that have finished (optionally filtered by 'write'/'read')."""
+        return [
+            r
+            for r in self.requests
+            if r.completed and (kind is None or r.kind == kind)
+        ]
+
+    def pending_requests(self) -> List[RequestRecord]:
+        """Requests still waiting for their data flow to finish."""
+        return [r for r in self.requests if not r.completed]
+
+    def replica_distribution(self) -> Dict[str, int]:
+        """Number of stored blocks per block server."""
+        return {sid: len(bs.blocks()) for sid, bs in self.block_servers.items()}

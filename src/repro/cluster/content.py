@@ -1,0 +1,201 @@
+"""Content model and activity classification (Section II-B of the paper).
+
+Contents are classified by their write/read frequencies:
+
+* **HWHR** — high write, high read: interactive content (chat, collaborative
+  editing, hot database tables);
+* **LWHR** — low write, high read: e.g. a popular video uploaded once;
+* **HWLR** — high write, low read: e.g. logs, telemetry;
+* **LWLR** — low write, low read: passive content (old email attachments);
+  the Yahoo! HDFS study cited by the paper found ~60 % of content untouched
+  over 20 days.
+
+The thresholds separating "high" from "low", and the interactivity interval
+(5 seconds in the paper), are user-defined parameters of the classifier.
+Applications may declare the class up front; otherwise the RMs learn it from
+the observed access pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ContentClass(enum.Enum):
+    """The four activity classes of Section II-B."""
+
+    HWHR = "hwhr"  #: high write, high read — interactive
+    LWHR = "lwhr"  #: low write, high read — semi-interactive (read heavy)
+    HWLR = "hwlr"  #: high write, low read — semi-interactive (write heavy)
+    LWLR = "lwlr"  #: low write, low read — passive
+
+    @property
+    def is_interactive(self) -> bool:
+        """True for content whose reads and writes interleave tightly."""
+        return self is ContentClass.HWHR
+
+    @property
+    def is_semi_interactive(self) -> bool:
+        """True when exactly one of the write/read frequencies is high."""
+        return self in (ContentClass.LWHR, ContentClass.HWLR)
+
+    @property
+    def is_passive(self) -> bool:
+        """True for low write, low read content."""
+        return self is ContentClass.LWLR
+
+    @property
+    def is_active(self) -> bool:
+        """Everything that is not passive."""
+        return not self.is_passive
+
+
+@dataclass
+class AccessStats:
+    """Observed access pattern of one content item."""
+
+    writes: int = 0
+    reads: int = 0
+    first_access_s: Optional[float] = None
+    last_access_s: Optional[float] = None
+    last_write_s: Optional[float] = None
+    last_read_s: Optional[float] = None
+    #: smallest observed gap between a write and the following read (or vice versa)
+    min_interleave_gap_s: float = float("inf")
+
+    def record_write(self, now: float) -> None:
+        """Account one write at time ``now``."""
+        if self.last_read_s is not None:
+            self.min_interleave_gap_s = min(self.min_interleave_gap_s, abs(now - self.last_read_s))
+        self.writes += 1
+        self.last_write_s = now
+        self._touch(now)
+
+    def record_read(self, now: float) -> None:
+        """Account one read at time ``now``."""
+        if self.last_write_s is not None:
+            self.min_interleave_gap_s = min(
+                self.min_interleave_gap_s, abs(now - self.last_write_s)
+            )
+        self.reads += 1
+        self.last_read_s = now
+        self._touch(now)
+
+    def _touch(self, now: float) -> None:
+        if self.first_access_s is None:
+            self.first_access_s = now
+        self.last_access_s = now
+
+    def write_rate_per_s(self, horizon_s: float) -> float:
+        """Writes per second over ``horizon_s``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self.writes / horizon_s
+
+    def read_rate_per_s(self, horizon_s: float) -> float:
+        """Reads per second over ``horizon_s``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self.reads / horizon_s
+
+
+@dataclass
+class Content:
+    """A stored content item (a file, an object, a video, a table region)."""
+
+    content_id: str
+    size_bytes: float
+    declared_class: Optional[ContentClass] = None
+    owner: str = ""
+    stats: AccessStats = field(default_factory=AccessStats)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    _auto_ids = itertools.count()
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"content size must be positive, got {self.size_bytes}")
+
+    @classmethod
+    def create(
+        cls,
+        size_bytes: float,
+        declared_class: Optional[ContentClass] = None,
+        owner: str = "",
+        prefix: str = "content",
+    ) -> "Content":
+        """Create a content item with a generated id."""
+        return cls(f"{prefix}-{next(cls._auto_ids)}", size_bytes, declared_class, owner)
+
+
+class ContentClassifier:
+    """Derives a :class:`ContentClass` from declared type or observed accesses.
+
+    Parameters
+    ----------
+    high_write_per_s / high_read_per_s:
+        Rates above which the write/read frequency counts as "high".
+    interactivity_interval_s:
+        Maximum write→read interleaving gap for content to be *interactive*
+        (5 seconds in the paper).
+    observation_horizon_s:
+        The window over which rates are computed.
+    """
+
+    def __init__(
+        self,
+        high_write_per_s: float = 1.0 / 60.0,
+        high_read_per_s: float = 1.0 / 60.0,
+        interactivity_interval_s: float = 5.0,
+        observation_horizon_s: float = 3600.0,
+    ) -> None:
+        if high_write_per_s <= 0 or high_read_per_s <= 0:
+            raise ValueError("frequency thresholds must be positive")
+        if interactivity_interval_s <= 0:
+            raise ValueError("interactivity_interval_s must be positive")
+        if observation_horizon_s <= 0:
+            raise ValueError("observation_horizon_s must be positive")
+        self.high_write_per_s = float(high_write_per_s)
+        self.high_read_per_s = float(high_read_per_s)
+        self.interactivity_interval_s = float(interactivity_interval_s)
+        self.observation_horizon_s = float(observation_horizon_s)
+
+    def classify(self, content: Content) -> ContentClass:
+        """The effective class: the declared one, else the learned one."""
+        if content.declared_class is not None:
+            return content.declared_class
+        return self.classify_from_stats(content.stats)
+
+    def classify_from_stats(self, stats: AccessStats) -> ContentClass:
+        """Classify purely from the observed access pattern."""
+        horizon = self.observation_horizon_s
+        if stats.last_access_s is not None and stats.first_access_s is not None:
+            observed = stats.last_access_s - stats.first_access_s
+            if observed > 0:
+                horizon = min(horizon, max(observed, 1.0))
+        high_write = stats.write_rate_per_s(horizon) >= self.high_write_per_s
+        high_read = stats.read_rate_per_s(horizon) >= self.high_read_per_s
+        if high_write and high_read:
+            return ContentClass.HWHR
+        if high_write:
+            return ContentClass.HWLR
+        if high_read:
+            return ContentClass.LWHR
+        return ContentClass.LWLR
+
+    def is_interactive(self, content: Content) -> bool:
+        """Interactive = HWHR *and* interleaving within the interactivity interval.
+
+        The paper: "Interactive content is where write and read operations are
+        interleaved in less than a few seconds interval with high frequency."
+        Content that has never shown tight interleaving falls back to its
+        frequency class alone.
+        """
+        cls = self.classify(content)
+        if cls is not ContentClass.HWHR:
+            return False
+        gap = content.stats.min_interleave_gap_s
+        return gap == float("inf") or gap <= self.interactivity_interval_s

@@ -1,0 +1,61 @@
+"""The front-end server (FES) tier.
+
+The FES is the light-weight entry point that removes the single-name-node
+bottleneck of GFS/HDFS: it hashes the client (or content) identifier and
+forwards the request to the responsible NNS — ``hash(id) mod N_NNS`` in the
+paper.  The FES keeps no per-request state, so it can be replicated freely
+(the paper also allows FES agents to live at the clients or the NNSs; the
+hashing logic is identical in all three deployments, so one class covers
+them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+
+def stable_hash(key: str) -> int:
+    """A deterministic, platform-independent 64-bit hash of ``key``.
+
+    Python's builtin ``hash`` is salted per process, which would make
+    placement non-reproducible across runs; SHA-1 truncation is stable.
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FrontEndServer:
+    """Hashes request keys onto name nodes."""
+
+    def __init__(self, name_node_ids: Sequence[str], fes_id: str = "fes-0") -> None:
+        if not name_node_ids:
+            raise ValueError("FES needs at least one name node")
+        self.fes_id = fes_id
+        self.name_node_ids: List[str] = list(name_node_ids)
+        self.requests_forwarded = 0
+
+    @property
+    def num_name_nodes(self) -> int:
+        return len(self.name_node_ids)
+
+    def route(self, key: str) -> str:
+        """The NNS responsible for ``key`` (``hash(key) mod N_NNS``)."""
+        index = stable_hash(key) % len(self.name_node_ids)
+        self.requests_forwarded += 1
+        return self.name_node_ids[index]
+
+    def route_client(self, client_id: str) -> str:
+        """Route by client id (external write/read requests, Section VIII-A/C)."""
+        return self.route(f"client:{client_id}")
+
+    def route_content(self, content_id: str) -> str:
+        """Route by content id (internal replication requests, Section VIII-B)."""
+        return self.route(f"content:{content_id}")
+
+    def load_per_name_node(self, keys: Sequence[str]) -> dict:
+        """How many of ``keys`` map to each NNS (for balance diagnostics)."""
+        counts = {nns: 0 for nns in self.name_node_ids}
+        for key in keys:
+            counts[self.name_node_ids[stable_hash(key) % len(self.name_node_ids)]] += 1
+        return counts

@@ -1,0 +1,120 @@
+"""Host-side resource contention: disks and CPUs as the bottleneck.
+
+Section VI-A of the paper: the RM caps the advertised link rates with
+``R_other`` — "a function of the CPU and disk loads.  If either the available
+CPU speed or disk speed are too low, R_other decreases accordingly ... The CPU
+and disk usage can be profiled to get what CPU and/or usage can serve what
+link rate.  This approach allows SCDA to be a multi-resource allocation
+mechanism."
+
+:class:`HostResourceSimulator` provides exactly that profile: each block
+server has a disk with finite sequential bandwidth and a CPU with finite
+request-processing throughput; the achievable network rate is the minimum of
+what the disk and CPU can sustain given the server's concurrent transfers and
+background load.  The simulator plugs into the controller through the
+standard :class:`~repro.core.monitors.OtherResourceModel` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.monitors import OtherResourceModel
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import FlowKind
+
+
+@dataclass
+class HostResourceProfile:
+    """Static capability of one server's local resources."""
+
+    #: sequential disk bandwidth available for content reads/writes
+    disk_bandwidth_bps: float = 6.0e9        # ~750 MB/s NVMe-class
+    #: network rate one fully-available CPU core can push (copy/checksum/TLS)
+    cpu_rate_per_core_bps: float = 4.0e9
+    cores: int = 8
+    #: fraction of CPU permanently consumed by background/compute tasks
+    background_cpu_fraction: float = 0.0
+    #: fraction of disk bandwidth consumed by background tasks (compaction, scrubbing)
+    background_disk_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.disk_bandwidth_bps <= 0 or self.cpu_rate_per_core_bps <= 0:
+            raise ValueError("disk and CPU rates must be positive")
+        if self.cores < 1:
+            raise ValueError("need at least one core")
+        for fraction in (self.background_cpu_fraction, self.background_disk_fraction):
+            if not (0.0 <= fraction < 1.0):
+                raise ValueError("background fractions must be in [0, 1)")
+
+    @property
+    def available_cpu_rate_bps(self) -> float:
+        """Aggregate network rate the CPUs can serve after background load."""
+        return self.cpu_rate_per_core_bps * self.cores * (1.0 - self.background_cpu_fraction)
+
+    @property
+    def available_disk_rate_bps(self) -> float:
+        """Disk bandwidth left after background I/O."""
+        return self.disk_bandwidth_bps * (1.0 - self.background_disk_fraction)
+
+
+class HostResourceSimulator(OtherResourceModel):
+    """Derives per-host ``R_other`` limits from disk/CPU profiles and live load.
+
+    The limit exposed for a host is the *per-direction* rate its local
+    resources can sustain: ``min(disk, cpu)`` divided between the transfers
+    currently using the host (every byte written or read crosses both the
+    disk and the CPU once).  Hosts without an explicit profile use the
+    ``default_profile``.
+    """
+
+    def __init__(
+        self,
+        fabric: Optional[FabricSimulator] = None,
+        default_profile: Optional[HostResourceProfile] = None,
+    ) -> None:
+        super().__init__()
+        self.fabric = fabric
+        self.default_profile = default_profile or HostResourceProfile()
+        self._profiles: Dict[str, HostResourceProfile] = {}
+
+    # -- configuration -----------------------------------------------------------------
+    def set_profile(self, host_id: str, profile: HostResourceProfile) -> None:
+        """Assign an explicit resource profile to one host."""
+        self._profiles[host_id] = profile
+
+    def profile_of(self, host_id: str) -> HostResourceProfile:
+        """The profile governing ``host_id`` (default when not set)."""
+        return self._profiles.get(host_id, self.default_profile)
+
+    def attach_fabric(self, fabric: FabricSimulator) -> None:
+        """Bind to the fabric whose active flows define the live load."""
+        self.fabric = fabric
+
+    # -- the OtherResourceModel interface -------------------------------------------------
+    def concurrent_transfers(self, host_id: str) -> int:
+        """Number of active flows that read from or write to ``host_id``."""
+        if self.fabric is None:
+            return 0
+        return sum(
+            1
+            for flow in self.fabric.active_flows
+            if host_id in (flow.src.node_id, flow.dst.node_id)
+        )
+
+    def sustainable_rate_bps(self, host_id: str) -> float:
+        """Aggregate rate the host's disk+CPU can sustain right now."""
+        profile = self.profile_of(host_id)
+        return min(profile.available_disk_rate_bps, profile.available_cpu_rate_bps)
+
+    def limits(self, host_id: str, now: float = 0.0) -> Tuple[float, float]:
+        """Per-flow (uplink, downlink) caps for ``host_id``.
+
+        The sustainable aggregate rate is shared by the host's concurrent
+        transfers; with no transfers the full rate is available (a new flow
+        should see the headroom, not zero).
+        """
+        aggregate = self.sustainable_rate_bps(host_id)
+        share = aggregate / max(1, self.concurrent_transfers(host_id))
+        return share, share

@@ -1,0 +1,134 @@
+"""Name-node servers (NNS): the metadata tier.
+
+Each NNS keeps, for the contents hashed to it,
+
+* the block map (content -> blocks -> replica servers),
+* the content descriptor (size, declared/learned class, access stats), and
+* the placement decisions, delegated to a :class:`PlacementPolicy`.
+
+Unlike GFS/HDFS there are *several* NNSs behind the FES, so the metadata load
+is spread; the FES (or an NNS-side agent) routes each request to the NNS
+responsible for its key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.block import Block, BlockMap
+from repro.cluster.content import Content, ContentClass, ContentClassifier
+from repro.cluster.placement import PlacementError, PlacementPolicy
+
+
+class UnknownContentError(KeyError):
+    """Raised when an NNS is asked about content it has no metadata for."""
+
+
+@dataclass
+class ContentRecord:
+    """Everything one NNS knows about one content item."""
+
+    content: Content
+    block_map: BlockMap
+    primary_server: Optional[str] = None
+
+
+class NameNodeServer:
+    """One metadata server."""
+
+    def __init__(
+        self,
+        nns_id: str,
+        placement: PlacementPolicy,
+        classifier: Optional[ContentClassifier] = None,
+        block_size_bytes: float = 64 * 1024 * 1024.0,
+    ) -> None:
+        if block_size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        self.nns_id = nns_id
+        self.placement = placement
+        self.classifier = classifier or ContentClassifier()
+        self.block_size_bytes = float(block_size_bytes)
+        self._records: Dict[str, ContentRecord] = {}
+        self.write_requests = 0
+        self.read_requests = 0
+        self.replication_requests = 0
+
+    # -- metadata --------------------------------------------------------------------------
+    def knows(self, content_id: str) -> bool:
+        """True if this NNS holds metadata for ``content_id``."""
+        return content_id in self._records
+
+    def record_of(self, content_id: str) -> ContentRecord:
+        """The metadata record (raises :class:`UnknownContentError` if absent)."""
+        try:
+            return self._records[content_id]
+        except KeyError:
+            raise UnknownContentError(content_id) from None
+
+    def contents(self) -> List[str]:
+        """All content ids managed by this NNS."""
+        return list(self._records)
+
+    @property
+    def metadata_entries(self) -> int:
+        """Number of (content, block) metadata entries held."""
+        return sum(len(rec.block_map) for rec in self._records.values())
+
+    # -- request handling --------------------------------------------------------------------
+    def register_write(
+        self, content: Content, candidates: Sequence[str], now: float
+    ) -> ContentRecord:
+        """Handle an external write request: pick the primary BS, create metadata."""
+        self.write_requests += 1
+        content.stats.record_write(now)
+        record = self._records.get(content.content_id)
+        if record is None:
+            record = ContentRecord(
+                content=content,
+                block_map=BlockMap(content.content_id, content.size_bytes, self.block_size_bytes),
+            )
+            self._records[content.content_id] = record
+        primary = self.placement.select_primary(content, candidates)
+        record.primary_server = primary
+        return record
+
+    def commit_write(self, content_id: str, server_id: str) -> None:
+        """The write finished: record the replicas on ``server_id``."""
+        record = self.record_of(content_id)
+        for block in record.block_map:
+            block.add_replica(server_id)
+
+    def plan_replication(
+        self, content_id: str, candidates: Sequence[str], now: float
+    ) -> Optional[str]:
+        """Pick the replica target for freshly written content (Section VIII-B).
+
+        Returns None when no distinct candidate exists (single-server cluster).
+        """
+        self.replication_requests += 1
+        record = self.record_of(content_id)
+        primary = record.primary_server or ""
+        pool = [c for c in candidates if c != primary]
+        if not pool:
+            return None
+        return self.placement.select_replica(record.content, candidates, primary)
+
+    def commit_replica(self, content_id: str, server_id: str) -> None:
+        """The replication transfer finished: add the replica to the metadata."""
+        self.commit_write(content_id, server_id)
+
+    def resolve_read(self, content_id: str, now: float) -> str:
+        """Handle an external read: pick the replica with the best read rate."""
+        self.read_requests += 1
+        record = self.record_of(content_id)
+        record.content.stats.record_read(now)
+        replicas = record.block_map.servers_with_full_copy() or record.block_map.servers()
+        if not replicas:
+            raise PlacementError(f"content {content_id} has no stored replicas yet")
+        return self.placement.select_read_source(record.content, replicas)
+
+    def content_class(self, content_id: str) -> ContentClass:
+        """Current (declared or learned) class of the content."""
+        return self.classifier.classify(self.record_of(content_id).content)

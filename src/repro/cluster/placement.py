@@ -1,0 +1,140 @@
+"""Placement policies: which block server receives a write / serves a read.
+
+The policy is the *other half* of the paper's comparison (besides rate
+control):
+
+* :class:`RandomPlacement` — the baseline: uniform random server selection,
+  the behaviour of VL2's VLB/ECMP-style placement and of Hedera for mice
+  flows ("RandTCP" when combined with the TCP transport);
+* :class:`ScdaPlacement` — delegates to the SCDA controller's content-aware,
+  rate-metric-driven selection (Section VII);
+* :class:`RoundRobinPlacement` and :class:`LeastLoadedPlacement` — common
+  engineering baselines used in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.content import Content, ContentClass, ContentClassifier
+
+
+class PlacementError(Exception):
+    """Raised when a policy cannot pick a server."""
+
+
+class PlacementPolicy:
+    """Interface: choose primary, replica and read-source servers."""
+
+    name = "base"
+
+    def select_primary(self, content: Content, candidates: Sequence[str]) -> str:
+        """The server that receives the client's write."""
+        raise NotImplementedError
+
+    def select_replica(
+        self, content: Content, candidates: Sequence[str], primary: str
+    ) -> str:
+        """The server that receives the replica (must differ from primary if possible)."""
+        pool = [c for c in candidates if c != primary] or list(candidates)
+        return self.select_primary(content, pool)
+
+    def select_read_source(self, content: Content, replicas: Sequence[str]) -> str:
+        """Which replica serves a read."""
+        if not replicas:
+            raise PlacementError(f"content {content.content_id} has no replicas")
+        return self.select_primary(content, replicas)
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random selection (the RandTCP baseline's placement)."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, seed: int = 0) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def select_primary(self, content: Content, candidates: Sequence[str]) -> str:
+        if not candidates:
+            raise PlacementError("no candidate servers")
+        return list(candidates)[int(self.rng.integers(0, len(candidates)))]
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through the servers in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_primary(self, content: Content, candidates: Sequence[str]) -> str:
+        if not candidates:
+            raise PlacementError("no candidate servers")
+        pool = list(candidates)
+        choice = pool[self._next % len(pool)]
+        self._next += 1
+        return choice
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Pick the server with the fewest active flows (simple load balancing).
+
+    Needs a fabric to inspect; the load of a server is the number of active
+    flows whose source or destination is that server's host.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, fabric) -> None:
+        if fabric is None:
+            raise ValueError("LeastLoadedPlacement requires a fabric")
+        self.fabric = fabric
+
+    def _load(self, server_id: str) -> int:
+        return sum(
+            1
+            for flow in self.fabric.active_flows
+            if flow.src.node_id == server_id or flow.dst.node_id == server_id
+        )
+
+    def select_primary(self, content: Content, candidates: Sequence[str]) -> str:
+        if not candidates:
+            raise PlacementError("no candidate servers")
+        pool = list(candidates)
+        loads = [self._load(c) for c in pool]
+        return pool[int(np.argmin(loads))]
+
+
+class ScdaPlacement(PlacementPolicy):
+    """SCDA's content-aware selection, backed by the controller's RM/RA rates."""
+
+    name = "scda"
+
+    def __init__(self, controller, classifier: Optional[ContentClassifier] = None) -> None:
+        if controller is None:
+            raise ValueError("ScdaPlacement requires an ScdaController")
+        self.controller = controller
+        self.classifier = classifier or ContentClassifier()
+
+    def _class_of(self, content: Content) -> ContentClass:
+        return self.classifier.classify(content)
+
+    def select_primary(self, content: Content, candidates: Sequence[str]) -> str:
+        if not candidates:
+            raise PlacementError("no candidate servers")
+        return self.controller.select_primary(self._class_of(content), list(candidates))
+
+    def select_replica(self, content: Content, candidates: Sequence[str], primary: str) -> str:
+        if not candidates:
+            raise PlacementError("no candidate servers")
+        return self.controller.select_replica(
+            self._class_of(content), list(candidates), primary_id=primary
+        )
+
+    def select_read_source(self, content: Content, replicas: Sequence[str]) -> str:
+        if not replicas:
+            raise PlacementError(f"content {content.content_id} has no replicas")
+        return self.controller.select_read_source(self._class_of(content), list(replicas))

@@ -1,0 +1,103 @@
+"""Replication management (Section VIII-B).
+
+Once a client has written content to the block server offering the best write
+rate, that server replicates the content to another server chosen so that
+future reads are fast (and, for passive content, so that dormant servers stay
+dormant).  The :class:`ReplicationManager` decides *whether*, *when* and *how
+many times* to replicate; the :class:`~repro.cluster.cluster.StorageCluster`
+executes the resulting transfer as an internal flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ReplicationConfig:
+    """Replication policy knobs."""
+
+    enabled: bool = True
+    #: number of replicas to create beyond the primary copy
+    extra_replicas: int = 1
+    #: delay between the client write finishing and replication starting
+    start_delay_s: float = 0.0
+    #: replicate only content at least this large (small control exchanges
+    #: are not worth replicating)
+    min_size_bytes: float = 64 * 1024.0
+
+    def __post_init__(self) -> None:
+        if self.extra_replicas < 0:
+            raise ValueError("extra_replicas must be non-negative")
+        if self.start_delay_s < 0:
+            raise ValueError("start_delay_s must be non-negative")
+        if self.min_size_bytes < 0:
+            raise ValueError("min_size_bytes must be non-negative")
+
+
+@dataclass
+class ReplicationTask:
+    """One planned replication transfer."""
+
+    content_id: str
+    source_server: str
+    target_server: str
+    size_bytes: float
+    start_after_s: float = 0.0
+
+
+class ReplicationManager:
+    """Plans replication transfers after each successful write."""
+
+    def __init__(self, config: Optional[ReplicationConfig] = None) -> None:
+        self.config = config or ReplicationConfig()
+        self.tasks_planned = 0
+        self.tasks_completed = 0
+
+    def should_replicate(self, size_bytes: float) -> bool:
+        """Whether content of this size gets replicated at all."""
+        return (
+            self.config.enabled
+            and self.config.extra_replicas > 0
+            and size_bytes >= self.config.min_size_bytes
+        )
+
+    def plan(
+        self,
+        content_id: str,
+        size_bytes: float,
+        primary_server: str,
+        chosen_targets: Sequence[str],
+    ) -> List[ReplicationTask]:
+        """Create the replication tasks for one freshly written content item.
+
+        ``chosen_targets`` are the servers already picked by the placement
+        policy (one per extra replica); targets equal to the primary or
+        duplicated are dropped.
+        """
+        if not self.should_replicate(size_bytes):
+            return []
+        tasks: List[ReplicationTask] = []
+        seen = {primary_server}
+        for target in chosen_targets:
+            if target in seen:
+                continue
+            seen.add(target)
+            tasks.append(
+                ReplicationTask(
+                    content_id=content_id,
+                    source_server=primary_server,
+                    target_server=target,
+                    size_bytes=size_bytes,
+                    start_after_s=self.config.start_delay_s,
+                )
+            )
+            if len(tasks) >= self.config.extra_replicas:
+                break
+        self.tasks_planned += len(tasks)
+        return tasks
+
+    def mark_completed(self, task: ReplicationTask) -> None:
+        """Account a finished replication transfer."""
+        self.tasks_completed += 1

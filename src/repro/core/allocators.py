@@ -1,0 +1,229 @@
+"""Resource allocators (RA) — Section III-B and VI-A of the paper.
+
+One RA is associated with every switch.  Each control interval the RA
+
+* aggregates the rate sums / effective flow counts reported by its children
+  (RMs at level 1, RAs above),
+* computes the rate of its own uplink/downlink towards its parent via
+  equation 2,
+* keeps the best ``R̂`` among its children together with the identity of the
+  block server that achieves it (so the NNS can ask "which is the best BS in
+  this subtree?"), and
+* propagates rates up to its parent and back down to its children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rate_metric import LinkRateCalculator, ScdaParams
+from repro.network.flow import Flow
+from repro.network.topology import Link, Node
+
+
+@dataclass
+class BestServer:
+    """A candidate block server and the rate it can sustain."""
+
+    host_id: str
+    rate_bps: float
+
+    def better_than(self, other: Optional["BestServer"]) -> bool:
+        """True if this candidate has a strictly higher rate than ``other``."""
+        return other is None or self.rate_bps > other.rate_bps
+
+
+@dataclass
+class RaSummary:
+    """What an RA propagates to its parent each control interval."""
+
+    switch_id: str
+    level: int
+    rate_up_bps: float
+    rate_down_bps: float
+    best_up: Optional[BestServer]
+    best_down: Optional[BestServer]
+    best_min: Optional[BestServer]
+    aggregated_rate_sum_up_bps: float
+    aggregated_rate_sum_down_bps: float
+    sla_violated: bool
+
+
+class ResourceAllocator:
+    """The per-switch aggregation and allocation agent.
+
+    Parameters
+    ----------
+    switch:
+        The switch this RA is associated with.
+    level:
+        Tree level of the switch (1 = ToR, ``hmax`` = core).
+    uplink / downlink:
+        The directed links between this switch and its parent (``None`` for
+        the top-level RA, which has no parent inside the datacenter).
+    """
+
+    def __init__(
+        self,
+        switch: Node,
+        level: int,
+        uplink: Optional[Link],
+        downlink: Optional[Link],
+        params: Optional[ScdaParams] = None,
+        use_simplified_metric: bool = False,
+    ) -> None:
+        if level < 1:
+            raise ValueError("RA level must be >= 1")
+        self.switch = switch
+        self.level = int(level)
+        self.uplink = uplink
+        self.downlink = downlink
+        self.params = params or ScdaParams()
+        self.up_calc = (
+            LinkRateCalculator(
+                uplink.capacity_bps, self.params, use_simplified_metric, name=f"{switch.node_id}:up"
+            )
+            if uplink is not None
+            else None
+        )
+        self.down_calc = (
+            LinkRateCalculator(
+                downlink.capacity_bps,
+                self.params,
+                use_simplified_metric,
+                name=f"{switch.node_id}:down",
+            )
+            if downlink is not None
+            else None
+        )
+        #: best rates among the subtree rooted at this RA
+        self.best_up: Optional[BestServer] = None
+        self.best_down: Optional[BestServer] = None
+        self.best_min: Optional[BestServer] = None
+        #: most recent aggregated sums from children (used for SLA detection)
+        self.aggregated_rate_sum_up_bps = 0.0
+        self.aggregated_rate_sum_down_bps = 0.0
+        self.last_summary: Optional[RaSummary] = None
+
+    # -- own link rates ---------------------------------------------------------------------
+    def compute_own_rates(
+        self,
+        flows_up: Sequence[Flow],
+        flows_down: Sequence[Flow],
+        reserved_up_bps: float = 0.0,
+        reserved_down_bps: float = 0.0,
+    ) -> Tuple[float, float]:
+        """Equation 2 on the RA's own uplink/downlink towards its parent.
+
+        The top-level RA has no parent links; it reports unconstrained rates
+        (the constraint of the entry-point access links is applied per flow by
+        the transport, since each external client has its own access link).
+        """
+        if self.up_calc is not None:
+            up = self.up_calc.update(
+                queue_bytes=self.uplink.queue_bytes,
+                flow_rates_bps=[f.current_rate_bps for f in flows_up],
+                weights=[f.priority_weight for f in flows_up],
+                reserved_bps=reserved_up_bps,
+            )
+        else:
+            up = float("inf")
+        if self.down_calc is not None:
+            down = self.down_calc.update(
+                queue_bytes=self.downlink.queue_bytes,
+                flow_rates_bps=[f.current_rate_bps for f in flows_down],
+                weights=[f.priority_weight for f in flows_down],
+                reserved_bps=reserved_down_bps,
+            )
+        else:
+            down = float("inf")
+        return up, down
+
+    # -- aggregation ---------------------------------------------------------------------------
+    def aggregate(
+        self,
+        child_summaries: Sequence["ChildMetrics"],
+        own_up_bps: float,
+        own_down_bps: float,
+    ) -> RaSummary:
+        """Combine children metrics with the RA's own link rates (Figure 2).
+
+        ``R̂ = min(own R, max over children R̂)`` — the best rate obtainable
+        through this subtree is capped by this RA's own link to its parent.
+        """
+        best_up: Optional[BestServer] = None
+        best_down: Optional[BestServer] = None
+        best_min: Optional[BestServer] = None
+        sum_up = 0.0
+        sum_down = 0.0
+        child_violation = False
+        for child in child_summaries:
+            sum_up += child.rate_sum_up_bps
+            sum_down += child.rate_sum_down_bps
+            child_violation = child_violation or child.sla_violated
+            cand_up = BestServer(child.best_up_host, child.rate_up_bps)
+            cand_down = BestServer(child.best_down_host, child.rate_down_bps)
+            cand_min = BestServer(child.best_min_host, min(child.rate_up_bps, child.rate_down_bps))
+            if cand_up.better_than(best_up):
+                best_up = cand_up
+            if cand_down.better_than(best_down):
+                best_down = cand_down
+            if cand_min.better_than(best_min):
+                best_min = cand_min
+
+        # Cap the subtree's best rates by this RA's own links.
+        if best_up is not None:
+            best_up = BestServer(best_up.host_id, min(best_up.rate_bps, own_up_bps))
+        if best_down is not None:
+            best_down = BestServer(best_down.host_id, min(best_down.rate_bps, own_down_bps))
+        if best_min is not None:
+            best_min = BestServer(
+                best_min.host_id, min(best_min.rate_bps, own_up_bps, own_down_bps)
+            )
+
+        self.best_up, self.best_down, self.best_min = best_up, best_down, best_min
+        self.aggregated_rate_sum_up_bps = sum_up
+        self.aggregated_rate_sum_down_bps = sum_down
+
+        # SLA detection at this level: the aggregated demand of the subtree
+        # exceeds the effective capacity of the RA's own link (Section IV-A).
+        violated = child_violation
+        if self.up_calc is not None:
+            violated = violated or sum_up > self.up_calc.effective_capacity_bps(
+                self.uplink.queue_bytes
+            ) + 1e-9
+        if self.down_calc is not None:
+            violated = violated or sum_down > self.down_calc.effective_capacity_bps(
+                self.downlink.queue_bytes
+            ) + 1e-9
+
+        summary = RaSummary(
+            switch_id=self.switch.node_id,
+            level=self.level,
+            rate_up_bps=own_up_bps,
+            rate_down_bps=own_down_bps,
+            best_up=best_up,
+            best_down=best_down,
+            best_min=best_min,
+            aggregated_rate_sum_up_bps=sum_up,
+            aggregated_rate_sum_down_bps=sum_down,
+            sla_violated=violated,
+        )
+        self.last_summary = summary
+        return summary
+
+
+@dataclass
+class ChildMetrics:
+    """Metrics a child (RM or lower-level RA) exposes to its parent RA."""
+
+    child_id: str
+    rate_up_bps: float
+    rate_down_bps: float
+    rate_sum_up_bps: float
+    rate_sum_down_bps: float
+    best_up_host: str
+    best_down_host: str
+    best_min_host: str
+    sla_violated: bool = False

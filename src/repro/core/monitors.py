@@ -1,0 +1,185 @@
+"""Resource monitors (RM) — Section III-B and VI-A of the paper.
+
+One RM runs on (or next to) every block server.  Each control interval the RM
+
+* reads the queue lengths of its access-link switch interfaces,
+* computes the uplink/downlink rates ``R⁰ʲ`` via equation 2,
+* caps them with the server's *other-resource* rate ``R_other`` (CPU, disk,
+  application limits) to obtain ``R̂⁰ʲ = min(R⁰ʲ, R_other)``,
+* reports the weighted rate sums ``S`` and effective flow counts ``N̂`` to its
+  parent RA, and
+* receives back the per-level rates ``Ř`` that tell the server how fast it can
+  send to / receive from each level of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.rate_metric import LinkRateCalculator, ScdaParams
+from repro.network.flow import Flow
+from repro.network.topology import Link, Node, Topology
+
+
+class OtherResourceModel:
+    """Models the non-network bottlenecks of a server (``R_other`` in the paper).
+
+    The default model is unconstrained (infinite rates).  Subclasses or
+    instances with explicit per-host limits model busy CPUs, slow disks, or
+    application-limited sources; the SCDA rate metric then treats the network
+    capacity those flows cannot use as available to others (max-min fairness
+    across resources).
+    """
+
+    def __init__(self, default_up_bps: float = float("inf"), default_down_bps: float = float("inf")) -> None:
+        if default_up_bps <= 0 or default_down_bps <= 0:
+            raise ValueError("other-resource rates must be positive")
+        self.default_up_bps = float(default_up_bps)
+        self.default_down_bps = float(default_down_bps)
+        self._per_host: Dict[str, Tuple[float, float]] = {}
+
+    def set_host_limit(self, host_id: str, up_bps: float, down_bps: float) -> None:
+        """Set an explicit (uplink, downlink) limit for one host."""
+        if up_bps <= 0 or down_bps <= 0:
+            raise ValueError("other-resource rates must be positive")
+        self._per_host[host_id] = (float(up_bps), float(down_bps))
+
+    def clear_host_limit(self, host_id: str) -> None:
+        """Remove a per-host limit, restoring the defaults."""
+        self._per_host.pop(host_id, None)
+
+    def limits(self, host_id: str, now: float = 0.0) -> Tuple[float, float]:
+        """Return ``(uplink_bps, downlink_bps)`` limits for ``host_id``."""
+        return self._per_host.get(host_id, (self.default_up_bps, self.default_down_bps))
+
+
+@dataclass
+class RmReport:
+    """What an RM reports to its parent RA each control interval."""
+
+    host_id: str
+    rate_sum_up_bps: float
+    rate_sum_down_bps: float
+    n_eff_up: float
+    n_eff_down: float
+    rate_up_bps: float
+    rate_down_bps: float
+    sla_violated: bool
+
+
+class ResourceMonitor:
+    """The per-block-server monitoring and rate-computation agent."""
+
+    def __init__(
+        self,
+        host: Node,
+        uplink: Link,
+        downlink: Link,
+        params: Optional[ScdaParams] = None,
+        other_resources: Optional[OtherResourceModel] = None,
+        use_simplified_metric: bool = False,
+    ) -> None:
+        self.host = host
+        self.uplink = uplink
+        self.downlink = downlink
+        self.params = params or ScdaParams()
+        self.other_resources = other_resources or OtherResourceModel()
+        self.up_calc = LinkRateCalculator(
+            uplink.capacity_bps, self.params, use_simplified_metric, name=f"{host.node_id}:up"
+        )
+        self.down_calc = LinkRateCalculator(
+            downlink.capacity_bps, self.params, use_simplified_metric, name=f"{host.node_id}:down"
+        )
+        #: rates capped by other resources: R̂⁰ʲ
+        self.capped_up_bps = self.up_calc.current_rate_bps
+        self.capped_down_bps = self.down_calc.current_rate_bps
+        #: per-level rates pushed down from the RAs: level -> (up, down)
+        self.level_rates: Dict[int, Tuple[float, float]] = {}
+        #: per-content access counters used to learn content activity
+        self.access_counts: Dict[str, int] = {}
+        self.last_report: Optional[RmReport] = None
+
+    # -- measurement ---------------------------------------------------------------------
+    def measure(
+        self,
+        flows_up: Sequence[Flow],
+        flows_down: Sequence[Flow],
+        now: float,
+        reserved_up_bps: float = 0.0,
+        reserved_down_bps: float = 0.0,
+    ) -> RmReport:
+        """Run one control-interval update of the RM.
+
+        ``flows_up``/``flows_down`` are the flows currently crossing the
+        host's uplink/downlink; their delivered rates from the previous
+        interval are the ``R_j`` of equation 4.
+        """
+        up_rate = self.up_calc.update(
+            queue_bytes=self.uplink.queue_bytes,
+            flow_rates_bps=[f.current_rate_bps for f in flows_up],
+            weights=[f.priority_weight for f in flows_up],
+            reserved_bps=reserved_up_bps,
+        )
+        down_rate = self.down_calc.update(
+            queue_bytes=self.downlink.queue_bytes,
+            flow_rates_bps=[f.current_rate_bps for f in flows_down],
+            weights=[f.priority_weight for f in flows_down],
+            reserved_bps=reserved_down_bps,
+        )
+        other_up, other_down = self.other_resources.limits(self.host.node_id, now)
+        self.capped_up_bps = min(up_rate, other_up)
+        self.capped_down_bps = min(down_rate, other_down)
+        self.level_rates[0] = (self.capped_up_bps, self.capped_down_bps)
+
+        report = RmReport(
+            host_id=self.host.node_id,
+            rate_sum_up_bps=self.up_calc.state.rate_sum_bps,
+            rate_sum_down_bps=self.down_calc.state.rate_sum_bps,
+            n_eff_up=self.up_calc.effective_flows,
+            n_eff_down=self.down_calc.effective_flows,
+            rate_up_bps=self.capped_up_bps,
+            rate_down_bps=self.capped_down_bps,
+            sla_violated=self.up_calc.sla_violated or self.down_calc.sla_violated,
+        )
+        self.last_report = report
+        return report
+
+    # -- downward propagation ----------------------------------------------------------------
+    def receive_level_rate(self, level: int, up_bps: float, down_bps: float) -> None:
+        """Store the best rate up to tree level ``level`` (Ř in Figure 2)."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        self.level_rates[level] = (float(up_bps), float(down_bps))
+
+    def rate_to_level(self, level: int) -> Tuple[float, float]:
+        """``(uplink, downlink)`` rate the server can sustain up to ``level``.
+
+        Falls back to the deepest known level when the requested one has not
+        been propagated yet (e.g. before the first control interval).
+        """
+        if level in self.level_rates:
+            return self.level_rates[level]
+        if not self.level_rates:
+            return (self.capped_up_bps, self.capped_down_bps)
+        deepest = max(k for k in self.level_rates if k <= level) if any(
+            k <= level for k in self.level_rates
+        ) else min(self.level_rates)
+        return self.level_rates[deepest]
+
+    # -- content access tracking (used to classify content activity) ---------------------------
+    def record_access(self, content_id: str, count: int = 1) -> None:
+        """Count an access to ``content_id`` served by this BS."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.access_counts[content_id] = self.access_counts.get(content_id, 0) + count
+
+    def popularity(self, content_id: str) -> int:
+        """Number of recorded accesses for ``content_id``."""
+        return self.access_counts.get(content_id, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RM {self.host.node_id} up={self.capped_up_bps / 1e6:.1f}Mbps "
+            f"down={self.capped_down_bps / 1e6:.1f}Mbps>"
+        )

@@ -1,0 +1,118 @@
+"""OpenFlow-based QoS prioritization (Section IV-B).
+
+The paper notes that the priority mechanism can alternatively be enforced by
+OpenFlow switches: each switch already keeps a per-flow packet counter
+``Cnt_j``; serving the flow with the *smallest* counter first approximates
+shortest-job-first, because flows that have already sent a lot are delayed
+(their ACKs slow down), reducing their rates.  RMs can also push explicit
+priorities to the switch through the RA.
+
+This module models that enforcement point at flow granularity: an
+:class:`OpenFlowSwitch` tracks per-flow packet counts, and the
+:class:`OpenFlowSjfScheduler` converts the counters (or pushed priorities)
+into the per-flow weights consumed by the rate allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.network.flow import Flow
+
+
+@dataclass
+class FlowTableEntry:
+    """One OpenFlow flow-table entry with its counters."""
+
+    flow_id: int
+    packet_count: int = 0
+    byte_count: float = 0.0
+    priority: Optional[float] = None  #: priority pushed by an RM/RA, if any
+
+
+class OpenFlowSwitch:
+    """A minimal OpenFlow switch model: per-flow counters plus priority hints."""
+
+    def __init__(self, switch_id: str, mtu_bytes: float = 1500.0) -> None:
+        if mtu_bytes <= 0:
+            raise ValueError("mtu_bytes must be positive")
+        self.switch_id = switch_id
+        self.mtu_bytes = float(mtu_bytes)
+        self.table: Dict[int, FlowTableEntry] = {}
+
+    def observe(self, flow: Flow, bytes_sent: float) -> None:
+        """Account ``bytes_sent`` of ``flow`` through this switch."""
+        if bytes_sent < 0:
+            raise ValueError("bytes_sent must be non-negative")
+        entry = self.table.setdefault(flow.flow_id, FlowTableEntry(flow.flow_id))
+        entry.byte_count += bytes_sent
+        entry.packet_count += int(bytes_sent // self.mtu_bytes) + (1 if bytes_sent > 0 else 0)
+
+    def set_priority(self, flow_id: int, priority: float) -> None:
+        """Install an explicit priority pushed down from an RA."""
+        if priority <= 0:
+            raise ValueError("priority must be positive")
+        entry = self.table.setdefault(flow_id, FlowTableEntry(flow_id))
+        entry.priority = float(priority)
+
+    def remove(self, flow_id: int) -> None:
+        """Remove a finished flow's table entry."""
+        self.table.pop(flow_id, None)
+
+    def packet_count(self, flow_id: int) -> int:
+        """The switch's packet counter for ``flow_id`` (0 if unknown)."""
+        entry = self.table.get(flow_id)
+        return entry.packet_count if entry else 0
+
+    def service_order(self, flow_ids: Iterable[int]) -> List[int]:
+        """Flows ordered the way the switch would serve them (fewest packets first)."""
+        ids = list(flow_ids)
+        return sorted(ids, key=lambda fid: (self.packet_count(fid), fid))
+
+
+class OpenFlowSjfScheduler:
+    """Turns switch counters into SJF-like priority weights.
+
+    Flows that have sent fewer packets get proportionally larger weights, so
+    the weighted allocation (equation 6) serves them faster — the same effect
+    as the switch literally dequeuing their packets first.
+    """
+
+    def __init__(
+        self,
+        switch: OpenFlowSwitch,
+        min_weight: float = 0.25,
+        max_weight: float = 4.0,
+    ) -> None:
+        if not (0.0 < min_weight <= max_weight):
+            raise ValueError("need 0 < min_weight <= max_weight")
+        self.switch = switch
+        self.min_weight = float(min_weight)
+        self.max_weight = float(max_weight)
+
+    def weights(self, flows: Sequence[Flow]) -> Dict[int, float]:
+        """Per-flow weights; explicit priorities (if pushed) win over counters."""
+        if not flows:
+            return {}
+        counts = {f.flow_id: self.switch.packet_count(f.flow_id) for f in flows}
+        mean_count = max(1.0, sum(counts.values()) / len(counts))
+        weights: Dict[int, float] = {}
+        for flow in flows:
+            entry = self.switch.table.get(flow.flow_id)
+            if entry is not None and entry.priority is not None:
+                raw = entry.priority
+            else:
+                # Fewer packets sent than average -> weight above 1 and vice versa.
+                raw = mean_count / max(1.0, counts[flow.flow_id])
+            weights[flow.flow_id] = float(min(max(raw, self.min_weight), self.max_weight))
+        return weights
+
+    def apply(self, flows: Sequence[Flow]) -> None:
+        """Write the computed weights into ``flow.priority_weight``."""
+        for flow_id_weight in self.weights(flows).items():
+            flow_id, weight = flow_id_weight
+            for flow in flows:
+                if flow.flow_id == flow_id:
+                    flow.priority_weight = weight
+                    break

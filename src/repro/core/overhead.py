@@ -1,0 +1,169 @@
+"""Control-plane overhead accounting.
+
+The paper argues SCDA's control plane is cheap: every control interval each
+RM sends its rate sums to its parent RA and each RA forwards an aggregate to
+its parent, and "after the first time RM sends its S values, it can send the
+difference Δ ... to minimize the overhead by sending the difference which is
+a smaller number than the sum of the rates" (Section IV).  The request-serving
+protocols of Section VIII additionally exchange a fixed number of small
+control messages per request (Figures 3-5).
+
+This module quantifies that overhead for a given topology and request volume
+so it can be reported next to the data-plane results:
+
+* per-interval RM→RA / RA→RA message and byte counts, with and without the
+  delta encoding;
+* per-request control-message counts for the external write, internal write
+  (replication) and external read protocols;
+* the aggregate control bandwidth as a fraction of the fabric capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.network.topology import NodeKind, Topology
+
+
+@dataclass
+class MessageSizes:
+    """Wire sizes used for the overhead estimates (bytes)."""
+
+    #: a full RM/RA report: S_d, S_u, N̂_d, N̂_u plus addressing — two 64-bit
+    #: values per direction plus a small header
+    full_report_bytes: float = 64.0
+    #: a delta report carries the same fields but compresses to a few bytes
+    #: when nothing (or little) changed
+    delta_report_bytes: float = 16.0
+    #: one downward rate advertisement (per level rate pair)
+    rate_advertisement_bytes: float = 32.0
+    #: one control message of the request-serving protocols (Figures 3-5)
+    request_message_bytes: float = 128.0
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.full_report_bytes,
+            self.delta_report_bytes,
+            self.rate_advertisement_bytes,
+            self.request_message_bytes,
+        ):
+            if value <= 0:
+                raise ValueError("message sizes must be positive")
+
+
+#: Control messages per request, counted from Figures 3, 4 and 5 of the paper.
+EXTERNAL_WRITE_MESSAGES = 12   # steps 1-12 before data starts flowing
+INTERNAL_WRITE_MESSAGES = 11   # steps 1-11 of the replication protocol
+EXTERNAL_READ_MESSAGES = 9     # steps 1-6 and 8-10 (step 7 is the data itself)
+
+
+@dataclass
+class OverheadReport:
+    """Estimated control-plane load."""
+
+    monitors: int
+    allocators: int
+    reports_per_interval: int
+    report_bytes_per_interval_full: float
+    report_bytes_per_interval_delta: float
+    advertisement_bytes_per_interval: float
+    control_interval_s: float
+    request_messages_per_second: float
+    request_bytes_per_second: float
+
+    @property
+    def control_bytes_per_second_full(self) -> float:
+        """Steady-state control bandwidth with full reports."""
+        per_interval = self.report_bytes_per_interval_full + self.advertisement_bytes_per_interval
+        return per_interval / self.control_interval_s + self.request_bytes_per_second
+
+    @property
+    def control_bytes_per_second_delta(self) -> float:
+        """Steady-state control bandwidth with delta-encoded reports."""
+        per_interval = self.report_bytes_per_interval_delta + self.advertisement_bytes_per_interval
+        return per_interval / self.control_interval_s + self.request_bytes_per_second
+
+    @property
+    def delta_saving_fraction(self) -> float:
+        """Fraction of the periodic report bytes saved by the delta encoding."""
+        if self.report_bytes_per_interval_full <= 0:
+            return 0.0
+        return 1.0 - self.report_bytes_per_interval_delta / self.report_bytes_per_interval_full
+
+    def overhead_fraction_of_capacity(self, topology: Topology) -> float:
+        """Control bandwidth (delta encoding) relative to the total fabric capacity."""
+        total_capacity = sum(link.capacity_bps for link in topology.links)
+        if total_capacity <= 0:
+            return 0.0
+        return self.control_bytes_per_second_delta * 8.0 / total_capacity
+
+
+def estimate_control_overhead(
+    topology: Topology,
+    control_interval_s: float,
+    request_rate_per_s: float = 0.0,
+    read_fraction: float = 0.0,
+    replication_fraction: float = 1.0,
+    sizes: Optional[MessageSizes] = None,
+) -> OverheadReport:
+    """Estimate SCDA's control-plane message load on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The datacenter; one RM per host and one RA per switch.
+    control_interval_s:
+        τ — the reporting period.
+    request_rate_per_s:
+        Aggregate client request rate (writes + reads).
+    read_fraction:
+        Fraction of the requests that are reads (the rest are writes).
+    replication_fraction:
+        Fraction of writes followed by an internal replication transfer.
+    """
+    if control_interval_s <= 0:
+        raise ValueError("control_interval_s must be positive")
+    if request_rate_per_s < 0:
+        raise ValueError("request_rate_per_s must be non-negative")
+    if not (0.0 <= read_fraction <= 1.0):
+        raise ValueError("read_fraction must be in [0, 1]")
+    if not (0.0 <= replication_fraction <= 1.0):
+        raise ValueError("replication_fraction must be in [0, 1]")
+    sizes = sizes or MessageSizes()
+
+    monitors = len(topology.hosts())
+    allocators = len(topology.switches())
+    # Every RM reports to its parent RA, every non-top RA reports to its parent.
+    non_top_allocators = sum(
+        1 for switch in topology.switches() if topology.parent(switch) is not None
+    )
+    reports_per_interval = monitors + non_top_allocators
+    # Downward advertisements: every RA pushes rates to each of its children,
+    # which is one message per parent-child edge — the same count as upward
+    # reports (each child has one parent in the tree abstraction).
+    advertisements_per_interval = reports_per_interval
+
+    report_bytes_full = reports_per_interval * sizes.full_report_bytes
+    report_bytes_delta = reports_per_interval * sizes.delta_report_bytes
+    advertisement_bytes = advertisements_per_interval * sizes.rate_advertisement_bytes
+
+    writes_per_s = request_rate_per_s * (1.0 - read_fraction)
+    reads_per_s = request_rate_per_s * read_fraction
+    request_messages_per_s = (
+        writes_per_s * (EXTERNAL_WRITE_MESSAGES + replication_fraction * INTERNAL_WRITE_MESSAGES)
+        + reads_per_s * EXTERNAL_READ_MESSAGES
+    )
+    request_bytes_per_s = request_messages_per_s * sizes.request_message_bytes
+
+    return OverheadReport(
+        monitors=monitors,
+        allocators=allocators,
+        reports_per_interval=reports_per_interval,
+        report_bytes_per_interval_full=report_bytes_full,
+        report_bytes_per_interval_delta=report_bytes_delta,
+        advertisement_bytes_per_interval=advertisement_bytes,
+        control_interval_s=control_interval_s,
+        request_messages_per_second=request_messages_per_s,
+        request_bytes_per_second=request_bytes_per_s,
+    )

@@ -1,0 +1,144 @@
+"""Prioritized rate allocation (Section IV-A).
+
+Every flow carries a priority weight ``℘_j``; the weighted rate sum of
+equation 6 makes a flow with weight ``℘`` receive ``℘`` times the share of a
+weight-1 flow at its bottleneck.  The paper points out that a source can
+*adapt* its weight every round — setting ``℘ = R_target / R_current`` — to
+steer its own rate, and that this implicitly implements scheduling policies
+such as shortest-job-first (SJF) and earliest-deadline-first (EDF) by giving
+short/urgent flows larger targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.network.flow import Flow
+
+
+class WeightPolicy:
+    """Maps a flow to its (possibly time-varying) priority weight."""
+
+    name = "uniform"
+
+    def weight(self, flow: Flow, now: float) -> float:
+        """Return the priority weight ``℘_j`` of ``flow`` at time ``now``."""
+        return 1.0
+
+
+class SjfWeightPolicy(WeightPolicy):
+    """Shortest-job-first emulation: smaller flows get larger weights.
+
+    The weight is ``(reference_size / remaining_size) ** exponent`` clamped to
+    ``[min_weight, max_weight]`` — a flow with little data left is boosted, a
+    huge elephant is throttled relative to it.
+    """
+
+    name = "sjf"
+
+    def __init__(
+        self,
+        reference_size_bytes: float = 1e6,
+        exponent: float = 0.5,
+        min_weight: float = 0.25,
+        max_weight: float = 4.0,
+    ) -> None:
+        if reference_size_bytes <= 0:
+            raise ValueError("reference_size_bytes must be positive")
+        if not (0.0 < exponent <= 2.0):
+            raise ValueError("exponent must be in (0, 2]")
+        if not (0.0 < min_weight <= max_weight):
+            raise ValueError("need 0 < min_weight <= max_weight")
+        self.reference_size_bytes = float(reference_size_bytes)
+        self.exponent = float(exponent)
+        self.min_weight = float(min_weight)
+        self.max_weight = float(max_weight)
+
+    def weight(self, flow: Flow, now: float) -> float:
+        remaining = max(flow.remaining_bytes, 1.0)
+        raw = (self.reference_size_bytes / remaining) ** self.exponent
+        return float(min(max(raw, self.min_weight), self.max_weight))
+
+
+class EdfWeightPolicy(WeightPolicy):
+    """Earliest-deadline-first emulation.
+
+    Flows carry a ``deadline_s`` entry in ``flow.meta``; the weight needed to
+    finish by the deadline is ``required_rate / fair_rate_estimate`` where the
+    required rate is ``remaining / time_left``.  Flows without a deadline get
+    weight 1.
+    """
+
+    name = "edf"
+
+    def __init__(
+        self,
+        fair_rate_estimate_bps: float = 10e6,
+        min_weight: float = 0.25,
+        max_weight: float = 8.0,
+    ) -> None:
+        if fair_rate_estimate_bps <= 0:
+            raise ValueError("fair_rate_estimate_bps must be positive")
+        if not (0.0 < min_weight <= max_weight):
+            raise ValueError("need 0 < min_weight <= max_weight")
+        self.fair_rate_estimate_bps = float(fair_rate_estimate_bps)
+        self.min_weight = float(min_weight)
+        self.max_weight = float(max_weight)
+
+    def weight(self, flow: Flow, now: float) -> float:
+        deadline = flow.meta.get("deadline_s")
+        if deadline is None:
+            return 1.0
+        time_left = float(deadline) - now
+        if time_left <= 0:
+            return self.max_weight
+        required_bps = flow.remaining_bytes * 8.0 / time_left
+        raw = required_bps / self.fair_rate_estimate_bps
+        return float(min(max(raw, self.min_weight), self.max_weight))
+
+
+class TargetRateWeightPolicy(WeightPolicy):
+    """The paper's explicit adaptation rule: ``℘ = R_target / R_current``.
+
+    Flows carry a ``target_rate_bps`` entry in ``flow.meta``; every round the
+    weight is set to the ratio of the target to the rate actually achieved in
+    the previous round, so the allocation converges towards the target as long
+    as capacity permits.
+    """
+
+    name = "target-rate"
+
+    def __init__(self, min_weight: float = 0.1, max_weight: float = 16.0) -> None:
+        if not (0.0 < min_weight <= max_weight):
+            raise ValueError("need 0 < min_weight <= max_weight")
+        self.min_weight = float(min_weight)
+        self.max_weight = float(max_weight)
+
+    def weight(self, flow: Flow, now: float) -> float:
+        target = flow.meta.get("target_rate_bps")
+        if target is None:
+            return 1.0
+        achieved = max(flow.current_rate_bps, 1.0)
+        raw = float(target) / achieved
+        return float(min(max(raw, self.min_weight), self.max_weight))
+
+
+class PriorityManager:
+    """Applies a :class:`WeightPolicy` to all active flows every round."""
+
+    def __init__(self, policy: Optional[WeightPolicy] = None) -> None:
+        self.policy = policy or WeightPolicy()
+
+    def refresh(self, flows: Sequence[Flow], now: float) -> Dict[int, float]:
+        """Update ``flow.priority_weight`` for every flow; returns the weights."""
+        weights: Dict[int, float] = {}
+        for flow in flows:
+            weight = float(self.policy.weight(flow, now))
+            if weight <= 0:
+                raise ValueError(
+                    f"weight policy {self.policy.name!r} returned non-positive weight {weight}"
+                )
+            flow.priority_weight = weight
+            weights[flow.flow_id] = weight
+        return weights

@@ -1,0 +1,306 @@
+"""The SCDA rate metric (Section IV of the paper).
+
+Every control interval τ each RM/RA computes, for the uplink and downlink of
+the switch it is associated with,
+
+.. math::
+
+    R_{d,u}(t) \\;=\\; \\frac{\\alpha C_{d,u} - \\beta \\, Q_{d,u}(t-\\tau)/d}
+                           {\\hat N_{d,u}(t-\\tau)}
+    \\qquad\\text{(eq. 2)}
+
+with the *effective* number of flows
+
+.. math::
+
+    \\hat N_{d,u}(t-\\tau) \\;=\\; \\frac{S_{d,u}(t)}{R_{d,u}(t-\\tau)}
+    \\qquad\\text{(eq. 3)}
+
+and the (optionally priority-weighted) sum of flow bottleneck rates
+
+.. math::
+
+    S_{d,u}(t) \\;=\\; \\sum_j \\wp^j_{d,u} R^j_{d,u}(t)
+    \\qquad\\text{(eq. 4 / eq. 6)}.
+
+The simplified variant (eq. 5) replaces the flow-rate sum with the measured
+arrival rate: ``R(t) = (αC − βQ/d) · R(t−τ) / Λ(t)``.
+
+Equation 3 is what makes the allocation max-min fair: a flow bottlenecked
+elsewhere at rate ``R_j < R(t−τ)`` only counts as ``R_j / R(t−τ)`` of a flow,
+so the capacity it cannot use is redistributed to flows that can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass
+class ScdaParams:
+    """Tunable constants of the SCDA rate metric.
+
+    Attributes
+    ----------
+    alpha:
+        Target utilisation of the link (the paper's α stability parameter).
+        Keeping α slightly below 1 leaves headroom so queues drain.
+    beta:
+        Queue-drain gain (the paper's β): how aggressively standing queues
+        are subtracted from the advertised capacity.
+    control_interval_s:
+        τ — the period at which RMs/RAs recompute the metric.  The paper
+        suggests the average (or maximum) RTT of the flows of the block
+        server; datacenter RTTs put this in the 10-100 ms range.
+    drain_time_s:
+        ``d`` in equations 2 and 5 — the time horizon over which a standing
+        queue should be drained.  Defaults to the control interval when
+        left at 0.
+    min_rate_bps:
+        Floor on the advertised rate so flows never starve completely.
+    """
+
+    alpha: float = 0.95
+    beta: float = 1.0
+    control_interval_s: float = 0.010
+    drain_time_s: float = 0.0
+    min_rate_bps: float = 1e3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.beta < 0.0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+        if self.control_interval_s <= 0.0:
+            raise ValueError("control_interval_s must be positive")
+        if self.drain_time_s < 0.0:
+            raise ValueError("drain_time_s must be non-negative")
+        if self.min_rate_bps <= 0.0:
+            raise ValueError("min_rate_bps must be positive")
+
+    @property
+    def effective_drain_time_s(self) -> float:
+        """``d``: the explicit drain time, or τ when unset."""
+        return self.drain_time_s if self.drain_time_s > 0.0 else self.control_interval_s
+
+
+def weighted_rate_sum(
+    flow_rates: Iterable[float], weights: Optional[Iterable[float]] = None
+) -> float:
+    """``S = Σ_j ℘_j · R_j`` (equations 4 and 6).
+
+    ``weights`` defaults to 1.0 for every flow (plain equation 4).
+    """
+    rates = list(flow_rates)
+    if weights is None:
+        return float(sum(rates))
+    weight_list = list(weights)
+    if len(weight_list) != len(rates):
+        raise ValueError(
+            f"got {len(rates)} rates but {len(weight_list)} weights; they must match"
+        )
+    for w in weight_list:
+        if w <= 0:
+            raise ValueError(f"priority weights must be positive, got {w}")
+    return float(sum(w * r for w, r in zip(weight_list, rates)))
+
+
+def effective_flow_count(rate_sum: float, previous_rate: float) -> float:
+    """``N̂ = S / R(t−τ)`` (equation 3).
+
+    A flow running at exactly the previous advertised rate counts as one
+    flow; a flow bottlenecked elsewhere counts as a fraction.
+    """
+    if previous_rate <= 0.0:
+        raise ValueError(f"previous rate must be positive, got {previous_rate}")
+    if rate_sum < 0.0:
+        raise ValueError(f"rate sum must be non-negative, got {rate_sum}")
+    return rate_sum / previous_rate
+
+
+def effective_capacity(
+    params: ScdaParams, capacity_bps: float, queue_bytes: float, reserved_bps: float = 0.0
+) -> float:
+    """``αC − βQ/d`` (the numerator of eq. 2), minus explicit reservations.
+
+    Section IV-C: when flows reserve a total of ``reserved_bps``, the capacity
+    shared by the remaining flows shrinks by that amount.
+    """
+    if capacity_bps <= 0.0:
+        raise ValueError("capacity must be positive")
+    if queue_bytes < 0.0:
+        raise ValueError("queue size must be non-negative")
+    if reserved_bps < 0.0:
+        raise ValueError("reserved bandwidth must be non-negative")
+    queue_bits = queue_bytes * 8.0
+    cap = params.alpha * (capacity_bps - reserved_bps) - params.beta * queue_bits / params.effective_drain_time_s
+    return max(cap, 0.0)
+
+
+def link_rate(
+    params: ScdaParams,
+    capacity_bps: float,
+    queue_bytes: float,
+    rate_sum_bps: float,
+    previous_rate_bps: float,
+    reserved_bps: float = 0.0,
+) -> float:
+    """One application of equation 2.
+
+    Returns the new advertised per-flow rate for the link.  The result is
+    clamped to ``[params.min_rate_bps, effective capacity]``: a link with no
+    (or only fractional) flows advertises the whole effective capacity, which
+    is what allows a single unconstrained flow to use the entire link.
+    """
+    cap = effective_capacity(params, capacity_bps, queue_bytes, reserved_bps)
+    if cap <= 0.0:
+        return params.min_rate_bps
+    n_eff = effective_flow_count(rate_sum_bps, previous_rate_bps) if rate_sum_bps > 0 else 0.0
+    if n_eff <= 1.0:
+        # Fewer than one effective flow: the whole effective capacity is available.
+        rate = cap
+    else:
+        rate = cap / n_eff
+    return float(min(max(rate, params.min_rate_bps), cap))
+
+
+def simplified_link_rate(
+    params: ScdaParams,
+    capacity_bps: float,
+    queue_bytes: float,
+    previous_rate_bps: float,
+    arrival_bits: float,
+    reserved_bps: float = 0.0,
+) -> float:
+    """One application of the simplified metric (equation 5).
+
+    ``arrival_bits`` is ``L`` — the bits that arrived at the link during the
+    last control interval; ``Λ = L / τ``.
+    """
+    if arrival_bits < 0.0:
+        raise ValueError("arrival_bits must be non-negative")
+    cap = effective_capacity(params, capacity_bps, queue_bytes, reserved_bps)
+    if cap <= 0.0:
+        return params.min_rate_bps
+    arrival_rate = arrival_bits / params.control_interval_s
+    if arrival_rate <= 0.0:
+        return cap
+    rate = cap * previous_rate_bps / arrival_rate
+    return float(min(max(rate, params.min_rate_bps), cap))
+
+
+@dataclass
+class LinkRateState:
+    """Mutable per-link state carried across control intervals."""
+
+    rate_bps: float
+    n_eff: float = 0.0
+    rate_sum_bps: float = 0.0
+    sla_violated: bool = False
+    updates: int = 0
+
+
+class LinkRateCalculator:
+    """Applies equation 2 (or 5) to one directed link every control interval.
+
+    The calculator is the computational heart of both the RM (for the block
+    server access links) and the RA (for the switch uplinks/downlinks).
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        params: Optional[ScdaParams] = None,
+        use_simplified: bool = False,
+        name: str = "",
+    ) -> None:
+        if capacity_bps <= 0.0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bps = float(capacity_bps)
+        self.params = params or ScdaParams()
+        self.use_simplified = bool(use_simplified)
+        self.name = name
+        self.state = LinkRateState(rate_bps=self.params.alpha * self.capacity_bps)
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def current_rate_bps(self) -> float:
+        """The most recently advertised per-flow rate R(t)."""
+        return self.state.rate_bps
+
+    @property
+    def effective_flows(self) -> float:
+        """The most recent effective flow count N̂."""
+        return self.state.n_eff
+
+    @property
+    def sla_violated(self) -> bool:
+        """True if the last update detected S exceeding the effective capacity."""
+        return self.state.sla_violated
+
+    def effective_capacity_bps(self, queue_bytes: float = 0.0, reserved_bps: float = 0.0) -> float:
+        """The capacity term ``αC − βQ/d`` for a given queue size."""
+        return effective_capacity(self.params, self.capacity_bps, queue_bytes, reserved_bps)
+
+    # -- updates --------------------------------------------------------------------
+    def update(
+        self,
+        queue_bytes: float,
+        flow_rates_bps: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        reserved_bps: float = 0.0,
+        arrival_bits: Optional[float] = None,
+    ) -> float:
+        """Advance one control interval and return the new advertised rate.
+
+        Parameters
+        ----------
+        queue_bytes:
+            Queue length of the associated switch interface at the end of the
+            previous interval (``Q(t−τ)``), read straight off the switch.
+        flow_rates_bps:
+            The bottleneck rates ``R_j`` of the flows currently crossing the
+            link (their delivered rates in the previous interval).
+        weights:
+            Optional priority weights ``℘_j`` (equation 6).
+        reserved_bps:
+            Total explicitly reserved bandwidth on this link (Section IV-C).
+        arrival_bits:
+            Bits that arrived during the previous interval; only used by the
+            simplified metric (equation 5).
+        """
+        prev_rate = self.state.rate_bps
+        rate_sum = weighted_rate_sum(flow_rates_bps, weights)
+
+        if self.use_simplified:
+            new_rate = simplified_link_rate(
+                self.params,
+                self.capacity_bps,
+                queue_bytes,
+                prev_rate,
+                arrival_bits if arrival_bits is not None else rate_sum * self.params.control_interval_s,
+                reserved_bps,
+            )
+        else:
+            new_rate = link_rate(
+                self.params, self.capacity_bps, queue_bytes, rate_sum, prev_rate, reserved_bps
+            )
+
+        cap = self.effective_capacity_bps(queue_bytes, reserved_bps)
+        self.state.rate_sum_bps = rate_sum
+        self.state.n_eff = rate_sum / prev_rate if prev_rate > 0 else 0.0
+        self.state.sla_violated = rate_sum > cap + 1e-9
+        self.state.rate_bps = new_rate
+        self.state.updates += 1
+        return new_rate
+
+    def reset(self) -> None:
+        """Forget all history (used between experiments)."""
+        self.state = LinkRateState(rate_bps=self.params.alpha * self.capacity_bps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<LinkRateCalculator {self.name or 'link'} rate={self.state.rate_bps / 1e6:.1f} Mbps "
+            f"n_eff={self.state.n_eff:.2f}>"
+        )

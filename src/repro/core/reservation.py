@@ -1,0 +1,95 @@
+"""Explicit minimum-rate reservations (Section IV-C, "QoS by explicit reservation").
+
+A source can reserve a minimum rate ``M_j``.  Each RM sums the reservations of
+its node's flows and the sums propagate up the RA tree; the capacity available
+for *best-effort* sharing on each link becomes ``C − Σ M_j`` while every
+reserved flow is guaranteed at least its ``M_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.network.flow import Flow
+from repro.network.topology import Link
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A minimum-rate guarantee for one flow."""
+
+    flow_id: int
+    min_rate_bps: float
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.min_rate_bps <= 0:
+            raise ValueError("a reservation must be for a positive rate")
+
+
+class ReservationRegistry:
+    """Tracks reservations and checks admission against link capacities."""
+
+    def __init__(self, admission_utilisation: float = 0.9) -> None:
+        if not (0.0 < admission_utilisation <= 1.0):
+            raise ValueError("admission_utilisation must be in (0, 1]")
+        self.admission_utilisation = float(admission_utilisation)
+        self._by_flow: Dict[int, Reservation] = {}
+        self._paths: Dict[int, List[Link]] = {}
+
+    # -- admission -----------------------------------------------------------------------
+    def can_admit(self, flow: Flow, min_rate_bps: float) -> bool:
+        """True if reserving ``min_rate_bps`` for ``flow`` keeps every link feasible."""
+        if min_rate_bps <= 0:
+            raise ValueError("min_rate_bps must be positive")
+        for link in flow.path:
+            already = self.reserved_on_link(link, extra_flows=())
+            if already + min_rate_bps > link.capacity_bps * self.admission_utilisation:
+                return False
+        return True
+
+    def admit(self, flow: Flow, min_rate_bps: float, tenant: str = "") -> bool:
+        """Try to admit a reservation; on success the flow's floor is set."""
+        if not self.can_admit(flow, min_rate_bps):
+            return False
+        self._by_flow[flow.flow_id] = Reservation(flow.flow_id, float(min_rate_bps), tenant)
+        flow.min_rate_bps = float(min_rate_bps)
+        # Remember the path so per-link sums survive the flow finishing.
+        self._paths[flow.flow_id] = list(flow.path)
+        return True
+
+    def release(self, flow_id: int) -> None:
+        """Drop the reservation of a (finished) flow."""
+        self._by_flow.pop(flow_id, None)
+        self._paths.pop(flow_id, None)
+
+    # -- queries --------------------------------------------------------------------------
+    def reservation_of(self, flow_id: int) -> Optional[Reservation]:
+        """The reservation of ``flow_id`` (None if best effort)."""
+        return self._by_flow.get(flow_id)
+
+    def reserved_on_link(self, link: Link, extra_flows: Iterable[Flow] = ()) -> float:
+        """Total reserved bandwidth crossing ``link``."""
+        total = 0.0
+        for flow_id, reservation in self._by_flow.items():
+            path = self._paths.get(flow_id, ())
+            if any(l.link_id == link.link_id for l in path):
+                total += reservation.min_rate_bps
+        for flow in extra_flows:
+            if flow.flow_id not in self._by_flow and flow.min_rate_bps > 0:
+                if any(l.link_id == link.link_id for l in flow.path):
+                    total += flow.min_rate_bps
+        return total
+
+    def link_reservation_map(self, links: Sequence[Link]) -> Dict[str, float]:
+        """``link_id -> total reserved bps`` for the given links."""
+        return {link.link_id: self.reserved_on_link(link) for link in links}
+
+    @property
+    def total_reserved_bps(self) -> float:
+        """Sum of all admitted reservations."""
+        return sum(r.min_rate_bps for r in self._by_flow.values())
+
+    def __len__(self) -> int:
+        return len(self._by_flow)

@@ -1,0 +1,273 @@
+"""Content-aware cloud server selection (Section VII of the paper).
+
+SCDA treats the content classes of Section II-B differently when choosing a
+block server:
+
+* **interactive** content (high write *and* high read, interleaved within a
+  few seconds) goes to the server with the highest ``min(R̂_d, R̂_u)`` —
+  the interaction is limited by whichever direction is slower;
+* **semi-interactive** content (high write *or* high read) is written to the
+  server with the best downlink rate and then replicated to the server with
+  the best uplink rate, so that later reads are fast;
+* **passive** content (low write, low read) is written fast, then replicated
+  to *dormant* servers — servers whose uplink rate exceeds the scale-down
+  threshold ``R_scale`` because almost nothing is being read from them — so
+  that those servers can stay in low-power states;
+* the **power-aware** variant divides the rate metric by the server's power
+  draw ``P(t)`` and picks the best rate-per-watt server (Section VII-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.maxmin import HostRateMetrics
+
+
+class SelectionObjective(enum.Enum):
+    """Which rate the selection maximises."""
+
+    BEST_DOWNLINK = "best-downlink"      #: fastest to write to
+    BEST_UPLINK = "best-uplink"          #: fastest to read from
+    BEST_BIDIRECTIONAL = "best-min"      #: fastest min(up, down) — interactive
+    BEST_RATE_PER_WATT = "rate-per-watt" #: power-aware variant
+
+
+@dataclass
+class SelectionMetrics:
+    """Everything the selector needs to know about one candidate server."""
+
+    host_id: str
+    up_bps: float
+    down_bps: float
+    power_watts: float = 1.0
+    dormant: bool = False
+
+    @property
+    def min_bps(self) -> float:
+        return min(self.up_bps, self.down_bps)
+
+    @classmethod
+    def from_host_rate_metrics(
+        cls,
+        metrics: HostRateMetrics,
+        power_watts: float = 1.0,
+        dormant: bool = False,
+    ) -> "SelectionMetrics":
+        return cls(metrics.host_id, metrics.up_bps, metrics.down_bps, power_watts, dormant)
+
+
+class SelectionError(Exception):
+    """Raised when no candidate server satisfies a selection policy."""
+
+
+def _argmax(
+    candidates: Sequence[SelectionMetrics], key: Callable[[SelectionMetrics], float]
+) -> SelectionMetrics:
+    if not candidates:
+        raise SelectionError("no candidate servers")
+    best = candidates[0]
+    best_key = key(best)
+    for cand in candidates[1:]:
+        k = key(cand)
+        # Strict improvement keeps ties deterministic (first wins).
+        if k > best_key:
+            best, best_key = cand, k
+    return best
+
+
+class SelectionPolicy:
+    """Base class: pick a server for the initial write and for the replica."""
+
+    name = "base"
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        """Server that receives the client's write."""
+        raise NotImplementedError
+
+    def select_replica(
+        self, candidates: Sequence[SelectionMetrics], primary: Optional[SelectionMetrics] = None
+    ) -> SelectionMetrics:
+        """Server that receives the replica (defaults to the primary policy)."""
+        others = [c for c in candidates if primary is None or c.host_id != primary.host_id]
+        return self.select_primary(others or list(candidates))
+
+
+class InteractivePolicy(SelectionPolicy):
+    """Section VII-A: maximise ``min(R̂_d, R̂_u)``."""
+
+    name = "interactive"
+
+    def __init__(self, avoid_dormant: bool = True) -> None:
+        self.avoid_dormant = bool(avoid_dormant)
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        pool = list(candidates)
+        if self.avoid_dormant:
+            active = [c for c in pool if not c.dormant]
+            if active:
+                pool = active
+        return _argmax(pool, lambda c: c.min_bps)
+
+
+class SemiInteractivePolicy(SelectionPolicy):
+    """Section VII-B: write to best downlink, replicate to best uplink."""
+
+    name = "semi-interactive"
+
+    def __init__(self, avoid_dormant: bool = True) -> None:
+        self.avoid_dormant = bool(avoid_dormant)
+
+    def _pool(self, candidates: Sequence[SelectionMetrics]) -> List[SelectionMetrics]:
+        pool = list(candidates)
+        if self.avoid_dormant:
+            active = [c for c in pool if not c.dormant]
+            if active:
+                return active
+        return pool
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        return _argmax(self._pool(candidates), lambda c: c.down_bps)
+
+    def select_replica(
+        self, candidates: Sequence[SelectionMetrics], primary: Optional[SelectionMetrics] = None
+    ) -> SelectionMetrics:
+        pool = [
+            c for c in self._pool(candidates) if primary is None or c.host_id != primary.host_id
+        ]
+        if not pool:
+            pool = self._pool(candidates)
+        return _argmax(pool, lambda c: c.up_bps)
+
+
+class PassivePolicy(SelectionPolicy):
+    """Section VII-C: write fast, replicate onto dormant (scaled-down) servers.
+
+    A server is "dormant" when its uplink rate exceeds ``R_scale`` — i.e. it
+    is so lightly loaded that it can be kept in a low-power state.  Passive
+    content is steered there, which keeps the active servers for interactive
+    traffic and lets the dormant ones stay dormant.
+    """
+
+    name = "passive"
+
+    def __init__(self, scale_down_threshold_bps: float) -> None:
+        if scale_down_threshold_bps <= 0:
+            raise ValueError("scale_down_threshold_bps must be positive")
+        self.scale_down_threshold_bps = float(scale_down_threshold_bps)
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        return _argmax(list(candidates), lambda c: c.down_bps)
+
+    def select_replica(
+        self, candidates: Sequence[SelectionMetrics], primary: Optional[SelectionMetrics] = None
+    ) -> SelectionMetrics:
+        pool = [c for c in candidates if primary is None or c.host_id != primary.host_id]
+        dormant_pool = [
+            c for c in pool if c.dormant or c.up_bps > self.scale_down_threshold_bps
+        ]
+        if dormant_pool:
+            return _argmax(dormant_pool, lambda c: c.up_bps)
+        if not pool:
+            pool = list(candidates)
+        return _argmax(pool, lambda c: c.up_bps)
+
+
+class PowerAwarePolicy(SelectionPolicy):
+    """Section VII-D: maximise rate per watt instead of the raw rate."""
+
+    name = "power-aware"
+
+    def __init__(self, objective: SelectionObjective = SelectionObjective.BEST_BIDIRECTIONAL) -> None:
+        self.objective = objective
+
+    def _metric(self, candidate: SelectionMetrics) -> float:
+        power = max(candidate.power_watts, 1e-9)
+        if self.objective is SelectionObjective.BEST_DOWNLINK:
+            return candidate.down_bps / power
+        if self.objective is SelectionObjective.BEST_UPLINK:
+            return candidate.up_bps / power
+        return candidate.min_bps / power
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        return _argmax(list(candidates), self._metric)
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniform random selection — the *baseline* behaviour (RandTCP / VL2 / Hedera).
+
+    Not part of SCDA; included here so the baseline schemes can share the
+    selector machinery.
+    """
+
+    name = "random"
+
+    def __init__(self, rng) -> None:
+        if rng is None:
+            raise ValueError("RandomPolicy requires a random generator")
+        self.rng = rng
+
+    def select_primary(self, candidates: Sequence[SelectionMetrics]) -> SelectionMetrics:
+        pool = list(candidates)
+        if not pool:
+            raise SelectionError("no candidate servers")
+        return pool[int(self.rng.integers(0, len(pool)))]
+
+
+class ServerSelector:
+    """Dispatches to the right policy per content class.
+
+    The mapping follows Section VII: interactive (HWHR) content uses
+    :class:`InteractivePolicy`, semi-interactive (HWLR / LWHR) uses
+    :class:`SemiInteractivePolicy`, passive (LWLR) uses :class:`PassivePolicy`.
+    """
+
+    def __init__(
+        self,
+        scale_down_threshold_bps: float = 50e6,
+        power_aware: bool = False,
+        avoid_dormant_for_active: bool = True,
+    ) -> None:
+        self.interactive = InteractivePolicy(avoid_dormant=avoid_dormant_for_active)
+        self.semi_interactive = SemiInteractivePolicy(avoid_dormant=avoid_dormant_for_active)
+        self.passive = PassivePolicy(scale_down_threshold_bps)
+        self.power_aware_policy = PowerAwarePolicy()
+        self.power_aware = bool(power_aware)
+
+    def policy_for(self, content_class: "object") -> SelectionPolicy:
+        """The policy handling a :class:`repro.cluster.content.ContentClass`."""
+        # Import here to avoid a circular dependency at module load time.
+        from repro.cluster.content import ContentClass
+
+        if self.power_aware:
+            return self.power_aware_policy
+        if content_class is ContentClass.HWHR:
+            return self.interactive
+        if content_class in (ContentClass.HWLR, ContentClass.LWHR):
+            return self.semi_interactive
+        return self.passive
+
+    def select_primary(
+        self, content_class: "object", candidates: Sequence[SelectionMetrics]
+    ) -> SelectionMetrics:
+        """Server for the initial write of content of the given class."""
+        return self.policy_for(content_class).select_primary(candidates)
+
+    def select_replica(
+        self,
+        content_class: "object",
+        candidates: Sequence[SelectionMetrics],
+        primary: Optional[SelectionMetrics] = None,
+    ) -> SelectionMetrics:
+        """Server for the replica of content of the given class."""
+        return self.policy_for(content_class).select_replica(candidates, primary)
+
+    def select_read_source(
+        self, content_class: "object", replicas: Sequence[SelectionMetrics]
+    ) -> SelectionMetrics:
+        """Which replica to read from: the one with the best uplink rate."""
+        if not replicas:
+            raise SelectionError("content has no replicas to read from")
+        return _argmax(list(replicas), lambda c: c.up_bps)

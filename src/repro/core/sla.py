@@ -1,0 +1,187 @@
+"""SLA specification, real-time violation detection and mitigation.
+
+Section IV-A of the paper: an SLA violation is detected whenever the
+(priority-weighted) sum of flow rates ``S`` on a link exceeds the link's
+effective capacity ``αC − βQ/d``.  RMs detect violations on the server access
+links, level-1 RAs on the rack uplinks, and so on up the tree — all within
+one control interval (milliseconds), which is the "realtime" detection claim.
+
+Once detected, a violation can be mitigated by
+
+* requesting more bandwidth on the link (using reserve/backup capacity), or
+* asking the NNS to move the affected traffic to a different block server
+  with enough available bandwidth.
+
+Both mitigations are modelled here as pluggable actions so experiments can
+measure their effect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class SlaPolicy:
+    """An SLA for a tenant/flow class.
+
+    ``min_throughput_bps`` and ``max_fct_s`` express the two quantities the
+    paper's SLAs cover (throughput and delay).  Either can be left at its
+    permissive default.
+    """
+
+    name: str = "default"
+    min_throughput_bps: float = 0.0
+    max_fct_s: float = float("inf")
+    priority_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_throughput_bps < 0:
+            raise ValueError("min_throughput_bps must be non-negative")
+        if self.max_fct_s <= 0:
+            raise ValueError("max_fct_s must be positive")
+        if self.priority_weight <= 0:
+            raise ValueError("priority_weight must be positive")
+
+    def is_flow_compliant(self, achieved_throughput_bps: float, fct_s: Optional[float]) -> bool:
+        """Check a finished flow against this SLA."""
+        if achieved_throughput_bps + 1e-9 < self.min_throughput_bps:
+            return False
+        if fct_s is not None and fct_s > self.max_fct_s:
+            return False
+        return True
+
+
+class MitigationAction(enum.Enum):
+    """What the control plane did about a violation."""
+
+    NONE = "none"
+    ADD_BANDWIDTH = "add-bandwidth"          #: use reserve/backup capacity on the link
+    REASSIGN_SERVER = "reassign-server"      #: NNS moves new traffic to another BS
+    RAISE_PRIORITY = "raise-priority"        #: bump the priority weights of the SLA's flows
+
+
+@dataclass
+class SlaViolation:
+    """One detected violation event."""
+
+    time_s: float
+    location: str                 #: node id of the RM/RA that detected it
+    level: int                    #: tree level of the detector (0 = RM)
+    demand_bps: float             #: the offending rate sum S
+    capacity_bps: float           #: the effective capacity it exceeded
+    mitigation: MitigationAction = MitigationAction.NONE
+
+    @property
+    def overload_ratio(self) -> float:
+        """How far above capacity the demand was (1.0 = exactly at capacity)."""
+        if self.capacity_bps <= 0:
+            return float("inf")
+        return self.demand_bps / self.capacity_bps
+
+
+class SlaMonitor:
+    """Collects violations and applies a mitigation strategy.
+
+    Parameters
+    ----------
+    mitigation:
+        The action to record/perform for each violation.
+    bandwidth_boost_factor:
+        When mitigating with ``ADD_BANDWIDTH``, the factor by which the
+        affected link's capacity is (logically) increased — modelling the
+        paper's "reserve, backup or recovery links".
+    apply_bandwidth_boost:
+        Callback ``(location, factor) -> None`` invoked to actually apply the
+        boost (wired by the controller to the topology); optional.
+    """
+
+    def __init__(
+        self,
+        mitigation: MitigationAction = MitigationAction.NONE,
+        bandwidth_boost_factor: float = 1.25,
+        apply_bandwidth_boost: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        if bandwidth_boost_factor < 1.0:
+            raise ValueError("bandwidth_boost_factor must be >= 1")
+        self.mitigation = mitigation
+        self.bandwidth_boost_factor = float(bandwidth_boost_factor)
+        self.apply_bandwidth_boost = apply_bandwidth_boost
+        self.violations: List[SlaViolation] = []
+        #: locations already boosted (a link is only boosted once)
+        self._boosted: set = set()
+
+    def record(
+        self,
+        time_s: float,
+        location: str,
+        level: int,
+        demand_bps: float,
+        capacity_bps: float,
+    ) -> SlaViolation:
+        """Record a violation and apply the configured mitigation."""
+        action = self.mitigation
+        if action is MitigationAction.ADD_BANDWIDTH:
+            if location not in self._boosted and self.apply_bandwidth_boost is not None:
+                self.apply_bandwidth_boost(location, self.bandwidth_boost_factor)
+                self._boosted.add(location)
+            elif location in self._boosted:
+                action = MitigationAction.NONE
+        violation = SlaViolation(
+            time_s=time_s,
+            location=location,
+            level=level,
+            demand_bps=demand_bps,
+            capacity_bps=capacity_bps,
+            mitigation=action,
+        )
+        self.violations.append(violation)
+        return violation
+
+    # -- reporting --------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of violations recorded."""
+        return len(self.violations)
+
+    def violations_at(self, location: str) -> List[SlaViolation]:
+        """Violations detected by one RM/RA."""
+        return [v for v in self.violations if v.location == location]
+
+    def violation_rate(self, duration_s: float) -> float:
+        """Violations per second of simulated time."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return len(self.violations) / duration_s
+
+    def summary(self) -> Dict[str, int]:
+        """Number of violations per detector location."""
+        per_location: Dict[str, int] = {}
+        for violation in self.violations:
+            per_location[violation.location] = per_location.get(violation.location, 0) + 1
+        return per_location
+
+
+def check_flow_slas(
+    flows: Sequence,
+    policy_of: Callable[[object], Optional[SlaPolicy]],
+) -> List[object]:
+    """Return the finished flows that violate their SLA.
+
+    ``policy_of(flow)`` maps a flow to its SLA policy (or None for best
+    effort).  A flow's achieved throughput is ``size / fct``.
+    """
+    offenders = []
+    for flow in flows:
+        policy = policy_of(flow)
+        if policy is None:
+            continue
+        fct = getattr(flow, "fct", None)
+        if fct is None or fct <= 0:
+            continue
+        throughput = flow.size_bytes * 8.0 / fct
+        if not policy.is_flow_compliant(throughput, fct):
+            offenders.append(flow)
+    return offenders

@@ -1,0 +1,28 @@
+"""Energy substrate: server power models and dormant-server management.
+
+The paper's energy story (Sections VII-C and VII-D):
+
+* servers holding only *passive* content can be kept in low-power
+  ("dormant") states; SCDA steers passive replicas onto those servers and
+  keeps active content away from them, so they rarely need to wake up;
+* servers are heterogeneous in power draw (rack position, age, background
+  load); the power-aware selection divides the rate metric by the measured
+  power ``P(t) = T(t)/τ`` and picks the best rate-per-watt server.
+
+The paper measures power via heat/temperature sensors; we substitute a
+utilisation-driven power model with a synthetic temperature signal (see
+DESIGN.md).
+"""
+
+from repro.energy.power_model import PowerState, ServerPowerProfile, ServerPowerModel
+from repro.energy.dormant import DormancyManager, DormancyConfig
+from repro.energy.accounting import EnergyAccountant
+
+__all__ = [
+    "PowerState",
+    "ServerPowerProfile",
+    "ServerPowerModel",
+    "DormancyManager",
+    "DormancyConfig",
+    "EnergyAccountant",
+]

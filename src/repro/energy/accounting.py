@@ -1,0 +1,88 @@
+"""Fleet-level energy accounting driven by the simulation clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.dormant import DormancyManager
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+@dataclass
+class EnergySample:
+    """One periodic sample of fleet power state."""
+
+    time_s: float
+    total_power_watts: float
+    dormant_servers: int
+    total_energy_joules: float
+
+
+class EnergyAccountant:
+    """Samples fleet power draw periodically and integrates energy.
+
+    Attach it to a simulator with :meth:`start`; it then advances every
+    server's energy integral each sampling interval and records a time series
+    that the energy benchmarks/examples report.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dormancy: DormancyManager,
+        sample_interval_s: float = 1.0,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.sim = sim
+        self.dormancy = dormancy
+        self.sample_interval_s = float(sample_interval_s)
+        self.samples: List[EnergySample] = []
+        self._timer: Optional[PeriodicTimer] = None
+        self._last_time = sim.now
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._timer is None:
+            self._timer = PeriodicTimer(self.sim, self.sample_interval_s, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling (a final sample is taken first)."""
+        if self._timer is not None:
+            self._sample(self.sim.now)
+            self._timer.stop()
+            self._timer = None
+
+    def _sample(self, now: float) -> None:
+        dt = max(0.0, now - self._last_time)
+        if dt > 0:
+            self.dormancy.advance(dt)
+        self._last_time = now
+        self.samples.append(
+            EnergySample(
+                time_s=now,
+                total_power_watts=self.dormancy.total_power_watts(),
+                dormant_servers=len(self.dormancy.dormant_servers()),
+                total_energy_joules=self.dormancy.total_energy_joules(),
+            )
+        )
+
+    # -- reporting -------------------------------------------------------------------------
+    @property
+    def total_energy_joules(self) -> float:
+        """Energy consumed by the fleet since accounting started."""
+        return self.dormancy.total_energy_joules()
+
+    def average_power_watts(self) -> float:
+        """Mean of the sampled fleet power draw."""
+        if not self.samples:
+            return self.dormancy.total_power_watts()
+        return sum(s.total_power_watts for s in self.samples) / len(self.samples)
+
+    def average_dormant_servers(self) -> float:
+        """Mean number of dormant servers across samples."""
+        if not self.samples:
+            return float(len(self.dormancy.dormant_servers()))
+        return sum(s.dormant_servers for s in self.samples) / len(self.samples)

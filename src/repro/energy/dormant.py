@@ -1,0 +1,126 @@
+"""Dormant-server management (Section VII-C).
+
+A server whose uplink is almost unused — its available uplink rate exceeds the
+scale-down threshold ``R_scale`` — is a candidate for the dormant state.
+SCDA then (a) replicates passive content onto dormant servers, and (b) keeps
+interactive and semi-interactive content *away* from them, "which essentially
+keeps the dormant servers dormant resulting in effective scale down".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.energy.power_model import PowerState, ServerPowerModel, ServerPowerProfile
+
+
+@dataclass
+class DormancyConfig:
+    """Scale-down policy knobs."""
+
+    #: R_scale: a server whose *available* uplink rate exceeds this is nearly idle.
+    scale_down_threshold_bps: float = 50e6
+    #: fraction of servers allowed to be dormant simultaneously
+    max_dormant_fraction: float = 0.5
+    #: a dormant server is woken when its utilisation rises above this
+    wake_utilisation: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.scale_down_threshold_bps <= 0:
+            raise ValueError("scale_down_threshold_bps must be positive")
+        if not (0.0 <= self.max_dormant_fraction <= 1.0):
+            raise ValueError("max_dormant_fraction must be in [0, 1]")
+        if not (0.0 <= self.wake_utilisation <= 1.0):
+            raise ValueError("wake_utilisation must be in [0, 1]")
+
+
+class DormancyManager:
+    """Decides which servers are dormant and tracks their power models."""
+
+    def __init__(
+        self,
+        server_ids: Sequence[str],
+        config: Optional[DormancyConfig] = None,
+        profiles: Optional[Mapping[str, ServerPowerProfile]] = None,
+    ) -> None:
+        if not server_ids:
+            raise ValueError("need at least one server")
+        self.config = config or DormancyConfig()
+        self.models: Dict[str, ServerPowerModel] = {}
+        for server_id in server_ids:
+            profile = profiles.get(server_id) if profiles else None
+            self.models[server_id] = ServerPowerModel(server_id, profile)
+
+    # -- queries ---------------------------------------------------------------------------
+    def is_dormant(self, server_id: str) -> bool:
+        """True if ``server_id`` is currently in the dormant state."""
+        model = self.models.get(server_id)
+        return model is not None and model.is_dormant()
+
+    def dormant_servers(self) -> List[str]:
+        """Ids of all currently dormant servers."""
+        return [sid for sid, model in self.models.items() if model.is_dormant()]
+
+    def power_of(self, server_id: str, now: float = 0.0) -> float:
+        """Average power draw of ``server_id`` (used by power-aware selection)."""
+        model = self.models.get(server_id)
+        return model.average_power_watts if model is not None else 1.0
+
+    def total_power_watts(self) -> float:
+        """Aggregate instantaneous draw of the fleet."""
+        return sum(model.power_watts for model in self.models.values())
+
+    def total_energy_joules(self) -> float:
+        """Aggregate energy consumed so far."""
+        return sum(model.energy_joules for model in self.models.values())
+
+    # -- updates ----------------------------------------------------------------------------
+    def update(
+        self,
+        available_uplink_bps: Mapping[str, float],
+        utilisation: Mapping[str, float],
+        now: float,
+    ) -> List[str]:
+        """Re-evaluate dormancy given fresh rate/utilisation measurements.
+
+        ``available_uplink_bps`` is the RM-advertised uplink rate of each
+        server (high = nearly idle); ``utilisation`` is the fraction of the
+        access link actually in use.  Returns the list of servers whose state
+        changed in this update.
+        """
+        changed: List[str] = []
+        # Wake servers that became busy.
+        for server_id, model in self.models.items():
+            util = float(utilisation.get(server_id, 0.0))
+            model.set_utilisation(util)
+            if model.is_dormant() and util > self.config.wake_utilisation:
+                model.set_state(PowerState.ACTIVE, now)
+                changed.append(server_id)
+
+        # Candidates for scale-down: nearly idle uplink, sorted idlest first.
+        candidates = [
+            (available_uplink_bps.get(sid, 0.0), sid)
+            for sid, model in self.models.items()
+            if not model.is_dormant()
+            and available_uplink_bps.get(sid, 0.0) > self.config.scale_down_threshold_bps
+            and float(utilisation.get(sid, 0.0)) <= self.config.wake_utilisation
+        ]
+        candidates.sort(reverse=True)
+        max_dormant = int(self.config.max_dormant_fraction * len(self.models))
+        budget = max_dormant - len(self.dormant_servers())
+        for _rate, server_id in candidates[: max(budget, 0)]:
+            self.models[server_id].set_state(PowerState.DORMANT, now)
+            changed.append(server_id)
+
+        # Active servers with work become ACTIVE; idle ones IDLE.
+        for server_id, model in self.models.items():
+            if model.is_dormant():
+                continue
+            target = PowerState.ACTIVE if model.utilisation > 0.01 else PowerState.IDLE
+            model.set_state(target, now)
+        return changed
+
+    def advance(self, dt: float) -> float:
+        """Integrate energy for every server; returns total joules consumed."""
+        return sum(model.advance(dt) for model in self.models.values())

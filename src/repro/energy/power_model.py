@@ -1,0 +1,123 @@
+"""Server power model.
+
+Each server has a :class:`ServerPowerProfile` (idle/peak/dormant wattage —
+heterogeneous across the fleet) and a :class:`ServerPowerModel` tracks its
+current power state and utilisation-dependent draw.  The paper estimates power
+from temperature sensors (``P(t) = T(t)/τ``); here the temperature signal is
+derived from the power draw so the same relation holds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class PowerState(enum.Enum):
+    """Operating state of a server."""
+
+    ACTIVE = "active"     #: serving traffic at full capability
+    IDLE = "idle"         #: powered on but (almost) no traffic
+    DORMANT = "dormant"   #: low-power / sleep state (scaled down)
+
+
+@dataclass
+class ServerPowerProfile:
+    """Static power characteristics of one server.
+
+    The defaults are typical commodity-server numbers; heterogeneity is
+    introduced by varying these per server (age, rack position, background
+    tasks — Section VII-D).
+    """
+
+    idle_watts: float = 150.0
+    peak_watts: float = 300.0
+    dormant_watts: float = 15.0
+    #: latency penalty to wake from the dormant state
+    wake_up_latency_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.dormant_watts <= self.idle_watts <= self.peak_watts):
+            raise ValueError(
+                "need 0 < dormant_watts <= idle_watts <= peak_watts, got "
+                f"{self.dormant_watts}/{self.idle_watts}/{self.peak_watts}"
+            )
+        if self.wake_up_latency_s < 0:
+            raise ValueError("wake_up_latency_s must be non-negative")
+
+    def power_at(self, utilisation: float, state: PowerState) -> float:
+        """Power draw (watts) at a given utilisation in a given state.
+
+        Active/idle servers follow the usual linear idle→peak model; dormant
+        servers draw their dormant wattage regardless of (zero) utilisation.
+        """
+        if state is PowerState.DORMANT:
+            return self.dormant_watts
+        utilisation = min(max(utilisation, 0.0), 1.0)
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * utilisation
+
+
+class ServerPowerModel:
+    """Dynamic power/temperature tracking for one server."""
+
+    def __init__(self, server_id: str, profile: Optional[ServerPowerProfile] = None) -> None:
+        self.server_id = server_id
+        self.profile = profile or ServerPowerProfile()
+        self.state = PowerState.IDLE
+        self.utilisation = 0.0
+        #: exponentially weighted running average of the power draw
+        self._avg_power_watts = self.profile.power_at(0.0, self.state)
+        self._ewma_alpha = 0.3
+        self.energy_joules = 0.0
+        self.state_changes = 0
+        self.last_wake_time_s: Optional[float] = None
+
+    # -- state transitions --------------------------------------------------------------
+    def set_state(self, state: PowerState, now: float = 0.0) -> None:
+        """Transition the server to ``state``."""
+        if state is self.state:
+            return
+        if self.state is PowerState.DORMANT and state is not PowerState.DORMANT:
+            self.last_wake_time_s = now
+        self.state = state
+        self.state_changes += 1
+
+    def set_utilisation(self, utilisation: float) -> None:
+        """Update the utilisation used by the linear power model."""
+        if utilisation < 0:
+            raise ValueError("utilisation must be non-negative")
+        self.utilisation = min(utilisation, 1.0)
+
+    # -- measurements ---------------------------------------------------------------------
+    @property
+    def power_watts(self) -> float:
+        """Instantaneous power draw."""
+        return self.profile.power_at(self.utilisation, self.state)
+
+    @property
+    def average_power_watts(self) -> float:
+        """Running average of the draw (the paper's weighted-average P(t))."""
+        return self._avg_power_watts
+
+    def temperature_signal(self, interval_s: float) -> float:
+        """The synthetic sensor reading ``T(t) = P(t)·τ`` used by Section VII-D."""
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        return self.power_watts * interval_s
+
+    def advance(self, dt: float) -> float:
+        """Integrate energy over ``dt`` seconds; returns the joules consumed."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        power = self.power_watts
+        joules = power * dt
+        self.energy_joules += joules
+        self._avg_power_watts = (
+            self._ewma_alpha * power + (1.0 - self._ewma_alpha) * self._avg_power_watts
+        )
+        return joules
+
+    def is_dormant(self) -> bool:
+        """True while the server sits in the low-power state."""
+        return self.state is PowerState.DORMANT

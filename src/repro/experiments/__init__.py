@@ -1,0 +1,72 @@
+"""Experiment harness: scenarios, the runner, and per-figure generators.
+
+* :mod:`~repro.experiments.config` — :class:`ScenarioConfig`, with named
+  constructors for every scenario of the paper's evaluation section.
+* :mod:`~repro.experiments.runner` — builds a full stack (topology, fabric,
+  transport, controller, cluster, workload) for a scheme and runs it;
+  :func:`run_comparison` runs SCDA and RandTCP on the identical workload.
+* :mod:`~repro.experiments.figures` — one generator per figure (7-18) that
+  returns the plotted series.
+* :mod:`~repro.experiments.shapes` — qualitative shape checks (who wins, by
+  roughly how much) used by the tests and benchmarks.
+"""
+
+from repro.experiments.config import ScenarioConfig, WorkloadKind
+from repro.experiments.runner import (
+    SchemeStack,
+    build_stack,
+    run_scheme,
+    run_comparison,
+)
+from repro.experiments.figures import (
+    FigureData,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    FIGURE_GENERATORS,
+)
+from repro.experiments.shapes import ShapeCheck, check_comparison_shape
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_control_interval,
+    sweep_offered_load,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "WorkloadKind",
+    "SchemeStack",
+    "build_stack",
+    "run_scheme",
+    "run_comparison",
+    "FigureData",
+    "figure07",
+    "figure08",
+    "figure09",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+    "FIGURE_GENERATORS",
+    "ShapeCheck",
+    "check_comparison_shape",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_control_interval",
+    "sweep_offered_load",
+]

@@ -1,0 +1,185 @@
+"""Scenario configuration for the evaluation experiments.
+
+Every figure of Section X is a (topology, workload, duration) triple; the
+named constructors below encode the paper's parameters:
+
+* video traces, with and without control flows — ``X = 500 Mb/s``, ``K = 3``,
+  20 block servers (Section X-A1),
+* general datacenter traces — ``K = 1`` and ``K = 3`` (Section X-A2),
+* Pareto sizes / Poisson arrivals — ``X = 200 Mb/s``, ``K = 3``, mean size
+  500 KB, shape 1.6, 200 flows/s (Section X-B).
+
+The default durations are shorter than the paper's 100 s so the whole figure
+suite runs in minutes on a laptop; every constructor accepts overrides, and
+EXPERIMENTS.md records the settings actually used.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.rate_metric import ScdaParams
+from repro.network.tree import TreeTopologyConfig
+from repro.workloads.datacenter_traces import DatacenterTraceConfig
+from repro.workloads.pareto_poisson import ParetoPoissonConfig
+from repro.workloads.video_traces import VideoTraceConfig
+
+MBPS = 1e6
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+class WorkloadKind(enum.Enum):
+    """Which generator supplies the flow requests."""
+
+    VIDEO = "video"
+    DATACENTER = "datacenter"
+    PARETO_POISSON = "pareto-poisson"
+
+
+@dataclass
+class ScenarioConfig:
+    """A complete experiment scenario."""
+
+    name: str = "scenario"
+    seed: int = 1
+    sim_time_s: float = 30.0
+    #: extra time after the last arrival to let in-flight flows finish
+    drain_time_s: float = 30.0
+    topology: TreeTopologyConfig = field(default_factory=TreeTopologyConfig)
+    workload_kind: WorkloadKind = WorkloadKind.PARETO_POISSON
+    video: VideoTraceConfig = field(default_factory=VideoTraceConfig)
+    datacenter: DatacenterTraceConfig = field(default_factory=DatacenterTraceConfig)
+    pareto: ParetoPoissonConfig = field(default_factory=ParetoPoissonConfig)
+    scda_params: ScdaParams = field(default_factory=ScdaParams)
+    control_interval_s: float = 0.010
+    setup_rtts: float = 1.5
+    replication_enabled: bool = True
+    throughput_sample_interval_s: float = 1.0
+    #: scale-down threshold R_scale used by the passive-content policy
+    scale_down_threshold_bps: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.sim_time_s <= 0:
+            raise ValueError("sim_time_s must be positive")
+        if self.drain_time_s < 0:
+            raise ValueError("drain_time_s must be non-negative")
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if self.throughput_sample_interval_s <= 0:
+            raise ValueError("throughput_sample_interval_s must be positive")
+
+    # -- derived -----------------------------------------------------------------------------
+    @property
+    def total_time_s(self) -> float:
+        """Simulated horizon including the drain period."""
+        return self.sim_time_s + self.drain_time_s
+
+    def with_overrides(self, **kwargs) -> "ScenarioConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- named scenarios (the paper's experiments) -----------------------------------------------
+    @classmethod
+    def video_with_control(
+        cls, sim_time: float = 30.0, seed: int = 1, **overrides
+    ) -> "ScenarioConfig":
+        """Section X-A1, Figures 7-9: video traces including control flows."""
+        topology = TreeTopologyConfig(
+            base_bandwidth_bps=500 * MBPS,
+            bandwidth_factor=3.0,
+            num_agg=2,
+            racks_per_agg=2,
+            hosts_per_rack=5,            # 20 block servers, as scaled in the paper
+            num_clients=8,
+            client_bandwidth_bps=1500 * MBPS,
+        )
+        video = VideoTraceConfig(duration_s=sim_time, include_control_flows=True, num_clients=8)
+        cfg = cls(
+            name="video-with-control",
+            seed=seed,
+            sim_time_s=sim_time,
+            topology=topology,
+            workload_kind=WorkloadKind.VIDEO,
+            video=video,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def video_without_control(
+        cls, sim_time: float = 30.0, seed: int = 1, **overrides
+    ) -> "ScenarioConfig":
+        """Section X-A1, Figures 10-12: video traces, video flows only."""
+        cfg = cls.video_with_control(sim_time=sim_time, seed=seed)
+        cfg = cfg.with_overrides(
+            name="video-without-control",
+            video=replace(cfg.video, include_control_flows=False),
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def datacenter(
+        cls, bandwidth_factor: float = 1.0, sim_time: float = 30.0, seed: int = 1, **overrides
+    ) -> "ScenarioConfig":
+        """Section X-A2, Figures 13-16: general datacenter traces (K = 1 or 3)."""
+        topology = TreeTopologyConfig(
+            base_bandwidth_bps=500 * MBPS,
+            bandwidth_factor=bandwidth_factor,
+            num_agg=2,
+            racks_per_agg=2,
+            hosts_per_rack=5,
+            num_clients=8,
+            client_bandwidth_bps=1500 * MBPS,
+        )
+        dc = DatacenterTraceConfig(duration_s=sim_time, num_clients=8)
+        cfg = cls(
+            name=f"datacenter-k{bandwidth_factor:g}",
+            seed=seed,
+            sim_time_s=sim_time,
+            topology=topology,
+            workload_kind=WorkloadKind.DATACENTER,
+            datacenter=dc,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg
+
+    @classmethod
+    def pareto_poisson(
+        cls,
+        sim_time: float = 20.0,
+        seed: int = 1,
+        arrival_rate_per_s: float = 60.0,
+        **overrides,
+    ) -> "ScenarioConfig":
+        """Section X-B, Figures 17-18: Pareto sizes, Poisson arrivals.
+
+        The paper uses 200 flows/s over 100 s; the default here scales the
+        rate down so the scenario finishes quickly — pass
+        ``arrival_rate_per_s=200`` and ``sim_time=100`` for the full-size run.
+        """
+        topology = TreeTopologyConfig(
+            base_bandwidth_bps=200 * MBPS,
+            bandwidth_factor=3.0,
+            num_agg=2,
+            racks_per_agg=2,
+            hosts_per_rack=5,
+            num_clients=8,
+            client_bandwidth_bps=600 * MBPS,
+        )
+        pareto = ParetoPoissonConfig(
+            duration_s=sim_time,
+            arrival_rate_per_s=arrival_rate_per_s,
+            mean_size_bytes=500 * KB,
+            pareto_shape=1.6,
+            num_clients=8,
+        )
+        cfg = cls(
+            name="pareto-poisson",
+            seed=seed,
+            sim_time_s=sim_time,
+            topology=topology,
+            workload_kind=WorkloadKind.PARETO_POISSON,
+            pareto=pareto,
+        )
+        return cfg.with_overrides(**overrides) if overrides else cfg

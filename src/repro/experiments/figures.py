@@ -1,0 +1,305 @@
+"""Per-figure generators: regenerate the data series of Figures 7-18.
+
+Each ``figureNN`` function runs (or reuses) the SCDA-vs-RandTCP comparison on
+the corresponding scenario and returns a :class:`FigureData` holding exactly
+the series the paper plots: throughput-over-time curves, FCT CDFs, or
+AFCT-versus-file-size curves, one series per scheme.
+
+The functions accept a ``ScenarioConfig`` so tests and benchmarks can run
+scaled-down versions; the defaults match the scenario constructors in
+:mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_comparison
+from repro.metrics.comparison import ComparisonResult
+from repro.metrics.fct import size_bin_edges
+
+MB = 1024.0 * 1024.0
+KB = 1024.0
+
+
+@dataclass
+class FigureData:
+    """The data behind one figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    #: series name -> (x values, y values)
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    #: headline comparison numbers for EXPERIMENTS.md
+    summary: Dict[str, float] = field(default_factory=dict)
+    comparison: Optional[ComparisonResult] = None
+
+    def add_series(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        """Attach one named curve."""
+        if len(x) != len(y):
+            raise ValueError(f"series {name!r}: x and y lengths differ ({len(x)} vs {len(y)})")
+        self.series[name] = (np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+
+    def as_table(self) -> str:
+        """A plain-text rendering of the series (rows = x, one column per series)."""
+        if not self.series:
+            return f"{self.figure_id}: (no data)"
+        names = list(self.series)
+        lines = [f"# {self.figure_id}: {self.title}", "\t".join([self.x_label] + names)]
+        reference_x = self.series[names[0]][0]
+        for i, x in enumerate(reference_x):
+            row = [f"{x:.4g}"]
+            for name in names:
+                xs, ys = self.series[name]
+                row.append(f"{ys[i]:.4g}" if i < len(ys) else "")
+            lines.append("\t".join(row))
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------------------------------
+# Builders shared by several figures
+# ------------------------------------------------------------------------------------------
+def _throughput_figure(
+    figure_id: str, title: str, comparison: ComparisonResult
+) -> FigureData:
+    fig = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label="Simulation time (sec)",
+        y_label="Avg. Inst. Thpt (KB/sec)",
+        comparison=comparison,
+    )
+    for result in (comparison.baseline, comparison.candidate):
+        times, thpt = result.throughput.series()
+        fig.add_series(result.scheme, times, thpt)
+    fig.summary = comparison.summary()
+    return fig
+
+
+def _fct_cdf_figure(figure_id: str, title: str, comparison: ComparisonResult) -> FigureData:
+    fig = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label="FCT (sec)",
+        y_label="FCT CDF",
+        comparison=comparison,
+    )
+    for result in (comparison.baseline, comparison.candidate):
+        x, y = result.fct_cdf()
+        fig.add_series(result.scheme, x, y)
+    fig.summary = comparison.summary()
+    return fig
+
+
+def _afct_figure(
+    figure_id: str,
+    title: str,
+    comparison: ComparisonResult,
+    max_size_bytes: float,
+    num_bins: int,
+    x_unit_bytes: float,
+    x_label: str,
+    min_size_bytes: float = 1.0,
+) -> FigureData:
+    fig = FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label=x_label,
+        y_label="AFCT (sec)",
+        comparison=comparison,
+    )
+    edges = size_bin_edges(min_size_bytes, max_size_bytes, num_bins)
+    for result in (comparison.baseline, comparison.candidate):
+        centers, afct, _counts = result.afct_curve(edges)
+        mask = np.isfinite(afct)
+        fig.add_series(result.scheme, centers[mask] / x_unit_bytes, afct[mask])
+    fig.summary = comparison.summary()
+    return fig
+
+
+def _ensure_comparison(
+    config: Optional[ScenarioConfig],
+    default_config: Callable[[], ScenarioConfig],
+    comparison: Optional[ComparisonResult],
+) -> ComparisonResult:
+    if comparison is not None:
+        return comparison
+    cfg = config if config is not None else default_config()
+    return run_comparison(cfg)
+
+
+# ------------------------------------------------------------------------------------------
+# Figures 7-9: video traces with control flows
+# ------------------------------------------------------------------------------------------
+def figure07(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """Average instantaneous throughput, video traces *with* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    return _throughput_figure(
+        "fig07", "RandTCP vs SCDA instantaneous average throughput (video + control)", comparison
+    )
+
+
+def figure08(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """FCT CDF, video traces *with* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    return _fct_cdf_figure("fig08", "Content upload time CDF (video + control)", comparison)
+
+
+def figure09(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """AFCT versus file size, video traces *with* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    return _afct_figure(
+        "fig09",
+        "Average file completion time vs file size (video + control)",
+        comparison,
+        max_size_bytes=31 * MB,
+        num_bins=10,
+        x_unit_bytes=MB,
+        x_label="File Size (MB)",
+    )
+
+
+# ------------------------------------------------------------------------------------------
+# Figures 10-12: video traces without control flows
+# ------------------------------------------------------------------------------------------
+def figure10(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """Average instantaneous throughput, video traces *without* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    return _throughput_figure(
+        "fig10", "RandTCP vs SCDA instantaneous average throughput (video only)", comparison
+    )
+
+
+def figure11(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """FCT CDF, video traces *without* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    return _fct_cdf_figure("fig11", "Content upload time CDF (video only)", comparison)
+
+
+def figure12(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """AFCT versus file size, video traces *without* control flows."""
+    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    return _afct_figure(
+        "fig12",
+        "Average file completion time vs file size (video only)",
+        comparison,
+        max_size_bytes=31 * MB,
+        num_bins=10,
+        x_unit_bytes=MB,
+        x_label="File Size (MB)",
+    )
+
+
+# ------------------------------------------------------------------------------------------
+# Figures 13-16: general datacenter traces
+# ------------------------------------------------------------------------------------------
+def figure13(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """AFCT versus file size, datacenter traces, K = 1."""
+    comparison = _ensure_comparison(
+        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=1.0), comparison
+    )
+    return _afct_figure(
+        "fig13",
+        "Average file completion time vs file size (datacenter traces, K=1)",
+        comparison,
+        max_size_bytes=7000 * KB,
+        num_bins=10,
+        x_unit_bytes=KB,
+        x_label="File Size (KBytes)",
+    )
+
+
+def figure14(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """FCT CDF, datacenter traces, K = 1."""
+    comparison = _ensure_comparison(
+        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=1.0), comparison
+    )
+    return _fct_cdf_figure("fig14", "Content upload time CDF (datacenter traces, K=1)", comparison)
+
+
+def figure15(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """AFCT versus file size, datacenter traces, K = 3."""
+    comparison = _ensure_comparison(
+        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=3.0), comparison
+    )
+    return _afct_figure(
+        "fig15",
+        "Average file completion time vs file size (datacenter traces, K=3)",
+        comparison,
+        max_size_bytes=7000 * KB,
+        num_bins=10,
+        x_unit_bytes=KB,
+        x_label="File Size (KBytes)",
+    )
+
+
+def figure16(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """FCT CDF, datacenter traces, K = 3."""
+    comparison = _ensure_comparison(
+        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=3.0), comparison
+    )
+    return _fct_cdf_figure("fig16", "Content upload time CDF (datacenter traces, K=3)", comparison)
+
+
+# ------------------------------------------------------------------------------------------
+# Figures 17-18: Pareto sizes, Poisson arrivals
+# ------------------------------------------------------------------------------------------
+def figure17(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """Average instantaneous throughput, Pareto/Poisson workload."""
+    comparison = _ensure_comparison(config, ScenarioConfig.pareto_poisson, comparison)
+    return _throughput_figure(
+        "fig17", "RandTCP vs SCDA instantaneous average throughput (Pareto/Poisson)", comparison
+    )
+
+
+def figure18(
+    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+) -> FigureData:
+    """FCT CDF, Pareto/Poisson workload."""
+    comparison = _ensure_comparison(config, ScenarioConfig.pareto_poisson, comparison)
+    return _fct_cdf_figure("fig18", "File completion time CDF (Pareto/Poisson)", comparison)
+
+
+#: figure id -> (generator, default scenario constructor)
+FIGURE_GENERATORS: Dict[str, Callable[..., FigureData]] = {
+    "fig07": figure07,
+    "fig08": figure08,
+    "fig09": figure09,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "fig14": figure14,
+    "fig15": figure15,
+    "fig16": figure16,
+    "fig17": figure17,
+    "fig18": figure18,
+}

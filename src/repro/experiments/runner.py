@@ -1,0 +1,227 @@
+"""Builds and runs a full stack for one scheme and one scenario."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SchemeSpec
+from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.placement import (
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    ScdaPlacement,
+)
+from repro.cluster.replication import ReplicationConfig
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.core.rate_metric import ScdaParams
+from repro.experiments.config import ScenarioConfig, WorkloadKind
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.comparison import ComparisonResult, SchemeResult
+from repro.network.fabric import FabricConfig, FabricSimulator
+from repro.network.flow import FlowKind
+from repro.network.topology import Topology
+from repro.network.transport import (
+    IdealMaxMinTransport,
+    ScdaTransport,
+    TcpTransport,
+)
+from repro.network.tree import build_tree_topology
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams, derive_seed
+from repro.workloads.datacenter_traces import generate_datacenter_workload
+from repro.workloads.pareto_poisson import generate_pareto_poisson_workload
+from repro.workloads.traces import FlowRequest, Operation, Workload
+from repro.workloads.video_traces import generate_video_workload
+
+
+@dataclass
+class SchemeStack:
+    """Everything built for one scheme run."""
+
+    spec: SchemeSpec
+    sim: Simulator
+    topology: Topology
+    fabric: FabricSimulator
+    cluster: StorageCluster
+    collector: MetricsCollector
+    controller: Optional[ScdaController] = None
+    placement: Optional[PlacementPolicy] = None
+
+
+def generate_workload(config: ScenarioConfig) -> Workload:
+    """The scenario's workload (identical for every scheme, keyed by the seed)."""
+    if config.workload_kind is WorkloadKind.VIDEO:
+        return generate_video_workload(config.video, seed=config.seed)
+    if config.workload_kind is WorkloadKind.DATACENTER:
+        return generate_datacenter_workload(config.datacenter, seed=config.seed)
+    if config.workload_kind is WorkloadKind.PARETO_POISSON:
+        return generate_pareto_poisson_workload(config.pareto, seed=config.seed)
+    raise ValueError(f"unknown workload kind {config.workload_kind!r}")
+
+
+def build_stack(config: ScenarioConfig, spec: SchemeSpec) -> SchemeStack:
+    """Instantiate the simulator, network, control plane and cluster for a scheme."""
+    sim = Simulator()
+    topology = build_tree_topology(config.topology)
+
+    scda_params = ScdaParams(
+        alpha=config.scda_params.alpha,
+        beta=config.scda_params.beta,
+        control_interval_s=config.control_interval_s,
+        drain_time_s=config.scda_params.drain_time_s,
+        min_rate_bps=config.scda_params.min_rate_bps,
+    )
+
+    controller: Optional[ScdaController] = None
+    if spec.needs_controller:
+        controller = ScdaController(
+            sim,
+            topology,
+            ScdaControllerConfig(
+                params=scda_params,
+                scale_down_threshold_bps=config.scale_down_threshold_bps,
+                power_aware_selection=spec.power_aware,
+                use_simplified_metric=spec.simplified_metric,
+            ),
+        )
+
+    if spec.transport == "tcp":
+        transport = TcpTransport()
+    elif spec.transport == "scda":
+        if controller is None:  # pragma: no cover - defensive, needs_controller covers it
+            raise ValueError("SCDA transport requires a controller")
+        transport = ScdaTransport(controller)
+    elif spec.transport == "ideal":
+        transport = IdealMaxMinTransport()
+    else:  # pragma: no cover - SchemeSpec validates
+        raise ValueError(f"unknown transport {spec.transport!r}")
+
+    fabric = FabricSimulator(
+        sim,
+        topology,
+        transport,
+        config=FabricConfig(control_interval_s=config.control_interval_s),
+    )
+    if controller is not None:
+        controller.attach_fabric(fabric)
+
+    placement_seed = derive_seed(config.seed, f"placement:{spec.name}")
+    if spec.placement == "random":
+        placement: PlacementPolicy = RandomPlacement(seed=placement_seed)
+    elif spec.placement == "scda":
+        if controller is None:  # pragma: no cover - defensive
+            raise ValueError("SCDA placement requires a controller")
+        placement = ScdaPlacement(controller)
+    elif spec.placement == "round-robin":
+        placement = RoundRobinPlacement()
+    elif spec.placement == "least-loaded":
+        placement = LeastLoadedPlacement(fabric)
+    else:  # pragma: no cover - SchemeSpec validates
+        raise ValueError(f"unknown placement {spec.placement!r}")
+
+    cluster = StorageCluster(
+        sim,
+        topology,
+        fabric,
+        placement,
+        config=StorageClusterConfig(
+            setup_rtts=config.setup_rtts,
+            replication=ReplicationConfig(enabled=config.replication_enabled),
+        ),
+    )
+
+    collector = MetricsCollector(
+        fabric,
+        sample_interval_s=config.throughput_sample_interval_s,
+        record_kinds=(FlowKind.CONTROL, FlowKind.VIDEO, FlowKind.DATA),
+    )
+
+    return SchemeStack(
+        spec=spec,
+        sim=sim,
+        topology=topology,
+        fabric=fabric,
+        cluster=cluster,
+        collector=collector,
+        controller=controller,
+        placement=placement,
+    )
+
+
+def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
+    """Submit one workload request to the cluster at its arrival time."""
+    client = clients[request.client_index % len(clients)]
+    cluster = stack.cluster
+    if request.operation is Operation.READ and request.content_ref:
+        nns = cluster.name_node_for_content(request.content_ref)
+        if nns.knows(request.content_ref):
+            cluster.read(client, request.content_ref, flow_kind=request.flow_kind)
+            return
+    content = Content.create(
+        size_bytes=request.size_bytes,
+        declared_class=request.content_class,
+        owner=client.node_id,
+        prefix=request.flow_kind.value,
+    )
+    cluster.write(client, content, flow_kind=request.flow_kind)
+
+
+def run_scheme(
+    config: ScenarioConfig, spec: SchemeSpec, workload: Optional[Workload] = None
+) -> SchemeResult:
+    """Run one scheme over the scenario and return its measurements."""
+    stack = build_stack(config, spec)
+    if workload is None:
+        workload = generate_workload(config)
+
+    clients = stack.topology.clients()
+    if not clients:
+        raise ValueError("scenario topology has no client nodes")
+
+    sim = stack.sim
+    for request in workload:
+        sim.call_at(request.arrival_time_s, _issue_request, stack, request, clients)
+
+    stack.collector.start_sampling()
+    wall_start = time.perf_counter()
+    sim.run(until=config.total_time_s)
+    wall_clock = time.perf_counter() - wall_start
+    stack.collector.stop_sampling()
+
+    sla_violations = (
+        stack.controller.sla_monitor.count if stack.controller is not None else 0
+    )
+    result = SchemeResult(
+        scheme=spec.name,
+        records=stack.collector.records,
+        throughput=stack.collector.throughput,
+        sla_violations=sla_violations,
+        wall_clock_s=wall_clock,
+        extras={
+            "requests_issued": float(len(workload)),
+            "requests_completed": float(len(stack.cluster.completed_requests())),
+            "events_processed": float(sim.events_processed),
+        },
+    )
+    return result
+
+
+def run_comparison(
+    config: ScenarioConfig,
+    candidate: SchemeSpec = SCDA_SCHEME,
+    baseline: SchemeSpec = RAND_TCP,
+) -> ComparisonResult:
+    """Run the candidate and the baseline on the *same* workload and compare."""
+    workload = generate_workload(config)
+    candidate_result = run_scheme(config, candidate, workload)
+    baseline_result = run_scheme(config, baseline, workload)
+    return ComparisonResult(
+        scenario=config.name, candidate=candidate_result, baseline=baseline_result
+    )

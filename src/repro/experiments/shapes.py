@@ -1,0 +1,110 @@
+"""Qualitative shape checks.
+
+The reproduction is not expected to match the paper's absolute numbers (our
+substrate is a flow-level simulator, not the authors' NS-2 setup), but the
+*shape* of every result should hold:
+
+* SCDA's mean FCT is lower than RandTCP's (paper: ≈50 % lower; we require a
+  configurable margin, 20 % by default);
+* SCDA's average instantaneous throughput is at least RandTCP's;
+* SCDA's FCT CDF is (mostly) above RandTCP's — flows finish earlier;
+* SCDA's AFCT curve fluctuates less across file-size bins than RandTCP's
+  (the paper calls out RandTCP's "wild fluctuations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.comparison import ComparisonResult
+from repro.metrics.fct import size_bin_edges
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of the qualitative checks for one comparison."""
+
+    scenario: str
+    fct_improved: bool
+    fct_reduction_fraction: float
+    throughput_not_worse: bool
+    throughput_gain_fraction: float
+    cdf_mostly_dominates: bool
+    cdf_dominance: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every qualitative claim holds."""
+        return self.fct_improved and self.throughput_not_worse and self.cdf_mostly_dominates
+
+
+def check_comparison_shape(
+    comparison: ComparisonResult,
+    min_fct_reduction: float = 0.2,
+    min_cdf_dominance: float = 0.7,
+    throughput_slack: float = 0.05,
+) -> ShapeCheck:
+    """Evaluate the paper's qualitative claims on a comparison result.
+
+    Parameters
+    ----------
+    comparison:
+        Output of :func:`repro.experiments.runner.run_comparison`.
+    min_fct_reduction:
+        Minimum fractional mean-FCT reduction demanded of SCDA (paper ≈ 0.5;
+        the default of 0.2 leaves room for scaled-down scenarios).
+    min_cdf_dominance:
+        Minimum fraction of the FCT range on which SCDA's CDF must lie above
+        RandTCP's.
+    throughput_slack:
+        SCDA's average instantaneous throughput may be at most this fraction
+        below RandTCP's and still count as "not worse".
+    """
+    fct_reduction = comparison.fct_reduction_fraction()
+    throughput_gain = comparison.throughput_gain_fraction()
+    dominance = comparison.cdf_dominance()
+
+    return ShapeCheck(
+        scenario=comparison.scenario,
+        fct_improved=bool(np.isfinite(fct_reduction) and fct_reduction >= min_fct_reduction),
+        fct_reduction_fraction=float(fct_reduction),
+        throughput_not_worse=bool(
+            np.isfinite(throughput_gain) and throughput_gain >= -throughput_slack
+        ),
+        throughput_gain_fraction=float(throughput_gain),
+        cdf_mostly_dominates=bool(np.isfinite(dominance) and dominance >= min_cdf_dominance),
+        cdf_dominance=float(dominance),
+        details=comparison.summary(),
+    )
+
+
+def afct_fluctuation_ratio(
+    comparison: ComparisonResult,
+    max_size_bytes: float,
+    num_bins: int = 10,
+) -> float:
+    """RandTCP's AFCT-curve coefficient of variation divided by SCDA's.
+
+    Values above 1 mean the baseline's AFCT curve fluctuates more across
+    file-size bins than SCDA's, which is the "wild fluctuations" observation
+    of Section X.  Returns NaN when either curve has fewer than two bins.
+    """
+    edges = size_bin_edges(1.0, max_size_bytes, num_bins)
+
+    def cov(result) -> float:
+        _centers, afct, counts = result.afct_curve(edges)
+        valid = np.isfinite(afct) & (counts > 0)
+        values = afct[valid]
+        if values.size < 2 or values.mean() <= 0:
+            return float("nan")
+        return float(values.std() / values.mean())
+
+    baseline_cov = cov(comparison.baseline)
+    candidate_cov = cov(comparison.candidate)
+    if not np.isfinite(baseline_cov) or not np.isfinite(candidate_cov) or candidate_cov <= 0:
+        return float("nan")
+    return baseline_cov / candidate_cov

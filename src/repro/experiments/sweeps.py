@@ -1,0 +1,123 @@
+"""Parameter sweeps: how the SCDA-vs-RandTCP gap changes with load and scale.
+
+The paper reports single operating points per figure; these sweeps extend the
+evaluation by varying
+
+* the offered load (arrival rate) — showing where the schemes' FCTs diverge
+  and that there is no crossover where RandTCP becomes preferable, and
+* the control interval τ — complementing the step-response analysis in
+  :mod:`repro.analysis.convergence`.
+
+Each sweep reuses the experiment runner, so every point is a full
+simulation of both schemes on an identical workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SchemeSpec
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_comparison
+
+
+@dataclass
+class SweepPoint:
+    """One operating point of a sweep."""
+
+    parameter: float
+    candidate_mean_fct_s: float
+    baseline_mean_fct_s: float
+    speedup: float
+    cdf_dominance: float
+
+    @property
+    def candidate_wins(self) -> bool:
+        return self.speedup > 1.0
+
+
+@dataclass
+class SweepResult:
+    """An ordered collection of sweep points."""
+
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def parameters(self) -> List[float]:
+        return [p.parameter for p in self.points]
+
+    def speedups(self) -> List[float]:
+        return [p.speedup for p in self.points]
+
+    def crossover_points(self) -> List[float]:
+        """Parameter values at which the baseline would win (none expected)."""
+        return [p.parameter for p in self.points if not p.candidate_wins]
+
+    def as_table(self) -> str:
+        lines = [f"{self.parameter_name:>14s}  {'SCDA FCT':>10s}  {'RandTCP FCT':>12s}  {'speedup':>8s}"]
+        for p in self.points:
+            lines.append(
+                f"{p.parameter:>14.4g}  {p.candidate_mean_fct_s:>10.3f}  "
+                f"{p.baseline_mean_fct_s:>12.3f}  {p.speedup:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_offered_load(
+    arrival_rates_per_s: Sequence[float],
+    sim_time: float = 6.0,
+    seed: int = 1,
+    candidate: SchemeSpec = SCDA_SCHEME,
+    baseline: SchemeSpec = RAND_TCP,
+) -> SweepResult:
+    """Sweep the Pareto/Poisson arrival rate and compare the schemes at each point."""
+    if not arrival_rates_per_s:
+        raise ValueError("need at least one arrival rate")
+    result = SweepResult(parameter_name="arrival rate (flows/s)")
+    for rate in arrival_rates_per_s:
+        if rate <= 0:
+            raise ValueError("arrival rates must be positive")
+        config = ScenarioConfig.pareto_poisson(
+            sim_time=sim_time, seed=seed, arrival_rate_per_s=float(rate)
+        )
+        comparison = run_comparison(config, candidate=candidate, baseline=baseline)
+        result.points.append(
+            SweepPoint(
+                parameter=float(rate),
+                candidate_mean_fct_s=comparison.candidate.mean_fct_s(),
+                baseline_mean_fct_s=comparison.baseline.mean_fct_s(),
+                speedup=comparison.speedup_afct(),
+                cdf_dominance=comparison.cdf_dominance(),
+            )
+        )
+    return result
+
+
+def sweep_control_interval(
+    control_intervals_s: Sequence[float],
+    sim_time: float = 6.0,
+    seed: int = 1,
+    arrival_rate_per_s: float = 40.0,
+) -> SweepResult:
+    """Sweep τ for SCDA (the baseline is τ-independent and measured once)."""
+    if not control_intervals_s:
+        raise ValueError("need at least one control interval")
+    result = SweepResult(parameter_name="control interval (s)")
+    for tau in control_intervals_s:
+        if tau <= 0:
+            raise ValueError("control intervals must be positive")
+        config = ScenarioConfig.pareto_poisson(
+            sim_time=sim_time, seed=seed, arrival_rate_per_s=arrival_rate_per_s
+        ).with_overrides(control_interval_s=float(tau))
+        comparison = run_comparison(config)
+        result.points.append(
+            SweepPoint(
+                parameter=float(tau),
+                candidate_mean_fct_s=comparison.candidate.mean_fct_s(),
+                baseline_mean_fct_s=comparison.baseline.mean_fct_s(),
+                speedup=comparison.speedup_afct(),
+                cdf_dominance=comparison.cdf_dominance(),
+            )
+        )
+    return result

@@ -1,0 +1,35 @@
+"""Metrics: everything the paper's figures plot.
+
+* :mod:`~repro.metrics.records` — per-flow completion records.
+* :mod:`~repro.metrics.collector` — attaches to a fabric, records completions
+  and samples instantaneous throughput.
+* :mod:`~repro.metrics.fct` — FCT statistics and AFCT-by-file-size binning
+  (Figures 9, 12, 13, 15).
+* :mod:`~repro.metrics.throughput` — average instantaneous throughput time
+  series (Figures 7, 10, 17).
+* :mod:`~repro.metrics.cdf` — empirical CDFs (Figures 8, 11, 14, 16, 18).
+* :mod:`~repro.metrics.comparison` — side-by-side summaries of two schemes
+  (SCDA vs RandTCP) with the speedup ratios the paper quotes.
+"""
+
+from repro.metrics.records import FlowRecord
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fct import FctStatistics, afct_by_size_bins, average_fct
+from repro.metrics.throughput import ThroughputSample, ThroughputSeries
+from repro.metrics.cdf import empirical_cdf, cdf_at, percentile
+from repro.metrics.comparison import SchemeResult, ComparisonResult
+
+__all__ = [
+    "FlowRecord",
+    "MetricsCollector",
+    "FctStatistics",
+    "afct_by_size_bins",
+    "average_fct",
+    "ThroughputSample",
+    "ThroughputSeries",
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "SchemeResult",
+    "ComparisonResult",
+]

@@ -1,0 +1,61 @@
+"""Empirical CDFs (the FCT CDF figures)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` of the empirical CDF of ``values``.
+
+    ``x`` is the sorted sample; ``F(x)`` steps from 1/n to 1.  Empty input
+    yields two empty arrays.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return np.array([]), np.array([])
+    x = np.sort(arr)
+    y = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return x, y
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= ``threshold``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.mean(arr <= threshold))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100])."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+def stochastic_dominance_fraction(
+    better: Sequence[float], worse: Sequence[float], grid_points: int = 50
+) -> float:
+    """Fraction of a common grid where CDF(better) >= CDF(worse).
+
+    1.0 means the 'better' sample stochastically dominates the 'worse' one
+    everywhere on the grid (its CDF is above, i.e. it finishes faster); the
+    shape checks in the experiment harness use this to compare FCT CDFs.
+    """
+    a = np.asarray(list(better), dtype=float)
+    b = np.asarray(list(worse), dtype=float)
+    if a.size == 0 or b.size == 0:
+        return float("nan")
+    if grid_points < 2:
+        raise ValueError("grid_points must be >= 2")
+    hi = max(a.max(), b.max())
+    lo = min(a.min(), b.min())
+    grid = np.linspace(lo, hi, grid_points)
+    dominance = [cdf_at(a, g) >= cdf_at(b, g) - 1e-12 for g in grid]
+    return float(np.mean(dominance))

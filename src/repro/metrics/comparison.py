@@ -1,0 +1,149 @@
+"""Side-by-side comparison of two schemes (SCDA vs RandTCP).
+
+The paper's headline numbers are ratios — "content transfer time about 50 %
+lower", "throughput higher by up to 60 %" — so the comparison object exposes
+exactly those ratios, computed from the per-scheme records and throughput
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.cdf import empirical_cdf, stochastic_dominance_fraction
+from repro.metrics.fct import FctStatistics, afct_by_size_bins, average_fct
+from repro.metrics.records import FlowRecord
+from repro.metrics.throughput import ThroughputSeries
+
+
+@dataclass
+class SchemeResult:
+    """Everything measured for one scheme in one scenario."""
+
+    scheme: str
+    records: List[FlowRecord] = field(default_factory=list)
+    throughput: ThroughputSeries = field(default_factory=ThroughputSeries)
+    sla_violations: int = 0
+    wall_clock_s: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # -- flow statistics ------------------------------------------------------------------
+    def fcts(self) -> np.ndarray:
+        """Completion times of all recorded flows."""
+        return np.array([r.fct_s for r in self.records], dtype=float)
+
+    def fct_statistics(self) -> FctStatistics:
+        """Summary statistics of the completion times."""
+        return FctStatistics.from_fcts(self.fcts())
+
+    def mean_fct_s(self) -> float:
+        """Average completion time."""
+        return average_fct(self.records)
+
+    def mean_throughput_kBps(self) -> float:
+        """Average instantaneous per-flow throughput in KB/s.
+
+        This is the time-series metric the throughput figures plot (the mean
+        of the active flows' instantaneous rates at each sampling instant).
+        It is sensitive to how many slow flows are in flight at the sampling
+        instants; for a per-flow summary that is easier to compare across
+        schemes use :meth:`mean_goodput_kBps`.
+        """
+        return self.throughput.average_mean_flow_kBps()
+
+    def mean_goodput_kBps(self) -> float:
+        """Mean per-flow goodput (flow size / FCT) over all recorded flows, in KB/s."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.goodput_bps for r in self.records])) / 8.0 / 1024.0
+
+    def fct_cdf(self):
+        """``(x, F(x))`` of the FCT CDF."""
+        return empirical_cdf(self.fcts())
+
+    def afct_curve(self, bin_edges_bytes: Sequence[float]):
+        """AFCT-vs-size curve for this scheme."""
+        return afct_by_size_bins(self.records, bin_edges_bytes)
+
+    @property
+    def completed_flows(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class ComparisonResult:
+    """SCDA (candidate) against a baseline, for one scenario."""
+
+    scenario: str
+    candidate: SchemeResult
+    baseline: SchemeResult
+
+    # -- headline ratios -------------------------------------------------------------------
+    def speedup_afct(self) -> float:
+        """``AFCT(baseline) / AFCT(candidate)`` — >1 means the candidate is faster."""
+        base = self.baseline.mean_fct_s()
+        cand = self.candidate.mean_fct_s()
+        if not np.isfinite(base) or not np.isfinite(cand) or cand <= 0:
+            return float("nan")
+        return base / cand
+
+    def fct_reduction_fraction(self) -> float:
+        """Fraction by which the candidate reduces the mean FCT (the paper's ~0.5)."""
+        speedup = self.speedup_afct()
+        if not np.isfinite(speedup) or speedup <= 0:
+            return float("nan")
+        return 1.0 - 1.0 / speedup
+
+    def throughput_gain_fraction(self) -> float:
+        """Relative gain in average instantaneous throughput (the paper's up-to-0.6)."""
+        base = self.baseline.mean_throughput_kBps()
+        cand = self.candidate.mean_throughput_kBps()
+        if base <= 0:
+            return float("nan")
+        return cand / base - 1.0
+
+    def goodput_gain_fraction(self) -> float:
+        """Relative gain in mean per-flow goodput (size / FCT).
+
+        Less sensitive to sampling effects than
+        :meth:`throughput_gain_fraction`; roughly tracks the FCT speedup.
+        """
+        base = self.baseline.mean_goodput_kBps()
+        cand = self.candidate.mean_goodput_kBps()
+        if base <= 0:
+            return float("nan")
+        return cand / base - 1.0
+
+    def median_fct_ratio(self) -> float:
+        """``median FCT(baseline) / median FCT(candidate)``."""
+        base = self.baseline.fct_statistics().median_s
+        cand = self.candidate.fct_statistics().median_s
+        if not np.isfinite(base) or not np.isfinite(cand) or cand <= 0:
+            return float("nan")
+        return base / cand
+
+    def cdf_dominance(self) -> float:
+        """Fraction of the FCT range where the candidate's CDF is above the baseline's."""
+        return stochastic_dominance_fraction(self.candidate.fcts(), self.baseline.fcts())
+
+    def summary(self) -> Dict[str, float]:
+        """All headline numbers in one dict (written into EXPERIMENTS.md)."""
+        return {
+            "candidate_mean_fct_s": self.candidate.mean_fct_s(),
+            "baseline_mean_fct_s": self.baseline.mean_fct_s(),
+            "speedup_afct": self.speedup_afct(),
+            "fct_reduction_fraction": self.fct_reduction_fraction(),
+            "candidate_mean_thpt_kBps": self.candidate.mean_throughput_kBps(),
+            "baseline_mean_thpt_kBps": self.baseline.mean_throughput_kBps(),
+            "throughput_gain_fraction": self.throughput_gain_fraction(),
+            "candidate_mean_goodput_kBps": self.candidate.mean_goodput_kBps(),
+            "baseline_mean_goodput_kBps": self.baseline.mean_goodput_kBps(),
+            "goodput_gain_fraction": self.goodput_gain_fraction(),
+            "median_fct_ratio": self.median_fct_ratio(),
+            "cdf_dominance": self.cdf_dominance(),
+            "candidate_flows": float(self.candidate.completed_flows),
+            "baseline_flows": float(self.baseline.completed_flows),
+        }

@@ -1,0 +1,113 @@
+"""Flow-completion-time statistics and AFCT-by-size binning.
+
+The paper defines AFCT for a size bin as "the average completion times of all
+flows with that size which finish within simulation time" (Figures 9, 12, 13
+and 15 plot AFCT against file size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.records import FlowRecord
+
+
+@dataclass
+class FctStatistics:
+    """Summary statistics of a set of completion times."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_fcts(cls, fcts: Sequence[float]) -> "FctStatistics":
+        arr = np.asarray(list(fcts), dtype=float)
+        if arr.size == 0:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        return cls(
+            count=int(arr.size),
+            mean_s=float(arr.mean()),
+            median_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            p99_s=float(np.percentile(arr, 99)),
+            max_s=float(arr.max()),
+        )
+
+
+def average_fct(records: Sequence[FlowRecord]) -> float:
+    """Mean FCT over all records (NaN when empty)."""
+    if not records:
+        return float("nan")
+    return float(np.mean([r.fct_s for r in records]))
+
+
+def afct_by_size_bins(
+    records: Sequence[FlowRecord],
+    bin_edges_bytes: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Average FCT per file-size bin.
+
+    Parameters
+    ----------
+    records:
+        Finished-flow records.
+    bin_edges_bytes:
+        Monotonically increasing bin edges in bytes (``len(edges) - 1`` bins).
+
+    Returns
+    -------
+    (bin_centers_bytes, afct_s, counts)
+        Bins with no flows have ``afct_s = nan`` and ``counts = 0``.
+    """
+    edges = np.asarray(list(bin_edges_bytes), dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("need at least two bin edges")
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("bin edges must be strictly increasing")
+
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    afct = np.full(centers.shape, np.nan)
+    counts = np.zeros(centers.shape, dtype=int)
+    if not records:
+        return centers, afct, counts
+
+    sizes = np.array([r.size_bytes for r in records], dtype=float)
+    fcts = np.array([r.fct_s for r in records], dtype=float)
+    indices = np.digitize(sizes, edges) - 1
+    for b in range(centers.size):
+        mask = indices == b
+        if np.any(mask):
+            afct[b] = float(fcts[mask].mean())
+            counts[b] = int(mask.sum())
+    return centers, afct, counts
+
+
+def size_bin_edges(
+    min_bytes: float, max_bytes: float, num_bins: int, log_scale: bool = False
+) -> np.ndarray:
+    """Convenience constructor for AFCT bin edges."""
+    if min_bytes <= 0 or max_bytes <= min_bytes:
+        raise ValueError("need 0 < min < max")
+    if num_bins < 1:
+        raise ValueError("need at least one bin")
+    if log_scale:
+        return np.logspace(np.log10(min_bytes), np.log10(max_bytes), num_bins + 1)
+    return np.linspace(min_bytes, max_bytes, num_bins + 1)
+
+
+def afct_ratio(
+    baseline: Sequence[FlowRecord], candidate: Sequence[FlowRecord]
+) -> float:
+    """``mean FCT(baseline) / mean FCT(candidate)`` — >1 means the candidate is faster."""
+    base = average_fct(baseline)
+    cand = average_fct(candidate)
+    if not np.isfinite(base) or not np.isfinite(cand) or cand <= 0:
+        return float("nan")
+    return base / cand

@@ -1,0 +1,55 @@
+"""Per-flow completion records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.flow import Flow, FlowKind
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """An immutable summary of one finished flow."""
+
+    flow_id: int
+    size_bytes: float
+    created_at_s: float
+    started_at_s: float
+    finished_at_s: float
+    kind: FlowKind
+    src: str
+    dst: str
+
+    @property
+    def fct_s(self) -> float:
+        """Flow completion time, including any setup latency before the flow started."""
+        return self.finished_at_s - self.created_at_s
+
+    @property
+    def transfer_time_s(self) -> float:
+        """Pure transfer time (excluding setup latency)."""
+        return self.finished_at_s - self.started_at_s
+
+    @property
+    def goodput_bps(self) -> float:
+        """Average delivered rate over the flow's lifetime."""
+        if self.fct_s <= 0:
+            return float("inf")
+        return self.size_bytes * 8.0 / self.fct_s
+
+    @classmethod
+    def from_flow(cls, flow: Flow) -> "FlowRecord":
+        """Build a record from a finished flow."""
+        if flow.finished_at is None or flow.started_at is None:
+            raise ValueError(f"flow {flow.flow_id} has not finished")
+        return cls(
+            flow_id=flow.flow_id,
+            size_bytes=flow.size_bytes,
+            created_at_s=flow.created_at,
+            started_at_s=flow.started_at,
+            finished_at_s=flow.finished_at,
+            kind=flow.kind,
+            src=flow.src.node_id,
+            dst=flow.dst.node_id,
+        )

@@ -1,0 +1,77 @@
+"""Instantaneous-throughput time series (Figures 7, 10 and 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ThroughputSample:
+    """One sampling instant."""
+
+    time_s: float
+    active_flows: int
+    #: total bytes delivered since the previous sample, expressed as bits/s
+    aggregate_bps: float
+    #: mean of the active flows' instantaneous rates at the sampling instant
+    mean_flow_bps: float
+
+    @property
+    def mean_flow_kBps(self) -> float:
+        """Mean per-flow throughput in KB/s (the unit of the paper's figures)."""
+        return self.mean_flow_bps / 8.0 / 1024.0
+
+    @property
+    def aggregate_kBps(self) -> float:
+        """Aggregate delivered throughput in KB/s."""
+        return self.aggregate_bps / 8.0 / 1024.0
+
+
+class ThroughputSeries:
+    """An ordered collection of :class:`ThroughputSample`."""
+
+    def __init__(self) -> None:
+        self.samples: List[ThroughputSample] = []
+
+    def add(self, sample: ThroughputSample) -> None:
+        """Append a sample (samples must arrive in time order)."""
+        if self.samples and sample.time_s < self.samples[-1].time_s:
+            raise ValueError("throughput samples must be added in time order")
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> np.ndarray:
+        """Sampling instants."""
+        return np.array([s.time_s for s in self.samples], dtype=float)
+
+    def mean_flow_kBps(self) -> np.ndarray:
+        """Per-sample mean per-flow throughput in KB/s."""
+        return np.array([s.mean_flow_kBps for s in self.samples], dtype=float)
+
+    def aggregate_kBps(self) -> np.ndarray:
+        """Per-sample aggregate throughput in KB/s."""
+        return np.array([s.aggregate_kBps for s in self.samples], dtype=float)
+
+    def average_mean_flow_kBps(self) -> float:
+        """Time-average of the per-flow instantaneous throughput.
+
+        Samples with no active flows are excluded, matching how the paper's
+        plots only show instants where flows exist.
+        """
+        values = [s.mean_flow_kBps for s in self.samples if s.active_flows > 0]
+        return float(np.mean(values)) if values else 0.0
+
+    def average_aggregate_kBps(self) -> float:
+        """Time-average of the aggregate delivered throughput."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.aggregate_kBps for s in self.samples]))
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, mean per-flow KB/s)`` — the series the figures plot."""
+        return self.times(), self.mean_flow_kBps()

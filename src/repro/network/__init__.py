@@ -1,0 +1,49 @@
+"""Datacenter network substrate.
+
+This package provides the flow-level network model that replaces NS-2 in the
+original paper:
+
+* :mod:`~repro.network.topology` — nodes, directed links and the topology
+  graph.
+* :mod:`~repro.network.tree` — the 3-tier tree topology of the paper's
+  Figures 1 and 6 (plus external client attachment).
+* :mod:`~repro.network.fattree`, :mod:`~repro.network.vl2`,
+  :mod:`~repro.network.leafspine` — alternative datacenter fabrics
+  (Section IX: "SCDA with general network topologies").
+* :mod:`~repro.network.routing` — shortest-path and ECMP routing.
+* :mod:`~repro.network.flow` — flow objects with fluid byte progress.
+* :mod:`~repro.network.fluid` — max-min (water-filling) bandwidth shares.
+* :mod:`~repro.network.fabric` — the event-driven fabric simulator that
+  advances flows, integrates queues and invokes a transport model.
+* :mod:`~repro.network.transport` — transport models: flow-level TCP
+  (RandTCP baseline) and the SCDA explicit-rate transport.
+"""
+
+from repro.network.topology import Node, NodeKind, Link, Topology
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.network.fattree import build_fat_tree
+from repro.network.vl2 import build_vl2_topology
+from repro.network.leafspine import build_leaf_spine
+from repro.network.routing import Router, EcmpRouter
+from repro.network.flow import Flow, FlowState
+from repro.network.fluid import max_min_shares
+from repro.network.fabric import FabricSimulator, FabricConfig
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Link",
+    "Topology",
+    "TreeTopologyConfig",
+    "build_tree_topology",
+    "build_fat_tree",
+    "build_vl2_topology",
+    "build_leaf_spine",
+    "Router",
+    "EcmpRouter",
+    "Flow",
+    "FlowState",
+    "max_min_shares",
+    "FabricSimulator",
+    "FabricConfig",
+]

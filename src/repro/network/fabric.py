@@ -1,0 +1,287 @@
+"""The event-driven fabric simulator.
+
+:class:`FabricSimulator` owns the set of active flows and advances them in a
+fluid fashion:
+
+* between events every flow delivers bytes at its ``current_rate_bps``;
+* link queues integrate the difference between offered (demand) rates and
+  capacity, latching loss indications when buffers overflow;
+* at every *recompute point* (flow arrival, flow completion, control-interval
+  tick) the attached :class:`~repro.network.transport.base.TransportModel`
+  re-assigns per-flow demand and delivered rates;
+* the next recompute point is the earlier of the next control tick and the
+  earliest projected flow completion, so completions are honoured exactly.
+
+The fabric is transport-agnostic: the same machinery runs the RandTCP
+baseline and SCDA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.network.flow import Flow, FlowKind, FlowState
+from repro.network.routing import Router
+from repro.network.topology import Link, Node, Topology
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class FabricConfig:
+    """Tunables of the fabric simulator.
+
+    ``control_interval_s`` is the paper's τ: the period at which rates are
+    re-evaluated even when no flow arrives or departs.
+    """
+
+    control_interval_s: float = 0.010
+    completion_tolerance_bytes: float = 0.5
+    max_active_flows: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if self.completion_tolerance_bytes < 0:
+            raise ValueError("completion_tolerance_bytes must be non-negative")
+
+
+class FabricSimulator:
+    """Flow-level datacenter fabric driven by a discrete-event simulator.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine.
+    topology:
+        The datacenter network.
+    transport:
+        A transport model (see :mod:`repro.network.transport`); it is
+        attached to this fabric on construction.
+    router:
+        Path selection; defaults to hop-count shortest path.
+    config:
+        Fabric tunables.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        transport: "TransportModelLike",
+        router: Optional[Router] = None,
+        config: Optional[FabricConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.transport = transport
+        self.router = router or Router(topology)
+        self.config = config or FabricConfig()
+
+        self.active_flows: List[Flow] = []
+        self.finished_flows: List[Flow] = []
+        self._last_advance = sim.now
+        self._next_recompute_event = None
+        self._next_tick_time = sim.now
+        self.total_bytes_delivered = 0.0
+        self._finish_callbacks: List[Callable[[Flow, float], None]] = []
+        self._start_callbacks: List[Callable[[Flow, float], None]] = []
+
+        self.transport.attach(self)
+
+    # -- observers -----------------------------------------------------------------
+    def on_flow_finished(self, callback: Callable[[Flow, float], None]) -> None:
+        """Register ``callback(flow, now)`` to run whenever a flow completes."""
+        self._finish_callbacks.append(callback)
+
+    def on_flow_started(self, callback: Callable[[Flow, float], None]) -> None:
+        """Register ``callback(flow, now)`` to run whenever a flow starts."""
+        self._start_callbacks.append(callback)
+
+    @property
+    def active_flow_count(self) -> int:
+        """Number of currently transferring flows."""
+        return len(self.active_flows)
+
+    def flows_on_link(self, link: Link) -> List[Flow]:
+        """Active flows whose path crosses ``link``."""
+        return [f for f in self.active_flows if f.uses_link(link)]
+
+    # -- flow lifecycle --------------------------------------------------------------
+    def start_flow(
+        self,
+        src: Node,
+        dst: Node,
+        size_bytes: float,
+        kind: FlowKind = FlowKind.DATA,
+        created_at: Optional[float] = None,
+        priority_weight: float = 1.0,
+        min_rate_bps: float = 0.0,
+        app_limit_bps: float = float("inf"),
+        path: Optional[List[Link]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Flow:
+        """Create a flow and start transferring immediately.
+
+        ``created_at`` defaults to the current time; pass the original request
+        time when connection-setup latency has already elapsed so that FCT
+        accounts for it.
+        """
+        if len(self.active_flows) >= self.config.max_active_flows:
+            raise RuntimeError("too many active flows; raise FabricConfig.max_active_flows")
+        now = self.sim.now
+        flow = Flow(
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            path=path if path is not None else self.router.path(src, dst),
+            kind=kind,
+            created_at=now if created_at is None else created_at,
+            priority_weight=priority_weight,
+            min_rate_bps=min_rate_bps,
+            app_limit_bps=app_limit_bps,
+        )
+        if meta:
+            flow.meta.update(meta)
+        if not flow.path:
+            raise ValueError(
+                f"flow between {src.node_id} and {dst.node_id} has an empty path; "
+                "src and dst must be distinct, connected nodes"
+            )
+        # Bring the fluid state up to date before the flow joins.
+        self._advance_to(now)
+        flow.start(now)
+        self.active_flows.append(flow)
+        self.transport.on_flow_start(flow, now)
+        for callback in self._start_callbacks:
+            callback(flow, now)
+        self._recompute(now)
+        return flow
+
+    def abort_flow(self, flow: Flow) -> None:
+        """Cancel an active flow (e.g. SLA mitigation moving it elsewhere)."""
+        now = self.sim.now
+        self._advance_to(now)
+        if flow in self.active_flows:
+            self.active_flows.remove(flow)
+        flow.abort(now)
+        self.transport.on_flow_finish(flow, now)
+        self._recompute(now)
+
+    def reroute_flow(self, flow: Flow, new_path: List[Link]) -> None:
+        """Move an active flow onto a different path (Hedera-style rerouting)."""
+        if flow.state is not FlowState.ACTIVE:
+            raise RuntimeError(f"cannot reroute non-active flow {flow.flow_id}")
+        now = self.sim.now
+        self._advance_to(now)
+        flow.path = list(new_path)
+        flow.base_rtt_s = 2.0 * sum(l.delay_s for l in flow.path) if flow.path else 1e-4
+        self._recompute(now)
+
+    # -- fluid advancement --------------------------------------------------------------
+    def _advance_to(self, now: float) -> None:
+        """Integrate flow progress and link queues from the last update to ``now``."""
+        dt = now - self._last_advance
+        if dt < 0:
+            raise RuntimeError("fabric time went backwards")
+        if dt == 0.0 or not self.active_flows:
+            self._last_advance = now
+            return
+
+        # Offered load per link (demand may exceed capacity — that is how
+        # queues build for TCP-style transports).
+        offered: Dict[str, float] = {}
+        touched: Dict[str, Link] = {}
+        for flow in self.active_flows:
+            if flow.demand_rate_bps <= 0:
+                continue
+            for link in flow.path:
+                offered[link.link_id] = offered.get(link.link_id, 0.0) + flow.demand_rate_bps
+                touched[link.link_id] = link
+        for link_id, link in touched.items():
+            link.integrate_queue(offered[link_id], dt)
+        # Links that had backlog but no longer carry demand still drain.
+        for link in self.topology.links:
+            if link.link_id not in touched and link.queue_bytes > 0.0:
+                link.integrate_queue(0.0, dt)
+
+        finished: List[Flow] = []
+        for flow in self.active_flows:
+            delivered = flow.advance(dt)
+            self.total_bytes_delivered += delivered
+            if flow.remaining_bytes <= self.config.completion_tolerance_bytes:
+                finished.append(flow)
+
+        self._last_advance = now
+        for flow in finished:
+            self._finish_flow(flow, now)
+
+    def _finish_flow(self, flow: Flow, now: float) -> None:
+        flow.finish(now)
+        if flow in self.active_flows:
+            self.active_flows.remove(flow)
+        self.finished_flows.append(flow)
+        self.transport.on_flow_finish(flow, now)
+        for callback in self._finish_callbacks:
+            callback(flow, now)
+
+    # -- recompute scheduling --------------------------------------------------------------
+    def _recompute(self, now: float) -> None:
+        """Ask the transport for fresh rates and schedule the next recompute."""
+        if self.active_flows:
+            self.transport.update_rates(list(self.active_flows), now)
+        self._schedule_next(now)
+
+    def _schedule_next(self, now: float) -> None:
+        if self._next_recompute_event is not None and self._next_recompute_event.pending:
+            self._next_recompute_event.cancel()
+            self._next_recompute_event = None
+        if not self.active_flows:
+            return
+        earliest_completion = min(f.time_to_complete() for f in self.active_flows)
+        next_time = now + min(self.config.control_interval_s, max(earliest_completion, 0.0))
+        # Guard against zero-length steps caused by floating-point round-off.
+        next_time = max(next_time, now + 1e-9)
+        self._next_recompute_event = self.sim.call_at(next_time, self._on_recompute_timer)
+
+    def _on_recompute_timer(self) -> None:
+        now = self.sim.now
+        self._next_recompute_event = None
+        self._advance_to(now)
+        self._recompute(now)
+
+    # -- draining --------------------------------------------------------------------------
+    def drain(self, deadline: Optional[float] = None) -> None:
+        """Run the simulator until all active flows finish (or ``deadline``)."""
+        while self.active_flows:
+            next_event = self.sim.peek()
+            if next_event is None:
+                raise RuntimeError(
+                    "fabric has active flows but no pending events; "
+                    "a transport returned a zero rate for every flow"
+                )
+            if deadline is not None and next_event > deadline:
+                break
+            self.sim.step()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FabricSimulator t={self.sim.now:g} active={len(self.active_flows)} "
+            f"finished={len(self.finished_flows)}>"
+        )
+
+
+class TransportModelLike:
+    """Protocol documenting what the fabric expects from a transport model."""
+
+    def attach(self, fabric: FabricSimulator) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_flow_start(self, flow: Flow, now: float) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_flow_finish(self, flow: Flow, now: float) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def update_rates(self, flows: Sequence[Flow], now: float) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""k-ary fat-tree topology (Al-Fares et al., SIGCOMM 2008).
+
+Provided as one of the "general network topologies" of the paper's Section IX
+— SCDA's RM/RA mechanism only needs per-link rate computation and a routing
+table, so it runs unchanged on a fat tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.topology import Topology
+
+GBPS = 1e9
+
+
+def build_fat_tree(
+    k: int = 4,
+    link_bandwidth_bps: float = 1.0 * GBPS,
+    link_delay_s: float = 0.001,
+    num_clients: int = 4,
+    client_delay_s: float = 0.050,
+    buffer_bytes: Optional[float] = None,
+) -> Topology:
+    """Build a k-ary fat tree.
+
+    A k-ary fat tree has ``k`` pods; each pod has ``k/2`` edge and ``k/2``
+    aggregation switches; there are ``(k/2)^2`` core switches; each edge
+    switch serves ``k/2`` hosts.  ``k`` must be even and >= 2.
+
+    Levels are assigned: hosts 0, edge 1, aggregation 2, core 3 — matching
+    the level numbering used by the RM/RA hierarchy.  Note that unlike the
+    simple tree, a fat-tree node has several parents; tree-only helpers such
+    as :meth:`Topology.parent` return one of them arbitrarily, and routing
+    should use the router classes instead.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {k}")
+
+    topo = Topology(name=f"fat-tree-k{k}")
+    half = k // 2
+
+    cores = [topo.add_switch(f"core-{i}", level=3) for i in range(half * half)]
+
+    for pod in range(k):
+        aggs = [topo.add_switch(f"agg-{pod}-{i}", level=2, pod=pod) for i in range(half)]
+        edges = [topo.add_switch(f"edge-{pod}-{i}", level=1, pod=pod) for i in range(half)]
+
+        for a, agg in enumerate(aggs):
+            # Each aggregation switch connects to ``half`` core switches.
+            for c in range(half):
+                core = cores[a * half + c]
+                topo.add_duplex_link(agg, core, link_bandwidth_bps, link_delay_s, buffer_bytes)
+            for edge in edges:
+                topo.add_duplex_link(edge, agg, link_bandwidth_bps, link_delay_s, buffer_bytes)
+
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                host = topo.add_host(
+                    f"bs-{pod}-{e}-{h}", level=0, pod=pod, rack=f"{pod}-{e}"
+                )
+                topo.add_duplex_link(host, edge, link_bandwidth_bps, link_delay_s, buffer_bytes)
+
+    for c in range(num_clients):
+        client = topo.add_client(f"ucl-{c}")
+        # Clients attach to core switches round-robin.
+        topo.add_duplex_link(
+            client, cores[c % len(cores)], link_bandwidth_bps, client_delay_s, buffer_bytes
+        )
+
+    topo.validate()
+    return topo

@@ -1,0 +1,197 @@
+"""Flow objects.
+
+A flow is a single content transfer (a write or read of a content block)
+between two endpoints.  The fabric advances flows in fluid fashion: between
+rate changes each flow delivers ``current_rate_bps * dt / 8`` bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional
+
+from repro.network.topology import Link, Node
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a flow."""
+
+    PENDING = "pending"      #: created but not started (e.g. waiting on setup RTT)
+    ACTIVE = "active"        #: transferring bytes
+    FINISHED = "finished"    #: all bytes delivered
+    ABORTED = "aborted"      #: cancelled before completion
+
+
+class FlowKind(enum.Enum):
+    """What the flow carries — used by metrics and by server selection."""
+
+    CONTROL = "control"          #: small control/HTTP exchange (< 5 KB in the traces)
+    VIDEO = "video"              #: YouTube-style video content
+    DATA = "data"                #: generic datacenter content
+    REPLICATION = "replication"  #: internal BS-to-BS replication traffic
+
+
+class Flow:
+    """A fluid flow with explicit path, demand rate and delivered rate.
+
+    Attributes
+    ----------
+    demand_rate_bps:
+        The rate at which the *source* tries to send (TCP window / allocated
+        rate).  May exceed what the network can carry.
+    current_rate_bps:
+        The delivered (goodput) rate after link sharing.
+    app_limit_bps:
+        Rate limit imposed by the application/other resources (the
+        ``R_other`` of the paper: CPU, disk).  ``inf`` when unconstrained.
+    priority_weight:
+        The SCDA priority weight ``℘_j`` (1.0 = best effort).
+    min_rate_bps:
+        Explicit SLA reservation ``M_j`` (0.0 = none).
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "size_bytes",
+        "remaining_bytes",
+        "path",
+        "state",
+        "kind",
+        "created_at",
+        "started_at",
+        "finished_at",
+        "demand_rate_bps",
+        "current_rate_bps",
+        "app_limit_bps",
+        "priority_weight",
+        "min_rate_bps",
+        "base_rtt_s",
+        "transport_state",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        src: Node,
+        dst: Node,
+        size_bytes: float,
+        path: List[Link],
+        kind: FlowKind = FlowKind.DATA,
+        created_at: float = 0.0,
+        priority_weight: float = 1.0,
+        min_rate_bps: float = 0.0,
+        app_limit_bps: float = float("inf"),
+        flow_id: Optional[int] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {size_bytes}")
+        if priority_weight <= 0:
+            raise ValueError(f"priority weight must be positive, got {priority_weight}")
+        if min_rate_bps < 0:
+            raise ValueError(f"minimum rate must be non-negative, got {min_rate_bps}")
+        self.flow_id = next(self._ids) if flow_id is None else int(flow_id)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = float(size_bytes)
+        self.remaining_bytes = float(size_bytes)
+        self.path = list(path)
+        self.state = FlowState.PENDING
+        self.kind = kind
+        self.created_at = float(created_at)
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.demand_rate_bps = 0.0
+        self.current_rate_bps = 0.0
+        self.app_limit_bps = float(app_limit_bps)
+        self.priority_weight = float(priority_weight)
+        self.min_rate_bps = float(min_rate_bps)
+        self.base_rtt_s = 2.0 * sum(l.delay_s for l in self.path) if self.path else 1e-4
+        # Per-transport scratch space (cwnd, ssthresh, allocated rates, ...).
+        self.transport_state: Dict[str, float] = {}
+        self.meta: Dict[str, object] = {}
+
+    # -- progress ---------------------------------------------------------------
+    @property
+    def transferred_bytes(self) -> float:
+        """Bytes delivered so far."""
+        return self.size_bytes - self.remaining_bytes
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of the flow already delivered, in [0, 1]."""
+        return self.transferred_bytes / self.size_bytes
+
+    def start(self, now: float) -> None:
+        """Mark the flow active."""
+        if self.state is not FlowState.PENDING:
+            raise RuntimeError(f"flow {self.flow_id} already started (state={self.state})")
+        self.state = FlowState.ACTIVE
+        self.started_at = now
+
+    def advance(self, dt: float) -> float:
+        """Deliver bytes for ``dt`` seconds at the current rate.
+
+        Returns the number of bytes delivered.  Never overshoots the flow
+        size: the delivered amount is clamped to ``remaining_bytes``.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if self.state is not FlowState.ACTIVE or dt == 0.0:
+            return 0.0
+        delivered = min(self.remaining_bytes, self.current_rate_bps * dt / 8.0)
+        self.remaining_bytes -= delivered
+        return delivered
+
+    def time_to_complete(self) -> float:
+        """Seconds until completion at the current rate (inf if rate is zero)."""
+        if self.state is not FlowState.ACTIVE:
+            return float("inf")
+        if self.remaining_bytes <= 0:
+            return 0.0
+        if self.current_rate_bps <= 0:
+            return float("inf")
+        return self.remaining_bytes * 8.0 / self.current_rate_bps
+
+    def finish(self, now: float) -> None:
+        """Mark the flow finished at time ``now``."""
+        self.state = FlowState.FINISHED
+        self.finished_at = now
+        self.remaining_bytes = 0.0
+        self.current_rate_bps = 0.0
+        self.demand_rate_bps = 0.0
+
+    def abort(self, now: float) -> None:
+        """Cancel the flow."""
+        if self.state is FlowState.FINISHED:
+            raise RuntimeError(f"flow {self.flow_id} already finished")
+        self.state = FlowState.ABORTED
+        self.finished_at = now
+        self.current_rate_bps = 0.0
+        self.demand_rate_bps = 0.0
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time (finish − creation), None until finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.created_at
+
+    def rtt_estimate(self) -> float:
+        """Base RTT plus the current queueing delays along the forward path."""
+        queueing = sum(l.queueing_delay() for l in self.path)
+        return self.base_rtt_s + queueing
+
+    def uses_link(self, link: Link) -> bool:
+        """True if ``link`` is on the flow's path."""
+        return any(l is link for l in self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Flow {self.flow_id} {self.src.node_id}->{self.dst.node_id} "
+            f"{self.size_bytes / 1e3:.1f}KB {self.state.value}>"
+        )

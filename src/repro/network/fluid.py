@@ -1,0 +1,231 @@
+"""Max-min fair (water-filling) bandwidth shares.
+
+Given a set of flows with paths over capacity-limited links, and optional
+per-flow demand caps, compute the max-min fair allocation by progressive
+filling.  This serves three purposes:
+
+* the *delivered* rate of TCP flows whose windows demand more than the
+  network can carry (the network itself enforces a roughly fair split at the
+  bottleneck),
+* the idealised reference allocation against which the SCDA distributed
+  allocation (equations 2-3) is validated in the tests, and
+* weighted max-min for prioritized allocation (equation 6), where a flow with
+  weight ``℘`` receives ``℘`` times the share of a weight-1 flow at its
+  bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.network.flow import Flow
+from repro.network.topology import Link
+
+
+def max_min_shares(
+    flows: Sequence[Flow],
+    demand_caps: Optional[Mapping[int, float]] = None,
+    weights: Optional[Mapping[int, float]] = None,
+    capacity_scale: float = 1.0,
+    capacity_overrides: Optional[Mapping[str, float]] = None,
+) -> Dict[int, float]:
+    """Compute (weighted) max-min fair rates for ``flows``.
+
+    Parameters
+    ----------
+    flows:
+        Active flows; each must have a non-empty ``path``.
+    demand_caps:
+        Optional per-flow upper bound (bits/s) keyed by ``flow_id`` — a flow
+        never receives more than its cap (it is "bottlenecked elsewhere", and
+        the unused share is redistributed, exactly the property equation 3 of
+        the paper is designed to achieve).
+    weights:
+        Optional per-flow weights ``℘_j`` (default 1.0).  At a saturated link
+        the remaining capacity is split proportionally to weight.
+    capacity_scale:
+        Multiplier applied to every link capacity (e.g. the paper's ``α``).
+    capacity_overrides:
+        Optional per-link capacity replacement keyed by ``link_id`` (used for
+        reservation-adjusted capacities).
+
+    Returns
+    -------
+    dict
+        ``flow_id -> rate`` in bits/s.
+
+    Notes
+    -----
+    Standard progressive-filling: repeatedly find the link whose fair share
+    per unit weight is smallest, freeze the flows crossing it at that share,
+    remove them, and continue.  Flows capped below their fair share are frozen
+    at their cap first.  Complexity is O(L·F) per round and at most
+    min(L, F) rounds — fine at the scale of these simulations.
+    """
+    demand_caps = dict(demand_caps or {})
+    weights = dict(weights or {})
+
+    active: List[Flow] = [f for f in flows if f.path]
+    rates: Dict[int, float] = {f.flow_id: 0.0 for f in flows}
+    if not active:
+        return rates
+
+    def weight_of(flow: Flow) -> float:
+        w = float(weights.get(flow.flow_id, flow.priority_weight))
+        if w <= 0:
+            raise ValueError(f"flow {flow.flow_id} has non-positive weight {w}")
+        return w
+
+    def cap_of(flow: Flow) -> float:
+        cap = demand_caps.get(flow.flow_id, float("inf"))
+        if flow.app_limit_bps < cap:
+            cap = flow.app_limit_bps
+        return max(0.0, float(cap))
+
+    # Remaining capacity per link and the unfrozen flows crossing it.
+    link_capacity: Dict[str, float] = {}
+    link_flows: Dict[str, List[Flow]] = {}
+    links_by_id: Dict[str, Link] = {}
+    for flow in active:
+        for link in flow.path:
+            if link.link_id not in link_capacity:
+                base = (
+                    capacity_overrides[link.link_id]
+                    if capacity_overrides and link.link_id in capacity_overrides
+                    else link.capacity_bps
+                )
+                link_capacity[link.link_id] = max(0.0, base * capacity_scale)
+                link_flows[link.link_id] = []
+                links_by_id[link.link_id] = link
+            link_flows[link.link_id].append(flow)
+
+    unfrozen = {f.flow_id: f for f in active}
+    frozen_rate: Dict[int, float] = {}
+
+    # First freeze any flow with a zero cap (it simply gets nothing).
+    for flow in list(unfrozen.values()):
+        if cap_of(flow) <= 0.0:
+            frozen_rate[flow.flow_id] = 0.0
+            del unfrozen[flow.flow_id]
+
+    max_rounds = len(active) + len(link_capacity) + 1
+    for _round in range(max_rounds):
+        if not unfrozen:
+            break
+        # Fair share *per unit weight* on each still-relevant link.
+        bottleneck_share = float("inf")
+        for link_id, flows_on_link in link_flows.items():
+            live = [f for f in flows_on_link if f.flow_id in unfrozen]
+            if not live:
+                continue
+            weight_sum = sum(weight_of(f) for f in live)
+            remaining = link_capacity[link_id] - sum(
+                frozen_rate.get(f.flow_id, 0.0) for f in flows_on_link if f.flow_id in frozen_rate
+            )
+            remaining = max(0.0, remaining)
+            share = remaining / weight_sum
+            if share < bottleneck_share:
+                bottleneck_share = share
+        if bottleneck_share == float("inf"):
+            # No capacity constraint applies; every remaining flow takes its cap.
+            for flow in list(unfrozen.values()):
+                frozen_rate[flow.flow_id] = cap_of(flow)
+                del unfrozen[flow.flow_id]
+            break
+
+        # Any flow whose cap is below its would-be share freezes at the cap.
+        capped = [
+            f
+            for f in unfrozen.values()
+            if cap_of(f) < bottleneck_share * weight_of(f) - 1e-12
+        ]
+        if capped:
+            for flow in capped:
+                frozen_rate[flow.flow_id] = cap_of(flow)
+                del unfrozen[flow.flow_id]
+            continue
+
+        # Otherwise freeze the flows on (all) bottleneck links at their share.
+        froze_any = False
+        for link_id, flows_on_link in link_flows.items():
+            live = [f for f in flows_on_link if f.flow_id in unfrozen]
+            if not live:
+                continue
+            weight_sum = sum(weight_of(f) for f in live)
+            remaining = link_capacity[link_id] - sum(
+                frozen_rate.get(f.flow_id, 0.0) for f in flows_on_link if f.flow_id in frozen_rate
+            )
+            remaining = max(0.0, remaining)
+            share = remaining / weight_sum
+            if share <= bottleneck_share + 1e-9:
+                for flow in live:
+                    frozen_rate[flow.flow_id] = share * weight_of(flow)
+                    del unfrozen[flow.flow_id]
+                froze_any = True
+        if not froze_any:  # pragma: no cover - defensive
+            for flow in list(unfrozen.values()):
+                frozen_rate[flow.flow_id] = min(cap_of(flow), bottleneck_share * weight_of(flow))
+                del unfrozen[flow.flow_id]
+
+    rates.update(frozen_rate)
+    return rates
+
+
+def link_utilisation(
+    flows: Iterable[Flow], rates: Mapping[int, float]
+) -> Dict[str, float]:
+    """Total allocated rate per link id under a given rate assignment."""
+    load: Dict[str, float] = {}
+    for flow in flows:
+        rate = rates.get(flow.flow_id, 0.0)
+        for link in flow.path:
+            load[link.link_id] = load.get(link.link_id, 0.0) + rate
+    return load
+
+
+def is_feasible(
+    flows: Sequence[Flow], rates: Mapping[int, float], tolerance: float = 1e-6
+) -> bool:
+    """True if the assignment does not exceed any link capacity (within tol)."""
+    load = link_utilisation(flows, rates)
+    for flow in flows:
+        for link in flow.path:
+            if load.get(link.link_id, 0.0) > link.capacity_bps * (1.0 + tolerance):
+                return False
+    return True
+
+
+def is_max_min_fair(
+    flows: Sequence[Flow],
+    rates: Mapping[int, float],
+    demand_caps: Optional[Mapping[int, float]] = None,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check the max-min property: no flow can gain without hurting a smaller one.
+
+    A feasible allocation is max-min fair iff every flow either meets its
+    demand cap or crosses at least one *saturated* link on which it has the
+    largest rate (up to tolerance).
+    """
+    if not is_feasible(flows, rates, tolerance):
+        return False
+    demand_caps = dict(demand_caps or {})
+    load = link_utilisation(flows, rates)
+    for flow in flows:
+        rate = rates.get(flow.flow_id, 0.0)
+        cap = min(demand_caps.get(flow.flow_id, float("inf")), flow.app_limit_bps)
+        if rate >= cap - tolerance * max(1.0, cap):
+            continue
+        bottlenecked = False
+        for link in flow.path:
+            link_load = load.get(link.link_id, 0.0)
+            if link_load >= link.capacity_bps * (1.0 - tolerance):
+                max_rate_on_link = max(
+                    rates.get(f.flow_id, 0.0) for f in flows if f.uses_link(link)
+                )
+                if rate >= max_rate_on_link - tolerance * max(1.0, max_rate_on_link):
+                    bottlenecked = True
+                    break
+        if not bottlenecked:
+            return False
+    return True

@@ -1,0 +1,51 @@
+"""Two-tier leaf-spine topology.
+
+A common modern datacenter fabric; included as another instance of the
+"general network topologies" of Section IX.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.topology import Topology
+
+GBPS = 1e9
+
+
+def build_leaf_spine(
+    num_spines: int = 2,
+    num_leaves: int = 4,
+    hosts_per_leaf: int = 4,
+    host_link_bps: float = 1.0 * GBPS,
+    fabric_link_bps: float = 4.0 * GBPS,
+    link_delay_s: float = 0.001,
+    num_clients: int = 2,
+    client_delay_s: float = 0.050,
+    buffer_bytes: Optional[float] = None,
+) -> Topology:
+    """Build a leaf-spine fabric: every leaf connects to every spine.
+
+    Levels: hosts 0, leaves 1, spines 2.
+    """
+    if num_spines < 1 or num_leaves < 1 or hosts_per_leaf < 1:
+        raise ValueError("leaf-spine dimensions must be >= 1")
+    topo = Topology(name="leaf-spine")
+
+    spines = [topo.add_switch(f"spine-{s}", level=2) for s in range(num_spines)]
+    for l in range(num_leaves):
+        leaf = topo.add_switch(f"leaf-{l}", level=1, rack=str(l))
+        for spine in spines:
+            topo.add_duplex_link(leaf, spine, fabric_link_bps, link_delay_s, buffer_bytes)
+        for h in range(hosts_per_leaf):
+            host = topo.add_host(f"bs-{l}-{h}", level=0, rack=str(l))
+            topo.add_duplex_link(host, leaf, host_link_bps, link_delay_s, buffer_bytes)
+
+    for c in range(num_clients):
+        client = topo.add_client(f"ucl-{c}")
+        topo.add_duplex_link(
+            client, spines[c % num_spines], host_link_bps, client_delay_s, buffer_bytes
+        )
+
+    topo.validate()
+    return topo

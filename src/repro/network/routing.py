@@ -1,0 +1,207 @@
+"""Routing: shortest paths, ECMP, and widest-path (max/min) route selection.
+
+The paper's Section IX describes two routing modes:
+
+* on the tree topology the path between two nodes is unique (up to the lowest
+  common ancestor and back down);
+* on general topologies SCDA computes link weights from the allocated rates
+  and picks the *widest* shortest path (maximise the minimum link rate along
+  the path), while RandTCP-style baselines hash flows onto one of the
+  equal-cost shortest paths (ECMP).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.topology import Link, Node, Topology
+
+
+class NoPathError(Exception):
+    """Raised when no path exists between two nodes."""
+
+
+Path = List[Link]
+
+
+def _links_to_nodes(path: Path) -> List[str]:
+    if not path:
+        return []
+    ids = [path[0].src.node_id]
+    ids.extend(link.dst.node_id for link in path)
+    return ids
+
+
+class Router:
+    """Hop-count shortest-path routing with deterministic tie-breaking.
+
+    Paths are cached per (src, dst) pair; datacenter topologies are static for
+    the lifetime of an experiment so the cache never needs invalidation.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._cache: Dict[Tuple[str, str], Path] = {}
+
+    def path(self, src: Node, dst: Node) -> Path:
+        """Return the list of directed links from ``src`` to ``dst``."""
+        if src.node_id == dst.node_id:
+            return []
+        key = (src.node_id, dst.node_id)
+        if key not in self._cache:
+            self._cache[key] = self._bfs(src, dst)
+        return list(self._cache[key])
+
+    def path_nodes(self, src: Node, dst: Node) -> List[str]:
+        """Node ids along the path, including both endpoints."""
+        return _links_to_nodes(self.path(src, dst)) or [src.node_id]
+
+    def hop_count(self, src: Node, dst: Node) -> int:
+        """Number of links between ``src`` and ``dst``."""
+        return len(self.path(src, dst))
+
+    def base_rtt(self, src: Node, dst: Node) -> float:
+        """Round-trip propagation delay between ``src`` and ``dst`` (seconds)."""
+        forward = sum(l.delay_s for l in self.path(src, dst))
+        backward = sum(l.delay_s for l in self.path(dst, src))
+        return forward + backward
+
+    def _bfs(self, src: Node, dst: Node) -> Path:
+        # Deterministic BFS: explore links in insertion order.
+        visited = {src.node_id}
+        queue = deque([(src, [])])  # type: ignore[var-annotated]
+        while queue:
+            node, path = queue.popleft()
+            for link in self.topology.out_links(node):
+                nxt = link.dst
+                if nxt.node_id in visited:
+                    continue
+                new_path = path + [link]
+                if nxt.node_id == dst.node_id:
+                    return new_path
+                visited.add(nxt.node_id)
+                queue.append((nxt, new_path))
+        raise NoPathError(f"no path from {src.node_id} to {dst.node_id}")
+
+
+class EcmpRouter(Router):
+    """Equal-cost multi-path routing: hash flows onto one shortest path.
+
+    This is the random path selection used by VL2/Hedera-class designs (and
+    called out in the paper's related-work section as the source of persistent
+    congestion under elephant flows).
+    """
+
+    def __init__(self, topology: Topology, max_paths: int = 8) -> None:
+        super().__init__(topology)
+        if max_paths < 1:
+            raise ValueError("max_paths must be >= 1")
+        self.max_paths = max_paths
+        self._multi_cache: Dict[Tuple[str, str], List[Path]] = {}
+
+    def equal_cost_paths(self, src: Node, dst: Node) -> List[Path]:
+        """All (up to ``max_paths``) minimum-hop paths between two nodes."""
+        if src.node_id == dst.node_id:
+            return [[]]
+        key = (src.node_id, dst.node_id)
+        if key not in self._multi_cache:
+            self._multi_cache[key] = self._all_shortest(src, dst)
+        return [list(p) for p in self._multi_cache[key]]
+
+    def path_for_flow(self, src: Node, dst: Node, flow_key: int) -> Path:
+        """Pick one of the equal-cost paths by hashing ``flow_key``."""
+        paths = self.equal_cost_paths(src, dst)
+        return paths[flow_key % len(paths)]
+
+    def _all_shortest(self, src: Node, dst: Node) -> List[Path]:
+        shortest_len = len(self._bfs(src, dst))
+        results: List[Path] = []
+
+        def dfs(node: Node, path: Path, visited: set) -> None:
+            if len(results) >= self.max_paths:
+                return
+            if len(path) > shortest_len:
+                return
+            if node.node_id == dst.node_id:
+                if len(path) == shortest_len:
+                    results.append(list(path))
+                return
+            for link in self.topology.out_links(node):
+                nxt = link.dst
+                if nxt.node_id in visited:
+                    continue
+                visited.add(nxt.node_id)
+                path.append(link)
+                dfs(nxt, path, visited)
+                path.pop()
+                visited.remove(nxt.node_id)
+
+        dfs(src, [], {src.node_id})
+        return results or [self._bfs(src, dst)]
+
+
+class WidestPathRouter(Router):
+    """Max/min ("widest") path selection over dynamic link rates.
+
+    Implements the route computation of Section IX: link weights are the
+    current SCDA rate allocations ``R_{d,u}(t)``; the chosen path maximises
+    the minimum link rate, with hop count as a tie-break.  The weight source
+    is a callable so the SCDA controller can plug in live allocations.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rate_of_link: Optional[Callable[[Link], float]] = None,
+    ) -> None:
+        super().__init__(topology)
+        self.rate_of_link = rate_of_link or (lambda link: link.capacity_bps)
+
+    def widest_path(self, src: Node, dst: Node) -> Tuple[Path, float]:
+        """Return ``(path, bottleneck_rate)`` maximising the bottleneck rate."""
+        if src.node_id == dst.node_id:
+            return [], float("inf")
+        # Modified Dijkstra: maximise the minimum edge weight along the path.
+        best_bottleneck: Dict[str, float] = {src.node_id: float("inf")}
+        best_hops: Dict[str, int] = {src.node_id: 0}
+        parent: Dict[str, Tuple[str, Link]] = {}
+        # Max-heap via negative bottleneck; hops break ties.
+        heap: List[Tuple[float, int, str]] = [(-float("inf"), 0, src.node_id)]
+        visited: set = set()
+        while heap:
+            neg_bn, hops, node_id = heapq.heappop(heap)
+            if node_id in visited:
+                continue
+            visited.add(node_id)
+            if node_id == dst.node_id:
+                break
+            node = self.topology.node(node_id)
+            for link in self.topology.out_links(node):
+                rate = max(0.0, float(self.rate_of_link(link)))
+                cand = min(-neg_bn, rate)
+                nxt = link.dst.node_id
+                if cand > best_bottleneck.get(nxt, -1.0) or (
+                    cand == best_bottleneck.get(nxt, -1.0)
+                    and hops + 1 < best_hops.get(nxt, 1 << 30)
+                ):
+                    best_bottleneck[nxt] = cand
+                    best_hops[nxt] = hops + 1
+                    parent[nxt] = (node_id, link)
+                    heapq.heappush(heap, (-cand, hops + 1, nxt))
+        if dst.node_id not in parent and dst.node_id != src.node_id:
+            raise NoPathError(f"no path from {src.node_id} to {dst.node_id}")
+        # Reconstruct.
+        path: Path = []
+        cur = dst.node_id
+        while cur != src.node_id:
+            prev, link = parent[cur]
+            path.append(link)
+            cur = prev
+        path.reverse()
+        return path, best_bottleneck[dst.node_id]
+
+    def path(self, src: Node, dst: Node) -> Path:
+        """Widest path (overrides the hop-count shortest path)."""
+        return self.widest_path(src, dst)[0]

@@ -1,0 +1,383 @@
+"""Topology primitives: nodes, directed links, and the topology graph.
+
+Conventions
+-----------
+* A physical cable is represented by **two directed links**, one per
+  direction.  SCDA's rate metric distinguishes uplink and downlink rates of
+  every cable (the ``d``/``u`` subscripts of the paper), so directed links are
+  the natural unit.
+* "Uplink" means towards the core of the datacenter tree (increasing level),
+  "downlink" means towards the servers (decreasing level).  For non-tree
+  topologies the distinction is stored per link as a plain direction flag.
+* Capacities are bits/second; delays are seconds; queue sizes are bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the datacenter."""
+
+    HOST = "host"          #: a server (block server, name node, front end)
+    SWITCH = "switch"      #: an internal switch/router
+    CLIENT = "client"      #: an external user client (UCL)
+
+
+@dataclass
+class Node:
+    """A vertex of the datacenter graph.
+
+    Attributes
+    ----------
+    node_id:
+        Unique string identifier, e.g. ``"bs-3"`` or ``"agg-1"``.
+    kind:
+        Host, switch or external client.
+    level:
+        Tree level: hosts are level 0, ToR switches level 1, aggregation
+        level 2, core level 3 (``hmax``).  Clients use level -1.
+    attrs:
+        Free-form attributes (rack id, pod id, power profile name, ...).
+    """
+
+    node_id: str
+    kind: NodeKind
+    level: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.node_id!r}, {self.kind.value}, level={self.level})"
+
+
+class Link:
+    """A directed link with capacity, propagation delay and a fluid queue.
+
+    The queue holds the backlog (bytes) that has been sent into the link above
+    its drain capacity; it produces queueing delay ``queue_bytes*8/capacity``
+    and, when it exceeds ``buffer_bytes``, a loss indication that transports
+    may react to.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "link_id",
+        "src",
+        "dst",
+        "capacity_bps",
+        "delay_s",
+        "buffer_bytes",
+        "is_uplink",
+        "queue_bytes",
+        "loss_events",
+        "_loss_in_interval",
+        "bytes_carried",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        src: Node,
+        dst: Node,
+        capacity_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[float] = None,
+        is_uplink: bool = False,
+        link_id: Optional[str] = None,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        self.link_id = link_id or f"link-{next(self._ids)}:{src.node_id}->{dst.node_id}"
+        self.src = src
+        self.dst = dst
+        self.capacity_bps = float(capacity_bps)
+        self.delay_s = float(delay_s)
+        # Default buffer: one bandwidth-delay product at 100 ms, a common
+        # shallow-buffer datacenter setting.
+        self.buffer_bytes = (
+            float(buffer_bytes)
+            if buffer_bytes is not None
+            else self.capacity_bps * 0.1 / 8.0
+        )
+        self.is_uplink = bool(is_uplink)
+        self.queue_bytes = 0.0
+        self.loss_events = 0
+        self._loss_in_interval = False
+        self.bytes_carried = 0.0
+        self.attrs: Dict[str, object] = {}
+
+    # -- queue dynamics -----------------------------------------------------------
+    def queueing_delay(self) -> float:
+        """Current queueing delay (seconds) caused by the backlog."""
+        return self.queue_bytes * 8.0 / self.capacity_bps
+
+    def integrate_queue(self, offered_bps: float, dt: float) -> None:
+        """Advance the fluid queue by ``dt`` seconds given ``offered_bps`` input.
+
+        Backlog grows when the offered load exceeds capacity and drains
+        otherwise.  A loss indication is latched when the backlog would exceed
+        the buffer; the excess is dropped (the queue is clamped to the buffer).
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if dt == 0:
+            return
+        delta_bytes = (offered_bps - self.capacity_bps) * dt / 8.0
+        new_queue = self.queue_bytes + delta_bytes
+        if new_queue > self.buffer_bytes:
+            self._loss_in_interval = True
+            self.loss_events += 1
+            new_queue = self.buffer_bytes
+        self.queue_bytes = max(0.0, new_queue)
+        # Account for traffic actually carried (cannot exceed capacity).
+        self.bytes_carried += min(offered_bps, self.capacity_bps) * dt / 8.0
+
+    def consume_loss_flag(self) -> bool:
+        """Return and clear the 'loss happened since last check' flag."""
+        flag = self._loss_in_interval
+        self._loss_in_interval = False
+        return flag
+
+    def reset_state(self) -> None:
+        """Clear queue/loss/carried-byte state (used between experiments)."""
+        self.queue_bytes = 0.0
+        self.loss_events = 0
+        self._loss_in_interval = False
+        self.bytes_carried = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        gbps = self.capacity_bps / 1e9
+        return f"Link({self.src.node_id}->{self.dst.node_id}, {gbps:g} Gbps)"
+
+
+class Topology:
+    """A directed multigraph of :class:`Node` and :class:`Link`.
+
+    The topology also exposes tree-structure helpers (parents/children by
+    level) used by the RM/RA hierarchy, but it does not *require* a tree; the
+    general-topology code paths (Section IX) only use the adjacency queries.
+    """
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[str, Link] = {}
+        self._out: Dict[str, List[Link]] = {}
+        self._in: Dict[str, List[Link]] = {}
+
+    # -- construction ---------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Add ``node``; adding the same id twice is an error."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._out[node.node_id] = []
+        self._in[node.node_id] = []
+        return node
+
+    def add_host(self, node_id: str, level: int = 0, **attrs: object) -> Node:
+        """Convenience: add a host node."""
+        return self.add_node(Node(node_id, NodeKind.HOST, level, dict(attrs)))
+
+    def add_switch(self, node_id: str, level: int, **attrs: object) -> Node:
+        """Convenience: add a switch node."""
+        return self.add_node(Node(node_id, NodeKind.SWITCH, level, dict(attrs)))
+
+    def add_client(self, node_id: str, **attrs: object) -> Node:
+        """Convenience: add an external client node."""
+        return self.add_node(Node(node_id, NodeKind.CLIENT, -1, dict(attrs)))
+
+    def add_link(
+        self,
+        src: Node,
+        dst: Node,
+        capacity_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[float] = None,
+        is_uplink: Optional[bool] = None,
+    ) -> Link:
+        """Add a single directed link from ``src`` to ``dst``."""
+        for node in (src, dst):
+            if node.node_id not in self._nodes:
+                raise KeyError(f"node {node.node_id!r} not in topology")
+        if is_uplink is None:
+            is_uplink = dst.level > src.level
+        link = Link(src, dst, capacity_bps, delay_s, buffer_bytes, is_uplink)
+        self._links[link.link_id] = link
+        self._out[src.node_id].append(link)
+        self._in[dst.node_id].append(link)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: Node,
+        b: Node,
+        capacity_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[float] = None,
+    ) -> Tuple[Link, Link]:
+        """Add both directions of a cable between ``a`` and ``b``."""
+        up = self.add_link(a, b, capacity_bps, delay_s, buffer_bytes)
+        down = self.add_link(b, a, capacity_bps, delay_s, buffer_bytes)
+        return up, down
+
+    # -- queries ----------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> List[Link]:
+        """All directed links, in insertion order."""
+        return list(self._links.values())
+
+    def node(self, node_id: str) -> Node:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: str) -> bool:
+        """True if a node with that id exists."""
+        return node_id in self._nodes
+
+    def hosts(self) -> List[Node]:
+        """All host nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.HOST]
+
+    def switches(self) -> List[Node]:
+        """All switch nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.SWITCH]
+
+    def clients(self) -> List[Node]:
+        """All external client nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.CLIENT]
+
+    def out_links(self, node: Node) -> List[Link]:
+        """Directed links leaving ``node``."""
+        return list(self._out[node.node_id])
+
+    def in_links(self, node: Node) -> List[Link]:
+        """Directed links entering ``node``."""
+        return list(self._in[node.node_id])
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Nodes reachable over one outgoing link."""
+        return [link.dst for link in self._out[node.node_id]]
+
+    def find_link(self, src: Node, dst: Node) -> Link:
+        """The first directed link from ``src`` to ``dst`` (KeyError if none)."""
+        for link in self._out[src.node_id]:
+            if link.dst.node_id == dst.node_id:
+                return link
+        raise KeyError(f"no link {src.node_id} -> {dst.node_id}")
+
+    def uplink_of(self, node: Node) -> Optional[Link]:
+        """The (first) link from ``node`` towards a higher level, if any."""
+        candidates = [l for l in self._out[node.node_id] if l.dst.level > node.level]
+        return candidates[0] if candidates else None
+
+    def downlink_to(self, node: Node) -> Optional[Link]:
+        """The (first) link into ``node`` from a higher level, if any."""
+        candidates = [l for l in self._in[node.node_id] if l.src.level > node.level]
+        return candidates[0] if candidates else None
+
+    def parent(self, node: Node) -> Optional[Node]:
+        """The tree parent (unique higher-level neighbour), if any."""
+        uplink = self.uplink_of(node)
+        return uplink.dst if uplink is not None else None
+
+    def children(self, node: Node) -> List[Node]:
+        """Lower-level neighbours of ``node`` (its tree children)."""
+        return [l.dst for l in self._out[node.node_id] if l.dst.level < node.level]
+
+    def max_level(self) -> int:
+        """The highest level present among switches (``hmax`` in the paper)."""
+        levels = [n.level for n in self._nodes.values() if n.kind is NodeKind.SWITCH]
+        return max(levels) if levels else 0
+
+    def levels(self) -> Dict[int, List[Node]]:
+        """Nodes grouped by level."""
+        grouped: Dict[int, List[Node]] = {}
+        for node in self._nodes.values():
+            grouped.setdefault(node.level, []).append(node)
+        return grouped
+
+    def reset_links(self) -> None:
+        """Reset queue/loss state on every link."""
+        for link in self._links.values():
+            link.reset_state()
+
+    # -- iteration / sizing --------------------------------------------------------------
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Topology {self.name!r}: {len(self._nodes)} nodes, "
+            f"{len(self._links)} links>"
+        )
+
+    # -- export -----------------------------------------------------------------------------
+    def to_dot(self, include_capacities: bool = True) -> str:
+        """Render the topology as a Graphviz ``dot`` graph.
+
+        Each duplex pair of directed links is drawn as one undirected edge
+        (labelled with the capacity in Gb/s when ``include_capacities``);
+        hosts, switches and clients get distinct shapes so the figure-1-style
+        structure is visible with any dot renderer.
+        """
+        shape_of = {
+            NodeKind.HOST: "box",
+            NodeKind.SWITCH: "ellipse",
+            NodeKind.CLIENT: "diamond",
+        }
+        lines = [f'graph "{self.name}" {{', "  rankdir=BT;"]
+        for node in self._nodes.values():
+            lines.append(
+                f'  "{node.node_id}" [shape={shape_of[node.kind]}, label="{node.node_id}"];'
+            )
+        seen_pairs = set()
+        for link in self._links.values():
+            key = tuple(sorted((link.src.node_id, link.dst.node_id)))
+            if key in seen_pairs:
+                continue
+            seen_pairs.add(key)
+            label = f' [label="{link.capacity_bps / 1e9:g}G"]' if include_capacities else ""
+            lines.append(f'  "{key[0]}" -- "{key[1]}"{label};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- validation -------------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on problems.
+
+        * every link endpoint is a registered node,
+        * every host/client has at least one outgoing and one incoming link,
+        * capacities and delays are positive/non-negative.
+        """
+        problems: List[str] = []
+        for link in self._links.values():
+            for endpoint in (link.src, link.dst):
+                if endpoint.node_id not in self._nodes:
+                    problems.append(f"link {link.link_id} endpoint {endpoint.node_id} missing")
+        for node in self._nodes.values():
+            if node.kind in (NodeKind.HOST, NodeKind.CLIENT):
+                if not self._out[node.node_id]:
+                    problems.append(f"{node.node_id} has no outgoing link")
+                if not self._in[node.node_id]:
+                    problems.append(f"{node.node_id} has no incoming link")
+        if problems:
+            raise ValueError("invalid topology: " + "; ".join(problems))

@@ -1,0 +1,28 @@
+"""Transport models: how sources decide their sending rates.
+
+* :class:`~repro.network.transport.base.TransportModel` — the interface the
+  fabric drives.
+* :class:`~repro.network.transport.tcp.TcpTransport` — flow-level TCP
+  (slow start + AIMD + loss backoff); the rate-control half of the RandTCP
+  baseline.
+* :class:`~repro.network.transport.scda.ScdaTransport` — explicit-rate
+  transport: sources pace at the window ``rate × RTT`` handed to them by the
+  SCDA RM/RA allocation (Section VIII of the paper).
+* :class:`~repro.network.transport.ideal.IdealMaxMinTransport` — an oracle
+  that instantly applies the centralised max-min allocation; used as an upper
+  bound and in tests.
+"""
+
+from repro.network.transport.base import TransportModel
+from repro.network.transport.tcp import TcpConfig, TcpTransport
+from repro.network.transport.scda import ScdaTransport, RateProvider
+from repro.network.transport.ideal import IdealMaxMinTransport
+
+__all__ = [
+    "TransportModel",
+    "TcpConfig",
+    "TcpTransport",
+    "ScdaTransport",
+    "RateProvider",
+    "IdealMaxMinTransport",
+]

@@ -1,0 +1,39 @@
+"""Transport model interface."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.network.flow import Flow
+
+
+class TransportModel:
+    """Decides the demand and delivered rate of every active flow.
+
+    Subclasses implement :meth:`update_rates`; the fabric calls it at every
+    recompute point (flow arrival, completion, control tick) after having
+    advanced the fluid state up to ``now``.  The model must set, for every
+    flow in ``flows``:
+
+    * ``flow.demand_rate_bps`` — what the source offers to the network, and
+    * ``flow.current_rate_bps`` — what is actually delivered end to end.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.fabric = None  # type: Optional[object]
+
+    def attach(self, fabric) -> None:
+        """Bind the model to a fabric (called by :class:`FabricSimulator`)."""
+        self.fabric = fabric
+
+    def on_flow_start(self, flow: Flow, now: float) -> None:
+        """Hook: a flow has just become active."""
+
+    def on_flow_finish(self, flow: Flow, now: float) -> None:
+        """Hook: a flow has just finished or been aborted."""
+
+    def update_rates(self, flows: Sequence[Flow], now: float) -> None:
+        """Assign demand and delivered rates to all active flows."""
+        raise NotImplementedError

@@ -1,0 +1,34 @@
+"""Oracle transport: instantaneous centralised max-min allocation.
+
+This is not part of the paper; it is an upper bound used by the tests and the
+ablation benchmarks.  Every recompute point the allocation jumps straight to
+the weighted max-min fair rates with full knowledge of all flows — the best
+any distributed scheme (including SCDA) can converge to.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.flow import Flow
+from repro.network.fluid import max_min_shares
+from repro.network.transport.base import TransportModel
+
+
+class IdealMaxMinTransport(TransportModel):
+    """Centralised, instantaneous, weighted max-min fair allocation."""
+
+    name = "ideal-maxmin"
+
+    def __init__(self, utilisation: float = 1.0) -> None:
+        super().__init__()
+        if not (0.0 < utilisation <= 1.0):
+            raise ValueError("utilisation must be in (0, 1]")
+        self.utilisation = float(utilisation)
+
+    def update_rates(self, flows: Sequence[Flow], now: float) -> None:
+        rates = max_min_shares(flows, capacity_scale=self.utilisation)
+        for flow in flows:
+            rate = rates[flow.flow_id]
+            flow.demand_rate_bps = rate
+            flow.current_rate_bps = rate

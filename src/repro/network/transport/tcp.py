@@ -1,0 +1,152 @@
+"""Flow-level TCP model — the rate-control half of the RandTCP baseline.
+
+The paper's baseline ("RandTCP") relies on standard TCP (Jacobson congestion
+avoidance and control) to determine sending rates.  We model TCP at flow
+granularity, reproducing the phenomena the paper attributes RandTCP's poor
+FCT/throughput to:
+
+* **slow start** — a new flow starts at a couple of segments per RTT and
+  needs several RTTs to reach its fair share, which dominates the completion
+  time of short flows;
+* **AIMD oscillation** — once queues overflow, every flow crossing the lossy
+  link halves its window, then climbs back linearly, so long flows hover
+  below the link share;
+* **queue-induced RTT inflation** — standing queues at congested links
+  stretch the RTT, which further slows window growth.
+
+The *delivered* rate of each flow is the max-min share of the network given
+every flow's window-derived demand, i.e. the network enforces an
+approximately fair split at the bottleneck while the window dynamics decide
+how much each source offers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set
+
+from repro.network.flow import Flow
+from repro.network.fluid import max_min_shares
+from repro.network.transport.base import TransportModel
+
+
+@dataclass
+class TcpConfig:
+    """Parameters of the flow-level TCP model."""
+
+    mss_bytes: float = 1460.0            #: maximum segment size
+    initial_window_segments: float = 2.0 #: IW (RFC 5681-era default)
+    #: Initial slow-start threshold.  NS-2's TCP starts with an effectively
+    #: unbounded ssthresh (slow start runs until the first loss), which is the
+    #: behaviour the paper's RandTCP baseline exhibits; the classic 64 KB value
+    #: can be set here to model more conservative stacks.
+    initial_ssthresh_bytes: float = float("inf")
+    min_window_segments: float = 1.0     #: floor after a loss
+    max_window_bytes: float = 16 * 1024 * 1024.0  #: receive-window cap
+    loss_backoff: float = 0.5            #: multiplicative decrease factor
+    ack_every_bytes: float = 2 * 1460.0  #: delayed-ACK granularity (unused knob kept for clarity)
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
+        if not (0.0 < self.loss_backoff < 1.0):
+            raise ValueError("loss_backoff must be in (0, 1)")
+        if self.initial_window_segments < self.min_window_segments:
+            raise ValueError("initial window cannot be below the minimum window")
+
+
+class TcpTransport(TransportModel):
+    """Flow-level TCP (slow start + AIMD) with shared-bottleneck fairness."""
+
+    name = "tcp"
+
+    def __init__(self, config: TcpConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or TcpConfig()
+        self._last_update: Dict[int, float] = {}
+
+    # -- lifecycle hooks ------------------------------------------------------------
+    def on_flow_start(self, flow: Flow, now: float) -> None:
+        cfg = self.config
+        flow.transport_state["cwnd"] = cfg.initial_window_segments * cfg.mss_bytes
+        flow.transport_state["ssthresh"] = min(cfg.initial_ssthresh_bytes, cfg.max_window_bytes)
+        flow.transport_state["losses"] = 0.0
+        self._last_update[flow.flow_id] = now
+
+    def on_flow_finish(self, flow: Flow, now: float) -> None:
+        self._last_update.pop(flow.flow_id, None)
+
+    # -- rate assignment --------------------------------------------------------------
+    def update_rates(self, flows: Sequence[Flow], now: float) -> None:
+        cfg = self.config
+
+        # 1. Collect per-link loss indications accumulated by the fabric since
+        #    the previous update (buffer overflows during queue integration).
+        lossy_links: Set[str] = set()
+        seen: Set[str] = set()
+        for flow in flows:
+            for link in flow.path:
+                if link.link_id in seen:
+                    continue
+                seen.add(link.link_id)
+                if link.consume_loss_flag():
+                    lossy_links.add(link.link_id)
+
+        # 2. Evolve each flow's window.
+        demands: Dict[int, float] = {}
+        for flow in flows:
+            state = flow.transport_state
+            if "cwnd" not in state:  # flow started outside on_flow_start (defensive)
+                self.on_flow_start(flow, now)
+                state = flow.transport_state
+            last = self._last_update.get(flow.flow_id, now)
+            dt = max(0.0, now - last)
+            self._last_update[flow.flow_id] = now
+
+            rtt = max(flow.rtt_estimate(), 1e-4)
+            cwnd = state["cwnd"]
+            ssthresh = state["ssthresh"]
+
+            if any(link.link_id in lossy_links for link in flow.path):
+                # Multiplicative decrease on loss.
+                ssthresh = max(cwnd * cfg.loss_backoff, cfg.min_window_segments * cfg.mss_bytes)
+                cwnd = max(ssthresh, cfg.min_window_segments * cfg.mss_bytes)
+                state["losses"] += 1.0
+            elif dt > 0.0:
+                rtts_elapsed = dt / rtt
+                if cwnd < ssthresh:
+                    # Slow start: the window doubles every RTT (capped at ssthresh).
+                    cwnd = min(cwnd * (2.0 ** rtts_elapsed), ssthresh)
+                    # If we crossed ssthresh mid-interval, the rest of the time
+                    # grows linearly; a small correction that matters for long dt.
+                    if cwnd >= ssthresh:
+                        cwnd = min(cwnd + cfg.mss_bytes * rtts_elapsed, cfg.max_window_bytes)
+                else:
+                    # Congestion avoidance: one MSS per RTT.
+                    cwnd = min(cwnd + cfg.mss_bytes * rtts_elapsed, cfg.max_window_bytes)
+
+            cwnd = min(max(cwnd, cfg.min_window_segments * cfg.mss_bytes), cfg.max_window_bytes)
+            state["cwnd"] = cwnd
+            state["ssthresh"] = ssthresh
+
+            demand_bps = cwnd * 8.0 / rtt
+            demand_bps = min(demand_bps, flow.app_limit_bps)
+            demands[flow.flow_id] = demand_bps
+
+        # 3. The network delivers the max-min share of the offered demands.
+        delivered = max_min_shares(flows, demand_caps=demands)
+        for flow in flows:
+            flow.demand_rate_bps = demands[flow.flow_id]
+            flow.current_rate_bps = delivered[flow.flow_id]
+
+    # -- diagnostics -----------------------------------------------------------------
+    @staticmethod
+    def window_of(flow: Flow) -> float:
+        """Current congestion window of ``flow`` in bytes (0 if unknown)."""
+        return float(flow.transport_state.get("cwnd", 0.0))
+
+    @staticmethod
+    def losses_of(flow: Flow) -> int:
+        """Number of loss events the flow has reacted to."""
+        return int(flow.transport_state.get("losses", 0.0))

@@ -1,0 +1,132 @@
+"""The 3-tier tree datacenter topology of the paper (Figures 1 and 6).
+
+The experimental topology of Section X is a three-tier tree:
+
+* level 3: one core switch (entry point of the cloud),
+* level 2: aggregation switches,
+* level 1: top-of-rack (edge) switches,
+* level 0: block servers (hosts), plus external clients hanging off the core
+  through higher-latency access links.
+
+Figure 6 annotates the links with a base bandwidth ``X`` (server access
+links), ``6X`` for some upper links, and ``K·X`` (``K < 6``) for others —
+"by varying this bandwidth multiplier of some links ... we show that SCDA is
+not restricted to equal bandwidth datacenter architectures".  Internal link
+delays are 10 ms and the client access delay is 50 ms, as in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.network.topology import Node, Topology
+
+GBPS = 1e9
+MBPS = 1e6
+
+
+@dataclass
+class TreeTopologyConfig:
+    """Parameters of the 3-tier tree.
+
+    The defaults mirror the paper's Figure 6 at a laptop-friendly scale:
+    ``num_agg`` aggregation switches under one core, ``racks_per_agg`` racks
+    per aggregation switch, ``hosts_per_rack`` block servers per rack, and
+    ``num_clients`` external clients attached to the core switch.
+    """
+
+    base_bandwidth_bps: float = 500.0 * MBPS  #: X in the paper (X = 500 Mb/s or 200 Mb/s)
+    bandwidth_factor: float = 3.0             #: K in the paper (K < 6)
+    core_multiplier: float = 6.0              #: the 6X links of Figure 6
+    num_agg: int = 2                          #: aggregation switches
+    racks_per_agg: int = 2                    #: ToR switches per aggregation switch
+    hosts_per_rack: int = 5                   #: block servers per rack
+    num_clients: int = 8                      #: external UCL clients
+    internal_delay_s: float = 0.010           #: 10 ms internal links
+    client_delay_s: float = 0.050             #: 50 ms client access links
+    client_bandwidth_bps: float = 0.0         #: 0 -> use base bandwidth
+    buffer_ms: float = 100.0                  #: per-link buffer, in ms at link rate
+    heterogeneous_right_side: bool = True     #: apply K only to the "right half" (Fig. 6)
+
+    def __post_init__(self) -> None:
+        if self.base_bandwidth_bps <= 0:
+            raise ValueError("base_bandwidth_bps must be positive")
+        if self.bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        if min(self.num_agg, self.racks_per_agg, self.hosts_per_rack) < 1:
+            raise ValueError("tree dimensions must be >= 1")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of block-server hosts."""
+        return self.num_agg * self.racks_per_agg * self.hosts_per_rack
+
+    def buffer_bytes(self, capacity_bps: float) -> float:
+        """Buffer size for a link of the given capacity."""
+        return capacity_bps * (self.buffer_ms / 1000.0) / 8.0
+
+
+def build_tree_topology(config: TreeTopologyConfig | None = None) -> Topology:
+    """Build the 3-tier tree of Figure 6.
+
+    Node naming: ``core``, ``agg-<i>``, ``tor-<i>-<j>``, ``bs-<i>-<j>-<k>``,
+    ``ucl-<c>``.  Host attributes record rack and pod ids so placement
+    policies can reason about locality.
+    """
+    cfg = config or TreeTopologyConfig()
+    topo = Topology(name="scda-3tier-tree")
+
+    x = cfg.base_bandwidth_bps
+    core_bw = cfg.core_multiplier * x
+    k_bw = cfg.bandwidth_factor * x
+
+    core = topo.add_switch("core", level=3)
+
+    for a in range(cfg.num_agg):
+        agg = topo.add_switch(f"agg-{a}", level=2, pod=a)
+        # Figure 6 shows heterogeneous upper-level links: the left side of the
+        # tree uses 6X core links while the right side uses K·X links.
+        right_side = cfg.heterogeneous_right_side and (a >= cfg.num_agg / 2.0)
+        agg_bw = k_bw if right_side else core_bw
+        topo.add_duplex_link(agg, core, agg_bw, cfg.internal_delay_s, cfg.buffer_bytes(agg_bw))
+
+        for r in range(cfg.racks_per_agg):
+            tor = topo.add_switch(f"tor-{a}-{r}", level=1, pod=a, rack=f"{a}-{r}")
+            tor_bw = k_bw if right_side else core_bw
+            topo.add_duplex_link(tor, agg, tor_bw, cfg.internal_delay_s, cfg.buffer_bytes(tor_bw))
+
+            for h in range(cfg.hosts_per_rack):
+                host = topo.add_host(
+                    f"bs-{a}-{r}-{h}",
+                    level=0,
+                    pod=a,
+                    rack=f"{a}-{r}",
+                    right_side=right_side,
+                )
+                topo.add_duplex_link(host, tor, x, cfg.internal_delay_s, cfg.buffer_bytes(x))
+
+    client_bw = cfg.client_bandwidth_bps or x
+    for c in range(cfg.num_clients):
+        client = topo.add_client(f"ucl-{c}")
+        topo.add_duplex_link(
+            client, core, client_bw, cfg.client_delay_s, cfg.buffer_bytes(client_bw)
+        )
+
+    topo.validate()
+    return topo
+
+
+def rack_of(node: Node) -> str:
+    """Rack identifier of a host (empty string for non-rack nodes)."""
+    return str(node.attrs.get("rack", ""))
+
+
+def hosts_by_rack(topo: Topology) -> Dict[str, List[Node]]:
+    """Group the topology's hosts by rack id."""
+    grouped: Dict[str, List[Node]] = {}
+    for host in topo.hosts():
+        grouped.setdefault(rack_of(host), []).append(host)
+    return grouped

@@ -1,0 +1,63 @@
+"""VL2-style Clos topology (Greenberg et al., SIGCOMM 2009).
+
+VL2 is one of the architectures the paper's RandTCP baseline stands in for:
+random (VLB/ECMP) path and server selection over a folded-Clos network.  The
+builder here produces the Clos interconnect; the RandTCP scheme layered on
+top of it reproduces VL2's random placement behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.topology import Topology
+
+GBPS = 1e9
+
+
+def build_vl2_topology(
+    num_intermediate: int = 2,
+    num_aggregation: int = 4,
+    num_tor: int = 4,
+    hosts_per_tor: int = 4,
+    tor_link_bps: float = 1.0 * GBPS,
+    agg_link_bps: float = 10.0 * GBPS,
+    link_delay_s: float = 0.001,
+    num_clients: int = 4,
+    client_delay_s: float = 0.050,
+    buffer_bytes: Optional[float] = None,
+) -> Topology:
+    """Build a VL2-like folded Clos.
+
+    * intermediate switches (level 3) form the top tier,
+    * every aggregation switch (level 2) connects to every intermediate,
+    * each ToR (level 1) connects to two aggregation switches,
+    * hosts (level 0) hang off the ToRs.
+    """
+    if num_aggregation < 2:
+        raise ValueError("VL2 requires at least two aggregation switches")
+    topo = Topology(name="vl2-clos")
+
+    intermediates = [topo.add_switch(f"int-{i}", level=3) for i in range(num_intermediate)]
+    aggs = [topo.add_switch(f"agg-{i}", level=2) for i in range(num_aggregation)]
+    for agg in aggs:
+        for inter in intermediates:
+            topo.add_duplex_link(agg, inter, agg_link_bps, link_delay_s, buffer_bytes)
+
+    for t in range(num_tor):
+        tor = topo.add_switch(f"tor-{t}", level=1, rack=str(t))
+        # VL2 dual-homes each ToR to two aggregation switches.
+        for agg in (aggs[t % num_aggregation], aggs[(t + 1) % num_aggregation]):
+            topo.add_duplex_link(tor, agg, agg_link_bps, link_delay_s, buffer_bytes)
+        for h in range(hosts_per_tor):
+            host = topo.add_host(f"bs-{t}-{h}", level=0, rack=str(t))
+            topo.add_duplex_link(host, tor, tor_link_bps, link_delay_s, buffer_bytes)
+
+    for c in range(num_clients):
+        client = topo.add_client(f"ucl-{c}")
+        topo.add_duplex_link(
+            client, intermediates[c % num_intermediate], tor_link_bps, client_delay_s, buffer_bytes
+        )
+
+    topo.validate()
+    return topo

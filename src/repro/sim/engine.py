@@ -1,0 +1,184 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` owns the simulation clock and a binary-heap event
+queue.  Events scheduled at the same simulated time fire in FIFO order of
+scheduling (a monotone tie-break counter), which keeps runs fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Examples
+    --------
+    Callback style::
+
+        sim = Simulator()
+        sim.call_at(2.5, lambda: print("hello at", sim.now))
+        sim.run(until=10.0)
+
+    Process (generator) style::
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            print("one second elapsed")
+
+        sim = Simulator()
+        sim.process(proc(sim))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._event_count = 0
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (useful for sanity checks)."""
+        return self._event_count
+
+    # -- event creation --------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a bare, untriggered :class:`Event` owned by this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Returns the underlying event so the call can be cancelled.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        ev = Event(self, name=getattr(fn, "__name__", "call"))
+        ev.add_callback(lambda _ev: fn(*args))
+        self._schedule_event(ev, max(time, self._now))
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def process(self, generator) -> "Any":
+        """Start a generator as a cooperative process.
+
+        See :class:`repro.sim.process.Process`.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def _schedule_event(self, event: Event, time: float) -> None:
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event._mark_scheduled(time)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+
+    def _discard(self, event: Event) -> None:
+        """Lazy cancellation: cancelled events stay on the heap and are skipped."""
+        # heapq has no efficient removal; the run loop checks ``cancelled``.
+        return None
+
+    # -- execution ---------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap:
+            time, _count, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _count, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if time < self._now - 1e-9:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = time
+            self._event_count += 1
+            event._fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulation time at which execution stopped.  If ``until``
+        is given the clock is advanced to exactly ``until`` even when the
+        queue drains earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until + 1e-12:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = float(until)
+        return self._now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after the current event."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator t={self._now:g} pending={len(self._heap)}>"

@@ -1,0 +1,129 @@
+"""Generator-based cooperative processes.
+
+A :class:`Process` wraps a Python generator.  The generator yields *waitables*
+(events, other processes, or plain numbers meaning "sleep this long"); the
+process resumes when the waitable triggers and receives its value as the
+result of the ``yield`` expression.  This mirrors the SimPy programming model
+closely enough that simulation logic written against SimPy ports over almost
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.events import Event, Interrupt
+
+
+class ProcessKilled(Exception):
+    """Raised inside a generator when its process is killed."""
+
+
+Waitable = Union[Event, "Process", float, int]
+
+
+class Process(Event):
+    """A running generator, itself usable as an event (fires on completion).
+
+    The completion value is the generator's ``return`` value.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_alive")
+
+    def __init__(self, sim: Any, generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim, name=getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Start the process asynchronously at the current time so that the
+        # creator finishes its own event handling first (deterministic order).
+        kickoff = Event(sim, name=f"start:{self.name}")
+        kickoff.add_callback(lambda _ev: self._resume(None))
+        sim._schedule_event(kickoff, sim.now)
+
+    # -- public API --------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been killed."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.sim.events.Interrupt` into the generator."""
+        if not self._alive:
+            return
+        self._detach()
+        self._throw(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process; the completion event is cancelled."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._detach()
+        try:
+            self.generator.close()
+        finally:
+            if self.pending:
+                self.cancel()
+
+    # -- engine plumbing -----------------------------------------------------------
+    def _detach(self) -> None:
+        self._waiting_on = None
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException:
+            # The generator body raised: the process is dead and the error
+            # propagates to the simulation loop (fail fast, no silent loss).
+            self._alive = False
+            raise
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException:
+            self._alive = False
+            raise
+        self._wait_on(target)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        if self.pending:
+            self.succeed(value)
+
+    def _wait_on(self, target: Waitable) -> None:
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(float(target))
+        if not isinstance(target, Event):
+            self._throw(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; expected an Event, "
+                    "Process, or a number of seconds"
+                )
+            )
+            return
+        self._waiting_on = target
+
+        def _on_trigger(ev: Event, _self=self, _target=target) -> None:
+            if _self._waiting_on is _target:
+                _self._waiting_on = None
+                _self._resume(ev.value)
+
+        target.add_callback(_on_trigger)

@@ -1,0 +1,239 @@
+"""Capacity-limited resources for processes.
+
+These primitives model contention for CPU slots, disk queues and similar
+server-side resources in the SCDA simulation:
+
+* :class:`Resource` — N identical slots acquired/released one at a time.
+* :class:`PriorityResource` — like :class:`Resource` but waiters are served
+  lowest-priority-number first (ties broken FIFO).
+* :class:`Container` — a continuous quantity (e.g. disk bytes) with put/get.
+* :class:`Store` — a FIFO queue of Python objects (e.g. request queues).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots.
+
+    ``request()`` returns an event that fires when a slot is granted; the
+    holder must call ``release()`` exactly once per granted request.
+    """
+
+    def __init__(self, sim: Any, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires when the slot is granted."""
+        ev = Event(self.sim, name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.sim._schedule_event(ev, self.sim.now)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a previously granted slot."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release() without a matching request()")
+        # Hand the slot directly to the next live waiter, if any.
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled:
+                continue
+            self.sim._schedule_event(waiter, self.sim.now)
+            return
+        self._in_use -= 1
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are granted in priority order.
+
+    Lower numeric priority is served first; equal priorities are FIFO.
+    """
+
+    def __init__(self, sim: Any, capacity: int = 1, name: str = "priority-resource") -> None:
+        super().__init__(sim, capacity, name)
+        self._pwaiters: List[Tuple[float, int, Event]] = []
+        self._tie = itertools.count()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pwaiters)
+
+    def request(self, priority: float = 0.0) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.request(p={priority})")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.sim._schedule_event(ev, self.sim.now)
+        else:
+            heapq.heappush(self._pwaiters, (float(priority), next(self._tie), ev))
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release() without a matching request()")
+        while self._pwaiters:
+            _prio, _tie, waiter = heapq.heappop(self._pwaiters)
+            if waiter.cancelled:
+                continue
+            self.sim._schedule_event(waiter, self.sim.now)
+            return
+        self._in_use -= 1
+
+
+class Container:
+    """A continuous quantity with bounded capacity (e.g. disk space in bytes)."""
+
+    def __init__(
+        self,
+        sim: Any,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if init < 0 or init > capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[Tuple[float, Event]] = deque()
+        self._putters: Deque[Tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; the event fires when it fits within capacity."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.sim, name=f"{self.name}.put({amount:g})")
+        self._putters.append((float(amount), ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; the event fires when that much is available."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = Event(self.sim, name=f"{self.name}.get({amount:g})")
+        self._getters.append((float(amount), ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if ev.cancelled:
+                    self._putters.popleft()
+                    progressed = True
+                elif self._level + amount <= self.capacity + 1e-12:
+                    self._putters.popleft()
+                    self._level += amount
+                    self.sim._schedule_event(ev, self.sim.now)
+                    progressed = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if ev.cancelled:
+                    self._getters.popleft()
+                    progressed = True
+                elif self._level >= amount - 1e-12:
+                    self._getters.popleft()
+                    self._level -= amount
+                    self.sim._schedule_event(ev, self.sim.now)
+                    progressed = True
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items."""
+
+    def __init__(self, sim: Any, capacity: Optional[int] = None, name: str = "store") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be None or >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Any, Event]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        """A snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; fires when capacity allows (immediately if unbounded)."""
+        ev = Event(self.sim, name=f"{self.name}.put")
+        self._putters.append((item, ev))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; the event's value is the item."""
+        ev = Event(self.sim, name=f"{self.name}.get")
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move pending puts into the queue if there is room.
+            if self._putters and (self.capacity is None or len(self._items) < self.capacity):
+                item, ev = self._putters.popleft()
+                if not ev.cancelled:
+                    self._items.append(item)
+                    self.sim._schedule_event(ev, self.sim.now)
+                progressed = True
+            # Serve pending gets.
+            if self._getters and self._items:
+                ev = self._getters.popleft()
+                if ev.cancelled:
+                    progressed = True
+                    continue
+                item = self._items.popleft()
+                ev._value = item
+                self.sim._schedule_event(ev, self.sim.now)
+                progressed = True

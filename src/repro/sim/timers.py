@@ -1,0 +1,77 @@
+"""Periodic timers.
+
+The SCDA control plane re-computes rate allocations every control interval τ;
+:class:`PeriodicTimer` drives those re-computations (and any other recurring
+action such as metric sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class PeriodicTimer:
+    """Invoke a callback every ``interval`` seconds of simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    interval:
+        Period in seconds (must be positive).
+    callback:
+        Called as ``callback(now)`` on every tick.
+    start_at:
+        Absolute time of the first tick.  Defaults to ``sim.now + interval``.
+    jitter_fn:
+        Optional callable returning a per-tick offset added to the period
+        (used to de-synchronise monitors if desired).
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        interval: float,
+        callback: Callable[[float], None],
+        start_at: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.jitter_fn = jitter_fn
+        self._active = True
+        self._ticks = 0
+        first = sim.now + self.interval if start_at is None else max(start_at, sim.now)
+        self._pending = sim.call_at(first, self._tick)
+
+    @property
+    def ticks(self) -> int:
+        """Number of completed ticks."""
+        return self._ticks
+
+    @property
+    def active(self) -> bool:
+        """True until :meth:`stop` is called."""
+        return self._active
+
+    def stop(self) -> None:
+        """Stop the timer; no further ticks will fire."""
+        self._active = False
+        if self._pending is not None and self._pending.pending:
+            self._pending.cancel()
+        self._pending = None
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self._ticks += 1
+        self.callback(self.sim.now)
+        if not self._active:
+            return
+        delay = self.interval
+        if self.jitter_fn is not None:
+            delay = max(1e-9, delay + float(self.jitter_fn()))
+        self._pending = self.sim.call_in(delay, self._tick)

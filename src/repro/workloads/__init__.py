@@ -1,0 +1,63 @@
+"""Workload generation.
+
+The paper evaluates SCDA with three workloads; the original traces are not
+redistributable, so this package generates synthetic equivalents that match
+the published characteristics (see DESIGN.md for the substitution argument):
+
+* :mod:`~repro.workloads.video_traces` — YouTube-CDN-like traffic: small HTTP
+  control flows (< 5 KB) plus heavy-tailed video flows capped around 30 MB,
+  with arrival rates scaled to 20 servers (Section X-A1).
+* :mod:`~repro.workloads.datacenter_traces` — general datacenter traffic:
+  a mice/elephant size mix up to ~7 MB with bursty arrivals (Section X-A2).
+* :mod:`~repro.workloads.distributions` — the Pareto file-size / Poisson
+  arrival generators of Section X-B, plus the building-block distributions
+  used by the trace generators.
+* :mod:`~repro.workloads.traces` — the :class:`Workload` container: a list of
+  timestamped flow requests with summary statistics and CSV round-tripping.
+"""
+
+from repro.workloads.distributions import (
+    SizeDistribution,
+    ConstantSize,
+    UniformSize,
+    ParetoSize,
+    BoundedParetoSize,
+    LognormalSize,
+    MixtureSize,
+    EmpiricalSize,
+    ArrivalProcess,
+    PoissonArrivals,
+    LognormalArrivals,
+    OnOffArrivals,
+)
+from repro.workloads.traces import FlowRequest, Workload, Operation
+from repro.workloads.video_traces import VideoTraceConfig, generate_video_workload
+from repro.workloads.datacenter_traces import (
+    DatacenterTraceConfig,
+    generate_datacenter_workload,
+)
+from repro.workloads.pareto_poisson import ParetoPoissonConfig, generate_pareto_poisson_workload
+
+__all__ = [
+    "SizeDistribution",
+    "ConstantSize",
+    "UniformSize",
+    "ParetoSize",
+    "BoundedParetoSize",
+    "LognormalSize",
+    "MixtureSize",
+    "EmpiricalSize",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "LognormalArrivals",
+    "OnOffArrivals",
+    "FlowRequest",
+    "Workload",
+    "Operation",
+    "VideoTraceConfig",
+    "generate_video_workload",
+    "DatacenterTraceConfig",
+    "generate_datacenter_workload",
+    "ParetoPoissonConfig",
+    "generate_pareto_poisson_workload",
+]

@@ -1,0 +1,109 @@
+"""Synthetic general-datacenter workload (Section X-A2).
+
+The paper uses file sizes from the VL2 measurement study and flow
+inter-arrival times from Benson et al. ("Network traffic characteristics of
+data centers in the wild").  The published characterisations are:
+
+* sizes are strongly bimodal — the vast majority of flows are *mice*
+  (a few KB to a few hundred KB) while a small fraction are larger transfers
+  of a few MB (the paper's AFCT plots span 0-7000 KB);
+* arrivals at a ToR are bursty, with lognormal-like inter-arrival times.
+
+This generator reproduces that shape with a two-component mixture and a
+lognormal renewal arrival process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+from repro.sim.random import RandomStreams
+from repro.workloads.distributions import (
+    BoundedParetoSize,
+    LognormalArrivals,
+    LognormalSize,
+    MixtureSize,
+)
+from repro.workloads.traces import FlowRequest, Operation, Workload
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+@dataclass
+class DatacenterTraceConfig:
+    """Parameters of the synthetic datacenter workload."""
+
+    duration_s: float = 100.0
+    arrival_rate_per_s: float = 30.0
+    burstiness_sigma: float = 1.2       #: lognormal sigma of inter-arrivals (bursty > 1)
+    mice_fraction: float = 0.8          #: fraction of flows that are mice
+    mice_median_bytes: float = 60.0 * KB
+    mice_sigma: float = 1.0
+    elephant_min_bytes: float = 0.5 * MB
+    elephant_max_bytes: float = 7.0 * MB  #: the 7 MB upper end of Figures 13-16
+    elephant_shape: float = 1.2
+    num_clients: int = 8
+    read_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not (0.0 <= self.mice_fraction <= 1.0):
+            raise ValueError("mice_fraction must be in [0, 1]")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if not (0.0 <= self.read_fraction <= 1.0):
+            raise ValueError("read_fraction must be in [0, 1]")
+
+
+def generate_datacenter_workload(
+    config: Optional[DatacenterTraceConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the general-datacenter workload."""
+    cfg = config or DatacenterTraceConfig()
+    streams = RandomStreams(seed).spawn("datacenter-trace")
+    arrival_rng = streams.stream("arrivals")
+    size_rng = streams.stream("sizes")
+    client_rng = streams.stream("clients")
+
+    sizes = MixtureSize(
+        components=[
+            LognormalSize(median_bytes=cfg.mice_median_bytes, sigma=cfg.mice_sigma,
+                          cap_bytes=cfg.elephant_min_bytes),
+            BoundedParetoSize(cfg.elephant_min_bytes, cfg.elephant_max_bytes, cfg.elephant_shape),
+        ],
+        weights=[cfg.mice_fraction, 1.0 - cfg.mice_fraction],
+    )
+    arrivals = LognormalArrivals(
+        mean_interarrival_s=1.0 / cfg.arrival_rate_per_s, sigma=cfg.burstiness_sigma
+    )
+
+    requests: List[FlowRequest] = []
+    written = 0
+    for t in arrivals.arrival_times(arrival_rng, cfg.duration_s):
+        client = int(client_rng.integers(0, cfg.num_clients))
+        size = sizes.sample(size_rng)
+        is_read = cfg.read_fraction > 0 and written > 0 and client_rng.random() < cfg.read_fraction
+        content_ref = f"dc-{int(client_rng.integers(0, written))}" if is_read else ""
+        requests.append(
+            FlowRequest(
+                arrival_time_s=float(t),
+                size_bytes=float(size),
+                client_index=client,
+                operation=Operation.READ if is_read else Operation.WRITE,
+                flow_kind=FlowKind.DATA,
+                content_class=ContentClass.LWHR if size > 1 * MB else ContentClass.HWLR,
+                content_ref=content_ref,
+            )
+        )
+        if not is_read:
+            written += 1
+    return Workload(requests, name="datacenter-traces")

@@ -1,0 +1,303 @@
+"""Size distributions and arrival processes used by the workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------------------
+# Size distributions
+# --------------------------------------------------------------------------------------
+class SizeDistribution:
+    """Interface: draw file/content sizes in bytes."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One size draw."""
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` size draws (default implementation loops over :meth:`sample`)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    def mean(self) -> float:
+        """Analytic mean if known, else NaN."""
+        return float("nan")
+
+
+@dataclass
+class ConstantSize(SizeDistribution):
+    """Every draw is the same size."""
+
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.size_bytes)
+
+    def mean(self) -> float:
+        return float(self.size_bytes)
+
+
+@dataclass
+class UniformSize(SizeDistribution):
+    """Uniform in ``[low, high]``."""
+
+    low_bytes: float
+    high_bytes: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.low_bytes <= self.high_bytes):
+            raise ValueError("need 0 < low <= high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_bytes, self.high_bytes))
+
+    def mean(self) -> float:
+        return (self.low_bytes + self.high_bytes) / 2.0
+
+
+@dataclass
+class ParetoSize(SizeDistribution):
+    """Pareto with the NS-2 parametrisation: given ``mean`` and ``shape``.
+
+    For shape ``a > 1`` the minimum (scale) is ``mean·(a−1)/a`` so the
+    expectation equals ``mean``.  This is the distribution of the paper's
+    Section X-B (mean 500 KB, shape 1.6).
+    """
+
+    mean_bytes: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.mean_bytes <= 0:
+            raise ValueError("mean must be positive")
+        if self.shape <= 1.0:
+            raise ValueError("shape must be > 1 for a finite mean")
+
+    @property
+    def scale_bytes(self) -> float:
+        """The minimum value of the distribution."""
+        return self.mean_bytes * (self.shape - 1.0) / self.shape
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        return float(self.scale_bytes / (1.0 - u) ** (1.0 / self.shape))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(n)
+        return self.scale_bytes / (1.0 - u) ** (1.0 / self.shape)
+
+    def mean(self) -> float:
+        return float(self.mean_bytes)
+
+
+@dataclass
+class BoundedParetoSize(SizeDistribution):
+    """Pareto truncated to ``[low, high]`` by inverse-CDF sampling."""
+
+    low_bytes: float
+    high_bytes: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.low_bytes < self.high_bytes):
+            raise ValueError("need 0 < low < high")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.sample_many(rng, 1)[0])
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        a = self.shape
+        l, h = self.low_bytes, self.high_bytes
+        u = rng.random(n)
+        # Inverse CDF of the bounded Pareto.
+        ratio = (h / l) ** a
+        x = (-(u * (ratio - 1.0) - ratio) / ratio) ** (-1.0 / a) * l
+        return np.clip(x, l, h)
+
+    def mean(self) -> float:
+        a = self.shape
+        l, h = self.low_bytes, self.high_bytes
+        if abs(a - 1.0) < 1e-12:
+            return float(l * h / (h - l) * np.log(h / l))
+        return float((l ** a) / (1 - (l / h) ** a) * (a / (a - 1)) * (1 / l ** (a - 1) - 1 / h ** (a - 1)))
+
+
+@dataclass
+class LognormalSize(SizeDistribution):
+    """Lognormal given the median and the log-space sigma."""
+
+    median_bytes: float
+    sigma: float
+    cap_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.median_bytes <= 0:
+            raise ValueError("median must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.cap_bytes is not None and self.cap_bytes < self.median_bytes:
+            raise ValueError("cap must be at least the median")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.sample_many(rng, 1)[0])
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        draws = rng.lognormal(mean=np.log(self.median_bytes), sigma=self.sigma, size=n)
+        if self.cap_bytes is not None:
+            draws = np.minimum(draws, self.cap_bytes)
+        return draws
+
+    def mean(self) -> float:
+        raw = self.median_bytes * np.exp(self.sigma ** 2 / 2.0)
+        return float(min(raw, self.cap_bytes) if self.cap_bytes is not None else raw)
+
+
+@dataclass
+class MixtureSize(SizeDistribution):
+    """A finite mixture of size distributions with given weights."""
+
+    components: Sequence[SizeDistribution]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.components) == 0:
+            raise ValueError("mixture needs at least one component")
+        if len(self.components) != len(self.weights):
+            raise ValueError("components and weights must have the same length")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+
+    def _probabilities(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        idx = int(rng.choice(len(self.components), p=self._probabilities()))
+        return self.components[idx].sample(rng)
+
+    def mean(self) -> float:
+        p = self._probabilities()
+        return float(sum(pi * c.mean() for pi, c in zip(p, self.components)))
+
+
+@dataclass
+class EmpiricalSize(SizeDistribution):
+    """Resample (with replacement) from an observed list of sizes."""
+
+    samples_bytes: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.samples_bytes) == 0:
+            raise ValueError("need at least one sample")
+        if any(s <= 0 for s in self.samples_bytes):
+            raise ValueError("all samples must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.samples_bytes[int(rng.integers(0, len(self.samples_bytes)))])
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples_bytes))
+
+
+# --------------------------------------------------------------------------------------
+# Arrival processes
+# --------------------------------------------------------------------------------------
+class ArrivalProcess:
+    """Interface: generate arrival timestamps over ``[0, duration)``."""
+
+    def arrival_times(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
+        """Sorted arrival times in seconds."""
+        raise NotImplementedError
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process with the given rate."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+
+    def arrival_times(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        # Draw slightly more than expected and trim; repeat if unlucky.
+        times: List[float] = []
+        t = 0.0
+        while t < duration_s:
+            t += rng.exponential(1.0 / self.rate_per_s)
+            if t < duration_s:
+                times.append(t)
+        return np.array(times, dtype=float)
+
+
+@dataclass
+class LognormalArrivals(ArrivalProcess):
+    """Renewal process with lognormal inter-arrival times (bursty).
+
+    Benson et al. observed lognormal-like inter-arrivals at datacenter ToR
+    switches; ``sigma`` controls burstiness.
+    """
+
+    mean_interarrival_s: float
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean inter-arrival must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    def arrival_times(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        # For a lognormal with log-space mean mu and sigma s, the mean is
+        # exp(mu + s^2/2); solve mu so the configured mean holds.
+        mu = np.log(self.mean_interarrival_s) - self.sigma ** 2 / 2.0
+        times: List[float] = []
+        t = 0.0
+        while t < duration_s:
+            t += float(rng.lognormal(mu, self.sigma))
+            if t < duration_s:
+                times.append(t)
+        return np.array(times, dtype=float)
+
+
+@dataclass
+class OnOffArrivals(ArrivalProcess):
+    """Bursty ON/OFF arrivals: Poisson bursts separated by idle gaps."""
+
+    on_rate_per_s: float
+    mean_on_s: float
+    mean_off_s: float
+
+    def __post_init__(self) -> None:
+        if self.on_rate_per_s <= 0 or self.mean_on_s <= 0 or self.mean_off_s < 0:
+            raise ValueError("invalid ON/OFF parameters")
+
+    def arrival_times(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        times: List[float] = []
+        t = 0.0
+        while t < duration_s:
+            on_end = t + rng.exponential(self.mean_on_s)
+            while t < min(on_end, duration_s):
+                t += rng.exponential(1.0 / self.on_rate_per_s)
+                if t < min(on_end, duration_s):
+                    times.append(t)
+            t = on_end + rng.exponential(self.mean_off_s) if self.mean_off_s > 0 else on_end
+        return np.array(sorted(times), dtype=float)

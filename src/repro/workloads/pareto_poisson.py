@@ -1,0 +1,76 @@
+"""The Pareto-size / Poisson-arrival workload of Section X-B.
+
+"File sizes are Pareto distributed with mean 500 KB and shape parameter of
+1.6.  Flow arrival rates are Poisson distributed with mean 200 flows/sec."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+from repro.sim.random import RandomStreams
+from repro.workloads.distributions import ParetoSize, PoissonArrivals
+from repro.workloads.traces import FlowRequest, Operation, Workload
+
+KB = 1024.0
+
+
+@dataclass
+class ParetoPoissonConfig:
+    """Parameters of the distribution-driven workload (paper defaults)."""
+
+    duration_s: float = 100.0
+    arrival_rate_per_s: float = 200.0
+    mean_size_bytes: float = 500.0 * KB
+    pareto_shape: float = 1.6
+    num_clients: int = 8
+    #: optional hard cap to keep a single tail draw from dominating short runs
+    cap_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.mean_size_bytes <= 0:
+            raise ValueError("mean size must be positive")
+        if self.pareto_shape <= 1.0:
+            raise ValueError("shape must exceed 1")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if self.cap_bytes is not None and self.cap_bytes <= 0:
+            raise ValueError("cap must be positive when given")
+
+
+def generate_pareto_poisson_workload(
+    config: Optional[ParetoPoissonConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the Pareto/Poisson workload of Section X-B."""
+    cfg = config or ParetoPoissonConfig()
+    streams = RandomStreams(seed).spawn("pareto-poisson")
+    arrival_rng = streams.stream("arrivals")
+    size_rng = streams.stream("sizes")
+    client_rng = streams.stream("clients")
+
+    sizes = ParetoSize(mean_bytes=cfg.mean_size_bytes, shape=cfg.pareto_shape)
+    arrivals = PoissonArrivals(cfg.arrival_rate_per_s)
+
+    requests: List[FlowRequest] = []
+    for t in arrivals.arrival_times(arrival_rng, cfg.duration_s):
+        size = sizes.sample(size_rng)
+        if cfg.cap_bytes is not None:
+            size = min(size, cfg.cap_bytes)
+        requests.append(
+            FlowRequest(
+                arrival_time_s=float(t),
+                size_bytes=float(size),
+                client_index=int(client_rng.integers(0, cfg.num_clients)),
+                operation=Operation.WRITE,
+                flow_kind=FlowKind.DATA,
+                content_class=ContentClass.LWHR,
+            )
+        )
+    return Workload(requests, name="pareto-poisson")

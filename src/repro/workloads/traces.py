@@ -1,0 +1,204 @@
+"""The :class:`Workload` container: timestamped flow requests plus statistics."""
+
+from __future__ import annotations
+
+import csv
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+
+
+class Operation(enum.Enum):
+    """What the request asks the cloud to do."""
+
+    WRITE = "write"
+    READ = "read"
+
+
+@dataclass
+class FlowRequest:
+    """One workload item: a client asking to store or retrieve content."""
+
+    arrival_time_s: float
+    size_bytes: float
+    client_index: int = 0
+    operation: Operation = Operation.WRITE
+    flow_kind: FlowKind = FlowKind.DATA
+    content_class: ContentClass = ContentClass.LWHR
+    #: id of previously written content (reads only); empty for writes
+    content_ref: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.arrival_time_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if self.client_index < 0:
+            raise ValueError("client index must be non-negative")
+
+
+class Workload:
+    """An ordered collection of :class:`FlowRequest`."""
+
+    def __init__(self, requests: Iterable[FlowRequest] = (), name: str = "workload") -> None:
+        self.name = name
+        self.requests: List[FlowRequest] = sorted(requests, key=lambda r: r.arrival_time_s)
+
+    # -- container protocol --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[FlowRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    def add(self, request: FlowRequest) -> None:
+        """Insert a request, keeping arrival order."""
+        self.requests.append(request)
+        self.requests.sort(key=lambda r: r.arrival_time_s)
+
+    def merge(self, other: "Workload", name: Optional[str] = None) -> "Workload":
+        """A new workload containing the requests of both (re-sorted)."""
+        return Workload(list(self.requests) + list(other.requests), name or self.name)
+
+    def filtered(self, predicate) -> "Workload":
+        """A new workload with only the requests matching ``predicate``."""
+        return Workload([r for r in self.requests if predicate(r)], self.name)
+
+    # -- statistics -------------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival."""
+        return self.requests[-1].arrival_time_s if self.requests else 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of request sizes."""
+        return float(sum(r.size_bytes for r in self.requests))
+
+    def sizes(self) -> np.ndarray:
+        """Array of request sizes in bytes."""
+        return np.array([r.size_bytes for r in self.requests], dtype=float)
+
+    def arrival_times(self) -> np.ndarray:
+        """Array of arrival times in seconds."""
+        return np.array([r.arrival_time_s for r in self.requests], dtype=float)
+
+    def mean_size_bytes(self) -> float:
+        """Average request size."""
+        return float(self.sizes().mean()) if self.requests else 0.0
+
+    def arrival_rate_per_s(self) -> float:
+        """Average arrival rate over the workload duration."""
+        if len(self.requests) < 2 or self.duration_s <= 0:
+            return float(len(self.requests))
+        return len(self.requests) / self.duration_s
+
+    def offered_load_bps(self) -> float:
+        """Average offered load in bits/s."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.duration_s
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of requests per flow kind."""
+        counts: Dict[str, int] = {}
+        for request in self.requests:
+            counts[request.flow_kind.value] = counts.get(request.flow_kind.value, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, float]:
+        """A dict of headline statistics (useful for logging / EXPERIMENTS.md)."""
+        sizes = self.sizes()
+        return {
+            "requests": float(len(self.requests)),
+            "duration_s": self.duration_s,
+            "total_bytes": self.total_bytes,
+            "mean_size_bytes": float(sizes.mean()) if sizes.size else 0.0,
+            "p50_size_bytes": float(np.percentile(sizes, 50)) if sizes.size else 0.0,
+            "p99_size_bytes": float(np.percentile(sizes, 99)) if sizes.size else 0.0,
+            "max_size_bytes": float(sizes.max()) if sizes.size else 0.0,
+            "arrival_rate_per_s": self.arrival_rate_per_s(),
+            "offered_load_bps": self.offered_load_bps(),
+        }
+
+    # -- persistence ------------------------------------------------------------------------------
+    _CSV_FIELDS = (
+        "arrival_time_s",
+        "size_bytes",
+        "client_index",
+        "operation",
+        "flow_kind",
+        "content_class",
+        "content_ref",
+    )
+
+    def to_csv(self, path) -> None:
+        """Write the workload to a CSV file (round-trips with :meth:`from_csv`)."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_FIELDS)
+            for r in self.requests:
+                writer.writerow(
+                    [
+                        f"{r.arrival_time_s:.9f}",
+                        f"{r.size_bytes:.3f}",
+                        r.client_index,
+                        r.operation.value,
+                        r.flow_kind.value,
+                        r.content_class.value,
+                        r.content_ref,
+                    ]
+                )
+
+    @classmethod
+    def from_csv(cls, path, name: Optional[str] = None) -> "Workload":
+        """Load a workload previously written with :meth:`to_csv`."""
+        path = Path(path)
+        requests: List[FlowRequest] = []
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                requests.append(
+                    FlowRequest(
+                        arrival_time_s=float(row["arrival_time_s"]),
+                        size_bytes=float(row["size_bytes"]),
+                        client_index=int(row["client_index"]),
+                        operation=Operation(row["operation"]),
+                        flow_kind=FlowKind(row["flow_kind"]),
+                        content_class=ContentClass(row["content_class"]),
+                        content_ref=row.get("content_ref", ""),
+                    )
+                )
+        return cls(requests, name or path.stem)
+
+    def to_json(self, path) -> None:
+        """Write the workload summary and requests to JSON."""
+        payload = {
+            "name": self.name,
+            "summary": self.summary(),
+            "requests": [
+                {
+                    "arrival_time_s": r.arrival_time_s,
+                    "size_bytes": r.size_bytes,
+                    "client_index": r.client_index,
+                    "operation": r.operation.value,
+                    "flow_kind": r.flow_kind.value,
+                    "content_class": r.content_class.value,
+                    "content_ref": r.content_ref,
+                }
+                for r in self.requests
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))

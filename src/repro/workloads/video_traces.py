@@ -1,0 +1,149 @@
+"""Synthetic YouTube-CDN-like workload (Section X-A1).
+
+The paper drives its first experiments with YouTube traces from Torres et al.
+(file sizes) and Mori et al. (flow arrival rates), scaled down to 20 of the
+2138 YouTube cache servers.  The traces themselves are not redistributable;
+this generator reproduces the published characteristics:
+
+* **control flows** — HTTP exchanges between the Flash plugin and a content
+  server before each video starts; all smaller than 5 KB;
+* **video flows** — heavy-tailed sizes with a hard cap around 30 MB (Torres
+  et al. and Cheng et al. both report ~30 MB as the practical maximum for the
+  vast majority of YouTube videos);
+* arrivals form a Poisson process whose rate is chosen relative to the number
+  of simulated servers (20) out of the full fleet (2138).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+from repro.sim.random import RandomStreams
+from repro.workloads.distributions import (
+    LognormalSize,
+    PoissonArrivals,
+    UniformSize,
+)
+from repro.workloads.traces import FlowRequest, Operation, Workload
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+@dataclass
+class VideoTraceConfig:
+    """Parameters of the synthetic YouTube workload.
+
+    The defaults follow the published statistics: video sizes are lognormal
+    with a ~6 MB median capped at 30 MB (control threshold 5 KB), and each
+    video is preceded by a couple of short control flows when
+    ``include_control_flows`` is set, as in Figures 7-9 (versus 10-12 without).
+    """
+
+    duration_s: float = 100.0
+    #: aggregate video arrival rate (flows/s) across the whole cluster
+    video_arrival_rate_per_s: float = 12.0
+    include_control_flows: bool = True
+    control_flows_per_video: float = 2.0     #: mean number of control exchanges per video
+    control_size_min_bytes: float = 0.2 * KB
+    control_size_max_bytes: float = 5.0 * KB  #: the trace's 5 KB control/video boundary
+    video_median_bytes: float = 6.0 * MB
+    video_sigma: float = 0.9
+    video_cap_bytes: float = 30.0 * MB        #: the ~30 MB YouTube cap
+    video_min_bytes: float = 5.0 * KB         #: videos are >= 5 KB by definition
+    num_clients: int = 8
+    #: scale context recorded in the workload metadata (20 of 2138 servers)
+    simulated_servers: int = 20
+    total_trace_servers: int = 2138
+    read_fraction: float = 0.0                #: fraction of video requests that are reads
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.video_arrival_rate_per_s <= 0:
+            raise ValueError("video arrival rate must be positive")
+        if self.control_flows_per_video < 0:
+            raise ValueError("control_flows_per_video must be non-negative")
+        if not (0 < self.control_size_min_bytes <= self.control_size_max_bytes):
+            raise ValueError("invalid control-flow size range")
+        if self.video_min_bytes < self.control_size_max_bytes:
+            raise ValueError("video_min_bytes must be at least the control/video boundary")
+        if self.video_cap_bytes <= self.video_median_bytes:
+            raise ValueError("video cap must exceed the median")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if not (0.0 <= self.read_fraction <= 1.0):
+            raise ValueError("read_fraction must be in [0, 1]")
+
+
+def generate_video_workload(
+    config: Optional[VideoTraceConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the YouTube-like workload.
+
+    Video uploads dominate (the figures are "content upload time" CDFs); a
+    configurable fraction can be turned into reads of earlier uploads for
+    mixed read/write studies.
+    """
+    cfg = config or VideoTraceConfig()
+    streams = RandomStreams(seed).spawn("video-trace")
+    arrival_rng = streams.stream("arrivals")
+    size_rng = streams.stream("sizes")
+    client_rng = streams.stream("clients")
+    control_rng = streams.stream("control")
+
+    video_sizes = LognormalSize(
+        median_bytes=cfg.video_median_bytes,
+        sigma=cfg.video_sigma,
+        cap_bytes=cfg.video_cap_bytes,
+    )
+    control_sizes = UniformSize(cfg.control_size_min_bytes, cfg.control_size_max_bytes)
+    arrivals = PoissonArrivals(cfg.video_arrival_rate_per_s)
+
+    requests: List[FlowRequest] = []
+    video_index = 0
+    for t in arrivals.arrival_times(arrival_rng, cfg.duration_s):
+        client = int(client_rng.integers(0, cfg.num_clients))
+        size = max(video_sizes.sample(size_rng), cfg.video_min_bytes)
+        is_read = cfg.read_fraction > 0 and client_rng.random() < cfg.read_fraction and video_index > 0
+        operation = Operation.READ if is_read else Operation.WRITE
+        content_ref = f"video-{int(client_rng.integers(0, video_index))}" if is_read else ""
+        requests.append(
+            FlowRequest(
+                arrival_time_s=float(t),
+                size_bytes=float(size),
+                client_index=client,
+                operation=operation,
+                flow_kind=FlowKind.VIDEO,
+                content_class=ContentClass.LWHR,
+                content_ref=content_ref,
+                meta={"video_index": video_index},
+            )
+        )
+        if not is_read:
+            video_index += 1
+
+        if cfg.include_control_flows and cfg.control_flows_per_video > 0:
+            n_control = int(control_rng.poisson(cfg.control_flows_per_video))
+            for k in range(n_control):
+                # Control exchanges happen just before the video flow starts.
+                offset = float(control_rng.uniform(0.0, 0.2))
+                requests.append(
+                    FlowRequest(
+                        arrival_time_s=max(0.0, float(t) - offset),
+                        size_bytes=float(control_sizes.sample(size_rng)),
+                        client_index=client,
+                        operation=Operation.WRITE,
+                        flow_kind=FlowKind.CONTROL,
+                        content_class=ContentClass.HWHR,
+                        meta={"video_index": video_index - (0 if is_read else 1), "control_seq": k},
+                    )
+                )
+
+    workload = Workload(requests, name="youtube-video" + ("+control" if cfg.include_control_flows else ""))
+    return workload

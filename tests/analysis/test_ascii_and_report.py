@@ -1,0 +1,111 @@
+"""Tests for ASCII plotting and the benchmark report renderer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_cdf_plot, ascii_line_plot, render_figure
+from repro.analysis.report import BenchmarkReport, load_benchmark_results
+from repro.experiments.figures import FigureData
+
+
+class TestAsciiPlots:
+    def test_line_plot_contains_markers_and_legend(self):
+        plot = ascii_line_plot(
+            {"SCDA": ([0, 1, 2], [1, 2, 3]), "RandTCP": ([0, 1, 2], [3, 2, 1])},
+            width=40,
+            height=10,
+            x_label="time",
+            y_label="rate",
+            title="demo",
+        )
+        assert "demo" in plot
+        assert "* SCDA" in plot and "o RandTCP" in plot
+        assert "*" in plot and "o" in plot
+        assert "time" in plot
+
+    def test_plot_dimensions(self):
+        plot = ascii_line_plot({"a": ([0, 1], [0, 1])}, width=30, height=8)
+        lines = plot.splitlines()
+        # legend + top border + 8 rows + bottom border + 2 label lines
+        assert len(lines) == 1 + 1 + 8 + 1 + 2
+
+    def test_non_finite_values_are_dropped(self):
+        plot = ascii_line_plot({"a": ([0, 1, 2], [1.0, float("nan"), 3.0])})
+        assert "(no data)" not in plot
+
+    def test_empty_series_render_placeholder(self):
+        assert "(no data)" in ascii_line_plot({}, title="empty")
+
+    def test_too_small_plot_area_raises(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot({"a": ([0], [0])}, width=5, height=2)
+
+    def test_cdf_plot_runs_on_samples(self):
+        plot = ascii_cdf_plot({"fct": [1.0, 2.0, 3.0, 4.0]}, title="cdf demo")
+        assert "cdf demo" in plot
+        assert "CDF" in plot
+
+    def test_render_figure_uses_figure_labels(self):
+        figure = FigureData("fig99", "synthetic", "File Size (MB)", "AFCT (sec)")
+        figure.add_series("SCDA", np.array([1.0, 2.0]), np.array([0.5, 0.7]))
+        plot = render_figure(figure)
+        assert "fig99" in plot and "File Size (MB)" in plot
+
+
+def _write_results(tmp_path):
+    (tmp_path / "fig07.json").write_text(
+        json.dumps(
+            {
+                "figure": "fig07",
+                "summary": {
+                    "candidate_mean_fct_s": 0.3,
+                    "baseline_mean_fct_s": 1.1,
+                    "fct_reduction_fraction": 0.72,
+                    "cdf_dominance": 1.0,
+                },
+                "shape": {"all_passed": True},
+            }
+        )
+    )
+    (tmp_path / "ablation_components.json").write_text(
+        json.dumps({"mean_fct_s": {"SCDA": 0.3, "RandTCP": 1.1}})
+    )
+    return tmp_path
+
+
+class TestBenchmarkReport:
+    def test_load_results_reads_every_json(self, tmp_path):
+        results = load_benchmark_results(_write_results(tmp_path))
+        assert set(results) == {"fig07", "ablation_components"}
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_benchmark_results(tmp_path / "does-not-exist")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ValueError):
+            load_benchmark_results(tmp_path)
+
+    def test_markdown_contains_figure_rows_and_ablations(self, tmp_path):
+        report = BenchmarkReport.from_directory(_write_results(tmp_path))
+        markdown = report.to_markdown()
+        assert "| fig07 |" in markdown
+        assert "72%" in markdown
+        assert "ablation_components" in markdown
+
+    def test_figures_and_ablations_partition(self, tmp_path):
+        report = BenchmarkReport.from_directory(_write_results(tmp_path))
+        assert report.figures() == ["fig07"]
+        assert report.ablations() == ["ablation_components"]
+        assert report.all_shapes_passed()
+
+    def test_write_markdown(self, tmp_path):
+        report = BenchmarkReport.from_directory(_write_results(tmp_path))
+        out = report.write_markdown(tmp_path / "report.md")
+        assert out.read_text().startswith("# SCDA reproduction")
+
+    def test_all_shapes_passed_false_without_verdicts(self):
+        assert not BenchmarkReport({}).all_shapes_passed()

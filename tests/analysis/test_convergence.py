@@ -1,0 +1,75 @@
+"""Tests for the rate-metric step-response analysis."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceResult,
+    rate_metric_step_response,
+    rounds_to_converge,
+)
+from repro.core.rate_metric import ScdaParams
+
+MBPS = 1e6
+
+
+class TestStepResponse:
+    def test_converges_to_equal_share_after_flow_increase(self):
+        result = rate_metric_step_response(
+            capacity_bps=100 * MBPS, num_flows_before=1, num_flows_after=4, rounds=60
+        )
+        assert result.converged
+        assert result.rates_bps[-1] == pytest.approx(0.95 * 25 * MBPS, rel=0.05)
+
+    def test_converges_after_flow_decrease(self):
+        result = rate_metric_step_response(
+            capacity_bps=100 * MBPS, num_flows_before=8, num_flows_after=2, rounds=60
+        )
+        assert result.converged
+        assert result.rates_bps[-1] == pytest.approx(0.95 * 50 * MBPS, rel=0.05)
+
+    def test_convergence_is_fast(self):
+        # The paper's pitch is "realtime (milliseconds interval)" adaptation;
+        # with τ = 10 ms the allocation should settle within ~10 intervals.
+        rounds = rounds_to_converge(100 * MBPS, num_flows_before=1, num_flows_after=5)
+        assert rounds is not None
+        assert rounds <= 10
+
+    def test_transient_overshoot_is_bounded(self):
+        result = rate_metric_step_response(
+            capacity_bps=100 * MBPS, num_flows_before=1, num_flows_after=10, rounds=80
+        )
+        # Right after the step the old advertised rate over-subscribes the link,
+        # but the advertised *per-flow* rate must never exceed the old single-flow rate.
+        assert result.max_overshoot_fraction <= 10.0
+        assert result.queue_bytes[-1] == pytest.approx(0.0, abs=1e3)
+
+    def test_step_to_zero_flows_recovers_full_capacity(self):
+        result = rate_metric_step_response(
+            capacity_bps=100 * MBPS, num_flows_before=4, num_flows_after=0, rounds=40
+        )
+        assert result.converged
+        assert result.rates_bps[-1] == pytest.approx(0.95 * 100 * MBPS, rel=0.02)
+
+    def test_alpha_scales_the_target(self):
+        params = ScdaParams(alpha=0.8)
+        result = rate_metric_step_response(
+            100 * MBPS, 1, 2, rounds=60, params=params
+        )
+        assert result.rates_bps[-1] == pytest.approx(0.8 * 50 * MBPS, rel=0.05)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            rate_metric_step_response(100 * MBPS, -1, 2)
+        with pytest.raises(ValueError):
+            rate_metric_step_response(100 * MBPS, 1, 2, rounds=1)
+
+    def test_result_dataclass_properties(self):
+        result = ConvergenceResult(rates_bps=[10.0, 10.0], target_bps=10.0, tolerance=0.05)
+        assert result.converged
+        assert result.rounds_to_converge == 0
+        assert result.max_overshoot_fraction == 0.0
+
+    def test_never_converging_trajectory(self):
+        result = ConvergenceResult(rates_bps=[1.0, 100.0, 1.0], target_bps=10.0, tolerance=0.01)
+        assert not result.converged
+        assert result.rounds_to_converge is None

@@ -1,0 +1,111 @@
+"""Tests for blocks, block maps and block servers."""
+
+import pytest
+
+from repro.cluster.block import Block, BlockMap
+from repro.cluster.block_server import BlockServer, StorageFullError
+from repro.network.topology import Node, NodeKind
+
+MB = 1024.0 * 1024.0
+
+
+def host_node(name="bs-0"):
+    return Node(name, NodeKind.HOST, 0)
+
+
+class TestBlock:
+    def test_replica_management(self):
+        block = Block("c/blk-0", "c", 0, 100.0)
+        block.add_replica("bs-1")
+        block.add_replica("bs-1")  # duplicate ignored
+        block.add_replica("bs-2")
+        assert block.replica_count == 2
+        block.remove_replica("bs-1")
+        assert block.replicas == ["bs-2"]
+
+    def test_invalid_block_raises(self):
+        with pytest.raises(ValueError):
+            Block("b", "c", 0, 0.0)
+        with pytest.raises(ValueError):
+            Block("b", "c", -1, 10.0)
+
+
+class TestBlockMap:
+    def test_small_content_is_one_block(self):
+        block_map = BlockMap("c", content_size_bytes=10 * MB, block_size_bytes=64 * MB)
+        assert len(block_map) == 1
+        assert block_map.total_bytes == pytest.approx(10 * MB)
+
+    def test_large_content_splits_with_remainder(self):
+        block_map = BlockMap("c", content_size_bytes=150 * MB, block_size_bytes=64 * MB)
+        assert len(block_map) == 3
+        sizes = [b.size_bytes for b in block_map]
+        assert sizes[0] == pytest.approx(64 * MB)
+        assert sizes[-1] == pytest.approx(150 * MB - 2 * 64 * MB)
+        assert block_map.total_bytes == pytest.approx(150 * MB)
+
+    def test_servers_and_full_copy_queries(self):
+        block_map = BlockMap("c", 100 * MB, 64 * MB)
+        b0, b1 = block_map.block(0), block_map.block(1)
+        b0.add_replica("bs-a")
+        b1.add_replica("bs-a")
+        b0.add_replica("bs-b")
+        assert set(block_map.servers()) == {"bs-a", "bs-b"}
+        assert block_map.servers_with_full_copy() == ["bs-a"]
+        assert block_map.min_replication() == 1
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            BlockMap("c", 0.0, 64 * MB)
+        with pytest.raises(ValueError):
+            BlockMap("c", 10.0, 0.0)
+
+
+class TestBlockServer:
+    def test_store_and_evict(self):
+        server = BlockServer(host_node(), disk_capacity_bytes=100 * MB)
+        block = Block("c/blk-0", "c", 0, 10 * MB)
+        server.store_block(block)
+        assert server.has_block("c/blk-0")
+        assert server.used_bytes == pytest.approx(10 * MB)
+        assert "bs-0" in block.replicas
+        server.evict_block("c/blk-0")
+        assert not server.has_block("c/blk-0")
+        assert server.used_bytes == pytest.approx(0.0)
+        assert "bs-0" not in block.replicas
+
+    def test_storing_twice_is_idempotent(self):
+        server = BlockServer(host_node(), disk_capacity_bytes=100 * MB)
+        block = Block("c/blk-0", "c", 0, 10 * MB)
+        server.store_block(block)
+        server.store_block(block)
+        assert server.used_bytes == pytest.approx(10 * MB)
+
+    def test_capacity_enforced(self):
+        server = BlockServer(host_node(), disk_capacity_bytes=15 * MB)
+        server.store_block(Block("a/0", "a", 0, 10 * MB))
+        with pytest.raises(StorageFullError):
+            server.store_block(Block("b/0", "b", 0, 10 * MB))
+
+    def test_stored_content_ids_and_popularity(self):
+        server = BlockServer(host_node())
+        server.store_block(Block("a/0", "a", 0, 1 * MB))
+        server.store_block(Block("a/1", "a", 1, 1 * MB))
+        server.store_block(Block("b/0", "b", 0, 1 * MB))
+        assert server.stored_content_ids() == ["a", "b"]
+        server.record_read("a", 2 * MB)
+        server.record_read("a", 2 * MB)
+        assert server.popularity("a") == 2
+        assert server.bytes_read == pytest.approx(4 * MB)
+
+    def test_utilisation_and_free_bytes(self):
+        server = BlockServer(host_node(), disk_capacity_bytes=100 * MB)
+        server.store_block(Block("a/0", "a", 0, 25 * MB))
+        assert server.utilisation == pytest.approx(0.25)
+        assert server.free_bytes == pytest.approx(75 * MB)
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError):
+            BlockServer(host_node(), disk_capacity_bytes=0.0)
+        with pytest.raises(ValueError):
+            BlockServer(host_node(), disk_bandwidth_bps=0.0)

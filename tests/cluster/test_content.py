@@ -1,0 +1,112 @@
+"""Tests for the content model and activity classification."""
+
+import pytest
+
+from repro.cluster.content import AccessStats, Content, ContentClass, ContentClassifier
+
+
+class TestContentClass:
+    def test_interactive_flags(self):
+        assert ContentClass.HWHR.is_interactive
+        assert not ContentClass.LWHR.is_interactive
+
+    def test_semi_interactive_flags(self):
+        assert ContentClass.LWHR.is_semi_interactive
+        assert ContentClass.HWLR.is_semi_interactive
+        assert not ContentClass.HWHR.is_semi_interactive
+
+    def test_passive_and_active(self):
+        assert ContentClass.LWLR.is_passive
+        assert not ContentClass.LWLR.is_active
+        assert ContentClass.HWLR.is_active
+
+
+class TestContent:
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            Content("c", 0.0)
+
+    def test_create_generates_unique_ids(self):
+        a, b = Content.create(100.0), Content.create(100.0)
+        assert a.content_id != b.content_id
+
+    def test_declared_class_is_kept(self):
+        content = Content.create(100.0, declared_class=ContentClass.HWHR)
+        assert content.declared_class is ContentClass.HWHR
+
+
+class TestAccessStats:
+    def test_counters_and_rates(self):
+        stats = AccessStats()
+        stats.record_write(0.0)
+        stats.record_read(10.0)
+        stats.record_read(20.0)
+        assert stats.writes == 1
+        assert stats.reads == 2
+        assert stats.write_rate_per_s(100.0) == pytest.approx(0.01)
+        assert stats.read_rate_per_s(100.0) == pytest.approx(0.02)
+
+    def test_interleave_gap_tracks_write_read_proximity(self):
+        stats = AccessStats()
+        stats.record_write(100.0)
+        stats.record_read(101.5)
+        assert stats.min_interleave_gap_s == pytest.approx(1.5)
+        stats.record_write(200.0)
+        stats.record_read(200.2)
+        assert stats.min_interleave_gap_s == pytest.approx(0.2)
+
+    def test_invalid_horizon_raises(self):
+        with pytest.raises(ValueError):
+            AccessStats().write_rate_per_s(0.0)
+
+
+class TestClassifier:
+    def test_declared_class_wins(self):
+        classifier = ContentClassifier()
+        content = Content.create(1e6, declared_class=ContentClass.HWLR)
+        assert classifier.classify(content) is ContentClass.HWLR
+
+    def test_learned_classes_cover_all_quadrants(self):
+        classifier = ContentClassifier(
+            high_write_per_s=0.1, high_read_per_s=0.1, observation_horizon_s=100.0
+        )
+
+        def stats(writes, reads):
+            s = AccessStats()
+            for i in range(writes):
+                s.record_write(float(i))
+            for i in range(reads):
+                s.record_read(50.0 + i)
+            # Stretch observation to the full horizon for stable rates.
+            s.first_access_s, s.last_access_s = 0.0, 100.0
+            return s
+
+        assert classifier.classify_from_stats(stats(50, 50)) is ContentClass.HWHR
+        assert classifier.classify_from_stats(stats(50, 1)) is ContentClass.HWLR
+        assert classifier.classify_from_stats(stats(1, 50)) is ContentClass.LWHR
+        assert classifier.classify_from_stats(stats(1, 1)) is ContentClass.LWLR
+
+    def test_interactive_requires_tight_interleaving(self):
+        classifier = ContentClassifier(
+            high_write_per_s=0.01, high_read_per_s=0.01, interactivity_interval_s=5.0
+        )
+        chat = Content.create(1e4, declared_class=ContentClass.HWHR)
+        chat.stats.record_write(0.0)
+        chat.stats.record_read(1.0)
+        assert classifier.is_interactive(chat)
+
+        batch = Content.create(1e4, declared_class=ContentClass.HWHR)
+        batch.stats.record_write(0.0)
+        batch.stats.record_read(600.0)
+        assert not classifier.is_interactive(batch)
+
+    def test_non_hwhr_is_never_interactive(self):
+        classifier = ContentClassifier()
+        passive = Content.create(1e4, declared_class=ContentClass.LWLR)
+        assert not classifier.is_interactive(passive)
+
+    def test_invalid_thresholds_raise(self):
+        with pytest.raises(ValueError):
+            ContentClassifier(high_write_per_s=0.0)
+        with pytest.raises(ValueError):
+            ContentClassifier(interactivity_interval_s=0.0)

@@ -1,0 +1,117 @@
+"""Tests for the FES hashing tier and the name nodes."""
+
+import pytest
+
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.front_end import FrontEndServer, stable_hash
+from repro.cluster.name_node import NameNodeServer, UnknownContentError
+from repro.cluster.placement import PlacementError, RoundRobinPlacement
+
+
+class TestFrontEnd:
+    def test_requires_name_nodes(self):
+        with pytest.raises(ValueError):
+            FrontEndServer([])
+
+    def test_routing_is_deterministic(self):
+        fes = FrontEndServer(["nns-0", "nns-1", "nns-2"])
+        assert fes.route_client("ucl-7") == fes.route_client("ucl-7")
+        assert fes.route_content("video-1") == fes.route_content("video-1")
+
+    def test_stable_hash_is_platform_independent(self):
+        # Regression guard: the value must never change across runs/machines.
+        assert stable_hash("ucl-0") == stable_hash("ucl-0")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_routing_spreads_keys_across_name_nodes(self):
+        fes = FrontEndServer([f"nns-{i}" for i in range(4)])
+        keys = [f"client-{i}" for i in range(400)]
+        load = fes.load_per_name_node(keys)
+        assert sum(load.values()) == 400
+        # Reasonably balanced: no NNS holds more than half the keys.
+        assert max(load.values()) < 200
+
+    def test_single_name_node_gets_everything(self):
+        fes = FrontEndServer(["only"])
+        assert fes.route_client("x") == "only"
+
+    def test_forward_counter(self):
+        fes = FrontEndServer(["nns-0", "nns-1"])
+        fes.route_client("a")
+        fes.route_content("b")
+        assert fes.requests_forwarded == 2
+
+
+class TestNameNode:
+    def _nns(self):
+        return NameNodeServer("nns-0", RoundRobinPlacement(), block_size_bytes=64 * 1024 * 1024)
+
+    def test_register_write_creates_metadata_and_primary(self):
+        nns = self._nns()
+        content = Content.create(1e6, declared_class=ContentClass.LWHR)
+        record = nns.register_write(content, ["bs-a", "bs-b"], now=0.0)
+        assert record.primary_server == "bs-a"
+        assert nns.knows(content.content_id)
+        assert nns.write_requests == 1
+        assert content.stats.writes == 1
+
+    def test_commit_write_adds_replicas_to_every_block(self):
+        nns = self._nns()
+        content = Content.create(200 * 1024 * 1024.0)
+        nns.register_write(content, ["bs-a"], now=0.0)
+        nns.commit_write(content.content_id, "bs-a")
+        record = nns.record_of(content.content_id)
+        assert all("bs-a" in b.replicas for b in record.block_map)
+
+    def test_plan_replication_skips_primary(self):
+        nns = self._nns()
+        content = Content.create(1e6)
+        nns.register_write(content, ["bs-a", "bs-b", "bs-c"], now=0.0)
+        target = nns.plan_replication(content.content_id, ["bs-a", "bs-b", "bs-c"], now=1.0)
+        assert target != "bs-a"
+
+    def test_plan_replication_returns_none_for_single_server(self):
+        nns = self._nns()
+        content = Content.create(1e6)
+        nns.register_write(content, ["bs-a"], now=0.0)
+        assert nns.plan_replication(content.content_id, ["bs-a"], now=1.0) is None
+
+    def test_resolve_read_prefers_full_copies(self):
+        nns = self._nns()
+        content = Content.create(1e6)
+        nns.register_write(content, ["bs-a", "bs-b"], now=0.0)
+        nns.commit_write(content.content_id, "bs-b")
+        source = nns.resolve_read(content.content_id, now=1.0)
+        assert source == "bs-b"
+        assert nns.read_requests == 1
+        assert content.stats.reads == 1
+
+    def test_resolve_read_without_replicas_raises(self):
+        nns = self._nns()
+        content = Content.create(1e6)
+        nns.register_write(content, ["bs-a"], now=0.0)
+        with pytest.raises(PlacementError):
+            nns.resolve_read(content.content_id, now=1.0)
+
+    def test_unknown_content_raises(self):
+        nns = self._nns()
+        with pytest.raises(UnknownContentError):
+            nns.record_of("nope")
+        with pytest.raises(UnknownContentError):
+            nns.resolve_read("nope", now=0.0)
+
+    def test_metadata_entry_count(self):
+        nns = self._nns()
+        nns.register_write(Content.create(200 * 1024 * 1024.0), ["bs-a"], now=0.0)
+        nns.register_write(Content.create(10.0), ["bs-a"], now=0.0)
+        assert nns.metadata_entries == 5  # 4 blocks + 1 block
+
+    def test_content_class_uses_classifier(self):
+        nns = self._nns()
+        content = Content.create(1e6, declared_class=ContentClass.HWHR)
+        nns.register_write(content, ["bs-a"], now=0.0)
+        assert nns.content_class(content.content_id) is ContentClass.HWHR
+
+    def test_invalid_block_size_raises(self):
+        with pytest.raises(ValueError):
+            NameNodeServer("nns", RoundRobinPlacement(), block_size_bytes=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the host-side (disk/CPU) resource model."""
+
+import pytest
+
+from repro.cluster.host_resources import HostResourceProfile, HostResourceSimulator
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.network.fabric import FabricSimulator
+from repro.network.transport.scda import ScdaTransport
+from repro.sim.engine import Simulator
+
+GBPS = 1e9
+MBPS = 1e6
+
+
+class TestHostResourceProfile:
+    def test_available_rates_subtract_background_load(self):
+        profile = HostResourceProfile(
+            disk_bandwidth_bps=8 * GBPS,
+            cpu_rate_per_core_bps=2 * GBPS,
+            cores=4,
+            background_cpu_fraction=0.5,
+            background_disk_fraction=0.25,
+        )
+        assert profile.available_cpu_rate_bps == pytest.approx(4 * GBPS)
+        assert profile.available_disk_rate_bps == pytest.approx(6 * GBPS)
+
+    def test_invalid_profiles_raise(self):
+        with pytest.raises(ValueError):
+            HostResourceProfile(disk_bandwidth_bps=0.0)
+        with pytest.raises(ValueError):
+            HostResourceProfile(cores=0)
+        with pytest.raises(ValueError):
+            HostResourceProfile(background_cpu_fraction=1.0)
+
+
+class TestHostResourceSimulator:
+    def test_limits_default_to_the_sustainable_rate(self):
+        simulator = HostResourceSimulator()
+        up, down = simulator.limits("bs-0")
+        expected = min(
+            simulator.default_profile.available_disk_rate_bps,
+            simulator.default_profile.available_cpu_rate_bps,
+        )
+        assert up == pytest.approx(expected)
+        assert down == pytest.approx(expected)
+
+    def test_per_host_profile_overrides_default(self):
+        simulator = HostResourceSimulator()
+        simulator.set_profile("bs-slow", HostResourceProfile(disk_bandwidth_bps=100 * MBPS))
+        up, _ = simulator.limits("bs-slow")
+        assert up == pytest.approx(100 * MBPS)
+        assert simulator.limits("bs-other")[0] > 100 * MBPS
+
+    def test_concurrent_transfers_divide_the_rate(self, small_tree):
+        sim = Simulator()
+        from repro.network.transport.ideal import IdealMaxMinTransport
+
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        simulator = HostResourceSimulator(fabric, HostResourceProfile(disk_bandwidth_bps=1 * GBPS))
+        host = small_tree.hosts()[0]
+        assert simulator.concurrent_transfers(host.node_id) == 0
+        fabric.start_flow(small_tree.clients()[0], host, 1e9)
+        fabric.start_flow(small_tree.clients()[1], host, 1e9)
+        assert simulator.concurrent_transfers(host.node_id) == 2
+        up, down = simulator.limits(host.node_id)
+        assert up == pytest.approx(simulator.sustainable_rate_bps(host.node_id) / 2)
+
+    def test_controller_respects_disk_limited_host(self, small_tree):
+        """End to end: a disk-limited server advertises (and gets) a lower rate."""
+        sim = Simulator()
+        host_resources = HostResourceSimulator(
+            default_profile=HostResourceProfile(disk_bandwidth_bps=10 * GBPS)
+        )
+        slow_host = small_tree.hosts()[0]
+        # This server's disk can only sustain 20 Mb/s.
+        host_resources.set_profile(slow_host.node_id, HostResourceProfile(disk_bandwidth_bps=20 * MBPS))
+        controller = ScdaController(
+            sim, small_tree, ScdaControllerConfig(), other_resources=host_resources
+        )
+        fabric = FabricSimulator(sim, small_tree, ScdaTransport(controller))
+        controller.attach_fabric(fabric)
+        host_resources.attach_fabric(fabric)
+
+        flow = fabric.start_flow(small_tree.clients()[0], slow_host, 20e6)
+        sim.run(until=1.0)
+        # The write is capped by the host's disk, not by the 100 Mb/s access link.
+        assert flow.current_rate_bps <= 20 * MBPS * 1.05
+
+        metrics = {m.host_id: m for m in controller.tree.host_metrics()}
+        other_host = small_tree.hosts()[1].node_id
+        assert metrics[slow_host.node_id].down_bps < metrics[other_host].down_bps

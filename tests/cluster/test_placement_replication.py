@@ -1,0 +1,125 @@
+"""Tests for placement policies and the replication manager."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.placement import (
+    LeastLoadedPlacement,
+    PlacementError,
+    RandomPlacement,
+    RoundRobinPlacement,
+    ScdaPlacement,
+)
+from repro.cluster.replication import ReplicationConfig, ReplicationManager
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.network.fabric import FabricSimulator
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.sim.engine import Simulator
+
+SERVERS = ["bs-a", "bs-b", "bs-c", "bs-d"]
+
+
+def content():
+    return Content.create(1e6, declared_class=ContentClass.LWHR)
+
+
+class TestRandomPlacement:
+    def test_deterministic_given_seed(self):
+        a = RandomPlacement(seed=5).select_primary(content(), SERVERS)
+        b = RandomPlacement(seed=5).select_primary(content(), SERVERS)
+        assert a == b
+
+    def test_covers_many_servers_over_time(self):
+        policy = RandomPlacement(seed=1)
+        chosen = {policy.select_primary(content(), SERVERS) for _ in range(50)}
+        assert len(chosen) == len(SERVERS)
+
+    def test_replica_avoids_primary_when_possible(self):
+        policy = RandomPlacement(seed=2)
+        for _ in range(20):
+            assert policy.select_replica(content(), SERVERS, primary="bs-a") != "bs-a"
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(PlacementError):
+            RandomPlacement(seed=0).select_primary(content(), [])
+
+
+class TestRoundRobinPlacement:
+    def test_cycles_in_order(self):
+        policy = RoundRobinPlacement()
+        chosen = [policy.select_primary(content(), SERVERS) for _ in range(6)]
+        assert chosen == ["bs-a", "bs-b", "bs-c", "bs-d", "bs-a", "bs-b"]
+
+
+class TestLeastLoadedPlacement:
+    def test_picks_server_with_fewest_active_flows(self, small_tree):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        busy = small_tree.hosts()[0]
+        fabric.start_flow(small_tree.clients()[0], busy, 1e9)
+        policy = LeastLoadedPlacement(fabric)
+        candidates = [h.node_id for h in small_tree.hosts()[:2]]
+        assert policy.select_primary(content(), candidates) == small_tree.hosts()[1].node_id
+
+    def test_requires_fabric(self):
+        with pytest.raises(ValueError):
+            LeastLoadedPlacement(None)
+
+
+class TestScdaPlacement:
+    def test_delegates_to_controller(self, small_tree):
+        sim = Simulator()
+        controller = ScdaController(sim, small_tree, ScdaControllerConfig())
+        policy = ScdaPlacement(controller)
+        candidates = [h.node_id for h in small_tree.hosts()]
+        primary = policy.select_primary(content(), candidates)
+        assert primary in candidates
+        replica = policy.select_replica(content(), candidates, primary)
+        assert replica in candidates and replica != primary
+        source = policy.select_read_source(content(), [primary, replica])
+        assert source in (primary, replica)
+
+    def test_requires_controller(self):
+        with pytest.raises(ValueError):
+            ScdaPlacement(None)
+
+    def test_empty_candidates_raise(self, small_tree):
+        sim = Simulator()
+        controller = ScdaController(sim, small_tree, ScdaControllerConfig())
+        with pytest.raises(PlacementError):
+            ScdaPlacement(controller).select_primary(content(), [])
+
+
+class TestReplicationManager:
+    def test_plan_creates_tasks_for_distinct_targets(self):
+        manager = ReplicationManager(ReplicationConfig(extra_replicas=2))
+        tasks = manager.plan("c", 1e6, "bs-a", ["bs-b", "bs-c", "bs-a"])
+        assert [t.target_server for t in tasks] == ["bs-b", "bs-c"]
+        assert all(t.source_server == "bs-a" for t in tasks)
+        assert manager.tasks_planned == 2
+
+    def test_small_content_is_not_replicated(self):
+        manager = ReplicationManager(ReplicationConfig(min_size_bytes=1e6))
+        assert not manager.should_replicate(1000.0)
+        assert manager.plan("c", 1000.0, "bs-a", ["bs-b"]) == []
+
+    def test_disabled_replication(self):
+        manager = ReplicationManager(ReplicationConfig(enabled=False))
+        assert manager.plan("c", 1e9, "bs-a", ["bs-b"]) == []
+
+    def test_extra_replicas_limit(self):
+        manager = ReplicationManager(ReplicationConfig(extra_replicas=1))
+        tasks = manager.plan("c", 1e7, "bs-a", ["bs-b", "bs-c", "bs-d"])
+        assert len(tasks) == 1
+
+    def test_start_delay_propagates_to_tasks(self):
+        manager = ReplicationManager(ReplicationConfig(start_delay_s=2.5))
+        tasks = manager.plan("c", 1e7, "bs-a", ["bs-b"])
+        assert tasks[0].start_after_s == pytest.approx(2.5)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(extra_replicas=-1)
+        with pytest.raises(ValueError):
+            ReplicationConfig(start_delay_s=-0.1)

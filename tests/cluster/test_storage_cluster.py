@@ -1,0 +1,167 @@
+"""Integration tests for the storage cluster (write/read/replication protocols)."""
+
+import pytest
+
+from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.placement import RandomPlacement, RoundRobinPlacement
+from repro.cluster.replication import ReplicationConfig
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import FlowKind
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.sim.engine import Simulator
+
+MB = 1024.0 * 1024.0
+
+
+def build_cluster(topology, replication=True, num_name_nodes=3, setup_rtts=1.5):
+    sim = Simulator()
+    fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+    cluster = StorageCluster(
+        sim,
+        topology,
+        fabric,
+        RoundRobinPlacement(),
+        config=StorageClusterConfig(
+            num_name_nodes=num_name_nodes,
+            setup_rtts=setup_rtts,
+            replication=ReplicationConfig(enabled=replication, extra_replicas=1),
+        ),
+    )
+    return sim, fabric, cluster
+
+
+class TestClusterConstruction:
+    def test_one_block_server_per_host(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        assert set(cluster.block_servers) == {h.node_id for h in small_tree.hosts()}
+
+    def test_requested_number_of_name_nodes(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree, num_name_nodes=3)
+        assert len(cluster.name_nodes) == 3
+
+    def test_name_node_count_capped_by_hosts(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree, num_name_nodes=100)
+        assert len(cluster.name_nodes) == len(small_tree.hosts())
+
+    def test_clients_are_registered(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        assert set(cluster.clients) == {c.node_id for c in small_tree.clients()}
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            StorageClusterConfig(num_name_nodes=0)
+        with pytest.raises(ValueError):
+            StorageClusterConfig(setup_rtts=-1.0)
+
+
+class TestWriteProtocol:
+    def test_write_completes_and_stores_blocks(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = Content.create(5 * MB, declared_class=ContentClass.LWHR)
+        request = cluster.write(client, content, flow_kind=FlowKind.VIDEO)
+        sim.run(until=30.0)
+        assert request.completed
+        primary = cluster.block_servers[request.primary_server]
+        assert primary.has_block(f"{content.content_id}/blk-0")
+        nns = cluster.name_node_for_content(content.content_id)
+        assert request.primary_server in nns.record_of(content.content_id).block_map.servers()
+
+    def test_fct_includes_setup_latency(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False, setup_rtts=1.5)
+        client = small_tree.clients()[0]
+        content = Content.create(1 * MB)
+        request = cluster.write(client, content)
+        sim.run(until=30.0)
+        primary_node = cluster.block_servers[request.primary_server].node
+        base_rtt = fabric.router.base_rtt(client, primary_node)
+        assert request.completion_time > 1.5 * base_rtt
+
+    def test_write_triggers_replication_flow(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=True)
+        client = small_tree.clients()[0]
+        content = Content.create(5 * MB)
+        request = cluster.write(client, content)
+        sim.run(until=30.0)
+        assert len(request.replication_flows) == 1
+        replica_flow = request.replication_flows[0]
+        assert replica_flow.kind is FlowKind.REPLICATION
+        # After replication the content has (at least) two replicas.
+        nns = cluster.name_node_for_content(content.content_id)
+        assert nns.record_of(content.content_id).block_map.min_replication() >= 2
+        assert cluster.replication.tasks_completed == 1
+
+    def test_small_content_is_not_replicated(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=True)
+        content = Content.create(1000.0)  # below the replication threshold
+        request = cluster.write(small_tree.clients()[0], content)
+        sim.run(until=30.0)
+        assert request.replication_flows == []
+
+    def test_requests_are_tracked(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        for i in range(3):
+            cluster.write(small_tree.clients()[i % len(small_tree.clients())], Content.create(1 * MB))
+        sim.run(until=30.0)
+        assert len(cluster.completed_requests("write")) == 3
+        assert cluster.pending_requests() == []
+
+    def test_completion_callback_is_invoked(self, small_tree):
+        done = []
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        cluster = StorageCluster(
+            sim,
+            small_tree,
+            fabric,
+            RandomPlacement(seed=0),
+            config=StorageClusterConfig(replication=ReplicationConfig(enabled=False)),
+            on_request_completed=lambda req: done.append(req.request_id),
+        )
+        request = cluster.write(small_tree.clients()[0], Content.create(1 * MB))
+        sim.run(until=30.0)
+        assert done == [request.request_id]
+
+
+class TestReadProtocol:
+    def test_read_after_write_round_trips(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=True)
+        client = small_tree.clients()[0]
+        content = Content.create(4 * MB, declared_class=ContentClass.LWHR)
+        cluster.write(client, content)
+        sim.run(until=30.0)
+        reader = small_tree.clients()[1]
+        request = cluster.read(reader, content.content_id)
+        sim.run(until=60.0)
+        assert request.completed
+        assert request.kind == "read"
+        assert request.flow.dst.node_id == reader.node_id
+        # The read was served from a server that holds the content.
+        nns = cluster.name_node_for_content(content.content_id)
+        assert request.primary_server in nns.record_of(content.content_id).block_map.servers()
+
+    def test_read_of_unknown_content_raises(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree)
+        from repro.cluster.name_node import UnknownContentError
+
+        with pytest.raises(UnknownContentError):
+            cluster.read(small_tree.clients()[0], "missing-content")
+
+    def test_read_accounts_server_popularity(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = Content.create(2 * MB)
+        cluster.write(client, content)
+        sim.run(until=30.0)
+        request = cluster.read(client, content.content_id)
+        sim.run(until=60.0)
+        source = cluster.block_servers[request.primary_server]
+        assert source.popularity(content.content_id) == 1
+
+    def test_replica_distribution_snapshot(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        cluster.write(small_tree.clients()[0], Content.create(1 * MB))
+        sim.run(until=30.0)
+        distribution = cluster.replica_distribution()
+        assert sum(distribution.values()) == 1

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def small_tree_config() -> TreeTopologyConfig:
+    """A small 3-tier tree: 2 aggs x 2 racks x 2 hosts = 8 block servers."""
+    return TreeTopologyConfig(
+        base_bandwidth_bps=100 * MBPS,
+        bandwidth_factor=3.0,
+        num_agg=2,
+        racks_per_agg=2,
+        hosts_per_rack=2,
+        num_clients=4,
+        internal_delay_s=0.001,
+        client_delay_s=0.005,
+    )
+
+
+@pytest.fixture
+def small_tree(small_tree_config) -> Topology:
+    """The topology built from :func:`small_tree_config`."""
+    return build_tree_topology(small_tree_config)
+
+
+@pytest.fixture
+def tiny_line_topology() -> Topology:
+    """A minimal client -- switch -- host line used by focused unit tests."""
+    topo = Topology("tiny-line")
+    switch = topo.add_switch("sw", level=1)
+    host = topo.add_host("bs-0", level=0)
+    client = topo.add_client("ucl-0")
+    topo.add_duplex_link(host, switch, 100 * MBPS, 0.001)
+    topo.add_duplex_link(client, switch, 100 * MBPS, 0.001)
+    topo.validate()
+    return topo

@@ -1,0 +1,173 @@
+"""Tests for the SCDA controller."""
+
+import pytest
+
+from repro.cluster.content import ContentClass
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.core.rate_metric import ScdaParams
+from repro.core.sla import MitigationAction
+from repro.network.fabric import FabricConfig, FabricSimulator
+from repro.network.flow import FlowKind
+from repro.network.transport.scda import ScdaTransport
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+def build_scda_stack(topology, control_interval=0.01, **controller_kwargs):
+    sim = Simulator()
+    config = ScdaControllerConfig(
+        params=ScdaParams(control_interval_s=control_interval), **controller_kwargs
+    )
+    controller = ScdaController(sim, topology, config)
+    fabric = FabricSimulator(
+        sim,
+        topology,
+        ScdaTransport(controller),
+        config=FabricConfig(control_interval_s=control_interval),
+    )
+    controller.attach_fabric(fabric)
+    return sim, controller, fabric
+
+
+class TestAllocations:
+    def test_single_flow_gets_the_path_bottleneck(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        host = small_tree.hosts()[0]
+        client = small_tree.clients()[0]
+        x = small_tree.uplink_of(host).capacity_bps
+        flow = fabric.start_flow(client, host, 10e6, FlowKind.DATA)
+        sim.run(until=0.2)
+        # After a couple of control intervals the flow should run near alpha*X
+        # (the host access link is the narrowest link on its path).
+        assert flow.current_rate_bps == pytest.approx(0.95 * x, rel=0.1)
+
+    def test_two_flows_into_one_host_converge_to_half_share(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        host = small_tree.hosts()[0]
+        x = small_tree.uplink_of(host).capacity_bps
+        f1 = fabric.start_flow(small_tree.clients()[0], host, 50e6)
+        f2 = fabric.start_flow(small_tree.clients()[1], host, 50e6)
+        sim.run(until=0.3)
+        for flow in (f1, f2):
+            assert flow.current_rate_bps == pytest.approx(0.95 * x / 2, rel=0.15)
+
+    def test_flows_complete(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        host = small_tree.hosts()[0]
+        flow = fabric.start_flow(small_tree.clients()[0], host, 5e6)
+        sim.run(until=10.0)
+        assert flow.fct is not None
+        assert controller.rounds_run > 0
+
+    def test_reservation_admitted_via_flow_meta(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        host = small_tree.hosts()[0]
+        flow = fabric.start_flow(
+            small_tree.clients()[0], host, 5e6, meta={"reserve_bps": 20 * MBPS}
+        )
+        assert controller.reservations.reservation_of(flow.flow_id) is not None
+        sim.run(until=10.0)
+        # Reservation released on completion.
+        assert controller.reservations.reservation_of(flow.flow_id) is None
+
+    def test_control_round_respects_tau(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree, control_interval=0.05)
+        assert controller.control_round(0.0) is True
+        assert controller.control_round(0.01) is False
+        assert controller.control_round(0.06) is True
+        assert controller.control_round(0.06, force=True) is True
+
+
+class TestSelectionInterface:
+    def test_select_primary_prefers_unloaded_host(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        busy = small_tree.hosts()[0]
+        # Saturate the busy host's downlink with two long flows.
+        fabric.start_flow(small_tree.clients()[0], busy, 1e9)
+        fabric.start_flow(small_tree.clients()[1], busy, 1e9)
+        sim.run(until=0.3)
+        chosen = controller.select_primary(ContentClass.LWHR)
+        assert chosen != busy.node_id
+
+    def test_placement_hints_spread_consecutive_choices(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        sim.run(until=0.05)
+        choices = {controller.select_primary(ContentClass.LWHR) for _ in range(4)}
+        # Without any traffic all hosts look identical; the placement hints must
+        # prevent four consecutive selections from herding onto one server.
+        assert len(choices) >= 3
+
+    def test_placement_hints_expire(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        controller.note_placement("bs-0-0-0", now=0.0)
+        assert controller.pending_placements("bs-0-0-0", now=0.1) == 1
+        assert controller.pending_placements("bs-0-0-0", now=10.0) == 0
+
+    def test_placement_hints_can_be_disabled(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree, placement_hint_ttl_s=0.0)
+        controller.note_placement("bs-0-0-0")
+        assert controller.pending_placements("bs-0-0-0") == 0
+
+    def test_select_replica_differs_from_primary(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        sim.run(until=0.05)
+        primary = controller.select_primary(ContentClass.LWHR)
+        replica = controller.select_replica(ContentClass.LWHR, primary_id=primary)
+        assert replica != primary
+
+    def test_select_read_source_restricted_to_replicas(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        sim.run(until=0.05)
+        replicas = [h.node_id for h in small_tree.hosts()[:3]]
+        chosen = controller.select_read_source(ContentClass.LWHR, replicas)
+        assert chosen in replicas
+
+    def test_dormant_lookup_is_used(self, small_tree):
+        sim = Simulator()
+        controller = ScdaController(
+            sim,
+            small_tree,
+            ScdaControllerConfig(),
+            dormant_lookup=lambda host_id: host_id == "bs-0-0-0",
+        )
+        metrics = {m.host_id: m for m in controller.selection_metrics()}
+        assert metrics["bs-0-0-0"].dormant
+        assert not metrics["bs-0-0-1"].dormant
+
+    def test_power_lookup_feeds_metrics(self, small_tree):
+        sim = Simulator()
+        controller = ScdaController(
+            sim,
+            small_tree,
+            ScdaControllerConfig(),
+            power_lookup=lambda host_id, now: 123.0,
+        )
+        metrics = controller.selection_metrics()
+        assert all(m.power_watts == 123.0 for m in metrics)
+
+
+class TestSlaIntegration:
+    def test_report_contains_host_rates(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        sim.run(until=0.05)
+        report = controller.report()
+        assert report["rounds_run"] >= 0
+        assert set(report["hosts"]) == {h.node_id for h in small_tree.hosts()}
+
+    def test_bandwidth_boost_mitigation_increases_capacity(self, small_tree):
+        sim, controller, fabric = build_scda_stack(
+            small_tree,
+            sla_mitigation=MitigationAction.ADD_BANDWIDTH,
+            sla_bandwidth_boost=2.0,
+        )
+        host = small_tree.hosts()[0]
+        before = small_tree.uplink_of(host).capacity_bps
+        controller.sla_monitor.record(0.0, host.node_id, 0, demand_bps=2 * before, capacity_bps=before)
+        after = small_tree.uplink_of(host).capacity_bps
+        assert after == pytest.approx(2 * before)
+
+    def test_link_rate_query(self, small_tree):
+        sim, controller, fabric = build_scda_stack(small_tree)
+        link = small_tree.uplink_of(small_tree.hosts()[0])
+        assert controller.link_rate_bps(link) > 0

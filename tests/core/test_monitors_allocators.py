@@ -1,0 +1,147 @@
+"""Tests for resource monitors (RM) and resource allocators (RA)."""
+
+import pytest
+
+from repro.core.allocators import BestServer, ChildMetrics, ResourceAllocator
+from repro.core.monitors import OtherResourceModel, ResourceMonitor
+from repro.core.rate_metric import ScdaParams
+from repro.network.flow import Flow
+from repro.network.routing import Router
+
+MBPS = 1e6
+
+
+def make_rm(topo, host_id="bs-0", **kw):
+    host = topo.node(host_id)
+    return ResourceMonitor(host, topo.uplink_of(host), topo.downlink_to(host), **kw)
+
+
+def make_flow(topo, src, dst, rate=0.0, weight=1.0):
+    s, d = topo.node(src), topo.node(dst)
+    f = Flow(s, d, 1e9, Router(topo).path(s, d), priority_weight=weight)
+    f.current_rate_bps = rate
+    return f
+
+
+class TestOtherResourceModel:
+    def test_default_is_unconstrained(self):
+        model = OtherResourceModel()
+        assert model.limits("any-host") == (float("inf"), float("inf"))
+
+    def test_per_host_limits(self):
+        model = OtherResourceModel()
+        model.set_host_limit("bs-1", 10 * MBPS, 20 * MBPS)
+        assert model.limits("bs-1") == (10 * MBPS, 20 * MBPS)
+        model.clear_host_limit("bs-1")
+        assert model.limits("bs-1") == (float("inf"), float("inf"))
+
+    def test_invalid_limits_raise(self):
+        with pytest.raises(ValueError):
+            OtherResourceModel(default_up_bps=0.0)
+        with pytest.raises(ValueError):
+            OtherResourceModel().set_host_limit("x", -1.0, 1.0)
+
+
+class TestResourceMonitor:
+    def test_idle_measurement_advertises_alpha_c(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology, params=ScdaParams(alpha=0.9))
+        report = rm.measure([], [], now=0.0)
+        assert report.rate_up_bps == pytest.approx(90 * MBPS)
+        assert report.rate_down_bps == pytest.approx(90 * MBPS)
+        assert not report.sla_violated
+
+    def test_other_resource_caps_the_rates(self, tiny_line_topology):
+        other = OtherResourceModel()
+        other.set_host_limit("bs-0", 5 * MBPS, 8 * MBPS)
+        rm = make_rm(tiny_line_topology, other_resources=other)
+        report = rm.measure([], [], now=0.0)
+        assert report.rate_up_bps == pytest.approx(5 * MBPS)
+        assert report.rate_down_bps == pytest.approx(8 * MBPS)
+
+    def test_flows_reduce_the_advertised_rate(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology, params=ScdaParams(alpha=1.0, beta=0.0))
+        prev = rm.up_calc.current_rate_bps
+        flows = [make_flow(tiny_line_topology, "bs-0", "ucl-0", rate=prev) for _ in range(2)]
+        report = rm.measure(flows, [], now=0.0)
+        assert report.rate_up_bps == pytest.approx(prev / 2, rel=1e-6)
+
+    def test_rate_to_level_falls_back_to_deepest_known(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology)
+        rm.measure([], [], now=0.0)
+        rm.receive_level_rate(1, 10 * MBPS, 20 * MBPS)
+        assert rm.rate_to_level(1) == (10 * MBPS, 20 * MBPS)
+        # Level 3 was never propagated: fall back to the deepest known level.
+        assert rm.rate_to_level(3) == (10 * MBPS, 20 * MBPS)
+
+    def test_negative_level_raises(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology)
+        with pytest.raises(ValueError):
+            rm.receive_level_rate(-1, 1.0, 1.0)
+
+    def test_access_counting(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology)
+        rm.record_access("content-1")
+        rm.record_access("content-1", count=2)
+        assert rm.popularity("content-1") == 3
+        assert rm.popularity("unknown") == 0
+
+    def test_sla_violation_reported_when_demand_exceeds_capacity(self, tiny_line_topology):
+        rm = make_rm(tiny_line_topology, params=ScdaParams(alpha=1.0, beta=0.0))
+        flows = [make_flow(tiny_line_topology, "bs-0", "ucl-0", rate=80 * MBPS) for _ in range(2)]
+        report = rm.measure(flows, [], now=0.0)
+        assert report.sla_violated
+
+
+class TestResourceAllocator:
+    def _children(self):
+        return [
+            ChildMetrics("bs-a", 30 * MBPS, 40 * MBPS, 10 * MBPS, 10 * MBPS, "bs-a", "bs-a", "bs-a"),
+            ChildMetrics("bs-b", 80 * MBPS, 20 * MBPS, 10 * MBPS, 10 * MBPS, "bs-b", "bs-b", "bs-b"),
+            ChildMetrics("bs-c", 50 * MBPS, 90 * MBPS, 10 * MBPS, 10 * MBPS, "bs-c", "bs-c", "bs-c"),
+        ]
+
+    def test_level_validation(self, tiny_line_topology):
+        switch = tiny_line_topology.node("sw")
+        with pytest.raises(ValueError):
+            ResourceAllocator(switch, 0, None, None)
+
+    def test_top_level_ra_reports_unconstrained_own_rates(self, tiny_line_topology):
+        ra = ResourceAllocator(tiny_line_topology.node("sw"), 1, None, None)
+        up, down = ra.compute_own_rates([], [])
+        assert up == float("inf") and down == float("inf")
+
+    def test_aggregate_tracks_best_children(self, tiny_line_topology):
+        ra = ResourceAllocator(tiny_line_topology.node("sw"), 1, None, None)
+        summary = ra.aggregate(self._children(), own_up_bps=float("inf"), own_down_bps=float("inf"))
+        assert summary.best_up.host_id == "bs-b"
+        assert summary.best_down.host_id == "bs-c"
+        # best min(up, down): bs-a=30, bs-b=20, bs-c=50 -> bs-c
+        assert summary.best_min.host_id == "bs-c"
+
+    def test_aggregate_caps_best_rates_by_own_links(self, tiny_line_topology):
+        ra = ResourceAllocator(tiny_line_topology.node("sw"), 1, None, None)
+        summary = ra.aggregate(self._children(), own_up_bps=25 * MBPS, own_down_bps=35 * MBPS)
+        assert summary.best_up.rate_bps == pytest.approx(25 * MBPS)
+        assert summary.best_down.rate_bps == pytest.approx(35 * MBPS)
+
+    def test_aggregated_rate_sums_add_up(self, tiny_line_topology):
+        ra = ResourceAllocator(tiny_line_topology.node("sw"), 1, None, None)
+        summary = ra.aggregate(self._children(), float("inf"), float("inf"))
+        assert summary.aggregated_rate_sum_up_bps == pytest.approx(30 * MBPS)
+        assert summary.aggregated_rate_sum_down_bps == pytest.approx(30 * MBPS)
+
+    def test_child_violation_propagates(self, tiny_line_topology):
+        ra = ResourceAllocator(tiny_line_topology.node("sw"), 1, None, None)
+        children = self._children()
+        children[0] = ChildMetrics(
+            "bs-a", 30 * MBPS, 40 * MBPS, 10 * MBPS, 10 * MBPS, "bs-a", "bs-a", "bs-a", sla_violated=True
+        )
+        summary = ra.aggregate(children, float("inf"), float("inf"))
+        assert summary.sla_violated
+
+    def test_best_server_comparison_helper(self):
+        better = BestServer("a", 10.0)
+        worse = BestServer("b", 5.0)
+        assert better.better_than(worse)
+        assert better.better_than(None)
+        assert not worse.better_than(better)

@@ -1,0 +1,88 @@
+"""Tests for the OpenFlow packet-count SJF approximation."""
+
+import pytest
+
+from repro.core.openflow import OpenFlowSjfScheduler, OpenFlowSwitch
+from repro.network.flow import Flow
+from repro.network.routing import Router
+
+
+def make_flow(topo):
+    s, d = topo.node("ucl-0"), topo.node("bs-0")
+    return Flow(s, d, 1e6, Router(topo).path(s, d))
+
+
+class TestOpenFlowSwitch:
+    def test_observe_accumulates_counters(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw", mtu_bytes=1000.0)
+        flow = make_flow(tiny_line_topology)
+        switch.observe(flow, 2500.0)
+        assert switch.packet_count(flow.flow_id) == 3
+        switch.observe(flow, 1000.0)
+        assert switch.packet_count(flow.flow_id) == 5  # 3 + 2 (1000/1000 + partial)
+
+    def test_unknown_flow_has_zero_count(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        assert switch.packet_count(1234) == 0
+
+    def test_service_order_puts_small_senders_first(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        f1, f2 = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        switch.observe(f1, 1_000_000.0)
+        switch.observe(f2, 10_000.0)
+        assert switch.service_order([f1.flow_id, f2.flow_id]) == [f2.flow_id, f1.flow_id]
+
+    def test_remove_clears_entry(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        flow = make_flow(tiny_line_topology)
+        switch.observe(flow, 5000.0)
+        switch.remove(flow.flow_id)
+        assert switch.packet_count(flow.flow_id) == 0
+
+    def test_invalid_arguments_raise(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        flow = make_flow(tiny_line_topology)
+        with pytest.raises(ValueError):
+            switch.observe(flow, -1.0)
+        with pytest.raises(ValueError):
+            switch.set_priority(flow.flow_id, 0.0)
+        with pytest.raises(ValueError):
+            OpenFlowSwitch("sw", mtu_bytes=0.0)
+
+
+class TestSjfScheduler:
+    def test_light_senders_get_higher_weights(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        scheduler = OpenFlowSjfScheduler(switch)
+        heavy, light = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        switch.observe(heavy, 10_000_000.0)
+        switch.observe(light, 10_000.0)
+        weights = scheduler.weights([heavy, light])
+        assert weights[light.flow_id] > weights[heavy.flow_id]
+
+    def test_explicit_priorities_override_counters(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        scheduler = OpenFlowSjfScheduler(switch, max_weight=10.0)
+        heavy, light = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        switch.observe(heavy, 10_000_000.0)
+        switch.observe(light, 10_000.0)
+        switch.set_priority(heavy.flow_id, 8.0)
+        weights = scheduler.weights([heavy, light])
+        assert weights[heavy.flow_id] == pytest.approx(8.0)
+
+    def test_apply_writes_flow_priority_weights(self, tiny_line_topology):
+        switch = OpenFlowSwitch("sw")
+        scheduler = OpenFlowSjfScheduler(switch)
+        f1, f2 = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        switch.observe(f1, 1_000_000.0)
+        switch.observe(f2, 1_000.0)
+        scheduler.apply([f1, f2])
+        assert f2.priority_weight > f1.priority_weight
+
+    def test_empty_flow_list(self, tiny_line_topology):
+        scheduler = OpenFlowSjfScheduler(OpenFlowSwitch("sw"))
+        assert scheduler.weights([]) == {}
+
+    def test_invalid_weight_bounds_raise(self):
+        with pytest.raises(ValueError):
+            OpenFlowSjfScheduler(OpenFlowSwitch("sw"), min_weight=2.0, max_weight=1.0)

@@ -1,0 +1,93 @@
+"""Tests for the control-plane overhead estimates."""
+
+import pytest
+
+from repro.core.overhead import (
+    EXTERNAL_READ_MESSAGES,
+    EXTERNAL_WRITE_MESSAGES,
+    INTERNAL_WRITE_MESSAGES,
+    MessageSizes,
+    estimate_control_overhead,
+)
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+
+MBPS = 1e6
+
+
+@pytest.fixture
+def paper_tree():
+    return build_tree_topology(TreeTopologyConfig())
+
+
+class TestMessageSizes:
+    def test_defaults_are_positive(self):
+        sizes = MessageSizes()
+        assert sizes.delta_report_bytes < sizes.full_report_bytes
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            MessageSizes(full_report_bytes=0.0)
+
+
+class TestOverheadEstimate:
+    def test_report_counts_match_topology(self, paper_tree):
+        report = estimate_control_overhead(paper_tree, control_interval_s=0.01)
+        assert report.monitors == len(paper_tree.hosts()) == 20
+        assert report.allocators == len(paper_tree.switches()) == 7
+        # 20 RMs + 6 non-top RAs report upward each interval.
+        assert report.reports_per_interval == 26
+
+    def test_delta_encoding_saves_bytes(self, paper_tree):
+        report = estimate_control_overhead(paper_tree, control_interval_s=0.01)
+        assert report.report_bytes_per_interval_delta < report.report_bytes_per_interval_full
+        assert 0.0 < report.delta_saving_fraction < 1.0
+        assert report.control_bytes_per_second_delta < report.control_bytes_per_second_full
+
+    def test_overhead_is_a_tiny_fraction_of_fabric_capacity(self, paper_tree):
+        # The paper's design goal: fine-grained allocation without meaningful
+        # control-plane cost.  At τ=10 ms and 200 requests/s the control load
+        # must stay below 0.1 % of the aggregate fabric capacity.
+        report = estimate_control_overhead(
+            paper_tree, control_interval_s=0.01, request_rate_per_s=200.0
+        )
+        assert report.overhead_fraction_of_capacity(paper_tree) < 1e-3
+
+    def test_request_messages_follow_the_protocol_counts(self, paper_tree):
+        report = estimate_control_overhead(
+            paper_tree,
+            control_interval_s=0.01,
+            request_rate_per_s=10.0,
+            read_fraction=0.0,
+            replication_fraction=0.0,
+        )
+        assert report.request_messages_per_second == pytest.approx(10 * EXTERNAL_WRITE_MESSAGES)
+
+        with_replication = estimate_control_overhead(
+            paper_tree,
+            control_interval_s=0.01,
+            request_rate_per_s=10.0,
+            replication_fraction=1.0,
+        )
+        assert with_replication.request_messages_per_second == pytest.approx(
+            10 * (EXTERNAL_WRITE_MESSAGES + INTERNAL_WRITE_MESSAGES)
+        )
+
+        reads_only = estimate_control_overhead(
+            paper_tree, control_interval_s=0.01, request_rate_per_s=10.0, read_fraction=1.0
+        )
+        assert reads_only.request_messages_per_second == pytest.approx(10 * EXTERNAL_READ_MESSAGES)
+
+    def test_faster_control_loop_costs_proportionally_more(self, paper_tree):
+        slow = estimate_control_overhead(paper_tree, control_interval_s=0.1)
+        fast = estimate_control_overhead(paper_tree, control_interval_s=0.01)
+        assert fast.control_bytes_per_second_delta == pytest.approx(
+            10 * slow.control_bytes_per_second_delta, rel=1e-6
+        )
+
+    def test_invalid_arguments_raise(self, paper_tree):
+        with pytest.raises(ValueError):
+            estimate_control_overhead(paper_tree, control_interval_s=0.0)
+        with pytest.raises(ValueError):
+            estimate_control_overhead(paper_tree, 0.01, request_rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            estimate_control_overhead(paper_tree, 0.01, read_fraction=1.5)

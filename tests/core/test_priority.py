@@ -1,0 +1,111 @@
+"""Tests for prioritized rate allocation (priority weight policies)."""
+
+import pytest
+
+from repro.core.priority import (
+    EdfWeightPolicy,
+    PriorityManager,
+    SjfWeightPolicy,
+    TargetRateWeightPolicy,
+    WeightPolicy,
+)
+from repro.network.flow import Flow
+from repro.network.routing import Router
+
+MBPS = 1e6
+
+
+def make_flow(topo, size=1e6, **meta):
+    s, d = topo.node("ucl-0"), topo.node("bs-0")
+    f = Flow(s, d, size, Router(topo).path(s, d))
+    f.meta.update(meta)
+    return f
+
+
+class TestUniformPolicy:
+    def test_default_weight_is_one(self, tiny_line_topology):
+        flow = make_flow(tiny_line_topology)
+        assert WeightPolicy().weight(flow, 0.0) == 1.0
+
+    def test_manager_applies_weights_to_flows(self, tiny_line_topology):
+        flows = [make_flow(tiny_line_topology) for _ in range(3)]
+        weights = PriorityManager().refresh(flows, now=0.0)
+        assert all(w == 1.0 for w in weights.values())
+        assert all(f.priority_weight == 1.0 for f in flows)
+
+
+class TestSjfPolicy:
+    def test_short_flows_get_higher_weight_than_long_flows(self, tiny_line_topology):
+        policy = SjfWeightPolicy(reference_size_bytes=1e6)
+        short = make_flow(tiny_line_topology, size=1e4)
+        long = make_flow(tiny_line_topology, size=1e8)
+        assert policy.weight(short, 0.0) > policy.weight(long, 0.0)
+
+    def test_weights_are_clamped(self, tiny_line_topology):
+        policy = SjfWeightPolicy(min_weight=0.5, max_weight=2.0)
+        tiny = make_flow(tiny_line_topology, size=1.0)
+        huge = make_flow(tiny_line_topology, size=1e12)
+        assert policy.weight(tiny, 0.0) == 2.0
+        assert policy.weight(huge, 0.0) == 0.5
+
+    def test_weight_grows_as_flow_drains(self, tiny_line_topology):
+        policy = SjfWeightPolicy(reference_size_bytes=1e6)
+        flow = make_flow(tiny_line_topology, size=1e7)
+        before = policy.weight(flow, 0.0)
+        flow.start(0.0)
+        flow.current_rate_bps = 8e6
+        flow.advance(9.0)  # most of the flow is gone
+        after = policy.weight(flow, 9.0)
+        assert after > before
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SjfWeightPolicy(reference_size_bytes=0.0)
+        with pytest.raises(ValueError):
+            SjfWeightPolicy(min_weight=3.0, max_weight=1.0)
+
+
+class TestEdfPolicy:
+    def test_flows_without_deadline_get_weight_one(self, tiny_line_topology):
+        policy = EdfWeightPolicy()
+        assert policy.weight(make_flow(tiny_line_topology), 0.0) == 1.0
+
+    def test_urgent_deadline_gets_higher_weight(self, tiny_line_topology):
+        policy = EdfWeightPolicy(fair_rate_estimate_bps=10 * MBPS)
+        urgent = make_flow(tiny_line_topology, size=5e6, deadline_s=1.0)
+        relaxed = make_flow(tiny_line_topology, size=5e6, deadline_s=100.0)
+        assert policy.weight(urgent, 0.0) > policy.weight(relaxed, 0.0)
+
+    def test_missed_deadline_gets_max_weight(self, tiny_line_topology):
+        policy = EdfWeightPolicy(max_weight=8.0)
+        flow = make_flow(tiny_line_topology, deadline_s=1.0)
+        assert policy.weight(flow, now=2.0) == 8.0
+
+
+class TestTargetRatePolicy:
+    def test_weight_is_target_over_achieved(self, tiny_line_topology):
+        policy = TargetRateWeightPolicy()
+        flow = make_flow(tiny_line_topology, target_rate_bps=20 * MBPS)
+        flow.current_rate_bps = 10 * MBPS
+        assert policy.weight(flow, 0.0) == pytest.approx(2.0)
+
+    def test_without_target_weight_is_one(self, tiny_line_topology):
+        policy = TargetRateWeightPolicy()
+        assert policy.weight(make_flow(tiny_line_topology), 0.0) == 1.0
+
+    def test_weight_is_clamped(self, tiny_line_topology):
+        policy = TargetRateWeightPolicy(min_weight=0.1, max_weight=4.0)
+        flow = make_flow(tiny_line_topology, target_rate_bps=1e12)
+        flow.current_rate_bps = 1.0
+        assert policy.weight(flow, 0.0) == 4.0
+
+
+class TestManagerValidation:
+    def test_non_positive_weight_from_policy_raises(self, tiny_line_topology):
+        class BrokenPolicy(WeightPolicy):
+            def weight(self, flow, now):
+                return 0.0
+
+        manager = PriorityManager(BrokenPolicy())
+        with pytest.raises(ValueError):
+            manager.refresh([make_flow(tiny_line_topology)], 0.0)

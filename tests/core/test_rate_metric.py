@@ -1,0 +1,194 @@
+"""Tests for the SCDA rate metric (equations 1-6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rate_metric import (
+    LinkRateCalculator,
+    ScdaParams,
+    effective_capacity,
+    effective_flow_count,
+    link_rate,
+    simplified_link_rate,
+    weighted_rate_sum,
+)
+
+MBPS = 1e6
+
+
+class TestParams:
+    def test_defaults_are_valid(self):
+        params = ScdaParams()
+        assert 0 < params.alpha <= 1.0
+        assert params.effective_drain_time_s == params.control_interval_s
+
+    def test_drain_time_override(self):
+        params = ScdaParams(drain_time_s=0.05)
+        assert params.effective_drain_time_s == 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"beta": -1.0},
+            {"control_interval_s": 0.0},
+            {"drain_time_s": -1.0},
+            {"min_rate_bps": 0.0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ScdaParams(**kwargs)
+
+
+class TestEquation4And6:
+    def test_unweighted_sum(self):
+        assert weighted_rate_sum([1.0, 2.0, 3.0]) == 6.0
+
+    def test_weighted_sum(self):
+        assert weighted_rate_sum([10.0, 20.0], weights=[2.0, 0.5]) == pytest.approx(30.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            weighted_rate_sum([1.0], weights=[1.0, 2.0])
+
+    def test_non_positive_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_rate_sum([1.0], weights=[0.0])
+
+    def test_empty_sum_is_zero(self):
+        assert weighted_rate_sum([]) == 0.0
+
+
+class TestEquation3:
+    def test_flow_at_advertised_rate_counts_as_one(self):
+        assert effective_flow_count(50 * MBPS, 50 * MBPS) == pytest.approx(1.0)
+
+    def test_bottlenecked_elsewhere_counts_as_fraction(self):
+        # The paper: a flow bottlenecked at R_j < R(t-τ) counts as R_j / R(t-τ).
+        assert effective_flow_count(10 * MBPS, 50 * MBPS) == pytest.approx(0.2)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            effective_flow_count(1.0, 0.0)
+        with pytest.raises(ValueError):
+            effective_flow_count(-1.0, 1.0)
+
+
+class TestEquation2:
+    def test_empty_link_advertises_full_effective_capacity(self):
+        params = ScdaParams(alpha=0.95)
+        rate = link_rate(params, 100 * MBPS, queue_bytes=0.0, rate_sum_bps=0.0, previous_rate_bps=95 * MBPS)
+        assert rate == pytest.approx(95 * MBPS)
+
+    def test_n_flows_at_previous_rate_get_equal_split(self):
+        params = ScdaParams(alpha=1.0, beta=0.0)
+        prev = 100 * MBPS
+        rate = link_rate(params, 100 * MBPS, 0.0, rate_sum_bps=4 * prev, previous_rate_bps=prev)
+        assert rate == pytest.approx(25 * MBPS)
+
+    def test_queue_backlog_reduces_the_rate(self):
+        params = ScdaParams(alpha=1.0, beta=1.0, control_interval_s=0.01)
+        no_queue = link_rate(params, 100 * MBPS, 0.0, 2 * 100 * MBPS, 100 * MBPS)
+        with_queue = link_rate(params, 100 * MBPS, 10_000.0, 2 * 100 * MBPS, 100 * MBPS)
+        assert with_queue < no_queue
+
+    def test_rate_never_drops_below_floor(self):
+        params = ScdaParams(min_rate_bps=1e3)
+        rate = link_rate(params, 1e6, queue_bytes=1e9, rate_sum_bps=1e9, previous_rate_bps=1.0)
+        assert rate == pytest.approx(1e3)
+
+    def test_reservations_reduce_shareable_capacity(self):
+        params = ScdaParams(alpha=1.0, beta=0.0)
+        full = link_rate(params, 100 * MBPS, 0.0, 0.0, 100 * MBPS)
+        reserved = link_rate(params, 100 * MBPS, 0.0, 0.0, 100 * MBPS, reserved_bps=40 * MBPS)
+        assert full == pytest.approx(100 * MBPS)
+        assert reserved == pytest.approx(60 * MBPS)
+
+    def test_effective_capacity_clamps_at_zero(self):
+        params = ScdaParams(alpha=1.0, beta=1.0, control_interval_s=0.001)
+        assert effective_capacity(params, 1e6, queue_bytes=1e9) == 0.0
+
+    @given(
+        capacity=st.floats(min_value=1e6, max_value=1e10),
+        queue=st.floats(min_value=0.0, max_value=1e6),
+        rate_sum=st.floats(min_value=0.0, max_value=1e11),
+        prev=st.floats(min_value=1e3, max_value=1e10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rate_is_always_within_bounds(self, capacity, queue, rate_sum, prev):
+        params = ScdaParams()
+        rate = link_rate(params, capacity, queue, rate_sum, prev)
+        cap = effective_capacity(params, capacity, queue)
+        assert params.min_rate_bps <= rate <= max(cap, params.min_rate_bps) + 1e-6
+
+
+class TestEquation5:
+    def test_matches_expected_formula(self):
+        params = ScdaParams(alpha=1.0, beta=0.0, control_interval_s=0.01)
+        # arrival rate = 2x the previous rate -> new rate halves (scaled by capacity).
+        prev = 50 * MBPS
+        arrival_bits = 2 * prev * 0.01
+        rate = simplified_link_rate(params, 100 * MBPS, 0.0, prev, arrival_bits)
+        assert rate == pytest.approx(100 * MBPS * prev / (2 * prev))
+
+    def test_idle_link_advertises_capacity(self):
+        params = ScdaParams(alpha=0.9)
+        rate = simplified_link_rate(params, 100 * MBPS, 0.0, 50 * MBPS, arrival_bits=0.0)
+        assert rate == pytest.approx(90 * MBPS)
+
+    def test_negative_arrivals_raise(self):
+        with pytest.raises(ValueError):
+            simplified_link_rate(ScdaParams(), 1e6, 0.0, 1e6, arrival_bits=-1.0)
+
+
+class TestLinkRateCalculator:
+    def test_initial_rate_is_alpha_c(self):
+        calc = LinkRateCalculator(100 * MBPS, ScdaParams(alpha=0.95))
+        assert calc.current_rate_bps == pytest.approx(95 * MBPS)
+
+    def test_converges_to_fair_share_with_constant_flows(self):
+        params = ScdaParams(alpha=1.0, beta=0.0)
+        calc = LinkRateCalculator(100 * MBPS, params)
+        # Four flows that always send at whatever the link advertised last round.
+        for _ in range(30):
+            rate = calc.current_rate_bps
+            calc.update(queue_bytes=0.0, flow_rates_bps=[rate] * 4)
+        assert calc.current_rate_bps == pytest.approx(25 * MBPS, rel=1e-3)
+        assert calc.effective_flows == pytest.approx(4.0, rel=1e-3)
+
+    def test_bottlenecked_flow_frees_capacity_for_the_other(self):
+        params = ScdaParams(alpha=1.0, beta=0.0)
+        calc = LinkRateCalculator(100 * MBPS, params)
+        # Flow A is stuck at 10 Mb/s elsewhere; flow B follows this link's rate.
+        for _ in range(50):
+            rate = calc.current_rate_bps
+            calc.update(queue_bytes=0.0, flow_rates_bps=[10 * MBPS, min(rate, 100 * MBPS)])
+        # B should converge to ~90 Mb/s (the max-min share), not 50.
+        assert calc.current_rate_bps == pytest.approx(90 * MBPS, rel=0.05)
+
+    def test_sla_violation_flag(self):
+        params = ScdaParams(alpha=1.0, beta=0.0)
+        calc = LinkRateCalculator(100 * MBPS, params)
+        calc.update(queue_bytes=0.0, flow_rates_bps=[80 * MBPS, 50 * MBPS])
+        assert calc.sla_violated
+        calc.update(queue_bytes=0.0, flow_rates_bps=[10 * MBPS])
+        assert not calc.sla_violated
+
+    def test_simplified_variant_runs(self):
+        calc = LinkRateCalculator(100 * MBPS, ScdaParams(), use_simplified=True)
+        rate = calc.update(queue_bytes=0.0, flow_rates_bps=[10 * MBPS], arrival_bits=1e5)
+        assert rate > 0
+
+    def test_reset_restores_initial_state(self):
+        calc = LinkRateCalculator(100 * MBPS, ScdaParams(alpha=0.95))
+        calc.update(queue_bytes=1e5, flow_rates_bps=[50 * MBPS] * 10)
+        calc.reset()
+        assert calc.current_rate_bps == pytest.approx(95 * MBPS)
+        assert calc.state.updates == 0
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            LinkRateCalculator(0.0)

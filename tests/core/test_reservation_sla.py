@@ -1,0 +1,140 @@
+"""Tests for explicit reservations and SLA detection/mitigation."""
+
+import pytest
+
+from repro.core.reservation import Reservation, ReservationRegistry
+from repro.core.sla import (
+    MitigationAction,
+    SlaMonitor,
+    SlaPolicy,
+    SlaViolation,
+    check_flow_slas,
+)
+from repro.network.flow import Flow
+from repro.network.routing import Router
+
+MBPS = 1e6
+
+
+def make_flow(topo, size=1e6):
+    s, d = topo.node("ucl-0"), topo.node("bs-0")
+    return Flow(s, d, size, Router(topo).path(s, d))
+
+
+class TestReservationRegistry:
+    def test_admit_sets_the_flow_floor(self, tiny_line_topology):
+        registry = ReservationRegistry()
+        flow = make_flow(tiny_line_topology)
+        assert registry.admit(flow, 10 * MBPS, tenant="gold")
+        assert flow.min_rate_bps == 10 * MBPS
+        assert registry.reservation_of(flow.flow_id) == Reservation(flow.flow_id, 10 * MBPS, "gold")
+
+    def test_admission_control_rejects_oversubscription(self, tiny_line_topology):
+        registry = ReservationRegistry(admission_utilisation=0.9)
+        flows = [make_flow(tiny_line_topology) for _ in range(3)]
+        assert registry.admit(flows[0], 50 * MBPS)
+        assert registry.admit(flows[1], 30 * MBPS)
+        # 50 + 30 + 20 > 90 Mb/s (90 % of the 100 Mb/s link): rejected.
+        assert not registry.admit(flows[2], 20 * MBPS)
+        assert flows[2].min_rate_bps == 0.0
+
+    def test_release_frees_capacity(self, tiny_line_topology):
+        registry = ReservationRegistry()
+        f1, f2 = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        assert registry.admit(f1, 80 * MBPS)
+        assert not registry.can_admit(f2, 80 * MBPS)
+        registry.release(f1.flow_id)
+        assert registry.can_admit(f2, 80 * MBPS)
+
+    def test_reserved_on_link_sums_reservations(self, tiny_line_topology):
+        registry = ReservationRegistry()
+        f1, f2 = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        registry.admit(f1, 10 * MBPS)
+        registry.admit(f2, 15 * MBPS)
+        link = f1.path[0]
+        assert registry.reserved_on_link(link) == pytest.approx(25 * MBPS)
+        assert registry.total_reserved_bps == pytest.approx(25 * MBPS)
+        assert len(registry) == 2
+
+    def test_link_reservation_map(self, tiny_line_topology):
+        registry = ReservationRegistry()
+        flow = make_flow(tiny_line_topology)
+        registry.admit(flow, 10 * MBPS)
+        mapping = registry.link_reservation_map(tiny_line_topology.links)
+        on_path = {l.link_id for l in flow.path}
+        for link in tiny_line_topology.links:
+            expected = 10 * MBPS if link.link_id in on_path else 0.0
+            assert mapping[link.link_id] == pytest.approx(expected)
+
+    def test_invalid_reservation_raises(self, tiny_line_topology):
+        registry = ReservationRegistry()
+        with pytest.raises(ValueError):
+            registry.admit(make_flow(tiny_line_topology), 0.0)
+        with pytest.raises(ValueError):
+            Reservation(1, -5.0)
+
+
+class TestSlaPolicy:
+    def test_compliant_flow_passes(self):
+        policy = SlaPolicy(min_throughput_bps=1 * MBPS, max_fct_s=10.0)
+        assert policy.is_flow_compliant(achieved_throughput_bps=2 * MBPS, fct_s=5.0)
+
+    def test_low_throughput_fails(self):
+        policy = SlaPolicy(min_throughput_bps=10 * MBPS)
+        assert not policy.is_flow_compliant(1 * MBPS, fct_s=1.0)
+
+    def test_late_completion_fails(self):
+        policy = SlaPolicy(max_fct_s=1.0)
+        assert not policy.is_flow_compliant(100 * MBPS, fct_s=2.0)
+
+    def test_invalid_policy_raises(self):
+        with pytest.raises(ValueError):
+            SlaPolicy(min_throughput_bps=-1.0)
+        with pytest.raises(ValueError):
+            SlaPolicy(max_fct_s=0.0)
+
+    def test_check_flow_slas_finds_offenders(self, tiny_line_topology):
+        policy = SlaPolicy(max_fct_s=0.5)
+        good, bad = make_flow(tiny_line_topology), make_flow(tiny_line_topology)
+        for f, fct in ((good, 0.2), (bad, 2.0)):
+            f.start(0.0)
+            f.finish(fct)
+        offenders = check_flow_slas([good, bad], lambda f: policy)
+        assert offenders == [bad]
+
+
+class TestSlaMonitor:
+    def test_record_and_summary(self):
+        monitor = SlaMonitor()
+        monitor.record(1.0, "bs-0", 0, demand_bps=120 * MBPS, capacity_bps=100 * MBPS)
+        monitor.record(2.0, "bs-0", 0, demand_bps=130 * MBPS, capacity_bps=100 * MBPS)
+        monitor.record(2.0, "tor-1", 1, demand_bps=300 * MBPS, capacity_bps=200 * MBPS)
+        assert monitor.count == 3
+        assert monitor.summary() == {"bs-0": 2, "tor-1": 1}
+        assert len(monitor.violations_at("bs-0")) == 2
+        assert monitor.violation_rate(10.0) == pytest.approx(0.3)
+
+    def test_overload_ratio(self):
+        violation = SlaViolation(0.0, "x", 0, demand_bps=150.0, capacity_bps=100.0)
+        assert violation.overload_ratio == pytest.approx(1.5)
+
+    def test_add_bandwidth_mitigation_invokes_callback_once_per_location(self):
+        boosted = []
+        monitor = SlaMonitor(
+            mitigation=MitigationAction.ADD_BANDWIDTH,
+            bandwidth_boost_factor=1.5,
+            apply_bandwidth_boost=lambda loc, factor: boosted.append((loc, factor)),
+        )
+        monitor.record(1.0, "tor-1", 1, 300.0, 200.0)
+        monitor.record(2.0, "tor-1", 1, 310.0, 200.0)
+        assert boosted == [("tor-1", 1.5)]
+        assert monitor.violations[0].mitigation is MitigationAction.ADD_BANDWIDTH
+        assert monitor.violations[1].mitigation is MitigationAction.NONE
+
+    def test_invalid_boost_factor_raises(self):
+        with pytest.raises(ValueError):
+            SlaMonitor(bandwidth_boost_factor=0.5)
+
+    def test_violation_rate_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            SlaMonitor().violation_rate(0.0)

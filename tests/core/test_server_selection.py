@@ -1,0 +1,155 @@
+"""Tests for the content-aware server-selection policies (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.content import ContentClass
+from repro.core.server_selection import (
+    InteractivePolicy,
+    PassivePolicy,
+    PowerAwarePolicy,
+    RandomPolicy,
+    SelectionError,
+    SelectionMetrics,
+    SelectionObjective,
+    SemiInteractivePolicy,
+    ServerSelector,
+)
+
+MBPS = 1e6
+
+
+def metrics():
+    return [
+        SelectionMetrics("bs-a", up_bps=80 * MBPS, down_bps=20 * MBPS, power_watts=200.0),
+        SelectionMetrics("bs-b", up_bps=50 * MBPS, down_bps=60 * MBPS, power_watts=300.0),
+        SelectionMetrics("bs-c", up_bps=30 * MBPS, down_bps=90 * MBPS, power_watts=100.0),
+        SelectionMetrics("bs-d", up_bps=95 * MBPS, down_bps=95 * MBPS, power_watts=250.0, dormant=True),
+    ]
+
+
+class TestInteractivePolicy:
+    def test_picks_best_bidirectional_among_non_dormant(self):
+        # min(up,down): a=20, b=50, c=30; d=95 but dormant -> b wins.
+        assert InteractivePolicy().select_primary(metrics()).host_id == "bs-b"
+
+    def test_uses_dormant_server_when_nothing_else_exists(self):
+        only_dormant = [m for m in metrics() if m.dormant]
+        assert InteractivePolicy().select_primary(only_dormant).host_id == "bs-d"
+
+    def test_dormant_allowed_when_avoidance_disabled(self):
+        policy = InteractivePolicy(avoid_dormant=False)
+        assert policy.select_primary(metrics()).host_id == "bs-d"
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(SelectionError):
+            InteractivePolicy().select_primary([])
+
+
+class TestSemiInteractivePolicy:
+    def test_primary_is_best_downlink(self):
+        assert SemiInteractivePolicy().select_primary(metrics()).host_id == "bs-c"
+
+    def test_replica_is_best_uplink_excluding_primary(self):
+        policy = SemiInteractivePolicy()
+        primary = policy.select_primary(metrics())
+        replica = policy.select_replica(metrics(), primary)
+        # Best uplink among non-dormant, non-primary: bs-a (80).
+        assert replica.host_id == "bs-a"
+
+    def test_replica_can_fall_back_to_primary_if_alone(self):
+        only = [SelectionMetrics("bs-x", 10 * MBPS, 10 * MBPS)]
+        policy = SemiInteractivePolicy()
+        assert policy.select_replica(only, only[0]).host_id == "bs-x"
+
+
+class TestPassivePolicy:
+    def test_primary_is_best_downlink_regardless_of_dormancy(self):
+        # Section VII-C: the first write stage just picks the fastest-to-write
+        # server; dormancy only matters for the replica stage.
+        policy = PassivePolicy(scale_down_threshold_bps=70 * MBPS)
+        assert policy.select_primary(metrics()).host_id == "bs-d"
+
+    def test_replica_prefers_dormant_servers(self):
+        policy = PassivePolicy(scale_down_threshold_bps=70 * MBPS)
+        primary = metrics()[2]  # bs-c
+        replica = policy.select_replica(metrics(), primary)
+        # Dormant pool (excluding the primary): bs-d (dormant flag) and bs-a
+        # (uplink 80 > 70 threshold); best uplink among them is bs-d.
+        assert replica.host_id == "bs-d"
+
+    def test_replica_falls_back_when_no_dormant_candidates(self):
+        policy = PassivePolicy(scale_down_threshold_bps=1000 * MBPS)
+        pool = [m for m in metrics() if not m.dormant]
+        replica = policy.select_replica(pool, pool[2])  # primary bs-c
+        assert replica.host_id == "bs-a"
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            PassivePolicy(scale_down_threshold_bps=0.0)
+
+
+class TestPowerAwarePolicy:
+    def test_picks_best_rate_per_watt(self):
+        # min_bps/power: a=0.1, b=0.167, c=0.3, d=0.38 MBit/W -> d.
+        policy = PowerAwarePolicy()
+        assert policy.select_primary(metrics()).host_id == "bs-d"
+
+    def test_objective_can_target_downlink(self):
+        policy = PowerAwarePolicy(SelectionObjective.BEST_DOWNLINK)
+        # down/power: a=0.1, b=0.2, c=0.9, d=0.38 -> c.
+        assert policy.select_primary(metrics()).host_id == "bs-c"
+
+
+class TestRandomPolicy:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(None)
+
+    def test_choice_is_deterministic_per_seed(self):
+        a = RandomPolicy(np.random.default_rng(3)).select_primary(metrics())
+        b = RandomPolicy(np.random.default_rng(3)).select_primary(metrics())
+        assert a.host_id == b.host_id
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(SelectionError):
+            RandomPolicy(np.random.default_rng(0)).select_primary([])
+
+
+class TestServerSelector:
+    def test_class_dispatch(self):
+        selector = ServerSelector(scale_down_threshold_bps=70 * MBPS)
+        assert isinstance(selector.policy_for(ContentClass.HWHR), InteractivePolicy)
+        assert isinstance(selector.policy_for(ContentClass.LWHR), SemiInteractivePolicy)
+        assert isinstance(selector.policy_for(ContentClass.HWLR), SemiInteractivePolicy)
+        assert isinstance(selector.policy_for(ContentClass.LWLR), PassivePolicy)
+
+    def test_power_aware_overrides_dispatch(self):
+        selector = ServerSelector(power_aware=True)
+        assert isinstance(selector.policy_for(ContentClass.HWHR), PowerAwarePolicy)
+
+    def test_select_primary_and_replica_for_semi_interactive(self):
+        selector = ServerSelector(scale_down_threshold_bps=70 * MBPS)
+        primary = selector.select_primary(ContentClass.LWHR, metrics())
+        replica = selector.select_replica(ContentClass.LWHR, metrics(), primary)
+        assert primary.host_id == "bs-c"
+        assert replica.host_id == "bs-a"
+
+    def test_read_source_is_best_uplink_replica(self):
+        selector = ServerSelector()
+        replicas = [m for m in metrics() if m.host_id in ("bs-a", "bs-b")]
+        assert selector.select_read_source(ContentClass.LWHR, replicas).host_id == "bs-a"
+
+    def test_read_source_requires_replicas(self):
+        with pytest.raises(SelectionError):
+            ServerSelector().select_read_source(ContentClass.LWHR, [])
+
+    def test_selection_metrics_from_host_rate_metrics(self):
+        from repro.core.maxmin import HostRateMetrics
+
+        converted = SelectionMetrics.from_host_rate_metrics(
+            HostRateMetrics("bs-z", 10.0, 20.0), power_watts=5.0, dormant=True
+        )
+        assert converted.host_id == "bs-z"
+        assert converted.min_bps == 10.0
+        assert converted.dormant

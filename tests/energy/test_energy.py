@@ -1,0 +1,162 @@
+"""Tests for the energy substrate (power model, dormancy, accounting)."""
+
+import pytest
+
+from repro.energy.accounting import EnergyAccountant
+from repro.energy.dormant import DormancyConfig, DormancyManager
+from repro.energy.power_model import PowerState, ServerPowerModel, ServerPowerProfile
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+class TestPowerProfile:
+    def test_linear_power_model(self):
+        profile = ServerPowerProfile(idle_watts=100.0, peak_watts=300.0, dormant_watts=10.0)
+        assert profile.power_at(0.0, PowerState.IDLE) == 100.0
+        assert profile.power_at(1.0, PowerState.ACTIVE) == 300.0
+        assert profile.power_at(0.5, PowerState.ACTIVE) == 200.0
+
+    def test_dormant_state_ignores_utilisation(self):
+        profile = ServerPowerProfile(dormant_watts=12.0)
+        assert profile.power_at(0.9, PowerState.DORMANT) == 12.0
+
+    def test_utilisation_is_clamped(self):
+        profile = ServerPowerProfile()
+        assert profile.power_at(5.0, PowerState.ACTIVE) == profile.peak_watts
+
+    def test_invalid_profile_raises(self):
+        with pytest.raises(ValueError):
+            ServerPowerProfile(idle_watts=400.0, peak_watts=300.0)
+        with pytest.raises(ValueError):
+            ServerPowerProfile(wake_up_latency_s=-1.0)
+
+
+class TestPowerModel:
+    def test_energy_integration(self):
+        model = ServerPowerModel("bs-0", ServerPowerProfile(idle_watts=100.0, peak_watts=100.0))
+        model.advance(10.0)
+        assert model.energy_joules == pytest.approx(1000.0)
+
+    def test_temperature_signal_is_power_times_interval(self):
+        model = ServerPowerModel("bs-0", ServerPowerProfile(idle_watts=150.0, peak_watts=150.0))
+        assert model.temperature_signal(0.5) == pytest.approx(75.0)
+        with pytest.raises(ValueError):
+            model.temperature_signal(0.0)
+
+    def test_state_transitions_count_and_wake_time(self):
+        model = ServerPowerModel("bs-0")
+        model.set_state(PowerState.DORMANT, now=1.0)
+        model.set_state(PowerState.DORMANT, now=2.0)  # no-op
+        model.set_state(PowerState.ACTIVE, now=3.0)
+        assert model.state_changes == 2
+        assert model.last_wake_time_s == 3.0
+
+    def test_average_power_tracks_recent_draw(self):
+        model = ServerPowerModel("bs-0", ServerPowerProfile(idle_watts=100.0, peak_watts=300.0))
+        model.set_utilisation(1.0)
+        model.set_state(PowerState.ACTIVE)
+        for _ in range(50):
+            model.advance(1.0)
+        assert model.average_power_watts == pytest.approx(300.0, rel=0.01)
+
+    def test_negative_values_rejected(self):
+        model = ServerPowerModel("bs-0")
+        with pytest.raises(ValueError):
+            model.advance(-1.0)
+        with pytest.raises(ValueError):
+            model.set_utilisation(-0.5)
+
+
+class TestDormancyManager:
+    def _manager(self, n=4, **cfg):
+        return DormancyManager(
+            [f"bs-{i}" for i in range(n)],
+            DormancyConfig(scale_down_threshold_bps=50 * MBPS, max_dormant_fraction=0.5, **cfg),
+        )
+
+    def test_idle_servers_scale_down_up_to_the_fraction_limit(self):
+        manager = self._manager(4)
+        rates = {f"bs-{i}": 90 * MBPS for i in range(4)}  # all nearly idle
+        util = {f"bs-{i}": 0.0 for i in range(4)}
+        manager.update(rates, util, now=0.0)
+        assert len(manager.dormant_servers()) == 2  # 50 % of 4
+
+    def test_busy_servers_are_never_scaled_down(self):
+        manager = self._manager(2)
+        rates = {"bs-0": 90 * MBPS, "bs-1": 10 * MBPS}
+        util = {"bs-0": 0.0, "bs-1": 0.9}
+        manager.update(rates, util, now=0.0)
+        assert manager.dormant_servers() == ["bs-0"]
+
+    def test_dormant_server_wakes_when_utilised(self):
+        manager = self._manager(2)
+        manager.update({"bs-0": 90 * MBPS, "bs-1": 90 * MBPS}, {"bs-0": 0.0, "bs-1": 0.0}, now=0.0)
+        dormant = manager.dormant_servers()[0]
+        changed = manager.update(
+            {dormant: 90 * MBPS}, {dormant: 0.5}, now=1.0
+        )
+        assert dormant in changed
+        assert not manager.is_dormant(dormant)
+
+    def test_power_lookup_for_selection(self):
+        manager = self._manager(2)
+        assert manager.power_of("bs-0") > 0
+        assert manager.power_of("unknown-host") == 1.0
+
+    def test_total_power_and_energy(self):
+        manager = self._manager(3)
+        total_before = manager.total_power_watts()
+        assert total_before > 0
+        joules = manager.advance(10.0)
+        assert joules == pytest.approx(total_before * 10.0, rel=0.01)
+        assert manager.total_energy_joules() == pytest.approx(joules)
+
+    def test_requires_servers(self):
+        with pytest.raises(ValueError):
+            DormancyManager([])
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            DormancyConfig(scale_down_threshold_bps=0.0)
+        with pytest.raises(ValueError):
+            DormancyConfig(max_dormant_fraction=1.5)
+
+
+class TestEnergyAccountant:
+    def test_samples_accumulate_over_time(self):
+        sim = Simulator()
+        manager = DormancyManager(["bs-0", "bs-1"])
+        accountant = EnergyAccountant(sim, manager, sample_interval_s=1.0)
+        accountant.start()
+        sim.run(until=5.0)
+        accountant.stop()
+        assert len(accountant.samples) >= 5
+        assert accountant.total_energy_joules > 0
+        assert accountant.average_power_watts() > 0
+
+    def test_dormant_fleet_consumes_less(self):
+        sim = Simulator()
+        manager = DormancyManager(["bs-0", "bs-1", "bs-2", "bs-3"])
+        # Mark half the fleet dormant before accounting starts.
+        manager.update({f"bs-{i}": 1e9 for i in range(4)}, {f"bs-{i}": 0.0 for i in range(4)}, 0.0)
+        accountant = EnergyAccountant(sim, manager, sample_interval_s=1.0)
+        accountant.start()
+        sim.run(until=10.0)
+        accountant.stop()
+
+        sim2 = Simulator()
+        manager2 = DormancyManager(["bs-0", "bs-1", "bs-2", "bs-3"])
+        accountant2 = EnergyAccountant(sim2, manager2, sample_interval_s=1.0)
+        accountant2.start()
+        sim2.run(until=10.0)
+        accountant2.stop()
+
+        assert accountant.total_energy_joules < accountant2.total_energy_joules
+        assert accountant.average_dormant_servers() > accountant2.average_dormant_servers()
+
+    def test_invalid_interval_raises(self):
+        sim = Simulator()
+        manager = DormancyManager(["bs-0"])
+        with pytest.raises(ValueError):
+            EnergyAccountant(sim, manager, sample_interval_s=0.0)

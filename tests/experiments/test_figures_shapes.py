@@ -1,0 +1,105 @@
+"""Tests for the figure generators and the qualitative shape checks.
+
+These are integration tests: they run scaled-down versions of the paper's
+scenarios end to end, so they are the slowest tests in the suite (a few
+seconds each).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    FIGURE_GENERATORS,
+    FigureData,
+    figure08,
+    figure09,
+    figure17,
+    figure18,
+)
+from repro.experiments.runner import run_comparison
+from repro.experiments.shapes import afct_fluctuation_ratio, check_comparison_shape
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture(scope="module")
+def pareto_comparison():
+    cfg = ScenarioConfig.pareto_poisson(sim_time=6.0, seed=11, arrival_rate_per_s=30.0)
+    return run_comparison(cfg)
+
+
+@pytest.fixture(scope="module")
+def video_comparison():
+    cfg = ScenarioConfig.video_with_control(sim_time=8.0, seed=12)
+    return run_comparison(cfg)
+
+
+class TestFigureData:
+    def test_add_series_validates_lengths(self):
+        fig = FigureData("figX", "t", "x", "y")
+        with pytest.raises(ValueError):
+            fig.add_series("bad", np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_as_table_renders_all_series(self):
+        fig = FigureData("figX", "demo", "x", "y")
+        fig.add_series("a", np.array([1.0, 2.0]), np.array([10.0, 20.0]))
+        fig.add_series("b", np.array([1.0, 2.0]), np.array([30.0, 40.0]))
+        table = fig.as_table()
+        assert "figX" in table and "a" in table and "b" in table
+        assert len(table.splitlines()) == 4
+
+    def test_generator_registry_covers_every_figure(self):
+        assert set(FIGURE_GENERATORS) == {f"fig{i:02d}" for i in range(7, 19)}
+
+
+class TestFigureGenerators:
+    def test_throughput_figure_has_both_schemes(self, pareto_comparison):
+        fig = figure17(comparison=pareto_comparison)
+        assert set(fig.series) == {"SCDA", "RandTCP"}
+        assert fig.y_label.startswith("Avg. Inst. Thpt")
+        for x, y in fig.series.values():
+            assert len(x) == len(y) > 0
+
+    def test_fct_cdf_figure_monotone_series(self, pareto_comparison):
+        fig = figure18(comparison=pareto_comparison)
+        for x, y in fig.series.values():
+            assert np.all(np.diff(y) >= 0)
+            assert y[-1] == pytest.approx(1.0)
+
+    def test_afct_figure_bins_in_mb(self, video_comparison):
+        fig = figure09(comparison=video_comparison)
+        for x, y in fig.series.values():
+            assert len(x) == len(y) > 0
+            assert x.max() <= 31.0  # MB units
+            assert np.all(y > 0)
+
+    def test_fct_cdf_video_figure(self, video_comparison):
+        fig = figure08(comparison=video_comparison)
+        assert set(fig.series) == {"SCDA", "RandTCP"}
+        assert fig.summary["speedup_afct"] > 1.0
+
+
+class TestShapes:
+    def test_scda_beats_randtcp_on_pareto_poisson(self, pareto_comparison):
+        shape = check_comparison_shape(pareto_comparison)
+        assert shape.fct_improved, shape
+        assert shape.throughput_not_worse, shape
+        assert shape.cdf_mostly_dominates, shape
+        assert shape.all_passed
+
+    def test_scda_beats_randtcp_on_video_traces(self, video_comparison):
+        shape = check_comparison_shape(video_comparison)
+        assert shape.fct_improved, shape
+        assert shape.all_passed
+
+    def test_fct_reduction_is_in_the_paper_ballpark(self, pareto_comparison):
+        # The paper reports roughly 50 % lower transfer times; our flow-level
+        # reproduction must show at least a 25 % reduction.
+        shape = check_comparison_shape(pareto_comparison)
+        assert shape.fct_reduction_fraction >= 0.25
+
+    def test_afct_fluctuation_is_larger_for_randtcp(self, video_comparison):
+        ratio = afct_fluctuation_ratio(video_comparison, max_size_bytes=31 * MB)
+        # RandTCP's AFCT-vs-size curve should fluctuate at least as much as SCDA's.
+        assert np.isnan(ratio) or ratio >= 0.8

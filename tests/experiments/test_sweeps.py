@@ -1,0 +1,61 @@
+"""Tests for the load / control-interval sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_control_interval,
+    sweep_offered_load,
+)
+
+
+class TestSweepResult:
+    def _result(self):
+        return SweepResult(
+            parameter_name="x",
+            points=[
+                SweepPoint(1.0, 0.5, 1.0, 2.0, 1.0),
+                SweepPoint(2.0, 0.6, 1.2, 2.0, 1.0),
+                SweepPoint(3.0, 1.5, 1.2, 0.8, 0.4),
+            ],
+        )
+
+    def test_accessors(self):
+        result = self._result()
+        assert result.parameters() == [1.0, 2.0, 3.0]
+        assert result.speedups() == [2.0, 2.0, 0.8]
+        assert result.crossover_points() == [3.0]
+
+    def test_table_rendering(self):
+        table = self._result().as_table()
+        assert "speedup" in table
+        assert len(table.splitlines()) == 4
+
+
+class TestOfferedLoadSweep:
+    def test_scda_wins_at_every_load_point(self):
+        result = sweep_offered_load([10.0, 30.0], sim_time=2.5, seed=4)
+        assert len(result.points) == 2
+        # No crossover: SCDA stays ahead at light and moderate load.
+        assert result.crossover_points() == []
+        assert all(p.cdf_dominance >= 0.7 for p in result.points)
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ValueError):
+            sweep_offered_load([])
+        with pytest.raises(ValueError):
+            sweep_offered_load([0.0])
+
+
+class TestControlIntervalSweep:
+    def test_sweep_runs_and_keeps_scda_ahead(self):
+        result = sweep_control_interval([0.01, 0.05], sim_time=2.5, seed=4, arrival_rate_per_s=20.0)
+        assert len(result.points) == 2
+        assert result.crossover_points() == []
+
+    def test_invalid_intervals_raise(self):
+        with pytest.raises(ValueError):
+            sweep_control_interval([])
+        with pytest.raises(ValueError):
+            sweep_control_interval([-0.01])

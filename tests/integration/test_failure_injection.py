@@ -1,0 +1,152 @@
+"""Failure injection: capacity degradation, SLA detection and mitigation.
+
+These integration tests inject faults mid-run — a link losing most of its
+capacity, a server whose disk collapses — and check that
+
+* the RM/RA hierarchy detects the resulting SLA violations in real time,
+* the violation reports point at the degraded location, and
+* the ``ADD_BANDWIDTH`` mitigation (reserve links) restores performance.
+"""
+
+import pytest
+
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.core.rate_metric import ScdaParams
+from repro.core.sla import MitigationAction
+from repro.network.fabric import FabricConfig, FabricSimulator
+from repro.network.flow import FlowKind, FlowState
+from repro.network.transport.scda import ScdaTransport
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+def build_stack(mitigation=MitigationAction.NONE, seed_capacity=100 * MBPS):
+    sim = Simulator()
+    topology = build_tree_topology(
+        TreeTopologyConfig(
+            base_bandwidth_bps=seed_capacity,
+            num_agg=2,
+            racks_per_agg=2,
+            hosts_per_rack=2,
+            num_clients=4,
+            internal_delay_s=0.001,
+            client_delay_s=0.005,
+        )
+    )
+    controller = ScdaController(
+        sim,
+        topology,
+        ScdaControllerConfig(
+            params=ScdaParams(control_interval_s=0.01),
+            sla_mitigation=mitigation,
+            sla_bandwidth_boost=4.0,
+        ),
+    )
+    fabric = FabricSimulator(
+        sim, topology, ScdaTransport(controller), config=FabricConfig(control_interval_s=0.01)
+    )
+    controller.attach_fabric(fabric)
+    return sim, topology, controller, fabric
+
+
+def degrade_host_links(topology, controller, host, factor):
+    """Cut the capacity of a host's access links by ``factor`` (fault injection)."""
+    for link in (topology.uplink_of(host), topology.downlink_to(host)):
+        link.capacity_bps /= factor
+        calc = controller.tree._link_calc.get(link.link_id)
+        if calc is not None:
+            calc.capacity_bps = link.capacity_bps
+
+
+class TestLinkDegradation:
+    def test_degradation_slows_flows_and_triggers_violations(self):
+        sim, topology, controller, fabric = build_stack()
+        host = topology.hosts()[0]
+        clients = topology.clients()
+
+        # Healthy phase: two staggered writes complete quickly (staggering avoids
+        # the transient over-subscription that a simultaneous burst produces
+        # while the effective flow count catches up).
+        healthy = [fabric.start_flow(clients[0], host, 10e6)]
+        sim.run(until=1.5)
+        healthy.append(fabric.start_flow(clients[1], host, 10e6))
+        sim.run(until=3.0)
+        assert all(f.state is FlowState.FINISHED for f in healthy)
+        healthy_fct = max(f.fct for f in healthy)
+        assert controller.sla_monitor.count == 0
+
+        # Fault: the host's access links lose 90 % of their capacity while two
+        # more writes (same demand) are in flight.
+        degrade_host_links(topology, controller, host, factor=10.0)
+        degraded = [fabric.start_flow(clients[i], host, 10e6) for i in range(2)]
+        sim.run(until=30.0)
+        assert all(f.state is FlowState.FINISHED for f in degraded)
+        degraded_fct = max(f.fct for f in degraded)
+        # Roughly 10x less capacity -> several times slower.
+        assert degraded_fct > 4 * healthy_fct
+
+    def test_violation_reports_point_at_the_degraded_host(self):
+        sim, topology, controller, fabric = build_stack()
+        host = topology.hosts()[0]
+        clients = topology.clients()
+        degrade_host_links(topology, controller, host, factor=20.0)
+        # Demand that exceeds the degraded capacity: concurrent writes.
+        for i in range(3):
+            fabric.start_flow(clients[i], host, 5e6)
+        sim.run(until=5.0)
+        assert controller.sla_monitor.count > 0
+        assert host.node_id in controller.sla_monitor.summary()
+
+    def test_add_bandwidth_mitigation_restores_performance(self):
+        def run(mitigation):
+            sim, topology, controller, fabric = build_stack(mitigation)
+            host = topology.hosts()[0]
+            clients = topology.clients()
+            degrade_host_links(topology, controller, host, factor=8.0)
+            flows = [fabric.start_flow(clients[i], host, 8e6) for i in range(3)]
+            sim.run(until=60.0)
+            assert all(f.state is FlowState.FINISHED for f in flows)
+            return max(f.fct for f in flows), controller
+
+        fct_without, _ = run(MitigationAction.NONE)
+        fct_with, controller_with = run(MitigationAction.ADD_BANDWIDTH)
+        # The reserve-capacity boost (4x) recovers a large part of the loss.
+        assert fct_with < fct_without * 0.6
+        boosted = [
+            v for v in controller_with.sla_monitor.violations
+            if v.mitigation is MitigationAction.ADD_BANDWIDTH
+        ]
+        assert boosted, "mitigation was configured but never applied"
+
+
+class TestServerResourceCollapse:
+    def test_disk_collapse_diverts_new_placements(self):
+        """A server whose disk collapses stops being selected for new writes."""
+        from repro.cluster.host_resources import HostResourceProfile, HostResourceSimulator
+        from repro.cluster.content import ContentClass
+
+        sim = Simulator()
+        topology = build_tree_topology(
+            TreeTopologyConfig(
+                base_bandwidth_bps=100 * MBPS, num_agg=1, racks_per_agg=2, hosts_per_rack=2,
+                num_clients=2, internal_delay_s=0.001, client_delay_s=0.005,
+            )
+        )
+        host_resources = HostResourceSimulator()
+        controller = ScdaController(
+            sim, topology, ScdaControllerConfig(), other_resources=host_resources
+        )
+        fabric = FabricSimulator(sim, topology, ScdaTransport(controller))
+        controller.attach_fabric(fabric)
+        host_resources.attach_fabric(fabric)
+
+        sick = topology.hosts()[0]
+        sim.run(until=0.05)
+        # Fault: the server's disk degrades to 1 Mb/s.
+        host_resources.set_profile(sick.node_id, HostResourceProfile(disk_bandwidth_bps=1 * MBPS))
+        sim.run(until=0.1)
+
+        choices = {controller.select_primary(ContentClass.LWHR) for _ in range(6)}
+        assert sick.node_id not in choices

@@ -1,0 +1,141 @@
+"""Cross-cutting property tests: conservation and allocation invariants.
+
+These properties must hold for *any* workload and either scheme:
+
+* byte conservation — the bytes recorded as delivered equal the bytes of the
+  finished flows, and never exceed what was offered;
+* feasibility — at no sampling instant does the sum of delivered rates on a
+  link exceed its capacity (the fluid network cannot create bandwidth);
+* SCDA allocation sanity — advertised per-link rates never exceed the link's
+  effective capacity, and a host's whole-datacenter metric never exceeds any
+  link on its path to the core.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import ScdaController, ScdaControllerConfig
+from repro.core.maxmin import ScdaTree
+from repro.core.rate_metric import ScdaParams
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import Flow, FlowKind
+from repro.network.routing import Router
+from repro.network.transport.scda import ScdaTransport
+from repro.network.transport.tcp import TcpTransport
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.timers import PeriodicTimer
+
+MBPS = 1e6
+
+
+def small_config():
+    return TreeTopologyConfig(
+        base_bandwidth_bps=100 * MBPS,
+        num_agg=2,
+        racks_per_agg=2,
+        hosts_per_rack=2,
+        num_clients=4,
+        internal_delay_s=0.001,
+        client_delay_s=0.005,
+    )
+
+
+def run_random_workload(transport_name: str, seed: int, num_flows: int):
+    sim = Simulator()
+    topology = build_tree_topology(small_config())
+    if transport_name == "scda":
+        controller = ScdaController(sim, topology, ScdaControllerConfig())
+        transport = ScdaTransport(controller)
+    else:
+        controller = None
+        transport = TcpTransport()
+    fabric = FabricSimulator(sim, topology, transport)
+    if controller is not None:
+        controller.attach_fabric(fabric)
+
+    rng = RandomStreams(seed).stream("flows")
+    hosts, clients = topology.hosts(), topology.clients()
+    offered = 0.0
+    link_overload_observed = []
+
+    def check_feasibility(now):
+        loads = {}
+        for flow in fabric.active_flows:
+            for link in flow.path:
+                loads[link.link_id] = loads.get(link.link_id, 0.0) + flow.current_rate_bps
+        for link in topology.links:
+            if loads.get(link.link_id, 0.0) > link.capacity_bps * 1.001:
+                link_overload_observed.append((now, link.link_id))
+
+    PeriodicTimer(sim, 0.05, check_feasibility)
+
+    t = 0.0
+    for _ in range(num_flows):
+        t += float(rng.exponential(0.05))
+        src = clients[int(rng.integers(0, len(clients)))]
+        dst = hosts[int(rng.integers(0, len(hosts)))]
+        size = float(rng.uniform(50e3, 5e6))
+        offered += size
+        sim.call_at(t, fabric.start_flow, src, dst, size, FlowKind.DATA)
+    sim.run(until=t + 60.0)
+    return fabric, offered, link_overload_observed
+
+
+class TestConservation:
+    @pytest.mark.parametrize("transport_name", ["scda", "tcp"])
+    def test_delivered_bytes_match_offered_bytes(self, transport_name):
+        fabric, offered, overloads = run_random_workload(transport_name, seed=21, num_flows=30)
+        assert not fabric.active_flows, "all flows should have drained"
+        finished_bytes = sum(f.size_bytes for f in fabric.finished_flows)
+        assert finished_bytes == pytest.approx(offered, rel=1e-9)
+        # total_bytes_delivered integrates rate*dt; completion clamps the last
+        # interval, so it can only match or slightly undershoot the flow sizes.
+        assert fabric.total_bytes_delivered <= offered * (1 + 1e-9)
+        assert fabric.total_bytes_delivered >= offered * 0.98
+
+    @pytest.mark.parametrize("transport_name", ["scda", "tcp"])
+    def test_no_link_ever_carries_more_than_its_capacity(self, transport_name):
+        _fabric, _offered, overloads = run_random_workload(transport_name, seed=22, num_flows=25)
+        assert overloads == []
+
+
+class TestScdaAllocationInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_advertised_rates_never_exceed_effective_capacity(self, seed):
+        topology = build_tree_topology(small_config())
+        tree = ScdaTree(topology, ScdaParams(alpha=0.95, beta=0.0))
+        rng = RandomStreams(seed).stream("load")
+        router = Router(topology)
+        hosts, clients = topology.hosts(), topology.clients()
+        flows = []
+        for _ in range(int(rng.integers(0, 24))):
+            src = clients[int(rng.integers(0, len(clients)))]
+            dst = hosts[int(rng.integers(0, len(hosts)))]
+            flow = Flow(src, dst, 1e9, router.path(src, dst))
+            flow.current_rate_bps = float(rng.uniform(0, 100 * MBPS))
+            flows.append(flow)
+        link_flows = {}
+        for flow in flows:
+            for link in flow.path:
+                link_flows.setdefault(link.link_id, []).append(flow)
+        tree.run_round(link_flows, now=0.0)
+        for link in topology.links:
+            assert tree.link_rate_bps(link) <= 0.95 * link.capacity_bps + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_host_metric_bounded_by_its_access_link(self, seed):
+        topology = build_tree_topology(small_config())
+        tree = ScdaTree(topology, ScdaParams(alpha=0.95, beta=0.0))
+        tree.run_round({}, now=0.0)
+        for metric in tree.host_metrics():
+            host = topology.node(metric.host_id)
+            uplink = topology.uplink_of(host)
+            downlink = topology.downlink_to(host)
+            assert metric.up_bps <= 0.95 * uplink.capacity_bps + 1e-6
+            assert metric.down_bps <= 0.95 * downlink.capacity_bps + 1e-6

@@ -1,0 +1,106 @@
+"""Tests for the metrics collector and the scheme comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.comparison import ComparisonResult, SchemeResult
+from repro.metrics.records import FlowRecord
+from repro.metrics.throughput import ThroughputSample, ThroughputSeries
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import FlowKind
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.sim.engine import Simulator
+
+
+class TestMetricsCollector:
+    def _run(self, topology, record_kinds=None):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+        collector = MetricsCollector(fabric, sample_interval_s=0.5, record_kinds=record_kinds)
+        collector.start_sampling()
+        # 25 MB / 12.5 MB over a 100 Mb/s link keep flows active across several samples.
+        fabric.start_flow(topology.node("ucl-0"), topology.node("bs-0"), 25_000_000.0, FlowKind.VIDEO)
+        fabric.start_flow(
+            topology.node("bs-0"), topology.node("ucl-0"), 12_500_000.0, FlowKind.REPLICATION
+        )
+        sim.run(until=5.0)
+        collector.stop_sampling()
+        return collector
+
+    def test_records_all_finished_flows_by_default(self, tiny_line_topology):
+        collector = self._run(tiny_line_topology)
+        assert collector.completed_count == 2
+        assert set(collector.sizes().tolist()) == {25_000_000.0, 12_500_000.0}
+
+    def test_record_kind_filter(self, tiny_line_topology):
+        collector = self._run(tiny_line_topology, record_kinds=(FlowKind.VIDEO,))
+        assert collector.completed_count == 1
+        assert collector.records[0].kind is FlowKind.VIDEO
+
+    def test_throughput_samples_are_collected(self, tiny_line_topology):
+        collector = self._run(tiny_line_topology)
+        assert len(collector.throughput) >= 2
+        # While the flows were active the sampled mean per-flow rate is positive.
+        assert collector.throughput.average_mean_flow_kBps() > 0.0
+
+    def test_fcts_filtered_by_kind(self, tiny_line_topology):
+        collector = self._run(tiny_line_topology)
+        video_only = collector.fcts(kinds=(FlowKind.VIDEO,))
+        assert video_only.size == 1
+
+    def test_invalid_interval_raises(self, tiny_line_topology):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, tiny_line_topology, IdealMaxMinTransport())
+        with pytest.raises(ValueError):
+            MetricsCollector(fabric, sample_interval_s=0.0)
+
+
+def scheme_result(name, fcts, rates_kBps=(100.0,)):
+    records = [
+        FlowRecord(i, 1e6, 0.0, 0.0, fct, FlowKind.DATA, "a", "b") for i, fct in enumerate(fcts)
+    ]
+    series = ThroughputSeries()
+    for i, rate in enumerate(rates_kBps):
+        series.add(ThroughputSample(float(i), 1, rate * 8 * 1024, rate * 8 * 1024))
+    return SchemeResult(scheme=name, records=records, throughput=series)
+
+
+class TestComparisonResult:
+    def test_headline_ratios(self):
+        candidate = scheme_result("SCDA", [1.0, 1.0], rates_kBps=(200.0,))
+        baseline = scheme_result("RandTCP", [2.0, 2.0], rates_kBps=(100.0,))
+        comparison = ComparisonResult("test", candidate, baseline)
+        assert comparison.speedup_afct() == pytest.approx(2.0)
+        assert comparison.fct_reduction_fraction() == pytest.approx(0.5)
+        assert comparison.throughput_gain_fraction() == pytest.approx(1.0)
+        assert comparison.median_fct_ratio() == pytest.approx(2.0)
+        assert comparison.cdf_dominance() == 1.0
+
+    def test_summary_contains_all_headline_keys(self):
+        comparison = ComparisonResult(
+            "test", scheme_result("a", [1.0]), scheme_result("b", [2.0])
+        )
+        summary = comparison.summary()
+        for key in (
+            "speedup_afct",
+            "fct_reduction_fraction",
+            "throughput_gain_fraction",
+            "cdf_dominance",
+            "candidate_flows",
+        ):
+            assert key in summary
+
+    def test_empty_results_give_nan_ratios(self):
+        comparison = ComparisonResult("test", scheme_result("a", []), scheme_result("b", []))
+        assert np.isnan(comparison.speedup_afct())
+        assert np.isnan(comparison.median_fct_ratio())
+
+    def test_scheme_result_statistics(self):
+        result = scheme_result("SCDA", [1.0, 3.0])
+        assert result.mean_fct_s() == pytest.approx(2.0)
+        assert result.fct_statistics().count == 2
+        x, y = result.fct_cdf()
+        assert x.tolist() == [1.0, 3.0]
+        centers, afct, counts = result.afct_curve([0.0, 2e6])
+        assert counts[0] == 2

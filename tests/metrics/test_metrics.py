@@ -1,0 +1,180 @@
+"""Tests for flow records, FCT/AFCT statistics, CDFs and throughput series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import cdf_at, empirical_cdf, percentile, stochastic_dominance_fraction
+from repro.metrics.fct import (
+    FctStatistics,
+    afct_by_size_bins,
+    afct_ratio,
+    average_fct,
+    size_bin_edges,
+)
+from repro.metrics.records import FlowRecord
+from repro.metrics.throughput import ThroughputSample, ThroughputSeries
+from repro.network.flow import Flow, FlowKind
+from repro.network.routing import Router
+
+
+def record(size=1e6, created=0.0, started=0.1, finished=1.0, kind=FlowKind.DATA):
+    return FlowRecord(
+        flow_id=0,
+        size_bytes=size,
+        created_at_s=created,
+        started_at_s=started,
+        finished_at_s=finished,
+        kind=kind,
+        src="a",
+        dst="b",
+    )
+
+
+class TestFlowRecord:
+    def test_derived_quantities(self):
+        r = record(size=1e6, created=0.0, started=0.5, finished=2.0)
+        assert r.fct_s == pytest.approx(2.0)
+        assert r.transfer_time_s == pytest.approx(1.5)
+        assert r.goodput_bps == pytest.approx(1e6 * 8 / 2.0)
+
+    def test_from_flow_requires_finished_flow(self, tiny_line_topology):
+        s, d = tiny_line_topology.node("ucl-0"), tiny_line_topology.node("bs-0")
+        flow = Flow(s, d, 1000.0, Router(tiny_line_topology).path(s, d))
+        with pytest.raises(ValueError):
+            FlowRecord.from_flow(flow)
+        flow.start(1.0)
+        flow.finish(2.0)
+        rec = FlowRecord.from_flow(flow)
+        assert rec.fct_s == pytest.approx(2.0)
+        assert rec.src == "ucl-0"
+
+
+class TestFctStatistics:
+    def test_summary_statistics(self):
+        stats = FctStatistics.from_fcts([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean_s == pytest.approx(2.5)
+        assert stats.median_s == pytest.approx(2.5)
+        assert stats.max_s == 4.0
+
+    def test_empty_input_gives_nans(self):
+        stats = FctStatistics.from_fcts([])
+        assert stats.count == 0
+        assert np.isnan(stats.mean_s)
+
+    def test_average_fct_and_ratio(self):
+        fast = [record(finished=1.0), record(finished=2.0)]
+        slow = [record(finished=3.0), record(finished=5.0)]
+        assert average_fct(fast) == pytest.approx(1.5)
+        assert afct_ratio(slow, fast) == pytest.approx(4.0 / 1.5)
+        assert np.isnan(afct_ratio([], fast))
+
+
+class TestAfctBinning:
+    def test_bins_group_by_size(self):
+        records = [
+            record(size=100.0, finished=1.0),
+            record(size=150.0, finished=3.0),
+            record(size=900.0, finished=10.0),
+        ]
+        centers, afct, counts = afct_by_size_bins(records, [0.0, 500.0, 1000.0])
+        assert len(centers) == 2
+        assert afct[0] == pytest.approx(2.0)
+        assert afct[1] == pytest.approx(10.0)
+        assert counts.tolist() == [2, 1]
+
+    def test_empty_bins_are_nan(self):
+        records = [record(size=100.0, finished=1.0)]
+        _centers, afct, counts = afct_by_size_bins(records, [0.0, 50.0, 200.0])
+        assert np.isnan(afct[0]) and counts[0] == 0
+        assert afct[1] == pytest.approx(1.0)
+
+    def test_invalid_edges_raise(self):
+        with pytest.raises(ValueError):
+            afct_by_size_bins([], [1.0])
+        with pytest.raises(ValueError):
+            afct_by_size_bins([], [2.0, 1.0])
+
+    def test_size_bin_edges_linear_and_log(self):
+        linear = size_bin_edges(1.0, 100.0, 4)
+        assert len(linear) == 5
+        assert linear[0] == 1.0 and linear[-1] == 100.0
+        log = size_bin_edges(1.0, 1000.0, 3, log_scale=True)
+        assert log[1] / log[0] == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            size_bin_edges(10.0, 1.0, 3)
+
+
+class TestCdf:
+    def test_empirical_cdf_steps(self):
+        x, y = empirical_cdf([3.0, 1.0, 2.0])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert y.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_cdf(self):
+        x, y = empirical_cdf([])
+        assert x.size == 0 and y.size == 0
+
+    def test_cdf_at_and_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == pytest.approx(0.5)
+        assert percentile(values, 50) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            percentile(values, 150.0)
+
+    def test_stochastic_dominance(self):
+        fast = [1.0, 1.5, 2.0]
+        slow = [3.0, 4.0, 5.0]
+        assert stochastic_dominance_fraction(fast, slow) == 1.0
+        assert stochastic_dominance_fraction(slow, fast) < 0.5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_is_monotone_and_ends_at_one(self, values):
+        x, y = empirical_cdf(values)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) >= 0)
+        assert y[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_any_sample_dominates_itself(self, values):
+        assert stochastic_dominance_fraction(values, values) == 1.0
+
+
+class TestThroughputSeries:
+    def test_samples_and_averages(self):
+        series = ThroughputSeries()
+        series.add(ThroughputSample(1.0, active_flows=2, aggregate_bps=8192.0 * 8, mean_flow_bps=8192.0 * 4))
+        series.add(ThroughputSample(2.0, active_flows=0, aggregate_bps=0.0, mean_flow_bps=0.0))
+        series.add(ThroughputSample(3.0, active_flows=1, aggregate_bps=8192.0 * 8, mean_flow_bps=8192.0 * 8))
+        assert len(series) == 3
+        assert series.times().tolist() == [1.0, 2.0, 3.0]
+        # Samples with no active flows are excluded from the per-flow average.
+        assert series.average_mean_flow_kBps() == pytest.approx((4.0 + 8.0) / 2)
+        assert series.average_aggregate_kBps() == pytest.approx((8.0 + 0.0 + 8.0) / 3)
+
+    def test_sample_unit_conversions(self):
+        sample = ThroughputSample(0.0, 1, aggregate_bps=8.0 * 1024, mean_flow_bps=8.0 * 1024)
+        assert sample.aggregate_kBps == pytest.approx(1.0)
+        assert sample.mean_flow_kBps == pytest.approx(1.0)
+
+    def test_out_of_order_samples_rejected(self):
+        series = ThroughputSeries()
+        series.add(ThroughputSample(2.0, 0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            series.add(ThroughputSample(1.0, 0, 0.0, 0.0))
+
+    def test_series_accessor_matches_samples(self):
+        series = ThroughputSeries()
+        series.add(ThroughputSample(1.0, 1, 0.0, 8192.0))
+        times, kbps = series.series()
+        assert times.tolist() == [1.0]
+        assert kbps[0] == pytest.approx(1.0)
+
+    def test_empty_series_averages_are_zero(self):
+        series = ThroughputSeries()
+        assert series.average_mean_flow_kBps() == 0.0
+        assert series.average_aggregate_kBps() == 0.0

@@ -1,0 +1,138 @@
+"""Tests for the topology builders (tree, fat-tree, VL2, leaf-spine)."""
+
+import pytest
+
+from repro.network.fattree import build_fat_tree
+from repro.network.leafspine import build_leaf_spine
+from repro.network.tree import TreeTopologyConfig, build_tree_topology, hosts_by_rack, rack_of
+from repro.network.vl2 import build_vl2_topology
+
+MBPS = 1e6
+GBPS = 1e9
+
+
+class TestTreeTopology:
+    def test_host_count_matches_config(self, small_tree_config, small_tree):
+        assert len(small_tree.hosts()) == small_tree_config.num_hosts == 8
+
+    def test_client_count_matches_config(self, small_tree_config, small_tree):
+        assert len(small_tree.clients()) == small_tree_config.num_clients
+
+    def test_three_switch_levels_exist(self, small_tree):
+        levels = {n.level for n in small_tree.switches()}
+        assert levels == {1, 2, 3}
+        assert small_tree.max_level() == 3
+
+    def test_host_access_links_use_base_bandwidth(self, small_tree_config, small_tree):
+        host = small_tree.hosts()[0]
+        uplink = small_tree.uplink_of(host)
+        assert uplink.capacity_bps == pytest.approx(small_tree_config.base_bandwidth_bps)
+
+    def test_left_side_uses_core_multiplier_and_right_side_uses_k(self, small_tree_config, small_tree):
+        x = small_tree_config.base_bandwidth_bps
+        left_agg = small_tree.node("agg-0")
+        right_agg = small_tree.node("agg-1")
+        core = small_tree.node("core")
+        left_bw = small_tree.find_link(left_agg, core).capacity_bps
+        right_bw = small_tree.find_link(right_agg, core).capacity_bps
+        assert left_bw == pytest.approx(small_tree_config.core_multiplier * x)
+        assert right_bw == pytest.approx(small_tree_config.bandwidth_factor * x)
+
+    def test_homogeneous_mode_disables_right_side_scaling(self, small_tree_config):
+        cfg = TreeTopologyConfig(
+            base_bandwidth_bps=small_tree_config.base_bandwidth_bps,
+            bandwidth_factor=3.0,
+            num_agg=2,
+            racks_per_agg=1,
+            hosts_per_rack=1,
+            num_clients=1,
+            heterogeneous_right_side=False,
+        )
+        topo = build_tree_topology(cfg)
+        core = topo.node("core")
+        bws = {topo.find_link(topo.node(f"agg-{i}"), core).capacity_bps for i in range(2)}
+        assert bws == {cfg.core_multiplier * cfg.base_bandwidth_bps}
+
+    def test_client_links_use_client_delay(self, small_tree_config, small_tree):
+        client = small_tree.clients()[0]
+        link = small_tree.uplink_of(client) or small_tree.out_links(client)[0]
+        assert link.delay_s == pytest.approx(small_tree_config.client_delay_s)
+
+    def test_every_host_has_a_rack_attribute(self, small_tree):
+        assert all(rack_of(h) for h in small_tree.hosts())
+
+    def test_hosts_by_rack_grouping(self, small_tree_config, small_tree):
+        grouped = hosts_by_rack(small_tree)
+        assert len(grouped) == small_tree_config.num_agg * small_tree_config.racks_per_agg
+        assert all(len(hosts) == small_tree_config.hosts_per_rack for hosts in grouped.values())
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            TreeTopologyConfig(num_agg=0)
+        with pytest.raises(ValueError):
+            TreeTopologyConfig(base_bandwidth_bps=-1.0)
+        with pytest.raises(ValueError):
+            TreeTopologyConfig(num_clients=0)
+
+    def test_paper_default_scale_has_20_servers(self):
+        cfg = TreeTopologyConfig()
+        assert cfg.num_hosts == 20
+
+
+class TestFatTree:
+    def test_k4_fat_tree_dimensions(self):
+        topo = build_fat_tree(k=4, num_clients=2)
+        # k^3/4 hosts, k^2/4 core switches, k^2 pod switches.
+        assert len(topo.hosts()) == 16
+        assert len([s for s in topo.switches() if s.level == 3]) == 4
+        assert len([s for s in topo.switches() if s.level in (1, 2)]) == 16
+        topo.validate()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(k=3)
+
+    def test_each_edge_switch_serves_k_over_2_hosts(self):
+        topo = build_fat_tree(k=4, num_clients=1)
+        edge = topo.node("edge-0-0")
+        hosts = [n for n in topo.children(edge) if n.kind.value == "host"]
+        assert len(hosts) == 2
+
+
+class TestVl2:
+    def test_structure(self):
+        topo = build_vl2_topology(
+            num_intermediate=2, num_aggregation=4, num_tor=4, hosts_per_tor=3, num_clients=2
+        )
+        assert len(topo.hosts()) == 12
+        assert len([s for s in topo.switches() if s.level == 3]) == 2
+        topo.validate()
+
+    def test_tor_is_dual_homed(self):
+        topo = build_vl2_topology(num_tor=2, hosts_per_tor=1, num_clients=1)
+        tor = topo.node("tor-0")
+        agg_neighbours = {n.node_id for n in topo.neighbors(tor) if n.level == 2}
+        assert len(agg_neighbours) == 2
+
+    def test_requires_two_aggregation_switches(self):
+        with pytest.raises(ValueError):
+            build_vl2_topology(num_aggregation=1)
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        topo = build_leaf_spine(num_spines=2, num_leaves=3, hosts_per_leaf=4, num_clients=2)
+        assert len(topo.hosts()) == 12
+        assert len([s for s in topo.switches() if s.level == 2]) == 2
+        assert len([s for s in topo.switches() if s.level == 1]) == 3
+        topo.validate()
+
+    def test_every_leaf_connects_to_every_spine(self):
+        topo = build_leaf_spine(num_spines=3, num_leaves=2, hosts_per_leaf=1, num_clients=1)
+        leaf = topo.node("leaf-0")
+        spine_neighbours = {n.node_id for n in topo.neighbors(leaf) if n.level == 2}
+        assert spine_neighbours == {"spine-0", "spine-1", "spine-2"}
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            build_leaf_spine(num_spines=0)

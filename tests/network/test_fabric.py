@@ -1,0 +1,171 @@
+"""Tests for the event-driven fabric simulator."""
+
+import pytest
+
+from repro.network.fabric import FabricConfig, FabricSimulator
+from repro.network.flow import FlowKind, FlowState
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.network.transport.tcp import TcpTransport
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+@pytest.fixture
+def ideal_fabric(tiny_line_topology):
+    sim = Simulator()
+    fabric = FabricSimulator(sim, tiny_line_topology, IdealMaxMinTransport())
+    return sim, tiny_line_topology, fabric
+
+
+class TestSingleFlow:
+    def test_completion_time_matches_capacity(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        flow = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        sim.run(until=10.0)
+        # 1.25 MB over 100 Mb/s = 0.1 s
+        assert flow.state is FlowState.FINISHED
+        assert flow.fct == pytest.approx(0.1, rel=1e-3)
+
+    def test_flow_records_appear_in_finished_list(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        flow = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1000.0)
+        sim.run(until=1.0)
+        assert flow in fabric.finished_flows
+        assert fabric.active_flow_count == 0
+
+    def test_created_at_override_affects_fct(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        sim.run(until=2.0)
+        flow = fabric.start_flow(
+            topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0, created_at=1.0
+        )
+        sim.run(until=10.0)
+        assert flow.fct == pytest.approx(1.0 + 0.1, rel=1e-3)
+
+    def test_total_bytes_delivered_accumulates(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 500_000.0)
+        fabric.start_flow(topo.node("bs-0"), topo.node("ucl-0"), 250_000.0)
+        sim.run(until=10.0)
+        assert fabric.total_bytes_delivered == pytest.approx(750_000.0, rel=1e-6)
+
+    def test_same_src_dst_raises(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        with pytest.raises(ValueError):
+            fabric.start_flow(topo.node("bs-0"), topo.node("bs-0"), 1000.0)
+
+    def test_callbacks_fire_on_start_and_finish(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        events = []
+        fabric.on_flow_started(lambda f, now: events.append(("start", now)))
+        fabric.on_flow_finished(lambda f, now: events.append(("finish", now)))
+        fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        sim.run(until=10.0)
+        assert events[0][0] == "start"
+        assert events[-1][0] == "finish"
+        assert events[-1][1] == pytest.approx(0.1, rel=1e-3)
+
+
+class TestSharing:
+    def test_two_flows_on_same_link_take_twice_as_long(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        f1 = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        f2 = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        sim.run(until=10.0)
+        assert f1.fct == pytest.approx(0.2, rel=1e-2)
+        assert f2.fct == pytest.approx(0.2, rel=1e-2)
+
+    def test_later_arrival_shares_fairly(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        f1 = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        sim.call_at(0.05, lambda: fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 625_000.0))
+        sim.run(until=10.0)
+        # f1 runs alone for 0.05 s (half done), then shares; both finish at 0.15.
+        assert f1.fct == pytest.approx(0.15, rel=1e-2)
+
+    def test_opposite_directions_do_not_contend(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        f1 = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1_250_000.0)
+        f2 = fabric.start_flow(topo.node("bs-0"), topo.node("ucl-0"), 1_250_000.0)
+        sim.run(until=10.0)
+        assert f1.fct == pytest.approx(0.1, rel=1e-2)
+        assert f2.fct == pytest.approx(0.1, rel=1e-2)
+
+    def test_flows_on_link_query(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        flow = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1e9)
+        link = flow.path[0]
+        assert fabric.flows_on_link(link) == [flow]
+
+
+class TestControl:
+    def test_abort_flow_removes_it(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        flow = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1e9)
+        sim.run(until=0.05)
+        fabric.abort_flow(flow)
+        sim.run(until=1.0)
+        assert flow.state is FlowState.ABORTED
+        assert fabric.active_flow_count == 0
+
+    def test_reroute_requires_active_flow(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        flow = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 1000.0)
+        sim.run(until=1.0)
+        with pytest.raises(RuntimeError):
+            fabric.reroute_flow(flow, flow.path)
+
+    def test_drain_runs_until_all_flows_finish(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        f1 = fabric.start_flow(topo.node("ucl-0"), topo.node("bs-0"), 2_500_000.0)
+        fabric.drain()
+        assert f1.state is FlowState.FINISHED
+
+    def test_max_active_flows_guard(self, tiny_line_topology):
+        sim = Simulator()
+        fabric = FabricSimulator(
+            sim,
+            tiny_line_topology,
+            IdealMaxMinTransport(),
+            config=FabricConfig(max_active_flows=1),
+        )
+        fabric.start_flow(tiny_line_topology.node("ucl-0"), tiny_line_topology.node("bs-0"), 1e9)
+        with pytest.raises(RuntimeError):
+            fabric.start_flow(
+                tiny_line_topology.node("ucl-0"), tiny_line_topology.node("bs-0"), 1e9
+            )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(control_interval_s=0.0)
+        with pytest.raises(ValueError):
+            FabricConfig(completion_tolerance_bytes=-1.0)
+
+
+class TestTcpFabricIntegration:
+    def test_tcp_flow_completes_and_is_slower_than_ideal(self, tiny_line_topology):
+        size = 2_500_000.0
+        sim_ideal = Simulator()
+        fabric_ideal = FabricSimulator(sim_ideal, tiny_line_topology, IdealMaxMinTransport())
+        ideal_flow = fabric_ideal.start_flow(
+            tiny_line_topology.node("ucl-0"), tiny_line_topology.node("bs-0"), size
+        )
+        sim_ideal.run(until=30.0)
+
+        from repro.network.tree import build_tree_topology, TreeTopologyConfig
+
+        # A fresh copy of the topology so link state does not leak between runs.
+        sim_tcp = Simulator()
+        topo2_cfg = TreeTopologyConfig(
+            base_bandwidth_bps=100 * MBPS, num_agg=1, racks_per_agg=1, hosts_per_rack=1, num_clients=1
+        )
+        topo2 = build_tree_topology(topo2_cfg)
+        fabric_tcp = FabricSimulator(sim_tcp, topo2, TcpTransport())
+        tcp_flow = fabric_tcp.start_flow(topo2.clients()[0], topo2.hosts()[0], size)
+        sim_tcp.run(until=60.0)
+
+        assert ideal_flow.state is FlowState.FINISHED
+        assert tcp_flow.state is FlowState.FINISHED
+        # Slow start means TCP takes strictly longer than the fluid optimum.
+        assert tcp_flow.fct > ideal_flow.fct

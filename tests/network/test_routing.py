@@ -1,0 +1,143 @@
+"""Tests for routing."""
+
+import pytest
+
+from repro.network.fattree import build_fat_tree
+from repro.network.routing import EcmpRouter, NoPathError, Router, WidestPathRouter
+from repro.network.topology import Topology
+
+MBPS = 1e6
+
+
+class TestShortestPathOnTree:
+    def test_path_between_hosts_in_same_rack(self, small_tree):
+        router = Router(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-0-0-1")
+        path = router.path(a, b)
+        assert [l.src.node_id for l in path] == ["bs-0-0-0", "tor-0-0"]
+        assert path[-1].dst.node_id == "bs-0-0-1"
+
+    def test_path_between_hosts_in_different_pods_goes_through_core(self, small_tree):
+        router = Router(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-1-1-0")
+        nodes = router.path_nodes(a, b)
+        assert "core" in nodes
+        assert len(nodes) == 7  # host-tor-agg-core-agg-tor-host
+
+    def test_path_to_self_is_empty(self, small_tree):
+        router = Router(small_tree)
+        a = small_tree.node("bs-0-0-0")
+        assert router.path(a, a) == []
+        assert router.path_nodes(a, a) == ["bs-0-0-0"]
+
+    def test_hop_count(self, small_tree):
+        router = Router(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-0-0-1")
+        assert router.hop_count(a, b) == 2
+
+    def test_base_rtt_sums_both_directions(self, small_tree, small_tree_config):
+        router = Router(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-0-0-1")
+        assert router.base_rtt(a, b) == pytest.approx(4 * small_tree_config.internal_delay_s)
+
+    def test_client_to_host_path(self, small_tree):
+        router = Router(small_tree)
+        client, host = small_tree.node("ucl-0"), small_tree.node("bs-1-0-1")
+        nodes = router.path_nodes(client, host)
+        assert nodes[0] == "ucl-0" and nodes[-1] == "bs-1-0-1"
+        assert "core" in nodes
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        a = topo.add_switch("a", 1)
+        b = topo.add_switch("b", 1)
+        # no links at all
+        with pytest.raises(NoPathError):
+            Router(topo).path(a, b)
+
+    def test_paths_are_cached_and_copied(self, small_tree):
+        router = Router(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-0-0-1")
+        p1 = router.path(a, b)
+        p1.append("garbage")
+        p2 = router.path(a, b)
+        assert p2[-1] != "garbage"
+
+
+class TestEcmp:
+    def test_single_path_on_tree(self, small_tree):
+        router = EcmpRouter(small_tree)
+        a, b = small_tree.node("bs-0-0-0"), small_tree.node("bs-1-0-0")
+        assert len(router.equal_cost_paths(a, b)) == 1
+
+    def test_multiple_paths_on_fat_tree(self):
+        topo = build_fat_tree(k=4, num_clients=1)
+        router = EcmpRouter(topo)
+        a, b = topo.node("bs-0-0-0"), topo.node("bs-1-0-0")
+        paths = router.equal_cost_paths(a, b)
+        assert len(paths) >= 2
+        lengths = {len(p) for p in paths}
+        assert len(lengths) == 1  # all equal cost
+
+    def test_path_for_flow_is_deterministic_per_key(self):
+        topo = build_fat_tree(k=4, num_clients=1)
+        router = EcmpRouter(topo)
+        a, b = topo.node("bs-0-0-0"), topo.node("bs-1-0-0")
+        p1 = router.path_for_flow(a, b, flow_key=7)
+        p2 = router.path_for_flow(a, b, flow_key=7)
+        assert [l.link_id for l in p1] == [l.link_id for l in p2]
+
+    def test_different_keys_can_use_different_paths(self):
+        topo = build_fat_tree(k=4, num_clients=1)
+        router = EcmpRouter(topo)
+        a, b = topo.node("bs-0-0-0"), topo.node("bs-1-0-0")
+        chosen = {
+            tuple(l.link_id for l in router.path_for_flow(a, b, key)) for key in range(16)
+        }
+        assert len(chosen) >= 2
+
+    def test_max_paths_validation(self, small_tree):
+        with pytest.raises(ValueError):
+            EcmpRouter(small_tree, max_paths=0)
+
+
+class TestWidestPath:
+    def test_widest_path_prefers_high_rate_links(self):
+        topo = Topology("diamond")
+        s = topo.add_switch("s", 1)
+        a = topo.add_switch("a", 2)
+        b = topo.add_switch("b", 2)
+        t = topo.add_switch("t", 3)
+        topo.add_duplex_link(s, a, 10 * MBPS, 0.001)
+        topo.add_duplex_link(a, t, 10 * MBPS, 0.001)
+        topo.add_duplex_link(s, b, 100 * MBPS, 0.001)
+        topo.add_duplex_link(b, t, 100 * MBPS, 0.001)
+        router = WidestPathRouter(topo)
+        path, bottleneck = router.widest_path(s, t)
+        assert {l.dst.node_id for l in path} >= {"b", "t"}
+        assert bottleneck == pytest.approx(100 * MBPS)
+
+    def test_widest_path_uses_dynamic_rates(self):
+        topo = Topology("diamond")
+        s = topo.add_switch("s", 1)
+        a = topo.add_switch("a", 2)
+        b = topo.add_switch("b", 2)
+        t = topo.add_switch("t", 3)
+        topo.add_duplex_link(s, a, 100 * MBPS, 0.001)
+        topo.add_duplex_link(a, t, 100 * MBPS, 0.001)
+        topo.add_duplex_link(s, b, 100 * MBPS, 0.001)
+        topo.add_duplex_link(b, t, 100 * MBPS, 0.001)
+        # Pretend the b-branch is congested: its advertised rate is tiny.
+        rates = {}
+        for link in topo.links:
+            rates[link.link_id] = 1 * MBPS if "b" in (link.src.node_id, link.dst.node_id) else 50 * MBPS
+        router = WidestPathRouter(topo, rate_of_link=lambda l: rates[l.link_id])
+        path, bottleneck = router.widest_path(s, t)
+        assert all("b" not in (l.src.node_id, l.dst.node_id) for l in path)
+        assert bottleneck == pytest.approx(50 * MBPS)
+
+    def test_widest_path_to_self(self, small_tree):
+        router = WidestPathRouter(small_tree)
+        a = small_tree.node("bs-0-0-0")
+        path, bottleneck = router.widest_path(a, a)
+        assert path == [] and bottleneck == float("inf")

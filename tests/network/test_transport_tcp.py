@@ -1,0 +1,143 @@
+"""Tests for the flow-level TCP model."""
+
+import pytest
+
+from repro.network.fabric import FabricConfig, FabricSimulator
+from repro.network.flow import FlowState
+from repro.network.transport.tcp import TcpConfig, TcpTransport
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+def small_topo(bandwidth=100 * MBPS, delay=0.005):
+    cfg = TreeTopologyConfig(
+        base_bandwidth_bps=bandwidth,
+        num_agg=1,
+        racks_per_agg=1,
+        hosts_per_rack=2,
+        num_clients=2,
+        internal_delay_s=delay,
+        client_delay_s=delay,
+    )
+    return build_tree_topology(cfg)
+
+
+class TestTcpConfig:
+    def test_invalid_mss_raises(self):
+        with pytest.raises(ValueError):
+            TcpConfig(mss_bytes=0.0)
+
+    def test_invalid_backoff_raises(self):
+        with pytest.raises(ValueError):
+            TcpConfig(loss_backoff=1.5)
+
+    def test_initial_window_cannot_be_below_minimum(self):
+        with pytest.raises(ValueError):
+            TcpConfig(initial_window_segments=0.5, min_window_segments=1.0)
+
+
+class TestWindowDynamics:
+    def test_window_starts_at_initial_window(self):
+        topo = small_topo()
+        sim = Simulator()
+        transport = TcpTransport()
+        fabric = FabricSimulator(sim, topo, transport)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e8)
+        assert TcpTransport.window_of(flow) == pytest.approx(2 * 1460.0)
+        sim.run(until=0.001)
+
+    def test_window_grows_over_time_without_loss(self):
+        topo = small_topo()
+        sim = Simulator()
+        transport = TcpTransport()
+        fabric = FabricSimulator(sim, topo, transport)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e9)
+        sim.run(until=0.2)
+        early = TcpTransport.window_of(flow)
+        sim.run(until=0.8)
+        later = TcpTransport.window_of(flow)
+        assert later > early > 2 * 1460.0
+
+    def test_demand_tracks_window_over_rtt(self):
+        topo = small_topo()
+        sim = Simulator()
+        transport = TcpTransport()
+        fabric = FabricSimulator(sim, topo, transport)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e9)
+        sim.run(until=0.5)
+        window = TcpTransport.window_of(flow)
+        rtt = flow.rtt_estimate()
+        assert flow.demand_rate_bps == pytest.approx(window * 8.0 / rtt, rel=0.3)
+
+    def test_loss_halves_the_window(self):
+        # A tiny buffer forces overflow quickly once slow start overshoots.
+        cfg = TreeTopologyConfig(
+            base_bandwidth_bps=10 * MBPS,
+            num_agg=1,
+            racks_per_agg=1,
+            hosts_per_rack=1,
+            num_clients=1,
+            internal_delay_s=0.01,
+            client_delay_s=0.01,
+            buffer_ms=5.0,
+        )
+        topo = build_tree_topology(cfg)
+        sim = Simulator()
+        transport = TcpTransport()
+        fabric = FabricSimulator(sim, topo, transport)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e9)
+        sim.run(until=5.0)
+        assert TcpTransport.losses_of(flow) >= 1
+
+    def test_delivered_rate_never_exceeds_bottleneck(self):
+        topo = small_topo(bandwidth=50 * MBPS)
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topo, TcpTransport())
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e9)
+        max_seen = 0.0
+
+        def watch(now):
+            nonlocal max_seen
+            max_seen = max(max_seen, flow.current_rate_bps)
+
+        from repro.sim.timers import PeriodicTimer
+
+        PeriodicTimer(sim, 0.05, watch)
+        sim.run(until=3.0)
+        assert max_seen <= 50 * MBPS * 1.001
+
+    def test_two_flows_share_a_bottleneck_roughly_fairly(self):
+        topo = small_topo(bandwidth=50 * MBPS)
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topo, TcpTransport())
+        size = 20e6
+        f1 = fabric.start_flow(topo.clients()[0], topo.hosts()[0], size)
+        f2 = fabric.start_flow(topo.clients()[1], topo.hosts()[0], size)
+        sim.run(until=60.0)
+        assert f1.state is FlowState.FINISHED and f2.state is FlowState.FINISHED
+        # Same size, same path bottleneck: completion times within 50 % of each other.
+        assert abs(f1.fct - f2.fct) / max(f1.fct, f2.fct) < 0.5
+
+    def test_app_limit_caps_demand(self):
+        topo = small_topo()
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topo, TcpTransport())
+        flow = fabric.start_flow(
+            topo.clients()[0], topo.hosts()[0], 1e9, app_limit_bps=1 * MBPS
+        )
+        sim.run(until=2.0)
+        assert flow.demand_rate_bps <= 1 * MBPS * 1.001
+
+    def test_short_flow_fct_dominated_by_slow_start(self):
+        # A 100 KB flow over a 100 Mb/s path takes ~8 ms at line rate but needs
+        # several RTTs of window growth; with a 20 ms RTT the FCT is several
+        # times the ideal transfer time.
+        topo = small_topo(bandwidth=100 * MBPS, delay=0.005)
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topo, TcpTransport())
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 100_000.0)
+        sim.run(until=10.0)
+        ideal_time = 100_000 * 8 / (100 * MBPS)
+        assert flow.fct > 3 * ideal_time

@@ -1,0 +1,113 @@
+"""Tests for event primitives."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventState, Timeout
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, sim):
+        ev = sim.event("x")
+        assert ev.pending
+        assert not ev.triggered
+        assert not ev.cancelled
+
+    def test_succeed_triggers_and_stores_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_cancel_prevents_callbacks(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e))
+        ev.cancel()
+        assert ev.cancelled
+        assert seen == []
+
+    def test_cancel_after_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.cancel()
+
+    def test_cancel_twice_is_idempotent(self, sim):
+        ev = sim.event()
+        ev.cancel()
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_callback_added_after_trigger_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("done")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["done"]
+
+    def test_scheduled_time_records_trigger_time(self, sim):
+        ev = sim.timeout(2.5)
+        sim.run()
+        assert ev.scheduled_time == 2.5
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, sim):
+        ev = sim.timeout(1.5, value="hello")
+        fired = []
+        ev.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(1.5, "hello")]
+
+    def test_zero_delay_fires_at_current_time(self, sim):
+        ev = sim.timeout(0.0)
+        sim.run()
+        assert ev.triggered
+        assert sim.now == 0.0
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+
+class TestComposites:
+    def test_all_of_waits_for_every_child(self, sim):
+        e1, e2 = sim.timeout(1.0, "a"), sim.timeout(2.0, "b")
+        combo = sim.all_of([e1, e2])
+        sim.run(until=1.5)
+        assert not combo.triggered
+        sim.run()
+        assert combo.triggered
+        assert combo.value == ["a", "b"]
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        combo = sim.all_of([])
+        sim.run()
+        assert combo.triggered
+        assert combo.value == []
+
+    def test_any_of_fires_on_first_child(self, sim):
+        e1, e2 = sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")
+        combo = sim.any_of([e1, e2])
+        sim.run(until=1.0)
+        assert combo.triggered
+        assert combo.value is e2
+
+    def test_any_of_ignores_later_children(self, sim):
+        e1, e2 = sim.timeout(1.0), sim.timeout(2.0)
+        combo = sim.any_of([e1, e2])
+        sim.run()
+        assert combo.triggered  # and no error when the second child fires
+
+    def test_event_state_enum_values(self, sim):
+        ev = sim.event()
+        assert ev.state is EventState.PENDING
+        ev.succeed()
+        assert ev.state is EventState.TRIGGERED

@@ -1,0 +1,141 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+
+
+class TestBasicProcesses:
+    def test_process_advances_through_timeouts(self, sim):
+        trace = []
+
+        def worker(sim):
+            trace.append(("start", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("mid", sim.now))
+            yield 3.0  # plain numbers also work
+            trace.append(("end", sim.now))
+
+        sim.process(worker(sim))
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_process_return_value_becomes_event_value(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "result"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.triggered
+        assert proc.value == "result"
+
+    def test_process_receives_event_value_from_yield(self, sim):
+        seen = []
+
+        def worker(sim):
+            value = yield sim.timeout(1.0, value="payload")
+            seen.append(value)
+
+        sim.process(worker(sim))
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_waiting_on_another_process(self, sim):
+        trace = []
+
+        def child(sim):
+            yield sim.timeout(2.0)
+            return "child-done"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            trace.append((sim.now, result))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert trace == [(2.0, "child-done")]
+
+    def test_non_generator_raises_type_error(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+    def test_yielding_garbage_kills_the_process_with_type_error(self, sim):
+        def worker(sim):
+            yield "not an event"
+
+        proc = sim.process(worker(sim))
+        with pytest.raises(TypeError):
+            sim.run()
+        assert not proc.alive
+
+
+class TestInterruptAndKill:
+    def test_interrupt_raises_inside_generator(self, sim):
+        caught = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as exc:
+                caught.append(exc.cause)
+
+        proc = sim.process(worker(sim))
+        sim.call_at(1.0, lambda: proc.interrupt("too slow"))
+        sim.run()
+        assert caught == ["too slow"]
+
+    def test_kill_stops_the_process(self, sim):
+        progressed = []
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            progressed.append("should not happen")
+
+        proc = sim.process(worker(sim))
+        sim.call_at(0.5, proc.kill)
+        sim.run()
+        assert progressed == []
+        assert not proc.alive
+
+    def test_interrupt_after_completion_is_a_noop(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        proc.interrupt("late")  # must not raise
+        assert proc.triggered
+
+    def test_alive_reflects_process_state(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(worker(sim))
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+    def test_two_processes_interleave_deterministically(self, sim):
+        order = []
+
+        def worker(sim, name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                order.append((name, sim.now))
+
+        sim.process(worker(sim, "fast", 1.0))
+        sim.process(worker(sim, "slow", 1.5))
+        sim.run()
+        # At t=3.0 both are due; the slow worker scheduled its timeout earlier
+        # (at t=1.5, versus t=2.0 for the fast one) so it fires first.
+        assert order == [
+            ("fast", 1.0),
+            ("slow", 1.5),
+            ("fast", 2.0),
+            ("slow", 3.0),
+            ("fast", 3.0),
+            ("slow", 4.5),
+        ]

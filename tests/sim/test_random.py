@@ -1,0 +1,87 @@
+"""Tests for deterministic random streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStreams, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream_gives_identical_draws(self):
+        a = RandomStreams(7).stream("arrivals").random(10)
+        b = RandomStreams(7).stream("arrivals").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("arrivals").random(10)
+        b = streams.stream("sizes").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(10)
+        b = RandomStreams(2).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(3)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_creates_independent_child(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("worker")
+        a = parent.stream("x").random(5)
+        b = child.stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(42, "abc") == derive_seed(42, "abc")
+        assert derive_seed(42, "abc") != derive_seed(42, "abd")
+
+
+class TestConvenienceDraws:
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential("x", -1.0)
+
+    def test_pareto_mean_matches_configuration(self):
+        streams = RandomStreams(11)
+        draws = [streams.pareto("p", mean=1000.0, shape=2.5) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(1000.0, rel=0.1)
+
+    def test_pareto_shape_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).pareto("p", mean=10.0, shape=1.0)
+
+    def test_choice_returns_an_option(self):
+        streams = RandomStreams(3)
+        options = ["a", "b", "c"]
+        assert streams.choice("c", options) in options
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).choice("c", [])
+
+    def test_integers_within_range(self):
+        streams = RandomStreams(9)
+        draws = [streams.integers("i", 0, 5) for _ in range(100)]
+        assert all(0 <= d < 5 for d in draws)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_seed_is_always_a_valid_64bit_value(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=1e9),
+        shape=st.floats(min_value=1.05, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pareto_draws_never_fall_below_scale(self, mean, shape):
+        streams = RandomStreams(1)
+        scale = mean * (shape - 1.0) / shape
+        draw = streams.pareto("p", mean=mean, shape=shape)
+        assert draw >= scale * (1 - 1e-9)

@@ -1,0 +1,153 @@
+"""Tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_requests_within_capacity_grant_immediately(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2 = res.request(), res.request()
+        sim.run()
+        assert r1.triggered and r2.triggered
+        assert res.in_use == 2
+
+    def test_request_beyond_capacity_waits_for_release(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        sim.run()
+        assert first.triggered and not second.triggered
+        assert res.queue_length == 1
+        res.release()
+        sim.run()
+        assert second.triggered
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_available_counts_free_slots(self, sim):
+        res = Resource(sim, capacity=3)
+        res.request()
+        sim.run()
+        assert res.available == 2
+
+    def test_invalid_capacity_raises(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_cancelled_waiter_is_skipped(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiting_a = res.request()
+        waiting_b = res.request()
+        sim.run()
+        waiting_a.cancel()
+        res.release()
+        sim.run()
+        assert waiting_b.triggered
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_served_first(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        res.request(priority=0)
+        low = res.request(priority=5)
+        high = res.request(priority=1)
+        sim.run()
+        res.release()
+        sim.run()
+        assert high.triggered and not low.triggered
+
+    def test_fifo_within_equal_priority(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        res.request()
+        first = res.request(priority=2)
+        second = res.request(priority=2)
+        sim.run()
+        res.release()
+        sim.run()
+        assert first.triggered and not second.triggered
+
+
+class TestContainer:
+    def test_put_and_get_track_level(self, sim):
+        box = Container(sim, capacity=100.0, init=10.0)
+        box.put(20.0)
+        box.get(5.0)
+        sim.run()
+        assert box.level == pytest.approx(25.0)
+
+    def test_get_blocks_until_enough_available(self, sim):
+        box = Container(sim, capacity=100.0)
+        getter = box.get(30.0)
+        sim.run()
+        assert not getter.triggered
+        box.put(50.0)
+        sim.run()
+        assert getter.triggered
+        assert box.level == pytest.approx(20.0)
+
+    def test_put_blocks_when_capacity_exceeded(self, sim):
+        box = Container(sim, capacity=10.0, init=8.0)
+        putter = box.put(5.0)
+        sim.run()
+        assert not putter.triggered
+        box.get(4.0)
+        sim.run()
+        assert putter.triggered
+
+    def test_invalid_init_raises(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10.0, init=20.0)
+
+    def test_negative_amount_raises(self, sim):
+        box = Container(sim, capacity=10.0)
+        with pytest.raises(ValueError):
+            box.put(-1.0)
+
+
+class TestStore:
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        g1, g2 = store.get(), store.get()
+        sim.run()
+        assert (g1.value, g2.value) == ("a", "b")
+
+    def test_get_blocks_until_item_available(self, sim):
+        store = Store(sim)
+        getter = store.get()
+        sim.run()
+        assert not getter.triggered
+        store.put("late")
+        sim.run()
+        assert getter.triggered
+        assert getter.value == "late"
+
+    def test_bounded_store_blocks_puts(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("first")
+        blocked = store.put("second")
+        sim.run()
+        assert not blocked.triggered
+        store.get()
+        sim.run()
+        assert blocked.triggered
+
+    def test_len_and_items_snapshot(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        sim.run()
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+    def test_invalid_capacity_raises(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)

@@ -1,0 +1,51 @@
+"""Tests for periodic timers."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_fixed_interval(self, sim):
+        ticks = []
+        PeriodicTimer(sim, 1.0, lambda now: ticks.append(now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_at_overrides_first_tick(self, sim):
+        ticks = []
+        PeriodicTimer(sim, 2.0, lambda now: ticks.append(now), start_at=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_ticks(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda now: ticks.append(now))
+        sim.call_at(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.active
+
+    def test_stop_from_within_callback(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda now: (ticks.append(now), timer.stop()))
+        sim.run(until=10.0)
+        assert ticks == [1.0]
+
+    def test_tick_counter(self, sim):
+        timer = PeriodicTimer(sim, 0.5, lambda now: None)
+        sim.run(until=2.0)
+        assert timer.ticks == 4
+
+    def test_invalid_interval_raises(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda now: None)
+
+    def test_jitter_function_shifts_ticks(self, sim):
+        ticks = []
+        PeriodicTimer(sim, 1.0, lambda now: ticks.append(now), jitter_fn=lambda: 0.25)
+        sim.run(until=4.0)
+        assert ticks[0] == pytest.approx(1.0)
+        assert ticks[1] == pytest.approx(2.25)
+        assert ticks[2] == pytest.approx(3.5)

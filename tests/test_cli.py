@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("compare", "figure", "workload", "report"):
+            assert command in text
+
+
+class TestCompareCommand:
+    def test_compare_prints_headline_numbers(self, capsys):
+        code = main(["compare", "--scenario", "pareto", "--sim-time", "2.5", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean FCT" in out
+        assert "shape checks passed: True" in out
+
+    def test_compare_json_output_is_parseable(self, capsys):
+        code = main(["compare", "--scenario", "pareto", "--sim-time", "2.5", "--seed", "3", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["scenario"] == "pareto-poisson"
+        assert payload["summary"]["speedup_afct"] > 1.0
+
+
+class TestFigureCommand:
+    def test_unknown_figure_returns_error_code(self, capsys):
+        code = main(["figure", "fig99"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_table_and_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "fig18.json"
+        code = main(
+            ["figure", "fig18", "--sim-time", "2.5", "--seed", "3", "--plot", "--out", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig18" in out
+        payload = json.loads(out_file.read_text())
+        assert set(payload["series"]) == {"SCDA", "RandTCP"}
+
+
+class TestWorkloadCommand:
+    def test_workload_csv_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "workload.csv"
+        code = main(
+            ["workload", "--scenario", "video", "--sim-time", "3", "--seed", "2", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.workloads.traces import Workload
+
+        loaded = Workload.from_csv(out_file)
+        assert len(loaded) > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestReplayCommand:
+    def test_replay_round_trips_a_generated_workload(self, tmp_path, capsys):
+        csv_path = tmp_path / "trace.csv"
+        assert main(
+            ["workload", "--scenario", "pareto", "--sim-time", "2", "--seed", "5", "--out", str(csv_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["replay", str(csv_path), "--scenario", "pareto", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed" in out
+        assert "shape checks passed: True" in out
+
+
+class TestReportCommand:
+    def test_report_from_results_directory(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig07.json").write_text(
+            json.dumps(
+                {
+                    "summary": {
+                        "candidate_mean_fct_s": 0.3,
+                        "baseline_mean_fct_s": 1.0,
+                        "fct_reduction_fraction": 0.7,
+                        "cdf_dominance": 1.0,
+                    },
+                    "shape": {"all_passed": True},
+                }
+            )
+        )
+        out_md = tmp_path / "report.md"
+        code = main(["report", "--results-dir", str(results), "--out", str(out_md)])
+        assert code == 0
+        assert "| fig07 |" in out_md.read_text()
+
+    def test_report_missing_directory_errors(self, tmp_path, capsys):
+        code = main(["report", "--results-dir", str(tmp_path / "nope")])
+        assert code == 2

@@ -1,0 +1,136 @@
+"""Tests for size distributions and arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    BoundedParetoSize,
+    ConstantSize,
+    EmpiricalSize,
+    LognormalArrivals,
+    LognormalSize,
+    MixtureSize,
+    OnOffArrivals,
+    ParetoSize,
+    PoissonArrivals,
+    UniformSize,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestSizeDistributions:
+    def test_constant(self):
+        assert ConstantSize(100.0).sample(RNG) == 100.0
+        assert ConstantSize(100.0).mean() == 100.0
+        with pytest.raises(ValueError):
+            ConstantSize(0.0)
+
+    def test_uniform_bounds(self):
+        dist = UniformSize(10.0, 20.0)
+        draws = dist.sample_many(np.random.default_rng(0), 500)
+        assert draws.min() >= 10.0 and draws.max() <= 20.0
+        assert dist.mean() == 15.0
+        with pytest.raises(ValueError):
+            UniformSize(20.0, 10.0)
+
+    def test_pareto_mean_and_minimum(self):
+        dist = ParetoSize(mean_bytes=500 * 1024.0, shape=1.6)
+        draws = dist.sample_many(np.random.default_rng(1), 200_000)
+        assert draws.min() >= dist.scale_bytes * (1 - 1e-9)
+        # Heavy tail: the sample mean converges slowly; allow 15 %.
+        assert np.mean(draws) == pytest.approx(500 * 1024.0, rel=0.15)
+        with pytest.raises(ValueError):
+            ParetoSize(mean_bytes=1.0, shape=1.0)
+
+    def test_bounded_pareto_respects_bounds(self):
+        dist = BoundedParetoSize(1e3, 1e6, shape=1.2)
+        draws = dist.sample_many(np.random.default_rng(2), 10_000)
+        assert draws.min() >= 1e3 and draws.max() <= 1e6
+        assert 1e3 < dist.mean() < 1e6
+        with pytest.raises(ValueError):
+            BoundedParetoSize(1e6, 1e3, 1.2)
+
+    def test_lognormal_median_and_cap(self):
+        dist = LognormalSize(median_bytes=1e6, sigma=0.8, cap_bytes=5e6)
+        draws = dist.sample_many(np.random.default_rng(3), 50_000)
+        assert np.median(draws) == pytest.approx(1e6, rel=0.05)
+        assert draws.max() <= 5e6
+        with pytest.raises(ValueError):
+            LognormalSize(median_bytes=1e6, sigma=0.8, cap_bytes=1.0)
+
+    def test_mixture_mean_is_weighted(self):
+        dist = MixtureSize([ConstantSize(10.0), ConstantSize(100.0)], weights=[3.0, 1.0])
+        assert dist.mean() == pytest.approx(32.5)
+        draws = {dist.sample(np.random.default_rng(4)) for _ in range(20)}
+        assert draws <= {10.0, 100.0}
+        with pytest.raises(ValueError):
+            MixtureSize([ConstantSize(1.0)], weights=[1.0, 2.0])
+
+    def test_empirical_resamples_input(self):
+        dist = EmpiricalSize([5.0, 10.0, 15.0])
+        assert dist.sample(np.random.default_rng(5)) in (5.0, 10.0, 15.0)
+        assert dist.mean() == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            EmpiricalSize([])
+
+    @given(
+        mean=st.floats(min_value=1e3, max_value=1e8),
+        shape=st.floats(min_value=1.1, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pareto_draws_are_always_positive(self, mean, shape):
+        dist = ParetoSize(mean, shape)
+        draws = dist.sample_many(np.random.default_rng(0), 100)
+        assert np.all(draws > 0)
+
+    @given(
+        low=st.floats(min_value=1e2, max_value=1e5),
+        ratio=st.floats(min_value=2.0, max_value=1000.0),
+        shape=st.floats(min_value=0.5, max_value=2.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_pareto_always_within_bounds(self, low, ratio, shape):
+        dist = BoundedParetoSize(low, low * ratio, shape)
+        draws = dist.sample_many(np.random.default_rng(1), 200)
+        assert np.all(draws >= low * (1 - 1e-9))
+        assert np.all(draws <= low * ratio * (1 + 1e-9))
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_matches(self):
+        arrivals = PoissonArrivals(rate_per_s=50.0).arrival_times(np.random.default_rng(0), 200.0)
+        assert len(arrivals) == pytest.approx(50.0 * 200.0, rel=0.1)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.max() < 200.0
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).arrival_times(RNG, 0.0)
+
+    def test_lognormal_mean_interarrival(self):
+        arrivals = LognormalArrivals(mean_interarrival_s=0.1, sigma=1.0).arrival_times(
+            np.random.default_rng(1), 500.0
+        )
+        assert np.mean(np.diff(arrivals)) == pytest.approx(0.1, rel=0.15)
+
+    def test_lognormal_is_burstier_than_poisson(self):
+        rng = np.random.default_rng(2)
+        poisson = PoissonArrivals(10.0).arrival_times(rng, 500.0)
+        bursty = LognormalArrivals(0.1, sigma=1.5).arrival_times(rng, 500.0)
+        cv_poisson = np.std(np.diff(poisson)) / np.mean(np.diff(poisson))
+        cv_bursty = np.std(np.diff(bursty)) / np.mean(np.diff(bursty))
+        assert cv_bursty > cv_poisson
+
+    def test_onoff_produces_sorted_times_within_duration(self):
+        arrivals = OnOffArrivals(on_rate_per_s=100.0, mean_on_s=1.0, mean_off_s=2.0).arrival_times(
+            np.random.default_rng(3), 100.0
+        )
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.max() < 100.0
+        with pytest.raises(ValueError):
+            OnOffArrivals(0.0, 1.0, 1.0)

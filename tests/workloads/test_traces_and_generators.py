@@ -1,0 +1,192 @@
+"""Tests for the workload container and the three trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+from repro.workloads.datacenter_traces import DatacenterTraceConfig, generate_datacenter_workload
+from repro.workloads.pareto_poisson import ParetoPoissonConfig, generate_pareto_poisson_workload
+from repro.workloads.traces import FlowRequest, Operation, Workload
+from repro.workloads.video_traces import VideoTraceConfig, generate_video_workload
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+class TestWorkloadContainer:
+    def _requests(self):
+        return [
+            FlowRequest(2.0, 100.0, client_index=0),
+            FlowRequest(1.0, 200.0, client_index=1, flow_kind=FlowKind.CONTROL),
+            FlowRequest(3.0, 300.0, client_index=0, flow_kind=FlowKind.VIDEO),
+        ]
+
+    def test_requests_are_sorted_by_arrival(self):
+        workload = Workload(self._requests())
+        assert [r.arrival_time_s for r in workload] == [1.0, 2.0, 3.0]
+
+    def test_statistics(self):
+        workload = Workload(self._requests())
+        assert len(workload) == 3
+        assert workload.total_bytes == 600.0
+        assert workload.duration_s == 3.0
+        assert workload.mean_size_bytes() == pytest.approx(200.0)
+        summary = workload.summary()
+        assert summary["requests"] == 3.0
+        assert summary["max_size_bytes"] == 300.0
+
+    def test_counts_by_kind(self):
+        counts = Workload(self._requests()).counts_by_kind()
+        assert counts == {"data": 1, "control": 1, "video": 1}
+
+    def test_merge_and_filter(self):
+        a = Workload(self._requests())
+        b = Workload([FlowRequest(0.5, 50.0)])
+        merged = a.merge(b)
+        assert len(merged) == 4
+        assert merged[0].arrival_time_s == 0.5
+        only_video = merged.filtered(lambda r: r.flow_kind is FlowKind.VIDEO)
+        assert len(only_video) == 1
+
+    def test_csv_round_trip(self, tmp_path):
+        workload = Workload(self._requests(), name="test")
+        path = tmp_path / "workload.csv"
+        workload.to_csv(path)
+        loaded = Workload.from_csv(path)
+        assert len(loaded) == len(workload)
+        assert loaded[0].arrival_time_s == pytest.approx(workload[0].arrival_time_s)
+        assert loaded[0].flow_kind == workload[0].flow_kind
+        assert loaded[2].size_bytes == pytest.approx(workload[2].size_bytes)
+
+    def test_json_export(self, tmp_path):
+        workload = Workload(self._requests())
+        path = tmp_path / "workload.json"
+        workload.to_json(path)
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_invalid_request_raises(self):
+        with pytest.raises(ValueError):
+            FlowRequest(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            FlowRequest(1.0, 0.0)
+
+    def test_empty_workload_statistics(self):
+        workload = Workload([])
+        assert workload.duration_s == 0.0
+        assert workload.mean_size_bytes() == 0.0
+        assert workload.offered_load_bps() == 0.0
+
+
+class TestVideoTraces:
+    def test_control_flows_are_below_the_5kb_boundary(self):
+        cfg = VideoTraceConfig(duration_s=20.0, include_control_flows=True)
+        workload = generate_video_workload(cfg, seed=1)
+        controls = [r for r in workload if r.flow_kind is FlowKind.CONTROL]
+        videos = [r for r in workload if r.flow_kind is FlowKind.VIDEO]
+        assert controls and videos
+        assert all(r.size_bytes < 5 * KB for r in controls)
+        assert all(r.size_bytes >= 5 * KB for r in videos)
+
+    def test_videos_are_capped_at_30mb(self):
+        cfg = VideoTraceConfig(duration_s=60.0, video_arrival_rate_per_s=20.0)
+        workload = generate_video_workload(cfg, seed=2)
+        videos = [r for r in workload if r.flow_kind is FlowKind.VIDEO]
+        assert max(r.size_bytes for r in videos) <= cfg.video_cap_bytes
+
+    def test_without_control_flows_only_videos_remain(self):
+        cfg = VideoTraceConfig(duration_s=20.0, include_control_flows=False)
+        workload = generate_video_workload(cfg, seed=3)
+        assert all(r.flow_kind is FlowKind.VIDEO for r in workload)
+
+    def test_deterministic_per_seed(self):
+        cfg = VideoTraceConfig(duration_s=10.0)
+        a = generate_video_workload(cfg, seed=7)
+        b = generate_video_workload(cfg, seed=7)
+        assert len(a) == len(b)
+        assert [r.size_bytes for r in a] == [r.size_bytes for r in b]
+        c = generate_video_workload(cfg, seed=8)
+        assert [r.size_bytes for r in a] != [r.size_bytes for r in c]
+
+    def test_arrival_rate_roughly_matches_configuration(self):
+        cfg = VideoTraceConfig(duration_s=100.0, video_arrival_rate_per_s=10.0, include_control_flows=False)
+        workload = generate_video_workload(cfg, seed=4)
+        assert len(workload) == pytest.approx(1000, rel=0.2)
+
+    def test_client_indices_within_bounds(self):
+        cfg = VideoTraceConfig(duration_s=10.0, num_clients=4)
+        workload = generate_video_workload(cfg, seed=5)
+        assert all(0 <= r.client_index < 4 for r in workload)
+
+    def test_read_fraction_produces_reads(self):
+        cfg = VideoTraceConfig(duration_s=60.0, read_fraction=0.5)
+        workload = generate_video_workload(cfg, seed=6)
+        reads = [r for r in workload if r.operation is Operation.READ]
+        assert reads
+        assert all(r.content_ref for r in reads)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            VideoTraceConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            VideoTraceConfig(video_min_bytes=1.0)
+        with pytest.raises(ValueError):
+            VideoTraceConfig(read_fraction=2.0)
+
+
+class TestDatacenterTraces:
+    def test_sizes_span_mice_and_elephants(self):
+        cfg = DatacenterTraceConfig(duration_s=100.0, arrival_rate_per_s=50.0)
+        workload = generate_datacenter_workload(cfg, seed=1)
+        sizes = workload.sizes()
+        assert sizes.max() <= cfg.elephant_max_bytes
+        assert np.percentile(sizes, 40) < 500 * KB  # plenty of mice
+        assert sizes.max() > 1 * MB  # some elephants
+
+    def test_deterministic_per_seed(self):
+        cfg = DatacenterTraceConfig(duration_s=20.0)
+        a = generate_datacenter_workload(cfg, seed=3)
+        b = generate_datacenter_workload(cfg, seed=3)
+        assert [r.size_bytes for r in a] == [r.size_bytes for r in b]
+
+    def test_mice_fraction_extremes(self):
+        all_mice = generate_datacenter_workload(
+            DatacenterTraceConfig(duration_s=30.0, mice_fraction=1.0), seed=4
+        )
+        assert all_mice.sizes().max() <= DatacenterTraceConfig().elephant_min_bytes
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(mice_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatacenterTraceConfig(arrival_rate_per_s=0.0)
+
+
+class TestParetoPoisson:
+    def test_paper_parameters_reproduced(self):
+        cfg = ParetoPoissonConfig(duration_s=50.0, arrival_rate_per_s=200.0)
+        workload = generate_pareto_poisson_workload(cfg, seed=1)
+        # ~200 flows/s for 50 s.
+        assert len(workload) == pytest.approx(10_000, rel=0.1)
+        # Every request is a positive-size write.
+        assert workload.sizes().min() > 0
+
+    def test_mean_size_close_to_500kb(self):
+        cfg = ParetoPoissonConfig(duration_s=200.0, arrival_rate_per_s=100.0)
+        workload = generate_pareto_poisson_workload(cfg, seed=2)
+        assert workload.mean_size_bytes() == pytest.approx(500 * KB, rel=0.25)
+
+    def test_cap_limits_the_tail(self):
+        cfg = ParetoPoissonConfig(duration_s=30.0, cap_bytes=1 * MB)
+        workload = generate_pareto_poisson_workload(cfg, seed=3)
+        assert workload.sizes().max() <= 1 * MB
+
+    def test_all_requests_are_writes(self):
+        workload = generate_pareto_poisson_workload(ParetoPoissonConfig(duration_s=5.0), seed=4)
+        assert all(r.operation is Operation.WRITE for r in workload)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            ParetoPoissonConfig(pareto_shape=0.9)
+        with pytest.raises(ValueError):
+            ParetoPoissonConfig(cap_bytes=0.0)
