@@ -36,6 +36,7 @@ from repro.core.reservation import ReservationRegistry
 from repro.core.server_selection import SelectionMetrics, ServerSelector
 from repro.core.sla import MitigationAction, SlaMonitor
 from repro.network.flow import Flow
+from repro.network.incidence import IncidenceCache
 from repro.network.topology import Link, Node, Topology
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -141,13 +142,14 @@ class ScdaController:
         flows: List[Flow] = list(self.fabric.active_flows) if self.fabric is not None else []
         self.priority_manager.refresh(flows, now)
 
-        link_flows: Dict[str, List[Flow]] = {}
-        for flow in flows:
-            for link in flow.path:
-                link_flows.setdefault(link.link_id, []).append(flow)
+        # The fabric maintains the link→flows incidence incrementally; fall
+        # back to a one-shot build only when running detached from a fabric.
+        incidence = getattr(self.fabric, "incidence", None)
+        if incidence is None or not incidence.matches(flows):
+            incidence = IncidenceCache(flows)
 
         link_reservations = self.reservations.link_reservation_map(self.topology.links)
-        self.tree.run_round(link_flows, now, link_reservations)
+        self.tree.run_round(incidence, now, link_reservations)
         self._last_round_time = now
         self.rounds_run += 1
 

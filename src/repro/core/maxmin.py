@@ -215,12 +215,17 @@ class ScdaTree:
         ----------
         link_flows:
             ``link_id -> flows currently crossing that link`` (provided by the
-            controller from the fabric's active-flow set).
+            controller from the fabric's active-flow set), or an
+            :class:`~repro.network.incidence.IncidenceCache` — the fabric's
+            incrementally-maintained incidence — whose per-epoch map is used
+            directly instead of a freshly built dict.
         now:
             Current simulated time.
         link_reservations:
             Total explicitly reserved bandwidth per link id (Section IV-C).
         """
+        if hasattr(link_flows, "link_flows_map"):
+            link_flows = link_flows.link_flows_map()
         reservations = dict(link_reservations or {})
 
         def flows_on(link: Optional[Link]) -> Sequence[Flow]:

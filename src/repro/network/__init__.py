@@ -12,7 +12,10 @@ original paper:
   (Section IX: "SCDA with general network topologies").
 * :mod:`~repro.network.routing` — shortest-path and ECMP routing.
 * :mod:`~repro.network.flow` — flow objects with fluid byte progress.
-* :mod:`~repro.network.fluid` — max-min (water-filling) bandwidth shares.
+* :mod:`~repro.network.fluid` — max-min (water-filling) bandwidth shares,
+  with pure-Python and vectorized numpy backends behind one dispatch.
+* :mod:`~repro.network.incidence` — the shared, incrementally-maintained
+  link×flow incidence cache used by the allocator and the control round.
 * :mod:`~repro.network.fabric` — the event-driven fabric simulator that
   advances flows, integrates queues and invokes a transport model.
 * :mod:`~repro.network.transport` — transport models: flow-level TCP
@@ -27,6 +30,7 @@ from repro.network.leafspine import build_leaf_spine
 from repro.network.routing import Router, EcmpRouter
 from repro.network.flow import Flow, FlowState
 from repro.network.fluid import max_min_shares
+from repro.network.incidence import IncidenceCache
 from repro.network.fabric import FabricSimulator, FabricConfig
 
 __all__ = [
@@ -44,6 +48,7 @@ __all__ = [
     "Flow",
     "FlowState",
     "max_min_shares",
+    "IncidenceCache",
     "FabricSimulator",
     "FabricConfig",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.network.flow import Flow, FlowKind, FlowState
+from repro.network.incidence import IncidenceCache
 from repro.network.routing import Router
 from repro.network.topology import Link, Node, Topology
 from repro.sim.engine import Simulator
@@ -80,6 +81,10 @@ class FabricSimulator:
 
         self.active_flows: List[Flow] = []
         self.finished_flows: List[Flow] = []
+        #: link→flows incidence over the active set, updated incrementally on
+        #: every arrival/departure/reroute and shared with the water-filler
+        #: and the SCDA control round (instead of each re-deriving it).
+        self.incidence = IncidenceCache()
         self._last_advance = sim.now
         self._next_recompute_event = None
         self._next_tick_time = sim.now
@@ -105,7 +110,7 @@ class FabricSimulator:
 
     def flows_on_link(self, link: Link) -> List[Flow]:
         """Active flows whose path crosses ``link``."""
-        return [f for f in self.active_flows if f.uses_link(link)]
+        return list(self.incidence.link_flows_map().get(link.link_id, ()))
 
     # -- flow lifecycle --------------------------------------------------------------
     def start_flow(
@@ -152,6 +157,7 @@ class FabricSimulator:
         self._advance_to(now)
         flow.start(now)
         self.active_flows.append(flow)
+        self.incidence.add_flow(flow)
         self.transport.on_flow_start(flow, now)
         for callback in self._start_callbacks:
             callback(flow, now)
@@ -164,6 +170,7 @@ class FabricSimulator:
         self._advance_to(now)
         if flow in self.active_flows:
             self.active_flows.remove(flow)
+        self.incidence.remove_flow(flow)
         flow.abort(now)
         self.transport.on_flow_finish(flow, now)
         self._recompute(now)
@@ -174,8 +181,10 @@ class FabricSimulator:
             raise RuntimeError(f"cannot reroute non-active flow {flow.flow_id}")
         now = self.sim.now
         self._advance_to(now)
+        self.incidence.remove_flow(flow)
         flow.path = list(new_path)
         flow.base_rtt_s = 2.0 * sum(l.delay_s for l in flow.path) if flow.path else 1e-4
+        self.incidence.add_flow(flow)
         self._recompute(now)
 
     # -- fluid advancement --------------------------------------------------------------
@@ -220,6 +229,7 @@ class FabricSimulator:
         flow.finish(now)
         if flow in self.active_flows:
             self.active_flows.remove(flow)
+        self.incidence.remove_flow(flow)
         self.finished_flows.append(flow)
         self.transport.on_flow_finish(flow, now)
         for callback in self._finish_callbacks:

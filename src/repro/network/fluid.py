@@ -12,14 +12,47 @@ filling.  This serves three purposes:
 * weighted max-min for prioritized allocation (equation 6), where a flow with
   weight ``℘`` receives ``℘`` times the share of a weight-1 flow at its
   bottleneck.
+
+Two solver backends implement the same algorithm:
+
+* ``"python"`` — the reference pure-Python progressive filling below, O(L·F)
+  interpreter work per round; lowest constant overhead for small problems.
+* ``"numpy"`` — :mod:`repro.network.fluid_fast`, the same rounds as numpy
+  reductions over link×flow incidence arrays; 1-2 orders of magnitude faster
+  from a few hundred flows up.
+
+``solver="auto"`` (the default) picks by problem size, so every existing
+call site gets the fast path at scale without changes.  Passing the fabric's
+:class:`~repro.network.incidence.IncidenceCache` as ``cache`` additionally
+skips rebuilding the link→flows incidence when the flow set is unchanged
+since the last call.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.network.flow import Flow
+from repro.network.incidence import IncidenceCache
 from repro.network.topology import Link
+
+#: Below this many flows the pure-Python solver's lower constant overhead
+#: wins over numpy array setup (measured in benchmarks/; see docs/PERFORMANCE.md).
+AUTO_NUMPY_MIN_FLOWS = 192
+
+_NUMPY_AVAILABLE: Optional[bool] = None
+
+
+def _numpy_available() -> bool:
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:  # pragma: no cover - numpy is present in the supported envs
+            import numpy  # noqa: F401
+
+            _NUMPY_AVAILABLE = True
+        except ImportError:  # pragma: no cover - exercised only without numpy
+            _NUMPY_AVAILABLE = False
+    return _NUMPY_AVAILABLE
 
 
 def max_min_shares(
@@ -28,6 +61,8 @@ def max_min_shares(
     weights: Optional[Mapping[int, float]] = None,
     capacity_scale: float = 1.0,
     capacity_overrides: Optional[Mapping[str, float]] = None,
+    solver: str = "auto",
+    cache: Optional[IncidenceCache] = None,
 ) -> Dict[int, float]:
     """Compute (weighted) max-min fair rates for ``flows``.
 
@@ -48,6 +83,13 @@ def max_min_shares(
     capacity_overrides:
         Optional per-link capacity replacement keyed by ``link_id`` (used for
         reservation-adjusted capacities).
+    solver:
+        ``"auto"`` (default: numpy from :data:`AUTO_NUMPY_MIN_FLOWS` flows up,
+        pure Python below), ``"python"``, or ``"numpy"``.
+    cache:
+        Optional :class:`~repro.network.incidence.IncidenceCache` covering
+        exactly ``flows`` — reuses the link→flows incidence instead of
+        rebuilding it.  Ignored (with a full rebuild) when stale.
 
     Returns
     -------
@@ -59,9 +101,49 @@ def max_min_shares(
     Standard progressive-filling: repeatedly find the link whose fair share
     per unit weight is smallest, freeze the flows crossing it at that share,
     remove them, and continue.  Flows capped below their fair share are frozen
-    at their cap first.  Complexity is O(L·F) per round and at most
-    min(L, F) rounds — fine at the scale of these simulations.
+    at their cap first.  At most min(L, F) rounds; each round is O(L·F) in
+    the Python backend and O(nnz) vectorized in the numpy backend.
     """
+    if solver not in ("auto", "python", "numpy"):
+        raise ValueError(f"unknown solver {solver!r}; use 'auto', 'python' or 'numpy'")
+    if solver == "auto":
+        solver = (
+            "numpy"
+            if len(flows) >= AUTO_NUMPY_MIN_FLOWS and _numpy_available()
+            else "python"
+        )
+    if solver == "numpy":
+        if not _numpy_available():  # pragma: no cover - env without numpy
+            raise RuntimeError("solver='numpy' requested but numpy is not installed")
+        from repro.network.fluid_fast import max_min_shares_numpy
+
+        return max_min_shares_numpy(
+            flows,
+            demand_caps=demand_caps,
+            weights=weights,
+            capacity_scale=capacity_scale,
+            capacity_overrides=capacity_overrides,
+            cache=cache,
+        )
+    return _max_min_shares_python(
+        flows,
+        demand_caps=demand_caps,
+        weights=weights,
+        capacity_scale=capacity_scale,
+        capacity_overrides=capacity_overrides,
+        cache=cache,
+    )
+
+
+def _max_min_shares_python(
+    flows: Sequence[Flow],
+    demand_caps: Optional[Mapping[int, float]] = None,
+    weights: Optional[Mapping[int, float]] = None,
+    capacity_scale: float = 1.0,
+    capacity_overrides: Optional[Mapping[str, float]] = None,
+    cache: Optional[IncidenceCache] = None,
+) -> Dict[int, float]:
+    """The reference pure-Python progressive filling."""
     demand_caps = dict(demand_caps or {})
     weights = dict(weights or {})
 
@@ -82,22 +164,17 @@ def max_min_shares(
             cap = flow.app_limit_bps
         return max(0.0, float(cap))
 
-    # Remaining capacity per link and the unfrozen flows crossing it.
+    # Remaining capacity per link and the flows crossing it — reuse the
+    # fabric's incidence when it covers exactly this flow set.
+    link_flows, links_by_id = _incidence_for(flows, cache)
     link_capacity: Dict[str, float] = {}
-    link_flows: Dict[str, List[Flow]] = {}
-    links_by_id: Dict[str, Link] = {}
-    for flow in active:
-        for link in flow.path:
-            if link.link_id not in link_capacity:
-                base = (
-                    capacity_overrides[link.link_id]
-                    if capacity_overrides and link.link_id in capacity_overrides
-                    else link.capacity_bps
-                )
-                link_capacity[link.link_id] = max(0.0, base * capacity_scale)
-                link_flows[link.link_id] = []
-                links_by_id[link.link_id] = link
-            link_flows[link.link_id].append(flow)
+    for link_id, link in links_by_id.items():
+        base = (
+            capacity_overrides[link_id]
+            if capacity_overrides and link_id in capacity_overrides
+            else link.capacity_bps
+        )
+        link_capacity[link_id] = max(0.0, base * capacity_scale)
 
     unfrozen = {f.flow_id: f for f in active}
     frozen_rate: Dict[int, float] = {}
@@ -108,6 +185,21 @@ def max_min_shares(
             frozen_rate[flow.flow_id] = 0.0
             del unfrozen[flow.flow_id]
 
+    def live_share(flows_on_link: Sequence[Flow], capacity: float):
+        """Fair share per unit weight on a link, and its unfrozen flows.
+
+        Returns ``(None, ())`` when no unfrozen flow crosses the link.  The
+        remaining capacity subtracts what the already-frozen flows consume.
+        """
+        live = [f for f in flows_on_link if f.flow_id in unfrozen]
+        if not live:
+            return None, ()
+        weight_sum = sum(weight_of(f) for f in live)
+        remaining = capacity - sum(
+            frozen_rate[f.flow_id] for f in flows_on_link if f.flow_id in frozen_rate
+        )
+        return max(0.0, remaining) / weight_sum, live
+
     max_rounds = len(active) + len(link_capacity) + 1
     for _round in range(max_rounds):
         if not unfrozen:
@@ -115,16 +207,8 @@ def max_min_shares(
         # Fair share *per unit weight* on each still-relevant link.
         bottleneck_share = float("inf")
         for link_id, flows_on_link in link_flows.items():
-            live = [f for f in flows_on_link if f.flow_id in unfrozen]
-            if not live:
-                continue
-            weight_sum = sum(weight_of(f) for f in live)
-            remaining = link_capacity[link_id] - sum(
-                frozen_rate.get(f.flow_id, 0.0) for f in flows_on_link if f.flow_id in frozen_rate
-            )
-            remaining = max(0.0, remaining)
-            share = remaining / weight_sum
-            if share < bottleneck_share:
+            share, _live = live_share(flows_on_link, link_capacity[link_id])
+            if share is not None and share < bottleneck_share:
                 bottleneck_share = share
         if bottleneck_share == float("inf"):
             # No capacity constraint applies; every remaining flow takes its cap.
@@ -148,15 +232,9 @@ def max_min_shares(
         # Otherwise freeze the flows on (all) bottleneck links at their share.
         froze_any = False
         for link_id, flows_on_link in link_flows.items():
-            live = [f for f in flows_on_link if f.flow_id in unfrozen]
-            if not live:
+            share, live = live_share(flows_on_link, link_capacity[link_id])
+            if share is None:
                 continue
-            weight_sum = sum(weight_of(f) for f in live)
-            remaining = link_capacity[link_id] - sum(
-                frozen_rate.get(f.flow_id, 0.0) for f in flows_on_link if f.flow_id in frozen_rate
-            )
-            remaining = max(0.0, remaining)
-            share = remaining / weight_sum
             if share <= bottleneck_share + 1e-9:
                 for flow in live:
                     frozen_rate[flow.flow_id] = share * weight_of(flow)
@@ -171,27 +249,58 @@ def max_min_shares(
     return rates
 
 
+def _build_incidence(
+    flows: Iterable[Flow],
+) -> Tuple[Dict[str, List[Flow]], Dict[str, Link]]:
+    """One-shot ``link_id -> flows`` map and link table (no cache available)."""
+    link_flows: Dict[str, List[Flow]] = {}
+    links_by_id: Dict[str, Link] = {}
+    for flow in flows:
+        for link in flow.path:
+            bucket = link_flows.get(link.link_id)
+            if bucket is None:
+                bucket = link_flows[link.link_id] = []
+                links_by_id[link.link_id] = link
+            bucket.append(flow)
+    return link_flows, links_by_id
+
+
+def _incidence_for(
+    flows: Sequence[Flow], cache: Optional[IncidenceCache]
+) -> Tuple[Mapping[str, List[Flow]], Dict[str, Link]]:
+    """Shared incidence lookup: the cache when current, a fresh build otherwise."""
+    if cache is not None and cache.matches(flows):
+        return cache.link_flows_map(), {l.link_id: l for l in cache.links}
+    return _build_incidence(f for f in flows if f.path)
+
+
 def link_utilisation(
-    flows: Iterable[Flow], rates: Mapping[int, float]
+    flows: Sequence[Flow],
+    rates: Mapping[int, float],
+    cache: Optional[IncidenceCache] = None,
 ) -> Dict[str, float]:
     """Total allocated rate per link id under a given rate assignment."""
-    load: Dict[str, float] = {}
-    for flow in flows:
-        rate = rates.get(flow.flow_id, 0.0)
-        for link in flow.path:
-            load[link.link_id] = load.get(link.link_id, 0.0) + rate
-    return load
+    link_flows, _links = _incidence_for(flows, cache)
+    get = rates.get
+    return {
+        link_id: sum(get(f.flow_id, 0.0) for f in bucket)
+        for link_id, bucket in link_flows.items()
+    }
 
 
 def is_feasible(
-    flows: Sequence[Flow], rates: Mapping[int, float], tolerance: float = 1e-6
+    flows: Sequence[Flow],
+    rates: Mapping[int, float],
+    tolerance: float = 1e-6,
+    cache: Optional[IncidenceCache] = None,
 ) -> bool:
     """True if the assignment does not exceed any link capacity (within tol)."""
-    load = link_utilisation(flows, rates)
-    for flow in flows:
-        for link in flow.path:
-            if load.get(link.link_id, 0.0) > link.capacity_bps * (1.0 + tolerance):
-                return False
+    link_flows, links_by_id = _incidence_for(flows, cache)
+    get = rates.get
+    for link_id, bucket in link_flows.items():
+        load = sum(get(f.flow_id, 0.0) for f in bucket)
+        if load > links_by_id[link_id].capacity_bps * (1.0 + tolerance):
+            return False
     return True
 
 
@@ -200,6 +309,7 @@ def is_max_min_fair(
     rates: Mapping[int, float],
     demand_caps: Optional[Mapping[int, float]] = None,
     tolerance: float = 1e-6,
+    cache: Optional[IncidenceCache] = None,
 ) -> bool:
     """Check the max-min property: no flow can gain without hurting a smaller one.
 
@@ -207,12 +317,18 @@ def is_max_min_fair(
     demand cap or crosses at least one *saturated* link on which it has the
     largest rate (up to tolerance).
     """
-    if not is_feasible(flows, rates, tolerance):
-        return False
+    link_flows, _links = _incidence_for(flows, cache)
+    get = rates.get
+    load = {
+        link_id: sum(get(f.flow_id, 0.0) for f in bucket)
+        for link_id, bucket in link_flows.items()
+    }
+    for link_id, total in load.items():
+        if total > _links[link_id].capacity_bps * (1.0 + tolerance):
+            return False
     demand_caps = dict(demand_caps or {})
-    load = link_utilisation(flows, rates)
     for flow in flows:
-        rate = rates.get(flow.flow_id, 0.0)
+        rate = get(flow.flow_id, 0.0)
         cap = min(demand_caps.get(flow.flow_id, float("inf")), flow.app_limit_bps)
         if rate >= cap - tolerance * max(1.0, cap):
             continue
@@ -221,7 +337,7 @@ def is_max_min_fair(
             link_load = load.get(link.link_id, 0.0)
             if link_load >= link.capacity_bps * (1.0 - tolerance):
                 max_rate_on_link = max(
-                    rates.get(f.flow_id, 0.0) for f in flows if f.uses_link(link)
+                    get(f.flow_id, 0.0) for f in link_flows[link.link_id]
                 )
                 if rate >= max_rate_on_link - tolerance * max(1.0, max_rate_on_link):
                     bottlenecked = True

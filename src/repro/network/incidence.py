@@ -1,0 +1,220 @@
+"""The shared link×flow incidence cache.
+
+Every allocation-time computation — the water-filler, link utilisation,
+feasibility and fairness checks, and the SCDA control round — needs the same
+link→flows map, and before this module each of them re-derived it from
+scratch by walking ``flow.path`` for every active flow.  :class:`IncidenceCache`
+builds that map once per *flow-set epoch* and updates it incrementally on
+flow arrival, departure and reroute, so a control round touching F flows over
+L links costs O(path length) per membership change instead of O(L·F) per
+query.
+
+For the vectorized solver (:mod:`repro.network.fluid_fast`) the cache also
+materialises CSR-style index arrays (flow-major ``(flow, link)`` coordinate
+pairs plus per-link/per-flow lookup tables); the arrays are rebuilt lazily
+and only when the epoch has moved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.network.flow import Flow
+from repro.network.topology import Link
+
+
+class IncidenceArrays:
+    """Structural numpy views of one incidence epoch (see ``IncidenceCache.arrays``).
+
+    Attributes
+    ----------
+    flow_list:
+        Flows *with a non-empty path*, in cache insertion order; the array
+        index of a flow is its position in this list.
+    link_list:
+        Links in first-encounter order (walking flows in order, each path in
+        order) — the same order in which the pure-Python solver's
+        ``link_flows`` dict is populated, so per-link tie-breaking matches.
+    pair_flow / pair_link:
+        Flow-major COO coordinates: one entry per (flow, link) incidence.
+
+    Link capacities are *not* cached here: ``link.capacity_bps`` can change at
+    runtime (SLA bandwidth boosts mutate it in place) without bumping the
+    flow-set epoch, so the solver reads capacities fresh on every call.
+    """
+
+    __slots__ = ("flow_list", "link_list", "pair_flow", "pair_link")
+
+    def __init__(
+        self,
+        flow_list: List[Flow],
+        link_list: List[Link],
+        pair_flow,
+        pair_link,
+    ) -> None:
+        self.flow_list = flow_list
+        self.link_list = link_list
+        self.pair_flow = pair_flow
+        self.pair_link = pair_link
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flow_list)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_list)
+
+
+class IncidenceCache:
+    """Incrementally-maintained link→flows incidence for a set of active flows.
+
+    The cache is the single owner of "which flows cross which links".  Flow
+    membership changes bump :attr:`epoch`; derived structures (the link→flows
+    map, the numpy index arrays) are cached against the epoch and rebuilt
+    lazily when stale.
+
+    Paths are snapshotted on :meth:`add_flow` so that a reroute (which
+    mutates ``flow.path`` in place) cannot silently desynchronise the cache —
+    the fabric removes the flow, updates the path and re-adds it.
+    """
+
+    def __init__(self, flows: Iterable[Flow] = ()) -> None:
+        #: flow_id -> Flow, insertion ordered (the canonical flow order).
+        self._flows: Dict[int, Flow] = {}
+        #: flow_id -> snapshot (copy) of the path at add time.
+        self._paths: Dict[int, List[Link]] = {}
+        #: link_id -> Link, first-encounter ordered (the canonical link order).
+        self._links: Dict[str, Link] = {}
+        #: link_id -> {flow_id: Flow} (dict for O(1) removal, insertion ordered).
+        self._link_flows: Dict[str, Dict[int, Flow]] = {}
+        self.epoch = 0
+        self._map_epoch = -1
+        self._map_cache: Dict[str, List[Flow]] = {}
+        self._arrays_epoch = -1
+        self._arrays_cache: Optional[IncidenceArrays] = None
+        for flow in flows:
+            self.add_flow(flow)
+
+    # -- membership --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, flow: Flow) -> bool:
+        return flow.flow_id in self._flows
+
+    @property
+    def flows(self) -> List[Flow]:
+        """All cached flows in insertion order."""
+        return list(self._flows.values())
+
+    @property
+    def links(self) -> List[Link]:
+        """All links crossed by at least one cached flow at some point."""
+        return list(self._links.values())
+
+    def link_of(self, link_id: str) -> Optional[Link]:
+        return self._links.get(link_id)
+
+    def add_flow(self, flow: Flow) -> None:
+        """Register ``flow`` (its current path is snapshotted)."""
+        if flow.flow_id in self._flows:
+            return
+        self._flows[flow.flow_id] = flow
+        path = list(flow.path)
+        self._paths[flow.flow_id] = path
+        for link in path:
+            bucket = self._link_flows.get(link.link_id)
+            if bucket is None:
+                self._links[link.link_id] = link
+                bucket = self._link_flows[link.link_id] = {}
+            bucket[flow.flow_id] = flow
+        self.epoch += 1
+
+    def remove_flow(self, flow: Flow) -> None:
+        """Forget ``flow`` (using the path snapshotted at add time)."""
+        if flow.flow_id not in self._flows:
+            return
+        del self._flows[flow.flow_id]
+        path = self._paths.pop(flow.flow_id, [])
+        for link in path:
+            bucket = self._link_flows.get(link.link_id)
+            if bucket is not None:
+                bucket.pop(flow.flow_id, None)
+                if not bucket:
+                    del self._link_flows[link.link_id]
+                    del self._links[link.link_id]
+        self.epoch += 1
+
+    def clear(self) -> None:
+        self._flows.clear()
+        self._paths.clear()
+        self._links.clear()
+        self._link_flows.clear()
+        self.epoch += 1
+
+    def matches(self, flows: Sequence[Flow]) -> bool:
+        """True when ``flows`` is exactly the cached flow set (same paths).
+
+        O(nnz) identity comparisons — cheap insurance (well under the cost of
+        one solve) against a caller handing the solver a stale cache, e.g. a
+        flow list filtered or re-routed outside the fabric's notifications.
+        Paths are compared link by link, so even an equal-length ECMP reroute
+        done behind the cache's back is detected.
+        """
+        if len(flows) != len(self._flows):
+            return False
+        paths = self._paths
+        for flow in flows:
+            snap = paths.get(flow.flow_id)
+            # Link defines no __eq__, so list comparison is C-speed identity.
+            if snap is None or snap != flow.path:
+                return False
+        return True
+
+    # -- derived structures --------------------------------------------------------
+    def link_flows_map(self) -> Dict[str, List[Flow]]:
+        """``link_id -> [flows crossing it]`` for the current epoch (cached)."""
+        if self._map_epoch != self.epoch:
+            self._map_cache = {
+                link_id: list(bucket.values())
+                for link_id, bucket in self._link_flows.items()
+            }
+            self._map_epoch = self.epoch
+        return self._map_cache
+
+    def arrays(self) -> IncidenceArrays:
+        """CSR-style numpy index arrays for the current epoch (cached)."""
+        if self._arrays_epoch != self.epoch or self._arrays_cache is None:
+            self._arrays_cache = self._build_arrays()
+            self._arrays_epoch = self.epoch
+        return self._arrays_cache
+
+    def _build_arrays(self) -> IncidenceArrays:
+        import numpy as np
+
+        flow_list = [f for f in self._flows.values() if self._paths.get(f.flow_id)]
+        link_index: Dict[str, int] = {}
+        link_list: List[Link] = []
+        pair_flow: List[int] = []
+        pair_link: List[int] = []
+        for fi, flow in enumerate(flow_list):
+            for link in self._paths[flow.flow_id]:
+                li = link_index.get(link.link_id)
+                if li is None:
+                    li = link_index[link.link_id] = len(link_list)
+                    link_list.append(link)
+                pair_flow.append(fi)
+                pair_link.append(li)
+        return IncidenceArrays(
+            flow_list=flow_list,
+            link_list=link_list,
+            pair_flow=np.asarray(pair_flow, dtype=np.intp),
+            pair_link=np.asarray(pair_link, dtype=np.intp),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<IncidenceCache flows={len(self._flows)} links={len(self._links)} "
+            f"epoch={self.epoch}>"
+        )

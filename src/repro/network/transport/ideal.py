@@ -27,7 +27,11 @@ class IdealMaxMinTransport(TransportModel):
         self.utilisation = float(utilisation)
 
     def update_rates(self, flows: Sequence[Flow], now: float) -> None:
-        rates = max_min_shares(flows, capacity_scale=self.utilisation)
+        rates = max_min_shares(
+            flows,
+            capacity_scale=self.utilisation,
+            cache=getattr(self.fabric, "incidence", None),
+        )
         for flow in flows:
             rate = rates[flow.flow_id]
             flow.demand_rate_bps = rate

@@ -49,16 +49,28 @@ class ScdaTransport(TransportModel):
         effective flow count can transiently oversubscribe a link — exactly
         the situation the ``βQ/d`` term of equation 2 corrects — and the
         physical network can of course never deliver more than capacity.
+    solver:
+        Water-filler backend for the capacity-enforcement pass
+        (``"auto"``/``"python"``/``"numpy"``, see
+        :func:`repro.network.fluid.max_min_shares`).  The attached fabric's
+        incidence cache is passed along, so at scale this runs vectorized
+        over the cached link×flow incidence.
     """
 
     name = "scda"
 
-    def __init__(self, provider: RateProvider, enforce_capacity: bool = True) -> None:
+    def __init__(
+        self,
+        provider: RateProvider,
+        enforce_capacity: bool = True,
+        solver: str = "auto",
+    ) -> None:
         super().__init__()
         if provider is None:
             raise ValueError("ScdaTransport requires a RateProvider")
         self.provider = provider
         self.enforce_capacity = bool(enforce_capacity)
+        self.solver = solver
 
     def on_flow_start(self, flow: Flow, now: float) -> None:
         self.provider.on_flow_start(flow, now)
@@ -79,7 +91,10 @@ class ScdaTransport(TransportModel):
             demands[flow.flow_id] = max(allocated, 0.0)
 
         if self.enforce_capacity:
-            delivered = max_min_shares(flows, demand_caps=demands)
+            cache = getattr(self.fabric, "incidence", None)
+            delivered = max_min_shares(
+                flows, demand_caps=demands, solver=self.solver, cache=cache
+            )
         else:
             delivered = demands
 

@@ -135,7 +135,9 @@ class TcpTransport(TransportModel):
             demands[flow.flow_id] = demand_bps
 
         # 3. The network delivers the max-min share of the offered demands.
-        delivered = max_min_shares(flows, demand_caps=demands)
+        delivered = max_min_shares(
+            flows, demand_caps=demands, cache=getattr(self.fabric, "incidence", None)
+        )
         for flow in flows:
             flow.demand_rate_bps = demands[flow.flow_id]
             flow.current_rate_bps = delivered[flow.flow_id]

@@ -4,6 +4,25 @@ The :class:`Simulator` owns the simulation clock and a binary-heap event
 queue.  Events scheduled at the same simulated time fire in FIFO order of
 scheduling (a monotone tie-break counter), which keeps runs fully
 deterministic.
+
+Two fast paths keep the hot loop lean at scale:
+
+* **Lazy-cancellation compaction** — ``heapq`` has no efficient removal, so a
+  cancelled event stays on the heap until popped.  Workloads that constantly
+  reschedule (the fabric cancels and re-arms its recompute timer on every
+  flow arrival) used to grow the heap without bound; the simulator now counts
+  cancelled residents and rebuilds the heap whenever they outnumber the live
+  ones, keeping heap size O(live events).
+* **Handle-free scheduling** — :meth:`call_at_fast` pushes a bare
+  ``(time, tick, fn, args)`` record instead of allocating an :class:`Event`
+  plus a closure.  It returns no handle and cannot be cancelled; hot periodic
+  timers that guard themselves with a flag (see
+  :class:`repro.sim.timers.PeriodicTimer`) use it to halve their per-tick
+  allocation cost.
+
+Heap records are ``(time, tick, event)`` for cancellable events and
+``(time, tick, None, fn, args)`` for fast records; the tick counter is unique
+so tuple comparison never reaches the third element.
 """
 
 from __future__ import annotations
@@ -13,6 +32,10 @@ import itertools
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+#: Compaction never triggers below this heap size — rebuilding a tiny heap
+#: costs more than carrying a few cancelled entries.
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -48,6 +71,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._event_count = 0
+        self._cancelled_in_heap = 0
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -59,6 +83,16 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired so far (useful for sanity checks)."""
         return self._event_count
+
+    @property
+    def pending_count(self) -> int:
+        """Live (non-cancelled) records currently on the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled residents included (compaction metric)."""
+        return len(self._heap)
 
     # -- event creation --------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -98,6 +132,30 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
+    def call_at_fast(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time`` with no cancellation handle.
+
+        Pushes a bare ``(time, tick, None, fn, args)`` record — no
+        :class:`Event`, no closure — so it is materially cheaper than
+        :meth:`call_at` on hot paths that schedule millions of timers.  The
+        record cannot be cancelled; callers that may need to abandon a
+        scheduled call must either use :meth:`call_at` or guard the callback
+        with their own liveness flag (the record then fires as a no-op).
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        if time < self._now:
+            time = self._now
+        heapq.heappush(self._heap, (time, next(self._counter), None, fn, args))
+
+    def call_in_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`call_at_fast` relative to the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.call_at_fast(self._now + delay, fn, *args)
+
     def process(self, generator) -> "Any":
         """Start a generator as a cooperative process.
 
@@ -116,27 +174,63 @@ class Simulator:
         heapq.heappush(self._heap, (time, next(self._counter), event))
 
     def _discard(self, event: Event) -> None:
-        """Lazy cancellation: cancelled events stay on the heap and are skipped."""
-        # heapq has no efficient removal; the run loop checks ``cancelled``.
-        return None
+        """Account a lazy cancellation; compact the heap when it is mostly dead.
+
+        ``heapq`` has no efficient removal, so cancelled events stay on the
+        heap and the run loop skips them.  Once cancelled residents outnumber
+        the live ones the whole heap is rebuilt without them, which bounds
+        heap growth to O(live) amortised — a workload scheduling and
+        cancelling N timers does O(N log N) total compaction work.
+        """
+        if event.scheduled_time is None:
+            return  # never placed on the heap (cancelled while PENDING)
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events."""
+        self._heap = [
+            rec for rec in self._heap if rec[2] is None or not rec[2].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     # -- execution ---------------------------------------------------------------
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         while self._heap:
-            time, _count, event = self._heap[0]
-            if event.cancelled:
+            rec = self._heap[0]
+            event = rec[2]
+            if event is not None and event.cancelled:
                 heapq.heappop(self._heap)
+                if self._cancelled_in_heap > 0:
+                    self._cancelled_in_heap -= 1
                 continue
-            return time
+            return rec[0]
         return None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         while self._heap:
-            time, _count, event = heapq.heappop(self._heap)
+            rec = heapq.heappop(self._heap)
+            event = rec[2]
+            if event is None:
+                time = rec[0]
+                if time < self._now - 1e-9:
+                    raise SimulationError("event heap corrupted: time went backwards")
+                self._now = time
+                self._event_count += 1
+                rec[3](*rec[4])
+                return True
             if event.cancelled:
+                if self._cancelled_in_heap > 0:
+                    self._cancelled_in_heap -= 1
                 continue
+            time = rec[0]
             if time < self._now - 1e-9:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = time
@@ -181,4 +275,4 @@ class Simulator:
         self._stopped = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Simulator t={self._now:g} pending={len(self._heap)}>"
+        return f"<Simulator t={self._now:g} pending={self.pending_count}>"

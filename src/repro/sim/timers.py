@@ -3,6 +3,20 @@
 The SCDA control plane re-computes rate allocations every control interval τ;
 :class:`PeriodicTimer` drives those re-computations (and any other recurring
 action such as metric sampling).
+
+Ticks are scheduled through the engine's handle-free fast path
+(:meth:`~repro.sim.engine.Simulator.call_at_fast`): every tick would
+otherwise allocate an :class:`~repro.sim.events.Event` plus a closure that is
+immediately consumed, which adds up for high-frequency monitors over long
+runs.  Cancellation is replaced by a generation counter — :meth:`stop` bumps
+the generation, so an already-scheduled tick record fires as a no-op.
+
+One observable consequence: the in-flight tick record of a stopped timer
+stays on the heap (at most one, at most one interval after the stop).  An
+*unbounded* ``run()`` that would otherwise drain the queue processes it as a
+no-op, i.e. the clock can come to rest up to one interval past the stop
+time.  Bounded runs (``run(until=...)``) and ``FabricSimulator.drain`` are
+unaffected.
 """
 
 from __future__ import annotations
@@ -44,8 +58,10 @@ class PeriodicTimer:
         self.jitter_fn = jitter_fn
         self._active = True
         self._ticks = 0
+        #: Bumped on stop(); a tick record carrying a stale generation is a no-op.
+        self._generation = 0
         first = sim.now + self.interval if start_at is None else max(start_at, sim.now)
-        self._pending = sim.call_at(first, self._tick)
+        sim.call_at_fast(first, self._tick, self._generation)
 
     @property
     def ticks(self) -> int:
@@ -58,14 +74,18 @@ class PeriodicTimer:
         return self._active
 
     def stop(self) -> None:
-        """Stop the timer; no further ticks will fire."""
-        self._active = False
-        if self._pending is not None and self._pending.pending:
-            self._pending.cancel()
-        self._pending = None
+        """Stop the timer; the callback never runs again.
 
-    def _tick(self) -> None:
-        if not self._active:
+        The already-scheduled tick record cannot be removed from the heap
+        (it has no handle); it fires as a no-op at its original time, which
+        an unbounded ``run()`` observes as the clock resting up to one
+        interval past the stop.
+        """
+        self._active = False
+        self._generation += 1
+
+    def _tick(self, generation: int) -> None:
+        if not self._active or generation != self._generation:
             return
         self._ticks += 1
         self.callback(self.sim.now)
@@ -74,4 +94,4 @@ class PeriodicTimer:
         delay = self.interval
         if self.jitter_fn is not None:
             delay = max(1e-9, delay + float(self.jitter_fn()))
-        self._pending = self.sim.call_in(delay, self._tick)
+        self.sim.call_in_fast(delay, self._tick, self._generation)

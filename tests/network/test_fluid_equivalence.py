@@ -1,0 +1,211 @@
+"""Equivalence of the numpy water-filler against the reference Python solver.
+
+Property tests over randomized topologies, flow sets, weights, demand caps,
+app limits, capacity scales and overrides: the two backends must agree within
+1e-9 relative on every flow, and both allocations must satisfy the max-min
+fairness property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flow import Flow
+from repro.network.fluid import is_feasible, is_max_min_fair, max_min_shares
+from repro.network.incidence import IncidenceCache
+from repro.network.routing import Router
+from repro.network.topology import Topology
+
+MBPS = 1e6
+
+
+def build_line(num_links, capacities):
+    topo = Topology("line")
+    nodes = [topo.add_switch(f"n{i}", level=1) for i in range(num_links + 1)]
+    for (a, b), cap in zip(zip(nodes, nodes[1:]), capacities):
+        topo.add_duplex_link(a, b, cap, 0.001)
+    return topo, nodes
+
+
+def random_scenario(num_flows, num_links, seed):
+    """A randomized line-topology scenario with mixed weights/caps/limits."""
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(10 * MBPS, 200 * MBPS, size=num_links)
+    topo, nodes = build_line(num_links, capacities)
+    router = Router(topo)
+    flows, caps, weights = [], {}, {}
+    for _ in range(num_flows):
+        i = int(rng.integers(0, num_links))
+        j = int(rng.integers(i + 1, num_links + 1))
+        kw = {}
+        if rng.random() < 0.4:
+            kw["priority_weight"] = float(rng.uniform(0.25, 4.0))
+        if rng.random() < 0.3:
+            kw["app_limit_bps"] = float(rng.uniform(1 * MBPS, 150 * MBPS))
+        f = Flow(nodes[i], nodes[j], 1e9, router.path(nodes[i], nodes[j]), **kw)
+        flows.append(f)
+        r = rng.random()
+        if r < 0.3:
+            caps[f.flow_id] = float(rng.uniform(0.5 * MBPS, 150 * MBPS))
+        elif r < 0.35:
+            caps[f.flow_id] = 0.0  # zero-cap flows freeze immediately
+        if rng.random() < 0.2:
+            weights[f.flow_id] = float(rng.uniform(0.5, 3.0))
+    return topo, flows, caps, weights
+
+
+def assert_allocations_close(a, b, rel=1e-9):
+    assert a.keys() == b.keys()
+    for flow_id in a:
+        tol = rel * max(1.0, abs(a[flow_id]))
+        assert abs(a[flow_id] - b[flow_id]) <= tol, (
+            f"flow {flow_id}: python={a[flow_id]!r} numpy={b[flow_id]!r}"
+        )
+
+
+class TestRandomizedEquivalence:
+    @given(
+        num_flows=st.integers(min_value=1, max_value=40),
+        num_links=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_solvers_agree_on_random_scenarios(self, num_flows, num_links, seed):
+        topo, flows, caps, weights = random_scenario(num_flows, num_links, seed)
+        py = max_min_shares(flows, demand_caps=caps, weights=weights, solver="python")
+        np_ = max_min_shares(flows, demand_caps=caps, weights=weights, solver="numpy")
+        assert_allocations_close(py, np_)
+        assert is_feasible(flows, py)
+        assert is_feasible(flows, np_)
+        # is_max_min_fair checks the *unweighted* property, so only assert it
+        # when every flow carries weight 1.
+        if not weights and all(f.priority_weight == 1.0 for f in flows):
+            assert is_max_min_fair(flows, py, demand_caps=caps)
+            assert is_max_min_fair(flows, np_, demand_caps=caps)
+
+    @given(
+        num_flows=st.integers(min_value=1, max_value=30),
+        num_links=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unweighted_numpy_allocations_are_max_min_fair(
+        self, num_flows, num_links, seed
+    ):
+        rng = np.random.default_rng(seed)
+        capacities = rng.uniform(10 * MBPS, 200 * MBPS, size=num_links)
+        topo, nodes = build_line(num_links, capacities)
+        router = Router(topo)
+        flows, caps = [], {}
+        for _ in range(num_flows):
+            i = int(rng.integers(0, num_links))
+            j = int(rng.integers(i + 1, num_links + 1))
+            f = Flow(nodes[i], nodes[j], 1e9, router.path(nodes[i], nodes[j]))
+            flows.append(f)
+            if rng.random() < 0.4:
+                caps[f.flow_id] = float(rng.uniform(0.5 * MBPS, 150 * MBPS))
+        for solver in ("python", "numpy"):
+            rates = max_min_shares(flows, demand_caps=caps, solver=solver)
+            assert is_feasible(flows, rates)
+            assert is_max_min_fair(flows, rates, demand_caps=caps)
+
+    @given(
+        num_flows=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.3, max_value=1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solvers_agree_under_capacity_scale_and_overrides(
+        self, num_flows, seed, scale
+    ):
+        topo, flows, caps, weights = random_scenario(num_flows, 4, seed)
+        rng = np.random.default_rng(seed + 1)
+        overrides = {
+            link.link_id: float(rng.uniform(5 * MBPS, 120 * MBPS))
+            for link in topo.links
+            if rng.random() < 0.5
+        }
+        kwargs = dict(
+            demand_caps=caps,
+            weights=weights,
+            capacity_scale=scale,
+            capacity_overrides=overrides,
+        )
+        py = max_min_shares(flows, solver="python", **kwargs)
+        np_ = max_min_shares(flows, solver="numpy", **kwargs)
+        assert_allocations_close(py, np_)
+
+    @given(
+        num_flows=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cached_incidence_gives_identical_results(self, num_flows, seed):
+        topo, flows, caps, weights = random_scenario(num_flows, 5, seed)
+        cache = IncidenceCache(flows)
+        fresh = max_min_shares(flows, demand_caps=caps, weights=weights, solver="numpy")
+        cached = max_min_shares(
+            flows, demand_caps=caps, weights=weights, solver="numpy", cache=cache
+        )
+        assert fresh == cached
+        py_cached = max_min_shares(
+            flows, demand_caps=caps, weights=weights, solver="python", cache=cache
+        )
+        assert_allocations_close(py_cached, cached)
+
+    @given(
+        num_flows=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_cache_updates_track_membership(self, num_flows, seed):
+        """Removing/re-adding flows through the cache matches a fresh solve."""
+        topo, flows, caps, _weights = random_scenario(num_flows, 4, seed)
+        cache = IncidenceCache(flows)
+        removed = flows[:: max(1, num_flows // 3)]
+        for f in removed:
+            cache.remove_flow(f)
+        remaining = [f for f in flows if f not in removed]
+        via_cache = max_min_shares(
+            remaining, demand_caps=caps, solver="numpy", cache=cache
+        )
+        fresh = max_min_shares(remaining, demand_caps=caps, solver="numpy")
+        assert via_cache == fresh
+
+
+class TestDispatch:
+    def test_auto_dispatches_to_numpy_at_scale(self):
+        from repro.network import fluid
+
+        topo, flows, caps, weights = random_scenario(
+            fluid.AUTO_NUMPY_MIN_FLOWS + 10, 4, seed=5
+        )
+        auto = max_min_shares(flows, demand_caps=caps, solver="auto")
+        explicit = max_min_shares(flows, demand_caps=caps, solver="numpy")
+        assert auto == explicit
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_shares([], solver="fortran")
+
+    def test_stale_cache_falls_back_to_rebuild(self):
+        topo, flows, caps, _w = random_scenario(10, 3, seed=9)
+        cache = IncidenceCache(flows[:5])  # does not cover the flow set
+        result = max_min_shares(flows, demand_caps=caps, solver="numpy", cache=cache)
+        fresh = max_min_shares(flows, demand_caps=caps, solver="numpy")
+        assert result == fresh
+
+    def test_non_positive_weight_raises_in_both_backends(self):
+        topo, flows, _caps, _w = random_scenario(3, 2, seed=1)
+        bad = {flows[0].flow_id: -1.0}
+        with pytest.raises(ValueError):
+            max_min_shares(flows, weights=bad, solver="python")
+        with pytest.raises(ValueError):
+            max_min_shares(flows, weights=bad, solver="numpy")
+
+    def test_empty_and_pathless_flows(self):
+        assert max_min_shares([], solver="numpy") == {}
+        topo, nodes = build_line(1, [100 * MBPS])
+        f = Flow(nodes[0], nodes[1], 1e9, [])
+        assert max_min_shares([f], solver="numpy") == {f.flow_id: 0.0}

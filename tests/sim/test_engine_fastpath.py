@@ -1,0 +1,148 @@
+"""Tests for the engine's lazy-cancellation compaction and handle-free fast path."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class TestHeapCompaction:
+    def test_schedule_and_cancel_100k_timers_keeps_heap_bounded(self):
+        """Regression: cancelled events used to stay on the heap until popped."""
+        sim = Simulator()
+        live = sim.call_at(1e9, lambda: None)  # one live far-future event
+        for i in range(100_000):
+            ev = sim.call_at(1.0 + i * 1e-6, lambda: None)
+            ev.cancel()
+            # The heap may transiently hold up to ~2x the live count plus the
+            # compaction floor, never the full cancelled backlog.
+            assert sim.heap_size <= 256
+        assert sim.pending_count == 1
+        assert live.pending
+
+    def test_compaction_preserves_live_event_order(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.call_at(float(t), lambda t=t: fired.append(t))
+        # Bury them under a pile of cancellations that forces compaction.
+        for i in range(1_000):
+            sim.call_at(100.0 + i, lambda: None).cancel()
+        assert sim.heap_size < 100
+        sim.run(until=10.0)
+        assert fired == [1, 2, 3, 4, 5]
+
+    def test_repeated_reschedule_pattern_stays_bounded(self):
+        """The fabric's cancel-and-rearm recompute pattern must not leak."""
+        sim = Simulator()
+        pending = None
+        for i in range(10_000):
+            if pending is not None and pending.pending:
+                pending.cancel()
+            pending = sim.call_at(1.0 + i * 1e-4, lambda: None)
+        assert sim.heap_size <= 256
+        assert sim.pending_count == 1
+
+    def test_cancelled_count_survives_peek_and_step(self):
+        sim = Simulator()
+        evs = [sim.call_at(float(t + 1), lambda: None) for t in range(10)]
+        for ev in evs[:5]:
+            ev.cancel()
+        assert sim.peek() == 6.0
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.heap_size == 0
+
+
+class TestCallAtFast:
+    def test_fires_with_args_at_the_right_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at_fast(2.0, lambda a, b: seen.append((sim.now, a, b)), 1, "x")
+        sim.run()
+        assert seen == [(2.0, 1, "x")]
+
+    def test_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.call_at_fast(1.0, lambda: None) is None
+
+    def test_interleaves_fifo_with_regular_events(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(1.0, lambda: order.append("event-a"))
+        sim.call_at_fast(1.0, lambda: order.append("fast-b"))
+        sim.call_at(1.0, lambda: order.append("event-c"))
+        sim.call_at_fast(1.0, lambda: order.append("fast-d"))
+        sim.run()
+        assert order == ["event-a", "fast-b", "event-c", "fast-d"]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at_fast(5.0, lambda: None)
+
+    def test_call_in_fast_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_in_fast(-0.5, lambda: None)
+
+    def test_counts_towards_events_processed(self):
+        sim = Simulator()
+        sim.call_at_fast(1.0, lambda: None)
+        sim.call_at_fast(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_chained_fast_calls(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 1000:
+                sim.call_in_fast(0.001, tick)
+
+        sim.call_in_fast(0.001, tick)
+        sim.run()
+        assert count[0] == 1000
+
+
+class TestPeriodicTimerFastPath:
+    def test_timer_does_not_allocate_cancellable_events(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 1.0, lambda now: ticks.append(now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        # Ticks ride the fast path: the heap holds a bare record, no Event.
+        assert sim._heap and sim._heap[0][2] is None
+
+    def test_stopped_timer_stale_record_is_a_noop(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda now: ticks.append(now))
+        sim.call_at(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.active
+
+    def test_unbounded_run_rests_at_most_one_interval_past_stop(self):
+        """Documented trade-off: the stale tick record advances the clock as a no-op."""
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 10.0, lambda now: None)
+        sim.call_at(12.0, timer.stop)  # tick at 10 fired; next record sits at 20
+        end = sim.run()
+        assert end == 20.0
+        assert timer.ticks == 1
+
+    def test_restart_semantics_via_generation(self):
+        """A stale tick from before stop() never fires even at the same time."""
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda now: ticks.append(now))
+        sim.call_at(1.5, timer.stop)
+        sim.run(until=5.0)
+        assert ticks == [1.0]
+        assert timer.ticks == 1
