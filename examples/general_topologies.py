@@ -2,111 +2,90 @@
 """SCDA on general (non-tree) datacenter fabrics — Section IX.
 
 SCDA's control plane only needs per-link rate computation plus a routing
-table, so it runs unchanged on multi-path fabrics.  This example builds a
-k=4 fat tree and a VL2-style Clos, runs the same storage workload under
+table, so it runs unchanged on multi-path fabrics.  This example is written
+entirely against the registry-driven scenario API (``docs/SCENARIOS.md``):
+each fabric is a string key on a declarative
+:class:`~repro.experiments.spec.ScenarioSpec`, and each scheme — RandTCP
+(the VL2/Hedera baseline), Hedera's elephant rerouting and SCDA — is a
+scheme-registry key, so it doubles as an end-to-end exercise of the plugin
+registries (it fails loudly if a registration breaks).
 
-* RandTCP with ECMP-style shortest-path hashing (the VL2/Hedera baseline),
-* Hedera's elephant rerouting on top of RandTCP, and
-* SCDA,
-
-and prints the mean FCT per fabric and scheme, plus the bottleneck rate the
-widest-path (max/min) route computation of Section IX finds for a sample pair
-of servers.
+It prints the mean FCT per fabric and scheme, plus the bottleneck rate the
+widest-path (max/min) route computation of Section IX finds for a sample
+pair of servers.
 
 Run it with::
 
-    python examples/general_topologies.py
+    python examples/general_topologies.py [--sim-time SECONDS]
 """
 
+import argparse
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np
-
-from repro.baselines import HederaConfig, HederaScheduler
-from repro.cluster.cluster import StorageCluster, StorageClusterConfig
-from repro.cluster.content import Content, ContentClass
-from repro.cluster.placement import RandomPlacement, ScdaPlacement
-from repro.core import ScdaController, ScdaControllerConfig
-from repro.network import FabricSimulator, build_fat_tree, build_vl2_topology
-from repro.network.routing import EcmpRouter, WidestPathRouter
-from repro.network.transport import ScdaTransport, TcpTransport
-from repro.sim import Simulator, RandomStreams
+from repro.experiments.runner import generate_workload, run_scheme
+from repro.experiments.spec import ScenarioSpec
+from repro.network.routing import WidestPathRouter
+from repro.registry import SCHEMES, TOPOLOGIES
 
 MB = 1024.0 * 1024.0
 GBPS = 1e9
 
-
-def run_storage_workload(topology_builder, scheme: str, seed: int = 5, hedera: bool = False):
-    sim = Simulator()
-    topology = topology_builder()
-    controller = None
-    if scheme == "scda":
-        controller = ScdaController(sim, topology, ScdaControllerConfig())
-        transport = ScdaTransport(controller)
-    else:
-        transport = TcpTransport()
-    router = EcmpRouter(topology)
-    fabric = FabricSimulator(sim, topology, transport, router=router)
-    if controller is not None:
-        controller.attach_fabric(fabric)
-        placement = ScdaPlacement(controller)
-    else:
-        placement = RandomPlacement(seed=seed)
-    cluster = StorageCluster(sim, topology, fabric, placement, config=StorageClusterConfig())
-
-    scheduler = None
-    if hedera:
-        scheduler = HederaScheduler(
-            fabric, router, HederaConfig(elephant_threshold_bytes=8 * MB, scheduling_interval_s=1.0)
-        )
-        scheduler.start()
-
-    rng = RandomStreams(seed).stream("workload")
-    clients = topology.clients()
-    t = 0.0
-    while t < 10.0:
-        t += float(rng.exponential(0.15))
-        if t >= 10.0:
-            break
-        client = clients[int(rng.integers(0, len(clients)))]
-        size = float(min(rng.lognormal(np.log(2 * MB), 1.0), 30 * MB))
-        content = Content.create(size, declared_class=ContentClass.LWHR)
-        sim.call_at(t, cluster.write, client, content)
-
-    sim.run(until=60.0)
-    if scheduler is not None:
-        scheduler.stop()
-    fcts = [r.completion_time for r in cluster.completed_requests() if r.completion_time]
-    return {
-        "mean_fct": float(np.mean(fcts)) if fcts else float("nan"),
-        "completed": len(fcts),
-        "reroutes": scheduler.reroutes if scheduler else 0,
-    }
+FABRICS = ("fattree", "vl2", "leafspine")
+SCHEME_KEYS = ("rand-tcp", "hedera", "scda")
 
 
-def main() -> int:
-    fabrics = {
-        "fat-tree k=4": lambda: build_fat_tree(k=4, num_clients=4),
-        "VL2 Clos": lambda: build_vl2_topology(num_clients=4),
-    }
-    for name, builder in fabrics.items():
-        print(f"=== {name} " + "=" * (50 - len(name)))
-        randtcp = run_storage_workload(builder, "randtcp")
-        hedera = run_storage_workload(builder, "randtcp", hedera=True)
-        scda = run_storage_workload(builder, "scda")
+def fabric_spec(topology: str, sim_time: float, seed: int = 5) -> ScenarioSpec:
+    """A small storage workload on the given registered fabric."""
+    return ScenarioSpec(
+        name=f"general-{topology}",
+        seed=seed,
+        sim_time_s=sim_time,
+        drain_time_s=50.0,
+        topology=topology,
+        workload="pareto-poisson",
+        workload_params={
+            "arrival_rate_per_s": 7.0,
+            "mean_size_bytes": 2 * MB,
+            "pareto_shape": 1.6,
+            "cap_bytes": 30 * MB,
+            "num_clients": 4,
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sim-time", type=float, default=10.0,
+                        help="seconds of workload per fabric and scheme")
+    args = parser.parse_args(argv)
+
+    # Resolving through the registries up front makes a broken registration
+    # fail immediately (and documents that these keys are the public API).
+    for key in FABRICS:
+        TOPOLOGIES.get(key)
+    for key in SCHEME_KEYS:
+        SCHEMES.get(key)
+
+    for topology in FABRICS:
+        spec = fabric_spec(topology, args.sim_time)
+        title = f"=== {topology} "
+        print(title + "=" * max(0, 56 - len(title)))
+        workload = generate_workload(spec)  # identical for every scheme
         print(f"{'scheme':24s}{'mean FCT (s)':>14s}{'completed':>12s}{'reroutes':>10s}")
-        print(f"{'RandTCP (ECMP)':24s}{randtcp['mean_fct']:>14.3f}{randtcp['completed']:>12d}{'-':>10s}")
-        print(f"{'RandTCP + Hedera':24s}{hedera['mean_fct']:>14.3f}{hedera['completed']:>12d}"
-              f"{hedera['reroutes']:>10d}")
-        print(f"{'SCDA':24s}{scda['mean_fct']:>14.3f}{scda['completed']:>12d}{'-':>10s}")
+        for scheme in SCHEME_KEYS:
+            result = run_scheme(spec, scheme, workload)
+            reroutes = result.extras.get("hedera_reroutes")
+            reroutes_s = f"{int(reroutes):d}" if reroutes is not None else "-"
+            print(f"{result.scheme:24s}{result.mean_fct_s():>14.3f}"
+                  f"{result.completed_flows:>12d}{reroutes_s:>10s}")
 
         # Section IX: widest-path (max/min) routing over the advertised rates.
-        topology = builder()
-        widest = WidestPathRouter(topology)
-        hosts = topology.hosts()
+        topo = spec.build_topology()
+        widest = WidestPathRouter(topo)
+        hosts = topo.hosts()
         path, bottleneck = widest.widest_path(hosts[0], hosts[-1])
         print(f"widest path {hosts[0].node_id} -> {hosts[-1].node_id}: "
               f"{len(path)} hops, bottleneck {bottleneck / GBPS:.1f} Gb/s")

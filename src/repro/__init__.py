@@ -21,6 +21,8 @@ flow-level datacenter simulator:
   Pareto/Poisson workload generators.
 * :mod:`repro.metrics` — FCT / AFCT / throughput / CDF / SLA metrics.
 * :mod:`repro.baselines` — RandTCP and related baseline schemes.
+* :mod:`repro.registry` — the plugin registries (topologies, workloads,
+  schemes, placements) behind the declarative scenario API.
 * :mod:`repro.experiments` — the harness that regenerates every figure of the
   paper's evaluation section.
 
@@ -30,6 +32,15 @@ Quickstart
 >>> cfg = ScenarioConfig.pareto_poisson(sim_time=20.0, seed=1)
 >>> result = run_comparison(cfg)
 >>> result.speedup_afct() > 1.0
+True
+
+Scenarios compose declaratively through the registries (see
+``docs/SCENARIOS.md``): any registered topology, workload and scheme can be
+combined by string key:
+
+>>> from repro.experiments import ScenarioSpec, run_scenario
+>>> spec = ScenarioSpec(topology="fattree", workload="datacenter", sim_time_s=5.0)
+>>> run_scenario(spec, schemes=("scda", "rand-tcp")).speedup_afct() > 1.0
 True
 """
 

@@ -24,10 +24,12 @@ from repro.baselines.schemes import (
     ROUND_ROBIN_TCP,
     LEAST_LOADED_TCP,
     SCDA_SIMPLIFIED,
+    VLB_TCP,
+    HEDERA_TCP,
     all_schemes,
 )
 from repro.baselines.hedera import HederaScheduler, HederaConfig
-from repro.baselines.vlb import vlb_path_choice, ecmp_path_choice
+from repro.baselines.vlb import VlbRouter, vlb_path_choice, ecmp_path_choice
 
 __all__ = [
     "SchemeSpec",
@@ -39,9 +41,12 @@ __all__ = [
     "ROUND_ROBIN_TCP",
     "LEAST_LOADED_TCP",
     "SCDA_SIMPLIFIED",
+    "VLB_TCP",
+    "HEDERA_TCP",
     "all_schemes",
     "HederaScheduler",
     "HederaConfig",
+    "VlbRouter",
     "vlb_path_choice",
     "ecmp_path_choice",
 ]

@@ -1,0 +1,97 @@
+"""Built-in scheme registrations (the "transports" axis of the evaluation).
+
+A scheme pairs a placement policy with a transport model (plus routing and
+optional Hedera rerouting); the registry maps short CLI-friendly keys onto
+the frozen :class:`~repro.baselines.schemes.SchemeSpec` constants, so
+``run_scenario(spec, schemes=("scda", "rand-tcp"))`` and
+``--candidate hedera`` resolve without touching the runner.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.schemes import (
+    HEDERA_TCP,
+    IDEAL_ORACLE,
+    LEAST_LOADED_TCP,
+    RAND_TCP,
+    RANDOM_SELECT_SCDA,
+    ROUND_ROBIN_TCP,
+    SCDA_SCHEME,
+    SCDA_SELECT_TCP,
+    SCDA_SIMPLIFIED,
+    SchemeSpec,
+    VLB_TCP,
+)
+from repro.registry import SCHEMES
+
+
+def _constant(spec: SchemeSpec):
+    """A builder returning the predefined (frozen) scheme spec."""
+
+    def build() -> SchemeSpec:
+        return spec
+
+    return build
+
+
+SCHEMES.register(
+    "scda",
+    _constant(SCDA_SCHEME),
+    description="the paper's system: SCDA selection + explicit-rate transport",
+)
+
+SCHEMES.register(
+    "rand-tcp",
+    _constant(RAND_TCP),
+    description="the paper's baseline: random selection + TCP (VL2/Hedera-class)",
+    aliases=("randtcp",),
+)
+
+SCHEMES.register(
+    "ideal",
+    _constant(IDEAL_ORACLE),
+    description="upper bound: least-loaded selection + instantaneous max-min rates",
+    aliases=("ideal-oracle", "oracle"),
+)
+
+SCHEMES.register(
+    "vlb",
+    _constant(VLB_TCP),
+    description="VL2's valiant load balancing: random bounce through an intermediate",
+)
+
+SCHEMES.register(
+    "hedera",
+    _constant(HEDERA_TCP),
+    description="hashed ECMP + central elephant-flow rerouting (NSDI 2010)",
+)
+
+SCHEMES.register(
+    "scda-select-tcp",
+    _constant(SCDA_SELECT_TCP),
+    description="ablation: SCDA's server selection but TCP rate control",
+)
+
+SCHEMES.register(
+    "random-select-scda",
+    _constant(RANDOM_SELECT_SCDA),
+    description="ablation: random selection but SCDA's explicit-rate transport",
+)
+
+SCHEMES.register(
+    "round-robin-tcp",
+    _constant(ROUND_ROBIN_TCP),
+    description="engineering baseline: round-robin selection + TCP",
+)
+
+SCHEMES.register(
+    "least-loaded-tcp",
+    _constant(LEAST_LOADED_TCP),
+    description="engineering baseline: least-loaded selection + TCP",
+)
+
+SCHEMES.register(
+    "scda-simplified",
+    _constant(SCDA_SIMPLIFIED),
+    description="SCDA with the simplified rate metric of equation 5",
+)

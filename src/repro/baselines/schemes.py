@@ -8,6 +8,7 @@ from typing import Dict, List
 
 PLACEMENTS = ("random", "scda", "round-robin", "least-loaded")
 TRANSPORTS = ("tcp", "scda", "ideal")
+ROUTINGS = ("auto", "shortest", "ecmp", "vlb")
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,13 @@ class SchemeSpec:
         Use the rate-per-watt selection variant (Section VII-D).
     simplified_metric:
         Use equation 5 instead of equations 2-4 in the RM/RA calculators.
+    routing:
+        Path selection: ``auto`` (shortest path on the tree, equal-cost
+        routing on multi-path fabrics), ``shortest``, ``ecmp`` (hash each
+        flow onto one of the equal-cost shortest paths) or ``vlb`` (bounce
+        through a random intermediate switch, VL2-style).
+    use_hedera:
+        Attach a Hedera elephant-rerouting scheduler to the fabric.
     """
 
     name: str
@@ -33,12 +41,22 @@ class SchemeSpec:
     transport: str
     power_aware: bool = False
     simplified_metric: bool = False
+    routing: str = "auto"
+    use_hedera: bool = False
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
-            raise ValueError(f"unknown placement {self.placement!r}; expected one of {PLACEMENTS}")
+            raise ValueError(
+                f"unknown placement {self.placement!r} (available: {', '.join(PLACEMENTS)})"
+            )
         if self.transport not in TRANSPORTS:
-            raise ValueError(f"unknown transport {self.transport!r}; expected one of {TRANSPORTS}")
+            raise ValueError(
+                f"unknown transport {self.transport!r} (available: {', '.join(TRANSPORTS)})"
+            )
+        if self.routing not in ROUTINGS:
+            raise ValueError(
+                f"unknown routing {self.routing!r} (available: {', '.join(ROUTINGS)})"
+            )
 
     @property
     def needs_controller(self) -> bool:
@@ -71,6 +89,16 @@ SCDA_SIMPLIFIED = SchemeSpec(
     "SCDA-simplified", placement="scda", transport="scda", simplified_metric=True
 )
 
+#: VL2's valiant load balancing: random placement + TCP, each flow bounced
+#: through a random intermediate switch.
+VLB_TCP = SchemeSpec("VLB+TCP", placement="random", transport="tcp", routing="vlb")
+
+#: Hedera: random placement + TCP over hashed ECMP, with the central
+#: elephant-rerouting scheduler attached.
+HEDERA_TCP = SchemeSpec(
+    "Hedera", placement="random", transport="tcp", routing="ecmp", use_hedera=True
+)
+
 
 def all_schemes() -> List[SchemeSpec]:
     """Every predefined scheme (useful for sweep-style benchmarks)."""
@@ -83,4 +111,6 @@ def all_schemes() -> List[SchemeSpec]:
         ROUND_ROBIN_TCP,
         LEAST_LOADED_TCP,
         SCDA_SIMPLIFIED,
+        VLB_TCP,
+        HEDERA_TCP,
     ]

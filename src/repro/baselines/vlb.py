@@ -43,9 +43,34 @@ def vlb_path_choice(
     pivot = intermediates[int(rng.integers(0, len(intermediates)))]
     first_leg = router.path(src, pivot)
     second_leg = router.path(pivot, dst)
-    # Avoid immediate hairpins: if the same link appears in both legs the
-    # direct path is just as random for our purposes.
+    # Avoid degenerate bounces (pivot coincides with an endpoint) and
+    # immediate hairpins: if the same link appears in both legs the direct
+    # path is just as random for our purposes.
     seen = {l.link_id for l in first_leg}
-    if any(l.link_id in seen for l in second_leg):
+    if not first_leg or not second_leg or any(l.link_id in seen for l in second_leg):
         return router.path(src, dst)
     return first_leg + second_leg
+
+
+class VlbRouter(EcmpRouter):
+    """Router that draws a fresh VLB route for every *new flow*.
+
+    Used by the ``vlb`` scheme: the fabric asks
+    :meth:`~repro.network.routing.Router.path_for_new_flow` exactly once per
+    flow start, and each call bounces through a uniformly random
+    intermediate switch (seeded, so runs stay reproducible).  ``path()``
+    remains the deterministic shortest path, so estimation callers such as
+    ``base_rtt`` neither consume RNG draws nor see a route the flow will
+    not take.
+    """
+
+    def __init__(self, topology, seed: int = 0, max_paths: int = 8) -> None:
+        super().__init__(topology, max_paths)
+        self._rng = np.random.default_rng(seed)
+        top = topology.max_level()
+        self._intermediates = [s for s in topology.switches() if s.level == top]
+
+    def path_for_new_flow(self, src: Node, dst: Node) -> Path:
+        if src.node_id == dst.node_id:
+            return []
+        return vlb_path_choice(self, src, dst, self._rng, self._intermediates)

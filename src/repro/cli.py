@@ -3,8 +3,14 @@
 Commands
 --------
 ``compare``
-    Run SCDA against RandTCP on one of the paper's scenarios and print the
-    headline numbers (optionally as JSON).
+    Run two schemes (default SCDA vs RandTCP) on a scenario — one of the
+    paper's named scenarios, optionally with the topology or workload swapped
+    by registry key (``--topology fattree``) — and print the headline numbers.
+``run``
+    Run a declarative scenario file (``repro run scenario.json``) produced by
+    :meth:`~repro.experiments.spec.ScenarioSpec.save`.
+``list-plugins``
+    Show every registered topology, workload, scheme and placement.
 ``figure``
     Regenerate one of the paper's figures (fig07..fig18) and print it as a
     table and/or an ASCII plot.
@@ -17,7 +23,9 @@ Commands
 
 The CLI only wraps the public library API, so everything it does can also be
 done programmatically; it exists to make quick experiments reproducible from
-a shell.
+a shell.  Scenario composition (topologies × workloads × schemes) is
+registry-driven — see ``docs/SCENARIOS.md`` for the plugin API and the
+scenario-file format.
 """
 
 from __future__ import annotations
@@ -49,35 +57,116 @@ def _scenario_from_name(name: str, sim_time: float, seed: int):
     raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
 
 
+def _scenario_spec(args: argparse.Namespace):
+    """The declarative spec for a command's scenario arguments.
+
+    Starts from the named paper scenario and swaps the topology and/or the
+    workload by registry key when ``--topology`` / ``--workload`` are given
+    (resetting the respective params to the plugin's defaults).
+    """
+    spec = _scenario_from_name(args.scenario, args.sim_time, args.seed).to_spec()
+    topology = getattr(args, "topology", None)
+    workload = getattr(args, "workload", None)
+    if topology:
+        spec = spec.with_topology(topology).with_overrides(name=f"{spec.name}+{topology}")
+    if workload:
+        spec = spec.with_workload(workload).with_overrides(name=f"{spec.name}+{workload}")
+    return spec
+
+
 def _add_common_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scenario", choices=SCENARIOS, default="pareto",
-                        help="which of the paper's scenarios to run")
+                        help="which of the paper's scenarios to start from")
     parser.add_argument("--sim-time", type=float, default=10.0,
                         help="seconds of workload to generate")
     parser.add_argument("--seed", type=int, default=1, help="workload random seed")
+    parser.add_argument("--topology", default=None, metavar="KEY",
+                        help="swap the fabric by registry key (e.g. fattree, vl2, "
+                             "leafspine); see 'list-plugins'")
+    parser.add_argument("--workload", default=None, metavar="KEY",
+                        help="swap the workload by registry key (e.g. datacenter); "
+                             "see 'list-plugins'")
+
+
+def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--candidate", default="scda", metavar="SCHEME",
+                        help="candidate scheme registry key (default: scda)")
+    parser.add_argument("--baseline", default="rand-tcp", metavar="SCHEME",
+                        help="baseline scheme registry key (default: rand-tcp)")
+
+
+def _print_comparison(scenario, comparison, shape, as_json: bool) -> None:
+    summary = comparison.summary()
+    if as_json:
+        payload = {"scenario": scenario.name, "summary": summary, "all_passed": shape.all_passed}
+        print(json.dumps(payload, indent=2, default=float))
+        return
+    candidate = comparison.candidate.scheme
+    baseline = comparison.baseline.scheme
+    print(f"scenario: {scenario.name} (topology={scenario.topology}, "
+          f"workload={scenario.workload}, sim_time={scenario.sim_time_s:g}s, "
+          f"seed={scenario.seed})")
+    print(f"  mean FCT       {baseline} {summary['baseline_mean_fct_s']:.3f}s"
+          f"   {candidate} {summary['candidate_mean_fct_s']:.3f}s"
+          f"   (-{100 * summary['fct_reduction_fraction']:.0f}%)")
+    print(f"  per-flow goodput  {baseline} {summary['baseline_mean_goodput_kBps']:.0f} KB/s"
+          f"   {candidate} {summary['candidate_mean_goodput_kBps']:.0f} KB/s")
+    print(f"  FCT CDF dominance: {100 * summary['cdf_dominance']:.0f}%"
+          f"   shape checks passed: {shape.all_passed}")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_comparison
+    from repro.experiments.runner import run_scenario
     from repro.experiments.shapes import check_comparison_shape
 
-    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
-    comparison = run_comparison(scenario)
-    summary = comparison.summary()
+    scenario = _scenario_spec(args)
+    comparison = run_scenario(scenario, schemes=(args.candidate, args.baseline))
     shape = check_comparison_shape(comparison)
-    if args.json:
-        payload = {"scenario": scenario.name, "summary": summary, "all_passed": shape.all_passed}
-        print(json.dumps(payload, indent=2, default=float))
-    else:
-        print(f"scenario: {scenario.name} (sim_time={scenario.sim_time_s:g}s, seed={scenario.seed})")
-        print(f"  mean FCT       RandTCP {summary['baseline_mean_fct_s']:.3f}s"
-              f"   SCDA {summary['candidate_mean_fct_s']:.3f}s"
-              f"   (-{100 * summary['fct_reduction_fraction']:.0f}%)")
-        print(f"  per-flow goodput  RandTCP {summary['baseline_mean_goodput_kBps']:.0f} KB/s"
-              f"   SCDA {summary['candidate_mean_goodput_kBps']:.0f} KB/s")
-        print(f"  FCT CDF dominance: {100 * summary['cdf_dominance']:.0f}%"
-              f"   shape checks passed: {shape.all_passed}")
+    _print_comparison(scenario, comparison, shape, args.json)
     return 0 if shape.all_passed else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.shapes import check_comparison_shape
+    from repro.experiments.spec import ScenarioSpec
+
+    try:
+        scenario = ScenarioSpec.load(args.scenario_file)
+    except (OSError, TypeError, ValueError) as exc:
+        print(f"cannot load scenario file {args.scenario_file!r}: {exc}", file=sys.stderr)
+        return 2
+    comparison = run_scenario(scenario, schemes=(args.candidate, args.baseline))
+    shape = check_comparison_shape(comparison)
+    _print_comparison(scenario, comparison, shape, args.json)
+    return 0 if shape.all_passed else 1
+
+
+def cmd_list_plugins(args: argparse.Namespace) -> int:
+    from repro.registry import ALL_REGISTRIES
+
+    if args.json:
+        payload = {
+            section: {
+                entry.name: {
+                    "description": entry.description,
+                    "aliases": list(entry.aliases),
+                    "config": entry.config_cls.__name__ if entry.config_cls else None,
+                }
+                for entry in registry.entries()
+            }
+            for section, registry in ALL_REGISTRIES
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for section, registry in ALL_REGISTRIES:
+        print(f"{section}:")
+        for entry in registry.entries():
+            aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+            config = f" [{entry.config_cls.__name__}]" if entry.config_cls else ""
+            print(f"  {entry.name:20s}{entry.description}{config}{aliases}")
+        print()
+    return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -125,7 +214,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_workload(args: argparse.Namespace) -> int:
     from repro.experiments.runner import generate_workload
 
-    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
+    scenario = _scenario_spec(args)
     workload = generate_workload(scenario)
     workload.to_csv(args.out)
     summary = workload.summary()
@@ -136,27 +225,24 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_comparison
+    from repro.experiments.runner import run_scheme
     from repro.experiments.shapes import check_comparison_shape
+    from repro.metrics.comparison import ComparisonResult
     from repro.workloads.traces import Workload
 
     workload = Workload.from_csv(args.workload)
-    scenario = _scenario_from_name(args.scenario, args.sim_time, args.seed)
+    scenario = _scenario_spec(args)
     # The replayed trace defines the arrivals; stretch the horizon to cover it.
     scenario = scenario.with_overrides(sim_time_s=max(scenario.sim_time_s, workload.duration_s + 1.0))
 
-    from repro.experiments.runner import run_scheme
-    from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
-    from repro.metrics.comparison import ComparisonResult
-
-    candidate = run_scheme(scenario, SCDA_SCHEME, workload)
-    baseline = run_scheme(scenario, RAND_TCP, workload)
+    candidate = run_scheme(scenario, args.candidate, workload)
+    baseline = run_scheme(scenario, args.baseline, workload)
     comparison = ComparisonResult(scenario=f"replay:{args.workload}", candidate=candidate, baseline=baseline)
     shape = check_comparison_shape(comparison)
     summary = comparison.summary()
     print(f"replayed {len(workload)} requests from {args.workload}")
-    print(f"  mean FCT   RandTCP {summary['baseline_mean_fct_s']:.3f}s"
-          f"   SCDA {summary['candidate_mean_fct_s']:.3f}s"
+    print(f"  mean FCT   {baseline.scheme} {summary['baseline_mean_fct_s']:.3f}s"
+          f"   {candidate.scheme} {summary['candidate_mean_fct_s']:.3f}s"
           f"   (-{100 * summary['fct_reduction_fraction']:.0f}%)")
     print(f"  shape checks passed: {shape.all_passed}")
     return 0 if shape.all_passed else 1
@@ -187,10 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    compare = subparsers.add_parser("compare", help="run SCDA vs RandTCP on a scenario")
+    compare = subparsers.add_parser("compare", help="run two schemes on a scenario")
     _add_common_scenario_args(compare)
+    _add_scheme_args(compare)
     compare.add_argument("--json", action="store_true", help="print machine-readable JSON")
     compare.set_defaults(func=cmd_compare)
+
+    run = subparsers.add_parser("run", help="run a declarative scenario JSON file")
+    run.add_argument("scenario_file", help="path to a ScenarioSpec JSON file")
+    _add_scheme_args(run)
+    run.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    run.set_defaults(func=cmd_run)
+
+    plugins = subparsers.add_parser(
+        "list-plugins", help="list registered topologies, workloads, schemes and placements"
+    )
+    plugins.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    plugins.set_defaults(func=cmd_list_plugins)
 
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("figure", help="figure id, e.g. fig09")
@@ -208,10 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
     workload.set_defaults(func=cmd_workload)
 
     replay = subparsers.add_parser(
-        "replay", help="replay a workload CSV through SCDA and RandTCP and compare"
+        "replay", help="replay a workload CSV through two schemes and compare"
     )
     replay.add_argument("workload", help="CSV produced by the 'workload' command (or any trace)")
     _add_common_scenario_args(replay)
+    _add_scheme_args(replay)
     replay.set_defaults(func=cmd_replay)
 
     report = subparsers.add_parser("report", help="render a markdown benchmark report")
@@ -225,9 +325,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.registry import RegistryError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

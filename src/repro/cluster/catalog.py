@@ -1,0 +1,65 @@
+"""Built-in placement-policy registrations.
+
+Placement builders follow the convention ``builder(context) ->
+PlacementPolicy`` where ``context`` is a
+:class:`~repro.cluster.placement.PlacementContext`; policies that need the
+fabric or the SCDA controller raise a :class:`~repro.registry.RegistryError`
+when the context lacks them.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.placement import (
+    LeastLoadedPlacement,
+    PlacementContext,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    ScdaPlacement,
+)
+from repro.registry import PLACEMENTS, RegistryError
+
+
+def _build_random(context: PlacementContext) -> PlacementPolicy:
+    return RandomPlacement(seed=context.seed)
+
+
+def _build_round_robin(context: PlacementContext) -> PlacementPolicy:
+    return RoundRobinPlacement()
+
+
+def _build_least_loaded(context: PlacementContext) -> PlacementPolicy:
+    if context.fabric is None:
+        raise RegistryError("placement 'least-loaded' requires a fabric in the context")
+    return LeastLoadedPlacement(context.fabric)
+
+
+def _build_scda(context: PlacementContext) -> PlacementPolicy:
+    if context.controller is None:
+        raise RegistryError("placement 'scda' requires an ScdaController in the context")
+    return ScdaPlacement(context.controller)
+
+
+PLACEMENTS.register(
+    "random",
+    _build_random,
+    description="uniform random server selection (the RandTCP baseline)",
+)
+
+PLACEMENTS.register(
+    "round-robin",
+    _build_round_robin,
+    description="cycle through the servers in order",
+)
+
+PLACEMENTS.register(
+    "least-loaded",
+    _build_least_loaded,
+    description="fewest active flows wins (needs the fabric)",
+)
+
+PLACEMENTS.register(
+    "scda",
+    _build_scda,
+    description="SCDA's content-aware RM/RA-driven selection (needs the controller)",
+)

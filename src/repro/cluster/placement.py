@@ -14,7 +14,8 @@ control):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,6 +24,21 @@ from repro.cluster.content import Content, ContentClass, ContentClassifier
 
 class PlacementError(Exception):
     """Raised when a policy cannot pick a server."""
+
+
+@dataclass
+class PlacementContext:
+    """Runtime handles a placement builder may need.
+
+    The placement registry's builders receive one of these instead of
+    positional arguments, so policies that need nothing (``round-robin``),
+    a seed (``random``), the fabric (``least-loaded``) or the controller
+    (``scda``) all share a single construction signature.
+    """
+
+    seed: int = 0
+    fabric: Any = None
+    controller: Any = None
 
 
 class PlacementPolicy:

@@ -1,10 +1,15 @@
 """Experiment harness: scenarios, the runner, and per-figure generators.
 
-* :mod:`~repro.experiments.config` — :class:`ScenarioConfig`, with named
-  constructors for every scenario of the paper's evaluation section.
+* :mod:`~repro.experiments.spec` — the declarative, registry-driven
+  :class:`ScenarioSpec` (string-keyed topology/workload plus typed params,
+  JSON round-trip for reproducible scenario files).
+* :mod:`~repro.experiments.config` — :class:`ScenarioConfig`, a typed shim
+  over the spec with named constructors for every scenario of the paper's
+  evaluation section.
 * :mod:`~repro.experiments.runner` — builds a full stack (topology, fabric,
   transport, controller, cluster, workload) for a scheme and runs it;
-  :func:`run_comparison` runs SCDA and RandTCP on the identical workload.
+  :func:`run_scenario` / :func:`run_comparison` run two schemes on the
+  identical workload.
 * :mod:`~repro.experiments.figures` — one generator per figure (7-18) that
   returns the plotted series.
 * :mod:`~repro.experiments.shapes` — qualitative shape checks (who wins, by
@@ -12,9 +17,12 @@
 """
 
 from repro.experiments.config import ScenarioConfig, WorkloadKind
+from repro.experiments.spec import ScenarioSpec, as_spec
 from repro.experiments.runner import (
     SchemeStack,
     build_stack,
+    resolve_scheme,
+    run_scenario,
     run_scheme,
     run_comparison,
 )
@@ -45,8 +53,12 @@ from repro.experiments.sweeps import (
 __all__ = [
     "ScenarioConfig",
     "WorkloadKind",
+    "ScenarioSpec",
+    "as_spec",
+    "resolve_scheme",
     "SchemeStack",
     "build_stack",
+    "run_scenario",
     "run_scheme",
     "run_comparison",
     "FigureData",

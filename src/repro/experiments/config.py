@@ -12,15 +12,21 @@ named constructors below encode the paper's parameters:
 The default durations are shorter than the paper's 100 s so the whole figure
 suite runs in minutes on a laptop; every constructor accepts overrides, and
 EXPERIMENTS.md records the settings actually used.
+
+``ScenarioConfig`` is now a typed convenience shim over the declarative,
+registry-driven :class:`~repro.experiments.spec.ScenarioSpec` (see
+``docs/SCENARIOS.md``): the runner converts every config through
+:meth:`ScenarioConfig.to_spec`, so both APIs produce identical results.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.core.rate_metric import ScdaParams
+from repro.experiments.spec import ScenarioSpec
 from repro.network.tree import TreeTopologyConfig
 from repro.workloads.datacenter_traces import DatacenterTraceConfig
 from repro.workloads.pareto_poisson import ParetoPoissonConfig
@@ -80,6 +86,51 @@ class ScenarioConfig:
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_spec(self) -> ScenarioSpec:
+        """The equivalent declarative :class:`~repro.experiments.spec.ScenarioSpec`.
+
+        ``ScenarioConfig`` is kept as a typed convenience shim; the runner
+        normalises every scenario through this conversion, so the config and
+        the spec produce bit-identical workloads, topologies and results.
+        """
+        from repro.registry import WORKLOADS
+
+        kind = (
+            self.workload_kind.value
+            if isinstance(self.workload_kind, WorkloadKind)
+            else str(self.workload_kind)
+        )
+        if kind in WORKLOADS:
+            # Resolve aliases ("pareto" -> "pareto-poisson") so the workload
+            # params below are looked up under the canonical key; unknown
+            # kinds pass through and fail at the registry with the full list.
+            kind = WORKLOADS.get(kind).name
+        workload_configs = {
+            WorkloadKind.VIDEO.value: self.video,
+            WorkloadKind.DATACENTER.value: self.datacenter,
+            WorkloadKind.PARETO_POISSON.value: self.pareto,
+        }
+        workload_config = workload_configs.get(kind)
+        scda = asdict(self.scda_params)
+        # The runner has always taken τ from the scenario, not from ScdaParams.
+        scda.pop("control_interval_s", None)
+        return ScenarioSpec(
+            name=self.name,
+            seed=self.seed,
+            sim_time_s=self.sim_time_s,
+            drain_time_s=self.drain_time_s,
+            topology="tree",
+            topology_params=asdict(self.topology),
+            workload=kind,
+            workload_params=asdict(workload_config) if workload_config is not None else {},
+            scda_params=scda,
+            control_interval_s=self.control_interval_s,
+            setup_rtts=self.setup_rtts,
+            replication_enabled=self.replication_enabled,
+            throughput_sample_interval_s=self.throughput_sample_interval_s,
+            scale_down_threshold_bps=self.scale_down_threshold_bps,
+        )
 
     # -- named scenarios (the paper's experiments) -----------------------------------------------
     @classmethod

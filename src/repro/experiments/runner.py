@@ -1,44 +1,56 @@
-"""Builds and runs a full stack for one scheme and one scenario."""
+"""Builds and runs a full stack for one scheme and one scenario.
+
+Everything here resolves through the plugin registries
+(:mod:`repro.registry`): the scenario's topology and workload are string
+keys on the :class:`~repro.experiments.spec.ScenarioSpec`, schemes may be
+given as registry keys (``"scda"``, ``"rand-tcp"``, ``"hedera"``, ...) or as
+:class:`~repro.baselines.schemes.SchemeSpec` objects, and placements are
+built by the placement registry.  :func:`run_scenario` is the declarative
+entry point; :func:`run_comparison` and :func:`run_scheme` remain for
+callers that hold scheme objects.  All of them also accept a legacy
+:class:`~repro.experiments.config.ScenarioConfig`, which is normalised via
+``to_spec()`` and produces bit-identical results.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
-import numpy as np
-
+from repro.baselines.hedera import HederaScheduler
 from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SchemeSpec
+from repro.baselines.vlb import VlbRouter
 from repro.cluster.cluster import StorageCluster, StorageClusterConfig
-from repro.cluster.content import Content, ContentClass
-from repro.cluster.placement import (
-    LeastLoadedPlacement,
-    PlacementPolicy,
-    RandomPlacement,
-    RoundRobinPlacement,
-    ScdaPlacement,
-)
+from repro.cluster.content import Content
+from repro.cluster.placement import PlacementContext, PlacementPolicy
 from repro.cluster.replication import ReplicationConfig
 from repro.core.controller import ScdaController, ScdaControllerConfig
-from repro.core.rate_metric import ScdaParams
-from repro.experiments.config import ScenarioConfig, WorkloadKind
+from repro.experiments.spec import ScenarioSpec, as_spec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.comparison import ComparisonResult, SchemeResult
 from repro.network.fabric import FabricConfig, FabricSimulator
 from repro.network.flow import FlowKind
+from repro.network.routing import EcmpRouter, HashingEcmpRouter, Router
 from repro.network.topology import Topology
 from repro.network.transport import (
     IdealMaxMinTransport,
     ScdaTransport,
     TcpTransport,
 )
-from repro.network.tree import build_tree_topology
+from repro.registry import PLACEMENTS, SCHEMES
 from repro.sim.engine import Simulator
-from repro.sim.random import RandomStreams, derive_seed
-from repro.workloads.datacenter_traces import generate_datacenter_workload
-from repro.workloads.pareto_poisson import generate_pareto_poisson_workload
+from repro.sim.random import derive_seed
 from repro.workloads.traces import FlowRequest, Operation, Workload
-from repro.workloads.video_traces import generate_video_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ScenarioConfig
+
+#: A scenario in any accepted form: declarative spec, legacy config, or dict.
+ScenarioLike = Union[ScenarioSpec, "ScenarioConfig", Mapping[str, Any]]
+
+#: A scheme as a registry key or a full spec object.
+SchemeLike = Union[str, SchemeSpec]
 
 
 @dataclass
@@ -46,6 +58,7 @@ class SchemeStack:
     """Everything built for one scheme run."""
 
     spec: SchemeSpec
+    scenario: ScenarioSpec
     sim: Simulator
     topology: Topology
     fabric: FabricSimulator
@@ -53,78 +66,100 @@ class SchemeStack:
     collector: MetricsCollector
     controller: Optional[ScdaController] = None
     placement: Optional[PlacementPolicy] = None
+    router: Optional[Router] = None
+    hedera: Optional[HederaScheduler] = None
 
 
-def generate_workload(config: ScenarioConfig) -> Workload:
-    """The scenario's workload (identical for every scheme, keyed by the seed)."""
-    if config.workload_kind is WorkloadKind.VIDEO:
-        return generate_video_workload(config.video, seed=config.seed)
-    if config.workload_kind is WorkloadKind.DATACENTER:
-        return generate_datacenter_workload(config.datacenter, seed=config.seed)
-    if config.workload_kind is WorkloadKind.PARETO_POISSON:
-        return generate_pareto_poisson_workload(config.pareto, seed=config.seed)
-    raise ValueError(f"unknown workload kind {config.workload_kind!r}")
+def resolve_scheme(scheme: SchemeLike) -> SchemeSpec:
+    """A :class:`SchemeSpec` from a registry key (or pass a spec through)."""
+    if isinstance(scheme, SchemeSpec):
+        return scheme
+    return SCHEMES.build(scheme)
 
 
-def build_stack(config: ScenarioConfig, spec: SchemeSpec) -> SchemeStack:
+def generate_workload(scenario: ScenarioLike) -> Workload:
+    """The scenario's workload (identical for every scheme, keyed by the seed).
+
+    The generator is resolved through the workload registry, so an unknown
+    kind fails with a message listing the registered names.
+    """
+    return as_spec(scenario).build_workload()
+
+
+def _build_router(
+    scheme: SchemeSpec, scenario: ScenarioSpec, topology: Topology
+) -> Router:
+    """Path selection for this (scheme, scenario) pair.
+
+    ``auto`` keeps the historical behaviour: plain shortest path on the
+    single-path tree, equal-cost routing on multi-path fabrics.
+    """
+    routing = scheme.routing
+    if routing == "auto":
+        routing = "shortest" if scenario.topology == "tree" else "ecmp-plain"
+    if routing == "shortest":
+        return Router(topology)
+    if routing == "ecmp-plain":
+        return EcmpRouter(topology)
+    if routing == "ecmp":
+        return HashingEcmpRouter(topology)
+    if routing == "vlb":
+        return VlbRouter(topology, seed=derive_seed(scenario.seed, f"vlb:{scheme.name}"))
+    raise ValueError(f"unknown routing {routing!r}")  # pragma: no cover - SchemeSpec validates
+
+
+def build_stack(scenario: ScenarioLike, scheme: SchemeLike) -> SchemeStack:
     """Instantiate the simulator, network, control plane and cluster for a scheme."""
+    spec = as_spec(scenario)
+    scheme = resolve_scheme(scheme)
     sim = Simulator()
-    topology = build_tree_topology(config.topology)
+    topology = spec.build_topology()
+    router = _build_router(scheme, spec, topology)
 
-    scda_params = ScdaParams(
-        alpha=config.scda_params.alpha,
-        beta=config.scda_params.beta,
-        control_interval_s=config.control_interval_s,
-        drain_time_s=config.scda_params.drain_time_s,
-        min_rate_bps=config.scda_params.min_rate_bps,
-    )
+    scda_params = spec.build_scda_params()
 
     controller: Optional[ScdaController] = None
-    if spec.needs_controller:
+    if scheme.needs_controller:
         controller = ScdaController(
             sim,
             topology,
             ScdaControllerConfig(
                 params=scda_params,
-                scale_down_threshold_bps=config.scale_down_threshold_bps,
-                power_aware_selection=spec.power_aware,
-                use_simplified_metric=spec.simplified_metric,
+                scale_down_threshold_bps=spec.scale_down_threshold_bps,
+                power_aware_selection=scheme.power_aware,
+                use_simplified_metric=scheme.simplified_metric,
             ),
         )
 
-    if spec.transport == "tcp":
+    if scheme.transport == "tcp":
         transport = TcpTransport()
-    elif spec.transport == "scda":
+    elif scheme.transport == "scda":
         if controller is None:  # pragma: no cover - defensive, needs_controller covers it
             raise ValueError("SCDA transport requires a controller")
         transport = ScdaTransport(controller)
-    elif spec.transport == "ideal":
+    elif scheme.transport == "ideal":
         transport = IdealMaxMinTransport()
     else:  # pragma: no cover - SchemeSpec validates
-        raise ValueError(f"unknown transport {spec.transport!r}")
+        raise ValueError(f"unknown transport {scheme.transport!r}")
 
     fabric = FabricSimulator(
         sim,
         topology,
         transport,
-        config=FabricConfig(control_interval_s=config.control_interval_s),
+        router=router,
+        config=FabricConfig(control_interval_s=spec.control_interval_s),
     )
     if controller is not None:
         controller.attach_fabric(fabric)
 
-    placement_seed = derive_seed(config.seed, f"placement:{spec.name}")
-    if spec.placement == "random":
-        placement: PlacementPolicy = RandomPlacement(seed=placement_seed)
-    elif spec.placement == "scda":
-        if controller is None:  # pragma: no cover - defensive
-            raise ValueError("SCDA placement requires a controller")
-        placement = ScdaPlacement(controller)
-    elif spec.placement == "round-robin":
-        placement = RoundRobinPlacement()
-    elif spec.placement == "least-loaded":
-        placement = LeastLoadedPlacement(fabric)
-    else:  # pragma: no cover - SchemeSpec validates
-        raise ValueError(f"unknown placement {spec.placement!r}")
+    placement = PLACEMENTS.build(
+        scheme.placement,
+        PlacementContext(
+            seed=derive_seed(spec.seed, f"placement:{scheme.name}"),
+            fabric=fabric,
+            controller=controller,
+        ),
+    )
 
     cluster = StorageCluster(
         sim,
@@ -132,19 +167,26 @@ def build_stack(config: ScenarioConfig, spec: SchemeSpec) -> SchemeStack:
         fabric,
         placement,
         config=StorageClusterConfig(
-            setup_rtts=config.setup_rtts,
-            replication=ReplicationConfig(enabled=config.replication_enabled),
+            setup_rtts=spec.setup_rtts,
+            replication=ReplicationConfig(enabled=spec.replication_enabled),
         ),
     )
 
+    hedera: Optional[HederaScheduler] = None
+    if scheme.use_hedera:
+        hedera_router = router if isinstance(router, EcmpRouter) else EcmpRouter(topology)
+        hedera = HederaScheduler(fabric, hedera_router, spec.build_hedera_config())
+        hedera.start()
+
     collector = MetricsCollector(
         fabric,
-        sample_interval_s=config.throughput_sample_interval_s,
+        sample_interval_s=spec.throughput_sample_interval_s,
         record_kinds=(FlowKind.CONTROL, FlowKind.VIDEO, FlowKind.DATA),
     )
 
     return SchemeStack(
-        spec=spec,
+        spec=scheme,
+        scenario=spec,
         sim=sim,
         topology=topology,
         fabric=fabric,
@@ -152,6 +194,8 @@ def build_stack(config: ScenarioConfig, spec: SchemeSpec) -> SchemeStack:
         collector=collector,
         controller=controller,
         placement=placement,
+        router=router,
+        hedera=hedera,
     )
 
 
@@ -174,12 +218,13 @@ def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
 
 
 def run_scheme(
-    config: ScenarioConfig, spec: SchemeSpec, workload: Optional[Workload] = None
+    scenario: ScenarioLike, scheme: SchemeLike, workload: Optional[Workload] = None
 ) -> SchemeResult:
     """Run one scheme over the scenario and return its measurements."""
-    stack = build_stack(config, spec)
+    spec = as_spec(scenario)
+    stack = build_stack(spec, scheme)
     if workload is None:
-        workload = generate_workload(config)
+        workload = generate_workload(spec)
 
     clients = stack.topology.clients()
     if not clients:
@@ -191,37 +236,69 @@ def run_scheme(
 
     stack.collector.start_sampling()
     wall_start = time.perf_counter()
-    sim.run(until=config.total_time_s)
+    sim.run(until=spec.total_time_s)
     wall_clock = time.perf_counter() - wall_start
     stack.collector.stop_sampling()
+    if stack.hedera is not None:
+        stack.hedera.stop()
 
     sla_violations = (
         stack.controller.sla_monitor.count if stack.controller is not None else 0
     )
+    extras = {
+        "requests_issued": float(len(workload)),
+        "requests_completed": float(len(stack.cluster.completed_requests())),
+        "events_processed": float(sim.events_processed),
+    }
+    if stack.hedera is not None:
+        extras["hedera_reroutes"] = float(stack.hedera.reroutes)
     result = SchemeResult(
-        scheme=spec.name,
+        scheme=stack.spec.name,
         records=stack.collector.records,
         throughput=stack.collector.throughput,
         sla_violations=sla_violations,
         wall_clock_s=wall_clock,
-        extras={
-            "requests_issued": float(len(workload)),
-            "requests_completed": float(len(stack.cluster.completed_requests())),
-            "events_processed": float(sim.events_processed),
-        },
+        extras=extras,
     )
     return result
 
 
 def run_comparison(
-    config: ScenarioConfig,
-    candidate: SchemeSpec = SCDA_SCHEME,
-    baseline: SchemeSpec = RAND_TCP,
+    scenario: ScenarioLike,
+    candidate: SchemeLike = SCDA_SCHEME,
+    baseline: SchemeLike = RAND_TCP,
+    workload: Optional[Workload] = None,
 ) -> ComparisonResult:
     """Run the candidate and the baseline on the *same* workload and compare."""
-    workload = generate_workload(config)
-    candidate_result = run_scheme(config, candidate, workload)
-    baseline_result = run_scheme(config, baseline, workload)
+    spec = as_spec(scenario)
+    if workload is None:
+        workload = generate_workload(spec)
+    candidate_result = run_scheme(spec, candidate, workload)
+    baseline_result = run_scheme(spec, baseline, workload)
     return ComparisonResult(
-        scenario=config.name, candidate=candidate_result, baseline=baseline_result
+        scenario=spec.name, candidate=candidate_result, baseline=baseline_result
+    )
+
+
+def run_scenario(
+    scenario: ScenarioLike,
+    schemes: Sequence[SchemeLike] = ("scda", "rand-tcp"),
+    workload: Optional[Workload] = None,
+) -> ComparisonResult:
+    """Declarative entry point: run ``schemes[0]`` vs ``schemes[1]`` on a scenario.
+
+    ``scenario`` may be a :class:`~repro.experiments.spec.ScenarioSpec`, a
+    legacy :class:`~repro.experiments.config.ScenarioConfig`, or a spec dict
+    (e.g. parsed from a scenario JSON file); schemes may be registry keys or
+    :class:`~repro.baselines.schemes.SchemeSpec` objects.  Both schemes see
+    the identical workload.  For a single scheme use :func:`run_scheme`.
+    """
+    resolved = [resolve_scheme(s) for s in schemes]
+    if len(resolved) != 2:
+        raise ValueError(
+            f"run_scenario compares exactly two schemes (candidate, baseline); "
+            f"got {len(resolved)} — use run_scheme for single runs"
+        )
+    return run_comparison(
+        scenario, candidate=resolved[0], baseline=resolved[1], workload=workload
     )

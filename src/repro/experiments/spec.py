@@ -1,0 +1,277 @@
+"""Declarative, serialisable experiment scenarios.
+
+:class:`ScenarioSpec` is the registry-driven successor of
+:class:`~repro.experiments.config.ScenarioConfig`: every axis of the
+evaluation cross-product is a *string key* resolved through
+:mod:`repro.registry` plus a plain dict of typed parameters, so a complete
+experiment is one JSON document::
+
+    {
+      "name": "fattree-dc",
+      "seed": 7,
+      "sim_time_s": 10.0,
+      "topology": "fattree",
+      "topology_params": {"k": 4, "num_clients": 4},
+      "workload": "datacenter",
+      "workload_params": {"arrival_rate_per_s": 30.0}
+    }
+
+``ScenarioSpec.from_json`` / ``to_json`` round-trip losslessly, which makes
+experiment files reproducible artefacts: check the JSON into a repo, run it
+with ``python -m repro run scenario.json``, get the same numbers.
+
+The spec builds its pieces through the registries
+(:data:`~repro.registry.TOPOLOGIES`, :data:`~repro.registry.WORKLOADS`), so
+a topology or workload registered by third-party code is immediately usable
+here, in the sweeps and from the CLI.  See ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.rate_metric import ScdaParams
+from repro.registry import RegistryError, TOPOLOGIES, WORKLOADS, _normalise
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce ``value`` to the plain JSON type system (tuples become lists).
+
+    Applied to the parameter dicts at construction time so that equality is
+    preserved across a ``to_dict -> json -> from_dict`` round-trip.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    # numpy scalars and other number-likes
+    for cast in (int, float):
+        try:
+            if cast(value) == value:
+                return cast(value)
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete experiment scenario, declaratively.
+
+    Attributes
+    ----------
+    topology / topology_params:
+        Registry key and parameters of the fabric
+        (:data:`repro.registry.TOPOLOGIES`).
+    workload / workload_params:
+        Registry key and parameters of the trace generator
+        (:data:`repro.registry.WORKLOADS`).  When the generator's config has
+        a ``duration_s`` field and the params leave it unset, it defaults to
+        ``sim_time_s``.
+    scda_params:
+        Overrides for :class:`~repro.core.rate_metric.ScdaParams`
+        (``alpha``, ``beta``, ``drain_time_s``, ``min_rate_bps``, ...).
+    hedera_params:
+        Overrides for :class:`~repro.baselines.hedera.HederaConfig`
+        (``elephant_threshold_bytes``, ``scheduling_interval_s``), used by
+        schemes with ``use_hedera`` set.
+    """
+
+    name: str = "scenario"
+    seed: int = 1
+    sim_time_s: float = 10.0
+    #: extra time after the last arrival to let in-flight flows finish
+    drain_time_s: float = 30.0
+    topology: str = "tree"
+    topology_params: Dict[str, Any] = field(default_factory=dict)
+    workload: str = "pareto-poisson"
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+    scda_params: Dict[str, Any] = field(default_factory=dict)
+    hedera_params: Dict[str, Any] = field(default_factory=dict)
+    control_interval_s: float = 0.010
+    setup_rtts: float = 1.5
+    replication_enabled: bool = True
+    throughput_sample_interval_s: float = 1.0
+    #: scale-down threshold R_scale used by the passive-content policy
+    scale_down_threshold_bps: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.sim_time_s <= 0:
+            raise ValueError("sim_time_s must be positive")
+        if self.drain_time_s < 0:
+            raise ValueError("drain_time_s must be non-negative")
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if self.throughput_sample_interval_s <= 0:
+            raise ValueError("throughput_sample_interval_s must be positive")
+        self.topology = _normalise(self.topology)
+        self.workload = _normalise(self.workload)
+        self.topology_params = _jsonify(dict(self.topology_params))
+        self.workload_params = _jsonify(dict(self.workload_params))
+        self.scda_params = _jsonify(dict(self.scda_params))
+        self.hedera_params = _jsonify(dict(self.hedera_params))
+
+    # -- derived -----------------------------------------------------------------------
+    @property
+    def total_time_s(self) -> float:
+        """Simulated horizon including the drain period."""
+        return self.sim_time_s + self.drain_time_s
+
+    def with_overrides(self, **kwargs: Any) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def with_topology(self, key: str, **params: Any) -> "ScenarioSpec":
+        """Swap the fabric by registry key, resetting the topology params.
+
+        Pass keyword arguments to set specific parameters of the new
+        fabric's config; anything unset uses that fabric's defaults.
+        """
+        return self.with_overrides(topology=key, topology_params=dict(params))
+
+    def with_workload(self, key: str, **params: Any) -> "ScenarioSpec":
+        """Swap the workload by registry key, resetting the workload params."""
+        return self.with_overrides(workload=key, workload_params=dict(params))
+
+    def with_sim_time(self, sim_time_s: float) -> "ScenarioSpec":
+        """Change the simulated duration, keeping the workload in sync.
+
+        Unlike a bare ``with_overrides(sim_time_s=...)``, this also rewrites
+        a ``duration_s`` already baked into :attr:`workload_params` (as
+        :meth:`~repro.experiments.config.ScenarioConfig.to_spec` does), so
+        the generated workload actually spans the new horizon.
+        """
+        params = dict(self.workload_params)
+        if "duration_s" in params:
+            params["duration_s"] = float(sim_time_s)
+        return self.with_overrides(sim_time_s=float(sim_time_s), workload_params=params)
+
+    # -- registry-backed builders ------------------------------------------------------
+    def build_topology(self):
+        """Instantiate the fabric named by :attr:`topology`."""
+        entry = TOPOLOGIES.get(self.topology)
+        config = entry.make_config(self.topology_params)
+        return entry.builder(config)
+
+    def build_workload(self):
+        """Generate the workload named by :attr:`workload` (keyed by the seed)."""
+        entry = WORKLOADS.get(self.workload)
+        params = dict(self.workload_params)
+        if entry.config_cls is not None and "duration_s" not in params:
+            if any(f.name == "duration_s" for f in dataclass_fields(entry.config_cls)):
+                params["duration_s"] = self.sim_time_s
+        config = entry.make_config(params)
+        return entry.builder(config, seed=self.seed)
+
+    def build_scda_params(self) -> ScdaParams:
+        """The SCDA rate-metric constants, with the spec's control interval."""
+        params = dict(self.scda_params)
+        if "control_interval_s" in params:
+            # The fabric's allocation rounds use the spec-level value; a
+            # second copy here would silently desynchronise the two planes.
+            raise RegistryError(
+                "set the control interval via ScenarioSpec.control_interval_s, "
+                "not scda_params['control_interval_s']"
+            )
+        params["control_interval_s"] = self.control_interval_s
+        try:
+            return ScdaParams(**params)
+        except (TypeError, ValueError) as exc:
+            valid = sorted(f.name for f in dataclass_fields(ScdaParams))
+            raise RegistryError(
+                f"invalid scda_params: {exc}; valid fields: {valid}"
+            ) from exc
+
+    def build_hedera_config(self):
+        """The Hedera scheduler config for schemes with ``use_hedera`` set.
+
+        Defaults to an 8 MB elephant threshold and a 1 s scheduling interval
+        (the laptop-scale settings of the shipped examples; the NSDI paper
+        discusses 100 MB), overridable through :attr:`hedera_params`.
+        """
+        from repro.baselines.hedera import HederaConfig
+
+        params = {
+            "elephant_threshold_bytes": 8 * 1024.0 * 1024.0,
+            "scheduling_interval_s": 1.0,
+            **self.hedera_params,
+        }
+        try:
+            return HederaConfig(**params)
+        except (TypeError, ValueError) as exc:
+            valid = sorted(f.name for f in dataclass_fields(HederaConfig))
+            raise RegistryError(
+                f"invalid hedera_params: {exc}; valid fields: {valid}"
+            ) from exc
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-safe dict holding every field of the spec."""
+        return {
+            f.name: _jsonify(getattr(self, f.name)) for f in dataclass_fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        valid = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec field(s) {unknown}; valid fields: {sorted(valid)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a scenario file must hold a JSON object")
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec to ``path`` as JSON; returns the path."""
+        out = Path(path)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        """Read a spec from a JSON file produced by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def as_spec(obj: Any) -> ScenarioSpec:
+    """Coerce a scenario-like object to a :class:`ScenarioSpec`.
+
+    Accepts a spec (returned as-is), anything exposing ``to_spec()``
+    (:class:`~repro.experiments.config.ScenarioConfig`), or a mapping in
+    :meth:`ScenarioSpec.to_dict` form.
+    """
+    if isinstance(obj, ScenarioSpec):
+        return obj
+    to_spec = getattr(obj, "to_spec", None)
+    if callable(to_spec):
+        return to_spec()
+    if isinstance(obj, Mapping):
+        return ScenarioSpec.from_dict(obj)
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__!r} as a scenario; "
+        "pass a ScenarioSpec, a ScenarioConfig, or a spec dict"
+    )

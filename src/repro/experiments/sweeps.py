@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SchemeSpec
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import SchemeLike, resolve_scheme, run_comparison
+from repro.experiments.spec import ScenarioSpec, as_spec
 
 
 @dataclass
@@ -64,24 +64,86 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _with_arrival_rate(spec: ScenarioSpec, rate: float) -> ScenarioSpec:
+    """Override the workload's arrival rate, whatever its config calls it."""
+    from dataclasses import fields as dataclass_fields
+
+    from repro.registry import WORKLOADS
+
+    entry = WORKLOADS.get(spec.workload)
+    field_names = (
+        {f.name for f in dataclass_fields(entry.config_cls)}
+        if entry.config_cls is not None
+        else set()
+    )
+    for candidate_field in ("arrival_rate_per_s", "video_arrival_rate_per_s"):
+        if candidate_field in field_names:
+            return spec.with_overrides(
+                workload_params={**spec.workload_params, candidate_field: float(rate)}
+            )
+    raise ValueError(
+        f"workload {spec.workload!r} has no arrival-rate parameter to sweep "
+        f"(config {entry.config_cls.__name__ if entry.config_cls else None!r})"
+    )
+
+
+def _base_spec(
+    base: Optional[ScenarioSpec],
+    sim_time: Optional[float],
+    seed: Optional[int],
+    topology: Optional[str],
+) -> ScenarioSpec:
+    """The spec each sweep point is derived from.
+
+    Defaults to the paper's Pareto/Poisson scenario; ``base`` substitutes any
+    registered scenario and ``topology`` swaps the fabric by registry key
+    (resetting the topology parameters to that fabric's defaults).  Explicit
+    ``sim_time``/``seed`` arguments override the base spec's values; left at
+    ``None`` they keep the base's (or the paper defaults, 6 s / seed 1).
+    """
+    if base is not None:
+        spec = as_spec(base)
+        if sim_time is not None:
+            spec = spec.with_sim_time(float(sim_time))
+        if seed is not None:
+            spec = spec.with_overrides(seed=int(seed))
+    else:
+        spec = ScenarioConfig.pareto_poisson(
+            sim_time=6.0 if sim_time is None else float(sim_time),
+            seed=1 if seed is None else int(seed),
+        ).to_spec()
+    if topology is not None:
+        spec = spec.with_topology(topology)
+    return spec
+
+
 def sweep_offered_load(
     arrival_rates_per_s: Sequence[float],
-    sim_time: float = 6.0,
-    seed: int = 1,
-    candidate: SchemeSpec = SCDA_SCHEME,
-    baseline: SchemeSpec = RAND_TCP,
+    sim_time: Optional[float] = None,
+    seed: Optional[int] = None,
+    candidate: SchemeLike = "scda",
+    baseline: SchemeLike = "rand-tcp",
+    base: Optional[ScenarioSpec] = None,
+    topology: Optional[str] = None,
 ) -> SweepResult:
-    """Sweep the Pareto/Poisson arrival rate and compare the schemes at each point."""
+    """Sweep the workload arrival rate and compare the schemes at each point.
+
+    The schemes are registry keys (or :class:`SchemeSpec` objects) and the
+    scenario is a :class:`ScenarioSpec`, so the sweep runs on any registered
+    (topology, workload, scheme) combination — e.g.
+    ``sweep_offered_load([20, 40], topology="fattree")``.
+    """
     if not arrival_rates_per_s:
         raise ValueError("need at least one arrival rate")
+    candidate = resolve_scheme(candidate)
+    baseline = resolve_scheme(baseline)
+    spec = _base_spec(base, sim_time, seed, topology)
     result = SweepResult(parameter_name="arrival rate (flows/s)")
     for rate in arrival_rates_per_s:
         if rate <= 0:
             raise ValueError("arrival rates must be positive")
-        config = ScenarioConfig.pareto_poisson(
-            sim_time=sim_time, seed=seed, arrival_rate_per_s=float(rate)
-        )
-        comparison = run_comparison(config, candidate=candidate, baseline=baseline)
+        point = _with_arrival_rate(spec, float(rate))
+        comparison = run_comparison(point, candidate=candidate, baseline=baseline)
         result.points.append(
             SweepPoint(
                 parameter=float(rate),
@@ -96,21 +158,29 @@ def sweep_offered_load(
 
 def sweep_control_interval(
     control_intervals_s: Sequence[float],
-    sim_time: float = 6.0,
-    seed: int = 1,
-    arrival_rate_per_s: float = 40.0,
+    sim_time: Optional[float] = None,
+    seed: Optional[int] = None,
+    arrival_rate_per_s: Optional[float] = None,
+    base: Optional[ScenarioSpec] = None,
+    topology: Optional[str] = None,
 ) -> SweepResult:
-    """Sweep τ for SCDA (the baseline is τ-independent and measured once)."""
+    """Sweep τ for SCDA (the baseline is τ-independent and measured once).
+
+    ``arrival_rate_per_s`` left at ``None`` keeps the base scenario's own
+    rate (40/s for the default Pareto/Poisson scenario).
+    """
     if not control_intervals_s:
         raise ValueError("need at least one control interval")
+    spec = _base_spec(base, sim_time, seed, topology)
+    if arrival_rate_per_s is None and base is None:
+        arrival_rate_per_s = 40.0
+    if arrival_rate_per_s is not None:
+        spec = _with_arrival_rate(spec, float(arrival_rate_per_s))
     result = SweepResult(parameter_name="control interval (s)")
     for tau in control_intervals_s:
         if tau <= 0:
             raise ValueError("control intervals must be positive")
-        config = ScenarioConfig.pareto_poisson(
-            sim_time=sim_time, seed=seed, arrival_rate_per_s=arrival_rate_per_s
-        ).with_overrides(control_interval_s=float(tau))
-        comparison = run_comparison(config)
+        comparison = run_comparison(spec.with_overrides(control_interval_s=float(tau)))
         result.points.append(
             SweepPoint(
                 parameter=float(tau),

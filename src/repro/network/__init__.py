@@ -24,10 +24,14 @@ original paper:
 
 from repro.network.topology import Node, NodeKind, Link, Topology
 from repro.network.tree import TreeTopologyConfig, build_tree_topology
-from repro.network.fattree import build_fat_tree
-from repro.network.vl2 import build_vl2_topology
-from repro.network.leafspine import build_leaf_spine
-from repro.network.routing import Router, EcmpRouter
+from repro.network.fattree import FatTreeConfig, build_fat_tree, build_fat_tree_topology
+from repro.network.vl2 import Vl2Config, build_vl2_clos, build_vl2_topology
+from repro.network.leafspine import (
+    LeafSpineConfig,
+    build_leaf_spine,
+    build_leaf_spine_topology,
+)
+from repro.network.routing import Router, EcmpRouter, HashingEcmpRouter
 from repro.network.flow import Flow, FlowState
 from repro.network.fluid import max_min_shares
 from repro.network.incidence import IncidenceCache
@@ -40,11 +44,18 @@ __all__ = [
     "Topology",
     "TreeTopologyConfig",
     "build_tree_topology",
+    "FatTreeConfig",
     "build_fat_tree",
+    "build_fat_tree_topology",
+    "Vl2Config",
     "build_vl2_topology",
+    "build_vl2_clos",
+    "LeafSpineConfig",
     "build_leaf_spine",
+    "build_leaf_spine_topology",
     "Router",
     "EcmpRouter",
+    "HashingEcmpRouter",
     "Flow",
     "FlowState",
     "max_min_shares",

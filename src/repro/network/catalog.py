@@ -1,0 +1,47 @@
+"""Built-in topology registrations.
+
+Importing this module (done lazily by :mod:`repro.registry`) registers the
+four shipped fabrics.  Every builder takes one optional config object — the
+entry's ``config_cls`` — so :class:`~repro.experiments.spec.ScenarioSpec` can
+construct it from plain JSON parameters.
+"""
+
+from __future__ import annotations
+
+from repro.network.fattree import FatTreeConfig, build_fat_tree_topology
+from repro.network.leafspine import LeafSpineConfig, build_leaf_spine_topology
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.network.vl2 import Vl2Config, build_vl2_clos
+from repro.registry import TOPOLOGIES
+
+TOPOLOGIES.register(
+    "tree",
+    build_tree_topology,
+    config_cls=TreeTopologyConfig,
+    description="3-tier tree of the paper's Figures 1 and 6 (heterogeneous K·X links)",
+    aliases=("scda-tree", "3tier"),
+)
+
+TOPOLOGIES.register(
+    "fattree",
+    build_fat_tree_topology,
+    config_cls=FatTreeConfig,
+    description="k-ary fat tree (Al-Fares et al., SIGCOMM 2008), k^3/4 hosts",
+    aliases=("fat-tree",),
+)
+
+TOPOLOGIES.register(
+    "vl2",
+    build_vl2_clos,
+    config_cls=Vl2Config,
+    description="VL2-style folded Clos (Greenberg et al., SIGCOMM 2009)",
+    aliases=("vl2-clos", "clos"),
+)
+
+TOPOLOGIES.register(
+    "leafspine",
+    build_leaf_spine_topology,
+    config_cls=LeafSpineConfig,
+    description="two-tier leaf-spine fabric (every leaf connects to every spine)",
+    aliases=("leaf-spine",),
+)

@@ -139,7 +139,7 @@ class FabricSimulator:
             src=src,
             dst=dst,
             size_bytes=size_bytes,
-            path=path if path is not None else self.router.path(src, dst),
+            path=path if path is not None else self.router.path_for_new_flow(src, dst),
             kind=kind,
             created_at=now if created_at is None else created_at,
             priority_weight=priority_weight,

@@ -7,11 +7,45 @@ table, so it runs unchanged on a fat tree.
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.network.topology import Topology
 
 GBPS = 1e9
+
+
+@dataclass
+class FatTreeConfig:
+    """Parameters of the k-ary fat tree (see :func:`build_fat_tree`)."""
+
+    k: int = 4
+    link_bandwidth_bps: float = 1.0 * GBPS
+    link_delay_s: float = 0.001
+    num_clients: int = 4
+    client_delay_s: float = 0.050
+    buffer_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError(f"fat-tree arity k must be an even integer >= 2, got {self.k}")
+        if self.link_bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of block-server hosts: ``k^3 / 4``."""
+        return self.k * self.k * self.k // 4
+
+
+def build_fat_tree_topology(config: Optional[FatTreeConfig] = None) -> Topology:
+    """Config-object entry point used by the topology registry.
+
+    Config fields mirror :func:`build_fat_tree`'s parameters one-to-one.
+    """
+    return build_fat_tree(**asdict(config or FatTreeConfig()))
 
 
 def build_fat_tree(

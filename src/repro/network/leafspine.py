@@ -6,11 +6,46 @@ A common modern datacenter fabric; included as another instance of the
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.network.topology import Topology
 
 GBPS = 1e9
+
+
+@dataclass
+class LeafSpineConfig:
+    """Parameters of the leaf-spine fabric (see :func:`build_leaf_spine`)."""
+
+    num_spines: int = 2
+    num_leaves: int = 4
+    hosts_per_leaf: int = 4
+    host_link_bps: float = 1.0 * GBPS
+    fabric_link_bps: float = 4.0 * GBPS
+    link_delay_s: float = 0.001
+    num_clients: int = 2
+    client_delay_s: float = 0.050
+    buffer_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_spines, self.num_leaves, self.hosts_per_leaf) < 1:
+            raise ValueError("leaf-spine dimensions must be >= 1")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of block-server hosts."""
+        return self.num_leaves * self.hosts_per_leaf
+
+
+def build_leaf_spine_topology(config: Optional[LeafSpineConfig] = None) -> Topology:
+    """Config-object entry point used by the topology registry.
+
+    Config fields mirror :func:`build_leaf_spine`'s parameters one-to-one.
+    """
+    return build_leaf_spine(**asdict(config or LeafSpineConfig()))
 
 
 def build_leaf_spine(

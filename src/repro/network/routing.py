@@ -46,13 +46,27 @@ class Router:
         self._cache: Dict[Tuple[str, str], Path] = {}
 
     def path(self, src: Node, dst: Node) -> Path:
-        """Return the list of directed links from ``src`` to ``dst``."""
+        """Return the list of directed links from ``src`` to ``dst``.
+
+        Stateless and cached: safe for estimation helpers (``base_rtt``,
+        ``hop_count``) to call any number of times.
+        """
         if src.node_id == dst.node_id:
             return []
         key = (src.node_id, dst.node_id)
         if key not in self._cache:
             self._cache[key] = self._bfs(src, dst)
         return list(self._cache[key])
+
+    def path_for_new_flow(self, src: Node, dst: Node) -> Path:
+        """The path to assign to a *new* flow.
+
+        The fabric calls this exactly once per flow start.  Routers that
+        spread flows (hashed ECMP, VLB) override it with their stateful or
+        randomized choice, keeping :meth:`path` deterministic so estimation
+        callers do not perturb routing decisions.
+        """
+        return self.path(src, dst)
 
     def path_nodes(self, src: Node, dst: Node) -> List[str]:
         """Node ids along the path, including both endpoints."""
@@ -140,6 +154,32 @@ class EcmpRouter(Router):
 
         dfs(src, [], {src.node_id})
         return results or [self._bfs(src, dst)]
+
+
+class HashingEcmpRouter(EcmpRouter):
+    """ECMP that actually spreads new flows over the equal-cost paths.
+
+    :class:`EcmpRouter` exposes :meth:`~EcmpRouter.path_for_flow` for callers
+    that supply their own flow key, but its inherited :meth:`~Router.path`
+    always returns the single BFS-shortest path.  This subclass overrides
+    :meth:`~Router.path_for_new_flow` to hash *consecutive flows of the same
+    (src, dst) pair* onto successive equal-cost paths, giving the
+    deterministic per-flow spreading of a VL2/Hedera-style baseline.
+    ``path()`` itself stays stateless, so RTT/hop estimation never skews
+    which path the next flow receives.
+    """
+
+    def __init__(self, topology: Topology, max_paths: int = 8) -> None:
+        super().__init__(topology, max_paths)
+        self._flow_counters: Dict[Tuple[str, str], int] = {}
+
+    def path_for_new_flow(self, src: Node, dst: Node) -> Path:
+        if src.node_id == dst.node_id:
+            return []
+        key = (src.node_id, dst.node_id)
+        n = self._flow_counters.get(key, 0)
+        self._flow_counters[key] = n + 1
+        return self.path_for_flow(src, dst, n)
 
 
 class WidestPathRouter(Router):

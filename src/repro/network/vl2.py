@@ -8,11 +8,51 @@ top of it reproduces VL2's random placement behaviour.
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.network.topology import Topology
 
 GBPS = 1e9
+
+
+@dataclass
+class Vl2Config:
+    """Parameters of the VL2 folded Clos (see :func:`build_vl2_topology`)."""
+
+    num_intermediate: int = 2
+    num_aggregation: int = 4
+    num_tor: int = 4
+    hosts_per_tor: int = 4
+    tor_link_bps: float = 1.0 * GBPS
+    agg_link_bps: float = 10.0 * GBPS
+    link_delay_s: float = 0.001
+    num_clients: int = 4
+    client_delay_s: float = 0.050
+    buffer_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_intermediate < 1:
+            raise ValueError("VL2 requires at least one intermediate switch")
+        if self.num_aggregation < 2:
+            raise ValueError("VL2 requires at least two aggregation switches")
+        if min(self.num_tor, self.hosts_per_tor) < 1:
+            raise ValueError("VL2 dimensions must be >= 1")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of block-server hosts."""
+        return self.num_tor * self.hosts_per_tor
+
+
+def build_vl2_clos(config: Optional[Vl2Config] = None) -> Topology:
+    """Config-object entry point used by the topology registry.
+
+    Config fields mirror :func:`build_vl2_topology`'s parameters one-to-one.
+    """
+    return build_vl2_topology(**asdict(config or Vl2Config()))
 
 
 def build_vl2_topology(

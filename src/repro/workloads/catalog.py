@@ -1,0 +1,43 @@
+"""Built-in workload registrations.
+
+Every builder follows the generator convention ``builder(config, seed=0) ->
+Workload`` so the experiment layer can drive any of them from string keys
+plus plain parameters.
+"""
+
+from __future__ import annotations
+
+from repro.registry import WORKLOADS
+from repro.workloads.datacenter_traces import (
+    DatacenterTraceConfig,
+    generate_datacenter_workload,
+)
+from repro.workloads.pareto_poisson import (
+    ParetoPoissonConfig,
+    generate_pareto_poisson_workload,
+)
+from repro.workloads.video_traces import VideoTraceConfig, generate_video_workload
+
+WORKLOADS.register(
+    "video",
+    generate_video_workload,
+    config_cls=VideoTraceConfig,
+    description="YouTube-CDN-like traces, optional control flows (Section X-A1)",
+    aliases=("youtube",),
+)
+
+WORKLOADS.register(
+    "datacenter",
+    generate_datacenter_workload,
+    config_cls=DatacenterTraceConfig,
+    description="bimodal mice/elephant datacenter traces (Section X-A2)",
+    aliases=("dc",),
+)
+
+WORKLOADS.register(
+    "pareto-poisson",
+    generate_pareto_poisson_workload,
+    config_cls=ParetoPoissonConfig,
+    description="Pareto sizes, Poisson arrivals (Section X-B)",
+    aliases=("pareto",),
+)

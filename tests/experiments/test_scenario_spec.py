@@ -1,0 +1,285 @@
+"""Tests for the declarative ScenarioSpec API and its back-compat guarantees."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import (
+    generate_workload,
+    resolve_scheme,
+    run_comparison,
+    run_scenario,
+)
+from repro.experiments.spec import ScenarioSpec, as_spec
+from repro.registry import RegistryError
+
+TOPOLOGY_KEYS = ("tree", "fattree", "vl2", "leafspine")
+
+#: Pre-refactor mean FCTs for ``ScenarioConfig.pareto_poisson(sim_time=2.5,
+#: seed=3)`` measured on the direct-import runner, before the registry
+#: rewire.  The refactor must keep these bit-for-bit (tolerance only for
+#: cross-platform float noise).
+PARETO_PINNED_SCDA_FCT_S = 0.26670428511751804
+PARETO_PINNED_RANDTCP_FCT_S = 1.2718256447813858
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="spec-test",
+        seed=7,
+        sim_time_s=2.0,
+        drain_time_s=20.0,
+        topology="fattree",
+        workload="pareto-poisson",
+        workload_params={"arrival_rate_per_s": 15.0},
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("topology", TOPOLOGY_KEYS)
+    def test_json_round_trip_is_lossless(self, topology):
+        spec = ScenarioSpec(
+            name=f"rt-{topology}",
+            seed=11,
+            sim_time_s=4.5,
+            topology=topology,
+            workload="datacenter",
+            workload_params={"arrival_rate_per_s": 25.0, "mice_fraction": 0.75},
+            scda_params={"alpha": 0.9},
+        )
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_save_and_load(self, tmp_path):
+        spec = small_spec()
+        path = spec.save(tmp_path / "scenario.json")
+        assert ScenarioSpec.load(path) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            ScenarioSpec.from_dict({"definitely_not_a_field": 1})
+
+    def test_params_are_canonicalised_to_json_types(self):
+        spec = small_spec(topology_params={"k": 4, "weights": (1, 2)})
+        assert spec.topology_params["weights"] == [1, 2]
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestRegistryLookups:
+    @pytest.mark.parametrize("topology", TOPOLOGY_KEYS)
+    def test_every_registered_topology_builds_from_string_key(self, topology):
+        topo = ScenarioSpec(topology=topology).build_topology()
+        assert len(topo.hosts()) > 0
+
+    def test_unknown_topology_lists_available(self):
+        with pytest.raises(RegistryError) as excinfo:
+            ScenarioSpec(topology="moebius-strip").build_topology()
+        message = str(excinfo.value)
+        assert "unknown topology" in message
+        for name in TOPOLOGY_KEYS:
+            assert name in message
+
+    def test_unknown_workload_kind_lists_available(self):
+        with pytest.raises(RegistryError) as excinfo:
+            generate_workload(ScenarioSpec(workload="quantum"))
+        message = str(excinfo.value)
+        assert "unknown workload" in message
+        assert "pareto-poisson" in message
+
+    def test_unknown_scheme_lists_available(self):
+        with pytest.raises(RegistryError) as excinfo:
+            resolve_scheme("warp-drive")
+        message = str(excinfo.value)
+        assert "unknown scheme" in message
+        assert "rand-tcp" in message
+
+    def test_bad_topology_param_names_config_fields(self):
+        with pytest.raises(RegistryError, match="valid fields"):
+            ScenarioSpec(topology="fattree", topology_params={"pods": 4}).build_topology()
+
+    def test_workload_duration_defaults_to_sim_time(self):
+        spec = small_spec(sim_time_s=1.5)
+        workload = spec.build_workload()
+        assert len(workload) > 0
+        assert max(r.arrival_time_s for r in workload) <= 1.5
+
+
+class TestRunScenario:
+    def test_fattree_scenario_runs_end_to_end_via_string_keys(self):
+        spec = ScenarioSpec(
+            name="fattree-dc",
+            seed=3,
+            sim_time_s=2.0,
+            drain_time_s=20.0,
+            topology="fattree",
+            workload="datacenter",
+        )
+        comparison = run_scenario(spec)
+        assert comparison.scenario == "fattree-dc"
+        assert comparison.candidate.scheme == "SCDA"
+        assert comparison.baseline.scheme == "RandTCP"
+        assert comparison.candidate.completed_flows > 0
+        assert comparison.baseline.completed_flows > 0
+        # identical workloads for both schemes
+        assert (
+            comparison.candidate.extras["requests_issued"]
+            == comparison.baseline.extras["requests_issued"]
+        )
+
+    def test_scheme_registry_keys_and_spec_objects_are_equivalent(self):
+        from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
+
+        spec = small_spec(topology="tree", topology_params={})
+        by_key = run_scenario(spec, schemes=("scda", "rand-tcp"))
+        by_spec = run_scenario(spec, schemes=(SCDA_SCHEME, RAND_TCP))
+        assert by_key.candidate.mean_fct_s() == pytest.approx(
+            by_spec.candidate.mean_fct_s(), rel=1e-12
+        )
+
+    def test_run_scenario_requires_exactly_two_schemes(self):
+        with pytest.raises(ValueError, match="exactly two"):
+            run_scenario(small_spec(), schemes=("scda",))
+
+    def test_dict_scenario_is_accepted(self):
+        spec = small_spec()
+        comparison = run_scenario(spec.to_dict())
+        assert comparison.candidate.completed_flows > 0
+
+    def test_hedera_params_reach_the_scheduler(self):
+        from repro.experiments.runner import build_stack
+
+        spec = small_spec(
+            hedera_params={"elephant_threshold_bytes": 1024.0, "scheduling_interval_s": 0.5}
+        )
+        stack = build_stack(spec, "hedera")
+        assert stack.hedera is not None
+        assert stack.hedera.config.elephant_threshold_bytes == 1024.0
+        assert stack.hedera.config.scheduling_interval_s == 0.5
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_bad_hedera_param_names_valid_fields(self):
+        with pytest.raises(RegistryError, match="valid fields"):
+            small_spec(hedera_params={"threshold": 1}).build_hedera_config()
+
+    def test_bad_scda_param_value_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="invalid scda_params"):
+            small_spec(scda_params={"alpha": -5.0}).build_scda_params()
+        with pytest.raises(RegistryError, match="invalid hedera_params"):
+            small_spec(hedera_params={"scheduling_interval_s": 0.0}).build_hedera_config()
+
+    def test_tau_sweep_keeps_base_arrival_rate(self):
+        from repro.experiments.sweeps import _base_spec, _with_arrival_rate
+
+        base = ScenarioConfig.pareto_poisson(
+            sim_time=2.0, arrival_rate_per_s=200.0
+        ).to_spec()
+        # mirrors sweep_control_interval's rate handling: None keeps the base's
+        spec = _base_spec(base, None, None, None)
+        assert spec.workload_params["arrival_rate_per_s"] == 200.0
+        assert _with_arrival_rate(spec, 40.0).workload_params["arrival_rate_per_s"] == 40.0
+
+    def test_control_interval_cannot_diverge_via_scda_params(self):
+        spec = small_spec(scda_params={"control_interval_s": 0.1})
+        with pytest.raises(RegistryError, match="control_interval_s"):
+            spec.build_scda_params()
+        assert (
+            small_spec(control_interval_s=0.02).build_scda_params().control_interval_s
+            == 0.02
+        )
+
+    def test_sweep_base_honours_explicit_overrides_only(self):
+        from repro.experiments.sweeps import _base_spec
+
+        base = small_spec(sim_time_s=3.5, seed=9)
+        kept = _base_spec(base, None, None, None)
+        assert kept.sim_time_s == 3.5 and kept.seed == 9
+        overridden = _base_spec(base, 7.0, 2, "leafspine")
+        assert overridden.sim_time_s == 7.0 and overridden.seed == 2
+        assert overridden.topology == "leafspine" and overridden.topology_params == {}
+
+    def test_sweep_sim_time_override_shortens_a_baked_in_duration(self):
+        from repro.experiments.sweeps import _base_spec
+
+        base = ScenarioConfig.pareto_poisson(sim_time=20.0).to_spec()
+        assert base.workload_params["duration_s"] == 20.0
+        short = _base_spec(base, 1.0, None, None)
+        assert short.workload_params["duration_s"] == 1.0
+        workload = short.build_workload()
+        assert max(r.arrival_time_s for r in workload) <= 1.0
+
+    def test_with_topology_and_with_workload_helpers(self):
+        spec = small_spec().with_topology("vl2", num_tor=6).with_workload("video")
+        assert spec.topology == "vl2" and spec.topology_params == {"num_tor": 6}
+        assert spec.workload == "video" and spec.workload_params == {}
+        assert len(spec.build_topology().hosts()) == 24
+
+    def test_sweep_handles_video_arrival_rate_field(self):
+        from repro.experiments.sweeps import _with_arrival_rate
+
+        video = ScenarioConfig.video_with_control(sim_time=2.0).to_spec()
+        swept = _with_arrival_rate(video, 5.0)
+        assert swept.workload_params["video_arrival_rate_per_s"] == 5.0
+        pareto = ScenarioConfig.pareto_poisson(sim_time=2.0).to_spec()
+        assert _with_arrival_rate(pareto, 9.0).workload_params["arrival_rate_per_s"] == 9.0
+
+
+class TestBackCompat:
+    def test_pareto_fct_matches_pre_refactor_pin(self):
+        """The old ScenarioConfig path must keep producing the seed-pinned FCTs."""
+        cfg = ScenarioConfig.pareto_poisson(sim_time=2.5, seed=3)
+        comparison = run_comparison(cfg)
+        assert comparison.candidate.mean_fct_s() == pytest.approx(
+            PARETO_PINNED_SCDA_FCT_S, rel=1e-6
+        )
+        assert comparison.baseline.mean_fct_s() == pytest.approx(
+            PARETO_PINNED_RANDTCP_FCT_S, rel=1e-6
+        )
+
+    def test_config_and_spec_paths_are_bit_identical(self):
+        cfg = ScenarioConfig.pareto_poisson(sim_time=2.5, seed=3)
+        via_config = run_comparison(cfg)
+        via_spec = run_scenario(cfg.to_spec())
+        assert via_config.candidate.mean_fct_s() == via_spec.candidate.mean_fct_s()
+        assert via_config.baseline.mean_fct_s() == via_spec.baseline.mean_fct_s()
+
+    def test_to_spec_preserves_workload(self):
+        for cfg in (
+            ScenarioConfig.video_with_control(sim_time=2.0),
+            ScenarioConfig.datacenter(sim_time=2.0),
+            ScenarioConfig.pareto_poisson(sim_time=2.0, arrival_rate_per_s=20.0),
+        ):
+            old = generate_workload(cfg)
+            new = cfg.to_spec().build_workload()
+            assert [r.size_bytes for r in old] == [r.size_bytes for r in new]
+            assert [r.arrival_time_s for r in old] == [r.arrival_time_s for r in new]
+
+    def test_to_spec_accepts_string_and_alias_workload_kinds(self):
+        cfg = ScenarioConfig.pareto_poisson(sim_time=2.0, arrival_rate_per_s=40.0)
+        for kind in ("pareto-poisson", "pareto", "PARETO_POISSON"):
+            spec = cfg.with_overrides(workload_kind=kind).to_spec()
+            assert spec.workload == "pareto-poisson"
+            assert spec.workload_params["arrival_rate_per_s"] == 40.0
+
+    def test_as_spec_accepts_config_spec_and_dict(self):
+        cfg = ScenarioConfig.pareto_poisson()
+        spec = cfg.to_spec()
+        assert as_spec(cfg) == spec
+        assert as_spec(spec) is spec
+        assert as_spec(spec.to_dict()) == spec
+        with pytest.raises(TypeError):
+            as_spec(42)
+
+    def test_named_constructors_still_round_trip_through_json(self):
+        for cfg in (
+            ScenarioConfig.video_with_control(),
+            ScenarioConfig.video_without_control(),
+            ScenarioConfig.datacenter(bandwidth_factor=1.0),
+            ScenarioConfig.datacenter(bandwidth_factor=3.0),
+            ScenarioConfig.pareto_poisson(),
+        ):
+            spec = cfg.to_spec()
+            assert ScenarioSpec.from_json(spec.to_json()) == spec

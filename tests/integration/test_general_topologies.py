@@ -64,6 +64,26 @@ FABRICS = {
 }
 
 
+class TestGeneralTopologiesExample:
+    """The shipped example is written against the registry API; running it
+    here makes a broken registration fail CI, not just the example."""
+
+    def test_example_runs_end_to_end(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "general_topologies.py"
+        module_spec = importlib.util.spec_from_file_location("general_topologies_example", example)
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+        assert module.main(["--sim-time", "1.0"]) == 0
+        out = capsys.readouterr().out
+        for fabric in ("fattree", "vl2", "leafspine"):
+            assert fabric in out
+        for scheme in ("SCDA", "RandTCP", "Hedera"):
+            assert scheme in out
+
+
 class TestScdaOnGeneralFabrics:
     @pytest.mark.parametrize("fabric_name", sorted(FABRICS))
     def test_all_requests_complete_under_scda(self, fabric_name):

@@ -141,3 +141,77 @@ class TestWidestPath:
         a = small_tree.node("bs-0-0-0")
         path, bottleneck = router.widest_path(a, a)
         assert path == [] and bottleneck == float("inf")
+
+
+class TestHashingEcmpRouter:
+    def test_consecutive_flows_spread_over_equal_cost_paths(self):
+        from repro.network.routing import HashingEcmpRouter
+
+        topo = build_fat_tree(k=4, num_clients=2)
+        router = HashingEcmpRouter(topo)
+        src = topo.node("bs-0-0-0")
+        dst = topo.node("bs-3-1-1")
+        num_paths = len(router.equal_cost_paths(src, dst))
+        assert num_paths > 1
+        chosen = {
+            tuple(l.link_id for l in router.path_for_new_flow(src, dst))
+            for _ in range(num_paths)
+        }
+        assert len(chosen) == num_paths
+
+    def test_estimation_calls_do_not_skew_flow_paths(self):
+        from repro.network.routing import HashingEcmpRouter
+
+        topo = build_fat_tree(k=4, num_clients=2)
+        src = topo.node("bs-0-0-0")
+        dst = topo.node("bs-3-1-1")
+
+        def first_two_flows(router):
+            return [
+                tuple(l.link_id for l in router.path_for_new_flow(src, dst))
+                for _ in range(2)
+            ]
+
+        undisturbed = first_two_flows(HashingEcmpRouter(topo))
+        router = HashingEcmpRouter(topo)
+        # base_rtt/hop_count/path are estimation helpers and must be stateless
+        router.base_rtt(src, dst)
+        router.hop_count(src, dst)
+        router.path(src, dst)
+        assert first_two_flows(router) == undisturbed
+
+
+class TestVlbRouter:
+    def test_estimation_does_not_consume_rng(self):
+        from repro.baselines.vlb import VlbRouter
+
+        topo = build_fat_tree(k=4, num_clients=2)
+        src = topo.node("bs-0-0-0")
+        dst = topo.node("bs-3-1-1")
+
+        def flow_paths(router, n=5):
+            return [
+                tuple(l.link_id for l in router.path_for_new_flow(src, dst))
+                for _ in range(n)
+            ]
+
+        undisturbed = flow_paths(VlbRouter(topo, seed=4))
+        router = VlbRouter(topo, seed=4)
+        router.base_rtt(src, dst)  # must not draw from the VLB RNG
+        assert flow_paths(router) == undisturbed
+
+    def test_vlb_paths_are_valid_and_varied(self):
+        from repro.baselines.vlb import VlbRouter
+
+        topo = build_fat_tree(k=4, num_clients=2)
+        router = VlbRouter(topo, seed=1)
+        src = topo.node("bs-0-0-0")
+        dst = topo.node("bs-3-1-1")
+        paths = [router.path_for_new_flow(src, dst) for _ in range(8)]
+        for path in paths:
+            assert path[0].src.node_id == src.node_id
+            assert path[-1].dst.node_id == dst.node_id
+            # loop-free: no link repeated
+            ids = [l.link_id for l in path]
+            assert len(ids) == len(set(ids))
+        assert len({tuple(l.link_id for l in p) for p in paths}) > 1

@@ -21,7 +21,7 @@ class TestParser:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("compare", "figure", "workload", "report"):
+        for command in ("compare", "run", "list-plugins", "figure", "workload", "report"):
             assert command in text
 
 
@@ -39,6 +39,81 @@ class TestCompareCommand:
         assert code == 0
         assert payload["scenario"] == "pareto-poisson"
         assert payload["summary"]["speedup_afct"] > 1.0
+
+
+class TestCompareWithRegistryKeys:
+    def test_compare_on_fattree_via_topology_flag(self, capsys):
+        code = main(["compare", "--topology", "fattree", "--sim-time", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean FCT" in out
+        assert "topology=fattree" in out
+        assert "RandTCP" in out and "SCDA" in out
+
+    def test_unknown_topology_lists_available(self, capsys):
+        code = main(["compare", "--topology", "hypercube", "--sim-time", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown topology" in err
+        assert "fattree" in err
+
+    def test_unknown_scheme_lists_available(self, capsys):
+        code = main(["compare", "--candidate", "warp", "--sim-time", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown scheme" in err
+        assert "rand-tcp" in err
+
+
+class TestListPluginsCommand:
+    def test_lists_all_four_registries(self, capsys):
+        code = main(["list-plugins"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for section in ("topologies:", "workloads:", "schemes:", "placements:"):
+            assert section in out
+        for name in ("fattree", "vl2", "leafspine", "pareto-poisson", "hedera", "vlb"):
+            assert name in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(["list-plugins", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "fattree" in payload["topologies"]
+        assert payload["topologies"]["fattree"]["config"] == "FatTreeConfig"
+
+
+class TestRunCommand:
+    def test_run_scenario_file(self, tmp_path, capsys):
+        from repro.experiments.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli-run",
+            seed=3,
+            sim_time_s=1.5,
+            drain_time_s=20.0,
+            topology="leafspine",
+            workload="pareto-poisson",
+            workload_params={"arrival_rate_per_s": 10.0},
+        )
+        path = spec.save(tmp_path / "scenario.json")
+        code = main(["run", str(path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)  # shapes may be noisy at this tiny scale
+        assert payload["scenario"] == "cli-run"
+        assert payload["summary"]["candidate_mean_fct_s"] > 0
+
+    def test_run_missing_file_errors(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_run_badly_typed_field_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"sim_time_s": "10"}')
+        code = main(["run", str(bad)])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
 
 
 class TestFigureCommand:

@@ -1,0 +1,192 @@
+"""Tests for the plugin-registry subsystem."""
+
+import pytest
+
+from repro.registry import (
+    PLACEMENTS,
+    Registry,
+    RegistryError,
+    SCHEMES,
+    TOPOLOGIES,
+    TRANSPORTS,
+    WORKLOADS,
+)
+
+
+class TestRegistryCore:
+    def test_register_and_build(self):
+        reg = Registry("thing")
+        reg.register("one", lambda: 1)
+        assert reg.build("one") == 1
+        assert "one" in reg
+        assert reg.names() == ["one"]
+
+    def test_decorator_registration(self):
+        reg = Registry("thing")
+
+        @reg.register("two", description="the number two")
+        def make_two():
+            return 2
+
+        assert reg.build("two") == 2
+        assert reg.get("two").description == "the number two"
+        assert make_two() == 2  # the decorator returns the function unchanged
+
+    def test_duplicate_name_raises(self):
+        reg = Registry("thing")
+        reg.register("dup", lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("dup", lambda: 2)
+        # replace=True is the explicit escape hatch
+        reg.register("dup", lambda: 3, replace=True)
+        assert reg.build("dup") == 3
+
+    def test_duplicate_alias_raises(self):
+        reg = Registry("thing")
+        reg.register("a", lambda: 1, aliases=("alpha",))
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("alpha", lambda: 2)
+        with pytest.raises(RegistryError, match="collides"):
+            reg.register("b", lambda: 2, aliases=("alpha",))
+
+    def test_failed_registration_leaves_registry_untouched(self):
+        reg = Registry("thing")
+        reg.register("a", lambda: 1, aliases=("x",))
+        with pytest.raises(RegistryError, match="collides"):
+            reg.register("b", lambda: 2, aliases=("x",))
+        assert reg.names() == ["a"]
+        assert "b" not in reg
+        # a corrected registration of the same name now succeeds
+        reg.register("b", lambda: 2)
+        assert reg.build("b") == 2
+
+    def test_failed_bootstrap_is_retried_not_latched(self):
+        calls = []
+
+        def flaky_bootstrap():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ImportError("catalog import exploded")
+            reg.register("builtin", lambda: 1)
+
+        reg = Registry("thing", bootstrap=flaky_bootstrap)
+        with pytest.raises(ImportError, match="exploded"):
+            reg.names()
+        # The next touch retries the bootstrap instead of reporting empty.
+        assert reg.names() == ["builtin"]
+        assert len(calls) == 2
+
+    def test_register_bootstraps_builtins_first(self):
+        """Import-time registrations must see the built-ins, so the duplicate
+        check is meaningful and replace=True actually overrides."""
+        reg = Registry("thing", bootstrap=lambda: reg.register("builtin", lambda: 1))
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("builtin", lambda: 2)
+        reg.register("builtin", lambda: 3, replace=True)
+        assert reg.build("builtin") == 3
+        assert reg.names() == ["builtin"]
+
+    def test_replace_drops_the_old_aliases(self):
+        reg = Registry("thing")
+        reg.register("a", lambda: 1, aliases=("old",))
+        reg.register("a", lambda: 2, replace=True)
+        with pytest.raises(RegistryError, match="unknown thing 'old'"):
+            reg.get("old")
+        # the reclaimed alias is free for another plugin
+        reg.register("fresh", lambda: 3, aliases=("old",))
+        assert reg.build("old") == 3
+
+    def test_unknown_key_lists_alternatives(self):
+        reg = Registry("gadget")
+        reg.register("left", lambda: 1)
+        reg.register("right", lambda: 2)
+        with pytest.raises(RegistryError) as excinfo:
+            reg.get("middle")
+        message = str(excinfo.value)
+        assert "unknown gadget 'middle'" in message
+        assert "available: left, right" in message
+
+    def test_unknown_key_suggests_close_match(self):
+        reg = Registry("gadget")
+        reg.register("fattree", lambda: 1)
+        with pytest.raises(RegistryError, match="did you mean 'fattree'"):
+            reg.get("fattre")
+
+    def test_names_are_normalised(self):
+        reg = Registry("thing")
+        reg.register("Fat_Tree", lambda: 1)
+        assert reg.names() == ["fat-tree"]
+        assert reg.get("FAT_TREE").name == "fat-tree"
+        assert reg.get("fat-tree").builder() == 1
+
+    def test_alias_resolves_to_canonical_entry(self):
+        reg = Registry("thing")
+        reg.register("canonical", lambda: 42, aliases=("nickname",))
+        assert reg.get("nickname").name == "canonical"
+        assert reg.build("nickname") == 42
+
+
+class TestMakeConfig:
+    def test_builds_config_dataclass(self):
+        from repro.network.tree import TreeTopologyConfig
+
+        entry = TOPOLOGIES.get("tree")
+        config = entry.make_config({"num_agg": 3})
+        assert isinstance(config, TreeTopologyConfig)
+        assert config.num_agg == 3
+
+    def test_unknown_parameter_lists_valid_fields(self):
+        entry = TOPOLOGIES.get("fattree")
+        with pytest.raises(RegistryError, match="valid fields"):
+            entry.make_config({"nope": 1})
+
+    def test_invalid_value_is_wrapped(self):
+        entry = TOPOLOGIES.get("fattree")
+        with pytest.raises(RegistryError, match="invalid parameters"):
+            entry.make_config({"k": 3})  # odd arity rejected by FatTreeConfig
+
+    def test_no_config_class_rejects_parameters(self):
+        reg = Registry("thing")
+        reg.register("bare", lambda: 1)
+        assert reg.get("bare").make_config({}) is None
+        with pytest.raises(RegistryError, match="takes no parameters"):
+            reg.get("bare").make_config({"x": 1})
+
+
+class TestBuiltinCatalogs:
+    def test_topologies_registered(self):
+        assert {"tree", "fattree", "vl2", "leafspine"} <= set(TOPOLOGIES.names())
+
+    def test_workloads_registered(self):
+        assert {"video", "datacenter", "pareto-poisson"} <= set(WORKLOADS.names())
+
+    def test_schemes_registered(self):
+        assert {"scda", "rand-tcp", "ideal", "vlb", "hedera"} <= set(SCHEMES.names())
+        assert TRANSPORTS is SCHEMES
+
+    def test_placements_registered(self):
+        assert {"random", "round-robin", "least-loaded", "scda"} <= set(PLACEMENTS.names())
+
+    def test_every_topology_builds(self):
+        for name in ("tree", "fattree", "vl2", "leafspine"):
+            entry = TOPOLOGIES.get(name)
+            topo = entry.builder(entry.make_config({}))
+            assert len(topo.hosts()) > 0
+            assert len(topo.clients()) > 0
+
+    def test_scheme_entries_return_frozen_specs(self):
+        from repro.baselines.schemes import SchemeSpec
+
+        for name in SCHEMES.names():
+            spec = SCHEMES.build(name)
+            assert isinstance(spec, SchemeSpec)
+
+    def test_placement_context_requirements(self):
+        from repro.cluster.placement import PlacementContext
+
+        with pytest.raises(RegistryError, match="fabric"):
+            PLACEMENTS.build("least-loaded", PlacementContext(seed=1))
+        with pytest.raises(RegistryError, match="Controller"):
+            PLACEMENTS.build("scda", PlacementContext(seed=1))
+        policy = PLACEMENTS.build("random", PlacementContext(seed=1))
+        assert policy.name == "random"
