@@ -1,0 +1,49 @@
+"""Execution-layer benchmark: one job matrix on serial / thread / process.
+
+Measures how the wall-clock of a small scheme × load matrix scales with the
+executor backend, and asserts the determinism contract that makes the
+parallel numbers publishable at all: every backend returns bit-identical
+canonical results.
+"""
+
+import time
+
+import pytest
+
+from bench_utils import save_result, scenario_pareto_poisson
+
+
+@pytest.mark.benchmark(group="executor scaling")
+def test_bench_executor_backends_scale_and_agree(benchmark, results_dir):
+    from repro.exec import plan_matrix, run_jobs
+    from repro.exec.planner import with_arrival_rate
+
+    base = scenario_pareto_poisson().with_overrides(sim_time_s=4.0).to_spec()
+    scenarios = [with_arrival_rate(base, rate) for rate in (20.0, 40.0, 60.0)]
+    jobs = plan_matrix(scenarios, ["scda", "rand-tcp"])
+
+    def run_all():
+        timings = {}
+        outputs = {}
+        for backend, workers in (("serial", 1), ("thread", 4), ("process", 4)):
+            start = time.perf_counter()
+            report = run_jobs(jobs, executor=backend, max_workers=workers)
+            timings[backend] = time.perf_counter() - start
+            outputs[backend] = {
+                key: result.canonical_dict() for key, result in report.results.items()
+            }
+        return timings, outputs
+
+    timings, outputs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "executor_scaling",
+        {
+            "jobs": len(jobs),
+            "wall_clock_s": timings,
+            "process_speedup_vs_serial": timings["serial"] / timings["process"],
+        },
+    )
+
+    # The determinism contract: any backend, same bits.
+    assert outputs["serial"] == outputs["thread"] == outputs["process"]

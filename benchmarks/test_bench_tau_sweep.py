@@ -14,19 +14,26 @@ from bench_utils import save_result, scenario_pareto_poisson
 @pytest.mark.benchmark(group="tau sweep")
 def test_bench_control_interval_sweep(benchmark, results_dir):
     from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
-    from repro.experiments.runner import generate_workload, run_scheme
+    from repro.exec import ExperimentJob, run_jobs
 
     base = scenario_pareto_poisson().with_overrides(sim_time_s=6.0)
-    workload = generate_workload(base)
     taus = (0.005, 0.010, 0.050, 0.100)
 
+    # Planned up front as serialisable jobs (candidate per τ, baseline once),
+    # then fanned out on the thread backend — same numbers as a serial loop.
+    jobs = {
+        tau: ExperimentJob(
+            spec=base.with_overrides(control_interval_s=tau), scheme=SCDA_SCHEME
+        )
+        for tau in taus
+    }
+    jobs["randtcp"] = ExperimentJob(spec=base, scheme=RAND_TCP)
+
     def sweep():
-        results = {}
-        for tau in taus:
-            scenario = base.with_overrides(control_interval_s=tau)
-            results[tau] = run_scheme(scenario, SCDA_SCHEME, workload).mean_fct_s()
-        results["randtcp"] = run_scheme(base, RAND_TCP, workload).mean_fct_s()
-        return results
+        report = run_jobs(list(jobs.values()), executor="thread", max_workers=2)
+        return {
+            label: report.result_for(job).mean_fct_s() for label, job in jobs.items()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     save_result(

@@ -9,6 +9,8 @@ reports every τ plus the per-request protocol messages of Section VIII).
 Run it with::
 
     python examples/load_sweep_analysis.py [--rates 15 40 80]
+    python examples/load_sweep_analysis.py --executor process --jobs 4 \
+        --store /tmp/load_sweep.jsonl   # parallel + resumable
 """
 
 import argparse
@@ -29,11 +31,21 @@ def main() -> int:
                         help="arrival rates (flows/s) to sweep")
     parser.add_argument("--sim-time", type=float, default=6.0)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--executor", default="serial",
+                        help="execution backend: serial, thread or process")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for pooled executors")
+    parser.add_argument("--store", default=None,
+                        help="JSONL result store enabling resume across runs")
     args = parser.parse_args()
 
     print(f"Sweeping offered load: {args.rates} flows/s "
-          f"({args.sim_time:.0f}s of workload per point, both schemes per point)")
-    sweep = sweep_offered_load(sorted(args.rates), sim_time=args.sim_time, seed=args.seed)
+          f"({args.sim_time:.0f}s of workload per point, both schemes per point, "
+          f"executor={args.executor})")
+    sweep = sweep_offered_load(
+        sorted(args.rates), sim_time=args.sim_time, seed=args.seed,
+        executor=args.executor, max_workers=args.jobs, store=args.store,
+    )
 
     print()
     print(sweep.as_table())

@@ -8,9 +8,16 @@ Commands
     by registry key (``--topology fattree``) — and print the headline numbers.
 ``run``
     Run a declarative scenario file (``repro run scenario.json``) produced by
-    :meth:`~repro.experiments.spec.ScenarioSpec.save`.
+    :meth:`~repro.experiments.spec.ScenarioSpec.save`, optionally on a
+    parallel executor backend with a resumable result store
+    (``--executor process --jobs 4 --results out.jsonl``).
+``sweep``
+    Plan a load or τ sweep into jobs and run it on an executor backend
+    (``repro sweep load --points 15,40,80 --executor process --jobs 4``).
+    Points already present in ``--results`` are not recomputed.
 ``list-plugins``
-    Show every registered topology, workload, scheme and placement.
+    Show every registered topology, workload, scheme, placement and
+    executor.
 ``figure``
     Regenerate one of the paper's figures (fig07..fig18) and print it as a
     table and/or an ASCII plot.
@@ -95,6 +102,40 @@ def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
                         help="baseline scheme registry key (default: rand-tcp)")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default="serial", metavar="KEY",
+                        help="execution backend registry key (serial, thread, "
+                             "process); see 'list-plugins'")
+    parser.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                        help="worker count for pooled executors")
+    parser.add_argument("--results", default=None, metavar="PATH",
+                        help="JSONL result store: computed points are appended, "
+                             "already-stored points are never re-run")
+
+
+def _progress_printer(as_json: bool):
+    """Per-job progress lines on stderr (silent in --json mode)."""
+    if as_json:
+        return None
+
+    def progress(event: str, job, detail) -> None:
+        if event == "submitted":
+            return
+        line = f"  [{event}] {job.label()}"
+        if detail:
+            line += f": {detail}"
+        print(line, file=sys.stderr)
+
+    return progress
+
+
 def _print_comparison(scenario, comparison, shape, as_json: bool) -> None:
     summary = comparison.summary()
     if as_json:
@@ -127,19 +168,115 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_scenario
+    from repro.exec import plan_comparison, run_jobs
     from repro.experiments.shapes import check_comparison_shape
     from repro.experiments.spec import ScenarioSpec
+    from repro.metrics.comparison import ComparisonResult
 
     try:
         scenario = ScenarioSpec.load(args.scenario_file)
     except (OSError, TypeError, ValueError) as exc:
         print(f"cannot load scenario file {args.scenario_file!r}: {exc}", file=sys.stderr)
         return 2
-    comparison = run_scenario(scenario, schemes=(args.candidate, args.baseline))
+    jobs = plan_comparison(scenario, candidate=args.candidate, baseline=args.baseline)
+    report = run_jobs(
+        jobs,
+        executor=args.executor,
+        max_workers=args.jobs,
+        store=args.results,
+        progress=_progress_printer(args.json),
+    )
+    comparison = ComparisonResult(
+        scenario=scenario.name,
+        candidate=report.result_for(jobs[0]),
+        baseline=report.result_for(jobs[1]),
+    )
     shape = check_comparison_shape(comparison)
     _print_comparison(scenario, comparison, shape, args.json)
     return 0 if shape.all_passed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exec import (
+        plan_control_interval_sweep,
+        plan_offered_load_sweep,
+        run_jobs,
+    )
+    from repro.experiments.sweeps import SweepResult, points_from_jobs
+
+    try:
+        points = [float(p) for p in args.points.split(",") if p.strip()]
+    except ValueError:
+        print(f"cannot parse --points {args.points!r}: expected comma-separated "
+              "numbers, e.g. --points 15,40,80", file=sys.stderr)
+        return 2
+    if not points:
+        print("--points must name at least one value", file=sys.stderr)
+        return 2
+    base = _scenario_spec(args)
+    try:
+        if args.axis == "load":
+            if args.arrival_rate is not None:
+                print("--arrival-rate only applies to tau sweeps (the load sweep's "
+                      "--points are the arrival rates)", file=sys.stderr)
+                return 2
+            jobs = plan_offered_load_sweep(
+                points, base=base, candidate=args.candidate, baseline=args.baseline
+            )
+            parameter_name, short = "arrival rate (flows/s)", "rate"
+        else:
+            from repro.exec.planner import with_arrival_rate
+
+            # Mirrors sweep_control_interval's rate handling: the 40 flows/s
+            # pin applies only to the *default* scenario (the library's
+            # "base is None" case); a customised scenario keeps its own rate
+            # unless --arrival-rate overrides it.
+            from repro.experiments.sweeps import DEFAULT_TAU_SWEEP_ARRIVAL_RATE
+
+            rate = args.arrival_rate
+            if rate is None and args.scenario == "pareto" and not args.workload:
+                rate = DEFAULT_TAU_SWEEP_ARRIVAL_RATE
+            if rate is not None:
+                base = with_arrival_rate(base, rate)
+            jobs = plan_control_interval_sweep(
+                points, base=base, candidate=args.candidate, baseline=args.baseline,
+            )
+            parameter_name, short = "control interval (s)", "tau"
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_jobs(
+        jobs,
+        executor=args.executor,
+        max_workers=args.jobs,
+        store=args.results,
+        progress=_progress_printer(args.json),
+    )
+    sweep = SweepResult(
+        parameter_name=parameter_name,
+        points=points_from_jobs(jobs, report.results, short),
+    )
+    crossovers = sweep.crossover_points()
+    if args.json:
+        print(json.dumps(
+            {
+                "sweep": sweep.to_dict(),
+                "execution": report.summary(),
+                "crossover_points": crossovers,
+            },
+            indent=2, default=float,
+        ))
+    else:
+        print(sweep.as_table())
+        summary = report.summary()
+        print(f"\nexecutor={summary['executor']} jobs={summary['jobs']} "
+              f"computed={summary['computed']} cached={summary['cached']} "
+              f"failed={summary['failed']} wall={summary['wall_clock_s']:.1f}s")
+        if crossovers:
+            print(f"note: baseline wins at {short}={crossovers} (exit status 1)")
+        if args.results:
+            print(f"results stored in {args.results}")
+    return 0 if not crossovers else 1
 
 
 def cmd_list_plugins(args: argparse.Namespace) -> int:
@@ -282,11 +419,37 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run a declarative scenario JSON file")
     run.add_argument("scenario_file", help="path to a ScenarioSpec JSON file")
     _add_scheme_args(run)
+    _add_executor_args(run)
     run.add_argument("--json", action="store_true", help="print machine-readable JSON")
     run.set_defaults(func=cmd_run)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="run a load or τ sweep on an executor backend",
+        description="Plan a sweep into jobs and run it on an executor backend. "
+                    "Exit status: 0 when the candidate wins at every point, "
+                    "1 when the baseline wins anywhere (the points are still "
+                    "printed/stored), 2 on usage or execution errors.",
+    )
+    sweep.add_argument("axis", choices=("load", "tau"),
+                       help="what to sweep: workload arrival rate, or the "
+                            "control interval τ")
+    sweep.add_argument("--points", required=True, metavar="P1,P2,...",
+                       help="comma-separated sweep values (rates in flows/s, "
+                            "or τ in seconds)")
+    sweep.add_argument("--arrival-rate", type=float, default=None, metavar="R",
+                       help="tau sweeps only: workload arrival rate in flows/s; "
+                            "defaults to 40 for the default pareto scenario "
+                            "(matching sweep_control_interval) and to the "
+                            "scenario's own rate otherwise")
+    _add_common_scenario_args(sweep)
+    _add_scheme_args(sweep)
+    _add_executor_args(sweep)
+    sweep.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    sweep.set_defaults(func=cmd_sweep)
+
     plugins = subparsers.add_parser(
-        "list-plugins", help="list registered topologies, workloads, schemes and placements"
+        "list-plugins",
+        help="list registered topologies, workloads, schemes, placements and executors",
     )
     plugins.add_argument("--json", action="store_true", help="print machine-readable JSON")
     plugins.set_defaults(func=cmd_list_plugins)
@@ -325,13 +488,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.exec.executors import ExecutionError
+    from repro.exec.store import ResultStoreError
     from repro.registry import RegistryError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except RegistryError as exc:
+    except (RegistryError, ExecutionError, ResultStoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,56 @@
+"""Job-based parallel execution of experiments.
+
+The paper's evaluation is a cross-product (schemes × topologies × workloads ×
+loads × τ); this package turns every point of that product into a
+self-contained, serialisable unit of work and runs the resulting job lists on
+pluggable backends:
+
+* :class:`~repro.exec.job.ExperimentJob` — one (scenario, scheme, seed)
+  point with a lossless JSON round-trip and a content-addressed key;
+* :mod:`~repro.exec.planner` — expands comparisons, matrices and sweeps into
+  job lists;
+* :mod:`~repro.exec.executors` — the :data:`~repro.registry.EXECUTORS`
+  registry with ``serial``, ``thread`` and ``process`` backends plus the
+  :func:`~repro.exec.executors.run_jobs` orchestrator;
+* :class:`~repro.exec.store.ResultStore` — an append-only JSONL store keyed
+  by job content, enabling resume (already-computed points are never re-run).
+
+Determinism contract: running the same job under any backend — or in any
+order relative to other jobs — produces a bit-identical
+:class:`~repro.metrics.comparison.SchemeResult` (modulo the wall-clock
+field).  See ``docs/EXECUTION.md``.
+"""
+
+from repro.exec.job import ExperimentJob
+from repro.exec.planner import (
+    plan_comparison,
+    plan_control_interval_sweep,
+    plan_matrix,
+    plan_offered_load_sweep,
+)
+from repro.exec.executors import (
+    Executor,
+    ExecutionReport,
+    JobFailure,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    run_jobs,
+)
+from repro.exec.store import ResultStore
+
+__all__ = [
+    "ExperimentJob",
+    "Executor",
+    "ExecutionReport",
+    "JobFailure",
+    "ProcessExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "plan_comparison",
+    "plan_control_interval_sweep",
+    "plan_matrix",
+    "plan_offered_load_sweep",
+    "run_jobs",
+]

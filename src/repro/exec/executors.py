@@ -1,0 +1,420 @@
+"""Executor backends: run job lists serially, on threads, or on processes.
+
+Every backend funnels each job through the same module-level payload
+function (:func:`execute_job_payload`): the job crosses the boundary as its
+plain :meth:`~repro.exec.job.ExperimentJob.to_dict` form and the result comes
+back as its :meth:`~repro.metrics.comparison.SchemeResult.to_dict` form.
+Serialising on *every* backend — including ``serial`` — keeps the three
+paths structurally identical, so "parallel equals serial" reduces to the
+simulator's own determinism (which the per-run id counters and the
+hierarchical seed derivation guarantee; see ``docs/EXECUTION.md``).
+
+Backends are plugins in the :data:`repro.registry.EXECUTORS` registry::
+
+    from repro.registry import EXECUTORS
+
+    @EXECUTORS.register("my-cluster", description="submit jobs to slurm")
+    class SlurmExecutor(Executor):
+        ...
+
+after which ``repro sweep --executor my-cluster`` and
+:func:`run_jobs(..., executor="my-cluster") <run_jobs>` pick it up.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exec.job import ExperimentJob
+from repro.exec.store import ResultStore
+from repro.metrics.comparison import SchemeResult
+from repro.registry import EXECUTORS, RegistryError
+
+#: ``progress(event, job, detail)`` with event one of ``submitted``,
+#: ``cached``, ``finished``, ``failed``.  ``detail`` is the error string for
+#: ``failed`` lines and ``None`` otherwise.
+ProgressCallback = Callable[[str, ExperimentJob, Optional[str]], None]
+
+#: ``on_outcome(job, outcome)`` invoked (on the caller's thread) as soon as
+#: each job's outcome is known — the hook :func:`run_jobs` uses to persist
+#: results incrementally, so an interrupted run keeps what it computed.
+OutcomeCallback = Callable[[ExperimentJob, "JobOutcome"], None]
+
+
+def execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one serialised job and return the serialised result.
+
+    This is the function worker processes import and call; it must stay
+    module-level (picklable by reference) and must take/return only plain
+    JSON-safe dicts so a spawn-started interpreter can execute it without
+    any parent state.
+    """
+    from repro.experiments.runner import run_job
+
+    job = ExperimentJob.from_dict(payload)
+    return run_job(job).to_dict()
+
+
+@dataclass
+class JobFailure:
+    """One job that raised instead of returning a result."""
+
+    job: ExperimentJob
+    error: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.job.label()}: {self.error}"
+
+
+#: What a backend hands back per job: the result dict, or a failure.
+JobOutcome = Union[Dict[str, Any], JobFailure]
+
+
+class Executor:
+    """Base class of execution backends.
+
+    Subclasses implement :meth:`execute`, mapping a job list to one outcome
+    per job (same order as the input).  ``max_workers`` is advisory — the
+    serial backend ignores it.
+    """
+
+    name = "base"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def effective_workers(self, n_jobs: int) -> int:
+        """The worker count actually used for ``n_jobs`` jobs."""
+        default = os.cpu_count() or 1
+        return max(1, min(self.max_workers or default, n_jobs or 1))
+
+    def execute(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> List[JobOutcome]:
+        """Run every job; one outcome per job, in input order.
+
+        ``on_outcome`` is invoked on the caller's thread as each job's
+        outcome becomes known (completion order, not input order), before
+        the method returns — backends must call it so callers can persist
+        partial progress even when the batch is interrupted later.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------------
+    @staticmethod
+    def _emit(
+        progress: Optional[ProgressCallback],
+        event: str,
+        job: ExperimentJob,
+        detail: Optional[str] = None,
+    ) -> None:
+        if progress is not None:
+            progress(event, job, detail)
+
+    @staticmethod
+    def _run_one(
+        job: ExperimentJob, progress: Optional[ProgressCallback]
+    ) -> JobOutcome:
+        try:
+            result = execute_job_payload(job.to_dict())
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failure = JobFailure(job=job, error=repr(exc), traceback=traceback.format_exc())
+            Executor._emit(progress, "failed", job, failure.error)
+            return failure
+        Executor._emit(progress, "finished", job)
+        return result
+
+    def _execute_on_pool(
+        self,
+        pool,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> List[JobOutcome]:
+        """Fan jobs out on a ``concurrent.futures`` pool, in-order results.
+
+        Jobs are submitted as their plain dict payloads, so process pools
+        only ever pickle JSON-safe values plus a module-level function.
+        ``on_outcome`` fires here, in the caller's thread, as each future
+        completes.
+        """
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        future_to_index = {}
+        for index, job in enumerate(jobs):
+            self._emit(progress, "submitted", job)
+            future = pool.submit(execute_job_payload, job.to_dict())
+            future_to_index[future] = index
+        pending = set(future_to_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future_to_index[future]
+                job = jobs[index]
+                try:
+                    outcome: JobOutcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                    outcome = JobFailure(
+                        job=job, error=repr(exc), traceback=traceback.format_exc()
+                    )
+                    self._emit(progress, "failed", job, outcome.error)
+                else:
+                    self._emit(progress, "finished", job)
+                outcomes[index] = outcome
+                if on_outcome is not None:
+                    on_outcome(job, outcome)
+        # Every future was indexed, so every slot is filled; returning the
+        # raw list keeps result→job alignment an invariant the caller can
+        # rely on (a None here would mean a bug, and should surface, not be
+        # silently filtered away).
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+
+class SerialExecutor(Executor):
+    """Run jobs one after another in the current interpreter."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> List[JobOutcome]:
+        outcomes: List[JobOutcome] = []
+        for job in jobs:
+            self._emit(progress, "submitted", job)
+            outcome = self._run_one(job, progress)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(job, outcome)
+        return outcomes
+
+
+class ThreadExecutor(Executor):
+    """Run jobs on a thread pool.
+
+    Each job builds its own simulator/fabric/cluster stack, so jobs share no
+    mutable state; the GIL limits the speed-up for pure-python scenarios but
+    numpy-heavy allocation rounds release it.
+    """
+
+    name = "thread"
+
+    def execute(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> List[JobOutcome]:
+        if not jobs:
+            return []
+        with ThreadPoolExecutor(max_workers=self.effective_workers(len(jobs))) as pool:
+            return self._execute_on_pool(pool, jobs, progress, on_outcome)
+
+
+class ProcessExecutor(Executor):
+    """Run jobs on a spawn-started process pool.
+
+    Spawn (not fork) is used on every platform: workers import the package
+    fresh and receive the job as a plain dict, so no live simulator state —
+    and none of the parent's global counters — ever crosses the boundary.
+    """
+
+    name = "process"
+
+    def execute(
+        self,
+        jobs: Sequence[ExperimentJob],
+        progress: Optional[ProgressCallback] = None,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> List[JobOutcome]:
+        if not jobs:
+            return []
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=self.effective_workers(len(jobs)), mp_context=context
+        ) as pool:
+            return self._execute_on_pool(pool, jobs, progress, on_outcome)
+
+
+EXECUTORS.register(
+    "serial",
+    SerialExecutor,
+    description="one job after another in this interpreter",
+)
+EXECUTORS.register(
+    "thread",
+    ThreadExecutor,
+    aliases=("threads",),
+    description="thread pool; shared interpreter, isolated per-job stacks",
+)
+EXECUTORS.register(
+    "process",
+    ProcessExecutor,
+    aliases=("processes", "multiprocessing"),
+    description="spawn-started process pool; jobs cross as JSON payloads",
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised by :func:`run_jobs` when jobs failed and errors are fatal."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} job(s) failed:"]
+        lines += [f"  - {failure}" for failure in self.failures]
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class ExecutionReport:
+    """Everything :func:`run_jobs` did: results, cache hits, failures."""
+
+    jobs: List[ExperimentJob]
+    results: Dict[str, SchemeResult]
+    computed_keys: List[str] = field(default_factory=list)
+    cached_keys: List[str] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+    executor: str = "serial"
+    wall_clock_s: float = 0.0
+
+    @property
+    def computed(self) -> int:
+        """Number of jobs actually executed this run."""
+        return len(self.computed_keys)
+
+    @property
+    def cached(self) -> int:
+        """Number of jobs satisfied from the result store."""
+        return len(self.cached_keys)
+
+    def result_for(self, job: ExperimentJob) -> SchemeResult:
+        """The result of ``job`` (raises ``KeyError`` if it failed)."""
+        return self.results[job.key]
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable run summary (printed by ``repro sweep --json``)."""
+        return {
+            "executor": self.executor,
+            "jobs": len(self.jobs),
+            "unique_jobs": len({job.key for job in self.jobs}),
+            "computed": self.computed,
+            "cached": self.cached,
+            "failed": len(self.failures),
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def resolve_executor(
+    executor: Union[str, Executor], max_workers: Optional[int] = None
+) -> Executor:
+    """An :class:`Executor` instance from a registry key (or pass through).
+
+    A passed-in instance is treated as read-only: a ``max_workers`` override
+    applies to a shallow copy, never to the caller's object.
+    """
+    if isinstance(executor, Executor):
+        if max_workers is not None and max_workers != executor.max_workers:
+            if max_workers < 1:
+                raise ValueError("max_workers must be >= 1")
+            executor = copy.copy(executor)
+            executor.max_workers = max_workers
+        return executor
+    built = EXECUTORS.build(executor, max_workers=max_workers)
+    if not isinstance(built, Executor):
+        raise RegistryError(
+            f"executor {executor!r} built {type(built).__name__}, "
+            "expected an Executor subclass"
+        )
+    return built
+
+
+def run_jobs(
+    jobs: Sequence[ExperimentJob],
+    executor: Union[str, Executor] = "serial",
+    max_workers: Optional[int] = None,
+    store: Optional[Union[str, ResultStore]] = None,
+    progress: Optional[ProgressCallback] = None,
+    raise_on_error: bool = True,
+) -> ExecutionReport:
+    """Run a job list on a backend, with optional caching/resume.
+
+    Parameters
+    ----------
+    jobs:
+        The planned jobs (see :mod:`repro.exec.planner`).  Jobs sharing a
+        content key are computed once.
+    executor:
+        Registry key (``serial``, ``thread``, ``process``) or an
+        :class:`Executor` instance.
+    max_workers:
+        Worker count for pooled backends.
+    store:
+        A :class:`~repro.exec.store.ResultStore` (or its path).  Jobs whose
+        key is already present are *not* re-run; newly computed results are
+        appended as they finish, so an interrupted run resumes cleanly.
+    progress:
+        Optional ``(event, job, detail)`` callback.
+    raise_on_error:
+        Raise :class:`ExecutionError` after the run if any job failed
+        (results of successful jobs are still stored first).
+    """
+    jobs = list(jobs)
+    backend = resolve_executor(executor, max_workers=max_workers)
+    result_store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
+
+    report = ExecutionReport(jobs=jobs, results={}, executor=backend.name)
+    started = time.perf_counter()
+
+    # Partition into cached and to-compute, deduplicating by content key.
+    to_run: List[ExperimentJob] = []
+    seen: set = set()
+    for job in jobs:
+        key = job.key
+        if key in seen:
+            continue
+        cached = result_store.get(key) if result_store is not None else None
+        if cached is not None:
+            report.results[key] = cached
+            report.cached_keys.append(key)
+            Executor._emit(progress, "cached", job)
+            seen.add(key)
+            continue
+        seen.add(key)
+        to_run.append(job)
+
+    def record_outcome(job: ExperimentJob, outcome: JobOutcome) -> None:
+        # Invoked as each job finishes (completion order): results reach the
+        # store immediately, so an interrupted batch keeps everything it
+        # computed and the restarted run resumes from there.
+        if isinstance(outcome, JobFailure):
+            report.failures.append(outcome)
+            return
+        result = SchemeResult.from_dict(outcome)
+        key = job.key
+        report.results[key] = result
+        report.computed_keys.append(key)
+        if result_store is not None:
+            result_store.put(job, result, meta={"executor": backend.name})
+
+    if to_run:
+        backend.execute(to_run, progress=progress, on_outcome=record_outcome)
+
+    report.wall_clock_s = time.perf_counter() - started
+    if report.failures and raise_on_error:
+        raise ExecutionError(report.failures)
+    return report

@@ -1,0 +1,210 @@
+"""Serialisable experiment jobs.
+
+An :class:`ExperimentJob` is the unit of parallel work: one scenario run by
+one scheme under one seed.  It is a *pure value* — a
+:class:`~repro.experiments.spec.ScenarioSpec` plus a scheme (registry key or
+inline :class:`~repro.baselines.schemes.SchemeSpec` fields) plus the seed the
+run uses — with a lossless JSON round-trip, so a job can be pickled to a
+spawn-started worker process, written to disk, or replayed later.
+
+Jobs are content-addressed: :attr:`ExperimentJob.key` is a SHA-256 over the
+canonical JSON of everything that *determines the numbers* (spec, scheme,
+seed).  The presentation-only :attr:`tags` (which sweep point a job belongs
+to, whether it is the candidate or the baseline, ...) are excluded, so two
+jobs that would compute the same thing share a key — which is exactly what
+lets the :class:`~repro.exec.store.ResultStore` cache and resume across
+sweeps that overlap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.baselines.schemes import SchemeSpec
+from repro.experiments.spec import ScenarioSpec, _jsonify, as_spec
+
+
+#: Reverse map of built scheme specs to registry keys, rebuilt whenever the
+#: scheme registry's size changes (e.g. a plugin registered later).
+_scheme_key_cache: Dict[str, Any] = {"size": -1, "map": {}}
+
+
+def _canonical_scheme_key(scheme: SchemeSpec) -> Optional[str]:
+    """The registry key whose built spec equals ``scheme``, if any."""
+    from repro.registry import SCHEMES
+
+    size = len(SCHEMES)
+    if _scheme_key_cache["size"] != size:
+        reverse: Dict[SchemeSpec, str] = {}
+        for entry in SCHEMES.entries():
+            try:
+                built = entry.builder()
+            except Exception:  # pragma: no cover - defensive against odd plugins
+                continue
+            if isinstance(built, SchemeSpec):
+                reverse.setdefault(built, entry.name)
+        _scheme_key_cache["map"] = reverse
+        _scheme_key_cache["size"] = size
+    return _scheme_key_cache["map"].get(scheme)
+
+
+def _scheme_payload(scheme: Union[str, SchemeSpec, Mapping[str, Any]]) -> Union[str, Dict[str, Any]]:
+    """Normalise a scheme to its JSON form: a registry key or a field dict.
+
+    Validation is eager in both forms so a malformed job fails at
+    construction, not on a worker three minutes into a sweep: inline dicts
+    must build a :class:`SchemeSpec`, and string keys must resolve in the
+    scheme registry (with its did-you-mean error on typos).
+
+    Everything is stored *canonically*: aliases resolve to the canonical
+    registry key, and a :class:`SchemeSpec` equal to a registered one folds
+    back to its key.  A job planned from ``SCDA_SCHEME`` therefore shares
+    its content key with one planned from ``"scda"`` — without this, the
+    CLI (string keys) and the Python API (often spec objects) would cache
+    the same computation under different :class:`ResultStore` keys.  Only a
+    genuinely unregistered ad-hoc spec is stored as an inline field dict.
+    """
+    if isinstance(scheme, Mapping) and not isinstance(scheme, SchemeSpec):
+        scheme = SchemeSpec(**dict(scheme))
+    if isinstance(scheme, SchemeSpec):
+        key = _canonical_scheme_key(scheme)
+        return key if key is not None else asdict(scheme)
+    from repro.registry import SCHEMES
+
+    return SCHEMES.get(str(scheme)).name
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One (scenario, scheme, seed) point of the evaluation cross-product.
+
+    Attributes
+    ----------
+    spec:
+        The declarative scenario.  The job's :attr:`seed` overrides the
+        spec's own seed at execution time (they are equal for jobs built by
+        the planner's default, order-independent derivation).
+    scheme:
+        A scheme registry key (``"scda"``) or a dict of
+        :class:`~repro.baselines.schemes.SchemeSpec` fields for ad-hoc
+        schemes that are not registered.
+    seed:
+        The master seed of the run.  Defaults to the spec's seed; planners
+        deriving per-point seeds use
+        :func:`repro.sim.random.derive_seed`'s hierarchical form so the value
+        depends only on the job's identity, never on execution order.
+    tags:
+        Presentation-only labels (sweep parameter, candidate/baseline role,
+        ...).  Excluded from :attr:`key`.
+    """
+
+    spec: ScenarioSpec
+    scheme: Union[str, Dict[str, Any]]
+    seed: Optional[int] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Accept anything scenario-like (spec, legacy config, spec dict).
+        object.__setattr__(self, "spec", as_spec(self.spec))
+        object.__setattr__(self, "scheme", _scheme_payload(self.scheme))
+        object.__setattr__(
+            self, "seed", int(self.spec.seed if self.seed is None else self.seed)
+        )
+        object.__setattr__(self, "tags", _jsonify(dict(self.tags)))
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the dict-valued
+        # fields; hashing the content key is consistent with field equality
+        # (equal jobs serialise identically, hence share a key).
+        return hash(self.key)
+
+    # -- identity ----------------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Content-addressed job key: SHA-256 of the canonical job JSON.
+
+        Stable across processes, platforms and interpreter restarts, and
+        independent of everything presentation-only — :attr:`tags` and the
+        spec's display ``name`` (two specs differing only in name compute
+        identical numbers, so they must share cache entries); this is the
+        key the :class:`~repro.exec.store.ResultStore` caches results under.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
+        spec_payload = self.resolved_spec().to_dict()
+        del spec_payload["name"]
+        payload = {
+            "spec": spec_payload,
+            "scheme": self.scheme,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        # Frozen dataclass: stash the lazily computed key without making it
+        # a field (it would pollute eq/repr and the serialised form).
+        object.__setattr__(self, "_key", key)
+        return key
+
+    @property
+    def scheme_name(self) -> str:
+        """The scheme's display-friendly name (key or inline spec name)."""
+        if isinstance(self.scheme, str):
+            return self.scheme
+        return str(self.scheme.get("name", "<scheme>"))
+
+    def label(self) -> str:
+        """A short human-readable description for progress reporting."""
+        return f"{self.spec.name} × {self.scheme_name} (seed {self.seed})"
+
+    # -- resolution --------------------------------------------------------------------
+    def resolved_spec(self) -> ScenarioSpec:
+        """The scenario this job actually runs: the spec under the job seed."""
+        if self.seed == self.spec.seed:
+            return self.spec
+        return self.spec.with_overrides(seed=self.seed)
+
+    def resolved_scheme(self) -> SchemeSpec:
+        """The full scheme spec (registry keys are looked up lazily)."""
+        if isinstance(self.scheme, str):
+            from repro.registry import SCHEMES
+
+            return SCHEMES.build(self.scheme)
+        return SchemeSpec(**self.scheme)
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; ``from_dict`` round-trips losslessly."""
+        return {
+            "spec": self.spec.to_dict(),
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentJob":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            scheme=data["scheme"],
+            seed=data.get("seed"),
+            tags=dict(data.get("tags", {})),
+        )
+
+    def to_json(self) -> str:
+        """The job as a compact JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentJob":
+        """Parse a job from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def with_tags(self, **tags: Any) -> "ExperimentJob":
+        """A copy of this job with extra presentation tags merged in."""
+        return ExperimentJob(
+            spec=self.spec, scheme=self.scheme, seed=self.seed, tags={**self.tags, **tags}
+        )

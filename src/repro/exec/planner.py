@@ -1,0 +1,164 @@
+"""Planners: expand comparisons, matrices and sweeps into job lists.
+
+A planner is a pure function from a declarative description of an experiment
+family to a list of :class:`~repro.exec.job.ExperimentJob` s.  Planning is
+separate from execution so the same job list can be printed, counted, stored,
+or handed to any :mod:`~repro.exec.executors` backend — and so job identity
+(and therefore each job's seed) is fixed *before* anything runs, which is
+what makes parallel execution order-independent.
+
+Tags attached here (``parameter``, ``role``) are presentation-only: they let
+the sweep layer reassemble per-point :class:`ComparisonResult` s out of the
+flat result map without affecting the content-addressed job keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.baselines.schemes import SchemeSpec
+from repro.exec.job import ExperimentJob
+from repro.experiments.spec import ScenarioSpec, as_spec
+from repro.sim.random import derive_seed
+
+#: A scheme as accepted by the planners: registry key or full spec.
+SchemeLike = Union[str, SchemeSpec]
+
+
+def with_arrival_rate(spec: ScenarioSpec, rate: float) -> ScenarioSpec:
+    """Override the workload's arrival rate, whatever its config calls it."""
+    from repro.registry import WORKLOADS
+
+    entry = WORKLOADS.get(spec.workload)
+    field_names = (
+        {f.name for f in dataclass_fields(entry.config_cls)}
+        if entry.config_cls is not None
+        else set()
+    )
+    for candidate_field in ("arrival_rate_per_s", "video_arrival_rate_per_s"):
+        if candidate_field in field_names:
+            return spec.with_overrides(
+                workload_params={**spec.workload_params, candidate_field: float(rate)}
+            )
+    raise ValueError(
+        f"workload {spec.workload!r} has no arrival-rate parameter to sweep "
+        f"(config {entry.config_cls.__name__ if entry.config_cls else None!r})"
+    )
+
+
+def _point_seed(
+    spec: ScenarioSpec, reseed: bool, sweep_name: str, point_label: str
+) -> int:
+    """The seed a sweep point runs under.
+
+    By default every point reuses the base seed (the historical behaviour:
+    points differ only in the swept parameter).  With ``reseed`` the seed is
+    derived hierarchically from the point's *identity* — never from
+    execution order — so parallel runs stay bit-identical to serial ones.
+    """
+    if not reseed:
+        return spec.seed
+    return derive_seed(spec.seed, "sweep", sweep_name, point_label)
+
+
+def plan_comparison(
+    scenario: Any,
+    candidate: SchemeLike = "scda",
+    baseline: SchemeLike = "rand-tcp",
+) -> List[ExperimentJob]:
+    """Two jobs — candidate and baseline — on the same scenario."""
+    spec = as_spec(scenario)
+    return [
+        ExperimentJob(spec=spec, scheme=candidate, tags={"role": "candidate"}),
+        ExperimentJob(spec=spec, scheme=baseline, tags={"role": "baseline"}),
+    ]
+
+
+def plan_matrix(
+    scenarios: Sequence[Any],
+    schemes: Sequence[SchemeLike],
+) -> List[ExperimentJob]:
+    """The full scenarios × schemes cross-product as a job list."""
+    specs = [as_spec(scenario) for scenario in scenarios]
+    if not specs:
+        raise ValueError("need at least one scenario")
+    if not schemes:
+        raise ValueError("need at least one scheme")
+    jobs: List[ExperimentJob] = []
+    for index, spec in enumerate(specs):
+        for scheme in schemes:
+            jobs.append(
+                ExperimentJob(
+                    spec=spec,
+                    scheme=scheme,
+                    tags={"scenario_index": index, "scenario": spec.name},
+                )
+            )
+    return jobs
+
+
+def plan_offered_load_sweep(
+    arrival_rates_per_s: Sequence[float],
+    base: ScenarioSpec,
+    candidate: SchemeLike = "scda",
+    baseline: SchemeLike = "rand-tcp",
+    reseed_per_point: bool = False,
+) -> List[ExperimentJob]:
+    """Jobs for a load sweep: (candidate, baseline) at every arrival rate.
+
+    Each job is tagged with its ``parameter`` (the rate) and ``role`` so the
+    sweep layer can fold the flat results back into per-point comparisons.
+    """
+    if not arrival_rates_per_s:
+        raise ValueError("need at least one arrival rate")
+    jobs: List[ExperimentJob] = []
+    for rate in arrival_rates_per_s:
+        if rate <= 0:
+            raise ValueError("arrival rates must be positive")
+        point = with_arrival_rate(base, float(rate))
+        seed = _point_seed(base, reseed_per_point, "offered-load", f"rate={float(rate):g}")
+        for role, scheme in (("candidate", candidate), ("baseline", baseline)):
+            jobs.append(
+                ExperimentJob(
+                    spec=point,
+                    scheme=scheme,
+                    seed=seed,
+                    tags={"parameter": float(rate), "role": role},
+                )
+            )
+    return jobs
+
+
+def plan_control_interval_sweep(
+    control_intervals_s: Sequence[float],
+    base: ScenarioSpec,
+    candidate: SchemeLike = "scda",
+    baseline: SchemeLike = "rand-tcp",
+    reseed_per_point: bool = False,
+) -> List[ExperimentJob]:
+    """Jobs for a τ sweep: (candidate, baseline) at every control interval.
+
+    τ is the *fabric* recompute tick, so it shapes the baseline's TCP
+    dynamics too — both schemes are planned per point (matching the
+    historical serial sweep bit-for-bit).  Each job carries its τ as the
+    ``parameter`` tag.
+    """
+    if not control_intervals_s:
+        raise ValueError("need at least one control interval")
+    jobs: List[ExperimentJob] = []
+    for tau in control_intervals_s:
+        if tau <= 0:
+            raise ValueError("control intervals must be positive")
+        point = base.with_overrides(control_interval_s=float(tau))
+        seed = _point_seed(base, reseed_per_point, "control-interval", f"tau={float(tau):g}")
+        for role, scheme in (("candidate", candidate), ("baseline", baseline)):
+            jobs.append(
+                ExperimentJob(
+                    spec=point,
+                    scheme=scheme,
+                    seed=seed,
+                    tags={"parameter": float(tau), "role": role},
+                )
+            )
+    return jobs

@@ -1,0 +1,191 @@
+"""Resumable result store: append-only JSONL keyed by job content.
+
+Each line of the store is one computed job::
+
+    {"key": "<sha256>", "job": {...}, "result": {...}, "meta": {...}}
+
+``result`` is the :meth:`~repro.metrics.comparison.SchemeResult.canonical_dict`
+of the run — everything measured except the host-dependent wall clock, which
+lives in ``meta`` together with the executor backend that produced the line.
+Because jobs are content-addressed (see :class:`~repro.exec.job.ExperimentJob`)
+and the canonical result of a job is deterministic, two stores produced by
+different backends (or different machines of the same platform) for the same
+job list are equal line-for-line after keying — which is what the CI smoke
+test asserts.
+
+Resume semantics: :func:`~repro.exec.executors.run_jobs` skips every job
+whose key is already present, so re-running a sweep against the same store
+recomputes nothing and only fills in missing points.  Appending the same key
+twice is allowed (last write wins on load), so a crashed run can simply be
+restarted against its own store.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.exec.job import ExperimentJob
+from repro.metrics.comparison import SchemeResult
+
+
+class ResultStoreError(ValueError):
+    """The store file is corrupt in a way resume cannot safely ignore."""
+
+
+class ResultStore:
+    """JSONL-backed cache of computed :class:`ExperimentJob` results.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  Created (with parents) on first write; a missing
+        file reads as an empty store.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._loaded = False
+
+    # -- loading -----------------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        for line_no, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+            except (ValueError, KeyError, TypeError) as exc:
+                if line_no - 1 == last_content:
+                    # A truncated *final* line is the signature of a run
+                    # killed mid-append (SIGKILL, ENOSPC); dropping it keeps
+                    # the documented crash-resume semantics — the job it held
+                    # is simply recomputed.
+                    warnings.warn(
+                        f"{self.path}:{line_no}: dropping truncated final "
+                        f"result-store line ({exc}); the job will be recomputed",
+                        stacklevel=3,
+                    )
+                    continue
+                # Corruption *before* the end cannot come from an append
+                # crash and may hide arbitrary data loss: refuse to guess.
+                raise ResultStoreError(
+                    f"{self.path}:{line_no}: corrupt result-store line ({exc})"
+                ) from exc
+            self._index[key] = entry
+
+    def reload(self) -> None:
+        """Drop the in-memory index and re-read the file on next access."""
+        self._index.clear()
+        self._loaded = False
+
+    # -- querying ----------------------------------------------------------------------
+    def __contains__(self, key: object) -> bool:
+        self._ensure_loaded()
+        if isinstance(key, ExperimentJob):
+            key = key.key
+        return key in self._index
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._index)
+
+    def keys(self) -> Iterator[str]:
+        """The stored job keys."""
+        self._ensure_loaded()
+        return iter(list(self._index))
+
+    def get(self, job_or_key: Union[str, ExperimentJob]) -> Optional[SchemeResult]:
+        """The cached result for a job (or raw key), or ``None`` if absent."""
+        self._ensure_loaded()
+        key = job_or_key.key if isinstance(job_or_key, ExperimentJob) else str(job_or_key)
+        entry = self._index.get(key)
+        if entry is None:
+            return None
+        return SchemeResult.from_dict(entry["result"])
+
+    def entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw stored line (job + result + meta) for ``key``."""
+        self._ensure_loaded()
+        return self._index.get(key)
+
+    def results_by_key(self) -> Dict[str, Dict[str, Any]]:
+        """``key -> canonical result dict`` for every stored job.
+
+        This is the comparison surface for "two stores hold the same
+        numbers": it excludes the per-line ``meta`` (wall clock, backend), so
+        a serial store and a process-executor store of the same sweep compare
+        equal.
+        """
+        self._ensure_loaded()
+        return {key: entry["result"] for key, entry in self._index.items()}
+
+    # -- writing -----------------------------------------------------------------------
+    def put(
+        self,
+        job: ExperimentJob,
+        result: SchemeResult,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> str:
+        """Append one computed result; returns the job key.
+
+        The line goes out as one ``write()`` system call on an unbuffered
+        ``O_APPEND`` descriptor, so two processes appending to the same
+        store never interleave *within* each other's lines.  The remaining
+        failure mode — a single write cut short by ``ENOSPC`` or a kill —
+        leaves a truncated *final* line, which the loader drops and
+        recomputes (see :meth:`_ensure_loaded`).
+        """
+        self._ensure_loaded()
+        key = job.key
+        entry = {
+            "key": key,
+            "job": job.to_dict(),
+            "result": result.canonical_dict(),
+            "meta": dict(meta or {}),
+        }
+        entry["meta"].setdefault("wall_clock_s", float(result.wall_clock_s))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self.path.open("ab", buffering=0) as fh:
+            fh.write((line + "\n").encode("utf-8"))
+        self._index[key] = entry
+        return key
+
+    # -- maintenance -------------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the file with one line per key (last write wins).
+
+        Returns the number of surviving entries.  Useful after crashed or
+        repeated runs appended duplicate keys.  The rewrite goes through a
+        temporary file and an atomic ``os.replace``, so a crash mid-compact
+        leaves the original store untouched rather than truncated.
+        """
+        import os
+
+        self._ensure_loaded()
+        lines = [
+            json.dumps(self._index[key], sort_keys=True, separators=(",", ":"))
+            for key in sorted(self._index)
+        ]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        tmp.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        os.replace(tmp, self.path)
+        return len(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r}, {len(self)} entries)"

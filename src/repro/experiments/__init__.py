@@ -9,7 +9,8 @@
 * :mod:`~repro.experiments.runner` — builds a full stack (topology, fabric,
   transport, controller, cluster, workload) for a scheme and runs it;
   :func:`run_scenario` / :func:`run_comparison` run two schemes on the
-  identical workload.
+  identical workload, and :func:`run_job` is the pure job → result function
+  the :mod:`repro.exec` executor backends call.
 * :mod:`~repro.experiments.figures` — one generator per figure (7-18) that
   returns the plotted series.
 * :mod:`~repro.experiments.shapes` — qualitative shape checks (who wins, by
@@ -22,6 +23,7 @@ from repro.experiments.runner import (
     SchemeStack,
     build_stack,
     resolve_scheme,
+    run_job,
     run_scenario,
     run_scheme,
     run_comparison,
@@ -58,6 +60,7 @@ __all__ = [
     "resolve_scheme",
     "SchemeStack",
     "build_stack",
+    "run_job",
     "run_scenario",
     "run_scheme",
     "run_comparison",

@@ -209,21 +209,18 @@ class ScenarioConfig:
         rate down so the scenario finishes quickly — pass
         ``arrival_rate_per_s=200`` and ``sim_time=100`` for the full-size run.
         """
-        topology = TreeTopologyConfig(
-            base_bandwidth_bps=200 * MBPS,
-            bandwidth_factor=3.0,
-            num_agg=2,
-            racks_per_agg=2,
-            hosts_per_rack=5,
-            num_clients=8,
-            client_bandwidth_bps=600 * MBPS,
+        # Shared constants: the declarative twin (ScenarioSpec.pareto_poisson)
+        # builds from the same dicts, so the factories cannot drift apart.
+        from repro.experiments.spec import (
+            PARETO_POISSON_TREE_PARAMS,
+            PARETO_POISSON_WORKLOAD_PARAMS,
         )
+
+        topology = TreeTopologyConfig(**PARETO_POISSON_TREE_PARAMS)
         pareto = ParetoPoissonConfig(
             duration_s=sim_time,
             arrival_rate_per_s=arrival_rate_per_s,
-            mean_size_bytes=500 * KB,
-            pareto_shape=1.6,
-            num_clients=8,
+            **PARETO_POISSON_WORKLOAD_PARAMS,
         )
         cfg = cls(
             name="pareto-poisson",

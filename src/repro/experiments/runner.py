@@ -14,9 +14,10 @@ callers that hold scheme objects.  All of them also accept a legacy
 
 from __future__ import annotations
 
+import itertools
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.baselines.hedera import HederaScheduler
 from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME, SchemeSpec
@@ -44,6 +45,7 @@ from repro.sim.random import derive_seed
 from repro.workloads.traces import FlowRequest, Operation, Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.job import ExperimentJob
     from repro.experiments.config import ScenarioConfig
 
 #: A scenario in any accepted form: declarative spec, legacy config, or dict.
@@ -68,6 +70,10 @@ class SchemeStack:
     placement: Optional[PlacementPolicy] = None
     router: Optional[Router] = None
     hedera: Optional[HederaScheduler] = None
+    #: Per-stack content ids: numbering restarts at 0 for every run so the
+    #: generated content keys (which the FES hashes across name nodes) do not
+    #: depend on process history or on concurrently running jobs.
+    content_ids: Iterator[int] = field(default_factory=itertools.count)
 
 
 def resolve_scheme(scheme: SchemeLike) -> SchemeSpec:
@@ -167,6 +173,7 @@ def build_stack(scenario: ScenarioLike, scheme: SchemeLike) -> SchemeStack:
         fabric,
         placement,
         config=StorageClusterConfig(
+            num_name_nodes=spec.num_name_nodes,
             setup_rtts=spec.setup_rtts,
             replication=ReplicationConfig(enabled=spec.replication_enabled),
         ),
@@ -208,11 +215,11 @@ def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
         if nns.knows(request.content_ref):
             cluster.read(client, request.content_ref, flow_kind=request.flow_kind)
             return
-    content = Content.create(
+    content = Content(
+        content_id=f"{request.flow_kind.value}-{next(stack.content_ids)}",
         size_bytes=request.size_bytes,
         declared_class=request.content_class,
         owner=client.node_id,
-        prefix=request.flow_kind.value,
     )
     cluster.write(client, content, flow_kind=request.flow_kind)
 
@@ -238,17 +245,25 @@ def run_scheme(
     wall_start = time.perf_counter()
     sim.run(until=spec.total_time_s)
     wall_clock = time.perf_counter() - wall_start
-    stack.collector.stop_sampling()
+    # Full detach (not just stop_sampling): the stack may outlive this call
+    # in a long-lived worker, and a detached collector cannot record stray
+    # completions from later activity on the same fabric.
+    stack.collector.detach()
     if stack.hedera is not None:
         stack.hedera.stop()
 
     sla_violations = (
         stack.controller.sla_monitor.count if stack.controller is not None else 0
     )
+    nns_writes = [nns.write_requests for nns in stack.cluster.name_nodes.values()]
     extras = {
         "requests_issued": float(len(workload)),
         "requests_completed": float(len(stack.cluster.completed_requests())),
         "events_processed": float(sim.events_processed),
+        # Metadata-plane load: lets scalability studies compare NNS counts
+        # from serialised results alone, without reaching into the stack.
+        "nns_write_requests_total": float(sum(nns_writes)),
+        "nns_write_requests_max": float(max(nns_writes)) if nns_writes else 0.0,
     }
     if stack.hedera is not None:
         extras["hedera_reroutes"] = float(stack.hedera.reroutes)
@@ -261,6 +276,20 @@ def run_scheme(
         extras=extras,
     )
     return result
+
+
+def run_job(job: "ExperimentJob") -> SchemeResult:
+    """Pure function from one :class:`~repro.exec.job.ExperimentJob` to its result.
+
+    This is the only thing executor workers call: everything the run needs is
+    (re)built from the job's serialisable spec — simulator, topology, fabric,
+    cluster, workload — so the function is safe to invoke from a spawn-started
+    process, a thread, or the current interpreter, and returns a bit-identical
+    :class:`~repro.metrics.comparison.SchemeResult` in each case (modulo wall
+    clock).
+    """
+    spec = job.resolved_spec()
+    return run_scheme(spec, job.resolved_scheme())
 
 
 def run_comparison(

@@ -37,6 +37,26 @@ from repro.core.rate_metric import ScdaParams
 from repro.registry import RegistryError, TOPOLOGIES, WORKLOADS, _normalise
 
 
+#: The paper's Pareto/Poisson scenario constants (Section X-B, Figures
+#: 17-18) — the single source both :meth:`ScenarioSpec.pareto_poisson` and
+#: :meth:`repro.experiments.config.ScenarioConfig.pareto_poisson` build
+#: from, so the two factories cannot drift apart.
+PARETO_POISSON_TREE_PARAMS: Dict[str, Any] = {
+    "base_bandwidth_bps": 200e6,
+    "bandwidth_factor": 3.0,
+    "num_agg": 2,
+    "racks_per_agg": 2,
+    "hosts_per_rack": 5,
+    "num_clients": 8,
+    "client_bandwidth_bps": 600e6,
+}
+PARETO_POISSON_WORKLOAD_PARAMS: Dict[str, Any] = {
+    "mean_size_bytes": 500 * 1024.0,
+    "pareto_shape": 1.6,
+    "num_clients": 8,
+}
+
+
 def _jsonify(value: Any) -> Any:
     """Coerce ``value`` to the plain JSON type system (tuples become lists).
 
@@ -102,6 +122,8 @@ class ScenarioSpec:
     control_interval_s: float = 0.010
     setup_rtts: float = 1.5
     replication_enabled: bool = True
+    #: name-node servers behind the FES (the paper's multi-NNS metadata plane)
+    num_name_nodes: int = 3
     throughput_sample_interval_s: float = 1.0
     #: scale-down threshold R_scale used by the passive-content policy
     scale_down_threshold_bps: float = 50e6
@@ -115,12 +137,56 @@ class ScenarioSpec:
             raise ValueError("control_interval_s must be positive")
         if self.throughput_sample_interval_s <= 0:
             raise ValueError("throughput_sample_interval_s must be positive")
+        if self.num_name_nodes < 1:
+            raise ValueError("num_name_nodes must be >= 1")
         self.topology = _normalise(self.topology)
         self.workload = _normalise(self.workload)
         self.topology_params = _jsonify(dict(self.topology_params))
         self.workload_params = _jsonify(dict(self.workload_params))
         self.scda_params = _jsonify(dict(self.scda_params))
         self.hedera_params = _jsonify(dict(self.hedera_params))
+
+    # -- paper scenarios ---------------------------------------------------------------
+    @classmethod
+    def pareto_poisson(
+        cls,
+        sim_time_s: float = 6.0,
+        seed: int = 1,
+        arrival_rate_per_s: float = 60.0,
+    ) -> "ScenarioSpec":
+        """The paper's Pareto/Poisson scenario as a pure spec (Figures 17-18).
+
+        Declarative twin of
+        :meth:`repro.experiments.config.ScenarioConfig.pareto_poisson` —
+        bit-identical to ``ScenarioConfig.pareto_poisson(...).to_spec()``
+        (a test pins the equality) but with no dependency on the legacy
+        config layer, so the sweeps and the execution planner can default to
+        it without importing :mod:`repro.experiments.config`.
+        """
+        from dataclasses import asdict
+
+        from repro.network.tree import TreeTopologyConfig
+        from repro.workloads.pareto_poisson import ParetoPoissonConfig
+
+        topology = TreeTopologyConfig(**PARETO_POISSON_TREE_PARAMS)
+        pareto = ParetoPoissonConfig(
+            duration_s=float(sim_time_s),
+            arrival_rate_per_s=float(arrival_rate_per_s),
+            **PARETO_POISSON_WORKLOAD_PARAMS,
+        )
+        # τ lives on the spec itself, never inside scda_params.
+        scda = asdict(ScdaParams())
+        scda.pop("control_interval_s", None)
+        return cls(
+            name="pareto-poisson",
+            seed=int(seed),
+            sim_time_s=float(sim_time_s),
+            topology="tree",
+            topology_params=asdict(topology),
+            workload="pareto-poisson",
+            workload_params=asdict(pareto),
+            scda_params=scda,
+        )
 
     # -- derived -----------------------------------------------------------------------
     @property

@@ -60,6 +60,19 @@ class MetricsCollector:
             self._timer.stop()
             self._timer = None
 
+    def detach(self) -> None:
+        """Fully disconnect the collector from its fabric.
+
+        Stops the periodic sampling timer (if running) and unregisters the
+        flow-completion callback, so the collector records nothing further
+        and the fabric holds no reference back to it.  Idempotent — safe to
+        call twice, or on a collector that never started sampling.  Use this
+        to tear a collector down cleanly between jobs in a long-lived
+        worker; the collected records and throughput series stay readable.
+        """
+        self.stop_sampling()
+        self.fabric.remove_flow_finished_callback(self._on_flow_finished)
+
     # -- callbacks --------------------------------------------------------------------------
     def _on_flow_finished(self, flow: Flow, now: float) -> None:
         if self.record_kinds is not None and flow.kind not in self.record_kinds:

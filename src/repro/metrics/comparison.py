@@ -9,7 +9,7 @@ series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -72,6 +72,78 @@ class SchemeResult:
     def completed_flows(self) -> int:
         return len(self.records)
 
+    # -- serialisation / merging ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict holding everything measured (lossless).
+
+        Floats survive a ``json.dumps``/``loads`` round-trip exactly (Python
+        serialises them via ``repr``), so ``from_dict(json.loads(...))``
+        rebuilds a bit-identical result — which is what lets results cross
+        process boundaries and live in a
+        :class:`~repro.exec.store.ResultStore`.
+        """
+        return {
+            "scheme": self.scheme,
+            "records": [r.to_dict() for r in self.records],
+            "throughput": self.throughput.to_dict(),
+            "sla_violations": int(self.sla_violations),
+            "wall_clock_s": float(self.wall_clock_s),
+            "extras": {str(k): float(v) for k, v in self.extras.items()},
+        }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus the volatile wall-clock measurement.
+
+        Two runs of the same :class:`~repro.exec.job.ExperimentJob` — on any
+        executor backend, in any process — produce equal canonical dicts;
+        only the host-dependent wall-clock timing is dropped.
+        """
+        data = self.to_dict()
+        del data["wall_clock_s"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchemeResult":
+        """Rebuild a result from :meth:`to_dict` (or canonical) output."""
+        return cls(
+            scheme=str(data["scheme"]),
+            records=[FlowRecord.from_dict(r) for r in data.get("records", ())],
+            throughput=ThroughputSeries.from_dict(data.get("throughput", {})),
+            sla_violations=int(data.get("sla_violations", 0)),
+            wall_clock_s=float(data.get("wall_clock_s", 0.0)),
+            extras={str(k): float(v) for k, v in data.get("extras", {}).items()},
+        )
+
+    def merge(self, other: "SchemeResult") -> "SchemeResult":
+        """Combine two partial results of the *same* scheme into one.
+
+        Records are concatenated, throughput samples interleaved in time
+        order, and the counters (SLA violations, wall clock, numeric extras)
+        summed — except extras named ``*_max``, which combine by maximum
+        (summing per-shard maxima would fabricate a value no shard saw).
+        This is the reduction step when one logical experiment is sharded
+        across workers.
+        """
+        if other.scheme != self.scheme:
+            raise ValueError(
+                f"cannot merge results of different schemes "
+                f"({self.scheme!r} vs {other.scheme!r})"
+            )
+        extras = dict(self.extras)
+        for key, value in other.extras.items():
+            if key in extras and key.endswith("_max"):
+                extras[key] = max(extras[key], value)
+            else:
+                extras[key] = extras.get(key, 0.0) + value
+        return SchemeResult(
+            scheme=self.scheme,
+            records=list(self.records) + list(other.records),
+            throughput=self.throughput.merged_with(other.throughput),
+            sla_violations=self.sla_violations + other.sla_violations,
+            wall_clock_s=self.wall_clock_s + other.wall_clock_s,
+            extras=extras,
+        )
+
 
 @dataclass
 class ComparisonResult:
@@ -128,6 +200,24 @@ class ComparisonResult:
     def cdf_dominance(self) -> float:
         """Fraction of the FCT range where the candidate's CDF is above the baseline's."""
         return stochastic_dominance_fraction(self.candidate.fcts(), self.baseline.fcts())
+
+    # -- serialisation ---------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict of the full comparison (lossless)."""
+        return {
+            "scenario": self.scenario,
+            "candidate": self.candidate.to_dict(),
+            "baseline": self.baseline.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComparisonResult":
+        """Rebuild a comparison from :meth:`to_dict` output."""
+        return cls(
+            scenario=str(data["scenario"]),
+            candidate=SchemeResult.from_dict(data["candidate"]),
+            baseline=SchemeResult.from_dict(data["baseline"]),
+        )
 
     def summary(self) -> Dict[str, float]:
         """All headline numbers in one dict (written into EXPERIMENTS.md)."""

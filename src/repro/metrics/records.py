@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.network.flow import Flow, FlowKind
 
@@ -37,6 +37,26 @@ class FlowRecord:
         if self.fct_s <= 0:
             return float("inf")
         return self.size_bytes * 8.0 / self.fct_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; the enum kind is stored by value."""
+        return {
+            "flow_id": int(self.flow_id),
+            "size_bytes": float(self.size_bytes),
+            "created_at_s": float(self.created_at_s),
+            "started_at_s": float(self.started_at_s),
+            "finished_at_s": float(self.finished_at_s),
+            "kind": self.kind.value,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowRecord":
+        """Rebuild a record from :meth:`to_dict` output (lossless)."""
+        fields = dict(data)
+        fields["kind"] = FlowKind(fields["kind"])
+        return cls(**fields)
 
     @classmethod
     def from_flow(cls, flow: Flow) -> "FlowRecord":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -18,6 +18,20 @@ class ThroughputSample:
     aggregate_bps: float
     #: mean of the active flows' instantaneous rates at the sampling instant
     mean_flow_bps: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict of this sample."""
+        return {
+            "time_s": float(self.time_s),
+            "active_flows": int(self.active_flows),
+            "aggregate_bps": float(self.aggregate_bps),
+            "mean_flow_bps": float(self.mean_flow_bps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ThroughputSample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(**dict(data))
 
     @property
     def mean_flow_kBps(self) -> float:
@@ -75,3 +89,29 @@ class ThroughputSeries:
     def series(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(times, mean per-flow KB/s)`` — the series the figures plot."""
         return self.times(), self.mean_flow_kBps()
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole series as a plain JSON-safe dict."""
+        return {"samples": [s.to_dict() for s in self.samples]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ThroughputSeries":
+        """Rebuild a series from :meth:`to_dict` output (lossless)."""
+        series = cls()
+        for sample in data.get("samples", ()):
+            series.add(ThroughputSample.from_dict(sample))
+        return series
+
+    def merged_with(self, other: "ThroughputSeries") -> "ThroughputSeries":
+        """A new series interleaving both sample sets in time order.
+
+        Used when partial results from different workers are combined into
+        one :class:`~repro.metrics.comparison.SchemeResult`.
+        """
+        merged = ThroughputSeries()
+        for sample in sorted(
+            list(self.samples) + list(other.samples), key=lambda s: s.time_s
+        ):
+            merged.add(sample)
+        return merged

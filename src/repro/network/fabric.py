@@ -18,6 +18,7 @@ baseline and SCDA.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
@@ -91,6 +92,11 @@ class FabricSimulator:
         self.total_bytes_delivered = 0.0
         self._finish_callbacks: List[Callable[[Flow, float], None]] = []
         self._start_callbacks: List[Callable[[Flow, float], None]] = []
+        #: Per-fabric flow ids: flow numbering restarts at 0 for every fabric,
+        #: so a run's records are identical no matter what ran earlier in the
+        #: process (or concurrently in another thread) — a prerequisite for
+        #: bit-identical results across executor backends.
+        self._flow_ids = itertools.count()
 
         self.transport.attach(self)
 
@@ -102,6 +108,13 @@ class FabricSimulator:
     def on_flow_started(self, callback: Callable[[Flow, float], None]) -> None:
         """Register ``callback(flow, now)`` to run whenever a flow starts."""
         self._start_callbacks.append(callback)
+
+    def remove_flow_finished_callback(self, callback: Callable[[Flow, float], None]) -> None:
+        """Unregister a completion callback; a no-op if it is not registered."""
+        try:
+            self._finish_callbacks.remove(callback)
+        except ValueError:
+            pass
 
     @property
     def active_flow_count(self) -> int:
@@ -145,6 +158,7 @@ class FabricSimulator:
             priority_weight=priority_weight,
             min_rate_bps=min_rate_bps,
             app_limit_bps=app_limit_bps,
+            flow_id=next(self._flow_ids),
         )
         if meta:
             flow.meta.update(meta)

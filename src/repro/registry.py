@@ -3,7 +3,7 @@
 The paper's evaluation is a cross-product of (topology, workload, transport
 scheme); this module is the composition layer that makes every axis of that
 cross-product a *named*, *registered* plugin instead of a hard-wired import.
-Four registries cover the axes:
+Five registries cover the axes (plus how the product is executed):
 
 * :data:`TOPOLOGIES` — fabric builders (``tree``, ``fattree``, ``vl2``,
   ``leafspine``), each paired with its config dataclass;
@@ -12,7 +12,9 @@ Four registries cover the axes:
 * :data:`SCHEMES` — (placement, transport) scheme specs (``scda``,
   ``rand-tcp``, ``ideal``, ``vlb``, ``hedera`` and the ablations);
 * :data:`PLACEMENTS` — server-selection policies (``random``,
-  ``round-robin``, ``least-loaded``, ``scda``).
+  ``round-robin``, ``least-loaded``, ``scda``);
+* :data:`EXECUTORS` — execution backends for planned job lists (``serial``,
+  ``thread``, ``process``; see :mod:`repro.exec`).
 
 Built-in entries are registered by the per-domain catalog modules
 (:mod:`repro.network.catalog`, :mod:`repro.workloads.catalog`,
@@ -245,12 +247,13 @@ def load_builtin_plugins() -> None:
     """Import the per-domain catalog modules, registering every built-in.
 
     Idempotent: each catalog module registers on first import only.  Called
-    automatically the first time any of the four registries is read.
+    automatically the first time any of the five registries is read.
     """
     import repro.network.catalog  # noqa: F401  (topologies)
     import repro.workloads.catalog  # noqa: F401  (workloads)
     import repro.cluster.catalog  # noqa: F401  (placements)
     import repro.baselines.catalog  # noqa: F401  (schemes)
+    import repro.exec.executors  # noqa: F401  (executors)
 
 
 #: Fabric builders — ``tree``, ``fattree``, ``vl2``, ``leafspine``, ...
@@ -267,6 +270,10 @@ SCHEMES = Registry("scheme", bootstrap=load_builtin_plugins)
 #: ``scda``.
 PLACEMENTS = Registry("placement", bootstrap=load_builtin_plugins)
 
+#: Execution backends for planned job lists — ``serial``, ``thread``,
+#: ``process`` (see :mod:`repro.exec.executors`).
+EXECUTORS = Registry("executor", bootstrap=load_builtin_plugins)
+
 #: The scheme registry doubles as the "transports" axis of the paper's
 #: cross-product (each scheme names its transport model); kept under both
 #: names so either reads naturally.
@@ -277,6 +284,7 @@ ALL_REGISTRIES: Tuple[Tuple[str, Registry], ...] = (
     ("workloads", WORKLOADS),
     ("schemes", SCHEMES),
     ("placements", PLACEMENTS),
+    ("executors", EXECUTORS),
 )
 
 __all__ = [
@@ -289,5 +297,6 @@ __all__ = [
     "SCHEMES",
     "TRANSPORTS",
     "PLACEMENTS",
+    "EXECUTORS",
     "ALL_REGISTRIES",
 ]

@@ -18,10 +18,27 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 
-def derive_seed(master_seed: int, name: str) -> int:
-    """Derive a 64-bit child seed from a master seed and a stream name."""
-    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "little")
+def derive_seed(master_seed: int, name: str, *names: str) -> int:
+    """Derive a 64-bit child seed from a master seed and a stream-name path.
+
+    With a single name this is the classic flat derivation; additional names
+    chain hierarchically — ``derive_seed(s, "sweep", "rate=40", "scda")`` is
+    ``derive_seed(derive_seed(derive_seed(s, "sweep"), "rate=40"), "scda")``.
+    The execution planner uses the hierarchical form to give every
+    :class:`~repro.exec.job.ExperimentJob` a seed that depends only on the
+    job's *identity* (sweep, point, scheme), never on the order or process in
+    which jobs run — which is what keeps parallel runs bit-identical to
+    serial ones.
+
+    The derivation is SHA-256 over the decimal seed and the UTF-8 name, so it
+    is stable across interpreter restarts, platforms and Python versions
+    (unlike the built-in ``hash``, which is salted per process).
+    """
+    seed = int(master_seed)
+    for part in (name, *names):
+        digest = hashlib.sha256(f"{seed}:{part}".encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "little")
+    return seed
 
 
 class RandomStreams:

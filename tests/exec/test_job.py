@@ -1,0 +1,182 @@
+"""Tests for ExperimentJob serialisation, keys, and the planners."""
+
+import json
+
+import pytest
+
+from repro.baselines.schemes import SCDA_SCHEME, SchemeSpec
+from repro.exec.job import ExperimentJob
+from repro.exec.planner import (
+    plan_comparison,
+    plan_control_interval_sweep,
+    plan_matrix,
+    plan_offered_load_sweep,
+    with_arrival_rate,
+)
+from repro.experiments.spec import ScenarioSpec
+from repro.sim.random import derive_seed
+
+
+def tiny_spec(**overrides):
+    spec = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=5)
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+class TestExperimentJob:
+    def test_json_round_trip_is_lossless(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda", tags={"role": "candidate"})
+        clone = ExperimentJob.from_json(job.to_json())
+        assert clone == job
+        assert clone.key == job.key
+
+    def test_inline_scheme_spec_round_trips(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme=SCDA_SCHEME)
+        clone = ExperimentJob.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone.resolved_scheme() == SCDA_SCHEME
+        assert clone.key == job.key
+
+    def test_invalid_inline_scheme_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            ExperimentJob(
+                spec=tiny_spec(), scheme={"name": "x", "placement": "nope", "transport": "tcp"}
+            )
+
+    def test_unknown_scheme_key_fails_at_construction_not_in_a_worker(self):
+        from repro.registry import RegistryError
+
+        with pytest.raises(RegistryError, match="did you mean 'scda'"):
+            ExperimentJob(spec=tiny_spec(), scheme="sdca")
+
+    def test_scheme_aliases_share_the_canonical_job_key(self):
+        canonical = ExperimentJob(spec=tiny_spec(), scheme="rand-tcp")
+        via_alias = ExperimentJob(spec=tiny_spec(), scheme="RAND_TCP")
+        assert via_alias.scheme == "rand-tcp"
+        assert via_alias.key == canonical.key
+
+    def test_registered_scheme_spec_folds_back_to_its_key(self):
+        # The CLI plans by key, the Python API often by spec object; they
+        # must hit the same ResultStore entries.
+        by_key = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        by_spec = ExperimentJob(spec=tiny_spec(), scheme=SCDA_SCHEME)
+        assert by_spec.scheme == "scda"
+        assert by_spec.key == by_key.key
+
+    def test_unregistered_scheme_spec_stays_inline(self):
+        adhoc = SchemeSpec("Weird", placement="random", transport="ideal", routing="vlb")
+        job = ExperimentJob(spec=tiny_spec(), scheme=adhoc)
+        assert isinstance(job.scheme, dict)
+        assert job.resolved_scheme() == adhoc
+
+    def test_key_ignores_tags(self):
+        base = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        tagged = base.with_tags(parameter=40.0, role="candidate")
+        assert tagged.tags["parameter"] == 40.0
+        assert tagged.key == base.key
+
+    def test_key_depends_on_spec_scheme_and_seed(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        assert ExperimentJob(spec=tiny_spec(), scheme="rand-tcp").key != job.key
+        assert ExperimentJob(spec=tiny_spec(seed=6), scheme="scda").key != job.key
+        assert ExperimentJob(spec=tiny_spec(), scheme="scda", seed=99).key != job.key
+
+    def test_key_is_stable_across_processes(self):
+        # The key must never involve salted hashing: pin its derivation by
+        # checking it equals the sha256 of the canonical payload.
+        import hashlib
+
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        spec_payload = job.resolved_spec().to_dict()
+        del spec_payload["name"]
+        payload = {"spec": spec_payload, "scheme": "scda"}
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        assert job.key == expected
+
+    def test_key_ignores_display_name(self):
+        # The spec's name labels output; it never changes the numbers, so
+        # renamed-but-identical scenarios must share cache entries.
+        plain = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        renamed = ExperimentJob(
+            spec=tiny_spec().with_overrides(name="pareto-poisson+fattree"), scheme="scda"
+        )
+        assert renamed.key == plain.key
+
+    def test_seed_defaults_to_spec_seed(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        assert job.seed == 5
+        assert job.resolved_spec() is job.spec
+
+    def test_explicit_seed_overrides_spec(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda", seed=77)
+        assert job.resolved_spec().seed == 77
+        assert job.spec.seed == 5  # original spec untouched
+
+    def test_resolved_scheme_from_registry_key(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        assert job.resolved_scheme() == SCDA_SCHEME
+
+    def test_label_mentions_scenario_and_scheme(self):
+        job = ExperimentJob(spec=tiny_spec(), scheme="scda")
+        assert "pareto-poisson" in job.label()
+        assert "scda" in job.label()
+
+
+class TestPlanners:
+    def test_plan_comparison_roles(self):
+        jobs = plan_comparison(tiny_spec())
+        assert [j.tags["role"] for j in jobs] == ["candidate", "baseline"]
+        assert jobs[0].scheme == "scda"
+        assert jobs[1].scheme == "rand-tcp"
+
+    def test_plan_matrix_cross_product(self):
+        jobs = plan_matrix([tiny_spec(), tiny_spec(seed=9)], ["scda", "rand-tcp", "ideal"])
+        assert len(jobs) == 6
+        assert len({j.key for j in jobs}) == 6
+
+    def test_plan_matrix_validates_inputs(self):
+        with pytest.raises(ValueError):
+            plan_matrix([], ["scda"])
+        with pytest.raises(ValueError):
+            plan_matrix([tiny_spec()], [])
+
+    def test_load_sweep_plans_two_jobs_per_rate(self):
+        jobs = plan_offered_load_sweep([10.0, 20.0], base=tiny_spec())
+        assert len(jobs) == 4
+        rates = sorted({j.tags["parameter"] for j in jobs})
+        assert rates == [10.0, 20.0]
+        for job in jobs:
+            params = job.spec.workload_params
+            assert params["arrival_rate_per_s"] == job.tags["parameter"]
+
+    def test_load_sweep_default_keeps_base_seed(self):
+        jobs = plan_offered_load_sweep([10.0], base=tiny_spec())
+        assert all(j.seed == 5 for j in jobs)
+
+    def test_load_sweep_reseed_per_point_is_order_independent(self):
+        base = tiny_spec()
+        jobs = plan_offered_load_sweep([10.0, 20.0], base=base, reseed_per_point=True)
+        reversed_jobs = plan_offered_load_sweep(
+            [20.0, 10.0], base=base, reseed_per_point=True
+        )
+        by_rate = lambda js: {j.tags["parameter"]: j.seed for j in js}  # noqa: E731
+        assert by_rate(jobs) == by_rate(reversed_jobs)
+        assert jobs[0].seed == derive_seed(5, "sweep", "offered-load", "rate=10")
+
+    def test_tau_sweep_plans_both_schemes_per_point(self):
+        jobs = plan_control_interval_sweep([0.01, 0.05], base=tiny_spec())
+        assert len(jobs) == 4
+        for job in jobs:
+            assert job.spec.control_interval_s == job.tags["parameter"]
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            plan_offered_load_sweep([], base=tiny_spec())
+        with pytest.raises(ValueError):
+            plan_offered_load_sweep([0.0], base=tiny_spec())
+        with pytest.raises(ValueError):
+            plan_control_interval_sweep([-0.01], base=tiny_spec())
+
+    def test_with_arrival_rate_rejects_rateless_workloads(self):
+        spec = tiny_spec()
+        assert with_arrival_rate(spec, 33.0).workload_params["arrival_rate_per_s"] == 33.0

@@ -1,0 +1,123 @@
+"""Tests for the JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.exec.job import ExperimentJob
+from repro.exec.store import ResultStore
+from repro.experiments.spec import ScenarioSpec
+from repro.metrics.comparison import SchemeResult
+from repro.metrics.records import FlowRecord
+from repro.network.flow import FlowKind
+
+
+def make_job(seed=5, scheme="scda"):
+    return ExperimentJob(
+        spec=ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=seed), scheme=scheme
+    )
+
+
+def make_result(scheme="SCDA", n_records=2):
+    records = [
+        FlowRecord(
+            flow_id=i,
+            size_bytes=1000.0 * (i + 1),
+            created_at_s=0.1 * i,
+            started_at_s=0.1 * i + 0.01,
+            finished_at_s=0.1 * i + 0.5,
+            kind=FlowKind.DATA,
+            src=f"ucl-{i}",
+            dst="bs-0",
+        )
+        for i in range(n_records)
+    ]
+    return SchemeResult(
+        scheme=scheme, records=records, sla_violations=1, wall_clock_s=3.14,
+        extras={"events_processed": 42.0},
+    )
+
+
+class TestResultStore:
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "none.jsonl")
+        assert len(store) == 0
+        assert store.get("deadbeef") is None
+
+    def test_put_then_get_round_trips_canonically(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job, result = make_job(), make_result()
+        key = store.put(job, result)
+        assert key == job.key
+        assert job in store
+        loaded = store.get(job)
+        # Canonical: everything but the wall clock round-trips.
+        assert loaded.canonical_dict() == result.canonical_dict()
+        assert loaded.wall_clock_s == 0.0
+
+    def test_wall_clock_is_kept_as_line_meta(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = make_job()
+        store.put(job, make_result(), meta={"executor": "serial"})
+        entry = store.entry(job.key)
+        assert entry["meta"]["executor"] == "serial"
+        assert entry["meta"]["wall_clock_s"] == pytest.approx(3.14)
+        assert "wall_clock_s" not in entry["result"]
+
+    def test_reopened_store_sees_previous_writes(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        job = make_job()
+        ResultStore(path).put(job, make_result())
+        fresh = ResultStore(path)
+        assert job in fresh
+        assert fresh.get(job).scheme == "SCDA"
+
+    def test_results_by_key_excludes_meta(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = make_job()
+        store.put(job, make_result(), meta={"executor": "process"})
+        by_key = store.results_by_key()
+        assert set(by_key) == {job.key}
+        assert "meta" not in by_key[job.key]
+
+    def test_duplicate_keys_last_write_wins_and_compact_dedupes(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        job = make_job()
+        store.put(job, make_result(n_records=1))
+        store.put(job, make_result(n_records=3))
+        assert len(path.read_text().splitlines()) == 2
+        reloaded = ResultStore(path)
+        assert len(reloaded.get(job).records) == 3
+        assert reloaded.compact() == 1
+        assert len(path.read_text().splitlines()) == 1
+        assert len(ResultStore(path).get(job).records) == 3
+
+    def test_truncated_final_line_is_dropped_and_recomputable(self, tmp_path):
+        # The signature of a run killed mid-append: resume must survive it.
+        path = tmp_path / "crashed.jsonl"
+        job = make_job()
+        ResultStore(path).put(job, make_result())
+        with path.open("a") as fh:
+            fh.write('{"key": "zzz", "job": {"trunc')  # partial append
+        with pytest.warns(UserWarning, match="truncated final"):
+            store = ResultStore(path)
+            assert len(store) == 1
+        assert job in store  # the intact entry survives
+
+    def test_corrupt_interior_line_raises_with_location(self, tmp_path):
+        from repro.exec.store import ResultStoreError
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not json\n{"key": "a", "result": {}}\n')
+        with pytest.raises(ResultStoreError, match="bad.jsonl:1"):
+            len(ResultStore(path))
+
+    def test_store_lines_are_plain_json(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        ResultStore(path).put(make_job(), make_result())
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert set(entry) == {"key", "job", "result", "meta"}
+        # The stored job must itself round-trip back to a runnable job.
+        rebuilt = ExperimentJob.from_dict(entry["job"])
+        assert rebuilt.key == entry["key"]

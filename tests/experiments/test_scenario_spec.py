@@ -172,7 +172,8 @@ class TestRunScenario:
             small_spec(hedera_params={"scheduling_interval_s": 0.0}).build_hedera_config()
 
     def test_tau_sweep_keeps_base_arrival_rate(self):
-        from repro.experiments.sweeps import _base_spec, _with_arrival_rate
+        from repro.exec.planner import with_arrival_rate
+        from repro.experiments.sweeps import _base_spec
 
         base = ScenarioConfig.pareto_poisson(
             sim_time=2.0, arrival_rate_per_s=200.0
@@ -180,7 +181,7 @@ class TestRunScenario:
         # mirrors sweep_control_interval's rate handling: None keeps the base's
         spec = _base_spec(base, None, None, None)
         assert spec.workload_params["arrival_rate_per_s"] == 200.0
-        assert _with_arrival_rate(spec, 40.0).workload_params["arrival_rate_per_s"] == 40.0
+        assert with_arrival_rate(spec, 40.0).workload_params["arrival_rate_per_s"] == 40.0
 
     def test_control_interval_cannot_diverge_via_scda_params(self):
         spec = small_spec(scda_params={"control_interval_s": 0.1})
@@ -218,13 +219,13 @@ class TestRunScenario:
         assert len(spec.build_topology().hosts()) == 24
 
     def test_sweep_handles_video_arrival_rate_field(self):
-        from repro.experiments.sweeps import _with_arrival_rate
+        from repro.exec.planner import with_arrival_rate
 
         video = ScenarioConfig.video_with_control(sim_time=2.0).to_spec()
-        swept = _with_arrival_rate(video, 5.0)
+        swept = with_arrival_rate(video, 5.0)
         assert swept.workload_params["video_arrival_rate_per_s"] == 5.0
         pareto = ScenarioConfig.pareto_poisson(sim_time=2.0).to_spec()
-        assert _with_arrival_rate(pareto, 9.0).workload_params["arrival_rate_per_s"] == 9.0
+        assert with_arrival_rate(pareto, 9.0).workload_params["arrival_rate_per_s"] == 9.0
 
 
 class TestBackCompat:
@@ -283,3 +284,11 @@ class TestBackCompat:
         ):
             spec = cfg.to_spec()
             assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_pareto_poisson_factory_matches_legacy_config_bit_for_bit(self):
+        # The sweeps and the execution planner default to the pure-spec
+        # factory; it must stay interchangeable with the config shim.
+        for sim_time, seed in ((6.0, 1), (2.5, 2013), (10.0, 7)):
+            via_config = ScenarioConfig.pareto_poisson(sim_time=sim_time, seed=seed).to_spec()
+            via_spec = ScenarioSpec.pareto_poisson(sim_time_s=sim_time, seed=seed)
+            assert via_spec.to_dict() == via_config.to_dict()

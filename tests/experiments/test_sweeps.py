@@ -59,3 +59,39 @@ class TestControlIntervalSweep:
             sweep_control_interval([])
         with pytest.raises(ValueError):
             sweep_control_interval([-0.01])
+
+
+class TestSweepSerialisation:
+    def test_round_trip_like_the_spec(self):
+        import json
+
+        result = SweepResult(
+            parameter_name="arrival rate (flows/s)",
+            points=[SweepPoint(1.0, 0.5, 1.0, 2.0, 1.0), SweepPoint(2.0, 0.6, 1.2, 2.0, 0.9)],
+        )
+        clone = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_point_round_trip(self):
+        point = SweepPoint(40.0, 0.25, 1.25, 5.0, 1.0)
+        assert SweepPoint.from_dict(point.to_dict()) == point
+
+
+class TestExecutorBackends:
+    def test_thread_sweep_is_bit_identical_to_serial(self):
+        kwargs = dict(sim_time=2.0, seed=4)
+        serial = sweep_offered_load([10.0, 30.0], executor="serial", **kwargs)
+        threaded = sweep_offered_load([10.0, 30.0], executor="thread", max_workers=2, **kwargs)
+        assert threaded.to_dict() == serial.to_dict()
+
+    def test_sweep_with_store_resumes_fully(self, tmp_path):
+        store = tmp_path / "sweep.jsonl"
+        first = sweep_offered_load([10.0], sim_time=2.0, seed=4, store=str(store))
+        events = []
+        second = sweep_offered_load(
+            [10.0], sim_time=2.0, seed=4, store=str(store),
+            progress=lambda event, job, detail: events.append(event),
+        )
+        assert second.to_dict() == first.to_dict()
+        # Every job was a cache hit: nothing was submitted to a backend.
+        assert set(events) == {"cached"}

@@ -55,6 +55,42 @@ class TestMetricsCollector:
         with pytest.raises(ValueError):
             MetricsCollector(fabric, sample_interval_s=0.0)
 
+    def test_detach_stops_recording_and_sampling(self, tiny_line_topology):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, tiny_line_topology, IdealMaxMinTransport())
+        collector = MetricsCollector(fabric, sample_interval_s=0.5)
+        collector.start_sampling()
+        fabric.start_flow(
+            tiny_line_topology.node("ucl-0"),
+            tiny_line_topology.node("bs-0"),
+            25_000_000.0,
+            FlowKind.VIDEO,
+        )
+        sim.run(until=3.0)
+        collector.detach()
+        recorded = collector.completed_count
+        samples = len(collector.throughput)
+        # Later fabric activity is invisible to the detached collector.
+        fabric.start_flow(
+            tiny_line_topology.node("bs-0"),
+            tiny_line_topology.node("ucl-0"),
+            1_000_000.0,
+            FlowKind.DATA,
+        )
+        sim.run(until=10.0)
+        assert collector.completed_count == recorded
+        assert len(collector.throughput) == samples
+        assert collector._timer is None
+        # Idempotent: detaching again (or a collector that never sampled) is fine.
+        collector.detach()
+
+    def test_detach_without_sampling_unregisters_callback(self, tiny_line_topology):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, tiny_line_topology, IdealMaxMinTransport())
+        collector = MetricsCollector(fabric)
+        collector.detach()
+        assert collector._on_flow_finished not in fabric._finish_callbacks
+
 
 def scheme_result(name, fcts, rates_kBps=(100.0,)):
     records = [
@@ -104,3 +140,70 @@ class TestComparisonResult:
         assert x.tolist() == [1.0, 3.0]
         centers, afct, counts = result.afct_curve([0.0, 2e6])
         assert counts[0] == 2
+
+
+class TestResultSerialisation:
+    def test_flow_record_round_trip_preserves_enum_kind(self):
+        record = FlowRecord(3, 1e6, 0.0, 0.1, 1.5, FlowKind.VIDEO, "ucl-0", "bs-1")
+        clone = FlowRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.kind is FlowKind.VIDEO
+
+    def test_scheme_result_json_round_trip_is_bit_identical(self):
+        import json
+
+        result = scheme_result("SCDA", [0.1234567890123456, 2.0], rates_kBps=(150.0, 80.0))
+        result.sla_violations = 3
+        result.wall_clock_s = 1.25
+        result.extras = {"events_processed": 1234.0}
+        clone = SchemeResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.to_dict() == result.to_dict()
+        assert clone.records == result.records
+        assert clone.throughput.to_dict() == result.throughput.to_dict()
+
+    def test_canonical_dict_drops_only_wall_clock(self):
+        result = scheme_result("SCDA", [1.0])
+        result.wall_clock_s = 9.9
+        canonical = result.canonical_dict()
+        assert "wall_clock_s" not in canonical
+        rebuilt = SchemeResult.from_dict(canonical)
+        assert rebuilt.wall_clock_s == 0.0
+        assert rebuilt.records == result.records
+
+    def test_merge_concatenates_and_sums(self):
+        a = scheme_result("SCDA", [1.0], rates_kBps=(100.0,))
+        a.sla_violations, a.wall_clock_s, a.extras = 1, 0.5, {"requests_issued": 2.0}
+        b = scheme_result("SCDA", [2.0], rates_kBps=(50.0,))
+        b.sla_violations, b.wall_clock_s, b.extras = 2, 0.25, {
+            "requests_issued": 3.0, "hedera_reroutes": 1.0,
+        }
+        merged = a.merge(b)
+        assert merged.completed_flows == 2
+        assert merged.sla_violations == 3
+        assert merged.wall_clock_s == pytest.approx(0.75)
+        assert merged.extras == {"requests_issued": 5.0, "hedera_reroutes": 1.0}
+        assert len(merged.throughput) == 2
+        # Samples are interleaved in time order.
+        assert list(merged.throughput.times()) == sorted(merged.throughput.times())
+
+    def test_merge_combines_max_extras_by_maximum(self):
+        a = scheme_result("SCDA", [1.0])
+        a.extras = {"nns_write_requests_max": 216.0, "nns_write_requests_total": 400.0}
+        b = scheme_result("SCDA", [2.0])
+        b.extras = {"nns_write_requests_max": 180.0, "nns_write_requests_total": 174.0}
+        merged = a.merge(b)
+        # A sum of per-shard maxima would fabricate 396 — a load no NNS saw.
+        assert merged.extras["nns_write_requests_max"] == 216.0
+        assert merged.extras["nns_write_requests_total"] == 574.0
+
+    def test_merge_rejects_different_schemes(self):
+        with pytest.raises(ValueError):
+            scheme_result("SCDA", [1.0]).merge(scheme_result("RandTCP", [1.0]))
+
+    def test_comparison_round_trip(self):
+        comparison = ComparisonResult(
+            "pareto", scheme_result("SCDA", [1.0]), scheme_result("RandTCP", [2.0])
+        )
+        clone = ComparisonResult.from_dict(comparison.to_dict())
+        assert clone.to_dict() == comparison.to_dict()
+        assert clone.speedup_afct() == comparison.speedup_afct()

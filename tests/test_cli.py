@@ -21,7 +21,7 @@ class TestParser:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("compare", "run", "list-plugins", "figure", "workload", "report"):
+        for command in ("compare", "run", "sweep", "list-plugins", "figure", "workload", "report"):
             assert command in text
 
 
@@ -66,13 +66,14 @@ class TestCompareWithRegistryKeys:
 
 
 class TestListPluginsCommand:
-    def test_lists_all_four_registries(self, capsys):
+    def test_lists_all_five_registries(self, capsys):
         code = main(["list-plugins"])
         out = capsys.readouterr().out
         assert code == 0
-        for section in ("topologies:", "workloads:", "schemes:", "placements:"):
+        for section in ("topologies:", "workloads:", "schemes:", "placements:", "executors:"):
             assert section in out
-        for name in ("fattree", "vl2", "leafspine", "pareto-poisson", "hedera", "vlb"):
+        for name in ("fattree", "vl2", "leafspine", "pareto-poisson", "hedera", "vlb",
+                     "serial", "thread", "process"):
             assert name in out
 
     def test_json_output_is_parseable(self, capsys):
@@ -114,6 +115,90 @@ class TestRunCommand:
         code = main(["run", str(bad)])
         assert code == 2
         assert "cannot load" in capsys.readouterr().err
+
+    def test_run_with_thread_executor_and_store(self, tmp_path, capsys):
+        from repro.exec.store import ResultStore
+        from repro.experiments.spec import ScenarioSpec
+
+        path = ScenarioSpec.pareto_poisson(sim_time_s=1.5, seed=3).save(
+            tmp_path / "scenario.json"
+        )
+        store = tmp_path / "results.jsonl"
+        code = main(["run", str(path), "--executor", "thread", "--jobs", "2",
+                     "--results", str(store), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert payload["summary"]["candidate_mean_fct_s"] > 0
+        assert len(ResultStore(store)) == 2
+
+    def test_run_unknown_executor_lists_available(self, tmp_path, capsys):
+        from repro.experiments.spec import ScenarioSpec
+
+        path = ScenarioSpec.pareto_poisson(sim_time_s=1.0).save(tmp_path / "s.json")
+        code = main(["run", str(path), "--executor", "slurm"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown executor" in err
+        assert "serial" in err
+
+
+class TestSweepCommand:
+    def test_load_sweep_table_and_summary(self, tmp_path, capsys):
+        store = tmp_path / "sweep.jsonl"
+        code = main(["sweep", "load", "--points", "10,20", "--sim-time", "1.5",
+                     "--seed", "4", "--results", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arrival rate" in out
+        assert "computed=4 cached=0" in out
+        # Re-run: every point comes from the store.
+        code = main(["sweep", "load", "--points", "10,20", "--sim-time", "1.5",
+                     "--seed", "4", "--results", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "computed=0 cached=4" in out
+
+    def test_tau_sweep_json_payload(self, capsys):
+        code = main(["sweep", "tau", "--points", "0.01,0.05", "--sim-time", "1.5",
+                     "--seed", "4", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["execution"]["jobs"] == 4
+        assert len(payload["sweep"]["points"]) == 2
+        assert payload["sweep"]["parameter_name"] == "control interval (s)"
+
+    def test_bad_points_error(self, capsys):
+        code = main(["sweep", "load", "--points", "ten,20"])
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_nonpositive_point_error(self, capsys):
+        code = main(["sweep", "load", "--points", "0", "--sim-time", "1"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "load", "--points", "10", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_arrival_rate_rejected_for_load_axis(self, capsys):
+        code = main(["sweep", "load", "--points", "10", "--arrival-rate", "20"])
+        assert code == 2
+        assert "tau sweeps" in capsys.readouterr().err
+
+    def test_cli_tau_sweep_shares_store_with_library_default(self, tmp_path, capsys):
+        from repro.experiments.sweeps import sweep_control_interval
+
+        store = tmp_path / "tau.jsonl"
+        sweep_control_interval([0.01], sim_time=1.5, seed=4, store=str(store))
+        code = main(["sweep", "tau", "--points", "0.01", "--sim-time", "1.5",
+                     "--seed", "4", "--results", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Same operating point (40 flows/s default) → full cache hit.
+        assert "computed=0 cached=2" in out
 
 
 class TestFigureCommand:
