@@ -1,0 +1,93 @@
+"""Fault-recovery benchmark: a scripted outage + churn scenario.
+
+Runs SCDA and RandTCP through the same dynamic world — a leaf uplink that
+fails and recovers, plus a block server that departs (triggering
+re-replication) and rejoins — and records the disruption/recovery headline
+numbers to ``benchmarks/results/fault_recovery.json``.  Asserts the
+acceptance criteria of the dynamics layer: the failure actually bit (links
+failed, availability dipped) and re-replication completed before the end of
+the run.
+"""
+
+import pytest
+
+from bench_utils import save_result
+
+SIM_TIME_S = 8.0
+SEED = 2013
+FAIL_AT_S = 2.0
+OUTAGE_S = 2.0
+
+
+def dynamic_scenario():
+    from repro.experiments.spec import ScenarioSpec
+
+    return ScenarioSpec(
+        name="fault-recovery",
+        seed=SEED,
+        sim_time_s=SIM_TIME_S,
+        drain_time_s=30.0,
+        topology="leafspine",
+        topology_params={"num_spines": 2, "num_leaves": 3, "hosts_per_leaf": 3,
+                         "num_clients": 6},
+        workload="pareto-poisson",
+        workload_params={"arrival_rate_per_s": 25.0, "num_clients": 6},
+        dynamics=[
+            {"kind": "link-failure", "at_s": FAIL_AT_S,
+             "select": "switch-uplink", "index": 0},
+            {"kind": "link-recovery", "at_s": FAIL_AT_S + OUTAGE_S,
+             "select": "switch-uplink", "index": 0},
+            {"kind": "block-server-churn", "at_s": 3.0, "index": 1,
+             "rejoin_after_s": 3.0},
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="fault recovery")
+def test_bench_fault_recovery(benchmark, results_dir):
+    from repro.experiments.runner import run_scheme
+
+    spec = dynamic_scenario()
+    workload = None
+
+    def run_both():
+        from repro.experiments.runner import generate_workload
+
+        nonlocal workload
+        workload = generate_workload(spec)
+        return {
+            "scda": run_scheme(spec, "scda", workload),
+            "rand-tcp": run_scheme(spec, "rand-tcp", workload),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    payload = {"scenario": spec.name, "sim_time_s": SIM_TIME_S,
+               "outage": {"at_s": FAIL_AT_S, "duration_s": OUTAGE_S},
+               "schemes": {}}
+    for name, result in results.items():
+        extras = result.extras
+        payload["schemes"][name] = {
+            "mean_fct_s": result.mean_fct_s(),
+            "completed_flows": result.completed_flows,
+            "mean_availability": result.availability.mean_availability(),
+            "disrupted_time_s": result.availability.disrupted_time_s(),
+            "links_failed": extras["links_failed"],
+            "flows_rerouted_on_failure": extras["flows_rerouted_on_failure"],
+            "flows_aborted_on_failure": extras["flows_aborted_on_failure"],
+            "servers_departed": extras["servers_departed"],
+            "servers_rejoined": extras["servers_rejoined"],
+            "requests_disrupted": extras["requests_disrupted"],
+            "re_replications_planned": extras["re_replications_planned"],
+            "re_replications_completed": extras["re_replications_completed"],
+        }
+
+        # The world actually changed...
+        assert extras["links_failed"] == 2.0
+        assert extras["servers_departed"] == 1.0 and extras["servers_rejoined"] == 1.0
+        assert result.availability.mean_availability() < 1.0
+        # ...and the cluster healed: every planned repair finished in-run.
+        assert extras["re_replications_planned"] > 0
+        assert extras["re_replications_completed"] == extras["re_replications_planned"]
+
+    save_result(results_dir, "fault_recovery", payload)

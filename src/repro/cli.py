@@ -10,14 +10,16 @@ Commands
     Run a declarative scenario file (``repro run scenario.json``) produced by
     :meth:`~repro.experiments.spec.ScenarioSpec.save`, optionally on a
     parallel executor backend with a resumable result store
-    (``--executor process --jobs 4 --results out.jsonl``).
+    (``--executor process --jobs 4 --results out.jsonl``) and/or with a
+    dynamics script injecting faults and churn mid-run
+    (``--dynamics script.json``; see ``docs/DYNAMICS.md``).
 ``sweep``
     Plan a load or τ sweep into jobs and run it on an executor backend
     (``repro sweep load --points 15,40,80 --executor process --jobs 4``).
     Points already present in ``--results`` are not recomputed.
 ``list-plugins``
-    Show every registered topology, workload, scheme, placement and
-    executor.
+    Show every registered topology, workload, scheme, placement, executor
+    and dynamics event (``--json`` for machine-readable output).
 ``figure``
     Regenerate one of the paper's figures (fig07..fig18) and print it as a
     table and/or an ASCII plot.
@@ -178,6 +180,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     except (OSError, TypeError, ValueError) as exc:
         print(f"cannot load scenario file {args.scenario_file!r}: {exc}", file=sys.stderr)
         return 2
+    if args.dynamics:
+        from repro.dynamics import DynamicsScript
+
+        try:
+            script = DynamicsScript.load(args.dynamics)
+        except (OSError, TypeError, ValueError, LookupError) as exc:
+            # LookupError covers RegistryError on unknown event kinds.
+            print(f"cannot load dynamics script {args.dynamics!r}: {exc}", file=sys.stderr)
+            return 2
+        scenario = scenario.with_dynamics(script)
     jobs = plan_comparison(scenario, candidate=args.candidate, baseline=args.baseline)
     report = run_jobs(
         jobs,
@@ -418,6 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run a declarative scenario JSON file")
     run.add_argument("scenario_file", help="path to a ScenarioSpec JSON file")
+    run.add_argument("--dynamics", default=None, metavar="PATH",
+                     help="JSON dynamics script (event list or {\"events\": [...]}) "
+                          "injecting link failures, churn and surges mid-run; "
+                          "overrides the scenario file's own dynamics")
     _add_scheme_args(run)
     _add_executor_args(run)
     run.add_argument("--json", action="store_true", help="print machine-readable JSON")
@@ -449,7 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     plugins = subparsers.add_parser(
         "list-plugins",
-        help="list registered topologies, workloads, schemes, placements and executors",
+        help="list registered topologies, workloads, schemes, placements, "
+             "executors and dynamics events",
     )
     plugins.add_argument("--json", action="store_true", help="print machine-readable JSON")
     plugins.set_defaults(func=cmd_list_plugins)

@@ -33,7 +33,8 @@ from repro.cluster.name_node import NameNodeServer, UnknownContentError
 from repro.cluster.placement import PlacementPolicy
 from repro.cluster.replication import ReplicationConfig, ReplicationManager, ReplicationTask
 from repro.network.fabric import FabricSimulator
-from repro.network.flow import Flow, FlowKind
+from repro.network.flow import Flow, FlowKind, FlowState
+from repro.network.routing import NoPathError
 from repro.network.topology import Node, NodeKind, Topology
 from repro.sim.engine import Simulator
 
@@ -132,10 +133,22 @@ class StorageCluster:
         }
         self.requests: List[RequestRecord] = []
         self._requests_by_flow: Dict[int, RequestRecord] = {}
+        self._replication_tasks_by_flow: Dict[int, ReplicationTask] = {}
         self._content_registry: Dict[str, Content] = {}
         self._nns_of_content: Dict[str, str] = {}
 
+        #: block servers that have left the cluster (churn); excluded from
+        #: placement candidates and from read/replication sources until they
+        #: rejoin.
+        self._inactive_servers: set = set()
+        self.servers_departed = 0
+        self.servers_rejoined = 0
+        #: client requests whose in-flight transfer was cut short by churn or
+        #: a link failure with no surviving path
+        self.requests_disrupted = 0
+
         fabric.on_flow_finished(self._on_flow_finished)
+        fabric.on_flow_aborted(self._on_flow_aborted)
 
     # -- helpers ---------------------------------------------------------------------------
     def _client_node(self, client: Union[Node, UserClient, str]) -> Node:
@@ -150,8 +163,23 @@ class StorageCluster:
         return self.block_servers[server_id].node
 
     def server_ids(self) -> List[str]:
-        """All block-server ids."""
+        """Ids of the block servers currently *in* the cluster.
+
+        Departed servers (see :meth:`deactivate_server`) are excluded, so
+        every placement decision automatically avoids them; use
+        :meth:`all_server_ids` for the full roster including departed ones.
+        """
+        if not self._inactive_servers:
+            return list(self.block_servers)
+        return [s for s in self.block_servers if s not in self._inactive_servers]
+
+    def all_server_ids(self) -> List[str]:
+        """Every block-server id ever provisioned, active or departed."""
         return list(self.block_servers)
+
+    def is_server_active(self, server_id: str) -> bool:
+        """True when ``server_id`` exists and has not departed."""
+        return server_id in self.block_servers and server_id not in self._inactive_servers
 
     def name_node_for_client(self, client_id: str) -> NameNodeServer:
         """Route a client key through the FES to its NNS."""
@@ -237,18 +265,27 @@ class StorageCluster:
         priority_weight: float,
         reserve_bps: float,
     ) -> None:
+        if not self.is_server_active(primary_node.node_id):
+            # The primary departed during connection setup; the write is lost.
+            self.requests_disrupted += 1
+            return
         meta = {"request_id": request.request_id, "role": "client-write"}
         if reserve_bps > 0:
             meta["reserve_bps"] = reserve_bps
-        flow = self.fabric.start_flow(
-            src=client_node,
-            dst=primary_node,
-            size_bytes=request.size_bytes,
-            kind=request.flow_kind,
-            created_at=request.created_at,
-            priority_weight=priority_weight,
-            meta=meta,
-        )
+        try:
+            flow = self.fabric.start_flow(
+                src=client_node,
+                dst=primary_node,
+                size_bytes=request.size_bytes,
+                kind=request.flow_kind,
+                created_at=request.created_at,
+                priority_weight=priority_weight,
+                meta=meta,
+            )
+        except NoPathError:
+            # A link failure disconnected the primary mid-setup.
+            self.requests_disrupted += 1
+            return
         request.flow = flow
         self._requests_by_flow[flow.flow_id] = request
 
@@ -302,15 +339,23 @@ class StorageCluster:
         client_node: Node,
         priority_weight: float,
     ) -> None:
-        flow = self.fabric.start_flow(
-            src=source_node,
-            dst=client_node,
-            size_bytes=request.size_bytes,
-            kind=request.flow_kind,
-            created_at=request.created_at,
-            priority_weight=priority_weight,
-            meta={"request_id": request.request_id, "role": "client-read"},
-        )
+        if not self.is_server_active(source_node.node_id):
+            # The chosen replica departed during connection setup.
+            self.requests_disrupted += 1
+            return
+        try:
+            flow = self.fabric.start_flow(
+                src=source_node,
+                dst=client_node,
+                size_bytes=request.size_bytes,
+                kind=request.flow_kind,
+                created_at=request.created_at,
+                priority_weight=priority_weight,
+                meta={"request_id": request.request_id, "role": "client-read"},
+            )
+        except NoPathError:
+            self.requests_disrupted += 1
+            return
         request.flow = flow
         self._requests_by_flow[flow.flow_id] = request
 
@@ -329,28 +374,150 @@ class StorageCluster:
             targets.append(target)
         tasks = self.replication.plan(request.content_id, content.size_bytes, primary, targets)
         for task in tasks:
-            self.sim.call_in(task.start_after_s, self._start_replication_flow, request, task)
+            self.sim.call_in(task.start_after_s, self._start_replication_flow, task, request)
 
-    def _start_replication_flow(self, request: RequestRecord, task: ReplicationTask) -> None:
+    def _start_replication_flow(
+        self, task: ReplicationTask, request: Optional[RequestRecord] = None
+    ) -> None:
+        if not (
+            self.is_server_active(task.source_server)
+            and self.is_server_active(task.target_server)
+        ):
+            # An endpoint departed between planning and the transfer start;
+            # re-check the content's replication level against the servers
+            # that remain.
+            self.replication.mark_cancelled(task)
+            self._replan_repair(task.content_id)
+            return
         source = self._server_node(task.source_server)
         target = self._server_node(task.target_server)
-        flow = self.fabric.start_flow(
-            src=source,
-            dst=target,
-            size_bytes=task.size_bytes,
-            kind=FlowKind.REPLICATION,
-            meta={
-                "request_id": request.request_id,
-                "role": "replication",
-                "content_id": task.content_id,
-                "target_server": task.target_server,
-            },
+        meta = {
+            "role": "replication",
+            "content_id": task.content_id,
+            "target_server": task.target_server,
+        }
+        if request is not None:
+            meta["request_id"] = request.request_id
+        try:
+            flow = self.fabric.start_flow(
+                src=source,
+                dst=target,
+                size_bytes=task.size_bytes,
+                kind=FlowKind.REPLICATION,
+                meta=meta,
+            )
+        except NoPathError:
+            # The endpoints are disconnected right now; dropping the task
+            # (without re-planning) avoids a plan/fail loop while the
+            # partition lasts.
+            self.replication.mark_cancelled(task)
+            return
+        if request is not None:
+            request.replication_flows.append(flow)
+        self._replication_tasks_by_flow[flow.flow_id] = task
+
+    # -- churn (block servers leaving and rejoining) --------------------------------------------------
+    def deactivate_server(self, server_id: str) -> int:
+        """A block server leaves the cluster (crash, drain, maintenance).
+
+        * it disappears from the placement candidate set (``server_ids``),
+        * its replicas are dropped from the name-node metadata (reads stop
+          resolving to it),
+        * every in-flight transfer touching it is aborted (the affected
+          client requests count into :attr:`requests_disrupted`), and
+        * content left below its desired replica count is re-replicated from
+          a surviving replica onto a fresh target.
+
+        Returns the number of repair transfers planned.  A no-op (returning
+        0) when the server already departed; unknown ids raise ``KeyError``.
+        """
+        server = self.block_servers[server_id]
+        if server_id in self._inactive_servers:
+            return 0
+        self._inactive_servers.add(server_id)
+        self.servers_departed += 1
+
+        # Metadata first: the blocks are shared objects, so dropping the
+        # replica entries here updates every NNS block map at once.
+        for block in server.blocks():
+            block.remove_replica(server_id)
+
+        # Abort transfers touching the departed node (the abort callback
+        # handles the per-request and per-task bookkeeping).
+        # The snapshot can go stale mid-loop: the first abort advances the
+        # fluid state, which may finish other flows in it — skip anything no
+        # longer active.
+        node_id = server.node.node_id
+        for flow in list(self.fabric.active_flows):
+            if flow.state is not FlowState.ACTIVE:
+                continue
+            if flow.src.node_id == node_id or flow.dst.node_id == node_id:
+                self.fabric.abort_flow(flow)
+
+        return self._repair_under_replicated(server_id)
+
+    def reactivate_server(self, server_id: str) -> None:
+        """A departed block server rejoins with its stored blocks intact."""
+        server = self.block_servers[server_id]
+        if server_id not in self._inactive_servers:
+            return
+        self._inactive_servers.discard(server_id)
+        self.servers_rejoined += 1
+        for block in server.blocks():
+            block.add_replica(server_id)
+
+    @property
+    def _desired_replicas(self) -> int:
+        return 1 + (
+            self.config.replication.extra_replicas
+            if self.config.replication.enabled
+            else 0
         )
-        request.replication_flows.append(flow)
-        self._requests_by_flow[flow.flow_id] = request
+
+    def _repair_under_replicated(self, departed_id: str) -> int:
+        """Re-replicate content the departure left under its replica target."""
+        server = self.block_servers[departed_id]
+        before = self.replication.re_replications_planned
+        for content_id in server.stored_content_ids():
+            self._replan_repair(content_id)
+        return self.replication.re_replications_planned - before
+
+    def _replan_repair(self, content_id: str) -> None:
+        """Plan one repair transfer if ``content_id`` is under-replicated.
+
+        A no-op when the content is unknown, still at its desired replica
+        count, has no surviving full copy to source from, or no eligible
+        target remains.
+        """
+        nns = self.name_node_for_content(content_id)
+        if not nns.knows(content_id):
+            return
+        record = nns.record_of(content_id)
+        holders = [
+            s
+            for s in record.block_map.servers_with_full_copy()
+            if self.is_server_active(s)
+        ]
+        if not holders or len(holders) >= self._desired_replicas:
+            # Nothing to copy from, or still sufficiently replicated.
+            return
+        candidates = [s for s in self.server_ids() if s not in holders]
+        if not candidates:
+            return
+        target = self.placement.select_replica(record.content, candidates, holders[0])
+        if target is None or target in holders:
+            return
+        task = self.replication.plan_repair(
+            content_id, record.content.size_bytes, holders[0], target
+        )
+        self.sim.call_in(task.start_after_s, self._start_replication_flow, task)
 
     # -- flow completion dispatch ---------------------------------------------------------------------
     def _on_flow_finished(self, flow: Flow, now: float) -> None:
+        task = self._replication_tasks_by_flow.pop(flow.flow_id, None)
+        if task is not None:
+            self._complete_replication(task)
+            return
         request = self._requests_by_flow.pop(flow.flow_id, None)
         if request is None:
             return
@@ -361,8 +528,20 @@ class StorageCluster:
             request.completed_at = now
             if self.on_request_completed is not None:
                 self.on_request_completed(request)
-        elif role == "replication":
-            self._complete_replication(request, flow)
+
+    def _on_flow_aborted(self, flow: Flow, now: float) -> None:
+        task = self._replication_tasks_by_flow.pop(flow.flow_id, None)
+        if task is not None:
+            # The transfer died (churn or link failure); re-check the
+            # content's replication level so a surviving replica pair can
+            # take over — otherwise the content would silently stay under
+            # its target for the rest of the run.
+            self.replication.mark_cancelled(task)
+            self._replan_repair(task.content_id)
+            return
+        request = self._requests_by_flow.pop(flow.flow_id, None)
+        if request is not None and not request.completed:
+            self.requests_disrupted += 1
 
     def _complete_write(self, request: RequestRecord, flow: Flow, now: float) -> None:
         primary = request.primary_server
@@ -378,17 +557,15 @@ class StorageCluster:
             self.on_request_completed(request)
         self._schedule_replication(request)
 
-    def _complete_replication(self, request: RequestRecord, flow: Flow) -> None:
-        target_id = str(flow.meta.get("target_server"))
-        content_id = str(flow.meta.get("content_id"))
-        nns = self.name_node_for_content(content_id)
-        server = self.block_servers.get(target_id)
-        if server is not None:
-            for block in nns.record_of(content_id).block_map:
+    def _complete_replication(self, task: ReplicationTask) -> None:
+        nns = self.name_node_for_content(task.content_id)
+        server = self.block_servers.get(task.target_server)
+        if server is not None and self.is_server_active(task.target_server):
+            for block in nns.record_of(task.content_id).block_map:
                 if not server.has_block(block.block_id):
                     server.store_block(block)
-            nns.commit_replica(content_id, target_id)
-        self.replication.tasks_completed += 1
+            nns.commit_replica(task.content_id, task.target_server)
+        self.replication.mark_completed(task)
 
     # -- reporting ------------------------------------------------------------------------------------
     def completed_requests(self, kind: Optional[str] = None) -> List[RequestRecord]:

@@ -38,22 +38,46 @@ class ReplicationConfig:
 
 @dataclass
 class ReplicationTask:
-    """One planned replication transfer."""
+    """One planned replication transfer.
+
+    ``kind`` distinguishes the write-path replication of Section VIII-B
+    (``"replica"``) from the re-replication a block-server departure triggers
+    (``"repair"``, see :meth:`ReplicationManager.plan_repair`).
+    """
 
     content_id: str
     source_server: str
     target_server: str
     size_bytes: float
     start_after_s: float = 0.0
+    kind: str = "replica"
 
 
 class ReplicationManager:
-    """Plans replication transfers after each successful write."""
+    """Plans replication transfers after each successful write.
+
+    Every planned task is tracked until :meth:`mark_completed` accounts it,
+    so completion bookkeeping is symmetric with planning: completing a task
+    the manager never planned (or completing one twice) is reported instead
+    of silently inflating the counters.
+    """
 
     def __init__(self, config: Optional[ReplicationConfig] = None) -> None:
         self.config = config or ReplicationConfig()
         self.tasks_planned = 0
         self.tasks_completed = 0
+        self.tasks_cancelled = 0
+        self.re_replications_planned = 0
+        self.re_replications_completed = 0
+        #: planned-but-not-yet-completed tasks, keyed by object identity (a
+        #: task object stays referenced by its in-flight transfer, so the id
+        #: cannot be recycled while the entry lives).
+        self._outstanding: dict = {}
+
+    @property
+    def outstanding_tasks(self) -> List[ReplicationTask]:
+        """Tasks planned but not yet marked completed."""
+        return list(self._outstanding.values())
 
     def should_replicate(self, size_bytes: float) -> bool:
         """Whether content of this size gets replicated at all."""
@@ -96,8 +120,58 @@ class ReplicationManager:
             if len(tasks) >= self.config.extra_replicas:
                 break
         self.tasks_planned += len(tasks)
+        for task in tasks:
+            self._outstanding[id(task)] = task
         return tasks
 
-    def mark_completed(self, task: ReplicationTask) -> None:
-        """Account a finished replication transfer."""
+    def plan_repair(
+        self,
+        content_id: str,
+        size_bytes: float,
+        source_server: str,
+        target_server: str,
+    ) -> ReplicationTask:
+        """Create one re-replication task for content left under-replicated.
+
+        Used by the churn wiring: when a block server departs, each content
+        item that dropped below its desired replica count is copied from a
+        surviving replica to a fresh target.  Repairs ignore the
+        ``enabled``/``min_size_bytes`` policy knobs — they restore durability
+        that existed already rather than create new replicas.
+        """
+        if target_server == source_server:
+            raise ValueError("repair target must differ from the source replica")
+        task = ReplicationTask(
+            content_id=content_id,
+            source_server=source_server,
+            target_server=target_server,
+            size_bytes=size_bytes,
+            start_after_s=self.config.start_delay_s,
+            kind="repair",
+        )
+        self.re_replications_planned += 1
+        self._outstanding[id(task)] = task
+        return task
+
+    def mark_cancelled(self, task: ReplicationTask) -> bool:
+        """Drop an outstanding task that will never finish (transfer aborted,
+        or its source/target server departed before the flow could start).
+        Returns False for a task that was not outstanding."""
+        if self._outstanding.pop(id(task), None) is None:
+            return False
+        self.tasks_cancelled += 1
+        return True
+
+    def mark_completed(self, task: ReplicationTask) -> bool:
+        """Account a finished replication transfer.
+
+        Returns True when ``task`` was an outstanding planned task; an
+        unknown (never planned, or already completed) task is ignored and
+        reported as False so callers cannot double-count.
+        """
+        if self._outstanding.pop(id(task), None) is None:
+            return False
         self.tasks_completed += 1
+        if task.kind == "repair":
+            self.re_replications_completed += 1
+        return True

@@ -116,8 +116,22 @@ class ScdaController:
 
     # -- wiring -----------------------------------------------------------------------
     def attach_fabric(self, fabric) -> None:
-        """Bind the controller to the fabric whose flows it allocates."""
+        """Bind the controller to the fabric whose flows it allocates.
+
+        Also subscribes to the fabric's topology-change notifications: the
+        RM/RA calculators cache link capacities, so a runtime capacity change
+        or link restoration (the dynamics layer) must refresh them the same
+        way the SLA bandwidth boost does.
+        """
         self.fabric = fabric
+        register = getattr(fabric, "on_topology_changed", None)
+        if register is not None:
+            register(self._on_topology_changed)
+
+    def _on_topology_changed(self, event: str, link: Link, now: float) -> None:
+        calc = self.tree._link_calc.get(link.link_id)
+        if calc is not None:
+            calc.capacity_bps = link.capacity_bps
 
     def enable_periodic_monitoring(self) -> PeriodicTimer:
         """Run the control round on a fixed timer even when no flow triggers it."""

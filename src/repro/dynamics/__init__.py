@@ -1,0 +1,35 @@
+"""The dynamics layer: fault injection, churn and topology mutation.
+
+The paper's story is a centralised controller keeping content delivery
+efficient *as conditions change*; this package makes the simulated world
+dynamic.  Timed, declarative events — link failures and recoveries, capacity
+brown-outs, block-server churn with re-replication, workload surges — are
+plugins in the :data:`~repro.registry.DYNAMICS` registry, composed into a
+:class:`DynamicsScript` that a :class:`~repro.experiments.spec.ScenarioSpec`
+carries in its serialisable ``dynamics`` field and the runner schedules on
+the simulator clock.  See ``docs/DYNAMICS.md``.
+"""
+
+from repro.dynamics.events import (
+    BlockServerChurnEvent,
+    CapacityDegradationEvent,
+    DynamicsError,
+    DynamicsEvent,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    WorkloadSurgeEvent,
+)
+from repro.dynamics.script import DynamicsRuntime, DynamicsScript, build_event
+
+__all__ = [
+    "BlockServerChurnEvent",
+    "CapacityDegradationEvent",
+    "DynamicsError",
+    "DynamicsEvent",
+    "DynamicsRuntime",
+    "DynamicsScript",
+    "LinkFailureEvent",
+    "LinkRecoveryEvent",
+    "WorkloadSurgeEvent",
+    "build_event",
+]

@@ -1,0 +1,54 @@
+"""Registers the built-in dynamics events in the DYNAMICS registry."""
+
+from __future__ import annotations
+
+from repro.dynamics.events import (
+    BlockServerChurnEvent,
+    CapacityDegradationEvent,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    WorkloadSurgeEvent,
+)
+from repro.registry import DYNAMICS
+
+
+def _event(config):
+    """The event dataclass *is* its config; the builder passes it through."""
+    return config
+
+
+DYNAMICS.register(
+    "link-failure",
+    _event,
+    config_cls=LinkFailureEvent,
+    aliases=("link-fail",),
+    description="take a link down; stranded flows reroute or abort",
+)
+DYNAMICS.register(
+    "link-recovery",
+    _event,
+    config_cls=LinkRecoveryEvent,
+    aliases=("link-restore",),
+    description="bring a failed link back up for new flows",
+)
+DYNAMICS.register(
+    "capacity-degradation",
+    _event,
+    config_cls=CapacityDegradationEvent,
+    aliases=("brownout",),
+    description="scale a link to factor x nominal capacity (optionally timed)",
+)
+DYNAMICS.register(
+    "block-server-churn",
+    _event,
+    config_cls=BlockServerChurnEvent,
+    aliases=("server-churn",),
+    description="a block server leaves (re-replication) and may rejoin",
+)
+DYNAMICS.register(
+    "workload-surge",
+    _event,
+    config_cls=WorkloadSurgeEvent,
+    aliases=("surge",),
+    description="inject a Poisson burst of extra writes mid-run",
+)

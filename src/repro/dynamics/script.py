@@ -1,0 +1,149 @@
+"""Dynamics scripts: ordered event lists scheduled on the simulator clock.
+
+A :class:`DynamicsScript` is the serialisable unit the rest of the system
+threads around: :attr:`ScenarioSpec.dynamics
+<repro.experiments.spec.ScenarioSpec.dynamics>` stores its plain-list form
+(so it flows through :class:`~repro.exec.job.ExperimentJob` content keys,
+the planners, every executor backend and the
+:class:`~repro.exec.store.ResultStore` untouched), the runner builds the
+events back through the :data:`~repro.registry.DYNAMICS` registry and
+:meth:`DynamicsScript.arm` schedules them deterministically on the
+:class:`~repro.sim.engine.Simulator` clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.dynamics.events import DynamicsError, DynamicsEvent
+from repro.registry import DYNAMICS
+
+
+@dataclass
+class DynamicsRuntime:
+    """The live handles a firing event mutates.
+
+    Built by the experiment runner for each scheme run; ``issue_write`` is a
+    callback issuing one extra write request (client index, size, flow kind)
+    so workload-surge events reuse the runner's content-id and request
+    plumbing without the dynamics layer importing it.
+    """
+
+    sim: Any
+    topology: Any
+    fabric: Any
+    cluster: Any = None
+    seed: int = 0
+    issue_write: Optional[Callable[..., None]] = None
+
+
+def build_event(data: Mapping[str, Any]) -> DynamicsEvent:
+    """One event from its ``{"kind": ..., **params}`` dict form.
+
+    The kind resolves through the :data:`~repro.registry.DYNAMICS` registry
+    (with its did-you-mean error on typos) and the remaining keys must match
+    the event dataclass's fields, so malformed scripts fail at build time
+    with the valid field names — not mid-run.
+    """
+    if not isinstance(data, Mapping):
+        raise DynamicsError(f"a dynamics event must be a JSON object, got {data!r}")
+    params = dict(data)
+    kind = params.pop("kind", None)
+    if not kind:
+        raise DynamicsError(f"dynamics event is missing its 'kind': {dict(data)!r}")
+    entry = DYNAMICS.get(str(kind))
+    return entry.builder(entry.make_config(params))
+
+
+def event_to_dict(event: DynamicsEvent) -> Dict[str, Any]:
+    """An event's plain ``{"kind": ..., **params}`` form (lossless)."""
+    from repro.experiments.spec import _jsonify
+
+    payload: Dict[str, Any] = {"kind": event.kind}
+    for f in dataclass_fields(event):
+        payload[f.name] = _jsonify(getattr(event, f.name))
+    return payload
+
+
+class DynamicsScript:
+    """An ordered list of :class:`~repro.dynamics.events.DynamicsEvent`.
+
+    Scripts round-trip losslessly through JSON; ``from_json`` accepts either
+    a bare event list or an ``{"events": [...]}`` object (the ``save``
+    format, which leaves room for future metadata).
+    """
+
+    def __init__(self, events: Sequence[DynamicsEvent] = ()) -> None:
+        self.events: List[DynamicsEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the script schedules nothing (the static-world default)."""
+        return not self.events
+
+    # -- serialisation -----------------------------------------------------------------
+    @classmethod
+    def from_list(cls, items: Sequence[Mapping[str, Any]]) -> "DynamicsScript":
+        """Build a script from a list of event dicts (the spec's form)."""
+        if isinstance(items, Mapping):
+            raise DynamicsError("a dynamics script must be a list of event objects")
+        return cls([build_event(item) for item in items])
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """The plain-list form stored on :attr:`ScenarioSpec.dynamics`."""
+        return [event_to_dict(event) for event in self.events]
+
+    @classmethod
+    def from_json(cls, text: str) -> "DynamicsScript":
+        """Parse a script from JSON (bare list or ``{"events": [...]}``)."""
+        data = json.loads(text)
+        if isinstance(data, Mapping):
+            data = data.get("events", None)
+            if data is None:
+                raise DynamicsError(
+                    "a dynamics script object must hold an 'events' list"
+                )
+        return cls.from_list(data)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The script as a JSON document (``{"events": [...]}``)."""
+        return json.dumps({"events": self.to_list()}, indent=indent)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DynamicsScript":
+        """Read a script from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the script to ``path`` as JSON; returns the path."""
+        out = Path(path)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    # -- scheduling --------------------------------------------------------------------
+    def arm(self, runtime: DynamicsRuntime) -> int:
+        """Schedule every event on the runtime's simulator clock.
+
+        Firing times resolve per-event jitter through pinned
+        :func:`~repro.sim.random.derive_seed` namespaces (see
+        :meth:`~repro.dynamics.events.DynamicsEvent.fire_time`), so the
+        schedule depends only on (seed, script), never on execution order.
+        Returns the number of events armed.
+        """
+        for index, event in enumerate(self.events):
+            fire_at = event.fire_time(runtime.seed, index)
+            runtime.sim.call_at(fire_at, event.apply, runtime, index)
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(e.kind for e in self.events) or "no-op"
+        return f"<DynamicsScript {len(self.events)} events: {kinds}>"

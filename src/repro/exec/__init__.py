@@ -25,6 +25,7 @@ from repro.exec.job import ExperimentJob
 from repro.exec.planner import (
     plan_comparison,
     plan_control_interval_sweep,
+    plan_failure_sweep,
     plan_matrix,
     plan_offered_load_sweep,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "ThreadExecutor",
     "plan_comparison",
     "plan_control_interval_sweep",
+    "plan_failure_sweep",
     "plan_matrix",
     "plan_offered_load_sweep",
     "run_jobs",

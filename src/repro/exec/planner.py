@@ -130,6 +130,56 @@ def plan_offered_load_sweep(
     return jobs
 
 
+def plan_failure_sweep(
+    outage_durations_s: Sequence[float],
+    base: ScenarioSpec,
+    candidate: SchemeLike = "scda",
+    baseline: SchemeLike = "rand-tcp",
+    fail_at_s: Optional[float] = None,
+    select: str = "switch-uplink",
+    link_index: int = 0,
+    reseed_per_point: bool = False,
+) -> List[ExperimentJob]:
+    """Jobs for a fault-recovery sweep: (candidate, baseline) per outage length.
+
+    Each point runs ``base`` with a scripted link failure at ``fail_at_s``
+    (default: a quarter into the workload) and the matching recovery one
+    outage duration later; the failed link is chosen topology-agnostically
+    through the dynamics layer's selectors (default: the first switch's
+    uplink, e.g. a leaf→spine link on multi-path fabrics).  Jobs carry the
+    outage duration as the ``parameter`` tag.
+    """
+    if not outage_durations_s:
+        raise ValueError("need at least one outage duration")
+    fail_at = base.sim_time_s * 0.25 if fail_at_s is None else float(fail_at_s)
+    if fail_at < 0:
+        raise ValueError("fail_at_s must be non-negative")
+    jobs: List[ExperimentJob] = []
+    for duration in outage_durations_s:
+        if duration <= 0:
+            raise ValueError("outage durations must be positive")
+        target = {"select": select, "index": int(link_index)}
+        point = base.with_overrides(
+            dynamics=[
+                {"kind": "link-failure", "at_s": fail_at, **target},
+                {"kind": "link-recovery", "at_s": fail_at + float(duration), **target},
+            ]
+        )
+        seed = _point_seed(
+            base, reseed_per_point, "failure", f"outage={float(duration):g}"
+        )
+        for role, scheme in (("candidate", candidate), ("baseline", baseline)):
+            jobs.append(
+                ExperimentJob(
+                    spec=point,
+                    scheme=scheme,
+                    seed=seed,
+                    tags={"parameter": float(duration), "role": role},
+                )
+            )
+    return jobs
+
+
 def plan_control_interval_sweep(
     control_intervals_s: Sequence[float],
     base: ScenarioSpec,

@@ -224,6 +224,36 @@ def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
     cluster.write(client, content, flow_kind=request.flow_kind)
 
 
+def _arm_dynamics(dynamics, stack: SchemeStack, clients) -> None:
+    """Schedule the scenario's dynamics script against this stack.
+
+    Workload-surge events issue extra writes through the same content-id
+    counter as the base workload, so surge traffic is first-class cluster
+    traffic (FES → NNS → placement → data flow) rather than raw fabric flows.
+    """
+    from repro.dynamics import DynamicsRuntime
+    from repro.network.flow import FlowKind as _FlowKind
+
+    def issue_surge_write(client_index: int, size_bytes: float, kind: _FlowKind) -> None:
+        client = clients[client_index % len(clients)]
+        content = Content(
+            content_id=f"surge-{next(stack.content_ids)}",
+            size_bytes=size_bytes,
+            owner=client.node_id,
+        )
+        stack.cluster.write(client, content, flow_kind=kind)
+
+    runtime = DynamicsRuntime(
+        sim=stack.sim,
+        topology=stack.topology,
+        fabric=stack.fabric,
+        cluster=stack.cluster,
+        seed=stack.scenario.seed,
+        issue_write=issue_surge_write,
+    )
+    dynamics.arm(runtime)
+
+
 def run_scheme(
     scenario: ScenarioLike, scheme: SchemeLike, workload: Optional[Workload] = None
 ) -> SchemeResult:
@@ -240,6 +270,10 @@ def run_scheme(
     sim = stack.sim
     for request in workload:
         sim.call_at(request.arrival_time_s, _issue_request, stack, request, clients)
+
+    dynamics = spec.build_dynamics()
+    if not dynamics.is_noop:
+        _arm_dynamics(dynamics, stack, clients)
 
     stack.collector.start_sampling()
     wall_start = time.perf_counter()
@@ -259,11 +293,24 @@ def run_scheme(
     extras = {
         "requests_issued": float(len(workload)),
         "requests_completed": float(len(stack.cluster.completed_requests())),
+        "flows_started": float(stack.collector.flows_started),
         "events_processed": float(sim.events_processed),
         # Metadata-plane load: lets scalability studies compare NNS counts
         # from serialised results alone, without reaching into the stack.
         "nns_write_requests_total": float(sum(nns_writes)),
         "nns_write_requests_max": float(max(nns_writes)) if nns_writes else 0.0,
+        # Dynamics accounting — all zero on a static world, so results with
+        # and without an (empty) dynamics script stay bit-identical.
+        "links_failed": float(stack.fabric.link_failures),
+        "links_restored": float(stack.fabric.link_recoveries),
+        "capacity_changes": float(stack.fabric.capacity_changes),
+        "flows_rerouted_on_failure": float(stack.fabric.flows_rerouted_on_failure),
+        "flows_aborted_on_failure": float(stack.fabric.flows_aborted_on_failure),
+        "servers_departed": float(stack.cluster.servers_departed),
+        "servers_rejoined": float(stack.cluster.servers_rejoined),
+        "requests_disrupted": float(stack.cluster.requests_disrupted),
+        "re_replications_planned": float(stack.cluster.replication.re_replications_planned),
+        "re_replications_completed": float(stack.cluster.replication.re_replications_completed),
     }
     if stack.hedera is not None:
         extras["hedera_reroutes"] = float(stack.hedera.reroutes)
@@ -271,6 +318,7 @@ def run_scheme(
         scheme=stack.spec.name,
         records=stack.collector.records,
         throughput=stack.collector.throughput,
+        availability=stack.collector.availability,
         sla_violations=sla_violations,
         wall_clock_s=wall_clock,
         extras=extras,

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.core.rate_metric import ScdaParams
 from repro.registry import RegistryError, TOPOLOGIES, WORKLOADS, _normalise
@@ -106,6 +106,13 @@ class ScenarioSpec:
         Overrides for :class:`~repro.baselines.hedera.HederaConfig`
         (``elephant_threshold_bytes``, ``scheduling_interval_s``), used by
         schemes with ``use_hedera`` set.
+    dynamics:
+        A list of timed world-mutation events in their plain-dict form
+        (``{"kind": "link-failure", "at_s": 1.0, ...}``; see
+        :mod:`repro.dynamics`).  Empty means the historical static world.
+        The list is part of the spec's serialised form, so it flows through
+        :class:`~repro.exec.job.ExperimentJob` content keys, planners,
+        every executor backend and the result store losslessly.
     """
 
     name: str = "scenario"
@@ -119,6 +126,8 @@ class ScenarioSpec:
     workload_params: Dict[str, Any] = field(default_factory=dict)
     scda_params: Dict[str, Any] = field(default_factory=dict)
     hedera_params: Dict[str, Any] = field(default_factory=dict)
+    #: timed world-mutation events (see :mod:`repro.dynamics`); empty = static
+    dynamics: List[Dict[str, Any]] = field(default_factory=list)
     control_interval_s: float = 0.010
     setup_rtts: float = 1.5
     replication_enabled: bool = True
@@ -145,6 +154,14 @@ class ScenarioSpec:
         self.workload_params = _jsonify(dict(self.workload_params))
         self.scda_params = _jsonify(dict(self.scda_params))
         self.hedera_params = _jsonify(dict(self.hedera_params))
+        if isinstance(self.dynamics, Mapping) or isinstance(self.dynamics, str):
+            raise ValueError("dynamics must be a list of event dicts")
+        self.dynamics = _jsonify(list(self.dynamics))
+        for item in self.dynamics:
+            if not isinstance(item, Mapping) or "kind" not in item:
+                raise ValueError(
+                    f"each dynamics event must be a dict with a 'kind', got {item!r}"
+                )
 
     # -- paper scenarios ---------------------------------------------------------------
     @classmethod
@@ -258,6 +275,35 @@ class ScenarioSpec:
             raise RegistryError(
                 f"invalid scda_params: {exc}; valid fields: {valid}"
             ) from exc
+
+    def build_dynamics(self):
+        """The :class:`~repro.dynamics.DynamicsScript` named by :attr:`dynamics`.
+
+        Events resolve through the :data:`~repro.registry.DYNAMICS` registry
+        (unknown kinds and bad parameters fail with the valid names).  An
+        empty list builds a no-op script: the historical static world.
+        """
+        from repro.dynamics import DynamicsScript
+
+        return DynamicsScript.from_list(self.dynamics)
+
+    def with_dynamics(self, events) -> "ScenarioSpec":
+        """A copy of this spec with the dynamics script replaced.
+
+        Accepts a :class:`~repro.dynamics.DynamicsScript`, a list of event
+        objects, or a list of plain event dicts.
+        """
+        from repro.dynamics import DynamicsEvent, DynamicsScript
+        from repro.dynamics.script import event_to_dict
+
+        if isinstance(events, DynamicsScript):
+            payload = events.to_list()
+        else:
+            payload = [
+                event_to_dict(e) if isinstance(e, DynamicsEvent) else dict(e)
+                for e in events
+            ]
+        return self.with_overrides(dynamics=payload)
 
     def build_hedera_config(self):
         """The Hedera scheduler config for schemes with ``use_hedera`` set.

@@ -1,0 +1,119 @@
+"""Availability/disruption time series (the dynamics layer's metrics).
+
+Sampled by the :class:`~repro.metrics.collector.MetricsCollector` on the same
+periodic timer as the throughput series: how many links are down, what
+fraction of the fabric is up, and the cumulative counts of flows the dynamics
+layer rerouted or aborted.  On a static world every sample is the trivial
+"all up, nothing disrupted", so results with and without an (empty) dynamics
+script stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+
+@dataclass
+class AvailabilitySample:
+    """One sampling instant of fabric availability."""
+
+    time_s: float
+    #: links currently failed
+    links_down: int
+    #: all directed links in the topology
+    links_total: int
+    #: cumulative flows moved to a surviving path after a link failure
+    flows_rerouted: int
+    #: cumulative flows aborted (failure with no surviving path, or churn)
+    flows_aborted: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the fabric's links that are up at this instant."""
+        if self.links_total <= 0:
+            return 1.0
+        return 1.0 - self.links_down / self.links_total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict of this sample."""
+        return {
+            "time_s": float(self.time_s),
+            "links_down": int(self.links_down),
+            "links_total": int(self.links_total),
+            "flows_rerouted": int(self.flows_rerouted),
+            "flows_aborted": int(self.flows_aborted),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AvailabilitySample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(**dict(data))
+
+
+class AvailabilitySeries:
+    """An ordered collection of :class:`AvailabilitySample`."""
+
+    def __init__(self) -> None:
+        self.samples: List[AvailabilitySample] = []
+
+    def add(self, sample: AvailabilitySample) -> None:
+        """Append a sample (samples must arrive in time order)."""
+        if self.samples and sample.time_s < self.samples[-1].time_s:
+            raise ValueError("availability samples must be added in time order")
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> np.ndarray:
+        """Sampling instants."""
+        return np.array([s.time_s for s in self.samples], dtype=float)
+
+    def availability(self) -> np.ndarray:
+        """Per-sample link availability fraction."""
+        return np.array([s.availability for s in self.samples], dtype=float)
+
+    def mean_availability(self) -> float:
+        """Time-average link availability (1.0 on a static world)."""
+        if not self.samples:
+            return 1.0
+        return float(np.mean([s.availability for s in self.samples]))
+
+    def disrupted_time_s(self) -> float:
+        """Total sampled time during which at least one link was down."""
+        if len(self.samples) < 2:
+            return 0.0
+        total = 0.0
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            if prev.links_down > 0:
+                total += cur.time_s - prev.time_s
+        return total
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, availability fraction)`` for plotting."""
+        return self.times(), self.availability()
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole series as a plain JSON-safe dict."""
+        return {"samples": [s.to_dict() for s in self.samples]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AvailabilitySeries":
+        """Rebuild a series from :meth:`to_dict` output (lossless)."""
+        series = cls()
+        for sample in data.get("samples", ()):
+            series.add(AvailabilitySample.from_dict(sample))
+        return series
+
+    def merged_with(self, other: "AvailabilitySeries") -> "AvailabilitySeries":
+        """A new series interleaving both sample sets in time order."""
+        merged = AvailabilitySeries()
+        for sample in sorted(
+            list(self.samples) + list(other.samples), key=lambda s: s.time_s
+        ):
+            merged.add(sample)
+        return merged

@@ -1,4 +1,4 @@
-"""The metrics collector: ties flow completions and throughput sampling together."""
+"""The metrics collector: flow completions, throughput and availability sampling."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.availability import AvailabilitySample, AvailabilitySeries
 from repro.metrics.records import FlowRecord
 from repro.metrics.throughput import ThroughputSample, ThroughputSeries
 from repro.network.fabric import FabricSimulator
@@ -41,11 +42,17 @@ class MetricsCollector:
         self.record_kinds = tuple(record_kinds) if record_kinds else None
         self.records: List[FlowRecord] = []
         self.throughput = ThroughputSeries()
+        #: link availability + flow-disruption series, sampled on the same
+        #: timer as the throughput (trivial on a static world, which keeps
+        #: dynamic and static runs structurally identical)
+        self.availability = AvailabilitySeries()
+        self.flows_started = 0
         self._timer: Optional[PeriodicTimer] = None
         self._last_sample_time = fabric.sim.now
         self._last_total_bytes = fabric.total_bytes_delivered
 
         fabric.on_flow_finished(self._on_flow_finished)
+        fabric.on_flow_started(self._on_flow_started)
 
     # -- lifecycle ------------------------------------------------------------------------
     def start_sampling(self) -> None:
@@ -72,12 +79,16 @@ class MetricsCollector:
         """
         self.stop_sampling()
         self.fabric.remove_flow_finished_callback(self._on_flow_finished)
+        self.fabric.remove_flow_started_callback(self._on_flow_started)
 
     # -- callbacks --------------------------------------------------------------------------
     def _on_flow_finished(self, flow: Flow, now: float) -> None:
         if self.record_kinds is not None and flow.kind not in self.record_kinds:
             return
         self.records.append(FlowRecord.from_flow(flow))
+
+    def _on_flow_started(self, flow: Flow, now: float) -> None:
+        self.flows_started += 1
 
     def _sample(self, now: float) -> None:
         active = self.fabric.active_flows
@@ -91,6 +102,15 @@ class MetricsCollector:
                 active_flows=len(active),
                 aggregate_bps=aggregate_bps,
                 mean_flow_bps=float(np.mean(per_flow_rates)) if per_flow_rates else 0.0,
+            )
+        )
+        self.availability.add(
+            AvailabilitySample(
+                time_s=now,
+                links_down=self.fabric.links_down,
+                links_total=len(self.fabric.topology.links),
+                flows_rerouted=self.fabric.flows_rerouted_on_failure,
+                flows_aborted=self.fabric.flows_aborted_on_failure,
             )
         )
         self._last_sample_time = now

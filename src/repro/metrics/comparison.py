@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.availability import AvailabilitySeries
 from repro.metrics.cdf import empirical_cdf, stochastic_dominance_fraction
 from repro.metrics.fct import FctStatistics, afct_by_size_bins, average_fct
 from repro.metrics.records import FlowRecord
@@ -26,6 +27,8 @@ class SchemeResult:
     scheme: str
     records: List[FlowRecord] = field(default_factory=list)
     throughput: ThroughputSeries = field(default_factory=ThroughputSeries)
+    #: link availability / disruption series (trivial on a static world)
+    availability: AvailabilitySeries = field(default_factory=AvailabilitySeries)
     sla_violations: int = 0
     wall_clock_s: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
@@ -86,6 +89,7 @@ class SchemeResult:
             "scheme": self.scheme,
             "records": [r.to_dict() for r in self.records],
             "throughput": self.throughput.to_dict(),
+            "availability": self.availability.to_dict(),
             "sla_violations": int(self.sla_violations),
             "wall_clock_s": float(self.wall_clock_s),
             "extras": {str(k): float(v) for k, v in self.extras.items()},
@@ -109,6 +113,7 @@ class SchemeResult:
             scheme=str(data["scheme"]),
             records=[FlowRecord.from_dict(r) for r in data.get("records", ())],
             throughput=ThroughputSeries.from_dict(data.get("throughput", {})),
+            availability=AvailabilitySeries.from_dict(data.get("availability", {})),
             sla_violations=int(data.get("sla_violations", 0)),
             wall_clock_s=float(data.get("wall_clock_s", 0.0)),
             extras={str(k): float(v) for k, v in data.get("extras", {}).items()},
@@ -139,6 +144,7 @@ class SchemeResult:
             scheme=self.scheme,
             records=list(self.records) + list(other.records),
             throughput=self.throughput.merged_with(other.throughput),
+            availability=self.availability.merged_with(other.availability),
             sla_violations=self.sla_violations + other.sla_violations,
             wall_clock_s=self.wall_clock_s + other.wall_clock_s,
             extras=extras,

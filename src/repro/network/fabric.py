@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.network.flow import Flow, FlowKind, FlowState
 from repro.network.incidence import IncidenceCache
-from repro.network.routing import Router
+from repro.network.routing import NoPathError, Router
 from repro.network.topology import Link, Node, Topology
 from repro.sim.engine import Simulator
 
@@ -92,6 +92,19 @@ class FabricSimulator:
         self.total_bytes_delivered = 0.0
         self._finish_callbacks: List[Callable[[Flow, float], None]] = []
         self._start_callbacks: List[Callable[[Flow, float], None]] = []
+        self._abort_callbacks: List[Callable[[Flow, float], None]] = []
+        #: ``callback(event, link, now)`` with event one of ``link-failed``,
+        #: ``link-restored``, ``link-capacity`` — how control planes that
+        #: cache link state (the SCDA RM/RA calculators) stay in sync with
+        #: runtime topology mutations.
+        self._topology_callbacks: List[Callable[[str, Link, float], None]] = []
+        self._down_link_ids: Set[str] = set()
+        # Dynamics accounting (read by the metrics layer).
+        self.link_failures = 0
+        self.link_recoveries = 0
+        self.capacity_changes = 0
+        self.flows_rerouted_on_failure = 0
+        self.flows_aborted_on_failure = 0
         #: Per-fabric flow ids: flow numbering restarts at 0 for every fabric,
         #: so a run's records are identical no matter what ran earlier in the
         #: process (or concurrently in another thread) — a prerequisite for
@@ -109,12 +122,47 @@ class FabricSimulator:
         """Register ``callback(flow, now)`` to run whenever a flow starts."""
         self._start_callbacks.append(callback)
 
+    def on_flow_aborted(self, callback: Callable[[Flow, float], None]) -> None:
+        """Register ``callback(flow, now)`` to run whenever a flow is aborted."""
+        self._abort_callbacks.append(callback)
+
     def remove_flow_finished_callback(self, callback: Callable[[Flow, float], None]) -> None:
         """Unregister a completion callback; a no-op if it is not registered."""
         try:
             self._finish_callbacks.remove(callback)
         except ValueError:
             pass
+
+    def remove_flow_started_callback(self, callback: Callable[[Flow, float], None]) -> None:
+        """Unregister a start callback; a no-op if it is not registered."""
+        try:
+            self._start_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def remove_flow_aborted_callback(self, callback: Callable[[Flow, float], None]) -> None:
+        """Unregister an abort callback; a no-op if it is not registered."""
+        try:
+            self._abort_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def on_topology_changed(self, callback: Callable[[str, Link, float], None]) -> None:
+        """Register ``callback(event, link, now)`` for runtime topology mutations."""
+        self._topology_callbacks.append(callback)
+
+    def remove_topology_changed_callback(
+        self, callback: Callable[[str, Link, float], None]
+    ) -> None:
+        """Unregister a topology-change callback; a no-op if not registered."""
+        try:
+            self._topology_callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_topology_changed(self, event: str, link: Link, now: float) -> None:
+        for callback in self._topology_callbacks:
+            callback(event, link, now)
 
     @property
     def active_flow_count(self) -> int:
@@ -187,10 +235,20 @@ class FabricSimulator:
         self.incidence.remove_flow(flow)
         flow.abort(now)
         self.transport.on_flow_finish(flow, now)
+        for callback in self._abort_callbacks:
+            callback(flow, now)
         self._recompute(now)
 
-    def reroute_flow(self, flow: Flow, new_path: List[Link]) -> None:
-        """Move an active flow onto a different path (Hedera-style rerouting)."""
+    def reroute_flow(self, flow: Flow, new_path: List[Link], reason: str = "policy") -> None:
+        """Move an active flow onto a different path (Hedera-style rerouting).
+
+        ``reason`` is forwarded to the transport's
+        :meth:`~repro.network.transport.base.TransportModel.on_flow_rerouted`
+        hook: ``"policy"`` reroutes (Hedera moving an elephant) keep the
+        transport state, while ``"failure"`` reroutes (the old path lost a
+        link) let loss-based transports model the disruption, e.g. TCP
+        restarting in slow start.
+        """
         if flow.state is not FlowState.ACTIVE:
             raise RuntimeError(f"cannot reroute non-active flow {flow.flow_id}")
         now = self.sim.now
@@ -199,6 +257,86 @@ class FabricSimulator:
         flow.path = list(new_path)
         flow.base_rtt_s = 2.0 * sum(l.delay_s for l in flow.path) if flow.path else 1e-4
         self.incidence.add_flow(flow)
+        self.transport.on_flow_rerouted(flow, now, reason)
+        self._recompute(now)
+
+    # -- runtime topology mutation -----------------------------------------------------
+    @property
+    def links_down(self) -> int:
+        """Number of links currently failed."""
+        return len(self._down_link_ids)
+
+    def fail_link(self, link: Link) -> List[Flow]:
+        """Take ``link`` down; reroute or abort the flows stranded on it.
+
+        Stranded flows are moved onto a surviving path when one exists
+        (``reroute_flow(..., reason="failure")``, so loss-based transports
+        restart their windows); flows with no remaining path are aborted.
+        Routing caches are invalidated so new flows avoid the link.  Returns
+        the flows that had to be aborted.  A no-op on an already-down link.
+        """
+        now = self.sim.now
+        if not link.up:
+            return []
+        self._advance_to(now)
+        link.up = False
+        self._down_link_ids.add(link.link_id)
+        self.link_failures += 1
+        self.router.invalidate_routes()
+        stranded = list(self.incidence.link_flows_map().get(link.link_id, ()))
+        aborted: List[Flow] = []
+        for flow in stranded:
+            if flow.state is not FlowState.ACTIVE:
+                continue
+            try:
+                new_path = self.router.path_for_new_flow(flow.src, flow.dst)
+            except NoPathError:
+                new_path = None
+            if new_path and all(l.up for l in new_path):
+                self.reroute_flow(flow, new_path, reason="failure")
+                self.flows_rerouted_on_failure += 1
+            else:
+                self.abort_flow(flow)
+                self.flows_aborted_on_failure += 1
+                aborted.append(flow)
+        self._notify_topology_changed("link-failed", link, now)
+        self._recompute(now)
+        return aborted
+
+    def restore_link(self, link: Link) -> None:
+        """Bring a failed link back up (queue state cleared; routes refreshed).
+
+        Already-active flows keep their detour paths — like real WAN/DC
+        reconvergence, only *new* flows see the restored link.  A no-op on a
+        link that is already up.
+        """
+        now = self.sim.now
+        if link.up:
+            return
+        self._advance_to(now)
+        link.up = True
+        link.queue_bytes = 0.0
+        self._down_link_ids.discard(link.link_id)
+        self.link_recoveries += 1
+        self.router.invalidate_routes()
+        self._notify_topology_changed("link-restored", link, now)
+        self._recompute(now)
+
+    def set_link_capacity(self, link: Link, capacity_bps: float) -> None:
+        """Change a link's capacity at runtime (degradation or recovery).
+
+        The shared :class:`~repro.network.incidence.IncidenceCache` never
+        caches capacities, so the next water-filler solve picks the new value
+        up without an epoch bump; control planes that *do* cache capacities
+        are refreshed through the topology-change callbacks.
+        """
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bps}")
+        now = self.sim.now
+        self._advance_to(now)
+        link.capacity_bps = float(capacity_bps)
+        self.capacity_changes += 1
+        self._notify_topology_changed("link-capacity", link, now)
         self._recompute(now)
 
     # -- fluid advancement --------------------------------------------------------------
@@ -306,6 +444,9 @@ class TransportModelLike:
 
     def on_flow_finish(self, flow: Flow, now: float) -> None:  # pragma: no cover - protocol
         raise NotImplementedError
+
+    def on_flow_rerouted(self, flow: Flow, now: float, reason: str = "policy") -> None:
+        """Optional hook: a flow moved to a new path (default: no reaction)."""
 
     def update_rates(self, flows: Sequence[Flow], now: float) -> None:  # pragma: no cover
         raise NotImplementedError

@@ -37,13 +37,19 @@ def _links_to_nodes(path: Path) -> List[str]:
 class Router:
     """Hop-count shortest-path routing with deterministic tie-breaking.
 
-    Paths are cached per (src, dst) pair; datacenter topologies are static for
-    the lifetime of an experiment so the cache never needs invalidation.
+    Paths are cached per (src, dst) pair.  Topologies are static for most of
+    an experiment, but the dynamics layer can fail and restore links at
+    runtime; the fabric calls :meth:`invalidate_routes` after every topology
+    mutation, and path search skips links whose ``up`` flag is cleared.
     """
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._cache: Dict[Tuple[str, str], Path] = {}
+
+    def invalidate_routes(self) -> None:
+        """Drop every cached path (topology mutated: link failed/restored)."""
+        self._cache.clear()
 
     def path(self, src: Node, dst: Node) -> Path:
         """Return the list of directed links from ``src`` to ``dst``.
@@ -89,6 +95,8 @@ class Router:
         while queue:
             node, path = queue.popleft()
             for link in self.topology.out_links(node):
+                if not link.up:
+                    continue
                 nxt = link.dst
                 if nxt.node_id in visited:
                     continue
@@ -114,6 +122,10 @@ class EcmpRouter(Router):
             raise ValueError("max_paths must be >= 1")
         self.max_paths = max_paths
         self._multi_cache: Dict[Tuple[str, str], List[Path]] = {}
+
+    def invalidate_routes(self) -> None:
+        super().invalidate_routes()
+        self._multi_cache.clear()
 
     def equal_cost_paths(self, src: Node, dst: Node) -> List[Path]:
         """All (up to ``max_paths``) minimum-hop paths between two nodes."""
@@ -143,6 +155,8 @@ class EcmpRouter(Router):
                     results.append(list(path))
                 return
             for link in self.topology.out_links(node):
+                if not link.up:
+                    continue
                 nxt = link.dst
                 if nxt.node_id in visited:
                     continue
@@ -219,6 +233,8 @@ class WidestPathRouter(Router):
                 break
             node = self.topology.node(node_id)
             for link in self.topology.out_links(node):
+                if not link.up:
+                    continue
                 rate = max(0.0, float(self.rate_of_link(link)))
                 cand = min(-neg_bn, rate)
                 nxt = link.dst.node_id

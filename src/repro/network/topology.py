@@ -73,9 +73,11 @@ class Link:
         "src",
         "dst",
         "capacity_bps",
+        "nominal_capacity_bps",
         "delay_s",
         "buffer_bytes",
         "is_uplink",
+        "up",
         "queue_bytes",
         "loss_events",
         "_loss_in_interval",
@@ -101,6 +103,8 @@ class Link:
         self.src = src
         self.dst = dst
         self.capacity_bps = float(capacity_bps)
+        #: the as-built capacity; dynamics events degrade/restore relative to it
+        self.nominal_capacity_bps = float(capacity_bps)
         self.delay_s = float(delay_s)
         # Default buffer: one bandwidth-delay product at 100 ms, a common
         # shallow-buffer datacenter setting.
@@ -110,6 +114,10 @@ class Link:
             else self.capacity_bps * 0.1 / 8.0
         )
         self.is_uplink = bool(is_uplink)
+        #: False while the link is failed; routers skip down links and the
+        #: fabric reroutes or aborts flows stranded on them (see
+        #: :meth:`repro.network.fabric.FabricSimulator.fail_link`).
+        self.up = True
         self.queue_bytes = 0.0
         self.loss_events = 0
         self._loss_in_interval = False

@@ -34,6 +34,16 @@ class TransportModel:
     def on_flow_finish(self, flow: Flow, now: float) -> None:
         """Hook: a flow has just finished or been aborted."""
 
+    def on_flow_rerouted(self, flow: Flow, now: float, reason: str = "policy") -> None:
+        """Hook: an active flow moved onto a new path.
+
+        ``reason`` is ``"policy"`` for scheduler-driven reroutes (Hedera
+        moving an elephant onto a quieter path — transparent to the
+        endpoints) and ``"failure"`` when the old path lost a link, which
+        endpoint transports may model as a loss/reconnect event.  The default
+        is to do nothing.
+        """
+
     def update_rates(self, flows: Sequence[Flow], now: float) -> None:
         """Assign demand and delivered rates to all active flows."""
         raise NotImplementedError

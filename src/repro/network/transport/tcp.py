@@ -77,6 +77,24 @@ class TcpTransport(TransportModel):
     def on_flow_finish(self, flow: Flow, now: float) -> None:
         self._last_update.pop(flow.flow_id, None)
 
+    def on_flow_rerouted(self, flow: Flow, now: float, reason: str = "policy") -> None:
+        """A failure reroute is a timeout+reconnect: restart in slow start.
+
+        Policy reroutes (Hedera) are transparent to the endpoints and leave
+        the window untouched.
+        """
+        if reason != "failure":
+            return
+        cfg = self.config
+        state = flow.transport_state
+        cwnd = state.get("cwnd", cfg.initial_window_segments * cfg.mss_bytes)
+        state["ssthresh"] = max(
+            cwnd * cfg.loss_backoff, cfg.min_window_segments * cfg.mss_bytes
+        )
+        state["cwnd"] = cfg.initial_window_segments * cfg.mss_bytes
+        state["losses"] = state.get("losses", 0.0) + 1.0
+        self._last_update[flow.flow_id] = now
+
     # -- rate assignment --------------------------------------------------------------
     def update_rates(self, flows: Sequence[Flow], now: float) -> None:
         cfg = self.config

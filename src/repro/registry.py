@@ -3,7 +3,8 @@
 The paper's evaluation is a cross-product of (topology, workload, transport
 scheme); this module is the composition layer that makes every axis of that
 cross-product a *named*, *registered* plugin instead of a hard-wired import.
-Five registries cover the axes (plus how the product is executed):
+Six registries cover the axes (plus how the product is executed and how the
+world changes mid-run):
 
 * :data:`TOPOLOGIES` — fabric builders (``tree``, ``fattree``, ``vl2``,
   ``leafspine``), each paired with its config dataclass;
@@ -14,11 +15,15 @@ Five registries cover the axes (plus how the product is executed):
 * :data:`PLACEMENTS` — server-selection policies (``random``,
   ``round-robin``, ``least-loaded``, ``scda``);
 * :data:`EXECUTORS` — execution backends for planned job lists (``serial``,
-  ``thread``, ``process``; see :mod:`repro.exec`).
+  ``thread``, ``process``; see :mod:`repro.exec`);
+* :data:`DYNAMICS` — timed world-mutation events (``link-failure``,
+  ``link-recovery``, ``capacity-degradation``, ``block-server-churn``,
+  ``workload-surge``; see :mod:`repro.dynamics`).
 
 Built-in entries are registered by the per-domain catalog modules
 (:mod:`repro.network.catalog`, :mod:`repro.workloads.catalog`,
-:mod:`repro.baselines.catalog`, :mod:`repro.cluster.catalog`), which are
+:mod:`repro.baselines.catalog`, :mod:`repro.cluster.catalog`,
+:mod:`repro.dynamics.catalog`), which are
 imported lazily the first time a registry is read.  Third-party code extends
 the system with one call and no runner patch::
 
@@ -254,6 +259,7 @@ def load_builtin_plugins() -> None:
     import repro.cluster.catalog  # noqa: F401  (placements)
     import repro.baselines.catalog  # noqa: F401  (schemes)
     import repro.exec.executors  # noqa: F401  (executors)
+    import repro.dynamics.catalog  # noqa: F401  (dynamics events)
 
 
 #: Fabric builders — ``tree``, ``fattree``, ``vl2``, ``leafspine``, ...
@@ -274,6 +280,12 @@ PLACEMENTS = Registry("placement", bootstrap=load_builtin_plugins)
 #: ``process`` (see :mod:`repro.exec.executors`).
 EXECUTORS = Registry("executor", bootstrap=load_builtin_plugins)
 
+#: Timed world-mutation events scheduled by a
+#: :class:`~repro.dynamics.DynamicsScript` — ``link-failure``,
+#: ``link-recovery``, ``capacity-degradation``, ``block-server-churn``,
+#: ``workload-surge`` (see :mod:`repro.dynamics.events`).
+DYNAMICS = Registry("dynamics event", bootstrap=load_builtin_plugins)
+
 #: The scheme registry doubles as the "transports" axis of the paper's
 #: cross-product (each scheme names its transport model); kept under both
 #: names so either reads naturally.
@@ -285,6 +297,7 @@ ALL_REGISTRIES: Tuple[Tuple[str, Registry], ...] = (
     ("schemes", SCHEMES),
     ("placements", PLACEMENTS),
     ("executors", EXECUTORS),
+    ("dynamics", DYNAMICS),
 )
 
 __all__ = [
@@ -298,5 +311,6 @@ __all__ = [
     "TRANSPORTS",
     "PLACEMENTS",
     "EXECUTORS",
+    "DYNAMICS",
     "ALL_REGISTRIES",
 ]

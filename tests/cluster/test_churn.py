@@ -1,0 +1,170 @@
+"""Tests for block-server churn: departure, re-replication, rejoin."""
+
+import pytest
+
+from repro.cluster.cluster import StorageCluster, StorageClusterConfig
+from repro.cluster.content import Content, ContentClass
+from repro.cluster.placement import RoundRobinPlacement
+from repro.cluster.replication import ReplicationConfig
+from repro.network.fabric import FabricSimulator
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.sim.engine import Simulator
+
+MB = 1024.0 * 1024.0
+
+
+def build_cluster(topology, extra_replicas=1, replication=True):
+    sim = Simulator()
+    fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+    cluster = StorageCluster(
+        sim,
+        topology,
+        fabric,
+        RoundRobinPlacement(),
+        config=StorageClusterConfig(
+            replication=ReplicationConfig(enabled=replication, extra_replicas=extra_replicas),
+        ),
+    )
+    return sim, fabric, cluster
+
+
+def written_content(sim, cluster, client, size=5 * MB):
+    content = Content.create(size, declared_class=ContentClass.LWHR)
+    cluster.write(client, content)
+    sim.run(until=30.0)
+    return content
+
+
+class TestDeparture:
+    def test_departed_server_leaves_the_candidate_set(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        victim = cluster.all_server_ids()[0]
+        cluster.deactivate_server(victim)
+        assert victim not in cluster.server_ids()
+        assert victim in cluster.all_server_ids()
+        assert not cluster.is_server_active(victim)
+        assert cluster.servers_departed == 1
+
+    def test_unknown_server_raises(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        with pytest.raises(KeyError):
+            cluster.deactivate_server("bs-nope")
+
+    def test_double_departure_is_a_noop(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        victim = cluster.all_server_ids()[0]
+        cluster.deactivate_server(victim)
+        assert cluster.deactivate_server(victim) == 0
+        assert cluster.servers_departed == 1
+
+    def test_departure_drops_replicas_from_metadata(self, small_tree):
+        sim, _fabric, cluster = build_cluster(small_tree)
+        client = small_tree.clients()[0]
+        content = written_content(sim, cluster, client)
+        nns = cluster.name_node_for_content(content.content_id)
+        holders = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        assert len(holders) == 2  # primary + 1 replica
+        cluster.deactivate_server(holders[0])
+        remaining = nns.record_of(content.content_id).block_map.servers()
+        assert holders[0] not in remaining
+
+    def test_departure_triggers_re_replication_that_completes(self, small_tree):
+        sim, _fabric, cluster = build_cluster(small_tree)
+        client = small_tree.clients()[0]
+        content = written_content(sim, cluster, client)
+        nns = cluster.name_node_for_content(content.content_id)
+        holders = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        repairs = cluster.deactivate_server(holders[0])
+        assert repairs == 1
+        assert cluster.replication.re_replications_planned == 1
+        sim.run(until=60.0)
+        assert cluster.replication.re_replications_completed == 1
+        restored = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        assert len(restored) == 2
+        assert holders[0] not in restored
+
+    def test_departure_aborts_inflight_transfers_and_counts_disruption(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = Content.create(50 * MB, declared_class=ContentClass.LWHR)
+        request = cluster.write(client, content)
+        sim.run(until=0.1)  # past setup latency; transfer in flight
+        assert fabric.active_flow_count == 1
+        cluster.deactivate_server(request.primary_server)
+        assert fabric.active_flow_count == 0
+        assert cluster.requests_disrupted == 1
+        assert not request.completed
+
+    def test_replication_interrupted_by_target_departure_is_replanned(self, small_tree):
+        """A transfer cancelled because its target departed must not leave
+        the content permanently under-replicated: a repair from the primary
+        to another surviving server takes over."""
+        sim, _fabric, cluster = build_cluster(small_tree)
+        client = small_tree.clients()[0]
+        content = Content.create(5 * MB, declared_class=ContentClass.LWHR)
+        cluster.write(client, content)
+        # Run until the write committed and the replication transfer is in
+        # flight (planned but not yet completed).
+        while cluster.replication.tasks_planned == 0:
+            sim.step()
+        while not any(
+            t.kind == "replica" and t in cluster._replication_tasks_by_flow.values()
+            for t in cluster.replication.outstanding_tasks
+        ):
+            sim.step()
+        [task] = cluster.replication.outstanding_tasks
+        cluster.deactivate_server(task.target_server)
+        assert cluster.replication.tasks_cancelled == 1
+        assert cluster.replication.re_replications_planned == 1
+        sim.run(until=60.0)
+        assert cluster.replication.re_replications_completed == 1
+        nns = cluster.name_node_for_content(content.content_id)
+        holders = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        assert len(holders) == 2
+        assert task.target_server not in holders
+
+    def test_no_repair_when_no_surviving_replica(self, small_tree):
+        sim, _fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = written_content(sim, cluster, client)
+        nns = cluster.name_node_for_content(content.content_id)
+        [only_holder] = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        assert cluster.deactivate_server(only_holder) == 0
+        assert cluster.replication.re_replications_planned == 0
+
+
+class TestRejoin:
+    def test_rejoin_restores_candidacy_and_metadata(self, small_tree):
+        sim, _fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = written_content(sim, cluster, client)
+        nns = cluster.name_node_for_content(content.content_id)
+        [holder] = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        cluster.deactivate_server(holder)
+        assert nns.record_of(content.content_id).block_map.servers() == []
+        cluster.reactivate_server(holder)
+        assert cluster.is_server_active(holder)
+        assert cluster.servers_rejoined == 1
+        # The server rejoins with its stored blocks: reads resolve again.
+        assert nns.record_of(content.content_id).block_map.servers_with_full_copy() == [holder]
+        record = cluster.read(client, content.content_id)
+        sim.run(until=60.0)
+        assert record.completed
+
+    def test_rejoin_of_active_server_is_a_noop(self, small_tree):
+        _sim, _fabric, cluster = build_cluster(small_tree)
+        cluster.reactivate_server(cluster.all_server_ids()[0])
+        assert cluster.servers_rejoined == 0
+
+    def test_read_during_departure_window_is_disrupted(self, small_tree):
+        sim, fabric, cluster = build_cluster(small_tree, replication=False)
+        client = small_tree.clients()[0]
+        content = written_content(sim, cluster, client)
+        nns = cluster.name_node_for_content(content.content_id)
+        [holder] = nns.record_of(content.content_id).block_map.servers_with_full_copy()
+        record = cluster.read(client, content.content_id)
+        # The server departs while the read is still in connection setup.
+        cluster.deactivate_server(holder)
+        sim.run(until=60.0)
+        assert not record.completed
+        assert cluster.requests_disrupted == 1

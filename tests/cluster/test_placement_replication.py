@@ -123,3 +123,54 @@ class TestReplicationManager:
             ReplicationConfig(extra_replicas=-1)
         with pytest.raises(ValueError):
             ReplicationConfig(start_delay_s=-0.1)
+
+    def test_plan_with_no_eligible_targets_returns_nothing(self):
+        """Every chosen target equals the primary (or repeats): no tasks."""
+        manager = ReplicationManager(ReplicationConfig(extra_replicas=2))
+        assert manager.plan("c", 1e7, "bs-a", ["bs-a", "bs-a"]) == []
+        assert manager.plan("c", 1e7, "bs-a", []) == []
+        assert manager.tasks_planned == 0
+        assert manager.outstanding_tasks == []
+
+    def test_mark_completed_for_unknown_task_is_reported(self):
+        from repro.cluster.replication import ReplicationTask
+
+        manager = ReplicationManager()
+        stray = ReplicationTask("c", "bs-a", "bs-b", 1e7)
+        assert manager.mark_completed(stray) is False
+        assert manager.tasks_completed == 0
+
+    def test_mark_completed_accounts_each_task_exactly_once(self):
+        manager = ReplicationManager(ReplicationConfig(extra_replicas=1))
+        [task] = manager.plan("c", 1e7, "bs-a", ["bs-b"])
+        assert manager.mark_completed(task) is True
+        assert manager.tasks_completed == 1
+        # A second completion of the same task is refused, not double-counted.
+        assert manager.mark_completed(task) is False
+        assert manager.tasks_completed == 1
+        assert manager.outstanding_tasks == []
+
+    def test_mark_cancelled_drops_without_completing(self):
+        manager = ReplicationManager(ReplicationConfig(extra_replicas=1))
+        [task] = manager.plan("c", 1e7, "bs-a", ["bs-b"])
+        assert manager.mark_cancelled(task) is True
+        assert manager.tasks_cancelled == 1
+        assert manager.tasks_completed == 0
+        assert manager.mark_cancelled(task) is False
+
+    def test_plan_repair_bypasses_policy_knobs(self):
+        """Repairs restore existing durability even when replication of new
+        writes is disabled or the content is below min_size_bytes."""
+        manager = ReplicationManager(
+            ReplicationConfig(enabled=False, min_size_bytes=1e9)
+        )
+        task = manager.plan_repair("c", 1e3, "bs-a", "bs-b")
+        assert task.kind == "repair"
+        assert manager.re_replications_planned == 1
+        assert manager.mark_completed(task) is True
+        assert manager.re_replications_completed == 1
+
+    def test_plan_repair_rejects_source_as_target(self):
+        manager = ReplicationManager()
+        with pytest.raises(ValueError):
+            manager.plan_repair("c", 1e7, "bs-a", "bs-a")

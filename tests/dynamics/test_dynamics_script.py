@@ -1,0 +1,78 @@
+"""Tests for DynamicsScript serialisation and scheduling."""
+
+import json
+
+import pytest
+
+from repro.dynamics import DynamicsError, DynamicsRuntime, DynamicsScript
+from repro.network.fabric import FabricSimulator
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.network.tree import TreeTopologyConfig, build_tree_topology
+from repro.sim.engine import Simulator
+
+EVENTS = [
+    {"kind": "link-failure", "at_s": 1.0, "select": "host-uplink", "index": 0},
+    {"kind": "link-recovery", "at_s": 2.0, "select": "host-uplink", "index": 0},
+]
+
+
+class TestSerialisation:
+    def test_list_round_trip(self):
+        script = DynamicsScript.from_list(EVENTS)
+        assert len(script) == 2
+        clone = DynamicsScript.from_list(script.to_list())
+        assert clone.to_list() == script.to_list()
+
+    def test_json_round_trip_object_form(self):
+        script = DynamicsScript.from_list(EVENTS)
+        clone = DynamicsScript.from_json(script.to_json())
+        assert clone.to_list() == script.to_list()
+
+    def test_json_accepts_bare_list(self):
+        script = DynamicsScript.from_json(json.dumps(EVENTS))
+        assert len(script) == 2
+
+    def test_json_object_without_events_rejected(self):
+        with pytest.raises(DynamicsError):
+            DynamicsScript.from_json('{"something": []}')
+
+    def test_event_without_kind_rejected(self):
+        with pytest.raises(DynamicsError):
+            DynamicsScript.from_list([{"at_s": 1.0}])
+
+    def test_mapping_instead_of_list_rejected(self):
+        with pytest.raises(DynamicsError):
+            DynamicsScript.from_list({"kind": "link-failure"})
+
+    def test_save_load(self, tmp_path):
+        script = DynamicsScript.from_list(EVENTS)
+        path = script.save(tmp_path / "script.json")
+        loaded = DynamicsScript.load(path)
+        assert loaded.to_list() == script.to_list()
+
+    def test_noop(self):
+        assert DynamicsScript().is_noop
+        assert not DynamicsScript.from_list(EVENTS).is_noop
+
+
+class TestArming:
+    def test_arm_schedules_and_fires_in_order(self):
+        topology = build_tree_topology(
+            TreeTopologyConfig(num_agg=1, racks_per_agg=1, hosts_per_rack=2, num_clients=1)
+        )
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+        runtime = DynamicsRuntime(sim=sim, topology=topology, fabric=fabric, seed=1)
+        script = DynamicsScript.from_list(EVENTS)
+        assert script.arm(runtime) == 2
+
+        host = topology.hosts()[0]
+        uplink = topology.uplink_of(host)
+        sim.run(until=1.5)
+        assert not uplink.up
+        assert fabric.links_down == 2  # duplex pair
+        sim.run(until=2.5)
+        assert uplink.up
+        assert fabric.links_down == 0
+        assert fabric.link_failures == 2
+        assert fabric.link_recoveries == 2

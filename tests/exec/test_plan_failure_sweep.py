@@ -1,0 +1,54 @@
+"""Tests for the fault-recovery sweep planner."""
+
+import pytest
+
+from repro.exec import plan_failure_sweep
+from repro.experiments.spec import ScenarioSpec
+from repro.sim.random import derive_seed
+
+
+def base_spec():
+    return ScenarioSpec.pareto_poisson(sim_time_s=4.0, seed=9)
+
+
+class TestPlanFailureSweep:
+    def test_two_jobs_per_outage_duration(self):
+        jobs = plan_failure_sweep([0.5, 1.0], base=base_spec())
+        assert len(jobs) == 4
+        assert [j.tags["role"] for j in jobs] == ["candidate", "baseline"] * 2
+        assert [j.tags["parameter"] for j in jobs] == [0.5, 0.5, 1.0, 1.0]
+
+    def test_points_carry_failure_and_recovery_events(self):
+        [job, _] = plan_failure_sweep([0.75], base=base_spec(), fail_at_s=1.5)[:2]
+        kinds = [e["kind"] for e in job.spec.dynamics]
+        assert kinds == ["link-failure", "link-recovery"]
+        fail, recover = job.spec.dynamics
+        assert fail["at_s"] == 1.5
+        assert recover["at_s"] == 2.25
+        assert fail["select"] == "switch-uplink"
+
+    def test_default_failure_time_is_a_quarter_into_the_run(self):
+        [job, _] = plan_failure_sweep([1.0], base=base_spec())[:2]
+        assert job.spec.dynamics[0]["at_s"] == pytest.approx(1.0)  # 4.0 * 0.25
+
+    def test_outage_durations_must_be_positive(self):
+        with pytest.raises(ValueError):
+            plan_failure_sweep([0.0], base=base_spec())
+        with pytest.raises(ValueError):
+            plan_failure_sweep([], base=base_spec())
+
+    def test_jobs_at_different_durations_have_distinct_keys(self):
+        jobs = plan_failure_sweep([0.5, 1.0], base=base_spec())
+        assert len({j.key for j in jobs}) == 4
+
+    def test_reseed_per_point_uses_identity_derivation(self):
+        spec = base_spec()
+        jobs = plan_failure_sweep([0.5], base=spec, reseed_per_point=True)
+        expected = derive_seed(spec.seed, "sweep", "failure", "outage=0.5")
+        assert all(j.seed == expected for j in jobs)
+
+    def test_spec_json_round_trip_preserves_the_script(self):
+        [job, _] = plan_failure_sweep([0.5], base=base_spec())[:2]
+        clone = ScenarioSpec.from_json(job.spec.to_json())
+        assert clone.dynamics == job.spec.dynamics
+        assert len(clone.build_dynamics()) == 2

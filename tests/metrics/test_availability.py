@@ -1,0 +1,59 @@
+"""Tests for the availability/disruption time series."""
+
+import json
+
+import pytest
+
+from repro.metrics.availability import AvailabilitySample, AvailabilitySeries
+
+
+def sample(t, down=0, total=10, rerouted=0, aborted=0):
+    return AvailabilitySample(
+        time_s=t, links_down=down, links_total=total,
+        flows_rerouted=rerouted, flows_aborted=aborted,
+    )
+
+
+class TestAvailabilitySample:
+    def test_availability_fraction(self):
+        assert sample(1.0, down=2, total=10).availability == pytest.approx(0.8)
+        assert sample(1.0, down=0, total=0).availability == 1.0
+
+    def test_round_trip(self):
+        s = sample(2.0, down=1, rerouted=3, aborted=1)
+        clone = AvailabilitySample.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert clone == s
+
+
+class TestAvailabilitySeries:
+    def test_mean_availability(self):
+        series = AvailabilitySeries()
+        series.add(sample(1.0, down=0))
+        series.add(sample(2.0, down=5))
+        assert series.mean_availability() == pytest.approx(0.75)
+        assert AvailabilitySeries().mean_availability() == 1.0
+
+    def test_disrupted_time_integrates_down_intervals(self):
+        series = AvailabilitySeries()
+        series.add(sample(1.0, down=0))
+        series.add(sample(2.0, down=2))
+        series.add(sample(3.0, down=2))
+        series.add(sample(4.0, down=0))
+        assert series.disrupted_time_s() == pytest.approx(2.0)
+
+    def test_samples_must_be_time_ordered(self):
+        series = AvailabilitySeries()
+        series.add(sample(2.0))
+        with pytest.raises(ValueError):
+            series.add(sample(1.0))
+
+    def test_round_trip_and_merge(self):
+        a = AvailabilitySeries()
+        a.add(sample(1.0, down=1))
+        b = AvailabilitySeries()
+        b.add(sample(0.5))
+        b.add(sample(1.5, down=2))
+        merged = a.merged_with(b)
+        assert [s.time_s for s in merged.samples] == [0.5, 1.0, 1.5]
+        clone = AvailabilitySeries.from_dict(merged.to_dict())
+        assert clone.to_dict() == merged.to_dict()

@@ -1,0 +1,201 @@
+"""Tests for the fabric's runtime topology-mutation API."""
+
+import pytest
+
+from repro.network.fabric import FabricSimulator
+from repro.network.flow import FlowState
+from repro.network.leafspine import build_leaf_spine
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.network.transport.tcp import TcpTransport
+from repro.sim.engine import Simulator
+
+MBPS = 1e6
+
+
+def leafspine_stack(transport=None):
+    topo = build_leaf_spine(num_spines=2, num_leaves=2, hosts_per_leaf=2,
+                            num_clients=2)
+    sim = Simulator()
+    fabric = FabricSimulator(sim, topo, transport or IdealMaxMinTransport())
+    return sim, topo, fabric
+
+
+def spine_leaf_link(topo, spine_id, leaf_id):
+    return topo.find_link(topo.node(spine_id), topo.node(leaf_id))
+
+
+class TestFailLink:
+    def test_stranded_flow_reroutes_onto_surviving_path(self):
+        sim, topo, fabric = leafspine_stack()
+        client = topo.clients()[0]          # attached to spine-0
+        host = topo.hosts()[0]              # under leaf-0
+        flow = fabric.start_flow(client, host, 50e6)
+        crossed = {l.link_id for l in flow.path}
+        down = spine_leaf_link(topo, "spine-0", "leaf-0")
+        assert down.link_id in crossed
+
+        aborted = fabric.fail_link(down)
+        assert aborted == []
+        assert flow.state is FlowState.ACTIVE
+        assert down.link_id not in {l.link_id for l in flow.path}
+        assert all(l.up for l in flow.path)
+        assert fabric.flows_rerouted_on_failure == 1
+        assert fabric.links_down == 1
+
+        sim.run(until=60.0)
+        assert flow.state is FlowState.FINISHED
+
+    def test_flow_with_no_surviving_path_is_aborted(self, small_tree):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        host = small_tree.hosts()[0]
+        client = small_tree.clients()[0]
+        flow = fabric.start_flow(client, host, 10e6)
+        # The tree has a single path; the host's access link is fatal.
+        uplink = small_tree.downlink_to(host)
+        aborted = fabric.fail_link(uplink)
+        assert aborted == [flow]
+        assert flow.state is FlowState.ABORTED
+        assert fabric.flows_aborted_on_failure == 1
+        assert fabric.active_flow_count == 0
+
+    def test_abort_callback_fires(self, small_tree):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        seen = []
+        fabric.on_flow_aborted(lambda flow, now: seen.append(flow.flow_id))
+        host = small_tree.hosts()[0]
+        flow = fabric.start_flow(small_tree.clients()[0], host, 10e6)
+        fabric.fail_link(small_tree.downlink_to(host))
+        assert seen == [flow.flow_id]
+
+    def test_fail_is_idempotent(self):
+        sim, topo, fabric = leafspine_stack()
+        link = spine_leaf_link(topo, "spine-0", "leaf-0")
+        fabric.fail_link(link)
+        fabric.fail_link(link)
+        assert fabric.link_failures == 1
+
+    def test_new_flows_avoid_the_down_link(self):
+        sim, topo, fabric = leafspine_stack()
+        down = spine_leaf_link(topo, "spine-0", "leaf-0")
+        fabric.fail_link(down)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e6)
+        assert down.link_id not in {l.link_id for l in flow.path}
+
+
+class TestRestoreLink:
+    def test_restore_clears_state_and_reopens_routing(self):
+        sim, topo, fabric = leafspine_stack()
+        link = spine_leaf_link(topo, "spine-0", "leaf-0")
+        fabric.fail_link(link)
+        link.queue_bytes = 123.0
+        fabric.restore_link(link)
+        assert link.up
+        assert link.queue_bytes == 0.0
+        assert fabric.links_down == 0
+        assert fabric.link_recoveries == 1
+        # Routing sees the restored link again (shortest path is direct).
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 1e6)
+        assert len(flow.path) == 3
+
+    def test_restore_is_idempotent(self):
+        sim, topo, fabric = leafspine_stack()
+        link = spine_leaf_link(topo, "spine-0", "leaf-0")
+        fabric.restore_link(link)
+        assert fabric.link_recoveries == 0
+
+
+class TestSetLinkCapacity:
+    def test_capacity_change_slows_delivered_rate(self):
+        sim, topo, fabric = leafspine_stack()
+        host = topo.hosts()[0]
+        flow = fabric.start_flow(topo.clients()[0], host, 1e9)
+        full_rate = flow.current_rate_bps
+        access = topo.downlink_to(host)
+        fabric.set_link_capacity(access, access.nominal_capacity_bps * 0.1)
+        assert flow.current_rate_bps == pytest.approx(full_rate * 0.1, rel=1e-6)
+        fabric.set_link_capacity(access, access.nominal_capacity_bps)
+        assert flow.current_rate_bps == pytest.approx(full_rate, rel=1e-6)
+        assert fabric.capacity_changes == 2
+
+    def test_nonpositive_capacity_rejected(self):
+        sim, topo, fabric = leafspine_stack()
+        with pytest.raises(ValueError):
+            fabric.set_link_capacity(topo.links[0], 0.0)
+
+    def test_topology_change_callback_fires(self):
+        sim, topo, fabric = leafspine_stack()
+        seen = []
+        fabric.on_topology_changed(lambda event, link, now: seen.append(event))
+        link = spine_leaf_link(topo, "spine-0", "leaf-0")
+        fabric.set_link_capacity(link, 1 * MBPS)
+        fabric.fail_link(link)
+        fabric.restore_link(link)
+        assert seen == ["link-capacity", "link-failed", "link-restored"]
+        fabric.remove_topology_changed_callback(seen.append)  # unknown: no-op
+
+
+class TestCallbackSymmetry:
+    """The satellite fix: every callback register has a matching remove."""
+
+    def test_remove_flow_started_callback(self, small_tree):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        seen = []
+
+        def observer(flow, now):
+            seen.append(flow.flow_id)
+
+        fabric.on_flow_started(observer)
+        fabric.start_flow(small_tree.clients()[0], small_tree.hosts()[0], 1e6)
+        assert len(seen) == 1
+        fabric.remove_flow_started_callback(observer)
+        fabric.start_flow(small_tree.clients()[1], small_tree.hosts()[1], 1e6)
+        assert len(seen) == 1
+        # Removing twice is a documented no-op.
+        fabric.remove_flow_started_callback(observer)
+
+    def test_remove_flow_aborted_callback(self, small_tree):
+        sim = Simulator()
+        fabric = FabricSimulator(sim, small_tree, IdealMaxMinTransport())
+        seen = []
+
+        def observer(flow, now):
+            seen.append(flow.flow_id)
+
+        fabric.on_flow_aborted(observer)
+        fabric.remove_flow_aborted_callback(observer)
+        flow = fabric.start_flow(small_tree.clients()[0], small_tree.hosts()[0], 1e6)
+        fabric.abort_flow(flow)
+        assert seen == []
+
+
+class TestTransportRerouteHook:
+    def test_tcp_restarts_slow_start_on_failure_reroute(self):
+        transport = TcpTransport()
+        sim, topo, fabric = leafspine_stack(transport)
+        client = topo.clients()[0]
+        host = topo.hosts()[0]
+        flow = fabric.start_flow(client, host, 500e6)
+        sim.run(until=2.0)  # let the window grow past the initial value
+        initial = transport.config.initial_window_segments * transport.config.mss_bytes
+        grown = flow.transport_state["cwnd"]
+        assert grown > initial
+
+        down = spine_leaf_link(topo, "spine-0", "leaf-0")
+        if down.link_id not in {l.link_id for l in flow.path}:
+            down = spine_leaf_link(topo, "spine-1", "leaf-0")
+        fabric.fail_link(down)
+        assert flow.state is FlowState.ACTIVE
+        assert flow.transport_state["cwnd"] == pytest.approx(initial)
+        assert flow.transport_state["ssthresh"] >= initial
+
+    def test_policy_reroute_keeps_the_window(self):
+        transport = TcpTransport()
+        sim, topo, fabric = leafspine_stack(transport)
+        flow = fabric.start_flow(topo.clients()[0], topo.hosts()[0], 500e6)
+        sim.run(until=2.0)
+        before = flow.transport_state["cwnd"]
+        fabric.reroute_flow(flow, list(flow.path))  # default reason="policy"
+        assert flow.transport_state["cwnd"] == before

@@ -66,14 +66,17 @@ class TestCompareWithRegistryKeys:
 
 
 class TestListPluginsCommand:
-    def test_lists_all_five_registries(self, capsys):
+    def test_lists_all_six_registries(self, capsys):
         code = main(["list-plugins"])
         out = capsys.readouterr().out
         assert code == 0
-        for section in ("topologies:", "workloads:", "schemes:", "placements:", "executors:"):
+        for section in ("topologies:", "workloads:", "schemes:", "placements:",
+                        "executors:", "dynamics:"):
             assert section in out
         for name in ("fattree", "vl2", "leafspine", "pareto-poisson", "hedera", "vlb",
-                     "serial", "thread", "process"):
+                     "serial", "thread", "process",
+                     "link-failure", "link-recovery", "capacity-degradation",
+                     "block-server-churn", "workload-surge"):
             assert name in out
 
     def test_json_output_is_parseable(self, capsys):
@@ -82,6 +85,18 @@ class TestListPluginsCommand:
         assert code == 0
         assert "fattree" in payload["topologies"]
         assert payload["topologies"]["fattree"]["config"] == "FatTreeConfig"
+
+    def test_json_output_covers_the_dynamics_registry(self, capsys):
+        """Machine-readable discovery of every registry, incl. DYNAMICS."""
+        code = main(["list-plugins", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert set(payload) == {"topologies", "workloads", "schemes",
+                                "placements", "executors", "dynamics"}
+        failure = payload["dynamics"]["link-failure"]
+        assert failure["config"] == "LinkFailureEvent"
+        assert "link-fail" in failure["aliases"]
+        assert failure["description"]
 
 
 class TestRunCommand:
@@ -130,6 +145,47 @@ class TestRunCommand:
         assert code in (0, 1)
         assert payload["summary"]["candidate_mean_fct_s"] > 0
         assert len(ResultStore(store)) == 2
+
+    def test_run_with_dynamics_script(self, tmp_path, capsys):
+        from repro.exec.store import ResultStore
+        from repro.experiments.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli-dynamics", seed=3, sim_time_s=1.5, drain_time_s=12.0,
+            topology="leafspine", workload="pareto-poisson",
+            workload_params={"arrival_rate_per_s": 10.0},
+        )
+        scenario_path = spec.save(tmp_path / "scenario.json")
+        script_path = tmp_path / "dynamics.json"
+        script_path.write_text(json.dumps([
+            {"kind": "link-failure", "at_s": 0.4, "select": "switch-uplink", "index": 0},
+            {"kind": "link-recovery", "at_s": 1.0, "select": "switch-uplink", "index": 0},
+        ]))
+        store = tmp_path / "results.jsonl"
+        code = main(["run", str(scenario_path), "--dynamics", str(script_path),
+                     "--results", str(store), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert payload["scenario"] == "cli-dynamics"
+        # The stored jobs carry the script, and the run actually failed links.
+        loaded = ResultStore(store)
+        assert len(loaded) == 2
+        for key in loaded.keys():
+            entry = loaded.entry(key)
+            assert [e["kind"] for e in entry["job"]["spec"]["dynamics"]] == [
+                "link-failure", "link-recovery"]
+            assert entry["result"]["extras"]["links_failed"] == 2.0
+
+    def test_run_with_bad_dynamics_script_errors(self, tmp_path, capsys):
+        from repro.experiments.spec import ScenarioSpec
+
+        scenario_path = ScenarioSpec.pareto_poisson(sim_time_s=1.0).save(
+            tmp_path / "s.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text('[{"kind": "meteor-strike", "at_s": 1.0}]')
+        code = main(["run", str(scenario_path), "--dynamics", str(bad)])
+        assert code == 2
+        assert "cannot load dynamics script" in capsys.readouterr().err
 
     def test_run_unknown_executor_lists_available(self, tmp_path, capsys):
         from repro.experiments.spec import ScenarioSpec
