@@ -3,16 +3,28 @@
 * :mod:`~repro.analysis.ascii_plot` — dependency-free terminal plots of the
   figure series (the repository deliberately has no matplotlib dependency so
   it runs in minimal offline environments).
-* :mod:`~repro.analysis.report` — turn the JSON files dropped by the
-  benchmark harness (``benchmarks/results/*.json``) into a markdown report of
+* :mod:`~repro.analysis.report` — compose :data:`~repro.registry.ANALYSES`
+  plugins over a :class:`~repro.exec.store.ResultStore` into one report
+  document, and turn the JSON files dropped by the benchmark harness
+  (``benchmarks/results/*.json``) into a markdown report of
   paper-vs-measured numbers.
+* :mod:`~repro.analysis.store_analyses` — the built-in store analyses
+  (``scheme-comparison``, ``sweep-summary``, ``fct-cdf``,
+  ``availability``), each a pure function from a store query to a
+  serialisable artifact.  See ``docs/ANALYSIS.md``.
 * :mod:`~repro.analysis.convergence` — step-response analysis of the SCDA
   rate metric: how many control intervals equation 2 needs to converge to the
   max-min rate after load changes.
 """
 
 from repro.analysis.ascii_plot import ascii_line_plot, ascii_cdf_plot, render_figure
-from repro.analysis.report import BenchmarkReport, load_benchmark_results
+from repro.analysis.report import (
+    BenchmarkReport,
+    load_benchmark_results,
+    render_store_report_markdown,
+    run_analysis,
+    store_report,
+)
 from repro.analysis.convergence import (
     ConvergenceResult,
     rate_metric_step_response,
@@ -25,6 +37,9 @@ __all__ = [
     "render_figure",
     "BenchmarkReport",
     "load_benchmark_results",
+    "run_analysis",
+    "store_report",
+    "render_store_report_markdown",
     "ConvergenceResult",
     "rate_metric_step_response",
     "rounds_to_converge",

@@ -1,0 +1,46 @@
+"""Built-in analyses for the :data:`~repro.registry.ANALYSES` registry.
+
+Imported lazily by :func:`repro.registry.load_builtin_plugins` the first
+time any registry is read.  Third-party analyses register the same way::
+
+    from repro.registry import ANALYSES
+
+    @ANALYSES.register("tail-latency", description="p99 FCT per scheme")
+    def analyze_tail_latency(store, ensemble=None):
+        ...
+
+after which ``repro report --results store.jsonl --analysis tail-latency``
+and :func:`repro.analysis.report.run_analysis` pick it up.
+"""
+
+from repro.analysis.store_analyses import (
+    analyze_availability,
+    analyze_fct_cdf,
+    analyze_scheme_comparison,
+    analyze_sweep_summary,
+)
+from repro.registry import ANALYSES
+
+ANALYSES.register(
+    "scheme-comparison",
+    analyze_scheme_comparison,
+    aliases=("comparison",),
+    description="per-scheme replication stats + CI-carrying speedup/gain summary",
+)
+ANALYSES.register(
+    "sweep-summary",
+    analyze_sweep_summary,
+    aliases=("sweep",),
+    description="reassemble sweep points (parameter, speedup, dominance) from tags",
+)
+ANALYSES.register(
+    "fct-cdf",
+    analyze_fct_cdf,
+    aliases=("cdf",),
+    description="pooled FCT CDFs per scheme and ensemble",
+)
+ANALYSES.register(
+    "availability",
+    analyze_availability,
+    description="availability/disruption stats per scheme and ensemble",
+)

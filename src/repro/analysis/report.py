@@ -1,10 +1,19 @@
-"""Benchmark-result reporting.
+"""Result reporting: registry-driven store analyses + benchmark tables.
 
-The benchmark harness drops one JSON file per figure/ablation under
-``benchmarks/results``.  :class:`BenchmarkReport` loads them and renders a
-markdown table of the headline numbers (mean FCT per scheme, FCT reduction,
-throughput gain, CDF dominance) — the same numbers EXPERIMENTS.md quotes —
-so the documentation can be refreshed from an actual run.
+Two report pipelines live here:
+
+* **Store reports** — the replication layer's path.  A
+  :class:`~repro.exec.store.ResultStore` JSONL is the single source of
+  truth; :func:`run_analysis` runs one plugin from the
+  :data:`~repro.registry.ANALYSES` registry over it and
+  :func:`store_report` composes several into one artifact document
+  (``repro report --results store.jsonl --analysis scheme-comparison``).
+  Analyses are pure functions of the store, so a report re-renders without
+  re-running a single simulation.
+* **Benchmark tables** — the historical path.  The benchmark harness drops
+  one JSON file per figure/ablation under ``benchmarks/results``;
+  :class:`BenchmarkReport` loads them and renders a markdown table of the
+  headline numbers (the same numbers EXPERIMENTS.md quotes).
 """
 
 from __future__ import annotations
@@ -12,9 +21,109 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 
+# ------------------------------------------------------------------------------------------
+# Store reports: compose ANALYSES plugins over a ResultStore
+# ------------------------------------------------------------------------------------------
+def run_analysis(store, name: str, **params: Any) -> Dict[str, Any]:
+    """Run one registered analysis over a result store.
+
+    ``store`` is a :class:`~repro.exec.store.ResultStore` or its path;
+    ``name`` resolves through the :data:`~repro.registry.ANALYSES` registry
+    (unknown names fail with the registered ones listed).  Returns the
+    analysis's JSON-serialisable artifact.
+    """
+    from repro.registry import ANALYSES
+
+    return ANALYSES.build(name, store, **params)
+
+
+def store_report(
+    store,
+    analyses: Optional[Sequence[str]] = None,
+    params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Compose several analyses over one store into a single document.
+
+    ``analyses`` defaults to every registered analysis; ``params`` maps an
+    analysis name to its keyword arguments.  The result is
+    ``{"store": <path>, "entries": N, "analyses": {name: artifact}}`` and
+    round-trips through JSON unchanged.
+    """
+    from repro.exec.store import ResultStore
+    from repro.registry import ANALYSES
+
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    names = list(analyses) if analyses is not None else ANALYSES.names()
+    params = dict(params or {})
+    return {
+        "store": str(store.path),
+        "entries": len(store),
+        "analyses": {
+            name: run_analysis(store, name, **dict(params.get(name, {})))
+            for name in names
+        },
+    }
+
+
+def render_store_report_markdown(report: Mapping[str, Any]) -> str:
+    """A human-readable markdown rendering of a :func:`store_report` document.
+
+    The scheme-comparison section becomes a mean ± CI table; every other
+    artifact is embedded as pretty-printed JSON (artifacts are the machine
+    interface — this rendering is a convenience, not the contract).
+    """
+    lines = [
+        "# Result-store report",
+        "",
+        f"Store: `{report.get('store', '?')}` ({report.get('entries', '?')} entries)",
+    ]
+    analyses = dict(report.get("analyses", {}))
+    comparison = analyses.pop("scheme-comparison", None)
+    if comparison:
+        lines += ["", "## Scheme comparison (mean ± 95% CI)", ""]
+        for label, block in comparison.get("ensembles", {}).items():
+            lines.append(f"### {label}")
+            lines.append("")
+            lines.append("| scheme | replicates | mean FCT (s) | goodput (KB/s) | availability |")
+            lines.append("|---|---|---|---|---|")
+            for scheme_key, stats in block.get("schemes", {}).items():
+                def cell(metric: str) -> str:
+                    from repro.metrics.stats import SummaryStats
+
+                    payload = SummaryStats.from_dict(stats[metric])
+                    if payload.n <= 1:
+                        return f"{payload.mean:.4g}"
+                    return f"{payload.mean:.4g} ± {payload.half_width:.2g}"
+
+                lines.append(
+                    f"| {stats['scheme']} | {stats['replicates']} "
+                    f"| {cell('mean_fct_s')} | {cell('mean_goodput_kBps')} "
+                    f"| {cell('mean_availability')} |"
+                )
+            summary = block.get("comparison", {}).get("summary", {})
+            if summary:
+                speedup = summary.get("speedup_afct", {})
+                if speedup:
+                    lines.append("")
+                    lines.append(
+                        f"AFCT speedup: {speedup['mean']:.3g} "
+                        f"[{speedup['ci_lower']:.3g}, {speedup['ci_upper']:.3g}] "
+                        f"(n={speedup['n']}, {speedup['method']})"
+                    )
+            lines.append("")
+    for name, artifact in analyses.items():
+        lines += [f"## {name}", "", "```json",
+                  json.dumps(artifact, indent=2, sort_keys=True, default=float),
+                  "```", ""]
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------------------------------
+# Benchmark tables: the benchmarks/results/*.json path
+# ------------------------------------------------------------------------------------------
 def load_benchmark_results(results_dir) -> Dict[str, dict]:
     """Load every ``*.json`` in ``results_dir`` keyed by its stem."""
     results_dir = Path(results_dir)

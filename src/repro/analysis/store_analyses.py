@@ -1,0 +1,336 @@
+"""Store-driven analyses: pure functions from a ResultStore to an artifact.
+
+Each analysis in the :data:`~repro.registry.ANALYSES` registry takes a
+:class:`~repro.exec.store.ResultStore` (or its path) plus keyword parameters
+and returns a plain JSON-serialisable dict — nothing here ever runs a
+simulation.  The inputs are the canonical results the execution layer
+already persisted, so an analysis is reproducible from the JSONL alone, is
+backend-independent (the store query API enumerates deterministically), and
+re-renders instantly when only presentation changes.
+
+The artifact convention: every analysis returns a dict whose ``"analysis"``
+key names the plugin that produced it, so a directory of artifacts is
+self-describing.  ``json.loads(json.dumps(artifact))`` must round-trip to an
+equal value — the CI report smoke step asserts this — which is why every
+number is coerced to a plain float/int on the way out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exec.store import ResultStore, StoredEntry
+from repro.metrics.replication import ReplicatedComparison
+from repro.metrics.stats import DEFAULT_CONFIDENCE
+
+
+def _replicated_by_scheme(entries):
+    """Per-scheme ensembles for a group of entries.
+
+    Lazy import: this module is pulled in by the registry bootstrap, which
+    can fire *during* the import of :mod:`repro.exec.executors` — importing
+    :mod:`repro.exec.replication` (which needs ``run_jobs``) at module level
+    here would make that chain circular.
+    """
+    from repro.exec.replication import replicated_results_from_entries
+
+    return replicated_results_from_entries(entries)
+
+#: A store as accepted by every analysis: instance or path.
+StoreLike = Union[str, ResultStore]
+
+
+def _as_store(store: StoreLike) -> ResultStore:
+    return store if isinstance(store, ResultStore) else ResultStore(store)
+
+
+def _replication_groups(store: StoreLike, ensemble: Optional[str]):
+    """Ensemble groups for the replication analyses, non-replicates excluded.
+
+    Two kinds of entries must never be aggregated as replicates, because
+    their spread is configuration variation, not replication uncertainty:
+
+    * sweep points — entries carrying a ``parameter`` tag vary the
+      operating point (arrival rate, τ, outage length); ``sweep-summary``
+      is their analysis;
+    * ambiguous scheme groups — two entries of one scheme sharing a
+      replicate index (e.g. two *edited variants* of a scenario that kept
+      the same name, each stored as replicate 0).
+
+    Both are dropped and counted; the counts surface in every artifact so
+    a skip is visible, never silent.
+    """
+    groups = _as_store(store).group_by_ensemble(ensemble=ensemble)
+    filtered: Dict[str, List[StoredEntry]] = {}
+    skipped = 0
+    for label, entries in groups.items():
+        kept = [e for e in entries if "parameter" not in e.tags]
+        skipped += len(entries) - len(kept)
+        by_scheme: Dict[str, List[StoredEntry]] = {}
+        for entry in kept:
+            by_scheme.setdefault(entry.scheme_name, []).append(entry)
+        unambiguous: List[StoredEntry] = []
+        for scheme_entries in by_scheme.values():
+            if len({e.replicate for e in scheme_entries}) == len(scheme_entries):
+                unambiguous.extend(scheme_entries)
+            else:
+                skipped += len(scheme_entries)
+        if unambiguous:
+            filtered[label] = unambiguous
+    return filtered, skipped
+
+
+def _comparison_for(
+    entries: Sequence[StoredEntry],
+) -> Optional[ReplicatedComparison]:
+    """The candidate-vs-baseline view of an ensemble, when one really exists.
+
+    Pairing same-role entries into replicates requires each role's
+    replicate indices to be *distinct* (an untagged entry counts as
+    replicate 0 — the plain single-seed run that a later ``--seeds N``
+    reuses from the cache without rewriting its store line).  Multi-point
+    sweep stores therefore never masquerade as ensembles: all their
+    entries default to replicate 0, collide, and pairing them — which
+    would compute a "CI" across different operating points — is refused.
+    """
+    candidate = [e for e in entries if e.tags.get("role") == "candidate"]
+    baseline = [e for e in entries if e.tags.get("role") == "baseline"]
+    if not candidate or not baseline or len(candidate) != len(baseline):
+        return None
+    if len({e.replicate for e in candidate}) != len(candidate):
+        return None
+    if len({e.replicate for e in baseline}) != len(baseline):
+        return None
+    by_scheme = _replicated_by_scheme(list(candidate) + list(baseline))
+    cand_key = candidate[0].scheme_name
+    base_key = baseline[0].scheme_name
+    if cand_key == base_key:
+        return None
+    try:
+        return ReplicatedComparison(
+            scenario=entries[0].ensemble,
+            candidate=by_scheme[cand_key],
+            baseline=by_scheme[base_key],
+        )
+    except ValueError:
+        # Mismatched replicate counts / seeds (a partially-filled store):
+        # per-scheme stats are still valid, the paired comparison is not.
+        return None
+
+
+def analyze_scheme_comparison(
+    store: StoreLike,
+    ensemble: Optional[str] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    method: str = "normal",
+) -> Dict[str, Any]:
+    """Per-scheme replication stats and CI-carrying comparison summaries.
+
+    For every ensemble in the store (or only ``ensemble``): mean ± CI of
+    each scheme's FCT / throughput / goodput / availability across its
+    replicates, plus — when the entries carry the planner's
+    candidate/baseline role tags — the full replicated comparison summary
+    (speedup, reduction and gain fractions with CI bounds).  Sweep points
+    are skipped (see :func:`_replication_groups`), not aggregated.
+    """
+    groups, non_replicate_entries_skipped = _replication_groups(store, ensemble)
+    ensembles: Dict[str, Any] = {}
+    for label, entries in sorted(groups.items()):
+        by_scheme = _replicated_by_scheme(entries)
+        schemes_block = {
+            scheme_key: {
+                "scheme": replicated.scheme,
+                "replicates": int(replicated.n_replicates),
+                "seeds": [int(seed) for seed in replicated.seeds],
+                "mean_fct_s": replicated.fct_stats(confidence, method).to_dict(),
+                "mean_throughput_kBps": replicated.throughput_stats(
+                    confidence, method
+                ).to_dict(),
+                "mean_goodput_kBps": replicated.goodput_stats(
+                    confidence, method
+                ).to_dict(),
+                "mean_availability": replicated.availability_stats(
+                    confidence, method
+                ).to_dict(),
+            }
+            for scheme_key, replicated in by_scheme.items()
+        }
+        block: Dict[str, Any] = {"schemes": schemes_block}
+        comparison = _comparison_for(entries)
+        if comparison is not None:
+            block["comparison"] = {
+                "candidate": comparison.candidate.scheme,
+                "baseline": comparison.baseline.scheme,
+                "replicates": int(comparison.n_replicates),
+                "summary": comparison.summary(confidence=confidence, method=method),
+            }
+        ensembles[label] = block
+    return {
+        "analysis": "scheme-comparison",
+        "confidence": float(confidence),
+        "method": str(method),
+        "ensembles": ensembles,
+        "non_replicate_entries_skipped": int(non_replicate_entries_skipped),
+    }
+
+
+def analyze_sweep_summary(
+    store: StoreLike,
+    parameter_name: str = "parameter",
+    ensemble: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Reassemble sweep points (load, τ, outage) from a sweep store.
+
+    Uses the ``parameter``/``role`` tags the sweep planners attach; entries
+    without a ``parameter`` tag (plain comparisons, replication ensembles)
+    are counted but not folded into points.  Points group per ensemble
+    label (for sweep jobs that is the scenario's name), so two sweeps of
+    different scenarios sharing one store never mix; two sweeps of the
+    *same* scenario colliding on a parameter value are detected instead of
+    silently overwritten — the first entry (in the store's deterministic
+    order) wins and ``parameter_collisions`` reports how many were dropped.
+    """
+    from repro.metrics.comparison import ComparisonResult
+
+    groups = _as_store(store).group_by_ensemble(ensemble=ensemble)
+    points: List[Dict[str, Any]] = []
+    skipped = 0
+    collisions = 0
+    for label, entries in sorted(groups.items()):
+        by_parameter: Dict[float, Dict[str, StoredEntry]] = {}
+        for entry in entries:
+            parameter = entry.tags.get("parameter")
+            if parameter is None:
+                skipped += 1
+                continue
+            slot = by_parameter.setdefault(float(parameter), {})
+            role = str(entry.tags.get("role"))
+            if role in slot:
+                collisions += 1
+                continue
+            slot[role] = entry
+        for parameter in sorted(by_parameter):
+            roles = by_parameter[parameter]
+            if "candidate" not in roles or "baseline" not in roles:
+                continue
+            candidate = roles["candidate"].result
+            baseline = roles["baseline"].result
+            comparison = ComparisonResult(
+                scenario=f"{parameter_name}={parameter:g}",
+                candidate=candidate,
+                baseline=baseline,
+            )
+            points.append(
+                {
+                    "ensemble": str(label),
+                    "parameter": float(parameter),
+                    "candidate_mean_fct_s": float(candidate.mean_fct_s()),
+                    "baseline_mean_fct_s": float(baseline.mean_fct_s()),
+                    "speedup": float(comparison.speedup_afct()),
+                    "cdf_dominance": float(comparison.cdf_dominance()),
+                }
+            )
+    return {
+        "analysis": "sweep-summary",
+        "parameter_name": str(parameter_name),
+        "points": points,
+        "entries_without_parameter": int(skipped),
+        "parameter_collisions": int(collisions),
+    }
+
+
+def analyze_fct_cdf(
+    store: StoreLike,
+    ensemble: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Pooled FCT CDFs per scheme, per ensemble.
+
+    Replicates pool (every flow weighs equally), so N-seed CDFs are the
+    replication layer's sharper estimate of Figures 8/11/14/16/18.  Sweep
+    points are skipped (see :func:`_replication_groups`) — pooling flows
+    across operating points would blur distinct CDFs into one.
+    """
+    groups, non_replicate_entries_skipped = _replication_groups(store, ensemble)
+    ensembles: Dict[str, Any] = {}
+    for label, entries in sorted(groups.items()):
+        by_scheme = _replicated_by_scheme(entries)
+        curves: Dict[str, Any] = {}
+        for scheme_key, replicated in by_scheme.items():
+            pooled = replicated.pooled()
+            x, y = pooled.fct_cdf()
+            curves[scheme_key] = {
+                "scheme": replicated.scheme,
+                "replicates": int(replicated.n_replicates),
+                "flows": int(pooled.completed_flows),
+                "x": [float(v) for v in np.asarray(x, dtype=float)],
+                "y": [float(v) for v in np.asarray(y, dtype=float)],
+            }
+        ensembles[label] = curves
+    return {
+        "analysis": "fct-cdf",
+        "ensembles": ensembles,
+        "non_replicate_entries_skipped": int(non_replicate_entries_skipped),
+    }
+
+
+def analyze_availability(
+    store: StoreLike,
+    ensemble: Optional[str] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    method: str = "normal",
+) -> Dict[str, Any]:
+    """Availability/disruption stats per scheme, per ensemble.
+
+    Mean link availability across replicates (with CI), total sampled
+    disrupted time, and the dynamics counters (reroutes, aborts, churn)
+    summed over replicates — all trivial/zero on static worlds.  Sweep
+    points are skipped (see :func:`_replication_groups`).
+    """
+    groups, non_replicate_entries_skipped = _replication_groups(store, ensemble)
+    ensembles: Dict[str, Any] = {}
+    for label, entries in sorted(groups.items()):
+        by_scheme = _replicated_by_scheme(entries)
+        schemes_block: Dict[str, Any] = {}
+        for scheme_key, replicated in by_scheme.items():
+            def _extra_total(name: str) -> float:
+                return float(
+                    sum(result.extras.get(name, 0.0) for result in replicated.results)
+                )
+
+            schemes_block[scheme_key] = {
+                "scheme": replicated.scheme,
+                "replicates": int(replicated.n_replicates),
+                "mean_availability": replicated.availability_stats(
+                    confidence, method
+                ).to_dict(),
+                "disrupted_time_s": float(
+                    sum(
+                        result.availability.disrupted_time_s()
+                        for result in replicated.results
+                    )
+                ),
+                "links_failed": _extra_total("links_failed"),
+                "links_restored": _extra_total("links_restored"),
+                "flows_rerouted_on_failure": _extra_total("flows_rerouted_on_failure"),
+                "flows_aborted_on_failure": _extra_total("flows_aborted_on_failure"),
+                "servers_departed": _extra_total("servers_departed"),
+                "requests_disrupted": _extra_total("requests_disrupted"),
+            }
+        ensembles[label] = schemes_block
+    return {
+        "analysis": "availability",
+        "confidence": float(confidence),
+        "method": str(method),
+        "ensembles": ensembles,
+        "non_replicate_entries_skipped": int(non_replicate_entries_skipped),
+    }
+
+
+__all__ = [
+    "analyze_availability",
+    "analyze_fct_cdf",
+    "analyze_scheme_comparison",
+    "analyze_sweep_summary",
+]

@@ -10,25 +10,32 @@ Commands
     Run a declarative scenario file (``repro run scenario.json``) produced by
     :meth:`~repro.experiments.spec.ScenarioSpec.save`, optionally on a
     parallel executor backend with a resumable result store
-    (``--executor process --jobs 4 --results out.jsonl``) and/or with a
-    dynamics script injecting faults and churn mid-run
-    (``--dynamics script.json``; see ``docs/DYNAMICS.md``).
+    (``--executor process --jobs 4 --results out.jsonl``), with a dynamics
+    script injecting faults and churn mid-run (``--dynamics script.json``;
+    see ``docs/DYNAMICS.md``), and/or as an N-seed replication ensemble
+    whose headline numbers carry 95 % confidence intervals (``--seeds 5``;
+    see ``docs/ANALYSIS.md``).
 ``sweep``
     Plan a load or τ sweep into jobs and run it on an executor backend
     (``repro sweep load --points 15,40,80 --executor process --jobs 4``).
     Points already present in ``--results`` are not recomputed.
+    ``--reseed`` derives a per-point seed from each point's identity
+    instead of reusing the base seed everywhere.
 ``list-plugins``
-    Show every registered topology, workload, scheme, placement, executor
-    and dynamics event (``--json`` for machine-readable output).
+    Show every registered topology, workload, scheme, placement, executor,
+    dynamics event and analysis (``--json`` for machine-readable output).
 ``figure``
     Regenerate one of the paper's figures (fig07..fig18) and print it as a
-    table and/or an ASCII plot.
+    table and/or an ASCII plot; ``--seeds N`` renders the multi-seed
+    ensemble with confidence bands.
 ``workload``
     Generate one of the synthetic workloads and write it to CSV.
 ``replay``
     Replay a workload CSV through both schemes and compare them.
 ``report``
-    Render a markdown report from the benchmark result JSONs.
+    Run a registered analysis over a result store
+    (``repro report --results store.jsonl --analysis scheme-comparison``),
+    or render a markdown report from the benchmark result JSONs.
 
 The CLI only wraps the public library API, so everything it does can also be
 done programmatically; it exists to make quick experiments reproducible from
@@ -169,6 +176,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if shape.all_passed else 1
 
 
+def _print_replicated(scenario, ensemble, shape, as_json: bool) -> None:
+    """Headline numbers of an N-seed run, every ratio carrying its CI."""
+    summary = ensemble.summary()
+    if as_json:
+        payload = {
+            "scenario": scenario.name,
+            "replicates": ensemble.n_replicates,
+            "seeds": list(ensemble.candidate.seeds),
+            "summary": summary,
+            "all_passed": shape.all_passed,
+        }
+        print(json.dumps(payload, indent=2, default=float))
+        return
+    from repro.metrics.stats import SummaryStats
+
+    candidate = ensemble.candidate.scheme
+    baseline = ensemble.baseline.scheme
+
+    def ci(key: str, fmt: str = "{:.3f}") -> str:
+        stats = SummaryStats.from_dict(summary[key])
+        if stats.n <= 1:
+            return fmt.format(stats.mean)
+        return (f"{fmt.format(stats.mean)} "
+                f"[{fmt.format(stats.ci_lower)}, {fmt.format(stats.ci_upper)}]")
+
+    print(f"scenario: {scenario.name} (replicates={ensemble.n_replicates}, "
+          f"topology={scenario.topology}, workload={scenario.workload}, "
+          f"sim_time={scenario.sim_time_s:g}s, base seed={scenario.seed})")
+    print(f"  mean FCT       {baseline} {ci('baseline_mean_fct_s')}s"
+          f"   {candidate} {ci('candidate_mean_fct_s')}s")
+    print(f"  AFCT speedup   {ci('speedup_afct', '{:.2f}')}"
+          f"   FCT reduction {ci('fct_reduction_fraction', '{:.0%}')}")
+    print(f"  FCT CDF dominance: {ci('cdf_dominance', '{:.0%}')}"
+          f"   shape checks passed (replicate 0): {shape.all_passed}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.exec import plan_comparison, run_jobs
     from repro.experiments.shapes import check_comparison_shape
@@ -190,6 +233,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"cannot load dynamics script {args.dynamics!r}: {exc}", file=sys.stderr)
             return 2
         scenario = scenario.with_dynamics(script)
+    if args.seeds > 1:
+        from repro.exec.replication import run_replicated_comparison
+
+        ensemble = run_replicated_comparison(
+            scenario,
+            candidate=args.candidate,
+            baseline=args.baseline,
+            seeds=args.seeds,
+            executor=args.executor,
+            max_workers=args.jobs,
+            store=args.results,
+            progress=_progress_printer(args.json),
+        )
+        shape = check_comparison_shape(ensemble.comparisons()[0])
+        _print_replicated(scenario, ensemble, shape, args.json)
+        return 0 if shape.all_passed else 1
     jobs = plan_comparison(scenario, candidate=args.candidate, baseline=args.baseline)
     report = run_jobs(
         jobs,
@@ -233,7 +292,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                       "--points are the arrival rates)", file=sys.stderr)
                 return 2
             jobs = plan_offered_load_sweep(
-                points, base=base, candidate=args.candidate, baseline=args.baseline
+                points, base=base, candidate=args.candidate, baseline=args.baseline,
+                reseed_per_point=args.reseed,
             )
             parameter_name, short = "arrival rate (flows/s)", "rate"
         else:
@@ -252,6 +312,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 base = with_arrival_rate(base, rate)
             jobs = plan_control_interval_sweep(
                 points, base=base, candidate=args.candidate, baseline=args.baseline,
+                reseed_per_point=args.reseed,
             )
             parameter_name, short = "control interval (s)", "tau"
     except ValueError as exc:
@@ -320,42 +381,48 @@ def cmd_list_plugins(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.analysis.ascii_plot import render_figure
-    from repro.experiments.figures import FIGURE_GENERATORS
+    from repro.experiments.figures import (
+        FIGURE_DEFAULT_SCENARIOS,
+        FIGURE_GENERATORS,
+        generate_figure,
+    )
 
     if args.figure not in FIGURE_GENERATORS:
         print(f"unknown figure {args.figure!r}; choose from {', '.join(sorted(FIGURE_GENERATORS))}",
               file=sys.stderr)
         return 2
-    # Map each figure to its default scenario but honour --scenario if given.
-    scenario_name = args.scenario
-    if scenario_name is None:
-        defaults = {
-            "fig07": "video", "fig08": "video", "fig09": "video",
-            "fig10": "video-nocontrol", "fig11": "video-nocontrol", "fig12": "video-nocontrol",
-            "fig13": "datacenter-k1", "fig14": "datacenter-k1",
-            "fig15": "datacenter-k3", "fig16": "datacenter-k3",
-            "fig17": "pareto", "fig18": "pareto",
-        }
-        scenario_name = defaults[args.figure]
+    # Each figure's default scenario comes from the figures module's single
+    # source of truth; --scenario overrides it.
+    scenario_name = args.scenario or FIGURE_DEFAULT_SCENARIOS[args.figure]
     scenario = _scenario_from_name(scenario_name, args.sim_time, args.seed)
-    figure = FIGURE_GENERATORS[args.figure](config=scenario)
+    figure = generate_figure(
+        args.figure,
+        config=scenario,
+        seeds=args.seeds,
+        executor=args.executor,
+        max_workers=args.jobs,
+        store=args.results,
+    )
     if args.plot:
         print(render_figure(figure))
         print()
     print(figure.as_table())
     if args.out:
-        Path(args.out).write_text(
-            json.dumps(
-                {
-                    "figure": figure.figure_id,
-                    "title": figure.title,
-                    "summary": figure.summary,
-                    "series": {k: [list(map(float, v[0])), list(map(float, v[1]))]
-                               for k, v in figure.series.items()},
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "figure": figure.figure_id,
+            "title": figure.title,
+            "summary": figure.summary,
+            "series": {k: [list(map(float, v[0])), list(map(float, v[1]))]
+                       for k, v in figure.series.items()},
+        }
+        if figure.bands:
+            # Multi-seed figures: persist the CI bands as (x, lower, upper);
+            # absent on single-seed output so those artifacts are unchanged.
+            payload["bands"] = {
+                k: [list(map(float, x)), list(map(float, lo)), list(map(float, hi))]
+                for k, (x, lo, hi) in figure.bands.items()
+            }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
         print(f"\nwrote {args.out}")
     return 0
 
@@ -398,6 +465,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.results:
+        return _cmd_report_store(args)
+    if args.analysis:
+        print("--analysis requires --results <store.jsonl> (the registry-driven "
+              "report pipeline reads a result store, not the benchmark JSONs)",
+              file=sys.stderr)
+        return 2
     from repro.analysis.report import BenchmarkReport
 
     try:
@@ -412,6 +486,84 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(markdown)
     return 0 if report.all_shapes_passed() or not report.figures() else 1
+
+
+def _cmd_report_store(args: argparse.Namespace) -> int:
+    """The registry-driven pipeline: ANALYSES plugins over a result store.
+
+    ``--analysis <name>`` emits that analysis's JSON artifact; without it,
+    every registered analysis runs and the composed document is emitted
+    (``--markdown`` renders the human view instead).
+    """
+    from repro.analysis.report import (
+        render_store_report_markdown,
+        run_analysis,
+        store_report,
+    )
+    from repro.exec.store import ResultStore
+
+    import inspect
+
+    from repro.registry import ANALYSES
+
+    store = ResultStore(args.results)
+    if not Path(args.results).exists():
+        print(f"no result store at {args.results}", file=sys.stderr)
+        return 2
+    if args.ensemble:
+        stored = sorted(store.group_by_ensemble())
+        if args.ensemble not in stored:
+            print(f"unknown ensemble {args.ensemble!r}; stored ensembles: "
+                  f"{', '.join(stored) or '<none>'}", file=sys.stderr)
+            return 2
+
+    def ensemble_params(name: str) -> dict:
+        # Pass --ensemble only to analyses whose signature accepts it, so a
+        # plugin without the parameter gets a clean error, not a TypeError.
+        if not args.ensemble:
+            return {}
+        signature = inspect.signature(ANALYSES.get(name).builder)
+        if "ensemble" in signature.parameters:
+            return {"ensemble": args.ensemble}
+        return {}
+
+    if args.analysis:
+        if args.markdown:
+            print("--markdown renders the composed report; a single --analysis "
+                  "always emits its JSON artifact", file=sys.stderr)
+            return 2
+        params = ensemble_params(args.analysis)
+        if args.ensemble and not params:
+            print(f"analysis {args.analysis!r} does not take --ensemble",
+                  file=sys.stderr)
+            return 2
+        artifact = run_analysis(store, args.analysis, **params)
+        text = json.dumps(artifact, indent=2, sort_keys=True, default=float)
+    else:
+        names = ANALYSES.names()
+        if args.ensemble:
+            # An analysis that cannot restrict itself to the ensemble would
+            # silently cover the whole store: leave it out, visibly.
+            unaware = [n for n in names if not ensemble_params(n)]
+            if unaware:
+                print(f"note: skipping {', '.join(unaware)} "
+                      f"(no ensemble parameter; --ensemble cannot apply)",
+                      file=sys.stderr)
+            names = [n for n in names if n not in unaware]
+        document = store_report(
+            store, analyses=names,
+            params={name: ensemble_params(name) for name in names},
+        )
+        if args.markdown:
+            text = render_store_report_markdown(document)
+        else:
+            text = json.dumps(document, indent=2, sort_keys=True, default=float)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,6 +586,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON dynamics script (event list or {\"events\": [...]}) "
                           "injecting link failures, churn and surges mid-run; "
                           "overrides the scenario file's own dynamics")
+    run.add_argument("--seeds", type=_positive_int, default=1, metavar="N",
+                     help="replicate the run under N derived seeds and report "
+                          "mean ± 95%% CI (replicate 0 is the scenario's own "
+                          "seed, so --seeds 1 is the plain single run)")
     _add_scheme_args(run)
     _add_executor_args(run)
     run.add_argument("--json", action="store_true", help="print machine-readable JSON")
@@ -457,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "defaults to 40 for the default pareto scenario "
                             "(matching sweep_control_interval) and to the "
                             "scenario's own rate otherwise")
+    sweep.add_argument("--reseed", action="store_true",
+                       help="derive each point's seed from its identity "
+                            "(sweep axis + value) instead of reusing the base "
+                            "seed at every point; order- and "
+                            "backend-independent")
     _add_common_scenario_args(sweep)
     _add_scheme_args(sweep)
     _add_executor_args(sweep)
@@ -477,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the figure's default scenario")
     figure.add_argument("--sim-time", type=float, default=10.0)
     figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--seeds", type=_positive_int, default=1, metavar="N",
+                        help="render the figure from an N-seed ensemble with "
+                             "95%% confidence bands (N=1: the plain figure)")
+    _add_executor_args(figure)
     figure.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     figure.add_argument("--out", default=None, help="write the series to a JSON file")
     figure.set_defaults(func=cmd_figure)
@@ -494,10 +659,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheme_args(replay)
     replay.set_defaults(func=cmd_replay)
 
-    report = subparsers.add_parser("report", help="render a markdown benchmark report")
+    report = subparsers.add_parser(
+        "report",
+        help="run analyses over a result store, or render the benchmark report",
+        description="Two modes: with --results, run ANALYSES-registry plugins "
+                    "over a JSONL result store and emit their JSON artifacts "
+                    "(see docs/ANALYSIS.md); without it, render the markdown "
+                    "table from the benchmark result JSONs.",
+    )
+    report.add_argument("--results", default=None, metavar="PATH",
+                        help="JSONL result store to analyse (switches to the "
+                             "registry-driven report pipeline)")
+    report.add_argument("--analysis", default=None, metavar="NAME",
+                        help="which registered analysis to run on --results "
+                             "(default: all; see 'list-plugins')")
+    report.add_argument("--ensemble", default=None, metavar="LABEL",
+                        help="restrict ensemble-aware analyses to one ensemble")
+    report.add_argument("--markdown", action="store_true",
+                        help="with --results and no --analysis: render the "
+                             "composed report as markdown instead of JSON")
     report.add_argument("--results-dir", default="benchmarks/results",
                         help="directory with the benchmark JSON files")
-    report.add_argument("--out", default=None, help="write markdown here instead of stdout")
+    report.add_argument("--out", default=None, help="write output here instead of stdout")
     report.set_defaults(func=cmd_report)
 
     return parser

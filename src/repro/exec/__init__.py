@@ -13,7 +13,12 @@ pluggable backends:
   registry with ``serial``, ``thread`` and ``process`` backends plus the
   :func:`~repro.exec.executors.run_jobs` orchestrator;
 * :class:`~repro.exec.store.ResultStore` — an append-only JSONL store keyed
-  by job content, enabling resume (already-computed points are never re-run).
+  by job content, enabling resume (already-computed points are never re-run)
+  and a typed query API (filter by scheme/tags/spec fields, group by
+  ensemble) so analyses read from disk instead of re-running;
+* :mod:`~repro.exec.replication` — multi-seed ensembles: plan N replicate
+  seeds per scheme, run them on any backend, fold the results into
+  CI-carrying :class:`~repro.metrics.replication.ReplicatedComparison` s.
 
 Determinism contract: running the same job under any backend — or in any
 order relative to other jobs — produces a bit-identical
@@ -28,6 +33,8 @@ from repro.exec.planner import (
     plan_failure_sweep,
     plan_matrix,
     plan_offered_load_sweep,
+    plan_replications,
+    replicate_seed,
 )
 from repro.exec.executors import (
     Executor,
@@ -38,7 +45,12 @@ from repro.exec.executors import (
     ThreadExecutor,
     run_jobs,
 )
-from repro.exec.store import ResultStore
+from repro.exec.store import ResultStore, StoredEntry
+from repro.exec.replication import (
+    ensemble_from_store,
+    run_replicated_comparison,
+    run_replications,
+)
 
 __all__ = [
     "ExperimentJob",
@@ -48,11 +60,17 @@ __all__ = [
     "ProcessExecutor",
     "ResultStore",
     "SerialExecutor",
+    "StoredEntry",
     "ThreadExecutor",
+    "ensemble_from_store",
     "plan_comparison",
     "plan_control_interval_sweep",
     "plan_failure_sweep",
     "plan_matrix",
     "plan_offered_load_sweep",
+    "plan_replications",
+    "replicate_seed",
     "run_jobs",
+    "run_replicated_comparison",
+    "run_replications",
 ]

@@ -62,6 +62,72 @@ def _point_seed(
     return derive_seed(spec.seed, "sweep", sweep_name, point_label)
 
 
+def replicate_seed(base_seed: int, index: int) -> int:
+    """The master seed replicate ``index`` of an ensemble runs under.
+
+    Replicate 0 *is* the base seed — which is what makes an N=1 ensemble
+    bit-identical to the historical single-seed run — and every further
+    replicate derives hierarchically from its index alone
+    (``derive_seed(seed, "replicate", str(i))``), so the value depends only
+    on the replicate's identity, never on execution order or backend.
+    """
+    if index < 0:
+        raise ValueError(f"replicate index must be >= 0, got {index}")
+    if index == 0:
+        return int(base_seed)
+    return derive_seed(int(base_seed), "replicate", str(index))
+
+
+def plan_replications(
+    scenario: Any,
+    schemes: Sequence[SchemeLike] = ("scda", "rand-tcp"),
+    seeds: int = 1,
+    ensemble: Optional[str] = None,
+) -> List[ExperimentJob]:
+    """Jobs for a multi-seed ensemble: every scheme at every replicate seed.
+
+    Each job is tagged with its ensemble identity — ``ensemble`` (a label,
+    defaulting to the scenario's name), ``replicate`` (its index) and
+    ``replicates`` (the planned ensemble size) — plus its ``role``
+    (``candidate``/``baseline`` for the two-scheme case, ``scheme-<j>``
+    otherwise), so the :class:`~repro.exec.store.ResultStore` query API and
+    the :data:`~repro.registry.ANALYSES` plugins can reassemble the
+    ensemble from a flat store.  Tags never enter the content key: a
+    replicate-0 job is the *same cache entry* as the plain single-seed run.
+
+    Jobs are ordered replicate-major (all schemes of replicate 0 first), so
+    an interrupted run leaves complete low-index replicates behind.
+    """
+    spec = as_spec(scenario)
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    if not schemes:
+        raise ValueError("need at least one scheme")
+    label = spec.name if ensemble is None else str(ensemble)
+    if len(schemes) == 2:
+        roles = ["candidate", "baseline"]
+    else:
+        roles = [f"scheme-{j}" for j in range(len(schemes))]
+    jobs: List[ExperimentJob] = []
+    for index in range(seeds):
+        seed = replicate_seed(spec.seed, index)
+        for role, scheme in zip(roles, schemes):
+            jobs.append(
+                ExperimentJob(
+                    spec=spec,
+                    scheme=scheme,
+                    seed=seed,
+                    tags={
+                        "ensemble": label,
+                        "replicate": index,
+                        "replicates": int(seeds),
+                        "role": role,
+                    },
+                )
+            )
+    return jobs
+
+
 def plan_comparison(
     scenario: Any,
     candidate: SchemeLike = "scda",

@@ -23,9 +23,11 @@ restarted against its own store.
 from __future__ import annotations
 
 import json
+import os
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exec.job import ExperimentJob
 from repro.metrics.comparison import SchemeResult
@@ -33,6 +35,47 @@ from repro.metrics.comparison import SchemeResult
 
 class ResultStoreError(ValueError):
     """The store file is corrupt in a way resume cannot safely ignore."""
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One stored line, hydrated: the job, its result and the line meta.
+
+    The query API (:meth:`ResultStore.query`) hands these out instead of raw
+    dicts so analyses can reach typed views (``entry.job.spec.topology``,
+    ``entry.result.mean_fct_s()``) without re-parsing anything.
+    """
+
+    key: str
+    job: ExperimentJob
+    result: SchemeResult
+    meta: Dict[str, Any]
+
+    @property
+    def tags(self) -> Dict[str, Any]:
+        """The job's presentation tags (ensemble, replicate, role, ...)."""
+        return self.job.tags
+
+    @property
+    def scheme_name(self) -> str:
+        """The job's scheme key (or inline scheme name)."""
+        return self.job.scheme_name
+
+    @property
+    def ensemble(self) -> str:
+        """The ensemble label this entry belongs to.
+
+        Jobs planned by :func:`~repro.exec.planner.plan_replications` carry
+        an explicit ``ensemble`` tag; anything else (plain comparisons,
+        sweep points) falls back to the scenario's name, so grouping by
+        ensemble is total.
+        """
+        return str(self.tags.get("ensemble", self.job.spec.name))
+
+    @property
+    def replicate(self) -> int:
+        """The replicate index within the ensemble (0 when untagged)."""
+        return int(self.tags.get("replicate", 0))
 
 
 class ResultStore:
@@ -49,6 +92,10 @@ class ResultStore:
         self.path = Path(path)
         self._index: Dict[str, Dict[str, Any]] = {}
         self._loaded = False
+        #: hydrated, sorted entries — rebuilding dataclasses from every line
+        #: is the dominant cost of analyses, so it happens once per store
+        #: state (invalidated by :meth:`put` and :meth:`reload`)
+        self._entries_cache: Optional[List[StoredEntry]] = None
 
     # -- loading -----------------------------------------------------------------------
     def _ensure_loaded(self) -> None:
@@ -91,6 +138,7 @@ class ResultStore:
         """Drop the in-memory index and re-read the file on next access."""
         self._index.clear()
         self._loaded = False
+        self._entries_cache = None
 
     # -- querying ----------------------------------------------------------------------
     def __contains__(self, key: object) -> bool:
@@ -121,6 +169,110 @@ class ResultStore:
         """The raw stored line (job + result + meta) for ``key``."""
         self._ensure_loaded()
         return self._index.get(key)
+
+    def _hydrate(self, entry: Dict[str, Any]) -> StoredEntry:
+        return StoredEntry(
+            key=str(entry["key"]),
+            job=ExperimentJob.from_dict(entry["job"]),
+            result=SchemeResult.from_dict(entry["result"]),
+            meta=dict(entry.get("meta", {})),
+        )
+
+    def entries_sorted(self) -> List[StoredEntry]:
+        """Every stored line, hydrated, in a deterministic order.
+
+        Sorted by ``(ensemble, replicate, scheme, key)`` — *not* file order,
+        which for pooled backends is completion order and therefore differs
+        between a serial and a process store of the same jobs.  Any two
+        stores holding the same results enumerate identically here, which is
+        what makes analyses reading through this API backend-independent.
+        """
+        self._ensure_loaded()
+        if self._entries_cache is None:
+            hydrated = [self._hydrate(entry) for entry in self._index.values()]
+            self._entries_cache = sorted(
+                hydrated, key=lambda e: (e.ensemble, e.replicate, e.scheme_name, e.key)
+            )
+        return list(self._entries_cache)
+
+    def query(
+        self,
+        scheme: Optional[str] = None,
+        ensemble: Optional[str] = None,
+        tags: Optional[Mapping[str, Any]] = None,
+        spec_fields: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Callable[[StoredEntry], bool]] = None,
+    ) -> List[StoredEntry]:
+        """Filter the stored entries; all criteria are ANDed.
+
+        Parameters
+        ----------
+        scheme:
+            Match the job's scheme key/name (``"scda"``).
+        ensemble:
+            Match the ensemble label (see :attr:`StoredEntry.ensemble`).
+        tags:
+            Subset match on the job's tags (``{"role": "candidate"}``).
+        spec_fields:
+            Subset match on :class:`~repro.experiments.spec.ScenarioSpec`
+            fields by name (``{"topology": "tree", "seed": 1}``); unknown
+            field names raise :class:`ResultStoreError` rather than
+            silently matching nothing.
+        predicate:
+            Arbitrary final filter over the hydrated entries.
+
+        Returns entries in the deterministic :meth:`entries_sorted` order.
+        """
+        selected = self.entries_sorted()
+        if scheme is not None:
+            selected = [e for e in selected if e.scheme_name == scheme]
+        if ensemble is not None:
+            selected = [e for e in selected if e.ensemble == str(ensemble)]
+        if tags:
+            selected = [
+                e
+                for e in selected
+                if all(e.tags.get(k) == v for k, v in tags.items())
+            ]
+        if spec_fields:
+            from dataclasses import fields as dataclass_fields
+
+            from repro.experiments.spec import ScenarioSpec
+
+            valid = {f.name for f in dataclass_fields(ScenarioSpec)}
+            unknown = sorted(set(spec_fields) - valid)
+            if unknown:
+                raise ResultStoreError(
+                    f"unknown ScenarioSpec field(s) {unknown} in store query; "
+                    f"valid fields: {sorted(valid)}"
+                )
+            selected = [
+                e
+                for e in selected
+                if all(
+                    getattr(e.job.spec, name) == value
+                    for name, value in spec_fields.items()
+                )
+            ]
+        if predicate is not None:
+            selected = [e for e in selected if predicate(e)]
+        return selected
+
+    def group_by_ensemble(self, **query_kwargs: Any) -> Dict[str, List[StoredEntry]]:
+        """Stored entries grouped by ensemble label.
+
+        Accepts every :meth:`query` criterion; groups preserve the
+        deterministic entry order, and group insertion order follows the
+        sorted ensemble labels.
+        """
+        groups: Dict[str, List[StoredEntry]] = {}
+        for entry in self.query(**query_kwargs):
+            groups.setdefault(entry.ensemble, []).append(entry)
+        return groups
+
+    def schemes(self) -> List[str]:
+        """The distinct scheme names present in the store, sorted."""
+        return sorted({entry.scheme_name for entry in self.entries_sorted()})
 
     def results_by_key(self) -> Dict[str, Dict[str, Any]]:
         """``key -> canonical result dict`` for every stored job.
@@ -163,6 +315,7 @@ class ResultStore:
         with self.path.open("ab", buffering=0) as fh:
             fh.write((line + "\n").encode("utf-8"))
         self._index[key] = entry
+        self._entries_cache = None
         return key
 
     # -- maintenance -------------------------------------------------------------------
@@ -170,12 +323,13 @@ class ResultStore:
         """Rewrite the file with one line per key (last write wins).
 
         Returns the number of surviving entries.  Useful after crashed or
-        repeated runs appended duplicate keys.  The rewrite goes through a
-        temporary file and an atomic ``os.replace``, so a crash mid-compact
-        leaves the original store untouched rather than truncated.
+        repeated runs appended duplicate keys.  The rewrite is crash-safe:
+        the full new content goes to a temporary sibling file which is then
+        atomically ``os.replace`` d into place, so a failure at *any* point
+        — mid-write, or in the replace itself — leaves the original JSONL
+        byte-identical (and the temporary file cleaned up) rather than
+        truncated or half-written.
         """
-        import os
-
         self._ensure_loaded()
         lines = [
             json.dumps(self._index[key], sort_keys=True, separators=(",", ":"))
@@ -183,8 +337,12 @@ class ResultStore:
         ]
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".compact.tmp")
-        tmp.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
-        os.replace(tmp, self.path)
+        try:
+            tmp.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return len(self._index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

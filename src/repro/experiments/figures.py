@@ -8,22 +8,38 @@ AFCT-versus-file-size curves, one series per scheme.
 The functions accept a ``ScenarioConfig`` so tests and benchmarks can run
 scaled-down versions; the defaults match the scenario constructors in
 :mod:`repro.experiments.config`.
+
+Every generator also accepts a multi-seed ``ensemble`` (a
+:class:`~repro.metrics.replication.ReplicatedComparison`, typically from
+:func:`repro.exec.replication.run_replicated_comparison` or
+:func:`~repro.exec.replication.ensemble_from_store`): each scheme's curve
+becomes the pointwise mean across replicates with a 95 % confidence band
+(rendered as extra ``lo``/``hi`` columns by :meth:`FigureData.as_table`).
+An N=1 ensemble degrades to exactly the single-seed figure — same series,
+same summary, same table bytes — so the pinned outputs stay pinned.
+:func:`generate_figure` is the one-call entry point that takes ``seeds=N``
+and plumbs the replication through the executor layer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_comparison
-from repro.metrics.comparison import ComparisonResult
+from repro.metrics.comparison import ComparisonResult, SchemeResult
 from repro.metrics.fct import size_bin_edges
+from repro.metrics.replication import ReplicatedComparison, ReplicatedResult
+from repro.metrics.stats import DEFAULT_CONFIDENCE, z_value
 
 MB = 1024.0 * 1024.0
 KB = 1024.0
+
+#: Either comparison shape a figure builder accepts.
+ComparisonLike = Union[ComparisonResult, ReplicatedComparison]
 
 
 @dataclass
@@ -39,6 +55,12 @@ class FigureData:
     #: headline comparison numbers for EXPERIMENTS.md
     summary: Dict[str, float] = field(default_factory=dict)
     comparison: Optional[ComparisonResult] = None
+    #: series name -> (x, lower, upper) confidence band (multi-seed figures)
+    bands: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    #: the multi-seed ensemble behind the figure, when one was used
+    ensemble: Optional[ReplicatedComparison] = None
 
     def add_series(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
         """Attach one named curve."""
@@ -46,18 +68,50 @@ class FigureData:
             raise ValueError(f"series {name!r}: x and y lengths differ ({len(x)} vs {len(y)})")
         self.series[name] = (np.asarray(x, dtype=float), np.asarray(y, dtype=float))
 
+    def add_band(
+        self, name: str, x: np.ndarray, lower: np.ndarray, upper: np.ndarray
+    ) -> None:
+        """Attach a confidence band around the series called ``name``."""
+        if name not in self.series:
+            raise ValueError(f"band {name!r} has no matching series")
+        if not (len(x) == len(lower) == len(upper)):
+            raise ValueError(
+                f"band {name!r}: x/lower/upper lengths differ "
+                f"({len(x)}/{len(lower)}/{len(upper)})"
+            )
+        self.bands[name] = (
+            np.asarray(x, dtype=float),
+            np.asarray(lower, dtype=float),
+            np.asarray(upper, dtype=float),
+        )
+
     def as_table(self) -> str:
-        """A plain-text rendering of the series (rows = x, one column per series)."""
+        """A plain-text rendering of the series (rows = x, one column per series).
+
+        Series with a confidence band get two extra columns — ``<name> lo``
+        and ``<name> hi`` — directly after their mean column.  A figure
+        without bands renders exactly as it always has, so single-seed
+        tables stay byte-identical.
+        """
         if not self.series:
             return f"{self.figure_id}: (no data)"
         names = list(self.series)
-        lines = [f"# {self.figure_id}: {self.title}", "\t".join([self.x_label] + names)]
+        header = [self.x_label]
+        for name in names:
+            header.append(name)
+            if name in self.bands:
+                header.extend([f"{name} lo", f"{name} hi"])
+        lines = [f"# {self.figure_id}: {self.title}", "\t".join(header)]
         reference_x = self.series[names[0]][0]
         for i, x in enumerate(reference_x):
             row = [f"{x:.4g}"]
             for name in names:
                 xs, ys = self.series[name]
                 row.append(f"{ys[i]:.4g}" if i < len(ys) else "")
+                if name in self.bands:
+                    _, lower, upper = self.bands[name]
+                    row.append(f"{lower[i]:.4g}" if i < len(lower) else "")
+                    row.append(f"{upper[i]:.4g}" if i < len(upper) else "")
             lines.append("\t".join(row))
         return "\n".join(lines)
 
@@ -65,42 +119,121 @@ class FigureData:
 # ------------------------------------------------------------------------------------------
 # Builders shared by several figures
 # ------------------------------------------------------------------------------------------
+#: maps one scheme's result to the (x, y) curve a figure plots
+CurveFn = Callable[[SchemeResult], Tuple[np.ndarray, np.ndarray]]
+
+
+def _add_replicated_series(
+    fig: FigureData,
+    replicated: ReplicatedResult,
+    curve_fn: CurveFn,
+    confidence: float = DEFAULT_CONFIDENCE,
+    interp_left: Optional[float] = None,
+) -> None:
+    """One scheme's curve across replicates: pointwise mean + CI band.
+
+    The first *non-empty* replicate's x grid is the reference; the other
+    replicates interpolate onto it (their grids — CDF supports, finite
+    AFCT bins — generally differ).  ``interp_left`` is the value a curve
+    contributes below its own support (CDFs pass 0.0: an empirical CDF *is*
+    zero left of its smallest sample, and ``np.interp``'s default clamp to
+    ``y[0]`` would fabricate left-tail mass there).  A single replicate
+    adds its curve verbatim and no band, so N=1 figures match the
+    single-seed output exactly.  Degenerate replicates (no completed flows
+    at tiny scale) carry no curve to average in and are skipped rather
+    than fabricated — wherever in the ensemble they sit, including
+    replicate 0.
+    """
+    curves = [curve_fn(result) for result in replicated.results]
+    name = replicated.scheme
+    if len(curves) == 1:
+        fig.add_series(name, *curves[0])
+        return
+    non_empty = [(x, y) for x, y in curves if len(x) > 0]
+    if not non_empty:
+        fig.add_series(name, *curves[0])  # every replicate empty: empty series
+        return
+    x0 = non_empty[0][0]
+    stacked = np.vstack(
+        [np.interp(x0, x, y, left=interp_left) for x, y in non_empty]
+    )
+    mean = stacked.mean(axis=0)
+    fig.add_series(name, x0, mean)
+    n = stacked.shape[0]
+    if n > 1:
+        std = stacked.std(axis=0, ddof=1)
+        half = z_value(confidence) * std / np.sqrt(n)
+        fig.add_band(name, x0, mean - half, mean + half)
+
+
+def _replicated_summary(ensemble: ReplicatedComparison) -> Dict[str, float]:
+    """Flat headline numbers for a multi-seed figure.
+
+    Same keys as :meth:`ComparisonResult.summary` (holding the
+    across-replicate means) plus ``<key>_ci_lower``/``<key>_ci_upper``
+    bounds.  An N=1 ensemble returns its sole comparison's summary
+    unchanged, keeping the pinned single-seed values bit-identical.
+    """
+    if ensemble.n_replicates == 1:
+        return ensemble.comparisons()[0].summary()
+    flat: Dict[str, float] = {}
+    for key, stats in ensemble.summary().items():
+        flat[key] = stats["mean"]
+        flat[f"{key}_ci_lower"] = stats["ci_lower"]
+        flat[f"{key}_ci_upper"] = stats["ci_upper"]
+    return flat
+
+
+def _build_series_figure(
+    fig: FigureData,
+    comparison: ComparisonLike,
+    curve_fn: CurveFn,
+    interp_left: Optional[float] = None,
+) -> FigureData:
+    """Fill ``fig`` from either comparison shape: plain curves, or mean + band."""
+    if isinstance(comparison, ReplicatedComparison):
+        fig.ensemble = comparison
+        fig.comparison = comparison.comparisons()[0]
+        for replicated in (comparison.baseline, comparison.candidate):
+            _add_replicated_series(fig, replicated, curve_fn, interp_left=interp_left)
+        fig.summary = _replicated_summary(comparison)
+        return fig
+    fig.comparison = comparison
+    for result in (comparison.baseline, comparison.candidate):
+        x, y = curve_fn(result)
+        fig.add_series(result.scheme, x, y)
+    fig.summary = comparison.summary()
+    return fig
+
+
 def _throughput_figure(
-    figure_id: str, title: str, comparison: ComparisonResult
+    figure_id: str, title: str, comparison: ComparisonLike
 ) -> FigureData:
     fig = FigureData(
         figure_id=figure_id,
         title=title,
         x_label="Simulation time (sec)",
         y_label="Avg. Inst. Thpt (KB/sec)",
-        comparison=comparison,
     )
-    for result in (comparison.baseline, comparison.candidate):
-        times, thpt = result.throughput.series()
-        fig.add_series(result.scheme, times, thpt)
-    fig.summary = comparison.summary()
-    return fig
+    return _build_series_figure(fig, comparison, lambda r: r.throughput.series())
 
 
-def _fct_cdf_figure(figure_id: str, title: str, comparison: ComparisonResult) -> FigureData:
+def _fct_cdf_figure(figure_id: str, title: str, comparison: ComparisonLike) -> FigureData:
     fig = FigureData(
         figure_id=figure_id,
         title=title,
         x_label="FCT (sec)",
         y_label="FCT CDF",
-        comparison=comparison,
     )
-    for result in (comparison.baseline, comparison.candidate):
-        x, y = result.fct_cdf()
-        fig.add_series(result.scheme, x, y)
-    fig.summary = comparison.summary()
-    return fig
+    # An empirical CDF is 0 left of its smallest sample: replicates whose
+    # support starts later must contribute 0 there, not their first value.
+    return _build_series_figure(fig, comparison, lambda r: r.fct_cdf(), interp_left=0.0)
 
 
 def _afct_figure(
     figure_id: str,
     title: str,
-    comparison: ComparisonResult,
+    comparison: ComparisonLike,
     max_size_bytes: float,
     num_bins: int,
     x_unit_bytes: float,
@@ -112,54 +245,92 @@ def _afct_figure(
         title=title,
         x_label=x_label,
         y_label="AFCT (sec)",
-        comparison=comparison,
     )
     edges = size_bin_edges(min_size_bytes, max_size_bytes, num_bins)
-    for result in (comparison.baseline, comparison.candidate):
+
+    def afct_curve(result: SchemeResult) -> Tuple[np.ndarray, np.ndarray]:
         centers, afct, _counts = result.afct_curve(edges)
         mask = np.isfinite(afct)
-        fig.add_series(result.scheme, centers[mask] / x_unit_bytes, afct[mask])
-    fig.summary = comparison.summary()
-    return fig
+        return centers[mask] / x_unit_bytes, afct[mask]
+
+    return _build_series_figure(fig, comparison, afct_curve)
 
 
 def _ensure_comparison(
     config: Optional[ScenarioConfig],
     default_config: Callable[[], ScenarioConfig],
     comparison: Optional[ComparisonResult],
-) -> ComparisonResult:
+    ensemble: Optional[ReplicatedComparison] = None,
+) -> ComparisonLike:
+    if ensemble is not None:
+        if comparison is not None:
+            raise ValueError("pass either comparison or ensemble, not both")
+        return ensemble
     if comparison is not None:
         return comparison
     cfg = config if config is not None else default_config()
     return run_comparison(cfg)
 
 
+#: figure id -> the *name* of the paper scenario its generator defaults to.
+#: The single source of each figure's default: ``figureNN``,
+#: :func:`generate_figure` and the CLI's ``figure`` command all read it.
+FIGURE_DEFAULT_SCENARIOS: Dict[str, str] = {
+    "fig07": "video", "fig08": "video", "fig09": "video",
+    "fig10": "video-nocontrol", "fig11": "video-nocontrol", "fig12": "video-nocontrol",
+    "fig13": "datacenter-k1", "fig14": "datacenter-k1",
+    "fig15": "datacenter-k3", "fig16": "datacenter-k3",
+    "fig17": "pareto", "fig18": "pareto",
+}
+
+_SCENARIO_CONSTRUCTORS: Dict[str, Callable[[], ScenarioConfig]] = {
+    "video": ScenarioConfig.video_with_control,
+    "video-nocontrol": ScenarioConfig.video_without_control,
+    "datacenter-k1": lambda: ScenarioConfig.datacenter(bandwidth_factor=1.0),
+    "datacenter-k3": lambda: ScenarioConfig.datacenter(bandwidth_factor=3.0),
+    "pareto": ScenarioConfig.pareto_poisson,
+}
+
+#: figure id -> default ``ScenarioConfig`` constructor (derived from
+#: :data:`FIGURE_DEFAULT_SCENARIOS`)
+FIGURE_DEFAULT_CONFIGS: Dict[str, Callable[[], ScenarioConfig]] = {
+    figure_id: _SCENARIO_CONSTRUCTORS[scenario_name]
+    for figure_id, scenario_name in FIGURE_DEFAULT_SCENARIOS.items()
+}
+
+
 # ------------------------------------------------------------------------------------------
 # Figures 7-9: video traces with control flows
 # ------------------------------------------------------------------------------------------
 def figure07(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """Average instantaneous throughput, video traces *with* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig07"], comparison, ensemble)
     return _throughput_figure(
         "fig07", "RandTCP vs SCDA instantaneous average throughput (video + control)", comparison
     )
 
 
 def figure08(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """FCT CDF, video traces *with* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig08"], comparison, ensemble)
     return _fct_cdf_figure("fig08", "Content upload time CDF (video + control)", comparison)
 
 
 def figure09(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """AFCT versus file size, video traces *with* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_with_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig09"], comparison, ensemble)
     return _afct_figure(
         "fig09",
         "Average file completion time vs file size (video + control)",
@@ -175,28 +346,34 @@ def figure09(
 # Figures 10-12: video traces without control flows
 # ------------------------------------------------------------------------------------------
 def figure10(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """Average instantaneous throughput, video traces *without* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig10"], comparison, ensemble)
     return _throughput_figure(
         "fig10", "RandTCP vs SCDA instantaneous average throughput (video only)", comparison
     )
 
 
 def figure11(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """FCT CDF, video traces *without* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig11"], comparison, ensemble)
     return _fct_cdf_figure("fig11", "Content upload time CDF (video only)", comparison)
 
 
 def figure12(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """AFCT versus file size, video traces *without* control flows."""
-    comparison = _ensure_comparison(config, ScenarioConfig.video_without_control, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig12"], comparison, ensemble)
     return _afct_figure(
         "fig12",
         "Average file completion time vs file size (video only)",
@@ -212,12 +389,12 @@ def figure12(
 # Figures 13-16: general datacenter traces
 # ------------------------------------------------------------------------------------------
 def figure13(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """AFCT versus file size, datacenter traces, K = 1."""
-    comparison = _ensure_comparison(
-        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=1.0), comparison
-    )
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig13"], comparison, ensemble)
     return _afct_figure(
         "fig13",
         "Average file completion time vs file size (datacenter traces, K=1)",
@@ -230,22 +407,22 @@ def figure13(
 
 
 def figure14(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """FCT CDF, datacenter traces, K = 1."""
-    comparison = _ensure_comparison(
-        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=1.0), comparison
-    )
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig14"], comparison, ensemble)
     return _fct_cdf_figure("fig14", "Content upload time CDF (datacenter traces, K=1)", comparison)
 
 
 def figure15(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """AFCT versus file size, datacenter traces, K = 3."""
-    comparison = _ensure_comparison(
-        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=3.0), comparison
-    )
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig15"], comparison, ensemble)
     return _afct_figure(
         "fig15",
         "Average file completion time vs file size (datacenter traces, K=3)",
@@ -258,12 +435,12 @@ def figure15(
 
 
 def figure16(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """FCT CDF, datacenter traces, K = 3."""
-    comparison = _ensure_comparison(
-        config, lambda: ScenarioConfig.datacenter(bandwidth_factor=3.0), comparison
-    )
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig16"], comparison, ensemble)
     return _fct_cdf_figure("fig16", "Content upload time CDF (datacenter traces, K=3)", comparison)
 
 
@@ -271,20 +448,24 @@ def figure16(
 # Figures 17-18: Pareto sizes, Poisson arrivals
 # ------------------------------------------------------------------------------------------
 def figure17(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """Average instantaneous throughput, Pareto/Poisson workload."""
-    comparison = _ensure_comparison(config, ScenarioConfig.pareto_poisson, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig17"], comparison, ensemble)
     return _throughput_figure(
         "fig17", "RandTCP vs SCDA instantaneous average throughput (Pareto/Poisson)", comparison
     )
 
 
 def figure18(
-    config: Optional[ScenarioConfig] = None, comparison: Optional[ComparisonResult] = None
+    config: Optional[ScenarioConfig] = None,
+    comparison: Optional[ComparisonResult] = None,
+    ensemble: Optional[ReplicatedComparison] = None,
 ) -> FigureData:
     """FCT CDF, Pareto/Poisson workload."""
-    comparison = _ensure_comparison(config, ScenarioConfig.pareto_poisson, comparison)
+    comparison = _ensure_comparison(config, FIGURE_DEFAULT_CONFIGS["fig18"], comparison, ensemble)
     return _fct_cdf_figure("fig18", "File completion time CDF (Pareto/Poisson)", comparison)
 
 
@@ -303,3 +484,48 @@ FIGURE_GENERATORS: Dict[str, Callable[..., FigureData]] = {
     "fig17": figure17,
     "fig18": figure18,
 }
+
+
+
+def generate_figure(
+    figure_id: str,
+    config: Optional[ScenarioConfig] = None,
+    seeds: int = 1,
+    executor="serial",
+    max_workers: Optional[int] = None,
+    store=None,
+) -> FigureData:
+    """One figure, optionally as an N-seed ensemble with error bands.
+
+    With all defaults (``seeds=1``, serial executor, no store) this is the
+    historical single-seed path — the generator called directly,
+    bit-identical to before the replication layer existed.  Any non-default
+    execution option routes through
+    :func:`repro.exec.replication.run_replicated_comparison`, so a
+    ``seeds=1`` run with a store still caches (and resumes from) its
+    results; the N=1 ensemble renders the identical figure.  ``seeds=N``
+    hands the ensemble to the generator, which renders mean curves with
+    confidence bands.
+    """
+    if figure_id not in FIGURE_GENERATORS:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; "
+            f"choose from {', '.join(sorted(FIGURE_GENERATORS))}"
+        )
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    generator = FIGURE_GENERATORS[figure_id]
+    if seeds == 1 and store is None and executor == "serial":
+        return generator(config=config)
+    # Lazy import: repro.exec builds on the experiments layer.
+    from repro.exec.replication import run_replicated_comparison
+
+    scenario = config if config is not None else FIGURE_DEFAULT_CONFIGS[figure_id]()
+    ensemble = run_replicated_comparison(
+        scenario,
+        seeds=seeds,
+        executor=executor,
+        max_workers=max_workers,
+        store=store,
+    )
+    return generator(ensemble=ensemble)

@@ -10,6 +10,11 @@
 * :mod:`~repro.metrics.cdf` — empirical CDFs (Figures 8, 11, 14, 16, 18).
 * :mod:`~repro.metrics.comparison` — side-by-side summaries of two schemes
   (SCDA vs RandTCP) with the speedup ratios the paper quotes.
+* :mod:`~repro.metrics.stats` — replication statistics: means, stddevs and
+  95 % confidence intervals (normal approximation or percentile bootstrap).
+* :mod:`~repro.metrics.replication` — multi-seed ensembles:
+  :class:`ReplicatedResult` over per-replicate :class:`SchemeResult` s and
+  the CI-carrying :class:`ReplicatedComparison`.
 """
 
 from repro.metrics.records import FlowRecord
@@ -18,6 +23,8 @@ from repro.metrics.fct import FctStatistics, afct_by_size_bins, average_fct
 from repro.metrics.throughput import ThroughputSample, ThroughputSeries
 from repro.metrics.cdf import empirical_cdf, cdf_at, percentile
 from repro.metrics.comparison import SchemeResult, ComparisonResult
+from repro.metrics.stats import SummaryStats, bootstrap_ci, normal_ci, summarize
+from repro.metrics.replication import ReplicatedComparison, ReplicatedResult
 
 __all__ = [
     "FlowRecord",
@@ -32,4 +39,10 @@ __all__ = [
     "percentile",
     "SchemeResult",
     "ComparisonResult",
+    "SummaryStats",
+    "summarize",
+    "normal_ci",
+    "bootstrap_ci",
+    "ReplicatedResult",
+    "ReplicatedComparison",
 ]

@@ -225,6 +225,27 @@ class ComparisonResult:
             baseline=SchemeResult.from_dict(data["baseline"]),
         )
 
+    @classmethod
+    def replicated(
+        cls,
+        scenario: str,
+        seeds: Sequence[int],
+        candidate_results: Sequence["SchemeResult"],
+        baseline_results: Sequence["SchemeResult"],
+    ):
+        """The multi-seed variant of this comparison.
+
+        Returns a :class:`~repro.metrics.replication.ReplicatedComparison`
+        whose speedup/gain fractions carry confidence bounds; replicate *i*
+        of each scheme must have run under ``seeds[i]``.  (Lazy import:
+        :mod:`repro.metrics.replication` builds on this module.)
+        """
+        from repro.metrics.replication import ReplicatedComparison
+
+        return ReplicatedComparison.from_results(
+            scenario, seeds, candidate_results, baseline_results
+        )
+
     def summary(self) -> Dict[str, float]:
         """All headline numbers in one dict (written into EXPERIMENTS.md)."""
         return {

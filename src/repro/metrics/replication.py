@@ -1,0 +1,297 @@
+"""Multi-seed replication aggregates over :class:`SchemeResult`.
+
+A :class:`ReplicatedResult` holds one scheme's measurements across N
+replicates of the same scenario (same spec, seeds derived per replicate —
+see :func:`repro.exec.planner.plan_replications`); a
+:class:`ReplicatedComparison` is the replicated variant of
+:class:`~repro.metrics.comparison.ComparisonResult`, pairing candidate and
+baseline ensembles so the headline speedup/gain fractions carry confidence
+bounds instead of being single-seed point estimates.
+
+Both types round-trip losslessly through ``to_dict``/``from_dict`` (their
+per-replicate :class:`SchemeResult` payloads already do), so an ensemble can
+cross process boundaries, live in a :class:`~repro.exec.store.ResultStore`,
+or be rebuilt from one by the :data:`~repro.registry.ANALYSES` plugins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.comparison import ComparisonResult, SchemeResult
+from repro.metrics.stats import DEFAULT_CONFIDENCE, SummaryStats, summarize
+
+
+@dataclass
+class ReplicatedResult:
+    """One scheme measured across N replicates of the same scenario.
+
+    Attributes
+    ----------
+    scheme:
+        The scheme's display name (``"SCDA"``, ``"RandTCP"``, ...).
+    seeds:
+        The master seed each replicate ran under, in replicate order.
+    results:
+        One :class:`SchemeResult` per replicate, aligned with :attr:`seeds`.
+    """
+
+    scheme: str
+    seeds: List[int] = field(default_factory=list)
+    results: List[SchemeResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a ReplicatedResult needs at least one replicate")
+        if len(self.seeds) != len(self.results):
+            raise ValueError(
+                f"seeds and results must align ({len(self.seeds)} seeds "
+                f"vs {len(self.results)} results)"
+            )
+        for result in self.results:
+            if result.scheme != self.scheme:
+                raise ValueError(
+                    f"replicate of scheme {result.scheme!r} in a "
+                    f"{self.scheme!r} ensemble"
+                )
+
+    @property
+    def n_replicates(self) -> int:
+        """How many replicates the ensemble holds."""
+        return len(self.results)
+
+    # -- per-seed metric vectors -------------------------------------------------------
+    def per_seed(self, metric: Callable[[SchemeResult], float]) -> np.ndarray:
+        """``metric`` evaluated on every replicate, in replicate order."""
+        return np.array([metric(result) for result in self.results], dtype=float)
+
+    def per_seed_mean_fct_s(self) -> np.ndarray:
+        """Each replicate's mean flow completion time."""
+        return self.per_seed(lambda r: r.mean_fct_s())
+
+    def per_seed_mean_throughput_kBps(self) -> np.ndarray:
+        """Each replicate's average instantaneous throughput."""
+        return self.per_seed(lambda r: r.mean_throughput_kBps())
+
+    def per_seed_mean_goodput_kBps(self) -> np.ndarray:
+        """Each replicate's mean per-flow goodput."""
+        return self.per_seed(lambda r: r.mean_goodput_kBps())
+
+    def per_seed_mean_availability(self) -> np.ndarray:
+        """Each replicate's time-average link availability (1.0 when static)."""
+        return self.per_seed(lambda r: r.availability.mean_availability())
+
+    # -- aggregated statistics ---------------------------------------------------------
+    def _stats(
+        self, values: np.ndarray, confidence: float, method: str
+    ) -> SummaryStats:
+        return summarize(values, confidence=confidence, method=method)
+
+    def fct_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Mean FCT across replicates, with a CI."""
+        return self._stats(self.per_seed_mean_fct_s(), confidence, method)
+
+    def throughput_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Mean instantaneous throughput across replicates, with a CI."""
+        return self._stats(self.per_seed_mean_throughput_kBps(), confidence, method)
+
+    def goodput_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Mean per-flow goodput across replicates, with a CI."""
+        return self._stats(self.per_seed_mean_goodput_kBps(), confidence, method)
+
+    def availability_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Mean link availability across replicates, with a CI."""
+        return self._stats(self.per_seed_mean_availability(), confidence, method)
+
+    # -- pooling -----------------------------------------------------------------------
+    def pooled(self) -> SchemeResult:
+        """All replicates merged into one :class:`SchemeResult`.
+
+        Records concatenate and counters sum (see
+        :meth:`SchemeResult.merge`), so pooled CDFs weight every flow
+        equally regardless of which replicate produced it.
+        """
+        merged = self.results[0]
+        for result in self.results[1:]:
+            merged = merged.merge(result)
+        return merged
+
+    def pooled_fcts(self) -> np.ndarray:
+        """Every replicate's flow completion times, concatenated."""
+        return np.concatenate([result.fcts() for result in self.results])
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; :meth:`from_dict` round-trips losslessly."""
+        return {
+            "scheme": self.scheme,
+            "seeds": [int(seed) for seed in self.seeds],
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplicatedResult":
+        """Rebuild an ensemble from :meth:`to_dict` output."""
+        return cls(
+            scheme=str(data["scheme"]),
+            seeds=[int(seed) for seed in data.get("seeds", ())],
+            results=[SchemeResult.from_dict(r) for r in data.get("results", ())],
+        )
+
+
+@dataclass
+class ReplicatedComparison:
+    """Candidate vs baseline, replicated: the CI-carrying comparison.
+
+    Replicate *i* of the candidate and replicate *i* of the baseline ran
+    under the same derived seed — i.e. saw the identical workload — so the
+    per-replicate ratios (:meth:`ComparisonResult.speedup_afct` and
+    friends) are paired observations, and their spread across replicates is
+    what the confidence intervals here quantify.
+    """
+
+    scenario: str
+    candidate: ReplicatedResult
+    baseline: ReplicatedResult
+
+    def __post_init__(self) -> None:
+        if self.candidate.n_replicates != self.baseline.n_replicates:
+            raise ValueError(
+                f"candidate has {self.candidate.n_replicates} replicates but "
+                f"baseline has {self.baseline.n_replicates}"
+            )
+        if self.candidate.seeds != self.baseline.seeds:
+            raise ValueError(
+                "candidate and baseline replicates must pair up on the same "
+                f"seeds (got {self.candidate.seeds} vs {self.baseline.seeds})"
+            )
+
+    @property
+    def n_replicates(self) -> int:
+        """How many paired replicates the comparison holds."""
+        return self.candidate.n_replicates
+
+    def comparisons(self) -> List[ComparisonResult]:
+        """One single-seed :class:`ComparisonResult` per replicate."""
+        return [
+            ComparisonResult(
+                scenario=self.scenario, candidate=cand, baseline=base
+            )
+            for cand, base in zip(self.candidate.results, self.baseline.results)
+        ]
+
+    # -- CI-carrying headline numbers --------------------------------------------------
+    def metric_stats(
+        self,
+        metric: Callable[[ComparisonResult], float],
+        confidence: float = DEFAULT_CONFIDENCE,
+        method: str = "normal",
+    ) -> SummaryStats:
+        """``metric`` evaluated per replicate, aggregated into mean ± CI."""
+        values = [metric(comparison) for comparison in self.comparisons()]
+        return summarize(values, confidence=confidence, method=method)
+
+    def speedup_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """AFCT speedup across replicates, with a CI."""
+        return self.metric_stats(
+            lambda c: c.speedup_afct(), confidence=confidence, method=method
+        )
+
+    def fct_reduction_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """FCT reduction fraction across replicates, with a CI."""
+        return self.metric_stats(
+            lambda c: c.fct_reduction_fraction(), confidence=confidence, method=method
+        )
+
+    def throughput_gain_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Throughput gain fraction across replicates, with a CI."""
+        return self.metric_stats(
+            lambda c: c.throughput_gain_fraction(), confidence=confidence, method=method
+        )
+
+    def goodput_gain_stats(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> SummaryStats:
+        """Goodput gain fraction across replicates, with a CI."""
+        return self.metric_stats(
+            lambda c: c.goodput_gain_fraction(), confidence=confidence, method=method
+        )
+
+    def summary(
+        self, confidence: float = DEFAULT_CONFIDENCE, method: str = "normal"
+    ) -> Dict[str, Dict[str, Any]]:
+        """Every headline metric of :meth:`ComparisonResult.summary`, replicated.
+
+        Same keys as the single-seed summary; every value is a
+        :meth:`SummaryStats.to_dict` payload (mean, std, n, CI bounds), so
+        the replicated and single-seed summaries are easy to line up.
+        """
+        per_replicate: Dict[str, List[float]] = {}
+        for comparison in self.comparisons():
+            for key, value in comparison.summary().items():
+                per_replicate.setdefault(key, []).append(float(value))
+        return {
+            key: summarize(values, confidence=confidence, method=method).to_dict()
+            for key, values in per_replicate.items()
+        }
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; :meth:`from_dict` round-trips losslessly."""
+        return {
+            "scenario": self.scenario,
+            "candidate": self.candidate.to_dict(),
+            "baseline": self.baseline.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplicatedComparison":
+        """Rebuild a replicated comparison from :meth:`to_dict` output."""
+        return cls(
+            scenario=str(data["scenario"]),
+            candidate=ReplicatedResult.from_dict(data["candidate"]),
+            baseline=ReplicatedResult.from_dict(data["baseline"]),
+        )
+
+    @classmethod
+    def from_results(
+        cls,
+        scenario: str,
+        seeds: Sequence[int],
+        candidate_results: Sequence[SchemeResult],
+        baseline_results: Sequence[SchemeResult],
+    ) -> "ReplicatedComparison":
+        """Assemble a replicated comparison from aligned per-replicate results."""
+        seeds = [int(seed) for seed in seeds]
+        if not candidate_results or not baseline_results:
+            raise ValueError("need at least one replicate per scheme")
+        return cls(
+            scenario=scenario,
+            candidate=ReplicatedResult(
+                scheme=candidate_results[0].scheme,
+                seeds=list(seeds),
+                results=list(candidate_results),
+            ),
+            baseline=ReplicatedResult(
+                scheme=baseline_results[0].scheme,
+                seeds=list(seeds),
+                results=list(baseline_results),
+            ),
+        )

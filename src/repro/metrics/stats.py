@@ -1,0 +1,204 @@
+"""Replication statistics: means, stddevs and 95 % confidence intervals.
+
+Everything the repo measured before this module was a single-seed point
+estimate.  The replication layer (:mod:`repro.exec.replication`) fans one
+scenario out over N derived seeds; this module is the aggregation half —
+how N per-replicate numbers become "mean ± CI".
+
+Two interval methods are provided, selectable everywhere a CI is computed:
+
+* ``normal`` — the normal approximation ``mean ± z * s / sqrt(n)`` with the
+  sample standard deviation ``s`` (ddof=1).  Cheap, exact for Gaussian
+  replicate noise, the default.
+* ``bootstrap`` — the percentile bootstrap of the mean: resample the n
+  replicate values with replacement ``n_resamples`` times and take the
+  ``alpha/2`` and ``1 - alpha/2`` quantiles of the resampled means.  Makes
+  no distributional assumption; the resampling RNG is seeded through
+  :func:`repro.sim.random.derive_seed`, so the interval is a pure function
+  of ``(values, confidence, n_resamples, seed)`` — bit-identical across
+  processes and platforms, like every other number in the repo.
+
+Non-finite values (a NaN speedup from a degenerate tiny-scale replicate)
+are excluded before aggregation; :attr:`SummaryStats.n` reports how many
+values actually entered the statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.random import derive_seed
+
+#: Default confidence level for every interval in the analysis layer.
+DEFAULT_CONFIDENCE = 0.95
+
+#: Default resample count for the percentile bootstrap.
+DEFAULT_BOOTSTRAP_RESAMPLES = 2000
+
+#: The CI methods :func:`summarize` accepts.
+CI_METHODS = ("normal", "bootstrap")
+
+
+def _finite(values: Sequence[float]) -> np.ndarray:
+    array = np.asarray(list(values), dtype=float)
+    return array[np.isfinite(array)]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of the finite values (NaN when none are finite)."""
+    finite = _finite(values)
+    if finite.size == 0:
+        return float("nan")
+    return float(np.mean(finite))
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1) of the finite values.
+
+    Zero for fewer than two finite values: a single replicate carries no
+    spread information, and 0.0 keeps ``mean ± half_width`` well-defined
+    (the N=1 interval collapses onto the point estimate).
+    """
+    finite = _finite(values)
+    if finite.size < 2:
+        return 0.0
+    return float(np.std(finite, ddof=1))
+
+
+def z_value(confidence: float) -> float:
+    """The two-sided standard-normal quantile for ``confidence``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(NormalDist().inv_cdf(0.5 + confidence / 2.0))
+
+
+def normal_ci(
+    values: Sequence[float], confidence: float = DEFAULT_CONFIDENCE
+) -> Tuple[float, float]:
+    """Normal-approximation CI of the mean: ``mean ± z * s / sqrt(n)``."""
+    finite = _finite(values)
+    center = mean(finite)
+    if finite.size < 2 or not np.isfinite(center):
+        return (center, center)
+    half = z_value(confidence) * stddev(finite) / float(np.sqrt(finite.size))
+    return (center - half, center + half)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = DEFAULT_CONFIDENCE,
+    n_resamples: int = DEFAULT_BOOTSTRAP_RESAMPLES,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI of the mean.
+
+    Deterministic: the resampling generator is seeded with
+    ``derive_seed(seed, "bootstrap")``, so two calls with equal arguments
+    return bit-identical bounds on any platform.
+    """
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    finite = _finite(values)
+    if finite.size == 0:
+        return (float("nan"), float("nan"))
+    if finite.size == 1:
+        return (float(finite[0]), float(finite[0]))
+    rng = np.random.default_rng(derive_seed(seed, "bootstrap"))
+    indices = rng.integers(0, finite.size, size=(int(n_resamples), finite.size))
+    resampled_means = finite[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(resampled_means, alpha)),
+        float(np.quantile(resampled_means, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """One aggregated metric: point estimate, spread and interval.
+
+    ``n`` counts the *finite* values that entered the statistic; ``method``
+    records which interval construction produced the bounds so a serialised
+    artifact is self-describing.
+    """
+
+    mean: float
+    std: float
+    n: int
+    ci_lower: float
+    ci_upper: float
+    confidence: float = DEFAULT_CONFIDENCE
+    method: str = "normal"
+
+    @property
+    def half_width(self) -> float:
+        """Half the CI width — the "± x" of "mean ± x"."""
+        return (self.ci_upper - self.ci_lower) / 2.0
+
+    def __str__(self) -> str:
+        if self.n <= 1:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; :meth:`from_dict` round-trips losslessly."""
+        return {
+            "mean": float(self.mean),
+            "std": float(self.std),
+            "n": int(self.n),
+            "ci_lower": float(self.ci_lower),
+            "ci_upper": float(self.ci_upper),
+            "confidence": float(self.confidence),
+            "method": str(self.method),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SummaryStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            mean=float(data["mean"]),
+            std=float(data["std"]),
+            n=int(data["n"]),
+            ci_lower=float(data["ci_lower"]),
+            ci_upper=float(data["ci_upper"]),
+            confidence=float(data.get("confidence", DEFAULT_CONFIDENCE)),
+            method=str(data.get("method", "normal")),
+        )
+
+
+def summarize(
+    values: Sequence[float],
+    confidence: float = DEFAULT_CONFIDENCE,
+    method: str = "normal",
+    seed: int = 0,
+    n_resamples: int = DEFAULT_BOOTSTRAP_RESAMPLES,
+) -> SummaryStats:
+    """Aggregate per-replicate values into a :class:`SummaryStats`.
+
+    ``method`` selects the interval: ``"normal"`` (default) or
+    ``"bootstrap"`` (percentile, deterministic under ``seed``).
+    """
+    if method not in CI_METHODS:
+        raise ValueError(f"unknown CI method {method!r}; expected one of {CI_METHODS}")
+    finite = _finite(values)
+    if method == "bootstrap":
+        lower, upper = bootstrap_ci(
+            finite, confidence=confidence, n_resamples=n_resamples, seed=seed
+        )
+    else:
+        lower, upper = normal_ci(finite, confidence=confidence)
+    return SummaryStats(
+        mean=mean(finite),
+        std=stddev(finite),
+        n=int(finite.size),
+        ci_lower=lower,
+        ci_upper=upper,
+        confidence=float(confidence),
+        method=method,
+    )

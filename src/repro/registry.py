@@ -3,8 +3,8 @@
 The paper's evaluation is a cross-product of (topology, workload, transport
 scheme); this module is the composition layer that makes every axis of that
 cross-product a *named*, *registered* plugin instead of a hard-wired import.
-Six registries cover the axes (plus how the product is executed and how the
-world changes mid-run):
+Seven registries cover the axes (plus how the product is executed, how the
+world changes mid-run, and how stored results are analysed):
 
 * :data:`TOPOLOGIES` — fabric builders (``tree``, ``fattree``, ``vl2``,
   ``leafspine``), each paired with its config dataclass;
@@ -18,12 +18,16 @@ world changes mid-run):
   ``thread``, ``process``; see :mod:`repro.exec`);
 * :data:`DYNAMICS` — timed world-mutation events (``link-failure``,
   ``link-recovery``, ``capacity-degradation``, ``block-server-churn``,
-  ``workload-surge``; see :mod:`repro.dynamics`).
+  ``workload-surge``; see :mod:`repro.dynamics`);
+* :data:`ANALYSES` — store-driven analyses (``scheme-comparison``,
+  ``sweep-summary``, ``fct-cdf``, ``availability``; see
+  :mod:`repro.analysis.store_analyses`), each a pure function from a
+  :class:`~repro.exec.store.ResultStore` query to a serialisable artifact.
 
 Built-in entries are registered by the per-domain catalog modules
 (:mod:`repro.network.catalog`, :mod:`repro.workloads.catalog`,
 :mod:`repro.baselines.catalog`, :mod:`repro.cluster.catalog`,
-:mod:`repro.dynamics.catalog`), which are
+:mod:`repro.dynamics.catalog`, :mod:`repro.analysis.catalog`), which are
 imported lazily the first time a registry is read.  Third-party code extends
 the system with one call and no runner patch::
 
@@ -252,7 +256,7 @@ def load_builtin_plugins() -> None:
     """Import the per-domain catalog modules, registering every built-in.
 
     Idempotent: each catalog module registers on first import only.  Called
-    automatically the first time any of the five registries is read.
+    automatically the first time any of the registries is read.
     """
     import repro.network.catalog  # noqa: F401  (topologies)
     import repro.workloads.catalog  # noqa: F401  (workloads)
@@ -260,6 +264,7 @@ def load_builtin_plugins() -> None:
     import repro.baselines.catalog  # noqa: F401  (schemes)
     import repro.exec.executors  # noqa: F401  (executors)
     import repro.dynamics.catalog  # noqa: F401  (dynamics events)
+    import repro.analysis.catalog  # noqa: F401  (analyses)
 
 
 #: Fabric builders — ``tree``, ``fattree``, ``vl2``, ``leafspine``, ...
@@ -286,6 +291,12 @@ EXECUTORS = Registry("executor", bootstrap=load_builtin_plugins)
 #: ``workload-surge`` (see :mod:`repro.dynamics.events`).
 DYNAMICS = Registry("dynamics event", bootstrap=load_builtin_plugins)
 
+#: Store-driven analyses — ``scheme-comparison``, ``sweep-summary``,
+#: ``fct-cdf``, ``availability`` (see :mod:`repro.analysis.store_analyses`).
+#: Each builder is a pure function ``analysis(store, **params) -> dict``
+#: from a result-store query to a JSON-serialisable artifact.
+ANALYSES = Registry("analysis", bootstrap=load_builtin_plugins)
+
 #: The scheme registry doubles as the "transports" axis of the paper's
 #: cross-product (each scheme names its transport model); kept under both
 #: names so either reads naturally.
@@ -298,6 +309,7 @@ ALL_REGISTRIES: Tuple[Tuple[str, Registry], ...] = (
     ("placements", PLACEMENTS),
     ("executors", EXECUTORS),
     ("dynamics", DYNAMICS),
+    ("analyses", ANALYSES),
 )
 
 __all__ = [
@@ -312,5 +324,6 @@ __all__ = [
     "PLACEMENTS",
     "EXECUTORS",
     "DYNAMICS",
+    "ANALYSES",
     "ALL_REGISTRIES",
 ]

@@ -1,0 +1,262 @@
+"""Tests for the ANALYSES registry and the store-driven analyses.
+
+These build a synthetic result store by hand (fabricated jobs + results, no
+simulation), so they pin the analysis layer's behaviour fast and in
+isolation from the simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    render_store_report_markdown,
+    run_analysis,
+    store_report,
+)
+from repro.exec.job import ExperimentJob
+from repro.exec.store import ResultStore
+from repro.experiments.spec import ScenarioSpec
+from repro.metrics.comparison import SchemeResult
+from repro.metrics.records import FlowRecord
+from repro.metrics.throughput import ThroughputSample, ThroughputSeries
+from repro.network.flow import FlowKind
+from repro.registry import ANALYSES, RegistryError
+
+
+def make_result(scheme, fcts, extras=None):
+    records = [
+        FlowRecord(i, 1e6, 0.0, 0.0, fct, FlowKind.DATA, "a", "b")
+        for i, fct in enumerate(fcts)
+    ]
+    series = ThroughputSeries()
+    series.add(ThroughputSample(0.0, 1, 100 * 8 * 1024, 100 * 8 * 1024))
+    return SchemeResult(
+        scheme=scheme, records=records, throughput=series, extras=dict(extras or {})
+    )
+
+
+@pytest.fixture
+def replication_store(tmp_path):
+    """Two schemes × two replicates, tagged the way plan_replications tags."""
+    store = ResultStore(tmp_path / "rep.jsonl")
+    spec = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=1)
+    for replicate, seed in ((0, 1), (1, 999)):
+        for scheme, role, fct in (("scda", "candidate", 1.0 + 0.1 * replicate),
+                                  ("rand-tcp", "baseline", 2.0 + 0.2 * replicate)):
+            job = ExperimentJob(
+                spec=spec, scheme=scheme, seed=seed,
+                tags={"ensemble": "ens", "replicate": replicate,
+                      "replicates": 2, "role": role},
+            )
+            display = "SCDA" if scheme == "scda" else "RandTCP"
+            store.put(job, make_result(display, [fct], {"links_failed": 1.0}))
+    return store
+
+
+@pytest.fixture
+def sweep_store(tmp_path):
+    """Two sweep points tagged the way the sweep planners tag."""
+    store = ResultStore(tmp_path / "sweep.jsonl")
+    base = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=1)
+    for rate in (10.0, 20.0):
+        spec = base.with_overrides(
+            workload_params={**base.workload_params, "arrival_rate_per_s": rate}
+        )
+        for scheme, role, fct in (("scda", "candidate", 1.0),
+                                  ("rand-tcp", "baseline", 2.0 * rate / 10.0)):
+            job = ExperimentJob(
+                spec=spec, scheme=scheme,
+                tags={"parameter": rate, "role": role},
+            )
+            display = "SCDA" if scheme == "scda" else "RandTCP"
+            store.put(job, make_result(display, [fct]))
+    return store
+
+
+class TestRegistry:
+    def test_builtin_analyses_registered(self):
+        assert {"scheme-comparison", "sweep-summary", "fct-cdf",
+                "availability"} <= set(ANALYSES.names())
+
+    def test_unknown_analysis_lists_available(self, replication_store):
+        with pytest.raises(RegistryError, match="scheme-comparison"):
+            run_analysis(replication_store, "tail-latency")
+
+    def test_in_all_registries_under_analyses(self):
+        from repro.registry import ALL_REGISTRIES
+
+        assert "analyses" in dict(ALL_REGISTRIES)
+
+
+class TestSchemeComparison:
+    def test_artifact_structure_and_cis(self, replication_store):
+        artifact = run_analysis(replication_store, "scheme-comparison")
+        assert artifact["analysis"] == "scheme-comparison"
+        block = artifact["ensembles"]["ens"]
+        scda = block["schemes"]["scda"]
+        assert scda["replicates"] == 2
+        assert scda["seeds"] == [1, 999]
+        assert scda["mean_fct_s"]["mean"] == pytest.approx(1.05)
+        comparison = block["comparison"]
+        assert comparison["candidate"] == "SCDA"
+        assert comparison["replicates"] == 2
+        speedup = comparison["summary"]["speedup_afct"]
+        assert speedup["mean"] == pytest.approx((2.0 + 2.2 / 1.1) / 2)
+        assert speedup["ci_lower"] <= speedup["mean"] <= speedup["ci_upper"]
+
+    def test_artifact_round_trips_through_json(self, replication_store):
+        artifact = run_analysis(replication_store, "scheme-comparison")
+        assert json.loads(json.dumps(artifact)) == artifact
+
+    def test_bootstrap_method_plumbs_through(self, replication_store):
+        artifact = run_analysis(
+            replication_store, "scheme-comparison", method="bootstrap"
+        )
+        stats = artifact["ensembles"]["ens"]["schemes"]["scda"]["mean_fct_s"]
+        assert stats["method"] == "bootstrap"
+
+    def test_cached_untagged_replicate_zero_still_forms_an_ensemble(self, tmp_path):
+        """A plain run cached replicate 0 without ensemble tags; growing the
+        ensemble later must still produce the paired comparison block."""
+        store = ResultStore(tmp_path / "grown.jsonl")
+        spec = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=1)
+        # Replicate 0 as a plain comparison would store it: role tag only.
+        for scheme, role in (("scda", "candidate"), ("rand-tcp", "baseline")):
+            job = ExperimentJob(spec=spec, scheme=scheme, tags={"role": role})
+            display = "SCDA" if scheme == "scda" else "RandTCP"
+            store.put(job, make_result(display, [1.0]))
+        # Replicates 1..2 as plan_replications tags them.
+        for replicate, seed in ((1, 55), (2, 66)):
+            for scheme, role in (("scda", "candidate"), ("rand-tcp", "baseline")):
+                job = ExperimentJob(
+                    spec=spec, scheme=scheme, seed=seed,
+                    tags={"ensemble": spec.name, "replicate": replicate,
+                          "role": role},
+                )
+                display = "SCDA" if scheme == "scda" else "RandTCP"
+                store.put(job, make_result(display, [1.0 + 0.1 * replicate]))
+        artifact = run_analysis(store, "scheme-comparison")
+        block = artifact["ensembles"]["pareto-poisson"]
+        assert block["comparison"]["replicates"] == 3
+
+    def test_scenario_variants_sharing_a_name_are_not_replicates(self, tmp_path):
+        """Two edited variants of one scenario (same name, both replicate 0)
+        must be skipped, not averaged as if they were replication noise."""
+        store = ResultStore(tmp_path / "variants.jsonl")
+        for sim_time in (1.0, 2.0):
+            spec = ScenarioSpec.pareto_poisson(sim_time_s=sim_time, seed=11)
+            for scheme, role in (("scda", "candidate"), ("rand-tcp", "baseline")):
+                job = ExperimentJob(spec=spec, scheme=scheme, tags={"role": role})
+                display = "SCDA" if scheme == "scda" else "RandTCP"
+                store.put(job, make_result(display, [sim_time]))
+        artifact = run_analysis(store, "scheme-comparison")
+        assert artifact["ensembles"] == {}
+        assert artifact["non_replicate_entries_skipped"] == 4
+
+    def test_sweep_store_is_not_mistaken_for_an_ensemble(self, sweep_store):
+        """Sweep points vary the operating point, not the seed: the
+        ensemble-shaped analyses must skip them (visibly), never aggregate
+        spread across arrival rates into a 'replication' CI."""
+        artifact = run_analysis(sweep_store, "scheme-comparison")
+        assert artifact["ensembles"] == {}
+        assert artifact["non_replicate_entries_skipped"] == 4
+        cdf = run_analysis(sweep_store, "fct-cdf")
+        assert cdf["ensembles"] == {} and cdf["non_replicate_entries_skipped"] == 4
+        availability = run_analysis(sweep_store, "availability")
+        assert availability["ensembles"] == {}
+
+
+class TestSweepSummary:
+    def test_points_reassembled_in_parameter_order(self, sweep_store):
+        artifact = run_analysis(sweep_store, "sweep-summary", parameter_name="rate")
+        assert artifact["analysis"] == "sweep-summary"
+        assert [p["parameter"] for p in artifact["points"]] == [10.0, 20.0]
+        assert artifact["points"][0]["speedup"] == pytest.approx(2.0)
+        assert artifact["points"][1]["speedup"] == pytest.approx(4.0)
+        assert json.loads(json.dumps(artifact)) == artifact
+
+    def test_untagged_entries_are_counted_not_folded(self, replication_store):
+        artifact = run_analysis(replication_store, "sweep-summary")
+        assert artifact["points"] == []
+        assert artifact["entries_without_parameter"] == 4
+        assert artifact["parameter_collisions"] == 0
+
+    def test_sweeps_of_different_scenarios_do_not_mix(self, tmp_path):
+        """Two sweeps sharing a store stay separated by ensemble label."""
+        store = ResultStore(tmp_path / "shared.jsonl")
+        for name, seed, fct in (("scenario-a", 1, 1.0), ("scenario-b", 2, 9.0)):
+            spec = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=seed).with_overrides(
+                name=name
+            )
+            for scheme, role, value in (("scda", "candidate", fct),
+                                        ("rand-tcp", "baseline", 2 * fct)):
+                job = ExperimentJob(spec=spec, scheme=scheme,
+                                    tags={"parameter": 15.0, "role": role})
+                display = "SCDA" if scheme == "scda" else "RandTCP"
+                store.put(job, make_result(display, [value]))
+        artifact = run_analysis(store, "sweep-summary")
+        # Same parameter value in both sweeps: two points, not one mixture.
+        assert [(p["ensemble"], p["parameter"]) for p in artifact["points"]] == [
+            ("scenario-a", 15.0), ("scenario-b", 15.0)]
+        assert artifact["parameter_collisions"] == 0
+
+    def test_colliding_points_are_counted_not_overwritten(self, tmp_path):
+        """Two same-scenario sweeps colliding on a value are made visible."""
+        store = ResultStore(tmp_path / "collide.jsonl")
+        base = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=1)
+        for control_interval in (0.01, 0.02):  # two specs, same name + parameter tag
+            spec = base.with_overrides(control_interval_s=control_interval)
+            for scheme, role in (("scda", "candidate"), ("rand-tcp", "baseline")):
+                job = ExperimentJob(spec=spec, scheme=scheme,
+                                    tags={"parameter": 15.0, "role": role})
+                display = "SCDA" if scheme == "scda" else "RandTCP"
+                store.put(job, make_result(display, [1.0]))
+        artifact = run_analysis(store, "sweep-summary")
+        assert len(artifact["points"]) == 1
+        assert artifact["parameter_collisions"] == 2
+
+
+class TestFctCdf:
+    def test_pooled_cdf_per_scheme(self, replication_store):
+        artifact = run_analysis(replication_store, "fct-cdf")
+        curves = artifact["ensembles"]["ens"]
+        assert set(curves) == {"scda", "rand-tcp"}
+        scda = curves["scda"]
+        assert scda["replicates"] == 2
+        assert scda["flows"] == 2  # pooled across both replicates
+        assert len(scda["x"]) == len(scda["y"]) > 0
+        assert scda["y"][-1] == pytest.approx(1.0)
+        assert json.loads(json.dumps(artifact)) == artifact
+
+
+class TestAvailability:
+    def test_counters_sum_over_replicates(self, replication_store):
+        artifact = run_analysis(replication_store, "availability")
+        scda = artifact["ensembles"]["ens"]["scda"]
+        assert scda["links_failed"] == 2.0  # 1.0 per replicate
+        assert scda["mean_availability"]["mean"] == 1.0
+        assert json.loads(json.dumps(artifact)) == artifact
+
+
+class TestStoreReport:
+    def test_composes_all_analyses_and_round_trips(self, replication_store):
+        document = store_report(replication_store)
+        assert set(document["analyses"]) == set(ANALYSES.names())
+        assert document["entries"] == 4
+        assert json.loads(json.dumps(document)) == document
+
+    def test_subset_and_params(self, replication_store):
+        document = store_report(
+            replication_store,
+            analyses=["scheme-comparison"],
+            params={"scheme-comparison": {"ensemble": "ens"}},
+        )
+        assert set(document["analyses"]) == {"scheme-comparison"}
+
+    def test_markdown_rendering_mentions_schemes(self, replication_store):
+        document = store_report(replication_store)
+        markdown = render_store_report_markdown(document)
+        assert "Scheme comparison" in markdown
+        assert "SCDA" in markdown and "RandTCP" in markdown
+        assert "±" in markdown

@@ -29,10 +29,11 @@ class TestRegistry:
         ):
             assert kind in names
 
-    def test_dynamics_is_the_sixth_registry(self):
+    def test_dynamics_is_a_top_level_registry(self):
         sections = [name for name, _ in ALL_REGISTRIES]
         assert "dynamics" in sections
-        assert len(sections) == 6
+        assert "analyses" in sections  # PR 5 added the seventh registry
+        assert len(sections) == 7
 
     def test_aliases_resolve(self):
         assert DYNAMICS.get("surge").name == "workload-surge"

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.exec.job import ExperimentJob
-from repro.exec.store import ResultStore
+from repro.exec.store import ResultStore, ResultStoreError
 from repro.experiments.spec import ScenarioSpec
 from repro.metrics.comparison import SchemeResult
 from repro.metrics.records import FlowRecord
@@ -118,6 +118,114 @@ class TestResultStore:
         ResultStore(path).put(make_job(), make_result())
         entry = json.loads(path.read_text().splitlines()[0])
         assert set(entry) == {"key", "job", "result", "meta"}
-        # The stored job must itself round-trip back to a runnable job.
-        rebuilt = ExperimentJob.from_dict(entry["job"])
-        assert rebuilt.key == entry["key"]
+
+
+class TestCrashSafeRewrite:
+    def _populated(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.put(make_job(seed=1), make_result(n_records=1))
+        store.put(make_job(seed=2), make_result(n_records=2))
+        store.put(make_job(seed=1), make_result(n_records=3))  # duplicate key
+        return path, store
+
+    def test_failed_replace_leaves_original_jsonl_intact(self, tmp_path, monkeypatch):
+        import repro.exec.store as store_module
+
+        path, store = self._populated(tmp_path)
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash mid-compact")
+
+        monkeypatch.setattr(store_module.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.compact()
+        # Original store byte-identical, temp file cleaned up, still loadable.
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(ResultStore(path)) == 2
+
+    def test_failed_write_leaves_original_jsonl_intact(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        path, store = self._populated(tmp_path)
+        before = path.read_bytes()
+        real_write_text = Path.write_text
+
+        def boom(self, *args, **kwargs):
+            if self.name.endswith(".compact.tmp"):
+                real_write_text(self, "partial garbage", encoding="utf-8")
+                raise OSError("ENOSPC: simulated")
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", boom)
+        with pytest.raises(OSError, match="ENOSPC"):
+            store.compact()
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_successful_compact_still_dedupes(self, tmp_path):
+        path, store = self._populated(tmp_path)
+        assert store.compact() == 2
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestQueryApi:
+    def _store_with_tags(self, tmp_path):
+        store = ResultStore(tmp_path / "q.jsonl")
+        for seed, scheme, role in ((1, "scda", "candidate"), (1, "rand-tcp", "baseline"),
+                                   (2, "scda", "candidate"), (2, "rand-tcp", "baseline")):
+            replicate = seed - 1
+            job = ExperimentJob(
+                spec=ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=seed),
+                scheme=scheme,
+                tags={"ensemble": "ens-a", "replicate": replicate, "role": role},
+            )
+            store.put(job, make_result(scheme="SCDA" if scheme == "scda" else "RandTCP"))
+        return store
+
+    def test_entries_sorted_is_deterministic_and_typed(self, tmp_path):
+        store = self._store_with_tags(tmp_path)
+        entries = store.entries_sorted()
+        assert len(entries) == 4
+        assert [e.replicate for e in entries] == [0, 0, 1, 1]
+        assert [e.scheme_name for e in entries] == ["rand-tcp", "scda"] * 2
+        assert entries[0].ensemble == "ens-a"
+        assert entries[0].result.completed_flows == 2
+
+    def test_query_by_scheme_and_tags(self, tmp_path):
+        store = self._store_with_tags(tmp_path)
+        assert len(store.query(scheme="scda")) == 2
+        assert len(store.query(tags={"role": "baseline"})) == 2
+        assert len(store.query(scheme="scda", tags={"replicate": 1})) == 1
+        assert store.query(scheme="nonexistent") == []
+
+    def test_query_by_spec_fields(self, tmp_path):
+        store = self._store_with_tags(tmp_path)
+        assert len(store.query(spec_fields={"seed": 1})) == 2
+        assert len(store.query(spec_fields={"topology": "tree"})) == 4
+        with pytest.raises(ResultStoreError, match="unknown ScenarioSpec field"):
+            store.query(spec_fields={"not_a_field": 1})
+
+    def test_query_predicate(self, tmp_path):
+        store = self._store_with_tags(tmp_path)
+        picked = store.query(predicate=lambda e: e.job.seed == 2)
+        assert len(picked) == 2
+
+    def test_group_by_ensemble_and_schemes(self, tmp_path):
+        store = self._store_with_tags(tmp_path)
+        groups = store.group_by_ensemble()
+        assert set(groups) == {"ens-a"}
+        assert len(groups["ens-a"]) == 4
+        assert store.schemes() == ["rand-tcp", "scda"]
+
+    def test_untagged_entries_group_under_scenario_name(self, tmp_path):
+        store = ResultStore(tmp_path / "plain.jsonl")
+        store.put(make_job(), make_result())
+        groups = store.group_by_ensemble()
+        assert set(groups) == {"pareto-poisson"}
+        assert groups["pareto-poisson"][0].replicate == 0
+        # The stored job round-trips back to a runnable job with the same key.
+        entry = groups["pareto-poisson"][0]
+        assert entry.job.key == entry.key

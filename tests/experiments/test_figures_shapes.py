@@ -10,17 +10,37 @@ import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import (
+    FIGURE_DEFAULT_CONFIGS,
     FIGURE_GENERATORS,
     FigureData,
     figure08,
     figure09,
     figure17,
     figure18,
+    generate_figure,
 )
 from repro.experiments.runner import run_comparison
 from repro.experiments.shapes import afct_fluctuation_ratio, check_comparison_shape
+from repro.metrics.replication import ReplicatedComparison, ReplicatedResult
 
 MB = 1024.0 * 1024.0
+
+
+def _fake_ensemble(comparison, n):
+    """An n-replicate ensemble reusing one comparison's results per replicate."""
+    return ReplicatedComparison(
+        scenario=comparison.scenario,
+        candidate=ReplicatedResult(
+            scheme=comparison.candidate.scheme,
+            seeds=list(range(n)),
+            results=[comparison.candidate] * n,
+        ),
+        baseline=ReplicatedResult(
+            scheme=comparison.baseline.scheme,
+            seeds=list(range(n)),
+            results=[comparison.baseline] * n,
+        ),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +98,92 @@ class TestFigureGenerators:
         fig = figure08(comparison=video_comparison)
         assert set(fig.series) == {"SCDA", "RandTCP"}
         assert fig.summary["speedup_afct"] > 1.0
+
+
+class TestEnsembleFigures:
+    def test_single_replicate_ensemble_is_bit_identical(self, pareto_comparison):
+        single = figure17(comparison=pareto_comparison)
+        replicated = figure17(ensemble=_fake_ensemble(pareto_comparison, 1))
+        assert replicated.as_table() == single.as_table()
+        assert replicated.summary == single.summary
+        assert not replicated.bands
+
+    def test_multi_replicate_figure_renders_error_bands(self, pareto_comparison):
+        fig = figure17(ensemble=_fake_ensemble(pareto_comparison, 3))
+        assert set(fig.bands) == set(fig.series) == {"SCDA", "RandTCP"}
+        table = fig.as_table()
+        assert "SCDA lo" in table and "SCDA hi" in table
+        # Identical replicates: zero-width bands centred on the mean curve.
+        x, lower, upper = fig.bands["SCDA"]
+        np.testing.assert_allclose(lower, upper)
+        np.testing.assert_allclose(fig.series["SCDA"][1], lower)
+
+    def test_multi_replicate_summary_carries_ci_bounds(self, pareto_comparison):
+        fig = figure18(ensemble=_fake_ensemble(pareto_comparison, 2))
+        assert "speedup_afct" in fig.summary
+        assert "speedup_afct_ci_lower" in fig.summary
+        assert "speedup_afct_ci_upper" in fig.summary
+        assert fig.ensemble is not None and fig.ensemble.n_replicates == 2
+        assert fig.comparison is not None  # replicate 0, for shape checks
+
+    def test_every_generator_accepts_an_ensemble(self, pareto_comparison, video_comparison):
+        ensemble_by_scenario = {
+            "pareto": _fake_ensemble(pareto_comparison, 2),
+            "video": _fake_ensemble(video_comparison, 2),
+        }
+        pareto_figs = {"fig17", "fig18"}
+        for figure_id, generator in FIGURE_GENERATORS.items():
+            ensemble = ensemble_by_scenario[
+                "pareto" if figure_id in pareto_figs else "video"
+            ]
+            fig = generator(ensemble=ensemble)
+            assert fig.series, figure_id
+            assert fig.bands, figure_id
+
+    def test_empty_first_replicate_falls_back_to_a_non_empty_grid(self, pareto_comparison):
+        from repro.metrics.comparison import SchemeResult
+
+        empty_candidate = SchemeResult(scheme=pareto_comparison.candidate.scheme)
+        empty_baseline = SchemeResult(scheme=pareto_comparison.baseline.scheme)
+        ensemble = ReplicatedComparison(
+            scenario=pareto_comparison.scenario,
+            candidate=ReplicatedResult(
+                scheme=pareto_comparison.candidate.scheme,
+                seeds=[0, 1, 2],
+                results=[empty_candidate, pareto_comparison.candidate,
+                         pareto_comparison.candidate],
+            ),
+            baseline=ReplicatedResult(
+                scheme=pareto_comparison.baseline.scheme,
+                seeds=[0, 1, 2],
+                results=[empty_baseline, pareto_comparison.baseline,
+                         pareto_comparison.baseline],
+            ),
+        )
+        fig = figure18(ensemble=ensemble)
+        # The degenerate replicate 0 is skipped, not allowed to blank the figure.
+        for name, (x, y) in fig.series.items():
+            assert len(x) > 0, name
+        assert set(fig.bands) == set(fig.series)
+
+    def test_comparison_and_ensemble_are_mutually_exclusive(self, pareto_comparison):
+        with pytest.raises(ValueError, match="not both"):
+            figure17(
+                comparison=pareto_comparison,
+                ensemble=_fake_ensemble(pareto_comparison, 1),
+            )
+
+    def test_band_requires_matching_series(self):
+        fig = FigureData("figX", "t", "x", "y")
+        with pytest.raises(ValueError, match="no matching series"):
+            fig.add_band("ghost", np.array([1.0]), np.array([0.5]), np.array([1.5]))
+
+    def test_generate_figure_covers_every_figure_default(self):
+        assert set(FIGURE_DEFAULT_CONFIGS) == set(FIGURE_GENERATORS)
+        with pytest.raises(ValueError, match="unknown figure"):
+            generate_figure("fig99")
+        with pytest.raises(ValueError, match="seeds"):
+            generate_figure("fig17", seeds=0)
 
 
 class TestShapes:

@@ -200,6 +200,68 @@ class TestResultSerialisation:
         with pytest.raises(ValueError):
             scheme_result("SCDA", [1.0]).merge(scheme_result("RandTCP", [1.0]))
 
+    # -- merging the PR-4 availability/dynamics payloads -----------------------------
+
+    @staticmethod
+    def _availability_series(times_and_down):
+        from repro.metrics.availability import AvailabilitySample, AvailabilitySeries
+
+        series = AvailabilitySeries()
+        for time_s, links_down in times_and_down:
+            series.add(
+                AvailabilitySample(
+                    time_s=time_s, links_down=links_down, links_total=10,
+                    flows_rerouted=links_down, flows_aborted=0,
+                )
+            )
+        return series
+
+    DYNAMICS_EXTRAS = {
+        "links_failed": 1.0, "flows_rerouted_on_failure": 2.0,
+        "servers_departed": 1.0, "requests_disrupted": 3.0,
+    }
+
+    def test_merge_availability_present_on_one_side(self):
+        a = scheme_result("SCDA", [1.0])
+        a.availability = self._availability_series([(0.0, 1), (1.0, 0)])
+        a.extras = dict(self.DYNAMICS_EXTRAS)
+        b = scheme_result("SCDA", [2.0])  # static shard: empty series, no extras
+        merged = a.merge(b)
+        assert len(merged.availability) == 2
+        assert merged.availability.mean_availability() == pytest.approx(0.95)
+        # One-sided dynamics extras survive unchanged.
+        assert merged.extras["links_failed"] == 1.0
+        assert merged.extras["requests_disrupted"] == 3.0
+        # Merge is value-symmetric for these payloads.
+        swapped = b.merge(a)
+        assert swapped.availability.to_dict() == merged.availability.to_dict()
+        assert swapped.extras == merged.extras
+
+    def test_merge_availability_present_on_both_sides(self):
+        a = scheme_result("SCDA", [1.0])
+        a.availability = self._availability_series([(0.0, 2), (2.0, 0)])
+        a.extras = dict(self.DYNAMICS_EXTRAS)
+        b = scheme_result("SCDA", [2.0])
+        b.availability = self._availability_series([(1.0, 1), (3.0, 0)])
+        b.extras = {"links_failed": 2.0, "flows_aborted_on_failure": 1.0}
+        merged = a.merge(b)
+        # Samples interleave in time order across the two shards.
+        assert list(merged.availability.times()) == [0.0, 1.0, 2.0, 3.0]
+        assert [s.links_down for s in merged.availability.samples] == [2, 1, 0, 0]
+        # Dynamics counters sum; keys unique to one side survive.
+        assert merged.extras["links_failed"] == 3.0
+        assert merged.extras["flows_rerouted_on_failure"] == 2.0
+        assert merged.extras["flows_aborted_on_failure"] == 1.0
+
+    def test_merge_availability_absent_on_both_sides(self):
+        a = scheme_result("SCDA", [1.0])
+        b = scheme_result("SCDA", [2.0])
+        merged = a.merge(b)
+        # Static shards stay trivially static: no samples, availability 1.0.
+        assert len(merged.availability) == 0
+        assert merged.availability.mean_availability() == 1.0
+        assert merged.extras == {}
+
     def test_comparison_round_trip(self):
         comparison = ComparisonResult(
             "pareto", scheme_result("SCDA", [1.0]), scheme_result("RandTCP", [2.0])

@@ -1,0 +1,151 @@
+"""Tests for the multi-seed replication aggregates."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.comparison import ComparisonResult, SchemeResult
+from repro.metrics.records import FlowRecord
+from repro.metrics.replication import ReplicatedComparison, ReplicatedResult
+from repro.metrics.throughput import ThroughputSample, ThroughputSeries
+from repro.network.flow import FlowKind
+
+
+def scheme_result(name, fcts, rates_kBps=(100.0,)):
+    records = [
+        FlowRecord(i, 1e6, 0.0, 0.0, fct, FlowKind.DATA, "a", "b")
+        for i, fct in enumerate(fcts)
+    ]
+    series = ThroughputSeries()
+    for i, rate in enumerate(rates_kBps):
+        series.add(ThroughputSample(float(i), 1, rate * 8 * 1024, rate * 8 * 1024))
+    return SchemeResult(scheme=name, records=records, throughput=series)
+
+
+def make_ensemble(n=3):
+    candidates = [scheme_result("SCDA", [1.0 + 0.1 * i]) for i in range(n)]
+    baselines = [scheme_result("RandTCP", [2.0 + 0.2 * i]) for i in range(n)]
+    return ReplicatedComparison(
+        scenario="test",
+        candidate=ReplicatedResult("SCDA", seeds=list(range(n)), results=candidates),
+        baseline=ReplicatedResult("RandTCP", seeds=list(range(n)), results=baselines),
+    )
+
+
+class TestReplicatedResult:
+    def test_per_seed_and_stats(self):
+        rep = ReplicatedResult(
+            "SCDA",
+            seeds=[1, 2, 3],
+            results=[scheme_result("SCDA", [v]) for v in (1.0, 2.0, 3.0)],
+        )
+        assert list(rep.per_seed_mean_fct_s()) == [1.0, 2.0, 3.0]
+        stats = rep.fct_stats()
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n == 3
+        assert stats.ci_lower < 2.0 < stats.ci_upper
+
+    def test_availability_trivial_on_static_results(self):
+        rep = ReplicatedResult(
+            "SCDA", seeds=[1], results=[scheme_result("SCDA", [1.0])]
+        )
+        stats = rep.availability_stats()
+        assert stats.mean == 1.0
+
+    def test_pooled_merges_every_replicate(self):
+        rep = ReplicatedResult(
+            "SCDA",
+            seeds=[1, 2],
+            results=[scheme_result("SCDA", [1.0, 2.0]), scheme_result("SCDA", [3.0])],
+        )
+        pooled = rep.pooled()
+        assert pooled.completed_flows == 3
+        assert sorted(rep.pooled_fcts().tolist()) == [1.0, 2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one replicate"):
+            ReplicatedResult("SCDA", seeds=[], results=[])
+        with pytest.raises(ValueError, match="align"):
+            ReplicatedResult("SCDA", seeds=[1, 2], results=[scheme_result("SCDA", [1.0])])
+        with pytest.raises(ValueError, match="ensemble"):
+            ReplicatedResult("SCDA", seeds=[1], results=[scheme_result("RandTCP", [1.0])])
+
+    def test_round_trips_through_json(self):
+        rep = ReplicatedResult(
+            "SCDA",
+            seeds=[1, 2],
+            results=[scheme_result("SCDA", [1.0]), scheme_result("SCDA", [2.0])],
+        )
+        payload = json.loads(json.dumps(rep.to_dict()))
+        rebuilt = ReplicatedResult.from_dict(payload)
+        assert rebuilt.to_dict() == rep.to_dict()
+
+
+class TestReplicatedComparison:
+    def test_paired_speedup_stats(self):
+        ens = make_ensemble(3)
+        stats = ens.speedup_stats()
+        expected = np.mean([2.0 / 1.0, 2.2 / 1.1, 2.4 / 1.2])
+        assert stats.mean == pytest.approx(expected)
+        assert stats.n == 3
+
+    def test_summary_keys_match_single_seed_summary(self):
+        ens = make_ensemble(2)
+        replicated_keys = set(ens.summary())
+        single_keys = set(ens.comparisons()[0].summary())
+        assert replicated_keys == single_keys
+        speedup = ens.summary()["speedup_afct"]
+        assert {"mean", "std", "n", "ci_lower", "ci_upper"} <= set(speedup)
+
+    def test_comparisons_are_per_replicate(self):
+        ens = make_ensemble(3)
+        comparisons = ens.comparisons()
+        assert len(comparisons) == 3
+        assert all(isinstance(c, ComparisonResult) for c in comparisons)
+        assert comparisons[0].speedup_afct() == pytest.approx(2.0)
+
+    def test_replicate_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="replicates"):
+            ReplicatedComparison(
+                scenario="x",
+                candidate=ReplicatedResult(
+                    "SCDA", seeds=[1], results=[scheme_result("SCDA", [1.0])]
+                ),
+                baseline=ReplicatedResult(
+                    "RandTCP",
+                    seeds=[1, 2],
+                    results=[
+                        scheme_result("RandTCP", [2.0]),
+                        scheme_result("RandTCP", [2.1]),
+                    ],
+                ),
+            )
+
+    def test_unpaired_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            ReplicatedComparison(
+                scenario="x",
+                candidate=ReplicatedResult(
+                    "SCDA", seeds=[1], results=[scheme_result("SCDA", [1.0])]
+                ),
+                baseline=ReplicatedResult(
+                    "RandTCP", seeds=[9], results=[scheme_result("RandTCP", [2.0])]
+                ),
+            )
+
+    def test_round_trips_through_json(self):
+        ens = make_ensemble(2)
+        payload = json.loads(json.dumps(ens.to_dict()))
+        rebuilt = ReplicatedComparison.from_dict(payload)
+        assert rebuilt.to_dict() == ens.to_dict()
+
+    def test_comparison_result_replicated_hook(self):
+        ens = ComparisonResult.replicated(
+            "x",
+            [1, 2],
+            [scheme_result("SCDA", [1.0]), scheme_result("SCDA", [1.1])],
+            [scheme_result("RandTCP", [2.0]), scheme_result("RandTCP", [2.2])],
+        )
+        assert isinstance(ens, ReplicatedComparison)
+        assert ens.n_replicates == 2

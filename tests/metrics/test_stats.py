@@ -1,0 +1,117 @@
+"""Tests for the replication statistics (means, stddevs, CIs)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    SummaryStats,
+    bootstrap_ci,
+    mean,
+    normal_ci,
+    stddev,
+    summarize,
+    z_value,
+)
+
+
+class TestBasicStats:
+    def test_mean_and_stddev(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert stddev([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_non_finite_values_are_excluded(self):
+        assert mean([1.0, float("nan"), 3.0, float("inf")]) == pytest.approx(2.0)
+        assert stddev([1.0, float("nan"), 3.0]) == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_degenerate_inputs(self):
+        assert math.isnan(mean([]))
+        assert stddev([]) == 0.0
+        assert stddev([5.0]) == 0.0
+
+    def test_z_value_95(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_z_value_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            z_value(1.0)
+        with pytest.raises(ValueError):
+            z_value(0.0)
+
+
+class TestNormalCi:
+    def test_matches_hand_computed_interval(self):
+        values = [1.0, 2.0, 3.0]
+        lower, upper = normal_ci(values)
+        half = 1.959964 * 1.0 / math.sqrt(3)
+        assert lower == pytest.approx(2.0 - half, abs=1e-4)
+        assert upper == pytest.approx(2.0 + half, abs=1e-4)
+
+    def test_single_value_collapses_to_point(self):
+        assert normal_ci([4.2]) == (4.2, 4.2)
+
+    def test_wider_confidence_is_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        lo95, hi95 = normal_ci(values, 0.95)
+        lo99, hi99 = normal_ci(values, 0.99)
+        assert lo99 < lo95 < hi95 < hi99
+
+
+class TestBootstrapCi:
+    def test_deterministic_across_calls(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_different_seed_different_interval(self):
+        values = [1.0, 3.0, 2.0, 5.0, 4.0]
+        assert bootstrap_ci(values, seed=1) != bootstrap_ci(values, seed=2)
+
+    def test_interval_brackets_the_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lower, upper = bootstrap_ci(values, seed=0)
+        assert lower <= np.mean(values) <= upper
+
+    def test_single_value_collapses_to_point(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_normal_summary_fields(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.method == "normal"
+        assert stats.ci_lower < stats.mean < stats.ci_upper
+        assert stats.half_width == pytest.approx((stats.ci_upper - stats.ci_lower) / 2)
+
+    def test_bootstrap_method_recorded(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0], method="bootstrap")
+        assert stats.method == "bootstrap"
+        assert stats.ci_lower <= stats.mean <= stats.ci_upper
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown CI method"):
+            summarize([1.0], method="magic")
+
+    def test_nan_values_reduce_n(self):
+        stats = summarize([1.0, float("nan"), 3.0])
+        assert stats.n == 2
+
+    def test_all_nan_summary(self):
+        stats = summarize([float("nan")])
+        assert stats.n == 0
+        assert math.isnan(stats.mean)
+
+    def test_round_trips_through_json(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert SummaryStats.from_dict(payload) == stats

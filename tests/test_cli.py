@@ -66,17 +66,18 @@ class TestCompareWithRegistryKeys:
 
 
 class TestListPluginsCommand:
-    def test_lists_all_six_registries(self, capsys):
+    def test_lists_all_seven_registries(self, capsys):
         code = main(["list-plugins"])
         out = capsys.readouterr().out
         assert code == 0
         for section in ("topologies:", "workloads:", "schemes:", "placements:",
-                        "executors:", "dynamics:"):
+                        "executors:", "dynamics:", "analyses:"):
             assert section in out
         for name in ("fattree", "vl2", "leafspine", "pareto-poisson", "hedera", "vlb",
                      "serial", "thread", "process",
                      "link-failure", "link-recovery", "capacity-degradation",
-                     "block-server-churn", "workload-surge"):
+                     "block-server-churn", "workload-surge",
+                     "scheme-comparison", "sweep-summary", "fct-cdf", "availability"):
             assert name in out
 
     def test_json_output_is_parseable(self, capsys):
@@ -92,11 +93,19 @@ class TestListPluginsCommand:
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
         assert set(payload) == {"topologies", "workloads", "schemes",
-                                "placements", "executors", "dynamics"}
+                                "placements", "executors", "dynamics", "analyses"}
         failure = payload["dynamics"]["link-failure"]
         assert failure["config"] == "LinkFailureEvent"
         assert "link-fail" in failure["aliases"]
         assert failure["description"]
+
+    def test_json_output_covers_the_analyses_registry(self, capsys):
+        code = main(["list-plugins", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        comparison = payload["analyses"]["scheme-comparison"]
+        assert "comparison" in comparison["aliases"]
+        assert comparison["description"]
 
 
 class TestRunCommand:
@@ -197,6 +206,40 @@ class TestRunCommand:
         assert "unknown executor" in err
         assert "serial" in err
 
+    def test_run_with_seeds_reports_confidence_intervals(self, tmp_path, capsys):
+        from repro.exec.store import ResultStore
+        from repro.experiments.spec import ScenarioSpec
+        from repro.sim.random import derive_seed
+
+        path = ScenarioSpec.pareto_poisson(sim_time_s=1.5, seed=3).save(
+            tmp_path / "scenario.json"
+        )
+        store = tmp_path / "results.jsonl"
+        code = main(["run", str(path), "--seeds", "2", "--executor", "thread",
+                     "--jobs", "2", "--results", str(store), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert payload["replicates"] == 2
+        assert payload["seeds"] == [3, derive_seed(3, "replicate", "1")]
+        speedup = payload["summary"]["speedup_afct"]
+        assert speedup["n"] == 2
+        assert speedup["ci_lower"] <= speedup["mean"] <= speedup["ci_upper"]
+        assert len(ResultStore(store)) == 4  # 2 schemes × 2 replicates
+
+    def test_run_seeds_one_output_matches_plain_run(self, tmp_path, capsys):
+        """--seeds 1 must be the historical single-seed path, byte for byte."""
+        from repro.experiments.spec import ScenarioSpec
+
+        path = ScenarioSpec.pareto_poisson(sim_time_s=1.5, seed=3).save(
+            tmp_path / "scenario.json"
+        )
+        code_plain = main(["run", str(path), "--json"])
+        out_plain = capsys.readouterr().out
+        code_seeded = main(["run", str(path), "--seeds", "1", "--json"])
+        out_seeded = capsys.readouterr().out
+        assert code_plain == code_seeded
+        assert out_plain == out_seeded
+
 
 class TestSweepCommand:
     def test_load_sweep_table_and_summary(self, tmp_path, capsys):
@@ -244,6 +287,28 @@ class TestSweepCommand:
         assert code == 2
         assert "tau sweeps" in capsys.readouterr().err
 
+    def test_reseed_changes_point_seeds_and_default_does_not(self, tmp_path, capsys):
+        from repro.exec.store import ResultStore
+        from repro.sim.random import derive_seed
+
+        default_store = tmp_path / "default.jsonl"
+        code = main(["sweep", "load", "--points", "10", "--sim-time", "1",
+                     "--seed", "4", "--results", str(default_store)])
+        assert code == 0
+        default_seeds = {e.job.seed for e in ResultStore(default_store).query()}
+        # Default: every point reuses the base seed (historical behaviour).
+        assert default_seeds == {4}
+
+        reseed_store = tmp_path / "reseed.jsonl"
+        code = main(["sweep", "load", "--points", "10", "--sim-time", "1",
+                     "--seed", "4", "--results", str(reseed_store), "--reseed"])
+        assert code == 0
+        reseed_seeds = {e.job.seed for e in ResultStore(reseed_store).query()}
+        # --reseed: the point's seed is pinned to its identity derivation.
+        assert reseed_seeds == {derive_seed(4, "sweep", "offered-load", "rate=10")}
+        assert reseed_seeds != default_seeds
+        capsys.readouterr()
+
     def test_cli_tau_sweep_shares_store_with_library_default(self, tmp_path, capsys):
         from repro.experiments.sweeps import sweep_control_interval
 
@@ -273,6 +338,20 @@ class TestFigureCommand:
         assert "fig18" in out
         payload = json.loads(out_file.read_text())
         assert set(payload["series"]) == {"SCDA", "RandTCP"}
+        assert "bands" not in payload  # single-seed artifacts are unchanged
+
+    def test_figure_with_seeds_writes_bands_to_json(self, tmp_path, capsys):
+        out_file = tmp_path / "fig18_ens.json"
+        code = main(["figure", "fig18", "--sim-time", "1.5", "--seed", "3",
+                     "--seeds", "2", "--executor", "thread", "--jobs", "2",
+                     "--out", str(out_file)])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert set(payload["bands"]) == set(payload["series"])
+        x, lower, upper = payload["bands"]["SCDA"]
+        assert len(x) == len(lower) == len(upper) == len(payload["series"]["SCDA"][0])
+        assert "speedup_afct_ci_lower" in payload["summary"]
 
 
 class TestWorkloadCommand:
@@ -329,3 +408,85 @@ class TestReportCommand:
     def test_report_missing_directory_errors(self, tmp_path, capsys):
         code = main(["report", "--results-dir", str(tmp_path / "nope")])
         assert code == 2
+
+
+class TestReportStoreMode:
+    @pytest.fixture
+    def store_path(self, tmp_path):
+        """A small replication store built without running any simulation."""
+        from repro.exec.job import ExperimentJob
+        from repro.exec.store import ResultStore
+        from repro.experiments.spec import ScenarioSpec
+        from repro.metrics.comparison import SchemeResult
+        from repro.metrics.records import FlowRecord
+        from repro.network.flow import FlowKind
+
+        store = ResultStore(tmp_path / "store.jsonl")
+        spec = ScenarioSpec.pareto_poisson(sim_time_s=2.0, seed=1)
+        for replicate, seed in ((0, 1), (1, 77)):
+            for scheme, role, fct in (("scda", "candidate", 1.0),
+                                      ("rand-tcp", "baseline", 2.0)):
+                job = ExperimentJob(
+                    spec=spec, scheme=scheme, seed=seed,
+                    tags={"ensemble": "ens", "replicate": replicate, "role": role},
+                )
+                result = SchemeResult(
+                    scheme="SCDA" if scheme == "scda" else "RandTCP",
+                    records=[FlowRecord(0, 1e6, 0.0, 0.0, fct + 0.01 * replicate,
+                                        FlowKind.DATA, "a", "b")],
+                )
+                store.put(job, result)
+        return store.path
+
+    def test_single_analysis_artifact(self, store_path, tmp_path, capsys):
+        out = tmp_path / "artifact.json"
+        code = main(["report", "--results", str(store_path),
+                     "--analysis", "scheme-comparison", "--out", str(out)])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["analysis"] == "scheme-comparison"
+        assert artifact["ensembles"]["ens"]["comparison"]["replicates"] == 2
+        # The artifact survives a JSON round-trip unchanged.
+        assert json.loads(json.dumps(artifact)) == artifact
+
+    def test_composed_report_runs_every_analysis(self, store_path, capsys):
+        code = main(["report", "--results", str(store_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert {"scheme-comparison", "sweep-summary", "fct-cdf",
+                "availability"} <= set(payload["analyses"])
+
+    def test_markdown_mode(self, store_path, capsys):
+        code = main(["report", "--results", str(store_path), "--markdown"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Scheme comparison" in out
+
+    def test_unknown_analysis_lists_available(self, store_path, capsys):
+        code = main(["report", "--results", str(store_path),
+                     "--analysis", "tail-latency"])
+        assert code == 2
+        assert "scheme-comparison" in capsys.readouterr().err
+
+    def test_unknown_ensemble_lists_stored_labels(self, store_path, capsys):
+        code = main(["report", "--results", str(store_path),
+                     "--analysis", "scheme-comparison", "--ensemble", "typo"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown ensemble" in err and "ens" in err
+
+    def test_markdown_with_single_analysis_errors(self, store_path, capsys):
+        code = main(["report", "--results", str(store_path),
+                     "--analysis", "scheme-comparison", "--markdown"])
+        assert code == 2
+        assert "--markdown" in capsys.readouterr().err
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(["report", "--results", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_analysis_without_results_errors(self, capsys):
+        code = main(["report", "--analysis", "scheme-comparison"])
+        assert code == 2
+        assert "--results" in capsys.readouterr().err
