@@ -121,12 +121,43 @@ def _positive_int(text: str) -> int:
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--executor", default="serial", metavar="KEY",
                         help="execution backend registry key (serial, thread, "
-                             "process); see 'list-plugins'")
+                             "process, chaos:<inner>); see 'list-plugins'")
     parser.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
                         help="worker count for pooled executors")
     parser.add_argument("--results", default=None, metavar="PATH",
-                        help="JSONL result store: computed points are appended, "
-                             "already-stored points are never re-run")
+                        help="JSONL result store: computed points are appended "
+                             "as they finish, already-stored points are never "
+                             "re-run")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-attempt transiently failed jobs up to N times "
+                             "with deterministic exponential backoff "
+                             "(default: 0, fail on the first error)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock budget in seconds; the process "
+                             "backend kills and replaces a worker whose job "
+                             "overruns it (see docs/EXECUTION.md)")
+    parser.add_argument("--fallback", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="degrade process→thread→serial when a backend "
+                             "fails at the batch level (--no-fallback: let the "
+                             "backend error propagate)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every result-store append (survives machine "
+                             "crashes, not just process crashes)")
+
+
+def _execution_options(args: argparse.Namespace) -> Dict[str, object]:
+    """The run_jobs fault-tolerance kwargs encoded by the CLI flags."""
+    from repro.exec.retry import RetryPolicy
+
+    policy = None
+    if args.retries > 0 or args.timeout is not None:
+        policy = RetryPolicy(max_attempts=args.retries + 1, timeout_s=args.timeout)
+    return {
+        "policy": policy,
+        "fallback": args.fallback,
+        "store_fsync": args.fsync,
+    }
 
 
 def _progress_printer(as_json: bool):
@@ -245,6 +276,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_workers=args.jobs,
             store=args.results,
             progress=_progress_printer(args.json),
+            **_execution_options(args),
         )
         shape = check_comparison_shape(ensemble.comparisons()[0])
         _print_replicated(scenario, ensemble, shape, args.json)
@@ -256,6 +288,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         store=args.results,
         progress=_progress_printer(args.json),
+        **_execution_options(args),
     )
     comparison = ComparisonResult(
         scenario=scenario.name,
@@ -324,6 +357,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         store=args.results,
         progress=_progress_printer(args.json),
+        **_execution_options(args),
     )
     sweep = SweepResult(
         parameter_name=parameter_name,
@@ -402,6 +436,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.jobs,
         store=args.results,
+        **_execution_options(args),
     )
     if args.plot:
         print(render_figure(figure))

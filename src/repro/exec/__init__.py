@@ -26,6 +26,7 @@ order relative to other jobs — produces a bit-identical
 field).  See ``docs/EXECUTION.md``.
 """
 
+from repro.exec.chaos import ChaosConfig, ChaosError, ChaosExecutor
 from repro.exec.job import ExperimentJob
 from repro.exec.planner import (
     plan_comparison,
@@ -43,7 +44,15 @@ from repro.exec.executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    resolve_executor,
     run_jobs,
+)
+from repro.exec.retry import (
+    CorruptResultError,
+    ExecutorDegradedError,
+    JobTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
 )
 from repro.exec.store import ResultStore, StoredEntry
 from repro.exec.replication import (
@@ -53,16 +62,25 @@ from repro.exec.replication import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosExecutor",
+    "CorruptResultError",
     "ExperimentJob",
     "Executor",
     "ExecutionReport",
+    "ExecutorDegradedError",
     "JobFailure",
+    "JobTimeoutError",
     "ProcessExecutor",
     "ResultStore",
+    "RetryPolicy",
     "SerialExecutor",
     "StoredEntry",
     "ThreadExecutor",
+    "WorkerCrashError",
     "ensemble_from_store",
+    "resolve_executor",
     "plan_comparison",
     "plan_control_interval_sweep",
     "plan_failure_sweep",

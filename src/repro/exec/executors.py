@@ -19,32 +19,58 @@ Backends are plugins in the :data:`repro.registry.EXECUTORS` registry::
 
 after which ``repro sweep --executor my-cluster`` and
 :func:`run_jobs(..., executor="my-cluster") <run_jobs>` pick it up.
+``<wrapper>:<inner>`` keys (``chaos:process``) resolve the wrapper and hand
+it the inner backend key — see :mod:`repro.exec.chaos`.
+
+Fault tolerance (see ``docs/EXECUTION.md`` § Failure semantics):
+
+* every backend re-attempts transiently failed jobs under a
+  :class:`~repro.exec.retry.RetryPolicy` with deterministic per-job backoff;
+* the process backend manages its own worker pool: a killed/OOMed worker is
+  detected, its in-flight job rescheduled and a replacement spawned, and a
+  job that exceeds ``policy.timeout_s`` gets its worker killed
+  (hung-worker detection) instead of stalling the batch;
+* :func:`run_jobs` degrades gracefully — when a backend fails at the *batch*
+  level it falls back ``process → thread → serial``, recording the downgrade
+  in the :class:`ExecutionReport`, and re-runs only the unfinished jobs
+  (everything already computed was checkpointed through ``on_outcome``).
 """
 
 from __future__ import annotations
 
 import copy
+import heapq
 import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exec.job import ExperimentJob
+from repro.exec.retry import (
+    NO_RETRY,
+    ExecutorDegradedError,
+    RetryPolicy,
+)
 from repro.exec.store import ResultStore
 from repro.metrics.comparison import SchemeResult
 from repro.registry import EXECUTORS, RegistryError
 
 #: ``progress(event, job, detail)`` with event one of ``submitted``,
-#: ``cached``, ``finished``, ``failed``.  ``detail`` is the error string for
-#: ``failed`` lines and ``None`` otherwise.
+#: ``cached``, ``finished``, ``failed``, ``retry``, ``degraded``.  ``detail``
+#: is the error string for ``failed``, the schedule line for ``retry``, the
+#: downgrade description for ``degraded``, and ``None`` otherwise.
 ProgressCallback = Callable[[str, ExperimentJob, Optional[str]], None]
 
 #: ``on_outcome(job, outcome)`` invoked (on the caller's thread) as soon as
-#: each job's outcome is known — the hook :func:`run_jobs` uses to persist
-#: results incrementally, so an interrupted run keeps what it computed.
+#: each job's *final* outcome is known — the hook :func:`run_jobs` uses to
+#: persist results incrementally, so an interrupted run keeps what it
+#: computed.  Intermediate failed attempts that will be retried are not
+#: delivered here (they surface as ``retry`` progress events instead).
 OutcomeCallback = Callable[[ExperimentJob, "JobOutcome"], None]
 
 
@@ -55,27 +81,222 @@ def execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     module-level (picklable by reference) and must take/return only plain
     JSON-safe dicts so a spawn-started interpreter can execute it without
     any parent state.
+
+    A ``"__chaos__"`` envelope (attached by
+    :class:`~repro.exec.chaos.ChaosExecutor`, never part of the job's
+    content key) is interpreted here, *inside the worker*, so injected
+    crashes really kill the worker process the job runs in.
     """
     from repro.experiments.runner import run_job
 
+    payload = dict(payload)
+    chaos = payload.pop("__chaos__", None)
+    if chaos is not None:
+        from repro.exec.chaos import apply_chaos_before
+
+        apply_chaos_before(chaos)
     job = ExperimentJob.from_dict(payload)
-    return run_job(job).to_dict()
+    result = run_job(job).to_dict()
+    if chaos is not None:
+        from repro.exec.chaos import apply_chaos_after
+
+        result = apply_chaos_after(chaos, result)
+    return result
 
 
 @dataclass
 class JobFailure:
-    """One job that raised instead of returning a result."""
+    """One job that raised (or crashed, or timed out) instead of returning.
+
+    Structured for post-mortems: the exception class name drives retry
+    classification (see :class:`~repro.exec.retry.RetryPolicy`), ``attempts``
+    counts every try the backend made for this job, and ``elapsed_s`` is the
+    wall clock of the final attempt.
+    """
 
     job: ExperimentJob
     error: str
     traceback: str = ""
+    exc_type: str = ""
+    attempts: int = 1
+    elapsed_s: float = 0.0
 
     def __str__(self) -> str:
-        return f"{self.job.label()}: {self.error}"
+        suffix = f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
+        return f"{self.job.label()}: {self.error}{suffix}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; :meth:`from_dict` round-trips losslessly."""
+        return {
+            "job": self.job.to_dict(),
+            "error": self.error,
+            "traceback": self.traceback,
+            "exc_type": self.exc_type,
+            "attempts": int(self.attempts),
+            "elapsed_s": float(self.elapsed_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobFailure":
+        """Rebuild a failure from :meth:`to_dict` output."""
+        return cls(
+            job=ExperimentJob.from_dict(data["job"]),
+            error=str(data["error"]),
+            traceback=str(data.get("traceback", "")),
+            exc_type=str(data.get("exc_type", "")),
+            attempts=int(data.get("attempts", 1)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
 
 
 #: What a backend hands back per job: the result dict, or a failure.
 JobOutcome = Union[Dict[str, Any], JobFailure]
+
+
+class _BatchState:
+    """Shared attempt/retry bookkeeping for one ``execute`` call.
+
+    Owns the per-job attempt counters, the queue of indices ready to
+    (re)dispatch, the deterministic-backoff retry heap, and the final
+    outcome slots.  Every backend drives its scheduling loop through this
+    object so retry semantics (classification, backoff, progress events,
+    final-outcome delivery) are identical on serial, thread and process
+    paths.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[ExperimentJob],
+        policy: RetryPolicy,
+        progress: Optional[ProgressCallback],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> None:
+        self.jobs = list(jobs)
+        self.policy = policy
+        self.progress = progress
+        self.on_outcome = on_outcome
+        self.outcomes: List[Optional[JobOutcome]] = [None] * len(self.jobs)
+        self.attempts = [0] * len(self.jobs)
+        #: indices ready to be dispatched right now (initially: every job)
+        self.ready: deque = deque(range(len(self.jobs)))
+        #: ``(monotonic_due_time, index)`` of scheduled retries
+        self.retry_heap: List[Tuple[float, int]] = []
+        self._completed = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def finished(self) -> bool:
+        return self._completed == len(self.jobs)
+
+    def begin(self, index: int) -> int:
+        """Start the next attempt of job ``index``; returns the attempt number."""
+        self.attempts[index] += 1
+        if self.attempts[index] == 1:
+            Executor._emit(self.progress, "submitted", self.jobs[index])
+        return self.attempts[index]
+
+    def unbegin(self, index: int) -> None:
+        """Roll back :meth:`begin` for a dispatch that never reached a worker."""
+        self.attempts[index] -= 1
+        self.ready.append(index)
+
+    def succeed(self, index: int, payload: Dict[str, Any]) -> None:
+        """Record a returned result dict — after validating it hydrates.
+
+        A payload that cannot rebuild a
+        :class:`~repro.metrics.comparison.SchemeResult` (a worker returned
+        garbage — e.g. injected corruption, or a partially transferred
+        object) is converted into a retryable ``CorruptResultError`` failure
+        instead of poisoning the store.
+        """
+        try:
+            SchemeResult.from_dict(payload)
+        except Exception as exc:  # noqa: BLE001 - any hydration error is corruption
+            self.fail(
+                index,
+                error=f"corrupt result payload: {exc!r}",
+                exc_type="CorruptResultError",
+            )
+            return
+        job = self.jobs[index]
+        self.outcomes[index] = payload
+        self._completed += 1
+        Executor._emit(self.progress, "finished", job)
+        if self.on_outcome is not None:
+            self.on_outcome(job, payload)
+
+    def fail(
+        self,
+        index: int,
+        error: str,
+        exc_type: str,
+        tb: str = "",
+        elapsed_s: float = 0.0,
+    ) -> Optional[float]:
+        """Record a failed attempt; schedule a retry or finalise the failure.
+
+        Returns the backoff delay when a retry was scheduled, ``None`` when
+        the failure is final (non-retryable class, or attempts exhausted).
+        """
+        job = self.jobs[index]
+        attempt = self.attempts[index]
+        if self.policy.is_retryable(exc_type) and attempt < self.policy.max_attempts:
+            delay = self.policy.backoff_s(job.seed, job.key, attempt)
+            heapq.heappush(self.retry_heap, (time.monotonic() + delay, index))
+            Executor._emit(
+                self.progress,
+                "retry",
+                job,
+                f"attempt {attempt}/{self.policy.max_attempts} failed "
+                f"({exc_type or 'Exception'}: {error}); retrying in {delay:.3f}s",
+            )
+            return delay
+        failure = JobFailure(
+            job=job,
+            error=error,
+            traceback=tb,
+            exc_type=exc_type,
+            attempts=attempt,
+            elapsed_s=elapsed_s,
+        )
+        self.outcomes[index] = failure
+        self._completed += 1
+        Executor._emit(self.progress, "failed", job, failure.error)
+        if self.on_outcome is not None:
+            self.on_outcome(job, failure)
+        return None
+
+    def fail_exception(
+        self, index: int, exc: BaseException, elapsed_s: float = 0.0
+    ) -> Optional[float]:
+        """:meth:`fail` from a live exception (captures type and traceback)."""
+        return self.fail(
+            index,
+            error=repr(exc),
+            exc_type=type(exc).__name__,
+            tb=traceback.format_exc(),
+            elapsed_s=elapsed_s,
+        )
+
+    # -- retry scheduling --------------------------------------------------------------
+    def release_due_retries(self) -> None:
+        """Move every retry whose backoff has elapsed onto the ready queue."""
+        now = time.monotonic()
+        while self.retry_heap and self.retry_heap[0][0] <= now:
+            _, index = heapq.heappop(self.retry_heap)
+            self.ready.append(index)
+
+    def seconds_until_next_retry(self) -> Optional[float]:
+        """Time until the earliest scheduled retry is due (``None``: none)."""
+        if not self.retry_heap:
+            return None
+        return max(0.0, self.retry_heap[0][0] - time.monotonic())
+
+    def results(self) -> List[JobOutcome]:
+        """The final outcome list; every slot must be filled by now."""
+        # Every index ends in exactly one of succeed()/fail()-final, so a
+        # None here is a scheduler bug that must surface, not be filtered.
+        assert all(outcome is not None for outcome in self.outcomes)
+        return self.outcomes  # type: ignore[return-value]
 
 
 class Executor:
@@ -87,6 +308,13 @@ class Executor:
     """
 
     name = "base"
+    #: whether this backend can *enforce* ``policy.timeout_s`` by preempting
+    #: a running job (only preemptible backends — the process pool — can)
+    supports_timeout = False
+    #: optional hook rewriting each job's payload dict per attempt; used by
+    #: the chaos wrapper to attach its injection envelope.  Runs in the
+    #: caller's process — only its *output* crosses to workers.
+    payload_transform: Optional[Callable[[Dict[str, Any], int], Dict[str, Any]]] = None
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
@@ -103,15 +331,25 @@ class Executor:
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback] = None,
         on_outcome: Optional[OutcomeCallback] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         """Run every job; one outcome per job, in input order.
 
-        ``on_outcome`` is invoked on the caller's thread as each job's
+        ``on_outcome`` is invoked on the caller's thread as each job's final
         outcome becomes known (completion order, not input order), before
         the method returns — backends must call it so callers can persist
         partial progress even when the batch is interrupted later.
+        ``policy`` governs retries and timeouts (``None``: one attempt).
         """
         raise NotImplementedError
+
+    def fallback_backend(self) -> Optional["Executor"]:
+        """The next-simpler backend :func:`run_jobs` degrades to, if any.
+
+        The built-in chain is ``process → thread → serial → (none)``; the
+        chaos wrapper degrades to its inner backend (dropping injection).
+        """
+        return None
 
     # -- shared helpers ----------------------------------------------------------------
     @staticmethod
@@ -124,18 +362,12 @@ class Executor:
         if progress is not None:
             progress(event, job, detail)
 
-    @staticmethod
-    def _run_one(
-        job: ExperimentJob, progress: Optional[ProgressCallback]
-    ) -> JobOutcome:
-        try:
-            result = execute_job_payload(job.to_dict())
-        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-            failure = JobFailure(job=job, error=repr(exc), traceback=traceback.format_exc())
-            Executor._emit(progress, "failed", job, failure.error)
-            return failure
-        Executor._emit(progress, "finished", job)
-        return result
+    def _job_payload(self, job: ExperimentJob, attempt: int) -> Dict[str, Any]:
+        """The dict submitted for one attempt of ``job``."""
+        payload = job.to_dict()
+        if self.payload_transform is not None:
+            payload = self.payload_transform(payload, attempt)
+        return payload
 
     def _execute_on_pool(
         self,
@@ -143,44 +375,51 @@ class Executor:
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback],
         on_outcome: Optional[OutcomeCallback],
+        policy: RetryPolicy,
     ) -> List[JobOutcome]:
         """Fan jobs out on a ``concurrent.futures`` pool, in-order results.
 
-        Jobs are submitted as their plain dict payloads, so process pools
-        only ever pickle JSON-safe values plus a module-level function.
-        ``on_outcome`` fires here, in the caller's thread, as each future
-        completes.
+        Jobs are submitted as their plain dict payloads, so pools only ever
+        pickle JSON-safe values plus a module-level function.  ``on_outcome``
+        fires here, in the caller's thread, as each future completes.
+        Transient failures are resubmitted once their deterministic backoff
+        elapses; the wait loop wakes for whichever comes first — a completed
+        future or a due retry.
         """
-        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-        future_to_index = {}
-        for index, job in enumerate(jobs):
-            self._emit(progress, "submitted", job)
-            future = pool.submit(execute_job_payload, job.to_dict())
-            future_to_index[future] = index
-        pending = set(future_to_index)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        state = _BatchState(jobs, policy, progress, on_outcome)
+        future_to_index: Dict[Any, int] = {}
+        submitted_at: Dict[Any, float] = {}
+        while not state.finished():
+            state.release_due_retries()
+            while state.ready:
+                index = state.ready.popleft()
+                attempt = state.begin(index)
+                future = pool.submit(
+                    execute_job_payload, self._job_payload(jobs[index], attempt)
+                )
+                future_to_index[future] = index
+                submitted_at[future] = time.monotonic()
+            if not future_to_index:
+                delay = state.seconds_until_next_retry()
+                if delay is None:  # pragma: no cover - defensive
+                    break
+                time.sleep(delay)
+                continue
+            done, _ = wait(
+                set(future_to_index),
+                timeout=state.seconds_until_next_retry(),
+                return_when=FIRST_COMPLETED,
+            )
             for future in done:
-                index = future_to_index[future]
-                job = jobs[index]
+                index = future_to_index.pop(future)
+                elapsed = time.monotonic() - submitted_at.pop(future)
                 try:
-                    outcome: JobOutcome = future.result()
+                    payload = future.result()
                 except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-                    outcome = JobFailure(
-                        job=job, error=repr(exc), traceback=traceback.format_exc()
-                    )
-                    self._emit(progress, "failed", job, outcome.error)
+                    state.fail_exception(index, exc, elapsed_s=elapsed)
                 else:
-                    self._emit(progress, "finished", job)
-                outcomes[index] = outcome
-                if on_outcome is not None:
-                    on_outcome(job, outcome)
-        # Every future was indexed, so every slot is filled; returning the
-        # raw list keeps result→job alignment an invariant the caller can
-        # rely on (a None here would mean a bug, and should surface, not be
-        # silently filtered away).
-        assert all(outcome is not None for outcome in outcomes)
-        return outcomes  # type: ignore[return-value]
+                    state.succeed(index, payload)
+        return state.results()
 
 
 class SerialExecutor(Executor):
@@ -193,15 +432,26 @@ class SerialExecutor(Executor):
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback] = None,
         on_outcome: Optional[OutcomeCallback] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
-        outcomes: List[JobOutcome] = []
-        for job in jobs:
-            self._emit(progress, "submitted", job)
-            outcome = self._run_one(job, progress)
-            outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(job, outcome)
-        return outcomes
+        state = _BatchState(jobs, policy or NO_RETRY, progress, on_outcome)
+        for index, job in enumerate(jobs):
+            while state.outcomes[index] is None:
+                attempt = state.begin(index)
+                started = time.perf_counter()
+                try:
+                    payload = execute_job_payload(self._job_payload(job, attempt))
+                except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                    delay = state.fail_exception(
+                        index, exc, elapsed_s=time.perf_counter() - started
+                    )
+                    if delay is not None:
+                        time.sleep(delay)
+                        state.release_due_retries()
+                        state.ready.clear()  # serial re-runs in place, not via queue
+                else:
+                    state.succeed(index, payload)
+        return state.results()
 
 
 class ThreadExecutor(Executor):
@@ -214,41 +464,355 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
+    def fallback_backend(self) -> Optional[Executor]:
+        return SerialExecutor()
+
     def execute(
         self,
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback] = None,
         on_outcome: Optional[OutcomeCallback] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         if not jobs:
             return []
         with ThreadPoolExecutor(max_workers=self.effective_workers(len(jobs))) as pool:
-            return self._execute_on_pool(pool, jobs, progress, on_outcome)
+            return self._execute_on_pool(pool, jobs, progress, on_outcome, policy or NO_RETRY)
+
+
+# --------------------------------------------------------------------------------------
+# The crash-tolerant process pool
+# --------------------------------------------------------------------------------------
+
+
+def _process_worker_main(conn) -> None:
+    """Loop of one worker process: receive payloads, send back outcomes.
+
+    Protocol (all messages are plain picklable tuples over the pipe):
+
+    * parent → worker: ``(task_id, payload_dict)`` or ``None`` (shut down);
+    * worker → parent: ``("started", task_id)`` the moment work begins —
+      the parent starts the job's timeout clock on this, so worker spawn
+      and import time never count against the job — then
+      ``("done", task_id, ok, payload)`` with the result dict (``ok``) or a
+      ``{error, exc_type, traceback}`` dict (``not ok``).
+
+    Must stay module-level: spawn pickles it by reference and the child
+    imports this module fresh.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_id, payload = message
+        try:
+            conn.send(("started", task_id))
+            result = execute_job_payload(payload)
+        except BaseException as exc:  # noqa: BLE001 - serialised for the parent
+            try:
+                conn.send(
+                    (
+                        "done",
+                        task_id,
+                        False,
+                        {
+                            "error": repr(exc),
+                            "exc_type": type(exc).__name__,
+                            "traceback": traceback.format_exc(),
+                        },
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                return
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                return
+        else:
+            try:
+                conn.send(("done", task_id, True, result))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _InFlight:
+    """What one busy worker is doing: job index, attempt, timing."""
+
+    __slots__ = ("index", "attempt", "sent_at", "started_at", "deadline")
+
+    def __init__(self, index: int, attempt: int) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.sent_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.deadline: Optional[float] = None
+
+
+class _PoolWorker:
+    """One spawn-started worker process plus its parent-side pipe."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_process_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_InFlight] = None
+        self.doomed = False  # terminated on purpose; never dispatch to it again
+
+    def dispatch(self, index: int, attempt: int, payload: Dict[str, Any]) -> bool:
+        """Send one job; ``False`` when the pipe is already broken."""
+        try:
+            self.conn.send((index, payload))
+        except (BrokenPipeError, OSError):
+            return False
+        self.task = _InFlight(index, attempt)
+        return True
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Stop the worker; escalates politely (message → terminate → kill)."""
+        if not kill:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
 
 
 class ProcessExecutor(Executor):
-    """Run jobs on a spawn-started process pool.
+    """Run jobs on a self-managed, crash-tolerant spawn process pool.
 
     Spawn (not fork) is used on every platform: workers import the package
     fresh and receive the job as a plain dict, so no live simulator state —
     and none of the parent's global counters — ever crosses the boundary.
+
+    Unlike ``concurrent.futures.ProcessPoolExecutor`` (whose pool breaks for
+    good when any worker dies), this pool tracks which job each worker is
+    running, so a killed/OOMed worker is *recovered from*: the dead worker
+    is reaped, its in-flight job is rescheduled (a retryable
+    ``WorkerCrashError``), and a replacement is spawned.  With
+    ``policy.timeout_s`` set, a job that overruns its budget gets its worker
+    killed the same way (hung-worker detection) instead of stalling the
+    batch forever.  After ``max_respawns`` replacements the pool declares
+    itself degraded (:class:`~repro.exec.retry.ExecutorDegradedError`) so
+    :func:`run_jobs` can fall back to a simpler backend.
     """
 
     name = "process"
+    supports_timeout = True
+
+    def __init__(
+        self, max_workers: Optional[int] = None, max_respawns: Optional[int] = None
+    ) -> None:
+        super().__init__(max_workers)
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.max_respawns = max_respawns
+
+    def fallback_backend(self) -> Optional[Executor]:
+        return ThreadExecutor(max_workers=self.max_workers)
 
     def execute(
         self,
         jobs: Sequence[ExperimentJob],
         progress: Optional[ProgressCallback] = None,
         on_outcome: Optional[OutcomeCallback] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         if not jobs:
             return []
+        policy = policy or NO_RETRY
+        state = _BatchState(jobs, policy, progress, on_outcome)
         context = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=self.effective_workers(len(jobs)), mp_context=context
-        ) as pool:
-            return self._execute_on_pool(pool, jobs, progress, on_outcome)
+        n_workers = self.effective_workers(len(jobs))
+        respawn_budget = (
+            self.max_respawns
+            if self.max_respawns is not None
+            else max(4, 2 * len(jobs))
+        )
+        workers: List[_PoolWorker] = []
+        spawn_count = {"total": 0}
+        try:
+            while not state.finished():
+                state.release_due_retries()
+                self._reap_and_respawn(
+                    workers, context, n_workers, state, spawn_count, respawn_budget
+                )
+                self._dispatch_ready(workers, state)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    delay = state.seconds_until_next_retry()
+                    if delay is None:
+                        if state.ready:
+                            continue  # dispatch failed; reap loop will respawn
+                        break  # pragma: no cover - defensive
+                    time.sleep(delay)
+                    continue
+                self._wait_and_collect(busy, state)
+            return state.results()
+        finally:
+            for worker in workers:
+                worker.shutdown(kill=worker.task is not None)
+
+    # -- scheduler pieces --------------------------------------------------------------
+    def _reap_and_respawn(
+        self,
+        workers: List[_PoolWorker],
+        context,
+        n_workers: int,
+        state: _BatchState,
+        spawn_count: Dict[str, int],
+        respawn_budget: int,
+    ) -> None:
+        """Remove dead workers (failing their jobs) and top the pool back up."""
+        for worker in list(workers):
+            if worker.doomed:
+                # Terminated for a timeout: its signal may not have landed
+                # yet, and dispatching to a dying worker would turn the next
+                # attempt into a spurious WorkerCrashError.  Retire it now.
+                workers.remove(worker)
+                worker.shutdown(kill=True)
+                continue
+            if worker.alive():
+                continue
+            self._drain(worker, state)  # a finished result may still be buffered
+            if worker.task is not None:
+                self._crash(worker, state)
+            workers.remove(worker)
+            worker.shutdown(kill=True)
+        outstanding = (
+            len(state.ready)
+            + len(state.retry_heap)
+            + sum(1 for w in workers if w.task is not None)
+        )
+        want = min(n_workers, outstanding)
+        while len(workers) < want:
+            # Everything beyond the initial pool size is a *replacement* —
+            # a worker respawned after a crash, kill or timeout.
+            replacements = max(0, spawn_count["total"] + 1 - n_workers)
+            if replacements > respawn_budget:
+                raise ExecutorDegradedError(
+                    f"process pool exceeded its respawn budget "
+                    f"({respawn_budget} replacement workers after crashes/timeouts); "
+                    f"giving up on the process backend"
+                )
+            workers.append(_PoolWorker(context))
+            spawn_count["total"] += 1
+
+    def _dispatch_ready(self, workers: List[_PoolWorker], state: _BatchState) -> None:
+        for worker in workers:
+            if worker.task is not None or worker.doomed or not state.ready:
+                continue
+            index = state.ready.popleft()
+            attempt = state.begin(index)
+            payload = self._job_payload(state.jobs[index], attempt)
+            if not worker.dispatch(index, attempt, payload):
+                # The pipe broke before the job left: roll the attempt back;
+                # the next reap pass retires this worker and respawns.
+                state.unbegin(index)
+
+    def _wait_and_collect(self, busy: List[_PoolWorker], state: _BatchState) -> None:
+        from multiprocessing import connection
+
+        timeout = state.seconds_until_next_retry()
+        now = time.monotonic()
+        for worker in busy:
+            task = worker.task
+            if task is not None and task.deadline is not None:
+                until = max(0.0, task.deadline - now)
+                timeout = until if timeout is None else min(timeout, until)
+        handles = [w.conn for w in busy] + [w.process.sentinel for w in busy]
+        connection.wait(handles, timeout=timeout)
+        now = time.monotonic()
+        for worker in busy:
+            crashed = not self._drain(worker, state)
+            task = worker.task
+            if task is None:
+                continue
+            if crashed or not worker.alive():
+                self._crash(worker, state)
+            elif task.deadline is not None and now >= task.deadline:
+                self._timeout(worker, state)
+
+    def _drain(self, worker: _PoolWorker, state: _BatchState) -> bool:
+        """Consume every buffered message; ``False`` when the pipe is dead."""
+        try:
+            while worker.conn.poll():
+                message = worker.conn.recv()
+                kind = message[0]
+                task = worker.task
+                if kind == "started":
+                    _, task_id = message
+                    if task is not None and task.index == task_id:
+                        task.started_at = time.monotonic()
+                        if state.policy.timeout_s is not None:
+                            task.deadline = task.started_at + state.policy.timeout_s
+                    continue
+                _, task_id, ok, payload = message
+                if task is None or task.index != task_id:
+                    continue  # stale reply from a pre-timeout attempt
+                elapsed = time.monotonic() - (task.started_at or task.sent_at)
+                worker.task = None
+                if ok:
+                    state.succeed(task.index, payload)
+                else:
+                    state.fail(
+                        task.index,
+                        error=str(payload["error"]),
+                        exc_type=str(payload.get("exc_type", "")),
+                        tb=str(payload.get("traceback", "")),
+                        elapsed_s=elapsed,
+                    )
+        except (EOFError, OSError):
+            return False
+        return True
+
+    def _crash(self, worker: _PoolWorker, state: _BatchState) -> None:
+        """A worker died with a job in flight: reschedule the job."""
+        task = worker.task
+        assert task is not None
+        worker.task = None
+        exitcode = worker.process.exitcode
+        state.fail(
+            task.index,
+            error=(
+                f"worker process died while running the job "
+                f"(exit code {exitcode})"
+            ),
+            exc_type="WorkerCrashError",
+            elapsed_s=time.monotonic() - (task.started_at or task.sent_at),
+        )
+
+    def _timeout(self, worker: _PoolWorker, state: _BatchState) -> None:
+        """A job overran ``policy.timeout_s``: kill its (hung) worker."""
+        task = worker.task
+        assert task is not None
+        worker.task = None
+        worker.doomed = True
+        worker.process.terminate()
+        state.fail(
+            task.index,
+            error=(
+                f"job exceeded its {state.policy.timeout_s:g}s wall-clock budget; "
+                f"worker killed"
+            ),
+            exc_type="JobTimeoutError",
+            elapsed_s=time.monotonic() - (task.started_at or task.sent_at),
+        )
 
 
 EXECUTORS.register(
@@ -266,7 +830,8 @@ EXECUTORS.register(
     "process",
     ProcessExecutor,
     aliases=("processes", "multiprocessing"),
-    description="spawn-started process pool; jobs cross as JSON payloads",
+    description="crash-tolerant spawn process pool; recovers killed workers, "
+    "enforces per-job timeouts",
 )
 
 
@@ -282,7 +847,7 @@ class ExecutionError(RuntimeError):
 
 @dataclass
 class ExecutionReport:
-    """Everything :func:`run_jobs` did: results, cache hits, failures."""
+    """Everything :func:`run_jobs` did: results, cache hits, failures, retries."""
 
     jobs: List[ExperimentJob]
     results: Dict[str, SchemeResult]
@@ -291,6 +856,10 @@ class ExecutionReport:
     failures: List[JobFailure] = field(default_factory=list)
     executor: str = "serial"
     wall_clock_s: float = 0.0
+    #: total retry attempts scheduled beyond each job's first try
+    retried: int = 0
+    #: one ``{"from", "to", "error", "jobs"}`` record per backend downgrade
+    fallbacks: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def computed(self) -> int:
@@ -315,6 +884,8 @@ class ExecutionReport:
             "computed": self.computed,
             "cached": self.cached,
             "failed": len(self.failures),
+            "retried": self.retried,
+            "fallbacks": len(self.fallbacks),
             "wall_clock_s": self.wall_clock_s,
         }
 
@@ -324,6 +895,9 @@ def resolve_executor(
 ) -> Executor:
     """An :class:`Executor` instance from a registry key (or pass through).
 
+    ``"<wrapper>:<inner>"`` keys resolve the wrapper entry and pass the
+    inner key through (``"chaos:process"`` builds a
+    :class:`~repro.exec.chaos.ChaosExecutor` around the process backend).
     A passed-in instance is treated as read-only: a ``max_workers`` override
     applies to a shallow copy, never to the caller's object.
     """
@@ -334,7 +908,19 @@ def resolve_executor(
             executor = copy.copy(executor)
             executor.max_workers = max_workers
         return executor
-    built = EXECUTORS.build(executor, max_workers=max_workers)
+    key = str(executor)
+    if ":" in key:
+        wrapper, _, inner = key.partition(":")
+        entry = EXECUTORS.get(wrapper)
+        try:
+            built = entry.builder(inner=inner, max_workers=max_workers)
+        except TypeError as exc:
+            raise RegistryError(
+                f"executor {entry.name!r} does not wrap an inner backend, so "
+                f"{key!r} is invalid ({exc})"
+            ) from exc
+    else:
+        built = EXECUTORS.build(key, max_workers=max_workers)
     if not isinstance(built, Executor):
         raise RegistryError(
             f"executor {executor!r} built {type(built).__name__}, "
@@ -350,8 +936,11 @@ def run_jobs(
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
     raise_on_error: bool = True,
+    policy: Optional[RetryPolicy] = None,
+    fallback: bool = True,
+    store_fsync: Optional[bool] = None,
 ) -> ExecutionReport:
-    """Run a job list on a backend, with optional caching/resume.
+    """Run a job list on a backend, with caching, retries and degradation.
 
     Parameters
     ----------
@@ -359,23 +948,57 @@ def run_jobs(
         The planned jobs (see :mod:`repro.exec.planner`).  Jobs sharing a
         content key are computed once.
     executor:
-        Registry key (``serial``, ``thread``, ``process``) or an
-        :class:`Executor` instance.
+        Registry key (``serial``, ``thread``, ``process``,
+        ``chaos:<inner>``) or an :class:`Executor` instance.
     max_workers:
         Worker count for pooled backends.
     store:
         A :class:`~repro.exec.store.ResultStore` (or its path).  Jobs whose
         key is already present are *not* re-run; newly computed results are
-        appended as they finish, so an interrupted run resumes cleanly.
+        appended as they finish (incremental checkpointing), so an
+        interrupted run resumes with zero recomputation.
     progress:
         Optional ``(event, job, detail)`` callback.
     raise_on_error:
         Raise :class:`ExecutionError` after the run if any job failed
         (results of successful jobs are still stored first).
+    policy:
+        A :class:`~repro.exec.retry.RetryPolicy` governing per-job retries
+        with deterministic backoff and the per-job timeout.  ``None``: one
+        attempt, no timeout (the historical behaviour).
+    fallback:
+        When the backend fails at the *batch* level (cannot spawn workers,
+        pool degraded beyond its respawn budget, an unexpected scheduler
+        error), degrade along ``process → thread → serial`` and re-run only
+        the jobs without a finished outcome.  Each downgrade is recorded in
+        ``report.fallbacks`` and emitted as a ``degraded`` progress event.
+        With ``fallback=False`` the backend's exception propagates.
+    store_fsync:
+        When ``store`` is given as a path, open it with
+        ``fsync``-per-append durability (see
+        :meth:`~repro.exec.store.ResultStore.put`).  Ignored for
+        already-constructed stores (configure those directly).
     """
     jobs = list(jobs)
     backend = resolve_executor(executor, max_workers=max_workers)
-    result_store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
+    if isinstance(store, (str, os.PathLike)):
+        result_store: Optional[ResultStore] = ResultStore(
+            store, fsync=bool(store_fsync)
+        )
+    else:
+        result_store = store
+
+    if (
+        policy is not None
+        and policy.timeout_s is not None
+        and not backend.supports_timeout
+    ):
+        warnings.warn(
+            f"executor {backend.name!r} cannot preempt running jobs; "
+            f"timeout_s={policy.timeout_s:g} will not be enforced "
+            f"(use the process backend for hard timeouts)",
+            stacklevel=2,
+        )
 
     report = ExecutionReport(jobs=jobs, results={}, executor=backend.name)
     started = time.perf_counter()
@@ -397,10 +1020,21 @@ def run_jobs(
         seen.add(key)
         to_run.append(job)
 
+    retry_counts: Dict[str, int] = {}
+    backend_cell = {"name": backend.name}
+
+    def wrapped_progress(event: str, job: ExperimentJob, detail: Optional[str]) -> None:
+        if event == "retry":
+            retry_counts[job.key] = retry_counts.get(job.key, 0) + 1
+            report.retried += 1
+        if progress is not None:
+            progress(event, job, detail)
+
     def record_outcome(job: ExperimentJob, outcome: JobOutcome) -> None:
         # Invoked as each job finishes (completion order): results reach the
-        # store immediately, so an interrupted batch keeps everything it
-        # computed and the restarted run resumes from there.
+        # store immediately — the incremental checkpoint that lets an
+        # interrupted batch keep everything it computed and a restarted run
+        # resume from there with zero recomputation.
         if isinstance(outcome, JobFailure):
             report.failures.append(outcome)
             return
@@ -409,10 +1043,61 @@ def run_jobs(
         report.results[key] = result
         report.computed_keys.append(key)
         if result_store is not None:
-            result_store.put(job, result, meta={"executor": backend.name})
+            result_store.put(
+                job,
+                result,
+                meta={
+                    "executor": backend_cell["name"],
+                    "attempts": retry_counts.get(key, 0) + 1,
+                },
+            )
 
-    if to_run:
-        backend.execute(to_run, progress=progress, on_outcome=record_outcome)
+    current = backend
+    remaining = to_run
+    while remaining:
+        try:
+            current.execute(
+                remaining,
+                progress=wrapped_progress,
+                on_outcome=record_outcome,
+                policy=policy,
+            )
+            break
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 - backend-level failure
+            # Everything with a *successful* result was checkpointed via
+            # on_outcome; re-run the rest (including jobs that finally
+            # failed on the broken backend — their failures may well have
+            # been the backend's fault).
+            remaining = [job for job in remaining if job.key not in report.results]
+            rerun_keys = {job.key for job in remaining}
+            next_backend = current.fallback_backend() if fallback else None
+            if next_backend is None or not remaining:
+                if remaining:
+                    raise
+                break
+            report.failures = [
+                f for f in report.failures if f.job.key not in rerun_keys
+            ]
+            report.fallbacks.append(
+                {
+                    "from": current.name,
+                    "to": next_backend.name,
+                    "error": repr(exc),
+                    "jobs": len(remaining),
+                }
+            )
+            Executor._emit(
+                wrapped_progress,
+                "degraded",
+                remaining[0],
+                f"backend {current.name!r} failed ({exc!r}); "
+                f"falling back to {next_backend.name!r} for "
+                f"{len(remaining)} unfinished job(s)",
+            )
+            current = next_backend
+            backend_cell["name"] = current.name
 
     report.wall_clock_s = time.perf_counter() - started
     if report.failures and raise_on_error:

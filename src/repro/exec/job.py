@@ -186,12 +186,24 @@ class ExperimentJob:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentJob":
-        """Rebuild a job from :meth:`to_dict` output."""
+        """Rebuild a job from :meth:`to_dict` output.
+
+        Dunder-prefixed keys — both top-level payload envelopes (the
+        executors' ``"__chaos__"`` injection channel) and ``"__..."`` tags —
+        are runtime-only transport, never part of the job's identity, and
+        are dropped here so a payload that carried one hydrates back to the
+        exact job (same content key) it was serialised from.
+        """
+        tags = {
+            name: value
+            for name, value in dict(data.get("tags", {})).items()
+            if not str(name).startswith("__")
+        }
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             scheme=data["scheme"],
             seed=data.get("seed"),
-            tags=dict(data.get("tags", {})),
+            tags=tags,
         )
 
     def to_json(self) -> str:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exec.executors import Executor, ProgressCallback, run_jobs
 from repro.exec.planner import SchemeLike, plan_replications, replicate_seed
+from repro.exec.retry import RetryPolicy
 from repro.exec.store import ResultStore, ResultStoreError, StoredEntry
 from repro.experiments.spec import as_spec
 from repro.metrics.replication import ReplicatedComparison, ReplicatedResult
@@ -35,13 +36,17 @@ def run_replications(
     max_workers: Optional[int] = None,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
+    policy: Optional[RetryPolicy] = None,
+    fallback: bool = True,
+    store_fsync: Optional[bool] = None,
 ) -> List[ReplicatedResult]:
     """Run an N-seed ensemble of every scheme; one ensemble per scheme.
 
     Returns the ensembles in ``schemes`` order, each with its replicates in
     replicate order (replicate 0 under the scenario's own seed).  Jobs go
     through :func:`~repro.exec.executors.run_jobs`, so already-stored
-    replicates are never recomputed.
+    replicates are never recomputed; ``policy``/``fallback``/``store_fsync``
+    pass through to it (retries, graceful degradation, durable appends).
     """
     spec = as_spec(scenario)
     jobs = plan_replications(spec, schemes=schemes, seeds=seeds, ensemble=ensemble)
@@ -51,6 +56,9 @@ def run_replications(
         max_workers=max_workers,
         store=store,
         progress=progress,
+        policy=policy,
+        fallback=fallback,
+        store_fsync=store_fsync,
     )
     ensembles: List[ReplicatedResult] = []
     n_schemes = len(list(schemes))
@@ -77,6 +85,9 @@ def run_replicated_comparison(
     max_workers: Optional[int] = None,
     store: Optional[Union[str, ResultStore]] = None,
     progress: Optional[ProgressCallback] = None,
+    policy: Optional[RetryPolicy] = None,
+    fallback: bool = True,
+    store_fsync: Optional[bool] = None,
 ) -> ReplicatedComparison:
     """Candidate vs baseline across N replicate seeds, with CIs.
 
@@ -94,6 +105,9 @@ def run_replicated_comparison(
         max_workers=max_workers,
         store=store,
         progress=progress,
+        policy=policy,
+        fallback=fallback,
+        store_fsync=store_fsync,
     )
     return ReplicatedComparison(
         scenario=spec.name, candidate=candidate_rep, baseline=baseline_rep

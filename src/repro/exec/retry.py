@@ -1,0 +1,209 @@
+"""Retry policies: bounded attempts, deterministic backoff, failure classes.
+
+The executor layer re-runs transiently failed jobs (worker crashes, injected
+chaos, corrupt result payloads, timeouts) under a :class:`RetryPolicy`.  Two
+properties make retries safe here where they would be reckless elsewhere:
+
+* **Idempotence** — jobs are content-addressed pure values
+  (:class:`~repro.exec.job.ExperimentJob`) and ``run_job`` rebuilds the whole
+  simulator stack from the job alone, so attempt N computes exactly the bytes
+  attempt 1 would have; retrying can never change a successful result.
+* **Determinism** — the backoff schedule is *derived*, not drawn from global
+  randomness: the jitter for attempt ``a`` of a job comes from
+  ``derive_seed(job.seed, "retry", job.key, str(a))``, so the same job under
+  the same policy sleeps the same schedule on every machine, backend and
+  interpreter restart — scheduling noise never becomes a hidden source of
+  nondeterminism, and tests can pin exact schedules.
+
+Classification is by exception *class name* (failures cross process
+boundaries as strings): infrastructure failures (worker crashes, timeouts,
+chaos injections, OS-level errors) are retryable, while deterministic errors
+(bad registry keys, invalid parameters) are not — re-running those would
+fail identically and only waste the attempt budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.random import derive_seed
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its per-job wall-clock budget and was killed."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (killed, OOMed, crashed) while running a job."""
+
+
+class CorruptResultError(RuntimeError):
+    """A worker returned a result payload that does not hydrate."""
+
+
+class ExecutorDegradedError(RuntimeError):
+    """A backend gave up on itself (e.g. too many worker respawns).
+
+    Raised *after* every already-finished outcome has been delivered through
+    ``on_outcome``, so :func:`~repro.exec.executors.run_jobs` can catch it,
+    fall back to a simpler backend and re-run only the unfinished jobs.
+    """
+
+
+#: Exception class names treated as transient (hence retryable) by default.
+#: Everything else — ``RegistryError``, ``ValueError``, a scheme that cannot
+#: build — is deterministic: retrying would fail identically.
+DEFAULT_RETRYABLE: Tuple[str, ...] = (
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "CorruptResultError",
+    "ChaosError",
+    "ChaosCrashError",
+    "BrokenProcessPool",
+    "BrokenPipeError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "EOFError",
+    "InterruptedError",
+    "MemoryError",
+    "OSError",
+    "TimeoutError",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed jobs are re-attempted.
+
+    The default policy is the historical behaviour: one attempt, no timeout.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per job, including the first (``1`` = never retry).
+    timeout_s:
+        Per-job wall-clock budget.  Enforced by preemptible backends (the
+        process pool kills and replaces the hung worker); advisory elsewhere
+        — ``run_jobs`` warns when a non-enforcing backend gets a timeout.
+    base_delay_s / backoff_factor / max_delay_s:
+        Exponential backoff: the nominal delay before attempt ``a + 1`` is
+        ``base_delay_s * backoff_factor**(a - 1)``, capped at ``max_delay_s``.
+    jitter_fraction:
+        Each delay is scaled by a factor drawn uniformly from
+        ``[1 - jitter, 1 + jitter]`` — deterministically per
+        ``(job.seed, job.key, attempt)``, see :meth:`backoff_s`.
+    retryable:
+        Exception class names classified as transient.  ``("*",)`` retries
+        everything.
+    """
+
+    max_attempts: int = 1
+    timeout_s: Optional[float] = None
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_fraction: float = 0.25
+    retryable: Tuple[str, ...] = field(default=DEFAULT_RETRYABLE)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.base_delay_s < 0:
+            raise ValueError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {self.max_delay_s}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+        object.__setattr__(self, "retryable", tuple(self.retryable))
+
+    # -- classification ----------------------------------------------------------------
+    def is_retryable(self, exc_type: str) -> bool:
+        """Whether a failure of exception class ``exc_type`` is transient."""
+        return "*" in self.retryable or exc_type in self.retryable
+
+    # -- deterministic backoff ---------------------------------------------------------
+    def backoff_s(self, job_seed: int, job_key: str, attempt: int) -> float:
+        """The delay before re-running a job whose attempt ``attempt`` failed.
+
+        Pure function of ``(policy, job_seed, job_key, attempt)``: the jitter
+        multiplier comes from a generator seeded with
+        ``derive_seed(job_seed, "retry", job_key, str(attempt))``, so the
+        schedule is identical across backends, processes and platforms —
+        same seed, same backoff schedule, always.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        nominal = min(
+            self.base_delay_s * self.backoff_factor ** (attempt - 1), self.max_delay_s
+        )
+        if nominal <= 0.0 or self.jitter_fraction == 0.0:
+            return float(nominal)
+        rng = np.random.default_rng(
+            derive_seed(int(job_seed), "retry", job_key, str(attempt))
+        )
+        scale = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return float(nominal * scale)
+
+    def schedule(self, job_seed: int, job_key: str) -> List[float]:
+        """The full backoff schedule of a job: one delay per possible retry."""
+        return [
+            self.backoff_s(job_seed, job_key, attempt)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+    # -- serialisation -----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-safe dict; :meth:`from_dict` round-trips losslessly."""
+        return {
+            "max_attempts": int(self.max_attempts),
+            "timeout_s": None if self.timeout_s is None else float(self.timeout_s),
+            "base_delay_s": float(self.base_delay_s),
+            "backoff_factor": float(self.backoff_factor),
+            "max_delay_s": float(self.max_delay_s),
+            "jitter_fraction": float(self.jitter_fraction),
+            "retryable": list(self.retryable),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        payload = dict(data)
+        if "retryable" in payload:
+            payload["retryable"] = tuple(payload["retryable"])
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """A one-line human-readable summary for progress/log lines."""
+        parts = [f"attempts={self.max_attempts}"]
+        if self.timeout_s is not None:
+            parts.append(f"timeout={self.timeout_s:g}s")
+        if self.max_attempts > 1:
+            parts.append(
+                f"backoff={self.base_delay_s:g}s×{self.backoff_factor:g}"
+                f"≤{self.max_delay_s:g}s±{self.jitter_fraction:.0%}"
+            )
+        return ", ".join(parts)
+
+
+#: The do-nothing policy: one attempt, no timeout (historical behaviour).
+NO_RETRY = RetryPolicy()
+
+
+__all__ = [
+    "CorruptResultError",
+    "DEFAULT_RETRYABLE",
+    "ExecutorDegradedError",
+    "JobTimeoutError",
+    "NO_RETRY",
+    "RetryPolicy",
+    "WorkerCrashError",
+]

@@ -86,10 +86,17 @@ class ResultStore:
     path:
         The JSONL file.  Created (with parents) on first write; a missing
         file reads as an empty store.
+    fsync:
+        Default durability of :meth:`put`: when true, every append is
+        ``os.fsync`` ed before returning, so a checkpointed result survives
+        not just a process crash but a machine crash.  Off by default — the
+        syscall costs more than most jobs' serialisation — and overridable
+        per call.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
         self._index: Dict[str, Dict[str, Any]] = {}
         self._loaded = False
         #: hydrated, sorted entries — rebuilding dataclasses from every line
@@ -291,6 +298,7 @@ class ResultStore:
         job: ExperimentJob,
         result: SchemeResult,
         meta: Optional[Mapping[str, Any]] = None,
+        fsync: Optional[bool] = None,
     ) -> str:
         """Append one computed result; returns the job key.
 
@@ -299,14 +307,32 @@ class ResultStore:
         store never interleave *within* each other's lines.  The remaining
         failure mode — a single write cut short by ``ENOSPC`` or a kill —
         leaves a truncated *final* line, which the loader drops and
-        recomputes (see :meth:`_ensure_loaded`).
+        recomputes (see :meth:`_ensure_loaded`).  With ``fsync`` (per call,
+        defaulting to the store's constructor setting) the append is flushed
+        to stable storage before returning.
+
+        Re-putting a key that is already stored is allowed only when the
+        canonical result is identical (a restarted run recomputing a line it
+        already has).  A *different* result for the same content key means
+        something that must never happen — the same job computed different
+        numbers — so it raises :class:`ResultStoreError` instead of silently
+        letting last-write-wins mask the nondeterminism.
         """
         self._ensure_loaded()
         key = job.key
+        canonical = result.canonical_dict()
+        existing = self._index.get(key)
+        if existing is not None and existing["result"] != canonical:
+            raise ResultStoreError(
+                f"refusing to overwrite key {key[:12]}… ({job.label()}): the new "
+                f"result differs from the stored one — the job is supposed to be "
+                f"deterministic, so this indicates nondeterminism or store reuse "
+                f"across incompatible code versions"
+            )
         entry = {
             "key": key,
             "job": job.to_dict(),
-            "result": result.canonical_dict(),
+            "result": canonical,
             "meta": dict(meta or {}),
         }
         entry["meta"].setdefault("wall_clock_s", float(result.wall_clock_s))
@@ -314,6 +340,8 @@ class ResultStore:
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         with self.path.open("ab", buffering=0) as fh:
             fh.write((line + "\n").encode("utf-8"))
+            if self.fsync if fsync is None else fsync:
+                os.fsync(fh.fileno())
         self._index[key] = entry
         self._entries_cache = None
         return key

@@ -494,6 +494,9 @@ def generate_figure(
     executor="serial",
     max_workers: Optional[int] = None,
     store=None,
+    policy=None,
+    fallback: bool = True,
+    store_fsync: Optional[bool] = None,
 ) -> FigureData:
     """One figure, optionally as an N-seed ensemble with error bands.
 
@@ -515,7 +518,7 @@ def generate_figure(
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
     generator = FIGURE_GENERATORS[figure_id]
-    if seeds == 1 and store is None and executor == "serial":
+    if seeds == 1 and store is None and executor == "serial" and policy is None:
         return generator(config=config)
     # Lazy import: repro.exec builds on the experiments layer.
     from repro.exec.replication import run_replicated_comparison
@@ -527,5 +530,8 @@ def generate_figure(
         executor=executor,
         max_workers=max_workers,
         store=store,
+        policy=policy,
+        fallback=fallback,
+        store_fsync=store_fsync,
     )
     return generator(ensemble=ensemble)

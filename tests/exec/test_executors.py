@@ -156,6 +156,20 @@ class TestRunJobs:
         assert summary["jobs"] == 2
         assert summary["computed"] == 2
         assert summary["failed"] == 0
+        assert summary["retried"] == 0
+        assert summary["fallbacks"] == 0
+
+    def test_failures_carry_structured_fields(self):
+        bad = ExperimentJob(
+            spec=ScenarioSpec.pareto_poisson(sim_time_s=1.0).with_topology("moebius"),
+            scheme="scda",
+        )
+        report = run_jobs([bad], executor="serial", raise_on_error=False)
+        failure = report.failures[0]
+        assert failure.exc_type == "RegistryError"
+        assert failure.attempts == 1
+        assert failure.elapsed_s > 0.0
+        assert JobFailure.from_dict(failure.to_dict()).to_dict() == failure.to_dict()
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):

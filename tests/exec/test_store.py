@@ -80,11 +80,13 @@ class TestResultStore:
         assert set(by_key) == {job.key}
         assert "meta" not in by_key[job.key]
 
-    def test_duplicate_keys_last_write_wins_and_compact_dedupes(self, tmp_path):
+    def test_identical_reput_appends_and_compact_dedupes(self, tmp_path):
+        # A restarted run recomputing a job it already stored appends an
+        # identical line (last write wins on load); compact dedupes it.
         path = tmp_path / "r.jsonl"
         store = ResultStore(path)
         job = make_job()
-        store.put(job, make_result(n_records=1))
+        store.put(job, make_result(n_records=3))
         store.put(job, make_result(n_records=3))
         assert len(path.read_text().splitlines()) == 2
         reloaded = ResultStore(path)
@@ -92,6 +94,32 @@ class TestResultStore:
         assert reloaded.compact() == 1
         assert len(path.read_text().splitlines()) == 1
         assert len(ResultStore(path).get(job).records) == 3
+
+    def test_conflicting_reput_raises(self, tmp_path):
+        # The same content key computing *different* numbers is exactly the
+        # nondeterminism the store exists to rule out: refuse loudly.
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = make_job()
+        store.put(job, make_result(n_records=1))
+        with pytest.raises(ResultStoreError, match="nondeterminism"):
+            store.put(job, make_result(n_records=3))
+        # The conflicting line was never written.
+        assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 1
+
+    def test_fsync_append_durability_option(self, tmp_path):
+        # fsync=True (constructor default or per-put override) must not
+        # change what is written, only when it hits stable storage.
+        job, result = make_job(), make_result()
+        plain = ResultStore(tmp_path / "plain.jsonl")
+        plain.put(job, result)
+        durable = ResultStore(tmp_path / "durable.jsonl", fsync=True)
+        durable.put(job, result)
+        per_call = ResultStore(tmp_path / "per_call.jsonl")
+        per_call.put(job, result, fsync=True)
+        contents = {
+            p.read_text() for p in tmp_path.glob("*.jsonl")
+        }
+        assert len(contents) == 1  # byte-identical lines on all three paths
 
     def test_truncated_final_line_is_dropped_and_recomputable(self, tmp_path):
         # The signature of a run killed mid-append: resume must survive it.
@@ -126,7 +154,12 @@ class TestCrashSafeRewrite:
         store = ResultStore(path)
         store.put(make_job(seed=1), make_result(n_records=1))
         store.put(make_job(seed=2), make_result(n_records=2))
-        store.put(make_job(seed=1), make_result(n_records=3))  # duplicate key
+        # A restarted/concurrent run appended a duplicate line for seed=1;
+        # simulate the on-disk append directly, then reload to pick it up.
+        first_line = path.read_text().splitlines()[0]
+        with path.open("a") as fh:
+            fh.write(first_line + "\n")
+        store.reload()
         return path, store
 
     def test_failed_replace_leaves_original_jsonl_intact(self, tmp_path, monkeypatch):
