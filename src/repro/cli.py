@@ -36,6 +36,18 @@ Commands
     Run a registered analysis over a result store
     (``repro report --results store.jsonl --analysis scheme-comparison``),
     or render a markdown report from the benchmark result JSONs.
+``worker``
+    Run a cluster worker daemon (``repro worker --port 8150 --shard-dir
+    shards/``): an HTTP job runner appending results to a local write-once
+    shard.  See ``docs/CLUSTER.md``.
+``serve``
+    Run the coordinator daemon: HTTP job submission plus the result-store
+    query API, optionally fanning out to workers (``--executor cluster
+    --hosts h1:8150,h2:8150``).
+``store``
+    Result-store maintenance: ``store merge`` unions worker shards into one
+    store (conflicts abort — cross-host nondeterminism is an error),
+    ``store compact`` rewrites a store with one line per key.
 
 The CLI only wraps the public library API, so everything it does can also be
 done programmatically; it exists to make quick experiments reproducible from
@@ -121,9 +133,24 @@ def _positive_int(text: str) -> int:
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--executor", default="serial", metavar="KEY",
                         help="execution backend registry key (serial, thread, "
-                             "process, chaos:<inner>); see 'list-plugins'")
+                             "process, cluster, chaos:<inner>); see "
+                             "'list-plugins'")
     parser.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
-                        help="worker count for pooled executors")
+                        help="worker count for pooled executors (for the "
+                             "cluster backend: in-flight chunk window)")
+    parser.add_argument("--batch-size", type=_positive_int, default=None,
+                        metavar="N",
+                        help="jobs shipped per dispatch round-trip on chunked "
+                             "backends (thread/process submissions, cluster "
+                             "HTTP requests); amortises per-job overhead "
+                             "without changing results")
+    parser.add_argument("--hosts", default=None, metavar="H1:P1,H2:P2",
+                        help="cluster backend worker endpoints "
+                             "(alternative: REPRO_CLUSTER_HOSTS)")
+    parser.add_argument("--hosts-file", default=None, metavar="PATH",
+                        help="file of worker endpoints, one host:port per "
+                             "line, '#' comments "
+                             "(alternative: REPRO_CLUSTER_HOSTS_FILE)")
     parser.add_argument("--results", default=None, metavar="PATH",
                         help="JSONL result store: computed points are appended "
                              "as they finish, already-stored points are never "
@@ -138,9 +165,9 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
                              "overruns it (see docs/EXECUTION.md)")
     parser.add_argument("--fallback", action=argparse.BooleanOptionalAction,
                         default=True,
-                        help="degrade process→thread→serial when a backend "
-                             "fails at the batch level (--no-fallback: let the "
-                             "backend error propagate)")
+                        help="degrade cluster→process→thread→serial when a "
+                             "backend fails at the batch level (--no-fallback: "
+                             "let the backend error propagate)")
     parser.add_argument("--fsync", action="store_true",
                         help="fsync every result-store append (survives machine "
                              "crashes, not just process crashes)")
@@ -158,6 +185,42 @@ def _execution_options(args: argparse.Namespace) -> Dict[str, object]:
         "fallback": args.fallback,
         "store_fsync": args.fsync,
     }
+
+
+def _apply_cluster_env(args: argparse.Namespace) -> None:
+    """Publish --hosts/--hosts-file through the environment channel.
+
+    The registry's resolution path (and wrapper syntax like
+    ``chaos:cluster``) builds executors from just a key and ``max_workers``,
+    so cluster endpoints travel via ``REPRO_CLUSTER_HOSTS`` /
+    ``REPRO_CLUSTER_HOSTS_FILE`` — see :mod:`repro.service.discovery`.
+    """
+    import os
+
+    from repro.service.discovery import HOSTS_ENV, HOSTS_FILE_ENV
+
+    if getattr(args, "hosts", None):
+        os.environ[HOSTS_ENV] = args.hosts
+    if getattr(args, "hosts_file", None):
+        os.environ[HOSTS_FILE_ENV] = args.hosts_file
+
+
+def _cli_executor(args: argparse.Namespace):
+    """The ``executor`` argument for run_jobs-style calls.
+
+    Applies the cluster endpoint flags and, when ``--batch-size`` is given,
+    resolves the key into a configured instance (the library call paths —
+    replication, figures — take an instance without needing new
+    parameters).
+    """
+    _apply_cluster_env(args)
+    if getattr(args, "batch_size", None):
+        from repro.exec.executors import resolve_executor
+
+        return resolve_executor(
+            args.executor, max_workers=args.jobs, batch_size=args.batch_size
+        )
+    return args.executor
 
 
 def _progress_printer(as_json: bool):
@@ -272,7 +335,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             candidate=args.candidate,
             baseline=args.baseline,
             seeds=args.seeds,
-            executor=args.executor,
+            executor=_cli_executor(args),
             max_workers=args.jobs,
             store=args.results,
             progress=_progress_printer(args.json),
@@ -284,7 +347,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     jobs = plan_comparison(scenario, candidate=args.candidate, baseline=args.baseline)
     report = run_jobs(
         jobs,
-        executor=args.executor,
+        executor=_cli_executor(args),
         max_workers=args.jobs,
         store=args.results,
         progress=_progress_printer(args.json),
@@ -353,7 +416,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     report = run_jobs(
         jobs,
-        executor=args.executor,
+        executor=_cli_executor(args),
         max_workers=args.jobs,
         store=args.results,
         progress=_progress_printer(args.json),
@@ -433,7 +496,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         args.figure,
         config=scenario,
         seeds=args.seeds,
-        executor=args.executor,
+        executor=_cli_executor(args),
         max_workers=args.jobs,
         store=args.results,
         **_execution_options(args),
@@ -601,6 +664,100 @@ def _cmd_report_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import WorkerServer
+
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        shard_dir=args.shard_dir,
+        fsync=args.fsync,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro worker listening on {server.host}:{server.port} "
+        f"(shard: {server.shard_path})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.coordinator import CoordinatorServer
+
+    _apply_cluster_env(args)
+    server = CoordinatorServer(
+        host=args.host,
+        port=args.port,
+        store_path=args.results,
+        executor=args.executor,
+        max_workers=args.jobs,
+        batch_size=args.batch_size,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro serve listening on {server.host}:{server.port} "
+        f"(executor: {args.executor}, store: {server.store.path})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_store_merge(args: argparse.Namespace) -> int:
+    from repro.exec.store import ResultStore
+
+    shards = list(args.shards)
+    fetched = []
+    if args.hosts:
+        import tempfile
+
+        from repro.service import protocol
+        from repro.service.discovery import parse_hosts
+
+        for endpoint in parse_hosts(args.hosts):
+            text = protocol.http_text(endpoint.url(protocol.SHARD_PATH))
+            handle = tempfile.NamedTemporaryFile(
+                "w", suffix=".jsonl", prefix=f"shard-{endpoint.host}-{endpoint.port}-",
+                delete=False, encoding="utf-8",
+            )
+            with handle:
+                handle.write(text)
+            fetched.append(handle.name)
+            shards.append(handle.name)
+    if not shards:
+        print("nothing to merge: name shard paths and/or --hosts", file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.into)
+        added = store.merge(shards)
+    finally:
+        for path in fetched:
+            Path(path).unlink(missing_ok=True)
+    print(f"merged {len(shards)} shard(s) into {args.into}: "
+          f"{added} new result(s), {len(store)} total")
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.exec.store import ResultStore
+
+    store = ResultStore(args.store)
+    if not Path(args.store).exists():
+        print(f"no result store at {args.store}", file=sys.stderr)
+        return 2
+    surviving = store.compact()
+    print(f"compacted {args.store}: {surviving} entr(y/ies)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -717,6 +874,84 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory with the benchmark JSON files")
     report.add_argument("--out", default=None, help="write output here instead of stdout")
     report.set_defaults(func=cmd_report)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a cluster worker daemon (HTTP job runner with a local "
+             "write-once result shard)",
+        description="One worker per host/port: POST /jobs runs ExperimentJob "
+                    "payloads through the shared execution funnel and appends "
+                    "canonical results to a local JSONL shard; GET /shard "
+                    "streams the shard for merging.  See docs/CLUSTER.md.",
+    )
+    worker.add_argument("--host", default="127.0.0.1", help="bind address")
+    worker.add_argument("--port", type=int, default=8150,
+                        help="bind port (0: ephemeral)")
+    worker.add_argument("--shard-dir", default=".", metavar="DIR",
+                        help="directory for this worker's result shard")
+    worker.add_argument("--fsync", action="store_true",
+                        help="fsync every shard append")
+    worker.add_argument("--verbose", action="store_true",
+                        help="log one line per request to stderr")
+    worker.set_defaults(func=cmd_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the coordinator daemon (HTTP job submission + result-store "
+             "query API)",
+        description="POST /jobs submits ExperimentJob payloads (cache hits "
+                    "are free), GET /results queries the store by scheme/"
+                    "ensemble.  With --executor cluster and --hosts, "
+                    "submissions fan out to worker daemons.  See "
+                    "docs/CLUSTER.md.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8140,
+                       help="bind port (0: ephemeral)")
+    serve.add_argument("--results", default="results.jsonl", metavar="PATH",
+                       help="the persistent JSONL result store")
+    serve.add_argument("--executor", default="serial", metavar="KEY",
+                       help="backend submissions run on (serial, process, "
+                            "cluster, chaos:<inner>)")
+    serve.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                       help="worker count / in-flight window of the backend")
+    serve.add_argument("--batch-size", type=_positive_int, default=None,
+                       metavar="N", help="jobs per dispatch round-trip")
+    serve.add_argument("--hosts", default=None, metavar="H1:P1,H2:P2",
+                       help="cluster worker endpoints for --executor cluster")
+    serve.add_argument("--hosts-file", default=None, metavar="PATH",
+                       help="file of cluster worker endpoints")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
+    serve.set_defaults(func=cmd_serve)
+
+    store = subparsers.add_parser(
+        "store",
+        help="result-store maintenance: merge worker shards, compact",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    merge = store_sub.add_parser(
+        "merge",
+        help="union write-once shards into one store",
+        description="Union-of-shards merge keyed by job content: duplicates "
+                    "dedup when identical, conflicting results (cross-host "
+                    "nondeterminism) abort the merge before anything is "
+                    "written.",
+    )
+    merge.add_argument("shards", nargs="*", metavar="SHARD",
+                       help="shard JSONL paths to merge")
+    merge.add_argument("--into", required=True, metavar="PATH",
+                       help="target store (may already exist; its entries "
+                            "participate in conflict validation)")
+    merge.add_argument("--hosts", default=None, metavar="H1:P1,H2:P2",
+                       help="also fetch GET /shard from these live workers")
+    merge.set_defaults(func=cmd_store_merge)
+    compact = store_sub.add_parser(
+        "compact",
+        help="rewrite a store with one line per key (atomic)",
+    )
+    compact.add_argument("store", help="JSONL result store path")
+    compact.set_defaults(func=cmd_store_compact)
 
     return parser
 

@@ -27,6 +27,7 @@ field).  See ``docs/EXECUTION.md``.
 """
 
 from repro.exec.chaos import ChaosConfig, ChaosError, ChaosExecutor
+from repro.exec.cluster import ClusterExecutor
 from repro.exec.job import ExperimentJob
 from repro.exec.planner import (
     plan_comparison,
@@ -48,6 +49,7 @@ from repro.exec.executors import (
     run_jobs,
 )
 from repro.exec.retry import (
+    ClusterTransportError,
     CorruptResultError,
     ExecutorDegradedError,
     JobTimeoutError,
@@ -65,6 +67,8 @@ __all__ = [
     "ChaosConfig",
     "ChaosError",
     "ChaosExecutor",
+    "ClusterExecutor",
+    "ClusterTransportError",
     "CorruptResultError",
     "ExperimentJob",
     "Executor",

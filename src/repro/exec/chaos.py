@@ -247,6 +247,8 @@ class ChaosExecutor(Executor):
         # transform never mutates a caller-owned executor instance.
         runner = copy.copy(self.inner)
         runner.payload_transform = self._transform
+        if self.batch_size != 1:
+            runner.batch_size = self.batch_size
         return runner.execute(jobs, progress=progress, on_outcome=on_outcome, policy=policy)
 
 

@@ -104,6 +104,36 @@ def execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return result
 
 
+def execute_job_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Run a chunk of serialised jobs; one outcome dict per payload, in order.
+
+    This is the unit the chunked dispatch paths (pooled backends with
+    ``batch_size > 1``, the HTTP worker daemon's ``POST /jobs``) ship per
+    round-trip.  Each outcome is either ``{"ok": True, "result": <dict>}`` or
+    ``{"ok": False, "error", "exc_type", "traceback"}`` — the exception is
+    captured *per job*, so one bad job never poisons its chunk-mates, and the
+    class name crosses any boundary as a string for
+    :class:`~repro.exec.retry.RetryPolicy` classification.  Only
+    ``BaseException`` (``KeyboardInterrupt``, ``SystemExit``, an injected
+    ``os._exit``) escapes, taking the rest of the chunk with it — exactly the
+    semantics of losing the worker mid-chunk.
+    """
+    outcomes: List[Dict[str, Any]] = []
+    for payload in payloads:
+        try:
+            outcomes.append({"ok": True, "result": execute_job_payload(payload)})
+        except Exception as exc:  # noqa: BLE001 - serialised for the dispatcher
+            outcomes.append(
+                {
+                    "ok": False,
+                    "error": repr(exc),
+                    "exc_type": type(exc).__name__,
+                    "traceback": traceback.format_exc(),
+                }
+            )
+    return outcomes
+
+
 @dataclass
 class JobFailure:
     """One job that raised (or crashed, or timed out) instead of returning.
@@ -198,6 +228,28 @@ class _BatchState:
         """Roll back :meth:`begin` for a dispatch that never reached a worker."""
         self.attempts[index] -= 1
         self.ready.append(index)
+
+    def next_chunk(self, batch_size: int) -> Tuple[List[int], List[int]]:
+        """Pop and begin up to ``batch_size`` ready jobs: (indices, attempts)."""
+        chunk: List[int] = []
+        while self.ready and len(chunk) < batch_size:
+            chunk.append(self.ready.popleft())
+        return chunk, [self.begin(index) for index in chunk]
+
+    def apply_outcome(
+        self, index: int, outcome: Mapping[str, Any], elapsed_s: float = 0.0
+    ) -> None:
+        """Record one :func:`execute_job_chunk`-style outcome dict."""
+        if outcome.get("ok"):
+            self.succeed(index, outcome["result"])
+        else:
+            self.fail(
+                index,
+                error=str(outcome.get("error", "unknown worker error")),
+                exc_type=str(outcome.get("exc_type", "")),
+                tb=str(outcome.get("traceback", "")),
+                elapsed_s=elapsed_s,
+            )
 
     def succeed(self, index: int, payload: Dict[str, Any]) -> None:
         """Record a returned result dict — after validating it hydrates.
@@ -311,6 +363,13 @@ class Executor:
     #: whether this backend can *enforce* ``policy.timeout_s`` by preempting
     #: a running job (only preemptible backends — the process pool — can)
     supports_timeout = False
+    #: how many jobs ship per dispatch round-trip.  ``1`` is the historical
+    #: behaviour; pooled backends amortise per-job submit/pickle overhead (and
+    #: the cluster backend its per-request HTTP overhead) by sending chunks.
+    #: The serial backend has no round-trip and ignores it.  Chunking never
+    #: changes results — jobs stay independently retried/classified — but a
+    #: ``timeout_s`` budget covers a whole chunk (scaled by its length).
+    batch_size = 1
     #: optional hook rewriting each job's payload dict per attempt; used by
     #: the chaos wrapper to attach its injection envelope.  Runs in the
     #: caller's process — only its *output* crosses to workers.
@@ -369,6 +428,15 @@ class Executor:
             payload = self.payload_transform(payload, attempt)
         return payload
 
+    def _chunk_payloads(
+        self, state: "_BatchState", chunk: Sequence[int], attempts: Sequence[int]
+    ) -> List[Dict[str, Any]]:
+        """The payload dicts for one dispatched chunk of job indices."""
+        return [
+            self._job_payload(state.jobs[index], attempt)
+            for index, attempt in zip(chunk, attempts)
+        ]
+
     def _execute_on_pool(
         self,
         pool,
@@ -384,41 +452,49 @@ class Executor:
         fires here, in the caller's thread, as each future completes.
         Transient failures are resubmitted once their deterministic backoff
         elapses; the wait loop wakes for whichever comes first — a completed
-        future or a due retry.
+        future or a due retry.  With ``batch_size > 1`` each submission
+        carries a chunk of jobs through :func:`execute_job_chunk`; outcomes
+        stay per-job (one succeed/fail each), only the round-trips are
+        amortised.
         """
         state = _BatchState(jobs, policy, progress, on_outcome)
-        future_to_index: Dict[Any, int] = {}
+        future_to_chunk: Dict[Any, List[int]] = {}
         submitted_at: Dict[Any, float] = {}
+        batch_size = max(1, int(self.batch_size))
         while not state.finished():
             state.release_due_retries()
             while state.ready:
-                index = state.ready.popleft()
-                attempt = state.begin(index)
+                chunk, attempts = state.next_chunk(batch_size)
                 future = pool.submit(
-                    execute_job_payload, self._job_payload(jobs[index], attempt)
+                    execute_job_chunk, self._chunk_payloads(state, chunk, attempts)
                 )
-                future_to_index[future] = index
+                future_to_chunk[future] = chunk
                 submitted_at[future] = time.monotonic()
-            if not future_to_index:
+            if not future_to_chunk:
                 delay = state.seconds_until_next_retry()
                 if delay is None:  # pragma: no cover - defensive
                     break
                 time.sleep(delay)
                 continue
             done, _ = wait(
-                set(future_to_index),
+                set(future_to_chunk),
                 timeout=state.seconds_until_next_retry(),
                 return_when=FIRST_COMPLETED,
             )
             for future in done:
-                index = future_to_index.pop(future)
+                chunk = future_to_chunk.pop(future)
                 elapsed = time.monotonic() - submitted_at.pop(future)
                 try:
-                    payload = future.result()
+                    outcomes = future.result()
                 except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-                    state.fail_exception(index, exc, elapsed_s=elapsed)
+                    # The chunk runner itself failed (it captures per-job
+                    # exceptions, so this is catastrophic): every job of the
+                    # chunk shares the failure.
+                    for index in chunk:
+                        state.fail_exception(index, exc, elapsed_s=elapsed)
                 else:
-                    state.succeed(index, payload)
+                    for index, outcome in zip(chunk, outcomes):
+                        state.apply_outcome(index, outcome, elapsed_s=elapsed)
         return state.results()
 
 
@@ -486,16 +562,19 @@ class ThreadExecutor(Executor):
 
 
 def _process_worker_main(conn) -> None:
-    """Loop of one worker process: receive payloads, send back outcomes.
+    """Loop of one worker process: receive job chunks, send back outcomes.
 
     Protocol (all messages are plain picklable tuples over the pipe):
 
-    * parent → worker: ``(task_id, payload_dict)`` or ``None`` (shut down);
+    * parent → worker: ``(task_id, [payload_dict, ...])`` or ``None`` (shut
+      down);
     * worker → parent: ``("started", task_id)`` the moment work begins —
-      the parent starts the job's timeout clock on this, so worker spawn
-      and import time never count against the job — then
-      ``("done", task_id, ok, payload)`` with the result dict (``ok``) or a
-      ``{error, exc_type, traceback}`` dict (``not ok``).
+      the parent starts the chunk's timeout clock on this, so worker spawn
+      and import time never count against the jobs — then
+      ``("done", task_id, ok, payload)`` where ``ok`` carries the
+      per-job outcome list of :func:`execute_job_chunk` and ``not ok`` a
+      single ``{error, exc_type, traceback}`` dict for a failure that took
+      the whole chunk (``KeyboardInterrupt``/``SystemExit``).
 
     Must stay module-level: spawn pickles it by reference and the child
     imports this module fresh.
@@ -507,10 +586,10 @@ def _process_worker_main(conn) -> None:
             return
         if message is None:
             return
-        task_id, payload = message
+        task_id, payloads = message
         try:
             conn.send(("started", task_id))
-            result = execute_job_payload(payload)
+            outcomes = execute_job_chunk(payloads)
         except BaseException as exc:  # noqa: BLE001 - serialised for the parent
             try:
                 conn.send(
@@ -531,19 +610,19 @@ def _process_worker_main(conn) -> None:
                 return
         else:
             try:
-                conn.send(("done", task_id, True, result))
+                conn.send(("done", task_id, True, outcomes))
             except (BrokenPipeError, OSError):
                 return
 
 
 class _InFlight:
-    """What one busy worker is doing: job index, attempt, timing."""
+    """What one busy worker is doing: the chunk's job indices plus timing."""
 
-    __slots__ = ("index", "attempt", "sent_at", "started_at", "deadline")
+    __slots__ = ("task_id", "indexes", "sent_at", "started_at", "deadline")
 
-    def __init__(self, index: int, attempt: int) -> None:
-        self.index = index
-        self.attempt = attempt
+    def __init__(self, task_id: int, indexes: Sequence[int]) -> None:
+        self.task_id = task_id
+        self.indexes = list(indexes)
         self.sent_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.deadline: Optional[float] = None
@@ -562,13 +641,15 @@ class _PoolWorker:
         self.task: Optional[_InFlight] = None
         self.doomed = False  # terminated on purpose; never dispatch to it again
 
-    def dispatch(self, index: int, attempt: int, payload: Dict[str, Any]) -> bool:
-        """Send one job; ``False`` when the pipe is already broken."""
+    def dispatch(
+        self, task_id: int, indexes: Sequence[int], payloads: List[Dict[str, Any]]
+    ) -> bool:
+        """Send one job chunk; ``False`` when the pipe is already broken."""
         try:
-            self.conn.send((index, payload))
+            self.conn.send((task_id, payloads))
         except (BrokenPipeError, OSError):
             return False
-        self.task = _InFlight(index, attempt)
+        self.task = _InFlight(task_id, indexes)
         return True
 
     def alive(self) -> bool:
@@ -645,14 +726,14 @@ class ProcessExecutor(Executor):
             else max(4, 2 * len(jobs))
         )
         workers: List[_PoolWorker] = []
-        spawn_count = {"total": 0}
+        spawn_count = {"total": 0, "task_id": 0}
         try:
             while not state.finished():
                 state.release_due_retries()
                 self._reap_and_respawn(
                     workers, context, n_workers, state, spawn_count, respawn_budget
                 )
-                self._dispatch_ready(workers, state)
+                self._dispatch_ready(workers, state, spawn_count)
                 busy = [w for w in workers if w.task is not None]
                 if not busy:
                     delay = state.seconds_until_next_retry()
@@ -694,8 +775,9 @@ class ProcessExecutor(Executor):
                 self._crash(worker, state)
             workers.remove(worker)
             worker.shutdown(kill=True)
+        batch_size = max(1, int(self.batch_size))
         outstanding = (
-            len(state.ready)
+            -(-len(state.ready) // batch_size)  # chunks the ready queue will fill
             + len(state.retry_heap)
             + sum(1 for w in workers if w.task is not None)
         )
@@ -713,17 +795,21 @@ class ProcessExecutor(Executor):
             workers.append(_PoolWorker(context))
             spawn_count["total"] += 1
 
-    def _dispatch_ready(self, workers: List[_PoolWorker], state: _BatchState) -> None:
+    def _dispatch_ready(
+        self, workers: List[_PoolWorker], state: _BatchState, spawn_count: Dict[str, int]
+    ) -> None:
+        batch_size = max(1, int(self.batch_size))
         for worker in workers:
             if worker.task is not None or worker.doomed or not state.ready:
                 continue
-            index = state.ready.popleft()
-            attempt = state.begin(index)
-            payload = self._job_payload(state.jobs[index], attempt)
-            if not worker.dispatch(index, attempt, payload):
-                # The pipe broke before the job left: roll the attempt back;
-                # the next reap pass retires this worker and respawns.
-                state.unbegin(index)
+            chunk, attempts = state.next_chunk(batch_size)
+            payloads = self._chunk_payloads(state, chunk, attempts)
+            spawn_count["task_id"] += 1
+            if not worker.dispatch(spawn_count["task_id"], chunk, payloads):
+                # The pipe broke before the chunk left: roll the attempts
+                # back; the next reap pass retires this worker and respawns.
+                for index in chunk:
+                    state.unbegin(index)
 
     def _wait_and_collect(self, busy: List[_PoolWorker], state: _BatchState) -> None:
         from multiprocessing import connection
@@ -757,62 +843,73 @@ class ProcessExecutor(Executor):
                 task = worker.task
                 if kind == "started":
                     _, task_id = message
-                    if task is not None and task.index == task_id:
+                    if task is not None and task.task_id == task_id:
                         task.started_at = time.monotonic()
                         if state.policy.timeout_s is not None:
-                            task.deadline = task.started_at + state.policy.timeout_s
+                            # The budget covers the whole chunk: scale it by
+                            # the number of jobs sharing the round-trip.
+                            task.deadline = task.started_at + (
+                                state.policy.timeout_s * len(task.indexes)
+                            )
                     continue
                 _, task_id, ok, payload = message
-                if task is None or task.index != task_id:
+                if task is None or task.task_id != task_id:
                     continue  # stale reply from a pre-timeout attempt
                 elapsed = time.monotonic() - (task.started_at or task.sent_at)
                 worker.task = None
                 if ok:
-                    state.succeed(task.index, payload)
+                    for index, outcome in zip(task.indexes, payload):
+                        state.apply_outcome(index, outcome, elapsed_s=elapsed)
                 else:
-                    state.fail(
-                        task.index,
-                        error=str(payload["error"]),
-                        exc_type=str(payload.get("exc_type", "")),
-                        tb=str(payload.get("traceback", "")),
-                        elapsed_s=elapsed,
-                    )
+                    for index in task.indexes:
+                        state.fail(
+                            index,
+                            error=str(payload["error"]),
+                            exc_type=str(payload.get("exc_type", "")),
+                            tb=str(payload.get("traceback", "")),
+                            elapsed_s=elapsed,
+                        )
         except (EOFError, OSError):
             return False
         return True
 
     def _crash(self, worker: _PoolWorker, state: _BatchState) -> None:
-        """A worker died with a job in flight: reschedule the job."""
+        """A worker died with a chunk in flight: reschedule its jobs."""
         task = worker.task
         assert task is not None
         worker.task = None
         exitcode = worker.process.exitcode
-        state.fail(
-            task.index,
-            error=(
-                f"worker process died while running the job "
-                f"(exit code {exitcode})"
-            ),
-            exc_type="WorkerCrashError",
-            elapsed_s=time.monotonic() - (task.started_at or task.sent_at),
-        )
+        elapsed = time.monotonic() - (task.started_at or task.sent_at)
+        for index in task.indexes:
+            state.fail(
+                index,
+                error=(
+                    f"worker process died while running the job "
+                    f"(exit code {exitcode})"
+                ),
+                exc_type="WorkerCrashError",
+                elapsed_s=elapsed,
+            )
 
     def _timeout(self, worker: _PoolWorker, state: _BatchState) -> None:
-        """A job overran ``policy.timeout_s``: kill its (hung) worker."""
+        """A chunk overran its wall-clock budget: kill its (hung) worker."""
         task = worker.task
         assert task is not None
         worker.task = None
         worker.doomed = True
         worker.process.terminate()
-        state.fail(
-            task.index,
-            error=(
-                f"job exceeded its {state.policy.timeout_s:g}s wall-clock budget; "
-                f"worker killed"
-            ),
-            exc_type="JobTimeoutError",
-            elapsed_s=time.monotonic() - (task.started_at or task.sent_at),
-        )
+        elapsed = time.monotonic() - (task.started_at or task.sent_at)
+        budget = state.policy.timeout_s * len(task.indexes)
+        for index in task.indexes:
+            state.fail(
+                index,
+                error=(
+                    f"job exceeded its chunk's {budget:g}s wall-clock budget; "
+                    f"worker killed"
+                ),
+                exc_type="JobTimeoutError",
+                elapsed_s=elapsed,
+            )
 
 
 EXECUTORS.register(
@@ -891,22 +988,33 @@ class ExecutionReport:
 
 
 def resolve_executor(
-    executor: Union[str, Executor], max_workers: Optional[int] = None
+    executor: Union[str, Executor],
+    max_workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Executor:
     """An :class:`Executor` instance from a registry key (or pass through).
 
     ``"<wrapper>:<inner>"`` keys resolve the wrapper entry and pass the
     inner key through (``"chaos:process"`` builds a
     :class:`~repro.exec.chaos.ChaosExecutor` around the process backend).
-    A passed-in instance is treated as read-only: a ``max_workers`` override
-    applies to a shallow copy, never to the caller's object.
+    A passed-in instance is treated as read-only: a ``max_workers`` or
+    ``batch_size`` override applies to a shallow copy, never to the caller's
+    object.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     if isinstance(executor, Executor):
+        overrides: Dict[str, int] = {}
         if max_workers is not None and max_workers != executor.max_workers:
-            if max_workers < 1:
-                raise ValueError("max_workers must be >= 1")
+            overrides["max_workers"] = max_workers
+        if batch_size is not None and batch_size != executor.batch_size:
+            overrides["batch_size"] = batch_size
+        if overrides:
             executor = copy.copy(executor)
-            executor.max_workers = max_workers
+            for name, value in overrides.items():
+                setattr(executor, name, value)
         return executor
     key = str(executor)
     if ":" in key:
@@ -926,6 +1034,8 @@ def resolve_executor(
             f"executor {executor!r} built {type(built).__name__}, "
             "expected an Executor subclass"
         )
+    if batch_size is not None:
+        built.batch_size = batch_size
     return built
 
 
@@ -939,6 +1049,7 @@ def run_jobs(
     policy: Optional[RetryPolicy] = None,
     fallback: bool = True,
     store_fsync: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> ExecutionReport:
     """Run a job list on a backend, with caching, retries and degradation.
 
@@ -978,9 +1089,15 @@ def run_jobs(
         ``fsync``-per-append durability (see
         :meth:`~repro.exec.store.ResultStore.put`).  Ignored for
         already-constructed stores (configure those directly).
+    batch_size:
+        Ship N jobs per dispatch round-trip on chunked backends (thread /
+        process submissions, cluster HTTP requests) to amortise per-job
+        spawn, pickle and network overhead.  Jobs keep per-job outcomes and
+        retries; results are unchanged.  Default (``None``): the backend's
+        own setting (1 unless configured otherwise).
     """
     jobs = list(jobs)
-    backend = resolve_executor(executor, max_workers=max_workers)
+    backend = resolve_executor(executor, max_workers=max_workers, batch_size=batch_size)
     if isinstance(store, (str, os.PathLike)):
         result_store: Optional[ResultStore] = ResultStore(
             store, fsync=bool(store_fsync)
@@ -1077,6 +1194,9 @@ def run_jobs(
                 if remaining:
                     raise
                 break
+            if current.batch_size != 1 and next_backend.batch_size == 1:
+                # Degrading drops the backend, not the chunking request.
+                next_backend.batch_size = current.batch_size
             report.failures = [
                 f for f in report.failures if f.job.key not in rerun_keys
             ]

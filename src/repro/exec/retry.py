@@ -44,6 +44,17 @@ class CorruptResultError(RuntimeError):
     """A worker returned a result payload that does not hydrate."""
 
 
+class ClusterTransportError(RuntimeError):
+    """An HTTP exchange with a cluster worker failed at the transport level.
+
+    Covers everything between "the worker process died" (that is
+    :class:`WorkerCrashError`) and "the job itself raised": unreachable
+    hosts, malformed or non-JSON responses, unexpected HTTP status codes.
+    Transport failures are transient by construction — the job never ran, or
+    its result never arrived — so the class is in :data:`DEFAULT_RETRYABLE`.
+    """
+
+
 class ExecutorDegradedError(RuntimeError):
     """A backend gave up on itself (e.g. too many worker respawns).
 
@@ -71,6 +82,15 @@ DEFAULT_RETRYABLE: Tuple[str, ...] = (
     "MemoryError",
     "OSError",
     "TimeoutError",
+    # HTTP transport failures from the cluster backend (repro.service):
+    # classification is by *name*, and these are the names a failed exchange
+    # with a remote worker can surface under.
+    "ClusterTransportError",
+    "ConnectionAbortedError",
+    "ConnectionRefusedError",
+    "IncompleteRead",
+    "RemoteDisconnected",
+    "URLError",
 )
 
 
@@ -199,6 +219,7 @@ NO_RETRY = RetryPolicy()
 
 
 __all__ = [
+    "ClusterTransportError",
     "CorruptResultError",
     "DEFAULT_RETRYABLE",
     "ExecutorDegradedError",

@@ -27,7 +27,18 @@ import os
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.exec.job import ExperimentJob
 from repro.metrics.comparison import SchemeResult
@@ -345,6 +356,73 @@ class ResultStore:
         self._index[key] = entry
         self._entries_cache = None
         return key
+
+    # -- merging -----------------------------------------------------------------------
+    def merge(self, shards: Iterable[Union[str, Path, "ResultStore"]]) -> int:
+        """Union shard stores into this one; returns the number of new keys.
+
+        This is the union-of-shards read of the cluster backend: each worker
+        appends results to its own write-once JSONL shard, and the merged
+        view is simply the union keyed by job content.  Because keys are
+        content addresses and jobs are deterministic, a key appearing in
+        several shards (a retried job whose first attempt did land, a job
+        resubmitted after a coordinator restart) must carry the identical
+        canonical result everywhere — duplicates dedup to free cache hits.
+
+        A *conflicting* duplicate — same key, different result — means two
+        hosts computed different numbers for the same job, i.e. cross-host
+        nondeterminism, and raises :class:`ResultStoreError`.  The whole
+        union is staged and validated before anything is written, so a
+        conflict in the last shard leaves both the file and the in-memory
+        index untouched.
+
+        The commit reuses :meth:`compact`'s atomic tmp-file + ``os.replace``
+        rewrite, so a crash mid-merge never leaves a half-merged file.
+        """
+        self._ensure_loaded()
+        staged: Dict[str, Dict[str, Any]] = {}
+        origin: Dict[str, str] = {}
+        for shard in shards:
+            source = shard if isinstance(shard, ResultStore) else ResultStore(shard)
+            source._ensure_loaded()
+            label = str(source.path)
+            for key, entry in source._index.items():
+                previous = staged.get(key) or self._index.get(key)
+                if previous is not None and previous["result"] != entry["result"]:
+                    raise ResultStoreError(
+                        f"shard merge conflict on key {key[:12]}…: {label} holds a "
+                        f"different result than "
+                        f"{origin.get(key, str(self.path))} — the job is supposed "
+                        f"to be deterministic, so this indicates cross-host "
+                        f"nondeterminism or shard reuse across incompatible "
+                        f"code versions"
+                    )
+                if key not in self._index and key not in staged:
+                    staged[key] = entry
+                    origin[key] = label
+        if not staged:
+            return 0
+        self._index.update(staged)
+        self._entries_cache = None
+        self.compact()
+        return len(staged)
+
+    @classmethod
+    def merged(
+        cls,
+        shards: Iterable[Union[str, Path, "ResultStore"]],
+        into: Union[str, Path],
+        fsync: bool = False,
+    ) -> "ResultStore":
+        """Build (or extend) the store at ``into`` from the union of shards.
+
+        Standalone entry point behind ``repro store merge``: the target may
+        already exist (its entries participate in conflict validation) or be
+        a fresh path.  Returns the merged store.
+        """
+        store = cls(into, fsync=fsync)
+        store.merge(shards)
+        return store
 
     # -- maintenance -------------------------------------------------------------------
     def compact(self) -> int:

@@ -264,6 +264,7 @@ def load_builtin_plugins() -> None:
     import repro.baselines.catalog  # noqa: F401  (schemes)
     import repro.exec.executors  # noqa: F401  (executors)
     import repro.exec.chaos  # noqa: F401  (chaos wrapper executor)
+    import repro.exec.cluster  # noqa: F401  (HTTP cluster executor)
     import repro.dynamics.catalog  # noqa: F401  (dynamics events)
     import repro.analysis.catalog  # noqa: F401  (analyses)
 

@@ -1,0 +1,145 @@
+"""Static worker discovery with health-check gating.
+
+The cluster backend learns its workers from configuration, not gossip: a
+``host:port`` list given directly (``--hosts``), a hosts file (``--hosts-file``,
+one endpoint per line, ``#`` comments), or — so the setting survives the
+registry's ``build(key, max_workers=...)`` resolution path and composes with
+wrapper syntax like ``chaos:cluster`` — the environment:
+
+* ``REPRO_CLUSTER_HOSTS`` — comma/whitespace-separated ``host:port`` list
+* ``REPRO_CLUSTER_HOSTS_FILE`` — path to a hosts file
+
+Before any job is dispatched, every configured endpoint is health-checked
+(``GET /healthz``) and only live workers enter the rotation; an entirely
+unreachable cluster raises
+:class:`~repro.exec.retry.ExecutorDegradedError` so
+:func:`~repro.exec.executors.run_jobs` can degrade to the local process
+backend instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.service import protocol
+
+#: Environment channel for cluster configuration (see module docstring).
+HOSTS_ENV = "REPRO_CLUSTER_HOSTS"
+HOSTS_FILE_ENV = "REPRO_CLUSTER_HOSTS_FILE"
+
+
+@dataclass(frozen=True)
+class WorkerEndpoint:
+    """One worker address (``host:port``)."""
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("worker host must be non-empty")
+        if not 0 < self.port < 65536:
+            raise ValueError(f"worker port out of range: {self.port}")
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def url(self, path: str) -> str:
+        return self.base_url + path
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def parse_endpoint(text: str) -> WorkerEndpoint:
+    """``"host:port"`` (or ``"http://host:port"``) → :class:`WorkerEndpoint`."""
+    spec = text.strip()
+    for prefix in ("http://", "https://"):
+        if spec.startswith(prefix):
+            spec = spec[len(prefix):].rstrip("/")
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad worker endpoint {text!r}: expected host:port")
+    return WorkerEndpoint(host=host, port=int(port))
+
+
+def parse_hosts(text: str) -> List[WorkerEndpoint]:
+    """A comma/whitespace-separated endpoint list → endpoints, order kept."""
+    entries = [piece for chunk in text.split(",") for piece in chunk.split()]
+    return [parse_endpoint(entry) for entry in entries if entry]
+
+
+def read_hosts_file(path: Union[str, Path]) -> List[WorkerEndpoint]:
+    """Endpoints from a hosts file: one per line, blank lines and ``#`` comments."""
+    endpoints: List[WorkerEndpoint] = []
+    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line:
+            endpoints.append(parse_endpoint(line))
+    return endpoints
+
+
+def configured_endpoints(
+    hosts: Optional[Union[str, Sequence[Union[str, WorkerEndpoint]]]] = None,
+    hosts_file: Optional[Union[str, Path]] = None,
+) -> List[WorkerEndpoint]:
+    """Resolve the configured endpoint list; explicit beats environment.
+
+    Precedence: ``hosts`` > ``hosts_file`` > ``$REPRO_CLUSTER_HOSTS`` >
+    ``$REPRO_CLUSTER_HOSTS_FILE``.  Returns ``[]`` when nothing is
+    configured (the caller decides whether that is an error).
+    """
+    if hosts is not None:
+        if isinstance(hosts, str):
+            return parse_hosts(hosts)
+        return [
+            entry if isinstance(entry, WorkerEndpoint) else parse_endpoint(entry)
+            for entry in hosts
+        ]
+    if hosts_file is not None:
+        return read_hosts_file(hosts_file)
+    env_hosts = os.environ.get(HOSTS_ENV)
+    if env_hosts:
+        return parse_hosts(env_hosts)
+    env_file = os.environ.get(HOSTS_FILE_ENV)
+    if env_file:
+        return read_hosts_file(env_file)
+    return []
+
+
+def health_check(
+    endpoint: WorkerEndpoint, timeout_s: float = protocol.CONTROL_TIMEOUT_S
+) -> bool:
+    """Whether ``GET /healthz`` answers ``{"status": "ok"}`` within the budget."""
+    try:
+        answer = protocol.http_json(
+            "GET", endpoint.url(protocol.HEALTH_PATH), timeout_s=timeout_s
+        )
+    except Exception:  # noqa: BLE001 - any failure means "not live"
+        return False
+    return isinstance(answer, dict) and answer.get("status") == "ok"
+
+
+def discover_workers(
+    endpoints: Iterable[WorkerEndpoint],
+    timeout_s: float = protocol.CONTROL_TIMEOUT_S,
+) -> List[WorkerEndpoint]:
+    """The subset of ``endpoints`` that pass the health check, order kept."""
+    return [endpoint for endpoint in endpoints if health_check(endpoint, timeout_s)]
+
+
+__all__ = [
+    "HOSTS_ENV",
+    "HOSTS_FILE_ENV",
+    "WorkerEndpoint",
+    "configured_endpoints",
+    "discover_workers",
+    "health_check",
+    "parse_endpoint",
+    "parse_hosts",
+    "read_hosts_file",
+]

@@ -204,3 +204,43 @@ class TestRunJobs:
         assert resolved is not mine
         with pytest.raises(ValueError):
             resolve_executor(mine, max_workers=0)
+
+
+class TestBatchSize:
+    def test_chunked_thread_results_match_serial(self):
+        jobs = tiny_jobs()
+        serial = run_jobs(jobs, executor="serial")
+        chunked = run_jobs(jobs, executor="thread", max_workers=2, batch_size=2)
+        assert canonical(chunked) == canonical(serial)
+
+    def test_chunked_process_results_match_serial(self):
+        jobs = tiny_jobs(sim_time_s=1.0)
+        serial = run_jobs(jobs, executor="serial")
+        chunked = run_jobs(jobs, executor="process", max_workers=2, batch_size=3)
+        assert canonical(chunked) == canonical(serial)
+
+    def test_resolve_executor_validates_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size must be >= 1"):
+            resolve_executor("thread", batch_size=0)
+
+    def test_resolve_executor_sets_batch_size_on_built_backend(self):
+        backend = resolve_executor("thread", batch_size=4)
+        assert backend.batch_size == 4
+        assert resolve_executor("thread").batch_size == 1
+
+    def test_batch_size_override_copies_passed_instances(self):
+        mine = ThreadExecutor(max_workers=2)
+        resolved = resolve_executor(mine, batch_size=5)
+        assert resolved is not mine
+        assert resolved.batch_size == 5
+        assert mine.batch_size == 1  # the caller's object is never mutated
+
+    def test_chunk_outcomes_stay_per_job(self):
+        # One bad job in a chunk must not poison its chunk-mates.
+        from repro.exec.executors import execute_job_chunk
+
+        good = tiny_jobs()[0].to_dict()
+        bad = dict(good, scheme="no-such-scheme")
+        outcomes = execute_job_chunk([good, bad, good])
+        assert [o["ok"] for o in outcomes] == [True, False, True]
+        assert outcomes[1]["exc_type"] == "RegistryError"

@@ -262,3 +262,68 @@ class TestQueryApi:
         # The stored job round-trips back to a runnable job with the same key.
         entry = groups["pareto-poisson"][0]
         assert entry.job.key == entry.key
+
+
+class TestMerge:
+    def shard(self, tmp_path, name, seeds, scheme="scda"):
+        store = ResultStore(tmp_path / name)
+        for seed in seeds:
+            store.put(make_job(seed=seed, scheme=scheme), make_result())
+        return store
+
+    def test_merge_unions_disjoint_shards(self, tmp_path):
+        a = self.shard(tmp_path, "a.jsonl", seeds=[1, 2])
+        b = self.shard(tmp_path, "b.jsonl", seeds=[3])
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        added = merged.merge([a.path, b.path])
+        assert added == 3
+        assert merged.results_by_key() == {**a.results_by_key(), **b.results_by_key()}
+
+    def test_merge_dedups_identical_entries(self, tmp_path):
+        a = self.shard(tmp_path, "a.jsonl", seeds=[1, 2])
+        b = self.shard(tmp_path, "b.jsonl", seeds=[2, 3])  # seed 2 in both
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        assert merged.merge([a, b]) == 3
+        assert len(merged) == 3
+
+    def test_merge_into_existing_store_skips_known_keys(self, tmp_path):
+        merged = self.shard(tmp_path, "merged.jsonl", seeds=[1])
+        shard = self.shard(tmp_path, "a.jsonl", seeds=[1, 2])
+        assert merged.merge([shard]) == 1  # only seed 2 is new
+        assert len(merged) == 2
+
+    def test_conflicting_results_abort_the_merge(self, tmp_path):
+        job = make_job(seed=7)
+        a = ResultStore(tmp_path / "a.jsonl")
+        a.put(job, make_result())
+        b = ResultStore(tmp_path / "b.jsonl")
+        b.put(job, make_result(n_records=3))  # same key, different result
+        merged = self.shard(tmp_path, "merged.jsonl", seeds=[1])
+        before = merged.path.read_bytes()
+        with pytest.raises(ResultStoreError, match="shard merge conflict"):
+            merged.merge([a, b])
+        # atomic: the target store is untouched on conflict
+        assert merged.path.read_bytes() == before
+        assert len(ResultStore(merged.path)) == 1
+
+    def test_merge_is_atomic_and_compacted(self, tmp_path):
+        a = self.shard(tmp_path, "a.jsonl", seeds=[1, 2])
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        merged.merge([a])
+        lines = merged.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["key"] for line in lines)
+
+    def test_merged_classmethod(self, tmp_path):
+        a = self.shard(tmp_path, "a.jsonl", seeds=[1])
+        b = self.shard(tmp_path, "b.jsonl", seeds=[2])
+        merged = ResultStore.merged([a.path, b.path], into=tmp_path / "out.jsonl")
+        assert len(merged) == 2
+        # and the written file reloads identically
+        assert ResultStore(merged.path).results_by_key() == merged.results_by_key()
+
+    def test_merge_empty_shard_list_is_a_noop(self, tmp_path):
+        merged = self.shard(tmp_path, "merged.jsonl", seeds=[1])
+        before = merged.path.read_bytes()
+        assert merged.merge([]) == 0
+        assert merged.path.read_bytes() == before

@@ -1,0 +1,85 @@
+"""Tests for worker discovery: parsing, precedence, health gating."""
+
+import pytest
+
+from repro.service.discovery import (
+    HOSTS_ENV,
+    HOSTS_FILE_ENV,
+    WorkerEndpoint,
+    configured_endpoints,
+    discover_workers,
+    health_check,
+    parse_endpoint,
+    parse_hosts,
+    read_hosts_file,
+)
+from repro.service.worker import WorkerServer
+
+
+class TestParsing:
+    def test_parse_endpoint(self):
+        assert parse_endpoint("10.0.0.1:8150") == WorkerEndpoint("10.0.0.1", 8150)
+        assert parse_endpoint("http://node1:9000/") == WorkerEndpoint("node1", 9000)
+
+    @pytest.mark.parametrize("bad", ["", "hostonly", "host:", ":8150", "host:abc"])
+    def test_parse_endpoint_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+    def test_endpoint_validates_port_range(self):
+        with pytest.raises(ValueError, match="port out of range"):
+            WorkerEndpoint("h", 70000)
+
+    def test_parse_hosts_accepts_commas_and_whitespace(self):
+        endpoints = parse_hosts("a:1, b:2\n c:3")
+        assert [str(e) for e in endpoints] == ["a:1", "b:2", "c:3"]
+
+    def test_endpoint_urls(self):
+        endpoint = WorkerEndpoint("node1", 8150)
+        assert endpoint.base_url == "http://node1:8150"
+        assert endpoint.url("/healthz") == "http://node1:8150/healthz"
+
+    def test_hosts_file_with_comments(self, tmp_path):
+        hosts = tmp_path / "hosts"
+        hosts.write_text("# fleet\na:1\n\nb:2  # second node\n")
+        assert [str(e) for e in read_hosts_file(hosts)] == ["a:1", "b:2"]
+
+
+class TestPrecedence:
+    def test_explicit_hosts_win(self, tmp_path, monkeypatch):
+        hosts_file = tmp_path / "hosts"
+        hosts_file.write_text("file:2\n")
+        monkeypatch.setenv(HOSTS_ENV, "env:3")
+        assert [str(e) for e in configured_endpoints(hosts="flag:1")] == ["flag:1"]
+        assert [str(e) for e in configured_endpoints(hosts_file=hosts_file)] == ["file:2"]
+
+    def test_environment_fallbacks(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(HOSTS_ENV, raising=False)
+        monkeypatch.delenv(HOSTS_FILE_ENV, raising=False)
+        assert configured_endpoints() == []
+        hosts_file = tmp_path / "hosts"
+        hosts_file.write_text("envfile:4\n")
+        monkeypatch.setenv(HOSTS_FILE_ENV, str(hosts_file))
+        assert [str(e) for e in configured_endpoints()] == ["envfile:4"]
+        monkeypatch.setenv(HOSTS_ENV, "env:3")
+        assert [str(e) for e in configured_endpoints()] == ["env:3"]
+
+    def test_hosts_list_may_mix_strings_and_endpoints(self):
+        endpoints = configured_endpoints(hosts=["a:1", WorkerEndpoint("b", 2)])
+        assert [str(e) for e in endpoints] == ["a:1", "b:2"]
+
+
+class TestHealthGating:
+    def test_live_worker_passes_dead_port_fails(self, tmp_path):
+        with WorkerServer(port=0, shard_dir=tmp_path) as worker:
+            live = WorkerEndpoint(worker.host, worker.port)
+            dead = WorkerEndpoint("127.0.0.1", 1)  # nothing listens on port 1
+            assert health_check(live, timeout_s=5.0)
+            assert not health_check(dead, timeout_s=0.5)
+            assert discover_workers([dead, live], timeout_s=5.0) == [live]
+
+    def test_stopped_worker_fails_the_gate(self, tmp_path):
+        worker = WorkerServer(port=0, shard_dir=tmp_path).start()
+        endpoint = WorkerEndpoint(worker.host, worker.port)
+        worker.stop()
+        assert not health_check(endpoint, timeout_s=0.5)

@@ -1,0 +1,119 @@
+"""Tests for the wire protocol: transport failures map to the retry vocabulary.
+
+Each scenario runs against a real socket so the exact exception chain that
+production sees (``urllib`` → ``http.client`` → ``socket``) is exercised — no
+mocking of the network stack.
+"""
+
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.exec.retry import (
+    ClusterTransportError,
+    JobTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+)
+from repro.service import protocol
+
+
+class _MisbehavingHandler(BaseHTTPRequestHandler):
+    """One endpoint per failure mode the client must classify."""
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path == "/slow":
+            threading.Event().wait(2.0)
+            self._json(b"{}")
+        elif self.path == "/not-json":
+            self._json(b"this is not json")
+        elif self.path == "/teapot":
+            self.send_response(418)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+        elif self.path == "/drop":
+            # Close the TCP connection without answering: the worker "died"
+            # mid-exchange.
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, b"\x01\x00\x00\x00\x00\x00\x00\x00"
+            )
+            self.connection.close()
+        else:
+            self._json(b'{"status": "ok"}')
+
+    def _json(self, body):
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@pytest.fixture(scope="module")
+def misbehaving_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _MisbehavingHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+class TestFailureMapping:
+    def test_timeout_is_a_job_timeout(self, misbehaving_server):
+        with pytest.raises(JobTimeoutError, match="timed out"):
+            protocol.http_json("GET", misbehaving_server + "/slow", timeout_s=0.2)
+
+    def test_http_error_status_is_a_transport_error(self, misbehaving_server):
+        with pytest.raises(ClusterTransportError, match="HTTP 418"):
+            protocol.http_json("GET", misbehaving_server + "/teapot")
+
+    def test_non_json_body_is_a_transport_error(self, misbehaving_server):
+        with pytest.raises(ClusterTransportError, match="non-JSON"):
+            protocol.http_json("GET", misbehaving_server + "/not-json")
+
+    def test_dropped_connection_is_a_worker_crash(self, misbehaving_server):
+        with pytest.raises(WorkerCrashError):
+            protocol.http_json("GET", misbehaving_server + "/drop")
+
+    def test_refused_connection_is_a_worker_crash(self):
+        # Port 1 is never listening; the TCP connect is refused outright.
+        with pytest.raises(WorkerCrashError, match="unreachable"):
+            protocol.http_json("GET", "http://127.0.0.1:1/healthz", timeout_s=2.0)
+
+    def test_http_text_maps_the_same_way(self, misbehaving_server):
+        with pytest.raises(ClusterTransportError, match="HTTP 418"):
+            protocol.http_text(misbehaving_server + "/teapot")
+        with pytest.raises(WorkerCrashError, match="unreachable"):
+            protocol.http_text("http://127.0.0.1:1/shard", timeout_s=2.0)
+
+    def test_happy_path_still_parses(self, misbehaving_server):
+        assert protocol.http_json("GET", misbehaving_server + "/ok") == {"status": "ok"}
+
+
+class TestRetryVocabulary:
+    """The names the transport raises are exactly what policies classify."""
+
+    def test_every_transport_failure_is_retryable_by_default(self):
+        policy = RetryPolicy(max_attempts=3)
+        for exc in (JobTimeoutError, WorkerCrashError, ClusterTransportError):
+            assert policy.is_retryable(exc.__name__), exc.__name__
+
+    def test_remote_exc_type_strings_drive_classification(self):
+        """A JobFailure built from an HTTP outcome carries only the *name* of
+        the remote exception class — that string alone must classify."""
+        policy = RetryPolicy(max_attempts=3)
+        # what a dropped socket / refused connect surfaces on the wire
+        for name in ("RemoteDisconnected", "ConnectionRefusedError",
+                     "ConnectionAbortedError", "IncompleteRead", "URLError"):
+            assert policy.is_retryable(name), name
+        # deterministic remote failures must NOT be retried
+        for name in ("RegistryError", "ResultStoreError", "ValueError"):
+            assert not policy.is_retryable(name), name
