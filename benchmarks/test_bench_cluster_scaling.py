@@ -64,9 +64,41 @@ def test_bench_cluster_worker_scaling(benchmark, results_dir, tmp_path):
             finally:
                 for worker in workers:
                     worker.stop()
-        return timings, outputs, chunk_counts
 
-    timings, outputs, chunk_counts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        # Batch-size sweep on two workers: the endpoints of the chunking
+        # trade-off (one HTTP round-trip per job vs per six jobs).
+        batch_sweep = {}
+        for batch_size in (1, 6):
+            shard_dir = tmp_path / f"shards-b{batch_size}"
+            shard_dir.mkdir()
+            workers = [
+                WorkerServer(port=0, shard_dir=shard_dir).start() for _ in range(2)
+            ]
+            hosts = ",".join(f"{w.host}:{w.port}" for w in workers)
+            try:
+                start = time.perf_counter()
+                report = run_jobs(
+                    jobs,
+                    executor=ClusterExecutor(hosts=hosts),
+                    batch_size=batch_size,
+                    fallback=False,
+                )
+                batch_sweep[str(batch_size)] = {
+                    "wall_clock_s": time.perf_counter() - start,
+                    "http_chunks": sum(w.stats()["chunks"] for w in workers),
+                }
+                outputs[f"cluster-2-b{batch_size}"] = {
+                    key: result.canonical_dict()
+                    for key, result in report.results.items()
+                }
+            finally:
+                for worker in workers:
+                    worker.stop()
+        return timings, outputs, chunk_counts, batch_sweep
+
+    timings, outputs, chunk_counts, batch_sweep = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
     jobs_per_s = {label: len(jobs) / wall for label, wall in timings.items()}
     save_result(
         results_dir,
@@ -76,18 +108,26 @@ def test_bench_cluster_worker_scaling(benchmark, results_dir, tmp_path):
             "wall_clock_s": timings,
             "jobs_per_s": jobs_per_s,
             "http_chunks": chunk_counts,
+            "batch_size_sweep": batch_sweep,
             "dispatch_overhead_vs_process": (
                 timings["cluster-4"] / timings["process-4"]
             ),
         },
     )
 
-    # The determinism contract holds across the HTTP boundary at any scale.
+    # The determinism contract holds across the HTTP boundary at any scale
+    # and any chunking.
     assert (
         outputs["process-4"]
         == outputs["cluster-1"]
         == outputs["cluster-2"]
         == outputs["cluster-4"]
+        == outputs["cluster-2-b1"]
+        == outputs["cluster-2-b6"]
     )
     # Chunked dispatch actually amortised round-trips: fewer chunks than jobs.
     assert all(count < len(jobs) for count in chunk_counts.values()), chunk_counts
+    # The sweep endpoints bracket it: per-job dispatch pays one round-trip
+    # per job, six-job chunks pay strictly fewer.
+    assert batch_sweep["1"]["http_chunks"] == len(jobs), batch_sweep
+    assert batch_sweep["6"]["http_chunks"] < len(jobs), batch_sweep

@@ -32,9 +32,21 @@ def test_bench_executor_backends_scale_and_agree(benchmark, results_dir):
             outputs[backend] = {
                 key: result.canonical_dict() for key, result in report.results.items()
             }
-        return timings, outputs
+        # Chunked dispatch on the process backend: larger chunks amortise
+        # per-submission IPC at the cost of scheduling granularity.
+        batch_timings = {}
+        for batch_size in (1, 2, 3):
+            start = time.perf_counter()
+            report = run_jobs(
+                jobs, executor="process", max_workers=4, batch_size=batch_size
+            )
+            batch_timings[str(batch_size)] = time.perf_counter() - start
+            outputs[f"process-b{batch_size}"] = {
+                key: result.canonical_dict() for key, result in report.results.items()
+            }
+        return timings, outputs, batch_timings
 
-    timings, outputs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    timings, outputs, batch_timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
     save_result(
         results_dir,
         "executor_scaling",
@@ -42,8 +54,11 @@ def test_bench_executor_backends_scale_and_agree(benchmark, results_dir):
             "jobs": len(jobs),
             "wall_clock_s": timings,
             "process_speedup_vs_serial": timings["serial"] / timings["process"],
+            "process_batch_sweep_wall_clock_s": batch_timings,
         },
     )
 
-    # The determinism contract: any backend, same bits.
+    # The determinism contract: any backend, any chunking, same bits.
     assert outputs["serial"] == outputs["thread"] == outputs["process"]
+    for batch_size in (1, 2, 3):
+        assert outputs[f"process-b{batch_size}"] == outputs["serial"]

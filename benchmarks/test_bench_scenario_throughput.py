@@ -1,0 +1,163 @@
+"""End-to-end scenario throughput: simulated seconds per wall-clock second.
+
+Two complementary measurements, both recorded to
+``benchmarks/results/scenario_throughput.json``:
+
+* ``test_bench_scenario_throughput`` times full experiment runs on the
+  paper's scaled-down figure scenarios (``run_scheme`` already measures the
+  event loop alone, excluding workload generation and analysis) and records
+  how many simulated seconds each scheme advances per wall second.
+* ``test_bench_fat_tree_100k_slice`` drives the headline scale target — 100k
+  concurrent flows on the k=32 fat tree — through a churn slice, then puts a
+  short sub-window under cProfile and asserts the allocation kernel is no
+  longer the dominant cost (< 50% of the profiled time), which is the point
+  of the delta water-filler.  The profiled window is kept short because
+  profiling itself multiplies the cost of the fabric's per-flow bookkeeping;
+  the headline ``sim_seconds_per_wall_second`` figure comes from the
+  unprofiled window.  The CI smoke run (``--benchmark-disable``) caps the
+  slice at 20k flows.
+"""
+
+import cProfile
+import pstats
+import time
+
+from bench_utils import save_result, scenario_pareto_poisson, scenario_video_with_control
+
+_payload = {}
+
+
+def _record(results_dir, key, value):
+    """Merge one section into scenario_throughput.json (tests run in file order)."""
+    _payload[key] = value
+    save_result(results_dir, "scenario_throughput", _payload)
+
+
+def test_bench_scenario_throughput(results_dir):
+    """Figure-scenario runs: simulated seconds advanced per wall second."""
+    from repro.baselines.schemes import RAND_TCP, SCDA_SCHEME
+    from repro.experiments.runner import run_scheme
+
+    cases = [
+        ("pareto_poisson/SCDA", scenario_pareto_poisson(), SCDA_SCHEME),
+        ("pareto_poisson/RandTCP", scenario_pareto_poisson(), RAND_TCP),
+        ("video_control/SCDA", scenario_video_with_control(), SCDA_SCHEME),
+    ]
+    section = {}
+    for label, scenario, scheme in cases:
+        result = run_scheme(scenario, scheme)
+        wall = result.wall_clock_s
+        section[label] = {
+            "sim_time_s": scenario.total_time_s,
+            "wall_clock_s": wall,
+            "sim_seconds_per_wall_second": scenario.total_time_s / wall,
+            "events_per_wall_second": result.extras["events_processed"] / wall,
+            "kernel_recomputes": result.extras["kernel_recomputes"],
+            "kernel_solves_incremental": result.extras.get(
+                "kernel_solves_incremental", 0.0
+            ),
+        }
+    _record(results_dir, "figure_scenarios", section)
+    for label, row in section.items():
+        assert row["sim_seconds_per_wall_second"] > 0.0, (label, row)
+
+
+def test_bench_fat_tree_100k_slice(results_dir, request):
+    """100k flows on the k=32 fat tree: a churn slice must not be solver-bound.
+
+    The slice holds F long-lived rack-local flows in steady state while a few
+    hundred short flows arrive and complete, which is the sparse-churn regime
+    the incremental solver targets.  The initial full solve (the cold start
+    every backend pays once) runs before any measurement starts.
+    """
+    from repro.network.fabric import FabricSimulator
+    from repro.network.flow import FlowKind
+    from repro.network.transport.ideal import IdealMaxMinTransport
+    from repro.sim.engine import Simulator
+    from repro.sim.random import RandomStreams
+    from test_bench_kernel_microbench import _fat_tree
+
+    smoke = request.config.getoption("benchmark_disable", default=False)
+    num_flows = 20_000 if smoke else 100_000
+    churn_arrivals = 200
+    profiled_arrivals = 25
+
+    topology = _fat_tree()
+    sim = Simulator()
+    fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+
+    link_of = {(l.src.node_id, l.dst.node_id): l for l in topology.links}
+    racks = {}
+    for host in topology.hosts():
+        racks.setdefault(str(host.attrs["rack"]), []).append(host)
+    rack_list = sorted(racks.items())
+    rng = RandomStreams(num_flows).stream("slice")
+
+    def start_rack_local(size_bytes):
+        rack_key, hosts = rack_list[int(rng.integers(0, len(rack_list)))]
+        i = int(rng.integers(0, len(hosts)))
+        j = int(rng.integers(0, len(hosts) - 1))
+        if j >= i:
+            j += 1
+        src, dst = hosts[i], hosts[j]
+        edge_id = f"edge-{rack_key}"
+        path = [link_of[(src.node_id, edge_id)], link_of[(edge_id, dst.node_id)]]
+        fabric.start_flow(src, dst, size_bytes, FlowKind.DATA, path=path)
+
+    # Steady-state population: long-lived elephants that stay active for the
+    # whole slice, admitted under one coalesced recompute (the cold start).
+    with fabric.churn():
+        for _ in range(num_flows):
+            start_rack_local(1e12)
+    assert fabric.recomputes == 1
+    assert fabric.active_flow_count == num_flows
+
+    # -- unprofiled churn window: the honest throughput number ----------------
+    for n in range(churn_arrivals):
+        size = float(rng.uniform(1e5, 1e6))
+        sim.call_at(0.001 + 0.001 * n, start_rack_local, size)
+    window_s = 0.45
+    wall_start = time.perf_counter()
+    sim.run(until=window_s)
+    wall = time.perf_counter() - wall_start
+
+    # -- profiled sub-window: where does the time actually go? ----------------
+    for n in range(profiled_arrivals):
+        size = float(rng.uniform(1e5, 1e6))
+        sim.call_at(window_s + 0.001 * (n + 1), start_rack_local, size)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(until=window_s + 0.05)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    total_time = stats.total_tt
+    solver_time = 0.0
+    for (filename, _line, name), entry in stats.stats.items():
+        if name == "max_min_shares" and filename.endswith("fluid.py"):
+            solver_time = entry[3]  # inclusive (cumulative) time of the solver
+    solver_fraction = solver_time / total_time if total_time > 0 else 0.0
+
+    # Drain: every short flow must complete; only the elephants survive.
+    sim.run(until=window_s + 0.8)
+    assert fabric.active_flow_count == num_flows
+
+    delta = fabric.incidence.delta
+    section = {
+        "num_flows": num_flows,
+        "churn_arrivals": churn_arrivals + profiled_arrivals,
+        "window_sim_s": window_s,
+        "window_wall_s": wall,
+        "sim_seconds_per_wall_second": window_s / wall,
+        "solver_fraction_of_profile": solver_fraction,
+        "recomputes": fabric.recomputes,
+        "recomputes_coalesced": fabric.recomputes_coalesced,
+        "solves_incremental": 0.0 if delta is None else float(delta.solves_incremental),
+        "solves_full": 0.0 if delta is None else float(delta.solves_full),
+        "dirty_rows_max": 0.0 if delta is None else float(delta.dirty_rows_max),
+    }
+    _record(results_dir, "fat_tree_slice", section)
+
+    if delta is not None:
+        assert delta.solves_incremental > 0, section
+    assert solver_fraction < 0.5, section

@@ -134,12 +134,18 @@ class ScdaController:
             calc.capacity_bps = link.capacity_bps
 
     def enable_periodic_monitoring(self) -> PeriodicTimer:
-        """Run the control round on a fixed timer even when no flow triggers it."""
+        """Run the control round on a fixed timer even when no flow triggers it.
+
+        Control-round timers ride the simulator's shared timer wheel: every
+        controller monitoring on the same τ grid lands in the same deadline
+        bucket, one heap record per round instead of one per controller.
+        """
         if self._monitor_timer is None:
             self._monitor_timer = PeriodicTimer(
                 self.sim,
                 self.config.params.control_interval_s,
                 lambda now: self.control_round(now, force=True),
+                wheel=self.sim.timer_wheel(),
             )
         return self._monitor_timer
 

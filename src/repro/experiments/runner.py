@@ -314,6 +314,8 @@ def run_scheme(
     }
     if stack.hedera is not None:
         extras["hedera_reroutes"] = float(stack.hedera.reroutes)
+    for key, value in stack.collector.kernel_extras().items():
+        extras[f"kernel_{key}"] = value
     result = SchemeResult(
         scheme=stack.spec.name,
         records=stack.collector.records,

@@ -138,3 +138,30 @@ class MetricsCollector:
     def completed_count(self) -> int:
         """Number of recorded completions."""
         return len(self.records)
+
+    def kernel_extras(self) -> Dict[str, float]:
+        """Perf counters from the allocation kernel, fabric and event engine.
+
+        Exported into ``SchemeResult.extras`` under a ``kernel_`` prefix (see
+        the experiment runner) so benches and the serve daemon can explain
+        *why* a run was slow: how often the water-filler solved incrementally
+        vs in full, how large the dirty regions were, how much churn the
+        fabric coalesced, and how hard the event heap and timer wheel worked.
+        All values are deterministic functions of the run, so they are safe
+        inside the canonical (bit-compared) result payload.
+        """
+        fabric = self.fabric
+        sim = fabric.sim
+        extras: Dict[str, float] = {
+            "recomputes": float(fabric.recomputes),
+            "recomputes_coalesced": float(fabric.recomputes_coalesced),
+            "heap_compactions": float(sim.heap_compactions),
+        }
+        delta = fabric.incidence.delta
+        if delta is not None:
+            extras.update(delta.stats())
+        wheel = getattr(sim, "_wheel", None)
+        if wheel is not None:
+            for key, value in wheel.stats().items():
+                extras[f"wheel_{key}"] = float(value)
+        return extras

@@ -19,14 +19,24 @@ baseline and SCDA.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+
+try:  # numpy accelerates bulk flow advancement; the fabric runs without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
 
 from repro.network.flow import Flow, FlowKind, FlowState
 from repro.network.incidence import IncidenceCache
 from repro.network.routing import NoPathError, Router
 from repro.network.topology import Link, Node, Topology
 from repro.sim.engine import Simulator
+
+#: Below this many active flows the pure-python advance loop beats the numpy
+#: setup cost; per-flow arithmetic is bit-identical on both paths.
+_VECTOR_MIN_FLOWS = 64
 
 
 @dataclass
@@ -80,12 +90,20 @@ class FabricSimulator:
         self.router = router or Router(topology)
         self.config = config or FabricConfig()
 
-        self.active_flows: List[Flow] = []
+        #: Active flows keyed by id (insertion-ordered) with a lazily rebuilt
+        #: list snapshot — O(1) removal where the old list paid O(F) per
+        #: departure, while :attr:`active_flows` keeps its list API.
+        self._active: Dict[int, Flow] = {}
+        self._active_list: Optional[List[Flow]] = None
         self.finished_flows: List[Flow] = []
         #: link→flows incidence over the active set, updated incrementally on
         #: every arrival/departure/reroute and shared with the water-filler
         #: and the SCDA control round (instead of each re-deriving it).
         self.incidence = IncidenceCache()
+        if _np is not None:
+            from repro.network.fluid_fast import DeltaWaterFiller
+
+            DeltaWaterFiller.attach(self.incidence)
         self._last_advance = sim.now
         self._next_recompute_event = None
         self._next_tick_time = sim.now
@@ -105,6 +123,14 @@ class FabricSimulator:
         self.capacity_changes = 0
         self.flows_rerouted_on_failure = 0
         self.flows_aborted_on_failure = 0
+        # Churn batching (see :meth:`churn`) and perf accounting.
+        self._churn_depth = 0
+        self._churn_pending = False
+        self.recomputes = 0
+        self.recomputes_coalesced = 0
+        #: Links that currently hold backlog — the drain pass visits only
+        #: these instead of scanning every link in the topology.
+        self._queued_links: Dict[str, Link] = {}
         #: Per-fabric flow ids: flow numbering restarts at 0 for every fabric,
         #: so a run's records are identical no matter what ran earlier in the
         #: process (or concurrently in another thread) — a prerequisite for
@@ -167,7 +193,42 @@ class FabricSimulator:
     @property
     def active_flow_count(self) -> int:
         """Number of currently transferring flows."""
-        return len(self.active_flows)
+        return len(self._active)
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """The currently transferring flows, in arrival order.
+
+        The returned list is a cached snapshot rebuilt only after churn and
+        declared to the incidence cache (:meth:`IncidenceCache.trust_flows`)
+        so the delta water-filler can skip its O(F) membership check when
+        handed this exact object.  Treat it as read-only.
+        """
+        lst = self._active_list
+        if lst is None:
+            lst = self._active_list = list(self._active.values())
+        if self.incidence.trusted_flows is not lst:
+            self.incidence.trust_flows(lst)
+        return lst
+
+    @contextmanager
+    def churn(self) -> Iterator["FabricSimulator"]:
+        """Coalesce a same-timestamp burst of flow churn into one recompute.
+
+        Inside the block, arrivals/departures/reroutes update flow and
+        incidence state immediately but defer the transport rate update and
+        recompute-timer rescheduling; a single :meth:`_recompute` runs when
+        the outermost block exits.  The block must not advance simulated
+        time.  Nesting is allowed.
+        """
+        self._churn_depth += 1
+        try:
+            yield self
+        finally:
+            self._churn_depth -= 1
+            if self._churn_depth == 0 and self._churn_pending:
+                self._churn_pending = False
+                self._recompute(self.sim.now)
 
     def flows_on_link(self, link: Link) -> List[Flow]:
         """Active flows whose path crosses ``link``."""
@@ -193,7 +254,7 @@ class FabricSimulator:
         time when connection-setup latency has already elapsed so that FCT
         accounts for it.
         """
-        if len(self.active_flows) >= self.config.max_active_flows:
+        if len(self._active) >= self.config.max_active_flows:
             raise RuntimeError("too many active flows; raise FabricConfig.max_active_flows")
         now = self.sim.now
         flow = Flow(
@@ -218,7 +279,8 @@ class FabricSimulator:
         # Bring the fluid state up to date before the flow joins.
         self._advance_to(now)
         flow.start(now)
-        self.active_flows.append(flow)
+        self._active[flow.flow_id] = flow
+        self._active_list = None
         self.incidence.add_flow(flow)
         self.transport.on_flow_start(flow, now)
         for callback in self._start_callbacks:
@@ -230,8 +292,8 @@ class FabricSimulator:
         """Cancel an active flow (e.g. SLA mitigation moving it elsewhere)."""
         now = self.sim.now
         self._advance_to(now)
-        if flow in self.active_flows:
-            self.active_flows.remove(flow)
+        if self._active.pop(flow.flow_id, None) is not None:
+            self._active_list = None
         self.incidence.remove_flow(flow)
         flow.abort(now)
         self.transport.on_flow_finish(flow, now)
@@ -285,22 +347,25 @@ class FabricSimulator:
         self.router.invalidate_routes()
         stranded = list(self.incidence.link_flows_map().get(link.link_id, ()))
         aborted: List[Flow] = []
-        for flow in stranded:
-            if flow.state is not FlowState.ACTIVE:
-                continue
-            try:
-                new_path = self.router.path_for_new_flow(flow.src, flow.dst)
-            except NoPathError:
-                new_path = None
-            if new_path and all(l.up for l in new_path):
-                self.reroute_flow(flow, new_path, reason="failure")
-                self.flows_rerouted_on_failure += 1
-            else:
-                self.abort_flow(flow)
-                self.flows_aborted_on_failure += 1
-                aborted.append(flow)
-        self._notify_topology_changed("link-failed", link, now)
-        self._recompute(now)
+        # One rate recompute for the whole failure event, however many flows
+        # were stranded — the per-flow reroutes/aborts all land at `now`.
+        with self.churn():
+            for flow in stranded:
+                if flow.state is not FlowState.ACTIVE:
+                    continue
+                try:
+                    new_path = self.router.path_for_new_flow(flow.src, flow.dst)
+                except NoPathError:
+                    new_path = None
+                if new_path and all(l.up for l in new_path):
+                    self.reroute_flow(flow, new_path, reason="failure")
+                    self.flows_rerouted_on_failure += 1
+                else:
+                    self.abort_flow(flow)
+                    self.flows_aborted_on_failure += 1
+                    aborted.append(flow)
+            self._notify_topology_changed("link-failed", link, now)
+            self._recompute(now)
         return aborted
 
     def restore_link(self, link: Link) -> None:
@@ -316,6 +381,7 @@ class FabricSimulator:
         self._advance_to(now)
         link.up = True
         link.queue_bytes = 0.0
+        self._queued_links.pop(link.link_id, None)
         self._down_link_ids.discard(link.link_id)
         self.link_recoveries += 1
         self.router.invalidate_routes()
@@ -345,42 +411,132 @@ class FabricSimulator:
         dt = now - self._last_advance
         if dt < 0:
             raise RuntimeError("fabric time went backwards")
-        if dt == 0.0 or not self.active_flows:
+        if dt == 0.0 or not self._active:
             self._last_advance = now
             return
 
-        # Offered load per link (demand may exceed capacity — that is how
-        # queues build for TCP-style transports).
-        offered: Dict[str, float] = {}
-        touched: Dict[str, Link] = {}
-        for flow in self.active_flows:
-            if flow.demand_rate_bps <= 0:
-                continue
-            for link in flow.path:
-                offered[link.link_id] = offered.get(link.link_id, 0.0) + flow.demand_rate_bps
-                touched[link.link_id] = link
-        for link_id, link in touched.items():
-            link.integrate_queue(offered[link_id], dt)
-        # Links that had backlog but no longer carry demand still drain.
-        for link in self.topology.links:
-            if link.link_id not in touched and link.queue_bytes > 0.0:
-                link.integrate_queue(0.0, dt)
-
-        finished: List[Flow] = []
-        for flow in self.active_flows:
-            delivered = flow.advance(dt)
-            self.total_bytes_delivered += delivered
-            if flow.remaining_bytes <= self.config.completion_tolerance_bytes:
-                finished.append(flow)
+        if _np is not None and len(self._active) >= _VECTOR_MIN_FLOWS:
+            finished = self._advance_vectorized(dt)
+        else:
+            finished = self._advance_python(dt)
 
         self._last_advance = now
         for flow in finished:
             self._finish_flow(flow, now)
 
+    def _advance_python(self, dt: float) -> List[Flow]:
+        """Per-flow advancement loop (small flow counts, or numpy absent)."""
+        # Offered load per link (demand may exceed capacity — that is how
+        # queues build for TCP-style transports).
+        flows = self.active_flows
+        offered: Dict[str, float] = {}
+        touched: Dict[str, Link] = {}
+        for flow in flows:
+            if flow.demand_rate_bps <= 0:
+                continue
+            for link in flow.path:
+                offered[link.link_id] = offered.get(link.link_id, 0.0) + flow.demand_rate_bps
+                touched[link.link_id] = link
+        queued = self._queued_links
+        for link_id, link in touched.items():
+            link.integrate_queue(offered[link_id], dt)
+            if link.queue_bytes > 0.0:
+                queued[link_id] = link
+            else:
+                queued.pop(link_id, None)
+        self._drain_untouched(touched, dt)
+
+        finished: List[Flow] = []
+        tolerance = self.config.completion_tolerance_bytes
+        for flow in flows:
+            delivered = flow.advance(dt)
+            self.total_bytes_delivered += delivered
+            if flow.remaining_bytes <= tolerance:
+                finished.append(flow)
+        return finished
+
+    def _advance_vectorized(self, dt: float) -> List[Flow]:
+        """Bulk advancement over the incidence table's flat pair arrays.
+
+        Per-flow arithmetic mirrors :meth:`Flow.advance` operation for
+        operation, so the two paths produce bit-identical flow state; only
+        the ``total_bytes_delivered`` accumulation order differs (pairwise
+        numpy sum vs sequential adds).
+        """
+        np = _np
+        flows = self.active_flows
+        table = self.incidence.table()
+        row_flows = table.row_flows
+        rows = len(row_flows)
+        pairs = table.pair_count
+        # Offered load per link: one weighted bincount over the link×flow
+        # pairs instead of a python dict accumulation.  Dead (tombstoned)
+        # rows hold no demand, so scratch contributions are zero.
+        demand = np.fromiter(
+            (0.0 if f is None else f.demand_rate_bps for f in row_flows),
+            np.float64,
+            count=rows,
+        )
+        offered = np.bincount(
+            table.pair_link[:pairs],
+            weights=demand[table.pair_flow[:pairs]],
+            minlength=table.num_slots,
+        )
+        queued = self._queued_links
+        link_slots = table.link_slots
+        touched: Set[str] = set()
+        for slot in np.nonzero(offered)[0].tolist():
+            link = link_slots[slot]
+            if link is None:
+                continue
+            link.integrate_queue(float(offered[slot]), dt)
+            touched.add(link.link_id)
+            if link.queue_bytes > 0.0:
+                queued[link.link_id] = link
+            else:
+                queued.pop(link.link_id, None)
+        self._drain_untouched(touched, dt)
+
+        # Remaining-bytes advancement: min(remaining, rate * dt / 8.0)
+        # exactly as Flow.advance computes it, for every flow at once.
+        count = len(flows)
+        rate = np.fromiter((f.current_rate_bps for f in flows), np.float64, count=count)
+        remaining = np.fromiter((f.remaining_bytes for f in flows), np.float64, count=count)
+        delivered = np.minimum(remaining, rate * dt / 8.0)
+        np.subtract(remaining, delivered, out=remaining)
+        self.total_bytes_delivered += float(delivered.sum())
+
+        finished: List[Flow] = []
+        tolerance = self.config.completion_tolerance_bytes
+        for flow, rem, dlv in zip(flows, remaining.tolist(), delivered.tolist()):
+            if dlv:
+                flow.remaining_bytes = rem
+            if rem <= tolerance:
+                finished.append(flow)
+        return finished
+
+    def _drain_untouched(self, touched: "Set[str] | Dict[str, Link]", dt: float) -> None:
+        """Drain backlogged links that carried no demand this interval.
+
+        Only links the fabric has ever seen build a queue are visited (the
+        ``_queued_links`` set), not the whole topology.  ``restore_link``
+        clears its entry when it zeroes a queue by hand.
+        """
+        queued = self._queued_links
+        if not queued:
+            return
+        for link_id in list(queued):
+            if link_id in touched:
+                continue
+            link = queued[link_id]
+            link.integrate_queue(0.0, dt)
+            if link.queue_bytes <= 0.0:
+                del queued[link_id]
+
     def _finish_flow(self, flow: Flow, now: float) -> None:
         flow.finish(now)
-        if flow in self.active_flows:
-            self.active_flows.remove(flow)
+        if self._active.pop(flow.flow_id, None) is not None:
+            self._active_list = None
         self.incidence.remove_flow(flow)
         self.finished_flows.append(flow)
         self.transport.on_flow_finish(flow, now)
@@ -389,18 +545,44 @@ class FabricSimulator:
 
     # -- recompute scheduling --------------------------------------------------------------
     def _recompute(self, now: float) -> None:
-        """Ask the transport for fresh rates and schedule the next recompute."""
-        if self.active_flows:
-            self.transport.update_rates(list(self.active_flows), now)
+        """Ask the transport for fresh rates and schedule the next recompute.
+
+        Inside a :meth:`churn` block the call is deferred (and counted) so a
+        burst of same-timestamp arrivals/departures pays for one transport
+        update instead of one per event.
+        """
+        if self._churn_depth:
+            self._churn_pending = True
+            self.recomputes_coalesced += 1
+            return
+        self.recomputes += 1
+        if self._active:
+            # The cached snapshot, not a copy: the solver recognises the
+            # trusted list and skips its per-call membership check.
+            self.transport.update_rates(self.active_flows, now)
         self._schedule_next(now)
 
     def _schedule_next(self, now: float) -> None:
         if self._next_recompute_event is not None and self._next_recompute_event.pending:
             self._next_recompute_event.cancel()
             self._next_recompute_event = None
-        if not self.active_flows:
+        if not self._active:
             return
-        earliest_completion = min(f.time_to_complete() for f in self.active_flows)
+        flows = self.active_flows
+        if _np is not None and len(flows) >= _VECTOR_MIN_FLOWS:
+            # Same arithmetic as Flow.time_to_complete, all flows at once.
+            count = len(flows)
+            rate = _np.fromiter((f.current_rate_bps for f in flows), _np.float64, count=count)
+            remaining = _np.fromiter((f.remaining_bytes for f in flows), _np.float64, count=count)
+            with _np.errstate(divide="ignore", invalid="ignore"):
+                ttc = _np.where(
+                    remaining <= 0.0,
+                    0.0,
+                    _np.where(rate > 0.0, remaining * 8.0 / rate, _np.inf),
+                )
+            earliest_completion = float(ttc.min())
+        else:
+            earliest_completion = min(f.time_to_complete() for f in flows)
         next_time = now + min(self.config.control_interval_s, max(earliest_completion, 0.0))
         # Guard against zero-length steps caused by floating-point round-off.
         next_time = max(next_time, now + 1e-9)
@@ -415,7 +597,7 @@ class FabricSimulator:
     # -- draining --------------------------------------------------------------------------
     def drain(self, deadline: Optional[float] = None) -> None:
         """Run the simulator until all active flows finish (or ``deadline``)."""
-        while self.active_flows:
+        while self._active:
             next_event = self.sim.peek()
             if next_event is None:
                 raise RuntimeError(
@@ -428,7 +610,7 @@ class FabricSimulator:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"<FabricSimulator t={self.sim.now:g} active={len(self.active_flows)} "
+            f"<FabricSimulator t={self.sim.now:g} active={len(self._active)} "
             f"finished={len(self.finished_flows)}>"
         )
 

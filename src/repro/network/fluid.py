@@ -84,8 +84,11 @@ def max_min_shares(
         Optional per-link capacity replacement keyed by ``link_id`` (used for
         reservation-adjusted capacities).
     solver:
-        ``"auto"`` (default: numpy from :data:`AUTO_NUMPY_MIN_FLOWS` flows up,
-        pure Python below), ``"python"``, or ``"numpy"``.
+        ``"auto"`` (default: numpy from :data:`AUTO_NUMPY_MIN_FLOWS` flows up
+        — the incremental delta solver when the cache carries one — pure
+        Python below), ``"python"``, ``"numpy"``, or ``"incremental"``
+        (delta water-filling against the cache's persistent incidence table;
+        see :class:`~repro.network.fluid_fast.DeltaWaterFiller`).
     cache:
         Optional :class:`~repro.network.incidence.IncidenceCache` covering
         exactly ``flows`` — reuses the link→flows incidence instead of
@@ -104,13 +107,35 @@ def max_min_shares(
     at their cap first.  At most min(L, F) rounds; each round is O(L·F) in
     the Python backend and O(nnz) vectorized in the numpy backend.
     """
-    if solver not in ("auto", "python", "numpy"):
-        raise ValueError(f"unknown solver {solver!r}; use 'auto', 'python' or 'numpy'")
+    if solver not in ("auto", "python", "numpy", "incremental"):
+        raise ValueError(
+            f"unknown solver {solver!r}; use 'auto', 'python', 'numpy' or 'incremental'"
+        )
     if solver == "auto":
-        solver = (
-            "numpy"
-            if len(flows) >= AUTO_NUMPY_MIN_FLOWS and _numpy_available()
-            else "python"
+        if len(flows) >= AUTO_NUMPY_MIN_FLOWS and _numpy_available():
+            # The fabric attaches a DeltaWaterFiller to its cache; when one is
+            # present the auto path re-solves only the churn-dirty component.
+            solver = (
+                "incremental"
+                if cache is not None and cache.delta is not None
+                else "numpy"
+            )
+        else:
+            solver = "python"
+    if solver == "incremental":
+        if not _numpy_available():  # pragma: no cover - env without numpy
+            raise RuntimeError(
+                "solver='incremental' requested but numpy is not installed"
+            )
+        from repro.network.fluid_fast import max_min_shares_incremental
+
+        return max_min_shares_incremental(
+            flows,
+            demand_caps=demand_caps,
+            weights=weights,
+            capacity_scale=capacity_scale,
+            capacity_overrides=capacity_overrides,
+            cache=cache,
         )
     if solver == "numpy":
         if not _numpy_available():  # pragma: no cover - env without numpy

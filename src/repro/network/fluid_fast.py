@@ -1,20 +1,36 @@
 """Vectorized max-min water-filling on a numpy link×flow incidence.
 
-This is the ``solver="numpy"`` backend of
-:func:`repro.network.fluid.max_min_shares`.  It runs the *same* progressive
-filling as the pure-Python solver — identical round structure, identical
-freeze order and tie-breaking — but each round is a handful of numpy
-reductions over flow-major COO index arrays instead of Python loops over
-``link × flow`` lists, so a round costs O(nnz) C-speed work rather than
-O(L·F) interpreter work.
+This module hosts the two numpy backends of
+:func:`repro.network.fluid.max_min_shares`:
 
-The incidence structure (which flow crosses which link) is either rebuilt
-from the flow list or taken from an :class:`~repro.network.incidence.IncidenceCache`
-whose arrays are cached per flow-set epoch, so back-to-back control rounds
-over an unchanged flow set skip the structure build entirely.
+* ``solver="numpy"`` — :func:`max_min_shares_numpy`: a *full* progressive
+  filling over the whole flow set, the PR 1 design.  It runs the same rounds
+  as the pure-Python solver — identical round structure, identical freeze
+  order and tie-breaking — but each round is a handful of numpy reductions
+  over flow-major COO index arrays, so a round costs O(nnz) C-speed work
+  rather than O(L·F) interpreter work.
+* ``solver="incremental"`` — :class:`DeltaWaterFiller`: on flow arrival or
+  departure, re-solve only the *connected component* of the link×flow
+  incidence graph that the change touches.  Max-min allocations decompose
+  exactly per connected component (a component's links carry only component
+  flows, so progressive filling never moves capacity across components),
+  which makes the component-local solve equal to the full solve on the
+  component rows — not an approximation.  Dirty seeds come from the
+  :class:`~repro.network.incidence.IncidenceCache` change listeners plus
+  per-call verification of the runtime-mutable inputs (priority weights,
+  demand caps, link capacities).  When the dirty component exceeds
+  :data:`MAX_DIRTY_FRACTION` of the live flows the filler falls back to one
+  full solve — incrementality only pays on sparse churn.
+
+Both backends share one array kernel (:func:`_waterfill_kernel`).  The full
+backend rebuilds its arrays per flow-set epoch; the incremental backend runs
+on the cache's *persistent* :class:`~repro.network.incidence.IncidenceTable`,
+so a churn event costs O(path length) table maintenance + O(component) solve
+instead of O(nnz) rebuild + O(nnz · rounds) solve.
 
 Equivalence with the Python solver (within 1e-9 relative) is enforced by
-``tests/network/test_fluid_equivalence.py``; the only differences are
+``tests/network/test_fluid_equivalence.py`` and
+``tests/network/test_fluid_incremental.py``; the only differences are
 floating-point summation order inside a round (numpy ``bincount`` vs Python
 ``sum``) and simultaneous-vs-sequential freezing of *exactly tied*
 bottleneck links, both of which perturb results at machine epsilon only.
@@ -22,84 +38,57 @@ bottleneck links, both of which perturb results at machine epsilon only.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.network.flow import Flow
-from repro.network.incidence import IncidenceArrays, IncidenceCache
+from repro.network.incidence import IncidenceArrays, IncidenceCache, IncidenceTable
+
+#: The incremental path abandons its BFS and falls back to a full solve when
+#: the dirty component exceeds this fraction of the live flows — beyond it the
+#: component solve approaches full-solve cost while paying extraction
+#: overhead on top (measured in benchmarks/test_bench_kernel_microbench.py).
+MAX_DIRTY_FRACTION = 0.25
+
+#: Pending-churn bookkeeping is dropped (the filler goes cold and the next
+#: solve is a full one) past this many un-consumed events — it bounds listener
+#: memory when a scenario churns for a long time between incremental solves.
+_MAX_PENDING_EVENTS = 200_000
+
+_INF = float("inf")
 
 
-def _structure_for(
-    flows: Sequence[Flow], cache: Optional[IncidenceCache]
-) -> IncidenceArrays:
-    """The incidence arrays for ``flows`` — from the cache when it is current."""
-    if cache is not None and cache.matches(flows):
-        return cache.arrays()
-    return IncidenceCache(flows).arrays()
+def _waterfill_kernel(
+    pair_flow: "np.ndarray",
+    pair_link: "np.ndarray",
+    w: "np.ndarray",
+    cap: "np.ndarray",
+    link_cap: "np.ndarray",
+) -> Tuple["np.ndarray", int]:
+    """Progressive filling over COO arrays; returns (rates, rounds).
 
-
-def max_min_shares_numpy(
-    flows: Sequence[Flow],
-    demand_caps: Optional[Mapping[int, float]] = None,
-    weights: Optional[Mapping[int, float]] = None,
-    capacity_scale: float = 1.0,
-    capacity_overrides: Optional[Mapping[str, float]] = None,
-    cache: Optional[IncidenceCache] = None,
-) -> Dict[int, float]:
-    """Vectorized (weighted) max-min fair rates — see ``fluid.max_min_shares``."""
-    rates: Dict[int, float] = {f.flow_id: 0.0 for f in flows}
-    structure = _structure_for(flows, cache)
-    flow_list = structure.flow_list
-    num_flows = structure.num_flows
-    num_links = structure.num_links
-    if num_flows == 0:
-        return rates
-
-    pair_flow = structure.pair_flow
-    pair_link = structure.pair_link
-
-    # Per-flow weight ℘_j and cap min(demand_cap, app_limit), clamped at 0.
-    w = np.fromiter((f.priority_weight for f in flow_list), np.float64, num_flows)
-    if weights:
-        for i, f in enumerate(flow_list):
-            if f.flow_id in weights:
-                w[i] = float(weights[f.flow_id])
-    bad = np.nonzero(w <= 0.0)[0]
-    if bad.size:
-        i = int(bad[0])
-        raise ValueError(
-            f"flow {flow_list[i].flow_id} has non-positive weight {w[i]}"
-        )
-    cap = np.fromiter((f.app_limit_bps for f in flow_list), np.float64, num_flows)
-    if demand_caps:
-        for i, f in enumerate(flow_list):
-            c = demand_caps.get(f.flow_id)
-            if c is not None and c < cap[i]:
-                cap[i] = float(c)
-    np.maximum(cap, 0.0, out=cap)
-
-    # Per-link capacity: override, then scale, then clamp — as the Python solver.
-    link_cap = np.fromiter(
-        (link.capacity_bps for link in structure.link_list), np.float64, num_links
-    )
-    if capacity_overrides:
-        for li, link in enumerate(structure.link_list):
-            if link.link_id in capacity_overrides:
-                link_cap[li] = float(capacity_overrides[link.link_id])
-    link_cap *= capacity_scale
-    np.maximum(link_cap, 0.0, out=link_cap)
-
+    ``w``/``cap`` are per-row weight and demand cap (rows with ``cap <= 0``
+    freeze at 0 immediately — tombstoned rows enter that way), ``link_cap``
+    per-slot capacity (``inf`` slots can never bottleneck).  The round
+    structure mirrors the pure-Python solver exactly: find the global
+    bottleneck share, freeze cap-limited flows first, then freeze the flows
+    on all bottleneck links, a flow on several freezing links taking the
+    share of the first link in slot order.
+    """
+    num_flows = w.shape[0]
+    num_links = link_cap.shape[0]
     rate = np.zeros(num_flows, dtype=np.float64)
-    # Zero-cap flows freeze at 0 immediately (they simply get nothing).
     frozen = cap <= 0.0
 
     pair_w = w[pair_flow]
+    rounds = 0
     max_rounds = num_flows + num_links + 1
     for _round in range(max_rounds):
         live = ~frozen
         if not live.any():
             break
+        rounds += 1
         live_pair = live[pair_flow]
         weight_sum = np.bincount(
             pair_link, weights=np.where(live_pair, pair_w, 0.0), minlength=num_links
@@ -136,7 +125,529 @@ def max_min_shares_numpy(
         else:  # pragma: no cover - defensive, mirrors the Python solver
             rate[live] = np.minimum(cap[live], bottleneck * w[live])
             break
+    return rate, rounds
 
+
+def _structure_for(
+    flows: Sequence[Flow], cache: Optional[IncidenceCache]
+) -> IncidenceArrays:
+    """The incidence arrays for ``flows`` — from the cache when it is current."""
+    if cache is not None and cache.matches(flows):
+        return cache.arrays()
+    return IncidenceCache(flows).arrays()
+
+
+def max_min_shares_numpy(
+    flows: Sequence[Flow],
+    demand_caps: Optional[Mapping[int, float]] = None,
+    weights: Optional[Mapping[int, float]] = None,
+    capacity_scale: float = 1.0,
+    capacity_overrides: Optional[Mapping[str, float]] = None,
+    cache: Optional[IncidenceCache] = None,
+) -> Dict[int, float]:
+    """Vectorized (weighted) max-min fair rates — see ``fluid.max_min_shares``."""
+    rates: Dict[int, float] = {f.flow_id: 0.0 for f in flows}
+    structure = _structure_for(flows, cache)
+    flow_list = structure.flow_list
+    num_flows = structure.num_flows
+    num_links = structure.num_links
+    if num_flows == 0:
+        return rates
+
+    # Per-flow weight ℘_j and cap min(demand_cap, app_limit), clamped at 0.
+    w = np.fromiter((f.priority_weight for f in flow_list), np.float64, num_flows)
+    if weights:
+        for i, f in enumerate(flow_list):
+            if f.flow_id in weights:
+                w[i] = float(weights[f.flow_id])
+    bad = np.nonzero(w <= 0.0)[0]
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"flow {flow_list[i].flow_id} has non-positive weight {w[i]}"
+        )
+    cap = np.fromiter((f.app_limit_bps for f in flow_list), np.float64, num_flows)
+    if demand_caps:
+        for i, f in enumerate(flow_list):
+            c = demand_caps.get(f.flow_id)
+            if c is not None and c < cap[i]:
+                cap[i] = float(c)
+    np.maximum(cap, 0.0, out=cap)
+
+    # Per-link capacity: override, then scale, then clamp — as the Python solver.
+    link_cap = np.fromiter(
+        (link.capacity_bps for link in structure.link_list), np.float64, num_links
+    )
+    if capacity_overrides:
+        for li, link in enumerate(structure.link_list):
+            if link.link_id in capacity_overrides:
+                link_cap[li] = float(capacity_overrides[link.link_id])
+    link_cap *= capacity_scale
+    np.maximum(link_cap, 0.0, out=link_cap)
+
+    rate, _rounds = _waterfill_kernel(
+        structure.pair_flow, structure.pair_link, w, cap, link_cap
+    )
     for i, flow in enumerate(flow_list):
         rates[flow.flow_id] = float(rate[i])
     return rates
+
+
+class DeltaWaterFiller:
+    """Incremental max-min solver bound to one :class:`IncidenceCache`.
+
+    The filler subscribes to the cache's membership listeners, keeps
+    row/slot-aligned snapshots of every solver input (weights, effective
+    demand caps, effective link capacities) plus the last full rate vector,
+    and on each solve:
+
+    1. verifies the runtime-mutable inputs against the snapshots (priority
+       weights are mutated in place by the SCDA priority manager every control
+       round; SLA boosts mutate link capacities without an epoch bump) —
+       changed entries become dirty seeds, exactly like churned flows;
+    2. grows the dirty set to the full connected component of the incidence
+       graph (the unit on which max-min decomposes exactly), aborting early
+       to a full solve past :data:`MAX_DIRTY_FRACTION`;
+    3. solves only the component with the shared kernel, on sub-arrays
+       extracted in global row/slot order so tie-breaking matches the full
+       solve bit for bit, and merges the component rates into the kept vector.
+
+    ``app_limit_bps`` is treated as immutable after a flow starts (nothing in
+    the runtime mutates it; it is an admission-time property), which is what
+    lets the per-solve verification stop at weights + caps + capacities.
+    """
+
+    def __init__(self, cache: IncidenceCache) -> None:
+        self.cache = cache
+        cache.add_listener(self._on_change)
+        cache.delta = self
+
+        self._cold = True
+        self._rates: Dict[int, float] = {}
+        self._rate_row: Optional[np.ndarray] = None
+        self._w_row: Optional[np.ndarray] = None
+        self._cap_row: Optional[np.ndarray] = None
+        self._linkcap_slot: Optional[np.ndarray] = None
+        self._caps_snapshot: Dict[int, float] = {}
+        self._weights_snapshot: Dict[int, float] = {}
+        self._layout_version = -1
+        self._epoch_seen = -1
+        # Pending churn since the last solve.
+        self._pending_added: Set[int] = set()
+        self._pending_links: Set[str] = set()
+        self._pending_removed: Set[int] = set()
+        # Perf counters (exported as kernel extras via MetricsCollector).
+        self.solves_full = 0
+        self.solves_incremental = 0
+        self.solves_noop = 0
+        self.fallback_large_region = 0
+        self.fallback_stale = 0
+        self.kernel_rounds = 0
+        self.dirty_rows_total = 0
+        self.dirty_rows_max = 0
+
+    @classmethod
+    def attach(cls, cache: IncidenceCache) -> "DeltaWaterFiller":
+        """The cache's filler, creating one on first use."""
+        if cache.delta is None:
+            cls(cache)
+        return cache.delta
+
+    # -- change feed ---------------------------------------------------------------
+    def _on_change(self, event: str, flow: Optional[Flow], path) -> None:
+        if event == "clear":
+            self._go_cold()
+            return
+        if self._cold:
+            return
+        if (
+            len(self._pending_added) + len(self._pending_links) + len(self._pending_removed)
+            > _MAX_PENDING_EVENTS
+        ):
+            self._go_cold()
+            return
+        if event == "add":
+            self._pending_added.add(flow.flow_id)
+            self._pending_removed.discard(flow.flow_id)
+            for link in path:
+                self._pending_links.add(link.link_id)
+        elif event == "remove":
+            self._pending_added.discard(flow.flow_id)
+            self._pending_removed.add(flow.flow_id)
+            for link in path:
+                self._pending_links.add(link.link_id)
+
+    def _go_cold(self) -> None:
+        self._cold = True
+        self._pending_added.clear()
+        self._pending_links.clear()
+        self._pending_removed.clear()
+        self._rates = {}
+        self._rate_row = None
+
+    # -- stats ---------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        out = {
+            "solves_full": float(self.solves_full),
+            "solves_incremental": float(self.solves_incremental),
+            "solves_noop": float(self.solves_noop),
+            "fallback_large_region": float(self.fallback_large_region),
+            "fallback_stale": float(self.fallback_stale),
+            "solver_rounds": float(self.kernel_rounds),
+            "dirty_rows_total": float(self.dirty_rows_total),
+            "dirty_rows_max": float(self.dirty_rows_max),
+        }
+        if self.cache._table is not None:
+            out.update(self.cache.table().stats())
+        return out
+
+    # -- solving -------------------------------------------------------------------
+    def solve(
+        self,
+        flows: Sequence[Flow],
+        demand_caps: Optional[Mapping[int, float]] = None,
+        weights: Optional[Mapping[int, float]] = None,
+        capacity_scale: float = 1.0,
+        capacity_overrides: Optional[Mapping[str, float]] = None,
+    ) -> Dict[int, float]:
+        """Max-min rates for ``flows``, incrementally when the state allows."""
+        cache = self.cache
+        # Membership check: the fabric's lock-step list is trusted outright;
+        # anything else pays an O(F) id sweep.  A flow list the cache does not
+        # cover at all is solved fresh (legacy path) without touching state.
+        if flows is not cache.trusted_flows and not cache.covers_ids(flows):
+            self.fallback_stale += 1
+            return max_min_shares_numpy(
+                flows,
+                demand_caps=demand_caps,
+                weights=weights,
+                capacity_scale=capacity_scale,
+                capacity_overrides=capacity_overrides,
+                cache=None,
+            )
+
+        table = cache.table()
+        if (
+            self._cold
+            or self._rate_row is None
+            or self._layout_version != table.layout_version
+            or capacity_scale != getattr(self, "_scale_snapshot", None)
+        ):
+            return self._solve_full(
+                table, demand_caps, weights, capacity_scale, capacity_overrides
+            )
+
+        caps = demand_caps or {}
+        wdict = weights or {}
+        n_rows = table.num_rows
+        row_flows = table.row_flows
+        dirty_rows: Set[int] = set()
+        dirty_slots: Set[int] = set()
+
+        # Grow snapshots for rows appended since the last solve; the new rows
+        # are dirty by construction (they are the pending adds).
+        if self._w_row.shape[0] < n_rows:
+            grown = np.empty(n_rows, dtype=np.float64)
+            grown[: self._w_row.shape[0]] = self._w_row
+            grown[self._w_row.shape[0] :] = 1.0
+            self._w_row = grown
+            for name in ("_cap_row", "_rate_row"):
+                old = getattr(self, name)
+                grown = np.zeros(n_rows, dtype=np.float64)
+                grown[: old.shape[0]] = old
+                setattr(self, name, grown)
+
+        # 1. Churn seeds.
+        row_of = table.row_of
+        for fid in self._pending_added:
+            row = row_of.get(fid)
+            if row is not None:
+                dirty_rows.add(row)
+                flow = row_flows[row]
+                self._cap_row[row] = self._effective_cap(flow, caps)
+                self._w_row[row] = float(wdict.get(fid, flow.priority_weight))
+        for fid in self._pending_removed:
+            self._rates.pop(fid, None)
+        slot_of = table.slot_of
+        for link_id in self._pending_links:
+            slot = slot_of.get(link_id)
+            if slot is not None:
+                dirty_slots.add(slot)
+
+        # 2. Verify the runtime-mutable inputs; differences become seeds.
+        cur_w = np.fromiter(
+            (1.0 if f is None else f.priority_weight for f in row_flows),
+            np.float64,
+            n_rows,
+        )
+        if wdict:
+            for fid, value in wdict.items():
+                row = row_of.get(fid)
+                if row is not None:
+                    cur_w[row] = float(value)
+        if (cur_w <= 0.0).any():
+            bad = int(np.nonzero(cur_w <= 0.0)[0][0])
+            flow = row_flows[bad]
+            if flow is not None:
+                raise ValueError(
+                    f"flow {flow.flow_id} has non-positive weight {cur_w[bad]}"
+                )
+        changed = np.nonzero(cur_w != self._w_row)[0]
+        if changed.size:
+            dirty_rows.update(int(r) for r in changed)
+        self._w_row = cur_w
+
+        if caps != self._caps_snapshot or wdict != self._weights_snapshot:
+            # Demand caps changed (a new SCDA control round published new
+            # allocations): diff per flow, dirty the changed rows.
+            old = self._caps_snapshot
+            new = dict(caps)
+            for fid in old.keys() | new.keys():
+                if old.get(fid) != new.get(fid):
+                    row = row_of.get(fid)
+                    if row is not None:
+                        dirty_rows.add(row)
+                        self._cap_row[row] = self._effective_cap(row_flows[row], caps)
+            self._caps_snapshot = new
+            self._weights_snapshot = dict(wdict)
+
+        cur_linkcap = table.link_capacities(capacity_scale, capacity_overrides)
+        if cur_linkcap.shape[0] != self._linkcap_slot.shape[0]:
+            grown = np.full(cur_linkcap.shape[0], _INF, dtype=np.float64)
+            grown[: self._linkcap_slot.shape[0]] = self._linkcap_slot
+            self._linkcap_slot = grown
+        changed_slots = np.nonzero(cur_linkcap != self._linkcap_slot)[0]
+        for s in changed_slots:
+            if table.link_slots[int(s)] is not None:
+                dirty_slots.add(int(s))
+        self._linkcap_slot = cur_linkcap
+
+        if not dirty_rows and not dirty_slots:
+            self.solves_noop += 1
+            self._finish_bookkeeping(table)
+            return dict(self._rates)
+
+        # 3. Close over the connected component; bail out when it gets large.
+        component = self._component_of(table, dirty_rows, dirty_slots)
+        if component is None:
+            self.fallback_large_region += 1
+            return self._solve_full(
+                table, demand_caps, weights, capacity_scale, capacity_overrides
+            )
+        comp_rows, comp_slots = component
+        self._solve_component(table, comp_rows, comp_slots)
+        self.solves_incremental += 1
+        self.dirty_rows_total += len(comp_rows)
+        if len(comp_rows) > self.dirty_rows_max:
+            self.dirty_rows_max = len(comp_rows)
+        self._finish_bookkeeping(table)
+        return dict(self._rates)
+
+    # -- helpers -------------------------------------------------------------------
+    @staticmethod
+    def _effective_cap(flow: Flow, caps: Mapping[int, float]) -> float:
+        cap = caps.get(flow.flow_id, _INF)
+        if flow.app_limit_bps < cap:
+            cap = flow.app_limit_bps
+        if not flow.path:
+            cap = 0.0  # pathless flows get nothing, as in the reference solver
+        return max(0.0, float(cap))
+
+    def _finish_bookkeeping(self, table: IncidenceTable) -> None:
+        self._pending_added.clear()
+        self._pending_links.clear()
+        self._pending_removed.clear()
+        self._layout_version = table.layout_version
+        self._epoch_seen = self.cache.epoch
+
+    def _component_of(
+        self,
+        table: IncidenceTable,
+        seed_rows: Set[int],
+        seed_slots: Set[int],
+    ) -> Optional[Tuple[List[int], List[int]]]:
+        """BFS closure of the seeds over the bipartite incidence graph.
+
+        Returns ``(rows, slots)`` sorted ascending, or None when the region
+        exceeds the fallback threshold (the BFS aborts as soon as it does, so
+        a dense region costs O(threshold), not O(component)).
+        """
+        limit = max(64, int(MAX_DIRTY_FRACTION * table.live_rows))
+        rows: Set[int] = set()
+        slots: Set[int] = set(seed_slots)
+        row_frontier: List[int] = [r for r in seed_rows if table.row_flows[r] is not None]
+        slot_frontier: List[int] = list(seed_slots)
+        rows.update(row_frontier)
+        cache = self.cache
+        row_of = table.row_of
+        pl = table.pair_link
+        while row_frontier or slot_frontier:
+            if len(rows) > limit:
+                return None
+            next_slots: List[int] = []
+            for row in row_frontier:
+                start, stop = table.row_start[row], table.row_stop[row]
+                for i in range(start, stop):
+                    slot = int(pl[i])
+                    if slot != table.SCRATCH and slot not in slots:
+                        slots.add(slot)
+                        next_slots.append(slot)
+            slot_frontier.extend(next_slots)
+            row_frontier = []
+            while slot_frontier:
+                slot = slot_frontier.pop()
+                link = table.link_slots[slot]
+                if link is None:
+                    continue
+                for flow in cache.flows_of_link(link.link_id):
+                    row = row_of.get(flow.flow_id)
+                    if row is not None and row not in rows:
+                        rows.add(row)
+                        row_frontier.append(row)
+                        if len(rows) > limit:
+                            return None
+        return sorted(rows), sorted(slots)
+
+    def _solve_component(
+        self, table: IncidenceTable, rows: List[int], slots: List[int]
+    ) -> None:
+        """Solve one component on sub-arrays in global row/slot order.
+
+        Extracting rows and slots in ascending global order preserves the
+        full solve's accumulation and tie-break order restricted to the
+        component, so the merged rate vector is bit-identical to what a full
+        solve over the whole table would produce for these rows.
+        """
+        if not rows:
+            return
+        n_slots_local = len(slots)
+        slot_local = np.full(table.num_slots, n_slots_local, dtype=np.intp)
+        slot_local[np.asarray(slots, dtype=np.intp)] = np.arange(
+            n_slots_local, dtype=np.intp
+        )
+        spans = [
+            table.pair_link[table.row_start[r] : table.row_stop[r]] for r in rows
+        ]
+        lengths = np.fromiter((s.shape[0] for s in spans), np.intp, len(spans))
+        pair_flow_loc = np.repeat(np.arange(len(rows), dtype=np.intp), lengths)
+        pair_link_loc = (
+            slot_local[np.concatenate(spans)]
+            if spans
+            else np.zeros(0, dtype=np.intp)
+        )
+        row_idx = np.asarray(rows, dtype=np.intp)
+        w_loc = self._w_row[row_idx]
+        cap_loc = self._cap_row[row_idx]
+        linkcap_loc = self._linkcap_slot[np.asarray(slots, dtype=np.intp)]
+        rate_loc, rounds = _waterfill_kernel(
+            pair_flow_loc, pair_link_loc, w_loc, cap_loc, linkcap_loc
+        )
+        self.kernel_rounds += rounds
+        self._rate_row[row_idx] = rate_loc
+        rates = self._rates
+        row_flows = table.row_flows
+        for i, r in enumerate(rows):
+            rates[row_flows[r].flow_id] = float(rate_loc[i])
+
+    def _solve_full(
+        self,
+        table: IncidenceTable,
+        demand_caps: Optional[Mapping[int, float]],
+        weights: Optional[Mapping[int, float]],
+        capacity_scale: float,
+        capacity_overrides: Optional[Mapping[str, float]],
+    ) -> Dict[int, float]:
+        """One full solve over the persistent table; refreshes every snapshot."""
+        caps = demand_caps or {}
+        wdict = weights or {}
+        n_rows = table.num_rows
+        row_flows = table.row_flows
+        row_start, row_stop = table.row_start, table.row_stop
+
+        w = np.fromiter(
+            (1.0 if f is None else f.priority_weight for f in row_flows),
+            np.float64,
+            n_rows,
+        )
+        if wdict:
+            row_of = table.row_of
+            for fid, value in wdict.items():
+                row = row_of.get(fid)
+                if row is not None:
+                    w[row] = float(value)
+        live_bad = [
+            r for r in np.nonzero(w <= 0.0)[0] if row_flows[int(r)] is not None
+        ]
+        if live_bad:
+            r = int(live_bad[0])
+            raise ValueError(
+                f"flow {row_flows[r].flow_id} has non-positive weight {w[r]}"
+            )
+        cap = np.fromiter(
+            (
+                0.0
+                if f is None or row_stop[r] == row_start[r]
+                else self._effective_cap(f, caps)
+                for r, f in enumerate(row_flows)
+            ),
+            np.float64,
+            n_rows,
+        )
+        link_cap = table.link_capacities(capacity_scale, capacity_overrides)
+        rate, rounds = _waterfill_kernel(
+            table.pair_flow[: table.pair_count],
+            table.pair_link[: table.pair_count],
+            w,
+            cap,
+            link_cap,
+        )
+        self.kernel_rounds += rounds
+        self.solves_full += 1
+
+        rates: Dict[int, float] = {}
+        for r, flow in enumerate(row_flows):
+            if flow is not None:
+                rates[flow.flow_id] = float(rate[r])
+        self._rates = rates
+        self._rate_row = rate
+        self._w_row = w
+        self._cap_row = cap
+        self._linkcap_slot = link_cap
+        self._caps_snapshot = dict(caps)
+        self._weights_snapshot = dict(wdict)
+        self._scale_snapshot = capacity_scale
+        self._cold = False
+        self._finish_bookkeeping(table)
+        return dict(rates)
+
+
+def max_min_shares_incremental(
+    flows: Sequence[Flow],
+    demand_caps: Optional[Mapping[int, float]] = None,
+    weights: Optional[Mapping[int, float]] = None,
+    capacity_scale: float = 1.0,
+    capacity_overrides: Optional[Mapping[str, float]] = None,
+    cache: Optional[IncidenceCache] = None,
+) -> Dict[int, float]:
+    """The ``solver="incremental"`` entry point — see ``fluid.max_min_shares``.
+
+    Requires a cache covering ``flows``; a :class:`DeltaWaterFiller` is
+    attached to it on first use.  Without a cache there is nothing to be
+    incremental against, so the call degrades to one full numpy solve.
+    """
+    if cache is None:
+        return max_min_shares_numpy(
+            flows,
+            demand_caps=demand_caps,
+            weights=weights,
+            capacity_scale=capacity_scale,
+            capacity_overrides=capacity_overrides,
+        )
+    filler = DeltaWaterFiller.attach(cache)
+    return filler.solve(
+        flows,
+        demand_caps=demand_caps,
+        weights=weights,
+        capacity_scale=capacity_scale,
+        capacity_overrides=capacity_overrides,
+    )

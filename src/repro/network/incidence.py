@@ -9,18 +9,38 @@ flow arrival, departure and reroute, so a control round touching F flows over
 L links costs O(path length) per membership change instead of O(L·F) per
 query.
 
-For the vectorized solver (:mod:`repro.network.fluid_fast`) the cache also
-materialises CSR-style index arrays (flow-major ``(flow, link)`` coordinate
-pairs plus per-link/per-flow lookup tables); the arrays are rebuilt lazily
-and only when the epoch has moved.
+For the vectorized solver (:mod:`repro.network.fluid_fast`) the cache exposes
+two structures:
+
+* :meth:`arrays` — compact flow-major COO index arrays rebuilt per flow-set
+  epoch (the PR 1 design, kept for the explicit ``solver="numpy"`` backend
+  and for tests: a rebuild walks flows in insertion order, so its link order
+  is bit-identical to a fresh :class:`IncidenceCache` built from the same
+  flow list).
+* :meth:`table` — a *persistent* :class:`IncidenceTable` that is maintained
+  in place on every arrival/departure instead of being rebuilt from Python
+  dicts: removed flows tombstone their rows (their coordinate pairs are
+  redirected to a scratch row/slot that can never bottleneck), new flows
+  append, and the arrays are compacted vectorized once tombstones outnumber
+  live entries.  A churn event therefore costs O(path length), not O(nnz),
+  which is what lets the delta water-filler re-solve 100k-flow problems in
+  per-component time.
+
+The cache also carries *change listeners* (see :meth:`add_listener`): the
+delta water-filler subscribes to arrival/departure notifications so it knows
+exactly which rows and links are dirty without diffing flow sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.network.flow import Flow
 from repro.network.topology import Link
+
+#: Compaction of the persistent table never triggers below this many dead
+#: coordinate pairs — rewriting a small table costs more than carrying them.
+_COMPACT_MIN_DEAD_PAIRS = 2048
 
 
 class IncidenceArrays:
@@ -66,13 +86,283 @@ class IncidenceArrays:
         return len(self.link_list)
 
 
+class IncidenceTable:
+    """A persistent, incrementally-maintained link×flow coordinate table.
+
+    Layout
+    ------
+    Flows occupy *rows* and links occupy *slots*; the (row, slot) incidence
+    pairs live in two parallel numpy arrays ``pair_flow``/``pair_link`` in
+    insertion order (flow-major: a row's pairs are contiguous, rows appear in
+    ascending order).  Row 0 and slot 0 are a reserved *scratch* row/slot:
+
+    * removing a flow redirects its pairs to ``(0, 0)`` instead of moving
+      O(nnz) array elements — the scratch row solves with weight 1 and cap 0
+      (frozen at rate 0 immediately), the scratch slot with capacity ``inf``
+      (never a bottleneck), so tombstoned pairs are arithmetically inert;
+    * a link whose last flow departs retires its slot (re-encounter later
+      allocates a fresh slot), so dead slots are never referenced by live
+      pairs.
+
+    Once dead pairs outnumber live ones the table is compacted with
+    vectorized masking/renumbering (:meth:`maybe_compact`), which keeps the
+    arrays O(live) amortised; ``layout_version`` is bumped so solvers holding
+    row/slot-aligned snapshots know to re-align.
+
+    The table deliberately caches no capacities, weights or caps — those are
+    runtime-mutable solver *inputs*, read fresh per solve (see
+    :meth:`link_capacities`).
+    """
+
+    SCRATCH = 0
+
+    def __init__(self) -> None:
+        import numpy as np
+
+        self._np = np
+        #: row -> Flow (None for the scratch row and tombstoned rows).
+        self.row_flows: List[Optional[Flow]] = [None]
+        #: flow_id -> row (live flows only).
+        self.row_of: Dict[int, int] = {}
+        #: row -> [start, stop) span into the pair arrays.
+        self.row_start: List[int] = [0]
+        self.row_stop: List[int] = [0]
+        #: slot -> Link (None for scratch and retired slots).
+        self.link_slots: List[Optional[Link]] = [None]
+        #: link_id -> slot (live links only).
+        self.slot_of: Dict[str, int] = {}
+        #: slot -> number of live pairs referencing it (retire at zero).
+        self.slot_refs: List[int] = [0]
+        self.pair_flow = np.zeros(64, dtype=np.intp)
+        self.pair_link = np.zeros(64, dtype=np.intp)
+        self.pair_count = 0
+        self.dead_pairs = 0
+        self.dead_rows = 0
+        self.dead_slots = 0
+        #: Bumped on every compaction: row/slot indices are renumbered, so any
+        #: row- or slot-aligned snapshot held outside the table is invalid.
+        self.layout_version = 0
+        # Maintenance counters (exported as kernel perf extras).
+        self.compactions = 0
+        self.pairs_appended = 0
+        self.pairs_killed = 0
+
+    # -- sizes -------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_flows)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.link_slots)
+
+    @property
+    def live_rows(self) -> int:
+        return len(self.row_of)
+
+    @property
+    def live_slots(self) -> int:
+        return len(self.slot_of)
+
+    @property
+    def live_pairs(self) -> int:
+        return self.pair_count - self.dead_pairs
+
+    # -- mutation ----------------------------------------------------------------
+    def _ensure_pair_capacity(self, extra: int) -> None:
+        np = self._np
+        need = self.pair_count + extra
+        cap = self.pair_flow.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("pair_flow", "pair_link"):
+            old = getattr(self, name)
+            grown = np.zeros(cap, dtype=np.intp)
+            grown[: self.pair_count] = old[: self.pair_count]
+            setattr(self, name, grown)
+
+    def add(self, flow: Flow, path: Sequence[Link]) -> int:
+        """Append a row for ``flow`` over ``path``; returns the row index."""
+        row = len(self.row_flows)
+        self.row_flows.append(flow)
+        self.row_of[flow.flow_id] = row
+        start = self.pair_count
+        self._ensure_pair_capacity(len(path))
+        pf, pl = self.pair_flow, self.pair_link
+        for link in path:
+            slot = self.slot_of.get(link.link_id)
+            if slot is None:
+                slot = len(self.link_slots)
+                self.link_slots.append(link)
+                self.slot_refs.append(0)
+                self.slot_of[link.link_id] = slot
+            pf[self.pair_count] = row
+            pl[self.pair_count] = slot
+            self.slot_refs[slot] += 1
+            self.pair_count += 1
+        self.row_start.append(start)
+        self.row_stop.append(self.pair_count)
+        self.pairs_appended += len(path)
+        return row
+
+    def remove(self, flow_id: int) -> None:
+        """Tombstone the row of ``flow_id``; retire slots that lose their last pair."""
+        row = self.row_of.pop(flow_id, None)
+        if row is None:
+            return
+        self.row_flows[row] = None
+        self.dead_rows += 1
+        start, stop = self.row_start[row], self.row_stop[row]
+        if stop > start:
+            pl = self.pair_link
+            for i in range(start, stop):
+                slot = int(pl[i])
+                if slot != self.SCRATCH:
+                    self.slot_refs[slot] -= 1
+                    if self.slot_refs[slot] == 0:
+                        link = self.link_slots[slot]
+                        if link is not None:
+                            del self.slot_of[link.link_id]
+                            self.link_slots[slot] = None
+                            self.dead_slots += 1
+            self.pair_flow[start:stop] = self.SCRATCH
+            self.pair_link[start:stop] = self.SCRATCH
+            killed = stop - start
+            self.dead_pairs += killed
+            self.pairs_killed += killed
+        self.maybe_compact()
+
+    def maybe_compact(self) -> None:
+        """Compact tombstones away once they outnumber the live entries."""
+        if self.dead_pairs < _COMPACT_MIN_DEAD_PAIRS:
+            return
+        if self.dead_pairs <= self.live_pairs and self.dead_rows <= self.live_rows:
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Drop dead rows/slots/pairs and renumber, preserving relative order.
+
+        Relative order is what makes the compacted table solve bit-identically
+        to the uncompacted one: rows stay in insertion order (``pair_flow``
+        remains non-decreasing), slots stay in first-encounter order, and the
+        per-slot ``bincount`` reductions see the same value sequences.
+        """
+        np = self._np
+        # Renumber rows: scratch row 0 stays at 0, live rows close ranks.
+        row_map = np.zeros(len(self.row_flows), dtype=np.intp)
+        new_row_flows: List[Optional[Flow]] = [None]
+        for row, flow in enumerate(self.row_flows):
+            if row == self.SCRATCH or flow is None:
+                continue
+            row_map[row] = len(new_row_flows)
+            new_row_flows.append(flow)
+        # Renumber slots the same way.
+        slot_map = np.zeros(len(self.link_slots), dtype=np.intp)
+        new_link_slots: List[Optional[Link]] = [None]
+        new_slot_refs: List[int] = [0]
+        for slot, link in enumerate(self.link_slots):
+            if slot == self.SCRATCH or link is None:
+                continue
+            slot_map[slot] = len(new_link_slots)
+            new_link_slots.append(link)
+            new_slot_refs.append(self.slot_refs[slot])
+        # Filter dead pairs (they all sit on the scratch row) and remap.
+        pf = self.pair_flow[: self.pair_count]
+        pl = self.pair_link[: self.pair_count]
+        keep = pf != self.SCRATCH
+        pf = row_map[pf[keep]]
+        pl = slot_map[pl[keep]]
+        # Live pairs are flow-major with rows in ascending order, a property
+        # preserved by the monotone renumbering — so the new spans fall out of
+        # two vectorized binary searches.
+        n_rows = len(new_row_flows)
+        bounds = np.arange(n_rows + 1, dtype=np.intp)
+        starts = np.searchsorted(pf, bounds[:-1], side="left")
+        stops = np.searchsorted(pf, bounds[:-1], side="right")
+        capacity = max(64, int(pf.shape[0]))
+        new_pf = np.zeros(capacity, dtype=np.intp)
+        new_pl = np.zeros(capacity, dtype=np.intp)
+        new_pf[: pf.shape[0]] = pf
+        new_pl[: pl.shape[0]] = pl
+
+        self.row_flows = new_row_flows
+        self.row_of = {f.flow_id: r for r, f in enumerate(new_row_flows) if f is not None}
+        self.row_start = starts.tolist()
+        self.row_stop = stops.tolist()
+        self.link_slots = new_link_slots
+        self.slot_of = {
+            l.link_id: s for s, l in enumerate(new_link_slots) if l is not None
+        }
+        self.slot_refs = new_slot_refs
+        self.pair_flow = new_pf
+        self.pair_link = new_pl
+        self.pair_count = int(pf.shape[0])
+        self.dead_pairs = 0
+        self.dead_rows = 0
+        self.dead_slots = 0
+        self.layout_version += 1
+        self.compactions += 1
+
+    # -- solver-input gathers ------------------------------------------------------
+    def link_capacities(self, capacity_scale: float = 1.0, capacity_overrides=None):
+        """Effective per-slot capacities (override → scale → clamp), fresh.
+
+        Scratch and retired slots read ``inf`` so they can never become the
+        bottleneck.  Capacities are gathered per call because links mutate
+        ``capacity_bps`` in place at runtime (SLA boosts, dynamics scripts).
+        """
+        np = self._np
+        n = len(self.link_slots)
+        inf = float("inf")
+        caps = np.fromiter(
+            (inf if l is None else l.capacity_bps for l in self.link_slots),
+            np.float64,
+            n,
+        )
+        if capacity_overrides:
+            for link_id, value in capacity_overrides.items():
+                slot = self.slot_of.get(link_id)
+                if slot is not None:
+                    caps[slot] = float(value)
+        if capacity_scale != 1.0:
+            # Scale only the finite (live) entries: inf sentinels must stay
+            # inf even under scale 0 (0 * inf would poison them with nan).
+            caps = np.where(np.isfinite(caps), caps * capacity_scale, caps)
+        np.maximum(caps, 0.0, out=caps)
+        return caps
+
+    def stats(self) -> Dict[str, float]:
+        """Maintenance counters for the kernel perf extras."""
+        return {
+            "table_rows": float(self.num_rows),
+            "table_slots": float(self.num_slots),
+            "table_pairs": float(self.pair_count),
+            "table_dead_pairs": float(self.dead_pairs),
+            "table_compactions": float(self.compactions),
+            "table_pairs_appended": float(self.pairs_appended),
+            "table_pairs_killed": float(self.pairs_killed),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<IncidenceTable rows={self.live_rows}/{self.num_rows} "
+            f"slots={self.live_slots}/{self.num_slots} "
+            f"pairs={self.live_pairs}/{self.pair_count}>"
+        )
+
+
 class IncidenceCache:
     """Incrementally-maintained link→flows incidence for a set of active flows.
 
     The cache is the single owner of "which flows cross which links".  Flow
     membership changes bump :attr:`epoch`; derived structures (the link→flows
     map, the numpy index arrays) are cached against the epoch and rebuilt
-    lazily when stale.
+    lazily when stale.  The persistent :meth:`table` is instead *maintained*
+    on every membership change, and registered listeners (the delta
+    water-filler) are notified with the exact change.
 
     Paths are snapshotted on :meth:`add_flow` so that a reroute (which
     mutates ``flow.path`` in place) cannot silently desynchronise the cache —
@@ -93,6 +383,17 @@ class IncidenceCache:
         self._map_cache: Dict[str, List[Flow]] = {}
         self._arrays_epoch = -1
         self._arrays_cache: Optional[IncidenceArrays] = None
+        self._table: Optional[IncidenceTable] = None
+        #: ``callback(event, flow, path)`` with event ``"add"``/``"remove"``
+        #: (flow+path set) or ``"clear"`` (both None).
+        self._listeners: List[Callable[[str, Optional[Flow], Optional[List[Link]]], None]] = []
+        #: Attachment point for a :class:`~repro.network.fluid_fast.DeltaWaterFiller`;
+        #: ``solver="auto"`` dispatches to it when present.
+        self.delta = None
+        #: A flow list the owner (the fabric) keeps in lock-step with this
+        #: cache; solvers may skip the per-call membership check when handed
+        #: this exact object.  See :meth:`trust_flows`.
+        self.trusted_flows = None
         for flow in flows:
             self.add_flow(flow)
 
@@ -116,11 +417,27 @@ class IncidenceCache:
     def link_of(self, link_id: str) -> Optional[Link]:
         return self._links.get(link_id)
 
+    def add_listener(
+        self, callback: Callable[[str, Optional[Flow], Optional[List[Link]]], None]
+    ) -> None:
+        """Subscribe ``callback(event, flow, path)`` to membership changes."""
+        self._listeners.append(callback)
+
+    def trust_flows(self, flows: List[Flow]) -> None:
+        """Declare ``flows`` as a list kept in lock-step with this cache.
+
+        The fabric updates its active-flow list and this cache together under
+        every mutation, so a solver handed that exact list object does not
+        need an O(F) membership re-check per call.
+        """
+        self.trusted_flows = flows
+
     def add_flow(self, flow: Flow) -> None:
         """Register ``flow`` (its current path is snapshotted)."""
         if flow.flow_id in self._flows:
             return
         self._flows[flow.flow_id] = flow
+        self.trusted_flows = None
         path = list(flow.path)
         self._paths[flow.flow_id] = path
         for link in path:
@@ -130,12 +447,17 @@ class IncidenceCache:
                 bucket = self._link_flows[link.link_id] = {}
             bucket[flow.flow_id] = flow
         self.epoch += 1
+        if self._table is not None:
+            self._table.add(flow, path)
+        for listener in self._listeners:
+            listener("add", flow, path)
 
     def remove_flow(self, flow: Flow) -> None:
         """Forget ``flow`` (using the path snapshotted at add time)."""
         if flow.flow_id not in self._flows:
             return
         del self._flows[flow.flow_id]
+        self.trusted_flows = None
         path = self._paths.pop(flow.flow_id, [])
         for link in path:
             bucket = self._link_flows.get(link.link_id)
@@ -145,6 +467,10 @@ class IncidenceCache:
                     del self._link_flows[link.link_id]
                     del self._links[link.link_id]
         self.epoch += 1
+        if self._table is not None:
+            self._table.remove(flow.flow_id)
+        for listener in self._listeners:
+            listener("remove", flow, path)
 
     def clear(self) -> None:
         self._flows.clear()
@@ -152,6 +478,10 @@ class IncidenceCache:
         self._links.clear()
         self._link_flows.clear()
         self.epoch += 1
+        self._table = None
+        self.trusted_flows = None
+        for listener in self._listeners:
+            listener("clear", None, None)
 
     def matches(self, flows: Sequence[Flow]) -> bool:
         """True when ``flows`` is exactly the cached flow set (same paths).
@@ -172,6 +502,22 @@ class IncidenceCache:
                 return False
         return True
 
+    def covers_ids(self, flows: Sequence[Flow]) -> bool:
+        """True when ``flows`` carries exactly the cached flow ids.
+
+        The O(F) membership half of :meth:`matches` without the O(nnz) path
+        walk — the check the delta water-filler runs per solve (paths are
+        trusted to the cache's own snapshots; the fabric never mutates a path
+        without re-adding the flow).
+        """
+        if len(flows) != len(self._flows):
+            return False
+        cached = self._flows
+        for flow in flows:
+            if flow.flow_id not in cached:
+                return False
+        return True
+
     # -- derived structures --------------------------------------------------------
     def link_flows_map(self) -> Dict[str, List[Flow]]:
         """``link_id -> [flows crossing it]`` for the current epoch (cached)."""
@@ -183,12 +529,26 @@ class IncidenceCache:
             self._map_epoch = self.epoch
         return self._map_cache
 
+    def flows_of_link(self, link_id: str) -> Sequence[Flow]:
+        """The flows crossing ``link_id`` without materialising the full map."""
+        bucket = self._link_flows.get(link_id)
+        return tuple(bucket.values()) if bucket else ()
+
     def arrays(self) -> IncidenceArrays:
         """CSR-style numpy index arrays for the current epoch (cached)."""
         if self._arrays_epoch != self.epoch or self._arrays_cache is None:
             self._arrays_cache = self._build_arrays()
             self._arrays_epoch = self.epoch
         return self._arrays_cache
+
+    def table(self) -> IncidenceTable:
+        """The persistent maintained table (built once, updated in place)."""
+        if self._table is None:
+            table = IncidenceTable()
+            for flow_id, flow in self._flows.items():
+                table.add(flow, self._paths[flow_id])
+            self._table = table
+        return self._table
 
     def _build_arrays(self) -> IncidenceArrays:
         import numpy as np

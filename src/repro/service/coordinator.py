@@ -167,7 +167,33 @@ class CoordinatorServer(HTTPDaemon):
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
             counters = dict(self._counters)
-        return {**self.identity(), **counters, "store_entries": len(self.store)}
+        return {
+            **self.identity(),
+            **counters,
+            "store_entries": len(self.store),
+            "kernel": self._kernel_stats(),
+        }
+
+    def _kernel_stats(self) -> Dict[str, float]:
+        """Sum the per-run ``kernel_*`` perf extras across all stored results.
+
+        Gives the daemon's ``/stats`` endpoint a fleet-wide view of solver
+        behaviour — incremental vs full solve counts, dirty-region sizes,
+        churn coalescing — so a slow batch can be diagnosed remotely without
+        pulling every result payload.
+        """
+        totals: Dict[str, float] = {}
+        with self._submit_lock:
+            entries = self.store.query()
+        for entry in entries:
+            for key, value in entry.result.extras.items():
+                if not key.startswith("kernel_") or not isinstance(value, (int, float)):
+                    continue
+                if key.endswith("_max"):
+                    totals[key] = max(totals.get(key, 0.0), float(value))
+                else:
+                    totals[key] = totals.get(key, 0.0) + float(value)
+        return totals
 
     def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Run one submitted batch; returns the report summary + job statuses."""

@@ -72,6 +72,9 @@ class Simulator:
         self._stopped = False
         self._event_count = 0
         self._cancelled_in_heap = 0
+        #: Times the heap was rebuilt to shed cancelled residents (perf counter).
+        self.heap_compactions = 0
+        self._wheel = None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -156,6 +159,19 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         self.call_at_fast(self._now + delay, fn, *args)
 
+    def timer_wheel(self) -> "Any":
+        """This simulator's shared :class:`~repro.sim.timers.TimerWheel`.
+
+        Created lazily on first use; periodic timers that opt into the wheel
+        (``PeriodicTimer(..., wheel=sim.timer_wheel())``) share one heap
+        record per distinct deadline instead of one per timer.
+        """
+        if self._wheel is None:
+            from repro.sim.timers import TimerWheel
+
+            self._wheel = TimerWheel(self)
+        return self._wheel
+
     def process(self, generator) -> "Any":
         """Start a generator as a cooperative process.
 
@@ -198,6 +214,7 @@ class Simulator:
         ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        self.heap_compactions += 1
 
     # -- execution ---------------------------------------------------------------
     def peek(self) -> Optional[float]:

@@ -21,7 +21,75 @@ unaffected.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class TimerWheel:
+    """Bucket same-deadline timer callbacks behind one heap record.
+
+    Thousands of periodic control-round timers sharing a τ grid all fire at
+    the same instants; scheduled individually, every timer pays a heap
+    push+pop per round.  The wheel buckets callbacks by *exact* deadline:
+    the first callback for a deadline pushes one handle-free heap record,
+    later ones append to the bucket at O(1) — O(1) amortised per timer per
+    round instead of O(log heap).
+
+    At fire time the bucket flushes in registration order, so callbacks
+    registered through the wheel keep FIFO determinism *among themselves*.
+    Relative order against non-wheel events at the same instant changes
+    (the whole bucket fires when its record pops), which is why the wheel is
+    strictly opt-in — see :class:`PeriodicTimer`'s ``wheel`` parameter.
+    """
+
+    def __init__(self, sim: Any) -> None:
+        self.sim = sim
+        self._buckets: Dict[float, List[Tuple[Callable[..., None], tuple]]] = {}
+        # Perf counters (exported through MetricsCollector.kernel_extras).
+        self.scheduled = 0
+        self.flushes = 0
+        self.max_bucket = 0
+
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time`` through the shared bucket."""
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self.sim.call_at_fast(time, self._flush, time)
+            bucket = self._buckets[time] = []
+        bucket.append((fn, args))
+        self.scheduled += 1
+        if len(bucket) > self.max_bucket:
+            self.max_bucket = len(bucket)
+
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """:meth:`call_at` relative to the current simulated time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.call_at(self.sim.now + delay, fn, *args)
+
+    def _flush(self, time: float) -> None:
+        self.flushes += 1
+        for fn, args in self._buckets.pop(time, ()):
+            fn(*args)
+
+    @property
+    def pending(self) -> int:
+        """Callbacks currently waiting in buckets (occupancy)."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def open_buckets(self) -> int:
+        """Distinct deadlines currently holding at least one callback."""
+        return len(self._buckets)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the perf-counter export."""
+        return {
+            "scheduled": self.scheduled,
+            "flushes": self.flushes,
+            "max_bucket": self.max_bucket,
+            "pending": self.pending,
+            "open_buckets": self.open_buckets,
+        }
 
 
 class PeriodicTimer:
@@ -40,6 +108,12 @@ class PeriodicTimer:
     jitter_fn:
         Optional callable returning a per-tick offset added to the period
         (used to de-synchronise monitors if desired).
+    wheel:
+        Optional :class:`TimerWheel`.  When given, ticks are scheduled
+        through the wheel's deadline buckets instead of individual heap
+        records — the right choice for fleets of timers sharing the same
+        period grid (e.g. per-server SCDA control-round monitors), where it
+        turns a heap push per timer per round into a list append.
     """
 
     def __init__(
@@ -49,6 +123,7 @@ class PeriodicTimer:
         callback: Callable[[float], None],
         start_at: Optional[float] = None,
         jitter_fn: Optional[Callable[[], float]] = None,
+        wheel: Optional[TimerWheel] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -56,12 +131,19 @@ class PeriodicTimer:
         self.interval = float(interval)
         self.callback = callback
         self.jitter_fn = jitter_fn
+        self.wheel = wheel
         self._active = True
         self._ticks = 0
         #: Bumped on stop(); a tick record carrying a stale generation is a no-op.
         self._generation = 0
         first = sim.now + self.interval if start_at is None else max(start_at, sim.now)
-        sim.call_at_fast(first, self._tick, self._generation)
+        self._schedule_tick(first)
+
+    def _schedule_tick(self, time: float) -> None:
+        if self.wheel is not None:
+            self.wheel.call_at(time, self._tick, self._generation)
+        else:
+            self.sim.call_at_fast(time, self._tick, self._generation)
 
     @property
     def ticks(self) -> int:
@@ -94,4 +176,4 @@ class PeriodicTimer:
         delay = self.interval
         if self.jitter_fn is not None:
             delay = max(1e-9, delay + float(self.jitter_fn()))
-        self.sim.call_in_fast(delay, self._tick, self._generation)
+        self._schedule_tick(self.sim.now + delay)

@@ -1,0 +1,78 @@
+"""Tests for the kernel perf-counter export pipeline.
+
+Counters flow from the fabric / solver / engine through
+``MetricsCollector.kernel_extras`` into ``SchemeResult.extras`` (prefixed
+``kernel_``) and from there into the serve daemon's ``/stats`` aggregate.
+All counters are deterministic functions of the run, so they are safe inside
+the canonical (bit-compared) result payload.
+"""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.network.fabric import FabricSimulator
+from repro.network.transport.ideal import IdealMaxMinTransport
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def stack(tiny_line_topology):
+    sim = Simulator()
+    fabric = FabricSimulator(sim, tiny_line_topology, IdealMaxMinTransport())
+    collector = MetricsCollector(fabric)
+    return sim, fabric, collector
+
+
+class TestCollectorKernelExtras:
+    def test_baseline_counters_always_present(self, stack):
+        sim, fabric, collector = stack
+        extras = collector.kernel_extras()
+        for key in ("recomputes", "recomputes_coalesced", "heap_compactions"):
+            assert key in extras
+            assert isinstance(extras[key], float)
+
+    def test_counters_track_fabric_activity(self, stack, tiny_line_topology):
+        sim, fabric, collector = stack
+        client, host = tiny_line_topology.clients()[0], tiny_line_topology.hosts()[0]
+        with fabric.churn():
+            for _ in range(3):
+                fabric.start_flow(client, host, 1e6)
+        sim.run(until=5.0)
+        extras = collector.kernel_extras()
+        assert extras["recomputes"] >= 1.0
+        assert extras["recomputes_coalesced"] >= 3.0
+
+    def test_delta_solver_counters_appear_when_attached(self, stack):
+        sim, fabric, collector = stack
+        extras = collector.kernel_extras()
+        if fabric.incidence.delta is None:  # numpy-less environment
+            assert "solves_incremental" not in extras
+        else:
+            for key in ("solves_full", "solves_incremental", "dirty_rows_max"):
+                assert key in extras
+
+    def test_wheel_counters_appear_once_wheel_exists(self, stack):
+        sim, fabric, collector = stack
+        assert not any(k.startswith("wheel_") for k in collector.kernel_extras())
+        sim.timer_wheel().call_at(1.0, lambda: None)
+        extras = collector.kernel_extras()
+        assert extras["wheel_scheduled"] == 1.0
+        assert extras["wheel_pending"] == 1.0
+
+
+class TestRunnerExportsKernelExtras:
+    def test_scheme_result_carries_prefixed_kernel_counters(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scheme
+
+        scenario = ScenarioConfig.pareto_poisson(sim_time=1.0, seed=5)
+        result = run_scheme(scenario, "rand-tcp")
+        assert result.extras["kernel_recomputes"] > 0.0
+        assert "kernel_heap_compactions" in result.extras
+        # Deterministic: the same run reproduces the same counters.
+        again = run_scheme(scenario, "rand-tcp")
+        kernel = {k: v for k, v in result.extras.items() if k.startswith("kernel_")}
+        kernel_again = {
+            k: v for k, v in again.extras.items() if k.startswith("kernel_")
+        }
+        assert kernel == kernel_again

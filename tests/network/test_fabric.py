@@ -169,3 +169,95 @@ class TestTcpFabricIntegration:
         assert tcp_flow.state is FlowState.FINISHED
         # Slow start means TCP takes strictly longer than the fluid optimum.
         assert tcp_flow.fct > ideal_flow.fct
+
+
+class TestChurnBatching:
+    def test_churn_context_coalesces_recomputes(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        client, host = topo.clients()[0], topo.hosts()[0]
+        before = fabric.recomputes
+        with fabric.churn():
+            for _ in range(10):
+                fabric.start_flow(client, host, 1e6)
+        assert fabric.recomputes == before + 1
+        assert fabric.recomputes_coalesced >= 10
+
+    def test_nested_churn_recomputes_once_at_outermost_exit(self, ideal_fabric):
+        sim, topo, fabric = ideal_fabric
+        client, host = topo.clients()[0], topo.hosts()[0]
+        before = fabric.recomputes
+        with fabric.churn():
+            fabric.start_flow(client, host, 1e6)
+            with fabric.churn():
+                fabric.start_flow(client, host, 1e6)
+            # Inner exit must not recompute: still inside the outer batch.
+            assert fabric.recomputes == before
+        assert fabric.recomputes == before + 1
+
+    def test_batched_arrivals_reach_same_rates_as_unbatched(self, tiny_line_topology):
+        import copy
+
+        def run(batched):
+            topo = copy.deepcopy(tiny_line_topology)
+            sim = Simulator()
+            fabric = FabricSimulator(sim, topo, IdealMaxMinTransport())
+            client, host = topo.clients()[0], topo.hosts()[0]
+            if batched:
+                with fabric.churn():
+                    flows = [fabric.start_flow(client, host, 1e7) for _ in range(5)]
+            else:
+                flows = [fabric.start_flow(client, host, 1e7) for _ in range(5)]
+            sim.run(until=3.0)
+            return fabric, flows
+
+        fabric_a, flows_a = run(batched=False)
+        fabric_b, flows_b = run(batched=True)
+        assert [f.current_rate_bps for f in flows_a] == [
+            f.current_rate_bps for f in flows_b
+        ]
+        assert [f.remaining_bytes for f in flows_a] == [
+            f.remaining_bytes for f in flows_b
+        ]
+        assert fabric_a.total_bytes_delivered == pytest.approx(
+            fabric_b.total_bytes_delivered, rel=1e-12
+        )
+
+    def test_vectorized_advance_matches_python_path(self, monkeypatch):
+        """Above the vectorization threshold the numpy advance must mirror
+        the per-flow Python arithmetic flow by flow."""
+        import repro.network.fabric as fabric_mod
+        from repro.network.leafspine import build_leaf_spine
+
+        def run(vector_min):
+            monkeypatch.setattr(fabric_mod, "_VECTOR_MIN_FLOWS", vector_min)
+            topo = build_leaf_spine(
+                num_spines=2, num_leaves=2, hosts_per_leaf=2, num_clients=2
+            )
+            sim = Simulator()
+            fabric = FabricSimulator(sim, topo, IdealMaxMinTransport())
+            clients, hosts = topo.clients(), topo.hosts()
+            flows = []
+            with fabric.churn():
+                for i in range(80):
+                    flows.append(
+                        fabric.start_flow(
+                            clients[i % len(clients)],
+                            hosts[i % len(hosts)],
+                            1e6 + 37_000.0 * i,
+                        )
+                    )
+            sim.run(until=4.0)
+            return fabric, flows
+
+        fabric_vec, flows_vec = run(vector_min=1)
+        fabric_py, flows_py = run(vector_min=10**9)
+        assert [f.remaining_bytes for f in flows_vec] == [
+            f.remaining_bytes for f in flows_py
+        ]
+        assert [f.state for f in flows_vec] == [f.state for f in flows_py]
+        assert [f.finished_at for f in flows_vec] == [f.finished_at for f in flows_py]
+        # Total delivered differs only by float summation order (numpy
+        # pairwise vs sequential accumulation).
+        assert fabric_vec.total_bytes_delivered == pytest.approx(
+            fabric_py.total_bytes_delivered, rel=1e-12
+        )

@@ -199,3 +199,68 @@ class TestTransportRerouteHook:
         before = flow.transport_state["cwnd"]
         fabric.reroute_flow(flow, list(flow.path))  # default reason="policy"
         assert flow.transport_state["cwnd"] == before
+
+
+class TestFailureChurnBatching:
+    def test_fail_link_recomputes_exactly_once(self):
+        """A failure that reroutes several flows is one allocation event."""
+        sim, topo, fabric = leafspine_stack()
+        client = topo.clients()[0]
+        host = topo.hosts()[0]
+        flows = [fabric.start_flow(client, host, 50e6) for _ in range(4)]
+        down = spine_leaf_link(topo, "spine-0", "leaf-0")
+        before = fabric.recomputes
+        fabric.fail_link(down)
+        assert fabric.recomputes == before + 1
+        assert all(f.state is FlowState.ACTIVE for f in flows)
+
+    def test_failure_inside_explicit_churn_still_recomputes_once(self):
+        sim, topo, fabric = leafspine_stack()
+        client = topo.clients()[0]
+        host = topo.hosts()[0]
+        fabric.start_flow(client, host, 50e6)
+        down = spine_leaf_link(topo, "spine-0", "leaf-0")
+        before = fabric.recomputes
+        with fabric.churn():
+            fabric.start_flow(client, host, 10e6)
+            fabric.fail_link(down)
+            fabric.start_flow(client, host, 20e6)
+        assert fabric.recomputes == before + 1
+
+    def test_link_failure_mid_churn_is_deterministic(self):
+        """The same scripted failure-under-churn run twice gives the same bits.
+
+        This is the dynamics edge case for the incremental solver: a link
+        failure changes the link set mid-batch (forcing re-routes and a full
+        coverage of the dirty region), simultaneous arrivals coalesce into
+        the same recompute, and a later restore brings the link back.
+        """
+
+        def scripted_run():
+            sim, topo, fabric = leafspine_stack()
+            client = topo.clients()[0]
+            host = topo.hosts()[0]
+            flows = [fabric.start_flow(client, host, 20e6 + 1e6 * i) for i in range(6)]
+            down = spine_leaf_link(topo, "spine-0", "leaf-0")
+
+            def mid_churn():
+                with fabric.churn():
+                    flows.append(fabric.start_flow(client, host, 5e6))
+                    fabric.fail_link(down)
+                    flows.append(fabric.start_flow(client, host, 7e6))
+
+            sim.call_at(0.5, mid_churn)
+            sim.call_at(2.0, fabric.restore_link, down)
+            sim.run(until=60.0)
+            return fabric, flows
+
+        fabric_a, flows_a = scripted_run()
+        fabric_b, flows_b = scripted_run()
+        assert all(f.state is FlowState.FINISHED for f in flows_a)
+        assert [f.finished_at for f in flows_a] == [f.finished_at for f in flows_b]
+        assert [f.remaining_bytes for f in flows_a] == [
+            f.remaining_bytes for f in flows_b
+        ]
+        assert fabric_a.total_bytes_delivered == fabric_b.total_bytes_delivered
+        assert fabric_a.recomputes == fabric_b.recomputes
+        assert fabric_a.recomputes_coalesced == fabric_b.recomputes_coalesced

@@ -1,0 +1,285 @@
+"""Tests for the incremental (delta) water-filler.
+
+The contract under test is the PR 1 equivalence invariant extended to the
+third backend: after any sequence of churn — flow arrivals, departures,
+weight changes, demand-cap changes, capacity scales and overrides — the
+incremental solver must agree with both full backends to 1e-9 on every flow,
+while actually solving incrementally (small dirty regions) on sparse churn
+and falling back to a full solve when the dirty region grows too large or
+the cache cannot vouch for the flow list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.flow import Flow
+from repro.network.fluid import max_min_shares
+from repro.network.fluid_fast import MAX_DIRTY_FRACTION, DeltaWaterFiller
+from repro.network.incidence import IncidenceCache
+from repro.network.routing import Router
+from repro.network.topology import Topology
+
+MBPS = 1e6
+
+
+def build_line(num_links, capacities):
+    topo = Topology("line")
+    nodes = [topo.add_switch(f"n{i}", level=1) for i in range(num_links + 1)]
+    for (a, b), cap in zip(zip(nodes, nodes[1:]), capacities):
+        topo.add_duplex_link(a, b, cap, 0.001)
+    return topo, nodes
+
+
+class ChurningScenario:
+    """A line-topology flow population under scripted random churn."""
+
+    def __init__(self, seed, num_links=6):
+        self.rng = np.random.default_rng(seed)
+        capacities = self.rng.uniform(10 * MBPS, 200 * MBPS, size=num_links)
+        self.num_links = num_links
+        self.topo, self.nodes = build_line(num_links, capacities)
+        self.router = Router(self.topo)
+        self.flows = []
+        self.caps = {}
+        self.weights = {}
+        for _ in range(int(self.rng.integers(5, 30))):
+            self._add_flow()
+        self.cache = IncidenceCache(self.flows)
+        self.delta = DeltaWaterFiller.attach(self.cache)
+
+    def _make_flow(self):
+        rng = self.rng
+        i = int(rng.integers(0, self.num_links))
+        j = int(rng.integers(i + 1, self.num_links + 1))
+        kw = {}
+        if rng.random() < 0.4:
+            kw["priority_weight"] = float(rng.uniform(0.25, 4.0))
+        if rng.random() < 0.3:
+            kw["app_limit_bps"] = float(rng.uniform(1 * MBPS, 150 * MBPS))
+        src, dst = self.nodes[i], self.nodes[j]
+        return Flow(src, dst, 1e9, self.router.path(src, dst), **kw)
+
+    def _add_flow(self):
+        flow = self._make_flow()
+        self.flows.append(flow)
+        r = self.rng.random()
+        if r < 0.3:
+            self.caps[flow.flow_id] = float(self.rng.uniform(0.5 * MBPS, 150 * MBPS))
+        elif r < 0.35:
+            self.caps[flow.flow_id] = 0.0
+        if self.rng.random() < 0.2:
+            self.weights[flow.flow_id] = float(self.rng.uniform(0.5, 3.0))
+        return flow
+
+    def churn(self):
+        """One random churn event against flows, caps and weights."""
+        rng = self.rng
+        move = rng.random()
+        if move < 0.35 or not self.flows:
+            flow = self._add_flow()
+            self.cache.add_flow(flow)
+        elif move < 0.6:
+            victim = self.flows.pop(int(rng.integers(0, len(self.flows))))
+            self.cache.remove_flow(victim)
+            self.caps.pop(victim.flow_id, None)
+            self.weights.pop(victim.flow_id, None)
+        elif move < 0.8:
+            flow = self.flows[int(rng.integers(0, len(self.flows)))]
+            self.caps[flow.flow_id] = float(rng.uniform(0.0, 150 * MBPS))
+        else:
+            flow = self.flows[int(rng.integers(0, len(self.flows)))]
+            self.weights[flow.flow_id] = float(rng.uniform(0.5, 3.0))
+
+
+def assert_allocations_close(a, b, rel=1e-9):
+    assert a.keys() == b.keys()
+    for flow_id in a:
+        tol = rel * max(1.0, abs(a[flow_id]))
+        assert abs(a[flow_id] - b[flow_id]) <= tol, (
+            f"flow {flow_id}: {a[flow_id]!r} vs {b[flow_id]!r}"
+        )
+
+
+class TestThreeWayChurnEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_churn_agrees_with_both_full_backends(self, seed):
+        scenario = ChurningScenario(seed)
+        for _ in range(25):
+            scenario.churn()
+            inc = max_min_shares(
+                scenario.flows,
+                demand_caps=scenario.caps,
+                weights=scenario.weights,
+                solver="incremental",
+                cache=scenario.cache,
+            )
+            py = max_min_shares(
+                scenario.flows,
+                demand_caps=scenario.caps,
+                weights=scenario.weights,
+                solver="python",
+            )
+            np_ = max_min_shares(
+                scenario.flows,
+                demand_caps=scenario.caps,
+                weights=scenario.weights,
+                solver="numpy",
+            )
+            assert_allocations_close(inc, py)
+            assert_allocations_close(inc, np_)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_capacity_scale_and_overrides_agree(self, seed):
+        scenario = ChurningScenario(seed + 100)
+        rng = scenario.rng
+        all_links = [l.link_id for l in scenario.topo.links]
+        for _ in range(12):
+            scenario.churn()
+            scale = float(rng.uniform(0.3, 1.5))
+            overrides = {}
+            for link_id in all_links:
+                if rng.random() < 0.3:
+                    overrides[link_id] = float(rng.uniform(5 * MBPS, 100 * MBPS))
+            kwargs = dict(
+                demand_caps=scenario.caps,
+                weights=scenario.weights,
+                capacity_scale=scale,
+                capacity_overrides=overrides,
+            )
+            inc = max_min_shares(
+                scenario.flows, solver="incremental", cache=scenario.cache, **kwargs
+            )
+            py = max_min_shares(scenario.flows, solver="python", **kwargs)
+            assert_allocations_close(inc, py)
+
+    def test_sparse_churn_actually_solves_incrementally(self):
+        scenario = ChurningScenario(7, num_links=12)
+        # Steady state first (the cold start is a full solve)...
+        max_min_shares(scenario.flows, solver="incremental", cache=scenario.cache)
+        full_before = scenario.delta.solves_full
+        # ...then single-flow churn events must take the incremental path.
+        for _ in range(10):
+            flow = scenario._make_flow()
+            scenario.flows.append(flow)
+            scenario.cache.add_flow(flow)
+            max_min_shares(scenario.flows, solver="incremental", cache=scenario.cache)
+        assert scenario.delta.solves_incremental >= 10
+        assert scenario.delta.solves_full == full_before
+        # On a line topology every flow is transitively coupled, so the
+        # dirty component may cover the whole population — but never more.
+        assert scenario.delta.dirty_rows_max <= len(scenario.flows)
+
+    def test_disjoint_components_keep_dirty_regions_local(self):
+        """Churn in one island must not drag the other islands into the solve."""
+        topo = Topology("islands")
+        pairs = []
+        for i in range(8):
+            a = topo.add_switch(f"a{i}", level=1)
+            b = topo.add_switch(f"b{i}", level=1)
+            topo.add_duplex_link(a, b, 100 * MBPS, 0.001)
+            pairs.append((a, b))
+        router = Router(topo)
+        flows = []
+        for a, b in pairs:
+            flows.extend(Flow(a, b, 1e9, router.path(a, b)) for _ in range(4))
+        cache = IncidenceCache(flows)
+        delta = DeltaWaterFiller.attach(cache)
+        max_min_shares(flows, solver="incremental", cache=cache)
+
+        a, b = pairs[0]
+        flow = Flow(a, b, 1e9, router.path(a, b))
+        flows.append(flow)
+        cache.add_flow(flow)
+        inc = max_min_shares(flows, solver="incremental", cache=cache)
+        assert delta.solves_incremental >= 1
+        assert delta.dirty_rows_max <= 5  # island 0's four flows + the arrival
+        assert_allocations_close(inc, max_min_shares(flows, solver="python"))
+
+    def test_unchanged_problem_is_a_noop(self):
+        scenario = ChurningScenario(11)
+        first = max_min_shares(
+            scenario.flows, solver="incremental", cache=scenario.cache
+        )
+        again = max_min_shares(
+            scenario.flows, solver="incremental", cache=scenario.cache
+        )
+        assert first == again
+        assert scenario.delta.solves_noop >= 1
+
+
+class TestFallbacks:
+    def test_large_dirty_region_falls_back_to_full_solve(self):
+        scenario = ChurningScenario(3)
+        max_min_shares(scenario.flows, solver="incremental", cache=scenario.cache)
+        # Churn far more than MAX_DIRTY_FRACTION of the population at once
+        # (also beyond the 64-row floor below which small problems never
+        # bother falling back).
+        n_churn = max(200, int(len(scenario.flows) * (MAX_DIRTY_FRACTION + 0.5)))
+        for _ in range(n_churn):
+            flow = scenario._make_flow()
+            scenario.flows.append(flow)
+            scenario.cache.add_flow(flow)
+        before = scenario.delta.fallback_large_region + scenario.delta.solves_full
+        inc = max_min_shares(
+            scenario.flows, solver="incremental", cache=scenario.cache
+        )
+        after = scenario.delta.fallback_large_region + scenario.delta.solves_full
+        assert after > before
+        py = max_min_shares(scenario.flows, solver="python")
+        assert_allocations_close(inc, py)
+
+    def test_uncovered_flow_list_degrades_to_legacy_solve(self):
+        scenario = ChurningScenario(5)
+        max_min_shares(scenario.flows, solver="incremental", cache=scenario.cache)
+        stray = scenario._make_flow()  # never added to the cache
+        flows = scenario.flows + [stray]
+        inc = max_min_shares(flows, solver="incremental", cache=scenario.cache)
+        assert scenario.delta.fallback_stale >= 1
+        py = max_min_shares(flows, solver="python")
+        assert_allocations_close(inc, py)
+
+    def test_auto_solver_uses_delta_on_large_cached_populations(self):
+        from repro.network.fluid import AUTO_NUMPY_MIN_FLOWS
+
+        scenario = ChurningScenario(9)
+        while len(scenario.flows) < AUTO_NUMPY_MIN_FLOWS:
+            flow = scenario._make_flow()
+            scenario.flows.append(flow)
+            scenario.cache.add_flow(flow)
+        before = scenario.delta.solves_full + scenario.delta.solves_incremental
+        max_min_shares(scenario.flows, solver="auto", cache=scenario.cache)
+        assert scenario.delta.solves_full + scenario.delta.solves_incremental > before
+
+
+class TestIncidenceTableCompaction:
+    def test_tombstones_compact_and_results_stay_correct(self):
+        from repro.network.incidence import _COMPACT_MIN_DEAD_PAIRS
+
+        rng = np.random.default_rng(17)
+        capacities = rng.uniform(50 * MBPS, 100 * MBPS, size=4)
+        topo, nodes = build_line(4, capacities)
+        router = Router(topo)
+
+        def make_flow():
+            return Flow(nodes[0], nodes[4], 1e9, router.path(nodes[0], nodes[4]))
+
+        flows = [make_flow() for _ in range(64)]
+        cache = IncidenceCache(flows)
+        delta = DeltaWaterFiller.attach(cache)
+        max_min_shares(flows, solver="incremental", cache=cache)
+
+        # Each flow crosses 4 links; retire/admit until the dead-pair count
+        # crosses the compaction threshold several times over.
+        events = _COMPACT_MIN_DEAD_PAIRS // 2 + 200
+        for _ in range(events):
+            victim = flows.pop(int(rng.integers(0, len(flows))))
+            cache.remove_flow(victim)
+            flows.append(make_flow())
+            cache.add_flow(flows[-1])
+        inc = max_min_shares(flows, solver="incremental", cache=cache)
+
+        stats = delta.stats()
+        assert stats["table_compactions"] >= 1
+        assert stats["table_dead_pairs"] < _COMPACT_MIN_DEAD_PAIRS
+        py = max_min_shares(flows, solver="python")
+        assert_allocations_close(inc, py)

@@ -122,3 +122,34 @@ class TestQueries:
         stats = protocol.http_json("GET", url(coordinator, protocol.STATS_PATH))
         assert stats["batches"] == 1
         assert stats["store_entries"] == len(jobs)
+
+    def test_stats_aggregates_kernel_counters(self, coordinator):
+        """``/stats`` sums the per-run ``kernel_*`` extras across the store."""
+        jobs = tiny_jobs(seeds=2)
+        protocol.http_json(
+            "POST", url(coordinator, protocol.JOBS_PATH),
+            {"jobs": [job.to_dict() for job in jobs]},
+        )
+        stats = protocol.http_json("GET", url(coordinator, protocol.STATS_PATH))
+        kernel = stats["kernel"]
+        assert kernel["kernel_recomputes"] > 0
+
+        entries = ResultStore(coordinator.store.path).query()
+        expected = sum(e.result.extras["kernel_recomputes"] for e in entries)
+        assert kernel["kernel_recomputes"] == expected
+        # _max-suffixed counters aggregate as a maximum, not a sum.
+        per_run_max = [
+            e.result.extras[k]
+            for e in entries
+            for k in e.result.extras
+            if k.startswith("kernel_") and k.endswith("_max")
+        ]
+        if per_run_max:
+            key = next(
+                k
+                for k in entries[0].result.extras
+                if k.startswith("kernel_") and k.endswith("_max")
+            )
+            assert kernel[key] == max(
+                e.result.extras[key] for e in entries
+            )

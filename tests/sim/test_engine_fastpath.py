@@ -146,3 +146,12 @@ class TestPeriodicTimerFastPath:
         sim.run(until=5.0)
         assert ticks == [1.0]
         assert timer.ticks == 1
+
+
+class TestHeapCompactionCounter:
+    def test_compactions_are_counted(self):
+        sim = Simulator()
+        assert sim.heap_compactions == 0
+        for i in range(10_000):
+            sim.call_at(1.0 + i, lambda: None).cancel()
+        assert sim.heap_compactions > 0
