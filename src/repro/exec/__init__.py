@@ -24,6 +24,12 @@ Determinism contract: running the same job under any backend — or in any
 order relative to other jobs — produces a bit-identical
 :class:`~repro.metrics.comparison.SchemeResult` (modulo the wall-clock
 field).  See ``docs/EXECUTION.md``.
+
+Dispatch-path performance knobs (see ``docs/PERFORMANCE.md``): pooled
+backends take ``pool="keep"`` to retain warm workers across ``run_jobs``
+calls, and process/cluster dispatch column-packs result payloads with the
+lossless codec in :mod:`repro.metrics.codec` (``wire="columnar"``, the
+default there).  Neither knob changes a single result byte.
 """
 
 from repro.exec.chaos import ChaosConfig, ChaosError, ChaosExecutor

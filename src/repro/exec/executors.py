@@ -57,8 +57,26 @@ from repro.exec.retry import (
     RetryPolicy,
 )
 from repro.exec.store import ResultStore
+from repro.metrics.codec import (
+    WIRE_COLUMNAR,
+    WIRE_COUNTERS,
+    WIRE_FORMATS,
+    WIRE_JSON,
+    CodecError,
+    decode_result,
+    encode_wire_outcome,
+    is_columnar,
+)
 from repro.metrics.comparison import SchemeResult
 from repro.registry import EXECUTORS, RegistryError
+
+#: Lifetime of an idle warm-pool worker before it is reaped (see
+#: :class:`ProcessExecutor`); generous because a warm worker's whole point is
+#: surviving the gap between consecutive ``run_jobs`` calls.
+DEFAULT_IDLE_TIMEOUT_S = 300.0
+
+#: Valid values of the ``pool=`` lifecycle knob of pooled backends.
+POOL_MODES = ("fresh", "keep")
 
 #: ``progress(event, job, detail)`` with event one of ``submitted``,
 #: ``cached``, ``finished``, ``failed``, ``retry``, ``degraded``.  ``detail``
@@ -104,7 +122,27 @@ def execute_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return result
 
 
-def execute_job_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+def _success_outcome(result: Dict[str, Any], wire: str) -> Dict[str, Any]:
+    """The ``{"ok": True}`` outcome for ``result`` in the requested wire format.
+
+    With ``wire="columnar"`` the result ships column-packed (see
+    :mod:`repro.metrics.codec`) with an ``"encoding"`` marker plus the
+    encoder-side perf counters; anything the strict codec rejects — a
+    chaos-corrupted payload, an unexpected shape — falls back to the plain
+    dict, so the columnar path can only ever shrink bytes, never change
+    semantics.
+    """
+    if wire == WIRE_COLUMNAR:
+        try:
+            return encode_wire_outcome(result)
+        except CodecError:
+            pass
+    return {"ok": True, "result": result}
+
+
+def execute_job_chunk(
+    payloads: Sequence[Dict[str, Any]], wire: str = WIRE_JSON
+) -> List[Dict[str, Any]]:
     """Run a chunk of serialised jobs; one outcome dict per payload, in order.
 
     This is the unit the chunked dispatch paths (pooled backends with
@@ -117,11 +155,14 @@ def execute_job_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]
     ``BaseException`` (``KeyboardInterrupt``, ``SystemExit``, an injected
     ``os._exit``) escapes, taking the rest of the chunk with it — exactly the
     semantics of losing the worker mid-chunk.
+
+    ``wire`` selects the transfer encoding of successful results (see
+    :func:`_success_outcome`); failures always travel as plain dicts.
     """
     outcomes: List[Dict[str, Any]] = []
     for payload in payloads:
         try:
-            outcomes.append({"ok": True, "result": execute_job_payload(payload)})
+            result = execute_job_payload(payload)
         except Exception as exc:  # noqa: BLE001 - serialised for the dispatcher
             outcomes.append(
                 {
@@ -131,6 +172,8 @@ def execute_job_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]
                     "traceback": traceback.format_exc(),
                 }
             )
+        else:
+            outcomes.append(_success_outcome(result, wire))
     return outcomes
 
 
@@ -239,9 +282,38 @@ class _BatchState:
     def apply_outcome(
         self, index: int, outcome: Mapping[str, Any], elapsed_s: float = 0.0
     ) -> None:
-        """Record one :func:`execute_job_chunk`-style outcome dict."""
+        """Record one :func:`execute_job_chunk`-style outcome dict.
+
+        This is the single funnel every dispatch path (thread futures,
+        process pipe, cluster HTTP) feeds outcomes through, so it is where
+        columnar payloads are decoded back to plain dicts — detected by the
+        payload marker, not the ``"encoding"`` field, so a response from any
+        worker version does the right thing.  An encoded payload that fails
+        to decode is a corrupt transfer: it fails as a retryable
+        ``CorruptResultError`` exactly like a payload that fails hydration.
+        """
         if outcome.get("ok"):
-            self.succeed(index, outcome["result"])
+            payload = outcome["result"]
+            if is_columnar(payload):
+                started = time.perf_counter()
+                try:
+                    payload = decode_result(payload)
+                except CodecError as exc:
+                    self.fail(
+                        index,
+                        error=f"undecodable columnar result payload: {exc}",
+                        exc_type="CorruptResultError",
+                        elapsed_s=elapsed_s,
+                    )
+                    return
+                WIRE_COUNTERS.add(
+                    decoded_results=1,
+                    decode_s=time.perf_counter() - started,
+                    encoded_results=1,
+                    encode_s=float(outcome.get("encode_s", 0.0)),
+                    encoded_bytes=float(outcome.get("wire_bytes", 0)),
+                )
+            self.succeed(index, payload)
         else:
             self.fail(
                 index,
@@ -374,11 +446,38 @@ class Executor:
     #: the chaos wrapper to attach its injection envelope.  Runs in the
     #: caller's process — only its *output* crosses to workers.
     payload_transform: Optional[Callable[[Dict[str, Any], int], Dict[str, Any]]] = None
+    #: transfer encoding of successful results on this backend's dispatch
+    #: path (see :mod:`repro.metrics.codec`).  ``"json"`` ships the plain
+    #: dict; backends whose results cross a process or network boundary
+    #: default to ``"columnar"``.  Never changes result bytes — only how
+    #: they travel.
+    wire_format = WIRE_JSON
+    #: worker-pool lifecycle of pooled backends: ``"fresh"`` tears workers
+    #: down after every ``execute`` call (the historical behaviour),
+    #: ``"keep"`` retains idle workers across calls (warm pool; see
+    #: :class:`ProcessExecutor`).  Backends without persistent workers
+    #: ignore it.
+    pool = "fresh"
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+
+    def close(self) -> None:
+        """Release any persistent resources (warm workers).  Idempotent.
+
+        Backends without persistent state inherit this no-op; the process
+        backend shuts its warm pool down here.  Executors are context
+        managers (``with ProcessExecutor(pool="keep") as ex: ...``) closing
+        on exit.
+        """
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def effective_workers(self, n_jobs: int) -> int:
         """The worker count actually used for ``n_jobs`` jobs."""
@@ -466,7 +565,9 @@ class Executor:
             while state.ready:
                 chunk, attempts = state.next_chunk(batch_size)
                 future = pool.submit(
-                    execute_job_chunk, self._chunk_payloads(state, chunk, attempts)
+                    execute_job_chunk,
+                    self._chunk_payloads(state, chunk, attempts),
+                    self.wire_format,
                 )
                 future_to_chunk[future] = chunk
                 submitted_at[future] = time.monotonic()
@@ -566,8 +667,9 @@ def _process_worker_main(conn) -> None:
 
     Protocol (all messages are plain picklable tuples over the pipe):
 
-    * parent → worker: ``(task_id, [payload_dict, ...])`` or ``None`` (shut
-      down);
+    * parent → worker: ``(task_id, [payload_dict, ...], wire)`` — ``wire``
+      names the result transfer encoding (older two-element messages imply
+      plain JSON) — or ``None`` (shut down);
     * worker → parent: ``("started", task_id)`` the moment work begins —
       the parent starts the chunk's timeout clock on this, so worker spawn
       and import time never count against the jobs — then
@@ -579,6 +681,13 @@ def _process_worker_main(conn) -> None:
     Must stay module-level: spawn pickles it by reference and the child
     imports this module fresh.
     """
+    try:
+        # Pay the heavy simulator import once at spawn, not inside the first
+        # job's timing window — this is most of what makes a *warm* worker
+        # warm.
+        import repro.experiments.runner  # noqa: F401
+    except Exception:  # noqa: BLE001 - surfaces per-job if genuinely broken
+        pass
     while True:
         try:
             message = conn.recv()
@@ -586,10 +695,11 @@ def _process_worker_main(conn) -> None:
             return
         if message is None:
             return
-        task_id, payloads = message
+        task_id, payloads = message[0], message[1]
+        wire = message[2] if len(message) > 2 else WIRE_JSON
         try:
             conn.send(("started", task_id))
-            outcomes = execute_job_chunk(payloads)
+            outcomes = execute_job_chunk(payloads, wire=wire)
         except BaseException as exc:  # noqa: BLE001 - serialised for the parent
             try:
                 conn.send(
@@ -640,13 +750,18 @@ class _PoolWorker:
         child_conn.close()
         self.task: Optional[_InFlight] = None
         self.doomed = False  # terminated on purpose; never dispatch to it again
+        self.idle_since = time.monotonic()  # last moment this worker went idle
 
     def dispatch(
-        self, task_id: int, indexes: Sequence[int], payloads: List[Dict[str, Any]]
+        self,
+        task_id: int,
+        indexes: Sequence[int],
+        payloads: List[Dict[str, Any]],
+        wire: str = WIRE_JSON,
     ) -> bool:
         """Send one job chunk; ``False`` when the pipe is already broken."""
         try:
-            self.conn.send((task_id, payloads))
+            self.conn.send((task_id, payloads, wire))
         except (BrokenPipeError, OSError):
             return False
         self.task = _InFlight(task_id, indexes)
@@ -691,21 +806,106 @@ class ProcessExecutor(Executor):
     batch forever.  After ``max_respawns`` replacements the pool declares
     itself degraded (:class:`~repro.exec.retry.ExecutorDegradedError`) so
     :func:`run_jobs` can fall back to a simpler backend.
+
+    Warm pools (``pool="keep"``): with the default ``pool="fresh"`` every
+    ``execute`` call spawns its workers and tears them down afterwards —
+    correct, but the spawn+import cost (a fresh interpreter importing the
+    whole simulator) is paid per call and dominates short batches.
+    ``pool="keep"`` retains idle, healthy workers on the executor instance
+    across calls: consecutive ``run_jobs`` calls on the same executor reuse
+    them with zero respawns.  The retained pool is mutated strictly in
+    place, so the shallow copies taken by :func:`resolve_executor` overrides
+    and the chaos wrapper all share (and warm) the same workers.  Lifecycle:
+    :meth:`close` (or the inherited context manager) shuts the pool down;
+    workers idle longer than ``idle_timeout_s`` are reaped at the start of
+    the next call; any batch that ends in an error tears the pool down
+    wholesale — only a cleanly finished batch leaves warm workers behind.
+    Every fault-tolerance invariant is lifecycle-independent: warm workers
+    still count against the same respawn budget, timeout kills still retire
+    the worker, and results are bit-identical either way.
     """
 
     name = "process"
     supports_timeout = True
+    wire_format = WIRE_COLUMNAR
 
     def __init__(
-        self, max_workers: Optional[int] = None, max_respawns: Optional[int] = None
+        self,
+        max_workers: Optional[int] = None,
+        max_respawns: Optional[int] = None,
+        pool: str = "fresh",
+        idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S,
     ) -> None:
         super().__init__(max_workers)
         if max_respawns is not None and max_respawns < 0:
             raise ValueError("max_respawns must be >= 0")
+        if pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
+        if idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be > 0, got {idle_timeout_s}")
         self.max_respawns = max_respawns
+        self.pool = pool
+        self.idle_timeout_s = float(idle_timeout_s)
+        #: the retained worker pool — mutated in place only (never rebound),
+        #: so shallow copies of this executor share one pool
+        self._pool_workers: List[_PoolWorker] = []
+        #: lifetime counters, shared across copies the same way
+        self._pool_counters: Dict[str, int] = {
+            "spawned": 0,
+            "respawned": 0,
+            "reused": 0,
+            "idle_reaped": 0,
+            "task_id": 0,
+        }
+        #: only the original instance finalizes the pool on collection;
+        #: shallow copies (resolve_executor overrides, the chaos wrapper's
+        #: per-call runner) share the pool and must not destroy it when
+        #: they go out of scope.
+        self._owns_pool = True
+
+    def __copy__(self) -> "ProcessExecutor":
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone._owns_pool = False
+        return clone
 
     def fallback_backend(self) -> Optional[Executor]:
         return ThreadExecutor(max_workers=self.max_workers)
+
+    # -- pool lifecycle ----------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Lifetime pool counters plus the current warm-pool size."""
+        return {
+            **{k: v for k, v in self._pool_counters.items() if k != "task_id"},
+            "pool_size": len(self._pool_workers),
+        }
+
+    def close(self) -> None:
+        """Shut down every retained worker (idle politely, busy by kill)."""
+        while self._pool_workers:
+            worker = self._pool_workers.pop()
+            worker.shutdown(kill=worker.task is not None or worker.doomed)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            if getattr(self, "_owns_pool", False):
+                self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finalizer
+            pass
+
+    def _prune_pool(self) -> None:
+        """Entry housekeeping: drop dead idle workers, reap idle timeouts."""
+        now = time.monotonic()
+        for worker in list(self._pool_workers):
+            if worker.doomed or not worker.alive():
+                # Died (or was killed) between batches: nothing was in
+                # flight, so this costs nothing against any respawn budget.
+                self._pool_workers.remove(worker)
+                worker.shutdown(kill=True)
+            elif now - worker.idle_since >= self.idle_timeout_s:
+                self._pool_workers.remove(worker)
+                worker.shutdown()
+                self._pool_counters["idle_reaped"] += 1
 
     def execute(
         self,
@@ -725,15 +925,22 @@ class ProcessExecutor(Executor):
             if self.max_respawns is not None
             else max(4, 2 * len(jobs))
         )
-        workers: List[_PoolWorker] = []
-        spawn_count = {"total": 0, "task_id": 0}
+        keep = self.pool == "keep"
+        workers = self._pool_workers
+        self._prune_pool()
+        self._pool_counters["reused"] += len(workers)
+        # Warm workers count toward the initial allotment (clamped to this
+        # call's target size), so the replacement arithmetic below charges
+        # the respawn budget identically for warm and cold pools.
+        spawn_state = {"initial": min(len(workers), n_workers), "spawned": 0}
+        completed = False
         try:
             while not state.finished():
                 state.release_due_retries()
                 self._reap_and_respawn(
-                    workers, context, n_workers, state, spawn_count, respawn_budget
+                    workers, context, n_workers, state, spawn_state, respawn_budget
                 )
-                self._dispatch_ready(workers, state, spawn_count)
+                self._dispatch_ready(workers, state)
                 busy = [w for w in workers if w.task is not None]
                 if not busy:
                     delay = state.seconds_until_next_retry()
@@ -744,10 +951,23 @@ class ProcessExecutor(Executor):
                     time.sleep(delay)
                     continue
                 self._wait_and_collect(busy, state)
-            return state.results()
+            results = state.results()
+            completed = True
+            return results
         finally:
-            for worker in workers:
-                worker.shutdown(kill=worker.task is not None)
+            if keep and completed:
+                # Retain only healthy, idle workers; anything busy, doomed
+                # or dead is retired so the next call starts from a clean
+                # warm pool.
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.task is not None or worker.doomed or not worker.alive():
+                        workers.remove(worker)
+                        worker.shutdown(kill=True)
+                    else:
+                        worker.idle_since = now
+            else:
+                self.close()
 
     # -- scheduler pieces --------------------------------------------------------------
     def _reap_and_respawn(
@@ -756,7 +976,7 @@ class ProcessExecutor(Executor):
         context,
         n_workers: int,
         state: _BatchState,
-        spawn_count: Dict[str, int],
+        spawn_state: Dict[str, int],
         respawn_budget: int,
     ) -> None:
         """Remove dead workers (failing their jobs) and top the pool back up."""
@@ -783,9 +1003,12 @@ class ProcessExecutor(Executor):
         )
         want = min(n_workers, outstanding)
         while len(workers) < want:
-            # Everything beyond the initial pool size is a *replacement* —
-            # a worker respawned after a crash, kill or timeout.
-            replacements = max(0, spawn_count["total"] + 1 - n_workers)
+            # Everything beyond the initial allotment (warm pool + first
+            # cold spawns up to the target size) is a *replacement* — a
+            # worker respawned after a crash, kill or timeout.
+            replacements = max(
+                0, spawn_state["initial"] + spawn_state["spawned"] + 1 - n_workers
+            )
             if replacements > respawn_budget:
                 raise ExecutorDegradedError(
                     f"process pool exceeded its respawn budget "
@@ -793,19 +1016,22 @@ class ProcessExecutor(Executor):
                     f"giving up on the process backend"
                 )
             workers.append(_PoolWorker(context))
-            spawn_count["total"] += 1
+            spawn_state["spawned"] += 1
+            self._pool_counters["spawned"] += 1
+            if replacements > 0:
+                self._pool_counters["respawned"] += 1
 
-    def _dispatch_ready(
-        self, workers: List[_PoolWorker], state: _BatchState, spawn_count: Dict[str, int]
-    ) -> None:
+    def _dispatch_ready(self, workers: List[_PoolWorker], state: _BatchState) -> None:
         batch_size = max(1, int(self.batch_size))
         for worker in workers:
             if worker.task is not None or worker.doomed or not state.ready:
                 continue
             chunk, attempts = state.next_chunk(batch_size)
             payloads = self._chunk_payloads(state, chunk, attempts)
-            spawn_count["task_id"] += 1
-            if not worker.dispatch(spawn_count["task_id"], chunk, payloads):
+            self._pool_counters["task_id"] += 1
+            if not worker.dispatch(
+                self._pool_counters["task_id"], chunk, payloads, self.wire_format
+            ):
                 # The pipe broke before the chunk left: roll the attempts
                 # back; the next reap pass retires this worker and respawns.
                 for index in chunk:
@@ -857,6 +1083,7 @@ class ProcessExecutor(Executor):
                     continue  # stale reply from a pre-timeout attempt
                 elapsed = time.monotonic() - (task.started_at or task.sent_at)
                 worker.task = None
+                worker.idle_since = time.monotonic()
                 if ok:
                     for index, outcome in zip(task.indexes, payload):
                         state.apply_outcome(index, outcome, elapsed_s=elapsed)
@@ -957,6 +1184,10 @@ class ExecutionReport:
     retried: int = 0
     #: one ``{"from", "to", "error", "jobs"}`` record per backend downgrade
     fallbacks: List[Dict[str, Any]] = field(default_factory=list)
+    #: serialization perf counters of this run (delta of
+    #: :data:`~repro.metrics.codec.WIRE_COUNTERS` across the execute loop):
+    #: results encoded/decoded columnar, encode/decode seconds, wire bytes
+    wire: Dict[str, float] = field(default_factory=dict)
 
     @property
     def computed(self) -> int:
@@ -984,6 +1215,7 @@ class ExecutionReport:
             "retried": self.retried,
             "fallbacks": len(self.fallbacks),
             "wall_clock_s": self.wall_clock_s,
+            "wire": dict(self.wire),
         }
 
 
@@ -991,26 +1223,44 @@ def resolve_executor(
     executor: Union[str, Executor],
     max_workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    pool: Optional[str] = None,
+    wire: Optional[str] = None,
 ) -> Executor:
     """An :class:`Executor` instance from a registry key (or pass through).
 
     ``"<wrapper>:<inner>"`` keys resolve the wrapper entry and pass the
     inner key through (``"chaos:process"`` builds a
     :class:`~repro.exec.chaos.ChaosExecutor` around the process backend).
-    A passed-in instance is treated as read-only: a ``max_workers`` or
-    ``batch_size`` override applies to a shallow copy, never to the caller's
-    object.
+    A passed-in instance is treated as read-only: a ``max_workers``,
+    ``batch_size``, ``pool`` or ``wire`` override applies to a shallow copy,
+    never to the caller's object.  (A copy shares the original's warm pool —
+    pool state is mutated in place, see :class:`ProcessExecutor` — so
+    overriding, say, ``batch_size`` between calls does not cost the warm
+    workers.)
+
+    ``pool`` selects the worker-pool lifecycle (``"fresh"``/``"keep"``) and
+    ``wire`` the result transfer encoding (``"json"``/``"columnar"``); both
+    are advisory attribute sets that backends without pools/wire simply
+    ignore.
     """
     if max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be >= 1")
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if pool is not None and pool not in POOL_MODES:
+        raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
+    if wire is not None and wire not in WIRE_FORMATS:
+        raise ValueError(f"wire must be one of {WIRE_FORMATS}, got {wire!r}")
     if isinstance(executor, Executor):
-        overrides: Dict[str, int] = {}
+        overrides: Dict[str, Any] = {}
         if max_workers is not None and max_workers != executor.max_workers:
             overrides["max_workers"] = max_workers
         if batch_size is not None and batch_size != executor.batch_size:
             overrides["batch_size"] = batch_size
+        if pool is not None and pool != executor.pool:
+            overrides["pool"] = pool
+        if wire is not None and wire != executor.wire_format:
+            overrides["wire_format"] = wire
         if overrides:
             executor = copy.copy(executor)
             for name, value in overrides.items():
@@ -1036,6 +1286,10 @@ def resolve_executor(
         )
     if batch_size is not None:
         built.batch_size = batch_size
+    if pool is not None:
+        built.pool = pool
+    if wire is not None:
+        built.wire_format = wire
     return built
 
 
@@ -1050,6 +1304,8 @@ def run_jobs(
     fallback: bool = True,
     store_fsync: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    pool: Optional[str] = None,
+    wire: Optional[str] = None,
 ) -> ExecutionReport:
     """Run a job list on a backend, with caching, retries and degradation.
 
@@ -1095,9 +1351,27 @@ def run_jobs(
         spawn, pickle and network overhead.  Jobs keep per-job outcomes and
         retries; results are unchanged.  Default (``None``): the backend's
         own setting (1 unless configured otherwise).
+    pool:
+        Worker-pool lifecycle of pooled backends: ``"keep"`` retains idle
+        workers on the executor instance across calls (warm pool — pass an
+        executor *instance* to benefit across ``run_jobs`` calls),
+        ``"fresh"`` tears them down per call.  Default (``None``): the
+        backend's own setting.
+    wire:
+        Result transfer encoding on dispatch boundaries: ``"columnar"``
+        column-packs result payloads (see :mod:`repro.metrics.codec`),
+        ``"json"`` ships plain dicts.  Never changes result bytes; the
+        per-run serialization counters land in ``report.summary()["wire"]``.
+        Default (``None``): the backend's own setting.
     """
     jobs = list(jobs)
-    backend = resolve_executor(executor, max_workers=max_workers, batch_size=batch_size)
+    backend = resolve_executor(
+        executor,
+        max_workers=max_workers,
+        batch_size=batch_size,
+        pool=pool,
+        wire=wire,
+    )
     if isinstance(store, (str, os.PathLike)):
         result_store: Optional[ResultStore] = ResultStore(
             store, fsync=bool(store_fsync)
@@ -1160,9 +1434,13 @@ def run_jobs(
         report.results[key] = result
         report.computed_keys.append(key)
         if result_store is not None:
+            # The outcome dict *is* the canonical encoding (plus wall clock)
+            # — it was validated by hydration in succeed() and again just
+            # above — so hand it to the store directly instead of paying a
+            # third serialisation via result.canonical_dict().
             result_store.put(
                 job,
-                result,
+                outcome,
                 meta={
                     "executor": backend_cell["name"],
                     "attempts": retry_counts.get(key, 0) + 1,
@@ -1171,6 +1449,7 @@ def run_jobs(
 
     current = backend
     remaining = to_run
+    wire_before = WIRE_COUNTERS.snapshot()
     while remaining:
         try:
             current.execute(
@@ -1219,6 +1498,7 @@ def run_jobs(
             current = next_backend
             backend_cell["name"] = current.name
 
+    report.wire = WIRE_COUNTERS.delta_since(wire_before)
     report.wall_clock_s = time.perf_counter() - started
     if report.failures and raise_on_error:
         raise ExecutionError(report.failures)

@@ -304,14 +304,30 @@ class ResultStore:
         return {key: entry["result"] for key, entry in self._index.items()}
 
     # -- writing -----------------------------------------------------------------------
+    #: keys a pre-encoded result dict must carry to be storable (the
+    #: canonical shape minus the wall clock, which moves to ``meta``)
+    _REQUIRED_RESULT_KEYS = frozenset(
+        {"scheme", "records", "throughput", "availability", "sla_violations", "extras"}
+    )
+
     def put(
         self,
         job: ExperimentJob,
-        result: SchemeResult,
+        result: Union[SchemeResult, Mapping[str, Any]],
         meta: Optional[Mapping[str, Any]] = None,
         fsync: Optional[bool] = None,
     ) -> str:
         """Append one computed result; returns the job key.
+
+        ``result`` is a :class:`SchemeResult` or its already-encoded
+        ``to_dict``/``canonical_dict`` form.  Accepting the dict directly
+        matters on the hot path: executor workers already encoded the result
+        once to cross their boundary, and re-hydrating just to re-encode for
+        the store would serialise every result a second time.  A dict is
+        validated structurally (the canonical key set) — callers on the
+        dispatch path have already proven it hydrates — and its
+        ``wall_clock_s``, when present, moves into ``meta`` exactly as the
+        typed path does, so both paths write byte-identical lines.
 
         The line goes out as one ``write()`` system call on an unbuffered
         ``O_APPEND`` descriptor, so two processes appending to the same
@@ -331,7 +347,18 @@ class ResultStore:
         """
         self._ensure_loaded()
         key = job.key
-        canonical = result.canonical_dict()
+        if isinstance(result, SchemeResult):
+            canonical = result.canonical_dict()
+            wall_clock_s = float(result.wall_clock_s)
+        else:
+            canonical = {k: v for k, v in result.items() if k != "wall_clock_s"}
+            missing = self._REQUIRED_RESULT_KEYS - set(canonical)
+            if missing:
+                raise ResultStoreError(
+                    f"pre-encoded result for {job.label()} is missing "
+                    f"{sorted(missing)}; not a canonical result dict"
+                )
+            wall_clock_s = float(result.get("wall_clock_s", 0.0))
         existing = self._index.get(key)
         if existing is not None and existing["result"] != canonical:
             raise ResultStoreError(
@@ -346,7 +373,7 @@ class ResultStore:
             "result": canonical,
             "meta": dict(meta or {}),
         }
-        entry["meta"].setdefault("wall_clock_s", float(result.wall_clock_s))
+        entry["meta"].setdefault("wall_clock_s", wall_clock_s)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         with self.path.open("ab", buffering=0) as fh:

@@ -1,0 +1,353 @@
+"""Lossless columnar wire codec for canonical result dicts.
+
+The dispatch paths ship every computed result as the plain
+:meth:`~repro.metrics.comparison.SchemeResult.to_dict` form — a list of
+per-record dicts whose JSON/pickle encoding repeats every key name once per
+flow record and per sample.  For workloads with tens of thousands of flow
+records that key repetition dominates the bytes on the process pipe and the
+cluster HTTP wire.  This module packs those row lists into columns:
+
+* float columns (``size_bytes``, ``time_s``, ...) as base64 of the IEEE-754
+  little-endian ``struct`` bytes (``<Nd``) — bit-exact, including ``-0.0``,
+  infinities and NaN payloads;
+* int columns (``flow_id``, ``active_flows``, ...) as base64 ``<Nq``
+  (int64); values outside int64 are rejected so nothing silently wraps;
+* string columns (``kind``, ``src``, ``dst``) dictionary-encoded as a
+  first-appearance value table plus base64 ``<NI`` code array.
+
+The codec is *strict by design*: :func:`encode_result` raises
+:class:`CodecError` on any shape or type it does not recognise — an extra
+key, a bool where an int belongs, a chaos-corrupted payload — and callers
+fall back to shipping the plain dict.  That keeps the invariant simple:
+whatever was encoded decodes to the byte-identical plain dict
+(``json.dumps(decode_result(encode_result(d)), sort_keys=True)`` equals the
+same dump of ``d``), and everything else travels exactly as before.
+
+Encoded payloads are marked with the reserved :data:`COLUMNAR_KEY` key so
+receivers can distinguish them from plain results without out-of-band
+signalling — that marker is the whole wire negotiation (see
+:mod:`repro.service.protocol`).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Wire format names, as spoken by ``resolve_executor(wire=...)``, the CLI
+#: ``--wire`` flag and the ``POST /jobs`` body's ``"wire"`` field.
+WIRE_JSON = "json"
+WIRE_COLUMNAR = "columnar"
+WIRE_FORMATS = (WIRE_JSON, WIRE_COLUMNAR)
+
+#: Reserved marker key identifying an encoded payload (value: codec version).
+COLUMNAR_KEY = "__columnar__"
+COLUMNAR_VERSION = 1
+
+
+class CodecError(ValueError):
+    """The payload does not match the canonical result shape exactly.
+
+    Encoders treat this as "ship the plain dict instead"; decoders treat it
+    as a corrupt transfer (the retry layer classifies it like any other
+    hydration failure).
+    """
+
+
+# -- column specs ----------------------------------------------------------------------
+# One (column name -> kind) spec per row table of the canonical result shape;
+# kinds: "f" float64, "i" int64, "s" dictionary-encoded string.
+_RECORD_SPEC: Dict[str, str] = {
+    "flow_id": "i",
+    "size_bytes": "f",
+    "created_at_s": "f",
+    "started_at_s": "f",
+    "finished_at_s": "f",
+    "kind": "s",
+    "src": "s",
+    "dst": "s",
+}
+_THROUGHPUT_SPEC: Dict[str, str] = {
+    "time_s": "f",
+    "active_flows": "i",
+    "aggregate_bps": "f",
+    "mean_flow_bps": "f",
+}
+_AVAILABILITY_SPEC: Dict[str, str] = {
+    "time_s": "f",
+    "links_down": "i",
+    "links_total": "i",
+    "flows_rerouted": "i",
+    "flows_aborted": "i",
+}
+
+_TOP_REQUIRED = frozenset(
+    {"scheme", "records", "throughput", "availability", "sla_violations", "extras"}
+)
+_TOP_ALLOWED = _TOP_REQUIRED | {"wall_clock_s"}
+
+
+def _pack_floats(values: Sequence[Any]) -> str:
+    for value in values:
+        # bool is an int subclass and int would coerce silently; only true
+        # floats keep the "decode == original bytes" contract.
+        if type(value) is not float:
+            raise CodecError(f"expected float column value, got {type(value).__name__}")
+    return base64.b64encode(struct.pack(f"<{len(values)}d", *values)).decode("ascii")
+
+
+def _pack_ints(values: Sequence[Any]) -> str:
+    for value in values:
+        if type(value) is not int:
+            raise CodecError(f"expected int column value, got {type(value).__name__}")
+    try:
+        packed = struct.pack(f"<{len(values)}q", *values)
+    except struct.error as exc:
+        raise CodecError(f"int column value outside int64 ({exc})") from exc
+    return base64.b64encode(packed).decode("ascii")
+
+
+def _pack_strings(values: Sequence[Any]) -> Dict[str, Any]:
+    table: Dict[str, int] = {}
+    codes: List[int] = []
+    for value in values:
+        if type(value) is not str:
+            raise CodecError(f"expected str column value, got {type(value).__name__}")
+        codes.append(table.setdefault(value, len(table)))
+    packed = base64.b64encode(struct.pack(f"<{len(codes)}I", *codes)).decode("ascii")
+    return {"values": list(table), "codes": packed}
+
+
+def _unpack_floats(data: Any, n: int) -> List[float]:
+    raw = base64.b64decode(data, validate=True)
+    return list(struct.unpack(f"<{n}d", raw))
+
+
+def _unpack_ints(data: Any, n: int) -> List[int]:
+    raw = base64.b64decode(data, validate=True)
+    return list(struct.unpack(f"<{n}q", raw))
+
+
+def _unpack_strings(data: Any, n: int) -> List[str]:
+    values = data["values"]
+    codes = struct.unpack(f"<{n}I", base64.b64decode(data["codes"], validate=True))
+    return [values[code] for code in codes]
+
+
+def _encode_table(rows: Any, spec: Mapping[str, str], label: str) -> Dict[str, Any]:
+    if not isinstance(rows, list):
+        raise CodecError(f"{label} must be a list, got {type(rows).__name__}")
+    expected = set(spec)
+    columns: Dict[str, List[Any]] = {name: [] for name in spec}
+    for row in rows:
+        if not isinstance(row, dict) or set(row) != expected:
+            raise CodecError(f"{label} row does not match the canonical shape")
+        for name in spec:
+            columns[name].append(row[name])
+    encoded: Dict[str, Any] = {"n": len(rows)}
+    for name, kind in spec.items():
+        values = columns[name]
+        if kind == "f":
+            encoded[name] = _pack_floats(values)
+        elif kind == "i":
+            encoded[name] = _pack_ints(values)
+        else:
+            encoded[name] = _pack_strings(values)
+    return encoded
+
+
+def _decode_table(data: Any, spec: Mapping[str, str], label: str) -> List[Dict[str, Any]]:
+    try:
+        n = data["n"]
+        columns: Dict[str, List[Any]] = {}
+        for name, kind in spec.items():
+            if kind == "f":
+                columns[name] = _unpack_floats(data[name], n)
+            elif kind == "i":
+                columns[name] = _unpack_ints(data[name], n)
+            else:
+                columns[name] = _unpack_strings(data[name], n)
+    except CodecError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any malformed column is a codec error
+        raise CodecError(f"malformed columnar {label} table ({exc!r})") from exc
+    return [{name: columns[name][i] for name in spec} for i in range(n)]
+
+
+def is_columnar(payload: Any) -> bool:
+    """Whether ``payload`` carries the columnar marker (see :data:`COLUMNAR_KEY`)."""
+    return isinstance(payload, Mapping) and COLUMNAR_KEY in payload
+
+
+def encode_result(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Encode one canonical (or full ``to_dict``) result dict into columns.
+
+    Strict: raises :class:`CodecError` unless ``data`` matches the
+    :meth:`~repro.metrics.comparison.SchemeResult.to_dict` shape exactly
+    (key sets and value types).  :func:`decode_result` of the returned dict
+    reproduces ``data`` byte-for-byte.
+    """
+    if not isinstance(data, Mapping):
+        raise CodecError(f"result payload must be a mapping, got {type(data).__name__}")
+    keys = set(data)
+    if not _TOP_REQUIRED <= keys or not keys <= _TOP_ALLOWED:
+        raise CodecError(
+            f"result payload keys {sorted(keys)} do not match the canonical shape"
+        )
+    if type(data["scheme"]) is not str:
+        raise CodecError("scheme must be a str")
+    if type(data["sla_violations"]) is not int:
+        raise CodecError("sla_violations must be an int")
+    extras = data["extras"]
+    if not isinstance(extras, dict) or any(
+        type(k) is not str or type(v) is not float for k, v in extras.items()
+    ):
+        raise CodecError("extras must map str to float")
+    for series_key, spec in (
+        ("throughput", _THROUGHPUT_SPEC),
+        ("availability", _AVAILABILITY_SPEC),
+    ):
+        series = data[series_key]
+        if not isinstance(series, dict) or set(series) != {"samples"}:
+            raise CodecError(f"{series_key} must be {{'samples': [...]}}")
+    encoded: Dict[str, Any] = {
+        COLUMNAR_KEY: COLUMNAR_VERSION,
+        "scheme": data["scheme"],
+        "sla_violations": data["sla_violations"],
+        "extras": dict(extras),
+        "records": _encode_table(data["records"], _RECORD_SPEC, "records"),
+        "throughput": _encode_table(
+            data["throughput"]["samples"], _THROUGHPUT_SPEC, "throughput"
+        ),
+        "availability": _encode_table(
+            data["availability"]["samples"], _AVAILABILITY_SPEC, "availability"
+        ),
+    }
+    if "wall_clock_s" in data:
+        if type(data["wall_clock_s"]) is not float:
+            raise CodecError("wall_clock_s must be a float")
+        encoded["wall_clock_s"] = data["wall_clock_s"]
+    return encoded
+
+
+def decode_result(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Decode :func:`encode_result` output back to the plain result dict.
+
+    Raises :class:`CodecError` on anything that is not a well-formed
+    version-compatible encoded payload.
+    """
+    if not is_columnar(data):
+        raise CodecError("payload carries no columnar marker")
+    version = data[COLUMNAR_KEY]
+    if version != COLUMNAR_VERSION:
+        raise CodecError(
+            f"unsupported columnar version {version!r} "
+            f"(this side speaks {COLUMNAR_VERSION})"
+        )
+    expected = _TOP_ALLOWED | {COLUMNAR_KEY}
+    keys = set(data)
+    if not (_TOP_REQUIRED | {COLUMNAR_KEY}) <= keys or not keys <= expected:
+        raise CodecError(
+            f"encoded payload keys {sorted(keys)} do not match the canonical shape"
+        )
+    decoded: Dict[str, Any] = {
+        "scheme": data["scheme"],
+        "records": _decode_table(data["records"], _RECORD_SPEC, "records"),
+        "throughput": {
+            "samples": _decode_table(data["throughput"], _THROUGHPUT_SPEC, "throughput")
+        },
+        "availability": {
+            "samples": _decode_table(
+                data["availability"], _AVAILABILITY_SPEC, "availability"
+            )
+        },
+        "sla_violations": data["sla_violations"],
+        "extras": dict(data["extras"]),
+    }
+    if "wall_clock_s" in data:
+        decoded["wall_clock_s"] = data["wall_clock_s"]
+    return decoded
+
+
+def encode_wire_outcome(result: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``{"ok": True}`` outcome dict shipping ``result`` in columns.
+
+    Besides the encoded payload the outcome carries the encoder-side perf
+    counters (``encode_s`` seconds, ``wire_bytes`` of the compact-JSON
+    encoding) so the dispatcher can aggregate them even when the encoder ran
+    in another process or on another host.  Raises :class:`CodecError` when
+    the result does not encode — callers ship the plain outcome instead.
+    """
+    started = time.perf_counter()
+    encoded = encode_result(result)
+    wire_bytes = len(json.dumps(encoded, sort_keys=True, separators=(",", ":")))
+    return {
+        "ok": True,
+        "result": encoded,
+        "encoding": WIRE_COLUMNAR,
+        "wire_bytes": wire_bytes,
+        "encode_s": time.perf_counter() - started,
+    }
+
+
+class WireCounters:
+    """Thread-safe accumulator of codec perf counters (module singleton).
+
+    Keys: ``encoded_results`` / ``encode_s`` / ``encoded_bytes`` (reported by
+    the encoding side through the outcome envelope) and ``decoded_results`` /
+    ``decode_s`` (measured locally at decode time).  :func:`run_jobs` snapshots
+    the singleton around each batch and exports the delta through
+    ``ExecutionReport.summary()["wire"]``; the service daemons surface their
+    own accumulations on ``GET /stats``.
+    """
+
+    KEYS = (
+        "encoded_results",
+        "encode_s",
+        "encoded_bytes",
+        "decoded_results",
+        "decode_s",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[str, float] = {key: 0.0 for key in self.KEYS}
+
+    def add(self, **deltas: float) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                if key not in self._data:
+                    raise KeyError(f"unknown wire counter {key!r}")
+                self._data[key] += float(delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._data)
+
+    def delta_since(self, before: Mapping[str, float]) -> Dict[str, float]:
+        now = self.snapshot()
+        return {key: now[key] - float(before.get(key, 0.0)) for key in self.KEYS}
+
+
+#: Process-wide counters of the dispatcher side (see :class:`WireCounters`).
+WIRE_COUNTERS = WireCounters()
+
+
+__all__ = [
+    "COLUMNAR_KEY",
+    "COLUMNAR_VERSION",
+    "CodecError",
+    "WIRE_COLUMNAR",
+    "WIRE_COUNTERS",
+    "WIRE_FORMATS",
+    "WIRE_JSON",
+    "WireCounters",
+    "decode_result",
+    "encode_result",
+    "encode_wire_outcome",
+    "is_columnar",
+]

@@ -38,7 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.exec.executors import run_jobs
+from repro.exec.executors import resolve_executor, run_jobs
 from repro.exec.job import ExperimentJob
 from repro.exec.retry import RetryPolicy
 from repro.exec.store import ResultStore
@@ -130,6 +130,12 @@ class CoordinatorServer(HTTPDaemon):
         ``process``, ``cluster``, ``chaos:...``).
     max_workers / batch_size:
         Forwarded to :func:`~repro.exec.executors.run_jobs`.
+    pool:
+        Worker-pool lifecycle of the backend.  An always-on daemon is
+        exactly where warm pools pay off — every submitted batch reuses the
+        same workers — so the default here is ``"keep"`` (unlike the
+        library default of ``"fresh"``); the retained workers are shut down
+        by :meth:`stop`.
     """
 
     def __init__(
@@ -141,6 +147,7 @@ class CoordinatorServer(HTTPDaemon):
         max_workers: Optional[int] = None,
         batch_size: Optional[int] = None,
         verbose: bool = False,
+        pool: str = "keep",
     ) -> None:
         self.httpd = _CoordinatorHTTPServer((host, port), _CoordinatorHandler)
         self.httpd.coordinator = self
@@ -151,10 +158,22 @@ class CoordinatorServer(HTTPDaemon):
         self.max_workers = max_workers
         self.batch_size = batch_size
         self.verbose = bool(verbose)
+        # One executor instance for the daemon's lifetime: with pool="keep"
+        # the process backend's workers stay warm across POST /jobs batches
+        # instead of respawning (and re-importing the simulator) per batch.
+        self.backend = resolve_executor(
+            executor, max_workers=max_workers, batch_size=batch_size, pool=pool
+        )
         self._submit_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._counters = {"batches": 0, "computed": 0, "cached": 0, "failed": 0}
+        self._wire_totals: Dict[str, float] = {}
         self._thread: Optional[threading.Thread] = None
+
+    def stop(self) -> None:
+        """Stop serving and release the backend's warm workers."""
+        super().stop()
+        self.backend.close()
 
     # -- request logic -----------------------------------------------------------------
     def identity(self) -> Dict[str, Any]:
@@ -167,11 +186,19 @@ class CoordinatorServer(HTTPDaemon):
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
             counters = dict(self._counters)
+        pool_stats = getattr(self.backend, "stats", None)
+        with self._stats_lock:
+            wire_totals = dict(self._wire_totals)
         return {
             **self.identity(),
             **counters,
             "store_entries": len(self.store),
             "kernel": self._kernel_stats(),
+            # Serialization counters summed over every batch this daemon ran
+            # (the per-run ExecutionReport "wire" dicts), plus the warm-pool
+            # lifetime counters when the backend has a pool.
+            "wire": wire_totals,
+            "pool": pool_stats() if callable(pool_stats) else {},
         }
 
     def _kernel_stats(self) -> Dict[str, float]:
@@ -218,12 +245,10 @@ class CoordinatorServer(HTTPDaemon):
         with self._submit_lock:
             report = run_jobs(
                 jobs,
-                executor=self.executor,
-                max_workers=self.max_workers,
+                executor=self.backend,
                 store=self.store,
                 policy=policy,
                 raise_on_error=False,
-                batch_size=self.batch_size,
             )
         failed = {failure.job.key: str(failure) for failure in report.failures}
         statuses: List[Dict[str, Any]] = []
@@ -237,6 +262,8 @@ class CoordinatorServer(HTTPDaemon):
             self._counters["computed"] += report.computed
             self._counters["cached"] += report.cached
             self._counters["failed"] += len(report.failures)
+            for key, value in report.wire.items():
+                self._wire_totals[key] = self._wire_totals.get(key, 0.0) + value
         return {"summary": report.summary(), "jobs": statuses}
 
     def query_entries(

@@ -148,6 +148,62 @@ class TestResultStore:
         assert set(entry) == {"key", "job", "result", "meta"}
 
 
+class TestDictPut:
+    """``put`` accepting the pre-encoded canonical/to_dict forms directly.
+
+    The dispatch paths already hold the plain dict (decoded off the wire);
+    re-hydrating to a SchemeResult only to re-serialise it was pure overhead.
+    The contract: a dict put writes the byte-identical line a SchemeResult
+    put would have.
+    """
+
+    def test_dict_put_writes_the_identical_line(self, tmp_path):
+        job, result = make_job(), make_result()
+        a = ResultStore(tmp_path / "obj.jsonl")
+        a.put(job, result)
+        b = ResultStore(tmp_path / "dict.jsonl")
+        b.put(job, result.to_dict())
+        assert (tmp_path / "obj.jsonl").read_text() == (
+            tmp_path / "dict.jsonl"
+        ).read_text()
+
+    def test_canonical_dict_put_defaults_wall_clock_to_zero(self, tmp_path):
+        job, result = make_job(), make_result()
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.put(job, result.canonical_dict())  # no wall_clock_s key
+        entry = store.entry(job.key)
+        assert entry["meta"]["wall_clock_s"] == 0.0
+        assert store.get(job).canonical_dict() == result.canonical_dict()
+
+    def test_dict_put_missing_required_keys_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        bad = make_result().canonical_dict()
+        del bad["records"]
+        with pytest.raises(ResultStoreError, match="records"):
+            store.put(make_job(), bad)
+        assert len(store) == 0
+
+    def test_dict_put_conflict_detection_unchanged(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = store_job = make_job()
+        store.put(job, make_result(n_records=1).to_dict())
+        with pytest.raises(ResultStoreError, match="nondeterminism"):
+            store.put(store_job, make_result(n_records=3).to_dict())
+        # Mixed forms conflict-check against each other too.
+        store.put(job, make_result(n_records=1))  # identical: appends fine
+        with pytest.raises(ResultStoreError, match="nondeterminism"):
+            store.put(job, make_result(n_records=2))
+
+    def test_dict_put_wall_clock_lands_in_meta_not_result(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        job = make_job()
+        store.put(job, make_result().to_dict(), meta={"executor": "worker"})
+        entry = store.entry(job.key)
+        assert entry["meta"]["wall_clock_s"] == pytest.approx(3.14)
+        assert entry["meta"]["executor"] == "worker"
+        assert "wall_clock_s" not in entry["result"]
+
+
 class TestCrashSafeRewrite:
     def _populated(self, tmp_path):
         path = tmp_path / "r.jsonl"

@@ -1,0 +1,300 @@
+"""Tests for the columnar result codec: lossless round-trips, strictness, size."""
+
+import json
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.executors import run_jobs
+from repro.exec.planner import plan_comparison
+from repro.experiments.spec import ScenarioSpec
+from repro.metrics.codec import (
+    COLUMNAR_KEY,
+    COLUMNAR_VERSION,
+    WIRE_COLUMNAR,
+    CodecError,
+    WireCounters,
+    decode_result,
+    encode_result,
+    encode_wire_outcome,
+    is_columnar,
+)
+
+
+def dumps(data):
+    """The byte-identity yardstick: canonical sorted-key JSON."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# -- strategies matching the canonical result shape ------------------------------------
+
+# Raw IEEE-754 bit patterns so the strategy covers -0.0, infinities and NaN
+# payloads, not just the floats hypothesis likes.
+any_float = st.binary(min_size=8, max_size=8).map(lambda b: struct.unpack("<d", b)[0])
+int64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+name = st.text(min_size=0, max_size=8)
+
+
+def record_rows():
+    row = st.fixed_dictionaries(
+        {
+            "flow_id": int64,
+            "size_bytes": any_float,
+            "created_at_s": any_float,
+            "started_at_s": any_float,
+            "finished_at_s": any_float,
+            "kind": name,
+            "src": name,
+            "dst": name,
+        }
+    )
+    return st.lists(row, max_size=12)
+
+
+def throughput_rows():
+    row = st.fixed_dictionaries(
+        {
+            "time_s": any_float,
+            "active_flows": int64,
+            "aggregate_bps": any_float,
+            "mean_flow_bps": any_float,
+        }
+    )
+    return st.lists(row, max_size=12)
+
+
+def availability_rows():
+    row = st.fixed_dictionaries(
+        {
+            "time_s": any_float,
+            "links_down": int64,
+            "links_total": int64,
+            "flows_rerouted": int64,
+            "flows_aborted": int64,
+        }
+    )
+    return st.lists(row, max_size=12)
+
+
+def results(with_wall_clock=False):
+    base = {
+        "scheme": name,
+        "records": record_rows(),
+        "throughput": st.fixed_dictionaries({"samples": throughput_rows()}),
+        "availability": st.fixed_dictionaries({"samples": availability_rows()}),
+        "sla_violations": int64,
+        "extras": st.dictionaries(name, any_float, max_size=6),
+    }
+    if with_wall_clock:
+        base["wall_clock_s"] = any_float
+    return st.fixed_dictionaries(base)
+
+
+def sample_result():
+    """One concrete fixed result for the deterministic (non-property) tests."""
+    return {
+        "scheme": "ecmp",
+        "records": [
+            {
+                "flow_id": 7,
+                "size_bytes": 1.5e9,
+                "created_at_s": 0.25,
+                "started_at_s": 0.25,
+                "finished_at_s": 1.75,
+                "kind": "bulk",
+                "src": "h0",
+                "dst": "h3",
+            },
+            {
+                "flow_id": 8,
+                "size_bytes": 2048.0,
+                "created_at_s": 0.5,
+                "started_at_s": 0.5,
+                "finished_at_s": 0.51,
+                "kind": "mice",
+                "src": "h1",
+                "dst": "h0",
+            },
+        ],
+        "throughput": {
+            "samples": [
+                {
+                    "time_s": 0.0,
+                    "active_flows": 2,
+                    "aggregate_bps": 9.5e9,
+                    "mean_flow_bps": 4.75e9,
+                }
+            ]
+        },
+        "availability": {
+            "samples": [
+                {
+                    "time_s": 0.0,
+                    "links_down": 0,
+                    "links_total": 48,
+                    "flows_rerouted": 0,
+                    "flows_aborted": 0,
+                }
+            ]
+        },
+        "sla_violations": 1,
+        "extras": {"fct_p99_s": 1.5},
+    }
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(results())
+    def test_random_canonical_dicts_round_trip_byte_identical(self, data):
+        assert dumps(decode_result(encode_result(data))) == dumps(data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(results(with_wall_clock=True))
+    def test_full_to_dict_shape_round_trips(self, data):
+        assert dumps(decode_result(encode_result(data))) == dumps(data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(results())
+    def test_encoded_payload_survives_a_json_hop(self, data):
+        # The encoded dict crosses pickle pipes and HTTP as JSON; a JSON
+        # round-trip of the *encoded* form must not lose anything either.
+        hopped = json.loads(json.dumps(encode_result(data)))
+        assert dumps(decode_result(hopped)) == dumps(data)
+
+    def test_special_floats_are_bit_exact(self):
+        data = sample_result()
+        data["records"][0]["size_bytes"] = -0.0
+        data["records"][0]["created_at_s"] = float("inf")
+        data["records"][1]["finished_at_s"] = float("-inf")
+        data["extras"]["nan"] = float("nan")
+        decoded = decode_result(encode_result(data))
+        assert math.copysign(1.0, decoded["records"][0]["size_bytes"]) == -1.0
+        assert decoded["records"][0]["created_at_s"] == float("inf")
+        assert decoded["records"][1]["finished_at_s"] == float("-inf")
+        assert math.isnan(decoded["extras"]["nan"])
+
+    def test_real_simulation_result_round_trips(self):
+        jobs = plan_comparison(ScenarioSpec.pareto_poisson(sim_time_s=1.0, seed=11))
+        report = run_jobs(jobs[:1], executor="serial")
+        (result,) = report.results.values()
+        for data in (result.canonical_dict(), result.to_dict()):
+            assert dumps(decode_result(encode_result(data))) == dumps(data)
+
+    def test_empty_tables_round_trip(self):
+        data = sample_result()
+        data["records"] = []
+        data["throughput"]["samples"] = []
+        data["availability"]["samples"] = []
+        data["extras"] = {}
+        assert dumps(decode_result(encode_result(data))) == dumps(data)
+
+
+class TestCompression:
+    def test_columnar_encoding_is_smaller_on_real_results(self):
+        jobs = plan_comparison(ScenarioSpec.pareto_poisson(sim_time_s=1.5, seed=5))
+        report = run_jobs(jobs[:1], executor="serial")
+        (result,) = report.results.values()
+        plain = result.canonical_dict()
+        assert len(dumps(encode_result(plain))) < 0.7 * len(dumps(plain))
+
+    def test_string_columns_are_dictionary_encoded(self):
+        data = sample_result()
+        encoded = encode_result(data)
+        kinds = encoded["records"]["kind"]
+        assert sorted(kinds["values"]) == ["bulk", "mice"]
+        assert len(kinds["values"]) == len(set(kinds["values"]))
+
+
+class TestStrictness:
+    def test_marker_key_identifies_encoded_payloads(self):
+        encoded = encode_result(sample_result())
+        assert is_columnar(encoded)
+        assert encoded[COLUMNAR_KEY] == COLUMNAR_VERSION
+        assert not is_columnar(sample_result())
+        assert not is_columnar(None)
+        assert not is_columnar(["not", "a", "mapping"])
+
+    def test_extra_top_level_key_rejected(self):
+        data = sample_result()
+        data["__chaos_corrupted__"] = True
+        with pytest.raises(CodecError, match="canonical shape"):
+            encode_result(data)
+
+    def test_missing_top_level_key_rejected(self):
+        data = sample_result()
+        del data["scheme"]
+        with pytest.raises(CodecError, match="canonical shape"):
+            encode_result(data)
+
+    def test_bool_is_not_an_int(self):
+        data = sample_result()
+        data["records"][0]["flow_id"] = True
+        with pytest.raises(CodecError, match="expected int"):
+            encode_result(data)
+
+    def test_int_where_float_belongs_rejected(self):
+        data = sample_result()
+        data["records"][0]["size_bytes"] = 2048  # int, would not round-trip
+        with pytest.raises(CodecError, match="expected float"):
+            encode_result(data)
+
+    def test_row_with_wrong_keys_rejected(self):
+        data = sample_result()
+        del data["records"][0]["kind"]
+        with pytest.raises(CodecError, match="records row"):
+            encode_result(data)
+
+    def test_int_outside_int64_rejected(self):
+        data = sample_result()
+        data["records"][0]["flow_id"] = 2**63
+        with pytest.raises(CodecError, match="int64"):
+            encode_result(data)
+
+    def test_decode_rejects_unmarked_payloads(self):
+        with pytest.raises(CodecError, match="no columnar marker"):
+            decode_result(sample_result())
+
+    def test_decode_rejects_future_versions(self):
+        encoded = encode_result(sample_result())
+        encoded[COLUMNAR_KEY] = COLUMNAR_VERSION + 1
+        with pytest.raises(CodecError, match="unsupported columnar version"):
+            decode_result(encoded)
+
+    def test_decode_rejects_truncated_columns(self):
+        encoded = encode_result(sample_result())
+        encoded["records"]["flow_id"] = encoded["records"]["flow_id"][:4]
+        with pytest.raises(CodecError, match="malformed columnar records"):
+            decode_result(encoded)
+
+
+class TestWireOutcome:
+    def test_envelope_shape_and_counters(self):
+        outcome = encode_wire_outcome(sample_result())
+        assert outcome["ok"] is True
+        assert outcome["encoding"] == WIRE_COLUMNAR
+        assert is_columnar(outcome["result"])
+        assert outcome["wire_bytes"] == len(dumps(outcome["result"]))
+        assert outcome["encode_s"] >= 0.0
+
+    def test_unencodable_result_raises(self):
+        with pytest.raises(CodecError):
+            encode_wire_outcome({"not": "a result"})
+
+
+class TestWireCounters:
+    def test_add_snapshot_delta(self):
+        counters = WireCounters()
+        before = counters.snapshot()
+        counters.add(encoded_results=2, encoded_bytes=100.0, decode_s=0.25)
+        delta = counters.delta_since(before)
+        assert delta["encoded_results"] == 2
+        assert delta["encoded_bytes"] == 100.0
+        assert delta["decode_s"] == 0.25
+        assert delta["decoded_results"] == 0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError, match="unknown wire counter"):
+            WireCounters().add(bogus=1)

@@ -123,6 +123,47 @@ class TestQueries:
         assert stats["batches"] == 1
         assert stats["store_entries"] == len(jobs)
 
+    def test_stats_expose_wire_and_pool_sections(self, coordinator):
+        # Serial backend: the sections exist but are quiet (no pool, no
+        # cross-boundary encodes) — the daemon's stats shape is stable
+        # regardless of the configured backend.
+        jobs = tiny_jobs(seeds=1)
+        protocol.http_json(
+            "POST", url(coordinator, protocol.JOBS_PATH),
+            {"jobs": [job.to_dict() for job in jobs]},
+        )
+        stats = protocol.http_json("GET", url(coordinator, protocol.STATS_PATH))
+        assert stats["wire"]["decoded_results"] == 0
+        assert stats["pool"] == {}
+
+    def test_process_backend_daemon_keeps_a_warm_pool(self, tmp_path):
+        # The serve daemon's whole point of pool="keep": two submissions on
+        # a process backend reuse the same workers (zero respawns) and the
+        # wire totals accumulate across batches; stop() releases the pool.
+        server = CoordinatorServer(
+            port=0, store_path=tmp_path / "store.jsonl",
+            executor="process", max_workers=2,
+        )
+        with server:
+            first = tiny_jobs(seeds=1)
+            second = tiny_jobs(seeds=2)  # superset: one batch of new keys
+            protocol.http_json(
+                "POST", url(server, protocol.JOBS_PATH),
+                {"jobs": [job.to_dict() for job in first]},
+            )
+            protocol.http_json(
+                "POST", url(server, protocol.JOBS_PATH),
+                {"jobs": [job.to_dict() for job in second]},
+            )
+            stats = protocol.http_json("GET", url(server, protocol.STATS_PATH))
+            assert stats["pool"]["pool_size"] > 0
+            assert stats["pool"]["respawned"] == 0
+            assert stats["pool"]["reused"] > 0
+            assert stats["wire"]["decoded_results"] == len(set(
+                job.key for job in first + second
+            ))
+        assert server.backend.stats()["pool_size"] == 0  # stop() closed it
+
     def test_stats_aggregates_kernel_counters(self, coordinator):
         """``/stats`` sums the per-run ``kernel_*`` extras across the store."""
         jobs = tiny_jobs(seeds=2)

@@ -179,6 +179,126 @@ class TestChaosEnvelope:
         assert ExperimentJob.from_dict(payload).key == job.key
 
 
+class TestWireNegotiation:
+    def test_columnar_request_gets_columnar_payloads(self, worker):
+        from repro.exec.executors import run_jobs
+        from repro.metrics.codec import decode_result, is_columnar
+
+        jobs = tiny_jobs()
+        serial = run_jobs(jobs, executor="serial")
+        answer = protocol.http_json(
+            "POST",
+            worker_url(worker, protocol.JOBS_PATH),
+            {"jobs": [job.to_dict() for job in jobs], "wire": "columnar"},
+        )
+        assert answer["wire"] == "columnar"
+        for job, outcome in zip(jobs, answer["outcomes"]):
+            assert outcome["ok"]
+            assert is_columnar(outcome["result"])
+            assert outcome["wire_bytes"] > 0
+            decoded = decode_result(outcome["result"])
+            decoded.pop("wall_clock_s", None)
+            assert decoded == serial.results[job.key].canonical_dict()
+
+    def test_request_without_wire_field_gets_plain_json(self, worker):
+        from repro.metrics.codec import is_columnar
+
+        answer = protocol.http_json(
+            "POST",
+            worker_url(worker, protocol.JOBS_PATH),
+            {"jobs": [tiny_jobs()[0].to_dict()]},
+        )
+        assert answer["wire"] == "json"
+        assert not is_columnar(answer["outcomes"][0]["result"])
+
+    def test_json_only_worker_ignores_the_columnar_request(self, tmp_path):
+        # The pre-codec/downgraded worker: a client asking for columnar gets
+        # plain dicts back, and decoding falls through on the payload marker.
+        from repro.metrics.codec import is_columnar
+
+        with WorkerServer(port=0, shard_dir=tmp_path, wire="json") as server:
+            assert server.identity()["wire"] == "json"
+            answer = protocol.http_json(
+                "POST",
+                worker_url(server, protocol.JOBS_PATH),
+                {"jobs": [tiny_jobs()[0].to_dict()], "wire": "columnar"},
+            )
+            assert answer["wire"] == "json"
+            (outcome,) = answer["outcomes"]
+            assert outcome["ok"]
+            assert not is_columnar(outcome["result"])
+
+    def test_negotiate_wire_truth_table(self, tmp_path):
+        columnar = WorkerServer(port=0, shard_dir=tmp_path, wire="columnar")
+        assert columnar.negotiate_wire("columnar") == "columnar"
+        assert columnar.negotiate_wire(None) == "json"
+        assert columnar.negotiate_wire("json") == "json"
+        assert columnar.negotiate_wire("msgpack") == "json"  # unknown: plain
+        json_only = WorkerServer(port=0, shard_dir=tmp_path, wire="json")
+        assert json_only.negotiate_wire("columnar") == "json"
+
+    def test_invalid_wire_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="wire must be one of"):
+            WorkerServer(port=0, shard_dir=tmp_path, wire="msgpack")
+
+    def test_corrupt_result_ships_plain_over_columnar(self, worker):
+        # Chaos corruption must not be masked by the codec: the corrupt dict
+        # fails strict encoding, travels as plain JSON, and the client-side
+        # hydration check still catches it.
+        from repro.metrics.codec import is_columnar
+
+        payload = tiny_jobs()[0].to_dict()
+        payload["__chaos__"] = {"mode": "corrupt", "delay_s": 0.0, "crash_ok": False}
+        answer = protocol.http_json(
+            "POST",
+            worker_url(worker, protocol.JOBS_PATH),
+            {"jobs": [payload], "wire": "columnar"},
+        )
+        assert answer["wire"] == "columnar"
+        (outcome,) = answer["outcomes"]
+        assert outcome["ok"]
+        assert not is_columnar(outcome["result"])
+        assert outcome["result"]["__chaos_corrupted__"] is True
+
+    def test_stats_count_wire_activity(self, worker):
+        jobs = tiny_jobs()
+        protocol.http_json(
+            "POST",
+            worker_url(worker, protocol.JOBS_PATH),
+            {"jobs": [job.to_dict() for job in jobs], "wire": "columnar"},
+        )
+        protocol.http_json(
+            "POST",
+            worker_url(worker, protocol.JOBS_PATH),
+            {"jobs": [jobs[0].to_dict()]},  # plain chunk: no wire counters
+        )
+        stats = protocol.http_json("GET", worker_url(worker, protocol.STATS_PATH))
+        assert stats["chunks"] == 2
+        assert stats["columnar_chunks"] == 1
+        assert stats["wire_results"] == len(jobs)
+        assert stats["wire_bytes"] > 0
+        assert stats["wire_encode_s"] >= 0.0
+
+    def test_shard_bytes_are_wire_independent(self, tmp_path):
+        # The same job through a columnar and a JSON exchange must leave
+        # byte-identical shard lines (modulo the port in the meta) — the
+        # codec exists on the wire only.
+        job = tiny_jobs()[0]
+        with WorkerServer(port=0, shard_dir=tmp_path / "a") as a:
+            protocol.http_json(
+                "POST", worker_url(a, protocol.JOBS_PATH),
+                {"jobs": [job.to_dict()], "wire": "columnar"},
+            )
+            shard_a = ResultStore(a.shard_path)
+        with WorkerServer(port=0, shard_dir=tmp_path / "b", wire="json") as b:
+            protocol.http_json(
+                "POST", worker_url(b, protocol.JOBS_PATH),
+                {"jobs": [job.to_dict()], "wire": "columnar"},
+            )
+            shard_b = ResultStore(b.shard_path)
+        assert shard_a.results_by_key() == shard_b.results_by_key()
+
+
 class TestShutdown:
     def test_post_shutdown_stops_the_server(self, tmp_path):
         server = WorkerServer(port=0, shard_dir=tmp_path).start()
