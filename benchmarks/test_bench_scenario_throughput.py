@@ -22,6 +22,8 @@ import cProfile
 import pstats
 import time
 
+import pytest
+
 from bench_utils import save_result, scenario_pareto_poisson, scenario_video_with_control
 
 _payload = {}
@@ -161,3 +163,127 @@ def test_bench_fat_tree_100k_slice(results_dir, request):
     if delta is not None:
         assert delta.solves_incremental > 0, section
     assert solver_fraction < 0.5, section
+
+
+def test_bench_million_session_aggregate(results_dir, request):
+    """10^6 CDN video sessions on the k=32 fat tree via aggregate flows.
+
+    The headline of the aggregate-flow subsystem: a million concurrent video
+    sessions cost ``sessions / multiplicity`` fluid flow objects, so the
+    scenario finishes in seconds of wall clock instead of the better part of
+    an hour.  Two measurements:
+
+    * the full million-session population (aggregate representation only),
+      recording ``sim_seconds_per_wall_second`` and
+      ``sessions_per_flow_object``;
+    * a head-to-head at the largest session count both representations can
+      afford: the *same* population run once as aggregates and once expanded
+      to one discrete flow per session on the same path.  By the
+      aggregate/discrete equivalence (tests/network/test_fluid_incremental.py)
+      both legs produce identical fluid dynamics and identical simulated
+      time, so the wall-clock ratio isolates the representation cost.  The
+      full run asserts the aggregate leg is >= 20x faster.
+
+    The CI smoke run (``--benchmark-disable``) scales both measurements down
+    and relaxes the head-to-head floor (fixed per-recompute topology costs
+    weigh more at small scale).
+    """
+    import time as _time
+
+    from repro.network.fabric import FabricSimulator
+    from repro.network.flow import FlowKind
+    from repro.network.transport.ideal import IdealMaxMinTransport
+    from repro.sim.engine import Simulator
+    from repro.sim.random import RandomStreams
+    from test_bench_kernel_microbench import _fat_tree
+
+    smoke = request.config.getoption("benchmark_disable", default=False)
+    multiplicity = 500
+    headline_sessions = 50_000 if smoke else 1_000_000
+    common_sessions = 5_000 if smoke else 40_000
+    min_advantage = 3.0 if smoke else 20.0
+    session_size_bytes = 4e6  # one ~4 MB video per session
+
+    topology = _fat_tree()
+    link_of = {(l.src.node_id, l.dst.node_id): l for l in topology.links}
+    racks = {}
+    for host in topology.hosts():
+        racks.setdefault(str(host.attrs["rack"]), []).append(host)
+    rack_list = sorted(racks.items())
+
+    def draw_population(num_objects, seed):
+        """Rack-local (src, dst, path) triples, one per aggregate object."""
+        rng = RandomStreams(seed).stream("population")
+        population = []
+        for _ in range(num_objects):
+            rack_key, hosts = rack_list[int(rng.integers(0, len(rack_list)))]
+            i = int(rng.integers(0, len(hosts)))
+            j = int(rng.integers(0, len(hosts) - 1))
+            if j >= i:
+                j += 1
+            src, dst = hosts[i], hosts[j]
+            edge_id = f"edge-{rack_key}"
+            path = [
+                link_of[(src.node_id, edge_id)],
+                link_of[(edge_id, dst.node_id)],
+            ]
+            population.append((src, dst, path))
+        return population
+
+    def run_population(population, expand):
+        """Admit the population in one churn batch, drain, time the whole run.
+
+        ``expand=False`` starts one flow object of ``multiplicity`` sessions
+        per population entry; ``expand=True`` starts ``multiplicity`` discrete
+        clones on the same path — the same sessions, represented one per flow.
+        """
+        sim = Simulator()
+        fabric = FabricSimulator(sim, topology, IdealMaxMinTransport())
+        wall_start = _time.perf_counter()
+        with fabric.churn():
+            for src, dst, path in population:
+                for _ in range(multiplicity if expand else 1):
+                    fabric.start_flow(
+                        src,
+                        dst,
+                        session_size_bytes,
+                        FlowKind.VIDEO,
+                        path=path,
+                        multiplicity=1 if expand else multiplicity,
+                    )
+        fabric.drain()
+        wall = _time.perf_counter() - wall_start
+        assert fabric.active_flow_count == 0
+        return wall, sim.now
+
+    # -- the million-session headline (aggregate representation only) ---------
+    num_objects = headline_sessions // multiplicity
+    headline_wall, headline_sim_s = run_population(
+        draw_population(num_objects, seed=1), expand=False
+    )
+
+    # -- head-to-head at the largest common size ------------------------------
+    common = draw_population(common_sessions // multiplicity, seed=2)
+    agg_wall, agg_sim_s = run_population(common, expand=False)
+    discrete_wall, discrete_sim_s = run_population(common, expand=True)
+    advantage = discrete_wall / agg_wall
+
+    section = {
+        "headline_sessions": headline_sessions,
+        "headline_flow_objects": num_objects,
+        "sessions_per_flow_object": headline_sessions / num_objects,
+        "headline_wall_s": headline_wall,
+        "headline_sim_s": headline_sim_s,
+        "sim_seconds_per_wall_second": headline_sim_s / headline_wall,
+        "common_sessions": common_sessions,
+        "common_sim_s": agg_sim_s,
+        "aggregate_wall_s": agg_wall,
+        "discrete_wall_s": discrete_wall,
+        "aggregate_wall_advantage": advantage,
+    }
+    _record(results_dir, "million_session_aggregate", section)
+
+    # Identical fluid dynamics: both representations simulate the same span.
+    assert agg_sim_s == pytest.approx(discrete_sim_s, rel=1e-6), section
+    assert section["sessions_per_flow_object"] == multiplicity
+    assert advantage >= min_advantage, section

@@ -207,12 +207,20 @@ class StorageCluster:
         created_at: Optional[float] = None,
         priority_weight: float = 1.0,
         reserve_bps: float = 0.0,
+        multiplicity: int = 1,
+        tenant: str = "",
     ) -> RequestRecord:
         """Store ``content`` in the cloud on behalf of ``client``.
 
         Returns immediately with a :class:`RequestRecord`; the data flow starts
         after the connection-setup latency and the record is completed when the
         flow finishes (replication continues in the background).
+
+        ``multiplicity`` > 1 makes the data transfer an aggregate flow: one
+        flow object standing in for that many identical concurrent sessions
+        (replication always runs at multiplicity 1 — the cluster stores one
+        copy no matter how many clients uploaded it).  ``tenant`` is an
+        opaque label carried onto the flow for per-tenant metrics.
         """
         now = self.sim.now
         created = now if created_at is None else created_at
@@ -254,6 +262,8 @@ class StorageCluster:
             primary_node,
             priority_weight,
             reserve_bps,
+            multiplicity,
+            tenant,
         )
         return request
 
@@ -264,6 +274,8 @@ class StorageCluster:
         primary_node: Node,
         priority_weight: float,
         reserve_bps: float,
+        multiplicity: int = 1,
+        tenant: str = "",
     ) -> None:
         if not self.is_server_active(primary_node.node_id):
             # The primary departed during connection setup; the write is lost.
@@ -280,6 +292,8 @@ class StorageCluster:
                 kind=request.flow_kind,
                 created_at=request.created_at,
                 priority_weight=priority_weight,
+                multiplicity=multiplicity,
+                tenant=tenant,
                 meta=meta,
             )
         except NoPathError:
@@ -297,8 +311,15 @@ class StorageCluster:
         flow_kind: FlowKind = FlowKind.DATA,
         created_at: Optional[float] = None,
         priority_weight: float = 1.0,
+        multiplicity: int = 1,
+        tenant: str = "",
     ) -> RequestRecord:
-        """Retrieve ``content_id`` for ``client``."""
+        """Retrieve ``content_id`` for ``client``.
+
+        ``multiplicity`` > 1 aggregates that many identical concurrent
+        sessions (same client edge, same replica, same size) into one fluid
+        flow; ``tenant`` tags the flow for per-tenant metrics.
+        """
         now = self.sim.now
         created = now if created_at is None else created_at
         client_node = self._client_node(client)
@@ -328,7 +349,14 @@ class StorageCluster:
 
         delay = self._setup_delay(client_node, source_node)
         self.sim.call_in(
-            delay, self._start_read_flow, request, source_node, client_node, priority_weight
+            delay,
+            self._start_read_flow,
+            request,
+            source_node,
+            client_node,
+            priority_weight,
+            multiplicity,
+            tenant,
         )
         return request
 
@@ -338,6 +366,8 @@ class StorageCluster:
         source_node: Node,
         client_node: Node,
         priority_weight: float,
+        multiplicity: int = 1,
+        tenant: str = "",
     ) -> None:
         if not self.is_server_active(source_node.node_id):
             # The chosen replica departed during connection setup.
@@ -351,6 +381,8 @@ class StorageCluster:
                 kind=request.flow_kind,
                 created_at=request.created_at,
                 priority_weight=priority_weight,
+                multiplicity=multiplicity,
+                tenant=tenant,
                 meta={"request_id": request.request_id, "role": "client-read"},
             )
         except NoPathError:

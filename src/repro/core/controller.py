@@ -244,6 +244,10 @@ class ScdaController:
             rate = min(rate, send_other, recv_other)
             if rate == float("inf"):
                 rate = 0.0
+            elif flow.multiplicity != 1:
+                # The advertised rate is per session; an aggregate flow
+                # stands in for N sessions and demands N times it.
+                rate *= flow.multiplicity
             allocations[flow.flow_id] = rate
         return allocations
 

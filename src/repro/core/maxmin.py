@@ -258,6 +258,9 @@ class ScdaTree:
             calc.update(
                 queue_bytes=link.queue_bytes,
                 flow_rates_bps=[f.current_rate_bps for f in flows],
+                # Per-session weights: the S = Σ ℘_j·R_j sums *aggregate*
+                # delivered rates, which already carry an aggregate flow's
+                # multiplicity — effective (×N) weights would double-count it.
                 weights=[f.priority_weight for f in flows],
                 reserved_bps=reserved_on(link),
             )

@@ -303,12 +303,20 @@ class WorkloadSurgeEvent(DynamicsEvent):
     uniformly drawn clients.  All draws come from a stream namespaced by the
     run seed and the event's identity, so the surge is identical across
     executor backends.
+
+    ``multiplicity`` > 1 makes every surge request an aggregate flow of that
+    many sessions — a flash crowd of 50k viewers is one event with
+    ``arrival_rate_per_s`` flow objects per second, each standing in for
+    ``multiplicity`` concurrent sessions.  ``tenant`` tags the surge traffic
+    for per-tenant metrics.
     """
 
     duration_s: float = 1.0
     arrival_rate_per_s: float = 50.0
     mean_size_bytes: float = 500 * 1024.0
     flow_kind: str = "data"
+    multiplicity: int = 1
+    tenant: str = ""
 
     kind: ClassVar[str] = "workload-surge"
 
@@ -320,6 +328,10 @@ class WorkloadSurgeEvent(DynamicsEvent):
             raise DynamicsError(f"{self.kind}: arrival_rate_per_s must be positive")
         if self.mean_size_bytes <= 0:
             raise DynamicsError(f"{self.kind}: mean_size_bytes must be positive")
+        if int(self.multiplicity) != self.multiplicity or self.multiplicity < 1:
+            raise DynamicsError(
+                f"{self.kind}: multiplicity must be a positive integer"
+            )
         try:
             FlowKind(self.flow_kind)
         except ValueError:
@@ -341,7 +353,22 @@ class WorkloadSurgeEvent(DynamicsEvent):
         while offset < self.duration_s:
             size = max(1.0, streams.exponential("sizes", self.mean_size_bytes))
             client_index = streams.integers("clients", 0, num_clients)
-            runtime.sim.call_in(offset, runtime.issue_write, client_index, size, kind)
+            if self.multiplicity == 1 and not self.tenant:
+                # Historical 3-argument call, so pre-aggregate issue_write
+                # callables (and their byte-identical results) keep working.
+                runtime.sim.call_in(
+                    offset, runtime.issue_write, client_index, size, kind
+                )
+            else:
+                runtime.sim.call_in(
+                    offset,
+                    runtime.issue_write,
+                    client_index,
+                    size,
+                    kind,
+                    self.multiplicity,
+                    self.tenant,
+                )
             offset += streams.exponential("arrivals", 1.0 / self.arrival_rate_per_s)
 
 

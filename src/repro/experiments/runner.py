@@ -30,6 +30,7 @@ from repro.core.controller import ScdaController, ScdaControllerConfig
 from repro.experiments.spec import ScenarioSpec, as_spec
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.comparison import ComparisonResult, SchemeResult
+from repro.metrics.tenancy import per_tenant_extras
 from repro.network.fabric import FabricConfig, FabricSimulator
 from repro.network.flow import FlowKind
 from repro.network.routing import EcmpRouter, HashingEcmpRouter, Router
@@ -213,7 +214,13 @@ def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
     if request.operation is Operation.READ and request.content_ref:
         nns = cluster.name_node_for_content(request.content_ref)
         if nns.knows(request.content_ref):
-            cluster.read(client, request.content_ref, flow_kind=request.flow_kind)
+            cluster.read(
+                client,
+                request.content_ref,
+                flow_kind=request.flow_kind,
+                multiplicity=request.multiplicity,
+                tenant=request.tenant,
+            )
             return
     content = Content(
         content_id=f"{request.flow_kind.value}-{next(stack.content_ids)}",
@@ -221,7 +228,13 @@ def _issue_request(stack: SchemeStack, request: FlowRequest, clients) -> None:
         declared_class=request.content_class,
         owner=client.node_id,
     )
-    cluster.write(client, content, flow_kind=request.flow_kind)
+    cluster.write(
+        client,
+        content,
+        flow_kind=request.flow_kind,
+        multiplicity=request.multiplicity,
+        tenant=request.tenant,
+    )
 
 
 def _arm_dynamics(dynamics, stack: SchemeStack, clients) -> None:
@@ -234,14 +247,22 @@ def _arm_dynamics(dynamics, stack: SchemeStack, clients) -> None:
     from repro.dynamics import DynamicsRuntime
     from repro.network.flow import FlowKind as _FlowKind
 
-    def issue_surge_write(client_index: int, size_bytes: float, kind: _FlowKind) -> None:
+    def issue_surge_write(
+        client_index: int,
+        size_bytes: float,
+        kind: _FlowKind,
+        multiplicity: int = 1,
+        tenant: str = "",
+    ) -> None:
         client = clients[client_index % len(clients)]
         content = Content(
             content_id=f"surge-{next(stack.content_ids)}",
             size_bytes=size_bytes,
             owner=client.node_id,
         )
-        stack.cluster.write(client, content, flow_kind=kind)
+        stack.cluster.write(
+            client, content, flow_kind=kind, multiplicity=multiplicity, tenant=tenant
+        )
 
     runtime = DynamicsRuntime(
         sim=stack.sim,
@@ -314,6 +335,14 @@ def run_scheme(
     }
     if stack.hedera is not None:
         extras["hedera_reroutes"] = float(stack.hedera.reroutes)
+    if stack.collector.sessions_started != stack.collector.flows_started:
+        # Only aggregate runs carry session accounting, so discrete runs
+        # keep their exact historical payload.
+        extras["sessions_started"] = float(stack.collector.sessions_started)
+        extras["sessions_completed"] = float(
+            sum(r.multiplicity for r in stack.collector.records)
+        )
+    extras.update(per_tenant_extras(stack.collector.records))
     for key, value in stack.collector.kernel_extras().items():
         extras[f"kernel_{key}"] = value
     result = SchemeResult(

@@ -46,7 +46,10 @@ WIRE_FORMATS = (WIRE_JSON, WIRE_COLUMNAR)
 
 #: Reserved marker key identifying an encoded payload (value: codec version).
 COLUMNAR_KEY = "__columnar__"
-COLUMNAR_VERSION = 1
+#: Version 2 added the ``multiplicity``/``tenant`` record columns (aggregate
+#: flows).  Version mismatches raise :class:`CodecError` at decode time and
+#: the wire layers fall back to plain JSON, so old↔new pairings interoperate.
+COLUMNAR_VERSION = 2
 
 
 class CodecError(ValueError):
@@ -70,6 +73,8 @@ _RECORD_SPEC: Dict[str, str] = {
     "kind": "s",
     "src": "s",
     "dst": "s",
+    "multiplicity": "i",
+    "tenant": "s",
 }
 _THROUGHPUT_SPEC: Dict[str, str] = {
     "time_s": "f",

@@ -47,6 +47,10 @@ class MetricsCollector:
         #: dynamic and static runs structurally identical)
         self.availability = AvailabilitySeries()
         self.flows_started = 0
+        #: Sessions started — equals :attr:`flows_started` until an aggregate
+        #: (multiplicity > 1) flow arrives, then counts every session it
+        #: stands in for.
+        self.sessions_started = 0
         self._timer: Optional[PeriodicTimer] = None
         self._last_sample_time = fabric.sim.now
         self._last_total_bytes = fabric.total_bytes_delivered
@@ -89,6 +93,7 @@ class MetricsCollector:
 
     def _on_flow_started(self, flow: Flow, now: float) -> None:
         self.flows_started += 1
+        self.sessions_started += flow.multiplicity
 
     def _sample(self, now: float) -> None:
         active = self.fabric.active_flows
@@ -96,12 +101,21 @@ class MetricsCollector:
         delivered = self.fabric.total_bytes_delivered - self._last_total_bytes
         aggregate_bps = delivered * 8.0 / dt if dt > 0 else 0.0
         per_flow_rates = [f.current_rate_bps for f in active]
+        if getattr(self.fabric, "_aggregate_active", 0):
+            # Session-weighted view: an aggregate flow counts as N active
+            # sessions, and the mean per-session rate is Σ aggregate rates
+            # over Σ sessions (each session runs at rate/multiplicity).
+            sessions = sum(f.multiplicity for f in active)
+            mean_flow_bps = float(np.sum(per_flow_rates)) / sessions if sessions else 0.0
+        else:
+            sessions = len(active)
+            mean_flow_bps = float(np.mean(per_flow_rates)) if per_flow_rates else 0.0
         self.throughput.add(
             ThroughputSample(
                 time_s=now,
-                active_flows=len(active),
+                active_flows=sessions,
                 aggregate_bps=aggregate_bps,
-                mean_flow_bps=float(np.mean(per_flow_rates)) if per_flow_rates else 0.0,
+                mean_flow_bps=mean_flow_bps,
             )
         )
         self.availability.add(

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.metrics.availability import AvailabilitySeries
 from repro.metrics.cdf import empirical_cdf, stochastic_dominance_fraction
-from repro.metrics.fct import FctStatistics, afct_by_size_bins, average_fct
+from repro.metrics.fct import (
+    FctStatistics,
+    afct_by_size_bins,
+    average_fct,
+    record_multiplicities,
+)
 from repro.metrics.records import FlowRecord
 from repro.metrics.throughput import ThroughputSeries
 
@@ -35,8 +40,17 @@ class SchemeResult:
 
     # -- flow statistics ------------------------------------------------------------------
     def fcts(self) -> np.ndarray:
-        """Completion times of all recorded flows."""
-        return np.array([r.fct_s for r in self.records], dtype=float)
+        """Completion times, expanded per session.
+
+        A discrete record contributes one entry; an aggregate record of
+        multiplicity N contributes N identical entries, so downstream
+        statistics see the same population as N discrete flows would give.
+        """
+        arr = np.array([r.fct_s for r in self.records], dtype=float)
+        reps = record_multiplicities(self.records)
+        if reps is None:
+            return arr
+        return np.repeat(arr, reps)
 
     def fct_statistics(self) -> FctStatistics:
         """Summary statistics of the completion times."""
@@ -58,10 +72,14 @@ class SchemeResult:
         return self.throughput.average_mean_flow_kBps()
 
     def mean_goodput_kBps(self) -> float:
-        """Mean per-flow goodput (flow size / FCT) over all recorded flows, in KB/s."""
+        """Session-weighted mean goodput (flow size / FCT), in KB/s."""
         if not self.records:
             return 0.0
-        return float(np.mean([r.goodput_bps for r in self.records])) / 8.0 / 1024.0
+        goodputs = np.array([r.goodput_bps for r in self.records], dtype=float)
+        reps = record_multiplicities(self.records)
+        if reps is not None:
+            goodputs = np.repeat(goodputs, reps)
+        return float(np.mean(goodputs)) / 8.0 / 1024.0
 
     def fct_cdf(self):
         """``(x, F(x))`` of the FCT CDF."""
@@ -74,6 +92,11 @@ class SchemeResult:
     @property
     def completed_flows(self) -> int:
         return len(self.records)
+
+    @property
+    def completed_sessions(self) -> int:
+        """Total user sessions completed (Σ multiplicity over the records)."""
+        return int(sum(r.multiplicity for r in self.records))
 
     # -- serialisation / merging ----------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -27,8 +27,19 @@ class FctStatistics:
     max_s: float
 
     @classmethod
-    def from_fcts(cls, fcts: Sequence[float]) -> "FctStatistics":
+    def from_fcts(
+        cls,
+        fcts: Sequence[float],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> "FctStatistics":
+        """Statistics over completion times, optionally session-weighted.
+
+        ``multiplicities`` (parallel to ``fcts``) counts each completion time
+        that many times — an aggregate flow of N sessions enters the
+        statistics exactly as N discrete flows with its FCT would.
+        """
         arr = np.asarray(list(fcts), dtype=float)
+        arr = _expand_sessions(arr, multiplicities)
         if arr.size == 0:
             return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
         return cls(
@@ -41,11 +52,43 @@ class FctStatistics:
         )
 
 
+def _expand_sessions(
+    values: np.ndarray, multiplicities: Optional[Sequence[int]]
+) -> np.ndarray:
+    """Repeat each value by its multiplicity (a no-op when all are 1)."""
+    if multiplicities is None:
+        return values
+    reps = np.asarray(list(multiplicities), dtype=np.intp)
+    if reps.shape != values.shape:
+        raise ValueError(
+            f"got {values.size} values but {reps.size} multiplicities; they must match"
+        )
+    if (reps == 1).all():
+        return values
+    return np.repeat(values, reps)
+
+
+def record_multiplicities(records: Sequence[FlowRecord]) -> Optional[np.ndarray]:
+    """Per-record session counts, or None when every record is discrete."""
+    reps = np.asarray([r.multiplicity for r in records], dtype=np.intp)
+    if reps.size == 0 or (reps == 1).all():
+        return None
+    return reps
+
+
 def average_fct(records: Sequence[FlowRecord]) -> float:
-    """Mean FCT over all records (NaN when empty)."""
+    """Session-weighted mean FCT over all records (NaN when empty).
+
+    An aggregate record of multiplicity N counts as N sessions with its FCT,
+    so the mean is indistinguishable from the N-discrete equivalent.
+    """
     if not records:
         return float("nan")
-    return float(np.mean([r.fct_s for r in records]))
+    fcts = np.asarray([r.fct_s for r in records], dtype=float)
+    reps = record_multiplicities(records)
+    if reps is None:
+        return float(np.mean(fcts))
+    return float(np.mean(np.repeat(fcts, reps)))
 
 
 def afct_by_size_bins(
@@ -80,6 +123,10 @@ def afct_by_size_bins(
 
     sizes = np.array([r.size_bytes for r in records], dtype=float)
     fcts = np.array([r.fct_s for r in records], dtype=float)
+    reps = record_multiplicities(records)
+    if reps is not None:
+        sizes = np.repeat(sizes, reps)
+        fcts = np.repeat(fcts, reps)
     indices = np.digitize(sizes, edges) - 1
     for b in range(centers.size):
         mask = indices == b

@@ -10,7 +10,14 @@ from repro.network.flow import Flow, FlowKind
 
 @dataclass(frozen=True)
 class FlowRecord:
-    """An immutable summary of one finished flow."""
+    """An immutable summary of one finished flow.
+
+    ``multiplicity`` carries how many identical user sessions the flow
+    aggregated (1 = a plain discrete flow); ``size_bytes`` stays per-session,
+    so the record describes each of the N sessions and summary statistics
+    weight it by N.  ``tenant`` is an opaque label ("" = untagged) used for
+    per-tenant breakdowns.
+    """
 
     flow_id: int
     size_bytes: float
@@ -20,6 +27,12 @@ class FlowRecord:
     kind: FlowKind
     src: str
     dst: str
+    multiplicity: int = 1
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if int(self.multiplicity) != self.multiplicity or self.multiplicity < 1:
+            raise ValueError("multiplicity must be a positive integer")
 
     @property
     def fct_s(self) -> float:
@@ -33,7 +46,7 @@ class FlowRecord:
 
     @property
     def goodput_bps(self) -> float:
-        """Average delivered rate over the flow's lifetime."""
+        """Average delivered rate of one session over the flow's lifetime."""
         if self.fct_s <= 0:
             return float("inf")
         return self.size_bytes * 8.0 / self.fct_s
@@ -49,13 +62,22 @@ class FlowRecord:
             "kind": self.kind.value,
             "src": self.src,
             "dst": self.dst,
+            "multiplicity": int(self.multiplicity),
+            "tenant": self.tenant,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FlowRecord":
-        """Rebuild a record from :meth:`to_dict` output (lossless)."""
+        """Rebuild a record from :meth:`to_dict` output (lossless).
+
+        Payloads stored before aggregate flows existed lack the
+        ``multiplicity``/``tenant`` fields; they default to a discrete,
+        untagged flow.
+        """
         fields = dict(data)
         fields["kind"] = FlowKind(fields["kind"])
+        fields.setdefault("multiplicity", 1)
+        fields.setdefault("tenant", "")
         return cls(**fields)
 
     @classmethod
@@ -72,4 +94,6 @@ class FlowRecord:
             kind=flow.kind,
             src=flow.src.node_id,
             dst=flow.dst.node_id,
+            multiplicity=flow.multiplicity,
+            tenant=flow.tenant,
         )

@@ -136,6 +136,10 @@ class FabricSimulator:
         #: process (or concurrently in another thread) — a prerequisite for
         #: bit-identical results across executor backends.
         self._flow_ids = itertools.count()
+        #: Active flows with ``multiplicity > 1`` — when zero, the vectorized
+        #: advance/schedule paths skip building the multiplicity arrays
+        #: entirely, keeping the all-discrete fast path untouched.
+        self._aggregate_active = 0
 
         self.transport.attach(self)
 
@@ -245,6 +249,8 @@ class FabricSimulator:
         priority_weight: float = 1.0,
         min_rate_bps: float = 0.0,
         app_limit_bps: float = float("inf"),
+        multiplicity: int = 1,
+        tenant: str = "",
         path: Optional[List[Link]] = None,
         meta: Optional[Dict[str, object]] = None,
     ) -> Flow:
@@ -252,7 +258,8 @@ class FabricSimulator:
 
         ``created_at`` defaults to the current time; pass the original request
         time when connection-setup latency has already elapsed so that FCT
-        accounts for it.
+        accounts for it.  ``multiplicity=N`` starts an aggregate flow standing
+        in for N identical sessions (see :class:`~repro.network.flow.Flow`).
         """
         if len(self._active) >= self.config.max_active_flows:
             raise RuntimeError("too many active flows; raise FabricConfig.max_active_flows")
@@ -267,6 +274,8 @@ class FabricSimulator:
             priority_weight=priority_weight,
             min_rate_bps=min_rate_bps,
             app_limit_bps=app_limit_bps,
+            multiplicity=multiplicity,
+            tenant=tenant,
             flow_id=next(self._flow_ids),
         )
         if meta:
@@ -281,6 +290,8 @@ class FabricSimulator:
         flow.start(now)
         self._active[flow.flow_id] = flow
         self._active_list = None
+        if flow.multiplicity > 1:
+            self._aggregate_active += 1
         self.incidence.add_flow(flow)
         self.transport.on_flow_start(flow, now)
         for callback in self._start_callbacks:
@@ -294,6 +305,8 @@ class FabricSimulator:
         self._advance_to(now)
         if self._active.pop(flow.flow_id, None) is not None:
             self._active_list = None
+            if flow.multiplicity > 1:
+                self._aggregate_active -= 1
         self.incidence.remove_flow(flow)
         flow.abort(now)
         self.transport.on_flow_finish(flow, now)
@@ -497,14 +510,22 @@ class FabricSimulator:
                 queued.pop(link.link_id, None)
         self._drain_untouched(touched, dt)
 
-        # Remaining-bytes advancement: min(remaining, rate * dt / 8.0)
-        # exactly as Flow.advance computes it, for every flow at once.
+        # Remaining-bytes advancement: min(remaining, rate * dt / 8.0) per
+        # session, exactly as Flow.advance computes it, for every flow at
+        # once.  The multiplicity division only exists when an aggregate flow
+        # is actually active — the all-discrete path is untouched.
         count = len(flows)
         rate = np.fromiter((f.current_rate_bps for f in flows), np.float64, count=count)
         remaining = np.fromiter((f.remaining_bytes for f in flows), np.float64, count=count)
-        delivered = np.minimum(remaining, rate * dt / 8.0)
-        np.subtract(remaining, delivered, out=remaining)
-        self.total_bytes_delivered += float(delivered.sum())
+        if self._aggregate_active:
+            mult = np.fromiter((f.multiplicity for f in flows), np.float64, count=count)
+            delivered = np.minimum(remaining, (rate / mult) * dt / 8.0)
+            np.subtract(remaining, delivered, out=remaining)
+            self.total_bytes_delivered += float((delivered * mult).sum())
+        else:
+            delivered = np.minimum(remaining, rate * dt / 8.0)
+            np.subtract(remaining, delivered, out=remaining)
+            self.total_bytes_delivered += float(delivered.sum())
 
         finished: List[Flow] = []
         tolerance = self.config.completion_tolerance_bytes
@@ -537,6 +558,8 @@ class FabricSimulator:
         flow.finish(now)
         if self._active.pop(flow.flow_id, None) is not None:
             self._active_list = None
+            if flow.multiplicity > 1:
+                self._aggregate_active -= 1
         self.incidence.remove_flow(flow)
         self.finished_flows.append(flow)
         self.transport.on_flow_finish(flow, now)
@@ -573,6 +596,9 @@ class FabricSimulator:
             # Same arithmetic as Flow.time_to_complete, all flows at once.
             count = len(flows)
             rate = _np.fromiter((f.current_rate_bps for f in flows), _np.float64, count=count)
+            if self._aggregate_active:
+                mult = _np.fromiter((f.multiplicity for f in flows), _np.float64, count=count)
+                rate = rate / mult
             remaining = _np.fromiter((f.remaining_bytes for f in flows), _np.float64, count=count)
             with _np.errstate(divide="ignore", invalid="ignore"):
                 ttc = _np.where(

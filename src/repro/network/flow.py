@@ -49,6 +49,16 @@ class Flow:
         The SCDA priority weight ``℘_j`` (1.0 = best effort).
     min_rate_bps:
         Explicit SLA reservation ``M_j`` (0.0 = none).
+    multiplicity:
+        Number of identical user sessions this object aggregates (1 = a
+        plain discrete flow).  ``current_rate_bps``/``demand_rate_bps`` are
+        *aggregate* (total across the sessions, so link accounting is
+        unchanged); ``size_bytes``/``remaining_bytes`` are *per-session*.
+        The water-filler weighs the flow by ``multiplicity ×
+        priority_weight``; ``app_limit_bps``/``min_rate_bps`` are
+        per-session and scale by ``multiplicity`` at the aggregate level.
+    tenant:
+        Opaque tenant label for per-tenant metrics ("" = untagged).
     """
 
     _ids = itertools.count()
@@ -70,6 +80,8 @@ class Flow:
         "app_limit_bps",
         "priority_weight",
         "min_rate_bps",
+        "multiplicity",
+        "tenant",
         "base_rtt_s",
         "transport_state",
         "meta",
@@ -86,6 +98,8 @@ class Flow:
         priority_weight: float = 1.0,
         min_rate_bps: float = 0.0,
         app_limit_bps: float = float("inf"),
+        multiplicity: int = 1,
+        tenant: str = "",
         flow_id: Optional[int] = None,
     ) -> None:
         if size_bytes <= 0:
@@ -94,6 +108,8 @@ class Flow:
             raise ValueError(f"priority weight must be positive, got {priority_weight}")
         if min_rate_bps < 0:
             raise ValueError(f"minimum rate must be non-negative, got {min_rate_bps}")
+        if int(multiplicity) != multiplicity or multiplicity < 1:
+            raise ValueError(f"multiplicity must be a positive integer, got {multiplicity}")
         self.flow_id = next(self._ids) if flow_id is None else int(flow_id)
         self.src = src
         self.dst = dst
@@ -110,15 +126,46 @@ class Flow:
         self.app_limit_bps = float(app_limit_bps)
         self.priority_weight = float(priority_weight)
         self.min_rate_bps = float(min_rate_bps)
+        self.multiplicity = int(multiplicity)
+        self.tenant = str(tenant)
         self.base_rtt_s = 2.0 * sum(l.delay_s for l in self.path) if self.path else 1e-4
         # Per-transport scratch space (cwnd, ssthresh, allocated rates, ...).
         self.transport_state: Dict[str, float] = {}
         self.meta: Dict[str, object] = {}
 
+    # -- aggregate views --------------------------------------------------------
+    @property
+    def effective_weight(self) -> float:
+        """Water-filler weight: ``multiplicity × priority_weight``."""
+        if self.multiplicity == 1:
+            return self.priority_weight
+        return self.priority_weight * self.multiplicity
+
+    @property
+    def aggregate_app_limit_bps(self) -> float:
+        """Application rate cap summed across all aggregated sessions."""
+        if self.multiplicity == 1:
+            return self.app_limit_bps
+        return self.app_limit_bps * self.multiplicity
+
+    @property
+    def aggregate_min_rate_bps(self) -> float:
+        """SLA reservation summed across all aggregated sessions."""
+        if self.multiplicity == 1:
+            return self.min_rate_bps
+        return self.min_rate_bps * self.multiplicity
+
+    @property
+    def session_rate_bps(self) -> float:
+        """Per-session delivered rate (``current_rate_bps / multiplicity``)."""
+        if self.multiplicity == 1:
+            return self.current_rate_bps
+        return self.current_rate_bps / self.multiplicity
+
     # -- progress ---------------------------------------------------------------
     @property
     def transferred_bytes(self) -> float:
-        """Bytes delivered so far."""
+        """Bytes delivered so far (per session)."""
         return self.size_bytes - self.remaining_bytes
 
     @property
@@ -136,26 +183,35 @@ class Flow:
     def advance(self, dt: float) -> float:
         """Deliver bytes for ``dt`` seconds at the current rate.
 
-        Returns the number of bytes delivered.  Never overshoots the flow
-        size: the delivered amount is clamped to ``remaining_bytes``.
+        Returns the number of bytes delivered *across all sessions*.  Each
+        session progresses at ``current_rate_bps / multiplicity``; the
+        delivered amount per session is clamped to ``remaining_bytes``.
         """
         if dt < 0:
             raise ValueError(f"dt must be non-negative, got {dt}")
         if self.state is not FlowState.ACTIVE or dt == 0.0:
             return 0.0
-        delivered = min(self.remaining_bytes, self.current_rate_bps * dt / 8.0)
-        self.remaining_bytes -= delivered
-        return delivered
+        if self.multiplicity == 1:
+            delivered = min(self.remaining_bytes, self.current_rate_bps * dt / 8.0)
+            self.remaining_bytes -= delivered
+            return delivered
+        per_session = min(
+            self.remaining_bytes, (self.current_rate_bps / self.multiplicity) * dt / 8.0
+        )
+        self.remaining_bytes -= per_session
+        return per_session * self.multiplicity
 
     def time_to_complete(self) -> float:
-        """Seconds until completion at the current rate (inf if rate is zero)."""
+        """Seconds until completion at the current per-session rate."""
         if self.state is not FlowState.ACTIVE:
             return float("inf")
         if self.remaining_bytes <= 0:
             return 0.0
         if self.current_rate_bps <= 0:
             return float("inf")
-        return self.remaining_bytes * 8.0 / self.current_rate_bps
+        if self.multiplicity == 1:
+            return self.remaining_bytes * 8.0 / self.current_rate_bps
+        return self.remaining_bytes * 8.0 / (self.current_rate_bps / self.multiplicity)
 
     def finish(self, now: float) -> None:
         """Mark the flow finished at time ``now``."""

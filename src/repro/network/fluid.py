@@ -178,15 +178,20 @@ def _max_min_shares_python(
         return rates
 
     def weight_of(flow: Flow) -> float:
+        # Explicit weights are per-session, like priority_weight: an
+        # aggregate of N sessions weighs N times its per-session weight.
         w = float(weights.get(flow.flow_id, flow.priority_weight))
         if w <= 0:
             raise ValueError(f"flow {flow.flow_id} has non-positive weight {w}")
+        if flow.multiplicity != 1:
+            w *= flow.multiplicity
         return w
 
     def cap_of(flow: Flow) -> float:
         cap = demand_caps.get(flow.flow_id, float("inf"))
-        if flow.app_limit_bps < cap:
-            cap = flow.app_limit_bps
+        app_limit = flow.aggregate_app_limit_bps
+        if app_limit < cap:
+            cap = app_limit
         return max(0.0, float(cap))
 
     # Remaining capacity per link and the flows crossing it — reuse the
@@ -354,7 +359,7 @@ def is_max_min_fair(
     demand_caps = dict(demand_caps or {})
     for flow in flows:
         rate = get(flow.flow_id, 0.0)
-        cap = min(demand_caps.get(flow.flow_id, float("inf")), flow.app_limit_bps)
+        cap = min(demand_caps.get(flow.flow_id, float("inf")), flow.aggregate_app_limit_bps)
         if rate >= cap - tolerance * max(1.0, cap):
             continue
         bottlenecked = False

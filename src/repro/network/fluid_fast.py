@@ -154,19 +154,23 @@ def max_min_shares_numpy(
     if num_flows == 0:
         return rates
 
-    # Per-flow weight ℘_j and cap min(demand_cap, app_limit), clamped at 0.
-    w = np.fromiter((f.priority_weight for f in flow_list), np.float64, num_flows)
+    # Per-flow weight ℘_j × multiplicity and cap min(demand_cap, aggregate
+    # app_limit), clamped at 0.  Explicit weights are per-session, like
+    # priority_weight, so they scale by multiplicity too.
+    w = np.fromiter((f.effective_weight for f in flow_list), np.float64, num_flows)
     if weights:
         for i, f in enumerate(flow_list):
             if f.flow_id in weights:
-                w[i] = float(weights[f.flow_id])
+                w[i] = float(weights[f.flow_id]) * f.multiplicity
     bad = np.nonzero(w <= 0.0)[0]
     if bad.size:
         i = int(bad[0])
         raise ValueError(
             f"flow {flow_list[i].flow_id} has non-positive weight {w[i]}"
         )
-    cap = np.fromiter((f.app_limit_bps for f in flow_list), np.float64, num_flows)
+    cap = np.fromiter(
+        (f.aggregate_app_limit_bps for f in flow_list), np.float64, num_flows
+    )
     if demand_caps:
         for i, f in enumerate(flow_list):
             c = demand_caps.get(f.flow_id)
@@ -365,7 +369,7 @@ class DeltaWaterFiller:
                 dirty_rows.add(row)
                 flow = row_flows[row]
                 self._cap_row[row] = self._effective_cap(flow, caps)
-                self._w_row[row] = float(wdict.get(fid, flow.priority_weight))
+                self._w_row[row] = self._effective_weight(flow, wdict)
         for fid in self._pending_removed:
             self._rates.pop(fid, None)
         slot_of = table.slot_of
@@ -376,7 +380,7 @@ class DeltaWaterFiller:
 
         # 2. Verify the runtime-mutable inputs; differences become seeds.
         cur_w = np.fromiter(
-            (1.0 if f is None else f.priority_weight for f in row_flows),
+            (1.0 if f is None else f.effective_weight for f in row_flows),
             np.float64,
             n_rows,
         )
@@ -384,7 +388,7 @@ class DeltaWaterFiller:
             for fid, value in wdict.items():
                 row = row_of.get(fid)
                 if row is not None:
-                    cur_w[row] = float(value)
+                    cur_w[row] = float(value) * row_flows[row].multiplicity
         if (cur_w <= 0.0).any():
             bad = int(np.nonzero(cur_w <= 0.0)[0][0])
             flow = row_flows[bad]
@@ -447,11 +451,19 @@ class DeltaWaterFiller:
     @staticmethod
     def _effective_cap(flow: Flow, caps: Mapping[int, float]) -> float:
         cap = caps.get(flow.flow_id, _INF)
-        if flow.app_limit_bps < cap:
-            cap = flow.app_limit_bps
+        app_limit = flow.aggregate_app_limit_bps
+        if app_limit < cap:
+            cap = app_limit
         if not flow.path:
             cap = 0.0  # pathless flows get nothing, as in the reference solver
         return max(0.0, float(cap))
+
+    @staticmethod
+    def _effective_weight(flow: Flow, wdict: Mapping[int, float]) -> float:
+        value = wdict.get(flow.flow_id)
+        if value is None:
+            return flow.effective_weight
+        return float(value) * flow.multiplicity
 
     def _finish_bookkeeping(self, table: IncidenceTable) -> None:
         self._pending_added.clear()
@@ -565,7 +577,7 @@ class DeltaWaterFiller:
         row_start, row_stop = table.row_start, table.row_stop
 
         w = np.fromiter(
-            (1.0 if f is None else f.priority_weight for f in row_flows),
+            (1.0 if f is None else f.effective_weight for f in row_flows),
             np.float64,
             n_rows,
         )
@@ -574,7 +586,7 @@ class DeltaWaterFiller:
             for fid, value in wdict.items():
                 row = row_of.get(fid)
                 if row is not None:
-                    w[row] = float(value)
+                    w[row] = float(value) * row_flows[row].multiplicity
         live_bad = [
             r for r in np.nonzero(w <= 0.0)[0] if row_flows[int(r)] is not None
         ]

@@ -84,10 +84,12 @@ class ScdaTransport(TransportModel):
         for flow in flows:
             allocated = float(allocations.get(flow.flow_id, 0.0))
             # R_other / application limits (equation: R_j = min(R_send,other, R_e2e, R_recv,other)).
-            allocated = min(allocated, flow.app_limit_bps)
+            # Rates are aggregate across a flow's sessions, so the per-session
+            # limits scale by multiplicity.
+            allocated = min(allocated, flow.aggregate_app_limit_bps)
             # An explicit reservation is a floor on the allocation.
             if flow.min_rate_bps > 0.0:
-                allocated = max(allocated, flow.min_rate_bps)
+                allocated = max(allocated, flow.aggregate_min_rate_bps)
             demands[flow.flow_id] = max(allocated, 0.0)
 
         if self.enforce_capacity:

@@ -149,7 +149,11 @@ class TcpTransport(TransportModel):
             state["ssthresh"] = ssthresh
 
             demand_bps = cwnd * 8.0 / rtt
-            demand_bps = min(demand_bps, flow.app_limit_bps)
+            if flow.multiplicity != 1:
+                # One window per aggregated session: the aggregate offers N
+                # times the per-session window demand.
+                demand_bps *= flow.multiplicity
+            demand_bps = min(demand_bps, flow.aggregate_app_limit_bps)
             demands[flow.flow_id] = demand_bps
 
         # 3. The network delivers the max-min share of the offered demands.

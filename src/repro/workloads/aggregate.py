@@ -1,0 +1,342 @@
+"""Aggregate (multiplicity-weighted) workloads: million-session populations.
+
+A CDN edge does not see one fluid flow per viewer — it sees a handful of
+*populations*, each of which is thousands of near-identical sessions pulling
+the same content over the same edge.  These generators exploit the
+:attr:`~repro.workloads.traces.FlowRequest.multiplicity` field: one request
+(and hence one fluid flow object in the fabric) stands in for N concurrent
+sessions, so a 10^6-session scenario costs a few thousand flow objects.
+
+Three shapes:
+
+* :func:`generate_diurnal_workload` — a day/night sinusoidal load curve,
+  binned into aggregate flows (the steady-state CDN picture);
+* :func:`generate_flash_crowd_workload` — a modest baseline plus a sudden
+  viewer spike; composes with the ``workload-surge`` dynamics event (which
+  also accepts a ``multiplicity``) for mid-run crowds;
+* :func:`generate_multi_tenant_workload` — several tenants sharing the
+  fabric, every request tagged so the experiment runner emits per-tenant
+  fairness extras (Jain index over the tenants' mean goodputs).
+
+All draws come from :class:`~repro.sim.random.RandomStreams` namespaced by
+the seed, so a workload is identical across executor backends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.content import ContentClass
+from repro.network.flow import FlowKind
+from repro.sim.random import RandomStreams
+from repro.workloads.distributions import LognormalSize
+from repro.workloads.traces import FlowRequest, Operation, Workload
+
+MB = 1024.0 * 1024.0
+
+
+def _draw_size(sizes: LognormalSize, rng: np.random.Generator, floor: float) -> float:
+    return float(max(sizes.sample(rng), floor))
+
+
+# --------------------------------------------------------------------------------------
+# Diurnal
+# --------------------------------------------------------------------------------------
+@dataclass
+class DiurnalConfig:
+    """A sinusoidal day/night session population, binned into aggregate flows.
+
+    ``sessions_total`` sessions arrive over ``duration_s`` following
+    ``1 + (peak_to_trough - 1)/2 · (1 + sin)`` with period ``day_length_s``;
+    each ``bin_s`` window per drawn client becomes ONE aggregate request
+    whose multiplicity is the (Poisson-sampled) session count of that
+    window, so a million sessions cost on the order of
+    ``duration_s / bin_s × clients_per_bin`` flow objects.
+    """
+
+    duration_s: float = 120.0
+    day_length_s: float = 120.0          #: one full diurnal cycle
+    bin_s: float = 5.0                   #: aggregation window per flow object
+    sessions_total: int = 100_000
+    peak_to_trough: float = 4.0
+    mean_size_bytes: float = 2.0 * MB    #: median of the lognormal video size
+    size_sigma: float = 0.7
+    size_cap_bytes: float = 30.0 * MB
+    num_clients: int = 8
+    clients_per_bin: int = 4             #: distinct client edges drawn per window
+    tenant: str = ""                     #: optional tenant tag on every request
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.day_length_s <= 0 or self.bin_s <= 0:
+            raise ValueError("duration, day length and bin must be positive")
+        if self.sessions_total < 1:
+            raise ValueError("need at least one session")
+        if self.peak_to_trough < 1.0:
+            raise ValueError("peak_to_trough must be >= 1")
+        if self.mean_size_bytes <= 0 or self.size_cap_bytes <= self.mean_size_bytes:
+            raise ValueError("need 0 < median < cap for sizes")
+        if self.num_clients < 1 or self.clients_per_bin < 1:
+            raise ValueError("need at least one client (and one per bin)")
+
+
+def generate_diurnal_workload(
+    config: Optional[DiurnalConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the diurnal aggregate workload."""
+    cfg = config or DiurnalConfig()
+    streams = RandomStreams(seed).spawn("diurnal")
+    count_rng = streams.stream("counts")
+    size_rng = streams.stream("sizes")
+    client_rng = streams.stream("clients")
+
+    sizes = LognormalSize(
+        median_bytes=cfg.mean_size_bytes,
+        sigma=cfg.size_sigma,
+        cap_bytes=cfg.size_cap_bytes,
+    )
+
+    num_bins = max(1, int(math.ceil(cfg.duration_s / cfg.bin_s)))
+    amplitude = (cfg.peak_to_trough - 1.0) / 2.0
+    weights = np.array(
+        [
+            1.0 + amplitude * (1.0 + math.sin(2.0 * math.pi * (b * cfg.bin_s) / cfg.day_length_s))
+            for b in range(num_bins)
+        ],
+        dtype=float,
+    )
+    per_bin_mean = weights * (cfg.sessions_total / float(weights.sum()))
+
+    fanout = min(cfg.clients_per_bin, cfg.num_clients)
+    requests: List[FlowRequest] = []
+    for b in range(num_bins):
+        t = min(b * cfg.bin_s, cfg.duration_s)
+        clients = client_rng.choice(cfg.num_clients, size=fanout, replace=False)
+        for client in clients:
+            sessions = int(count_rng.poisson(per_bin_mean[b] / fanout))
+            if sessions < 1:
+                continue
+            requests.append(
+                FlowRequest(
+                    arrival_time_s=float(t),
+                    size_bytes=_draw_size(sizes, size_rng, 1024.0),
+                    client_index=int(client),
+                    operation=Operation.WRITE,
+                    flow_kind=FlowKind.VIDEO,
+                    content_class=ContentClass.LWHR,
+                    multiplicity=sessions,
+                    tenant=cfg.tenant,
+                    meta={"bin": b},
+                )
+            )
+    return Workload(requests, name="diurnal")
+
+
+# --------------------------------------------------------------------------------------
+# Flash crowd
+# --------------------------------------------------------------------------------------
+@dataclass
+class FlashCrowdConfig:
+    """A modest baseline population with a sudden viewer spike.
+
+    The baseline issues Poisson aggregate requests of ``baseline_multiplicity``
+    sessions each; at ``crowd_at_s`` an extra ``crowd_sessions`` sessions
+    arrive within ``crowd_duration_s``, carried by ``crowd_fanout`` aggregate
+    flow objects.  For a *mid-run* crowd driven by the dynamics engine
+    instead, put a ``workload-surge`` event with a ``multiplicity`` in the
+    scenario's dynamics script — the two compose (both go through the same
+    cluster write path).
+    """
+
+    duration_s: float = 60.0
+    baseline_rate_per_s: float = 2.0     #: aggregate flow objects per second
+    baseline_multiplicity: int = 20
+    crowd_at_s: float = 20.0
+    crowd_duration_s: float = 5.0
+    crowd_sessions: int = 50_000
+    crowd_fanout: int = 50               #: flow objects carrying the spike
+    mean_size_bytes: float = 4.0 * MB
+    size_sigma: float = 0.6
+    size_cap_bytes: float = 30.0 * MB
+    num_clients: int = 8
+    baseline_tenant: str = "steady"
+    crowd_tenant: str = "crowd"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.crowd_duration_s <= 0:
+            raise ValueError("durations must be positive")
+        if not (0.0 <= self.crowd_at_s < self.duration_s):
+            raise ValueError("crowd_at_s must fall inside the run")
+        if self.baseline_rate_per_s <= 0:
+            raise ValueError("baseline rate must be positive")
+        if self.baseline_multiplicity < 1 or self.crowd_fanout < 1:
+            raise ValueError("multiplicity and fanout must be positive")
+        if self.crowd_sessions < self.crowd_fanout:
+            raise ValueError("crowd_sessions must be at least crowd_fanout")
+        if self.mean_size_bytes <= 0 or self.size_cap_bytes <= self.mean_size_bytes:
+            raise ValueError("need 0 < median < cap for sizes")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+
+def generate_flash_crowd_workload(
+    config: Optional[FlashCrowdConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the flash-crowd aggregate workload."""
+    cfg = config or FlashCrowdConfig()
+    streams = RandomStreams(seed).spawn("flash-crowd")
+    arrival_rng = streams.stream("arrivals")
+    size_rng = streams.stream("sizes")
+    client_rng = streams.stream("clients")
+
+    sizes = LognormalSize(
+        median_bytes=cfg.mean_size_bytes,
+        sigma=cfg.size_sigma,
+        cap_bytes=cfg.size_cap_bytes,
+    )
+
+    requests: List[FlowRequest] = []
+    # Baseline: Poisson aggregate arrivals for the whole run.
+    t = float(arrival_rng.exponential(1.0 / cfg.baseline_rate_per_s))
+    while t < cfg.duration_s:
+        requests.append(
+            FlowRequest(
+                arrival_time_s=t,
+                size_bytes=_draw_size(sizes, size_rng, 1024.0),
+                client_index=int(client_rng.integers(0, cfg.num_clients)),
+                operation=Operation.WRITE,
+                flow_kind=FlowKind.VIDEO,
+                content_class=ContentClass.LWHR,
+                multiplicity=cfg.baseline_multiplicity,
+                tenant=cfg.baseline_tenant,
+            )
+        )
+        t += float(arrival_rng.exponential(1.0 / cfg.baseline_rate_per_s))
+
+    # The crowd: crowd_sessions split as evenly as integers allow across
+    # crowd_fanout aggregate flows, uniformly spread over the spike window.
+    base, leftover = divmod(cfg.crowd_sessions, cfg.crowd_fanout)
+    for i in range(cfg.crowd_fanout):
+        at = cfg.crowd_at_s + (i / cfg.crowd_fanout) * cfg.crowd_duration_s
+        requests.append(
+            FlowRequest(
+                arrival_time_s=min(at, cfg.duration_s),
+                size_bytes=_draw_size(sizes, size_rng, 1024.0),
+                client_index=int(client_rng.integers(0, cfg.num_clients)),
+                operation=Operation.WRITE,
+                flow_kind=FlowKind.VIDEO,
+                content_class=ContentClass.LWHR,
+                multiplicity=base + (1 if i < leftover else 0),
+                tenant=cfg.crowd_tenant,
+                meta={"crowd_index": i},
+            )
+        )
+    return Workload(requests, name="flash-crowd")
+
+
+# --------------------------------------------------------------------------------------
+# Multi-tenant
+# --------------------------------------------------------------------------------------
+@dataclass
+class MultiTenantConfig:
+    """Several tenants sharing the fabric with per-tenant session budgets.
+
+    Tenant *i* drives ``sessions_per_tenant[i]`` sessions as Poisson
+    aggregate arrivals at ``arrival_rate_per_s`` flow objects per second.
+    Every request carries the tenant's tag, so the experiment runner emits
+    ``tenant:<name>:*`` extras and a Jain fairness index across the tenants'
+    session-weighted mean goodputs.
+    """
+
+    duration_s: float = 60.0
+    tenants: Tuple[str, ...] = ("gold", "silver", "bronze")
+    sessions_per_tenant: Tuple[int, ...] = (40_000, 20_000, 10_000)
+    arrival_rate_per_s: float = 2.0      #: aggregate flow objects per tenant per second
+    mean_size_bytes: float = 2.0 * MB
+    size_sigma: float = 0.7
+    size_cap_bytes: float = 30.0 * MB
+    num_clients: int = 8
+
+    def __post_init__(self) -> None:
+        self.tenants = tuple(self.tenants)
+        self.sessions_per_tenant = tuple(int(s) for s in self.sessions_per_tenant)
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+        if len(set(self.tenants)) != len(self.tenants):
+            raise ValueError("tenant names must be unique")
+        if any(not t for t in self.tenants):
+            raise ValueError("tenant names must be non-empty")
+        if len(self.sessions_per_tenant) != len(self.tenants):
+            raise ValueError("sessions_per_tenant must match tenants")
+        if any(s < 1 for s in self.sessions_per_tenant):
+            raise ValueError("every tenant needs at least one session")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.mean_size_bytes <= 0 or self.size_cap_bytes <= self.mean_size_bytes:
+            raise ValueError("need 0 < median < cap for sizes")
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+
+def generate_multi_tenant_workload(
+    config: Optional[MultiTenantConfig] = None, seed: int = 0
+) -> Workload:
+    """Generate the multi-tenant aggregate workload."""
+    cfg = config or MultiTenantConfig()
+    streams = RandomStreams(seed).spawn("multi-tenant")
+
+    sizes = LognormalSize(
+        median_bytes=cfg.mean_size_bytes,
+        sigma=cfg.size_sigma,
+        cap_bytes=cfg.size_cap_bytes,
+    )
+
+    requests: List[FlowRequest] = []
+    for tenant, sessions_budget in zip(cfg.tenants, cfg.sessions_per_tenant):
+        # Per-tenant streams: adding a tenant never perturbs another's draws.
+        tstreams = streams.spawn(f"tenant:{tenant}")
+        arrival_rng = tstreams.stream("arrivals")
+        size_rng = tstreams.stream("sizes")
+        client_rng = tstreams.stream("clients")
+
+        arrivals: List[float] = []
+        t = float(arrival_rng.exponential(1.0 / cfg.arrival_rate_per_s))
+        while t < cfg.duration_s:
+            arrivals.append(t)
+            t += float(arrival_rng.exponential(1.0 / cfg.arrival_rate_per_s))
+        if not arrivals:
+            arrivals = [0.0]
+
+        base, leftover = divmod(sessions_budget, len(arrivals))
+        for i, at in enumerate(arrivals):
+            multiplicity = base + (1 if i < leftover else 0)
+            if multiplicity < 1:
+                continue
+            requests.append(
+                FlowRequest(
+                    arrival_time_s=at,
+                    size_bytes=_draw_size(sizes, size_rng, 1024.0),
+                    client_index=int(client_rng.integers(0, cfg.num_clients)),
+                    operation=Operation.WRITE,
+                    flow_kind=FlowKind.DATA,
+                    content_class=ContentClass.LWHR,
+                    multiplicity=multiplicity,
+                    tenant=tenant,
+                )
+            )
+    return Workload(requests, name="multi-tenant")
+
+
+__all__ = [
+    "DiurnalConfig",
+    "FlashCrowdConfig",
+    "MultiTenantConfig",
+    "generate_diurnal_workload",
+    "generate_flash_crowd_workload",
+    "generate_multi_tenant_workload",
+]

@@ -8,6 +8,14 @@ plus plain parameters.
 from __future__ import annotations
 
 from repro.registry import WORKLOADS
+from repro.workloads.aggregate import (
+    DiurnalConfig,
+    FlashCrowdConfig,
+    MultiTenantConfig,
+    generate_diurnal_workload,
+    generate_flash_crowd_workload,
+    generate_multi_tenant_workload,
+)
 from repro.workloads.datacenter_traces import (
     DatacenterTraceConfig,
     generate_datacenter_workload,
@@ -40,4 +48,27 @@ WORKLOADS.register(
     config_cls=ParetoPoissonConfig,
     description="Pareto sizes, Poisson arrivals (Section X-B)",
     aliases=("pareto",),
+)
+
+WORKLOADS.register(
+    "diurnal",
+    generate_diurnal_workload,
+    config_cls=DiurnalConfig,
+    description="day/night CDN session population as aggregate flows",
+)
+
+WORKLOADS.register(
+    "flash-crowd",
+    generate_flash_crowd_workload,
+    config_cls=FlashCrowdConfig,
+    description="baseline population plus a sudden aggregate viewer spike",
+    aliases=("crowd",),
+)
+
+WORKLOADS.register(
+    "multi-tenant",
+    generate_multi_tenant_workload,
+    config_cls=MultiTenantConfig,
+    description="tenant-tagged aggregate populations with fairness extras",
+    aliases=("tenants",),
 )

@@ -34,6 +34,11 @@ class FlowRequest:
     content_class: ContentClass = ContentClass.LWHR
     #: id of previously written content (reads only); empty for writes
     content_ref: str = ""
+    #: number of identical concurrent sessions this request stands in for;
+    #: > 1 makes the resulting transfer an aggregate fluid flow
+    multiplicity: int = 1
+    #: opaque tenant label for per-tenant metrics ("" = untagged)
+    tenant: str = ""
     meta: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -43,6 +48,8 @@ class FlowRequest:
             raise ValueError("size must be positive")
         if self.client_index < 0:
             raise ValueError("client index must be non-negative")
+        if int(self.multiplicity) != self.multiplicity or self.multiplicity < 1:
+            raise ValueError("multiplicity must be a positive integer")
 
 
 class Workload:
@@ -86,6 +93,16 @@ class Workload:
         """Sum of request sizes."""
         return float(sum(r.size_bytes for r in self.requests))
 
+    @property
+    def total_sessions(self) -> int:
+        """Σ multiplicity — user sessions the workload drives.
+
+        Equals ``len(self)`` until a request has multiplicity > 1; a
+        million-session aggregate workload may drive 10^6 sessions through a
+        few thousand flow objects.
+        """
+        return int(sum(r.multiplicity for r in self.requests))
+
     def sizes(self) -> np.ndarray:
         """Array of request sizes in bytes."""
         return np.array([r.size_bytes for r in self.requests], dtype=float)
@@ -122,6 +139,7 @@ class Workload:
         sizes = self.sizes()
         return {
             "requests": float(len(self.requests)),
+            "sessions": float(self.total_sessions),
             "duration_s": self.duration_s,
             "total_bytes": self.total_bytes,
             "mean_size_bytes": float(sizes.mean()) if sizes.size else 0.0,
@@ -141,6 +159,8 @@ class Workload:
         "flow_kind",
         "content_class",
         "content_ref",
+        "multiplicity",
+        "tenant",
     )
 
     def to_csv(self, path) -> None:
@@ -159,6 +179,8 @@ class Workload:
                         r.flow_kind.value,
                         r.content_class.value,
                         r.content_ref,
+                        r.multiplicity,
+                        r.tenant,
                     ]
                 )
 
@@ -179,6 +201,9 @@ class Workload:
                         flow_kind=FlowKind(row["flow_kind"]),
                         content_class=ContentClass(row["content_class"]),
                         content_ref=row.get("content_ref", ""),
+                        # Absent in CSVs written before aggregate flows existed.
+                        multiplicity=int(row.get("multiplicity") or 1),
+                        tenant=row.get("tenant") or "",
                     )
                 )
         return cls(requests, name or path.stem)
@@ -197,6 +222,8 @@ class Workload:
                     "flow_kind": r.flow_kind.value,
                     "content_class": r.content_class.value,
                     "content_ref": r.content_ref,
+                    "multiplicity": r.multiplicity,
+                    "tenant": r.tenant,
                 }
                 for r in self.requests
             ],

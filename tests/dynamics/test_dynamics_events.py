@@ -79,6 +79,12 @@ class TestEventValidation:
         with pytest.raises(DynamicsError):
             WorkloadSurgeEvent(at_s=1.0, flow_kind="quantum")
 
+    def test_surge_multiplicity_validated(self):
+        with pytest.raises(DynamicsError):
+            WorkloadSurgeEvent(at_s=1.0, multiplicity=0)
+        with pytest.raises(DynamicsError):
+            WorkloadSurgeEvent(at_s=1.0, multiplicity=-7)
+
 
 class TestLinkSelection:
     @pytest.fixture
@@ -203,6 +209,9 @@ class TestRoundTrip:
                                      duration_s=1.0),
             BlockServerChurnEvent(at_s=1.5, index=1, rejoin_after_s=2.0),
             WorkloadSurgeEvent(at_s=3.0, duration_s=0.5, arrival_rate_per_s=10.0),
+            WorkloadSurgeEvent(
+                at_s=4.0, arrival_rate_per_s=5.0, multiplicity=1000, tenant="crowd"
+            ),
         ]
         for event in events:
             data = event_to_dict(event)

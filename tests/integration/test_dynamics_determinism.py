@@ -138,3 +138,18 @@ class TestSurgeDeterminism:
         assert a.canonical_dict() == b.canonical_dict()
         base = run_scheme(spec.with_overrides(dynamics=[]), "rand-tcp")
         assert a.extras["requests_completed"] > base.extras["requests_completed"]
+
+    def test_aggregate_surge_issues_tenant_tagged_aggregate_flows(self):
+        # A flash crowd as a dynamics event: every surge request is an
+        # aggregate flow of `multiplicity` sessions carrying the tenant tag.
+        spec = dynamic_spec(
+            dynamics=[{"kind": "workload-surge", "at_s": 0.3, "duration_s": 0.5,
+                       "arrival_rate_per_s": 20.0, "multiplicity": 500,
+                       "tenant": "crowd"}]
+        )
+        result = run_scheme(spec, "rand-tcp")
+        crowd = [r for r in result.records if r.tenant == "crowd"]
+        assert crowd
+        assert all(r.multiplicity == 500 for r in crowd)
+        assert result.extras["sessions_completed"] > result.extras["requests_completed"]
+        assert result.extras["tenant:crowd:sessions"] == 500.0 * len(crowd)

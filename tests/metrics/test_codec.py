@@ -49,6 +49,8 @@ def record_rows():
             "kind": name,
             "src": name,
             "dst": name,
+            "multiplicity": int64,
+            "tenant": name,
         }
     )
     return st.lists(row, max_size=12)
@@ -107,6 +109,8 @@ def sample_result():
                 "kind": "bulk",
                 "src": "h0",
                 "dst": "h3",
+                "multiplicity": 1,
+                "tenant": "",
             },
             {
                 "flow_id": 8,
@@ -117,6 +121,8 @@ def sample_result():
                 "kind": "mice",
                 "src": "h1",
                 "dst": "h0",
+                "multiplicity": 250,
+                "tenant": "cdn-a",
             },
         ],
         "throughput": {

@@ -56,6 +56,10 @@ class ChurningScenario:
             kw["priority_weight"] = float(rng.uniform(0.25, 4.0))
         if rng.random() < 0.3:
             kw["app_limit_bps"] = float(rng.uniform(1 * MBPS, 150 * MBPS))
+        if rng.random() < 0.25:
+            # Aggregate flows: one row standing in for up to a few thousand
+            # sessions, exercising the multiplicity-weighted solver paths.
+            kw["multiplicity"] = int(rng.integers(2, 5000))
         src, dst = self.nodes[i], self.nodes[j]
         return Flow(src, dst, 1e9, self.router.path(src, dst), **kw)
 
@@ -249,6 +253,149 @@ class TestFallbacks:
         before = scenario.delta.solves_full + scenario.delta.solves_incremental
         max_min_shares(scenario.flows, solver="auto", cache=scenario.cache)
         assert scenario.delta.solves_full + scenario.delta.solves_incremental > before
+
+
+class TestAggregateEquivalence:
+    """Aggregate(N) ≡ N discrete flows, on rates and on completion times.
+
+    The tentpole invariant: a multiplicity-N flow must receive exactly N
+    times the rate a single session would get in a population of N discrete
+    clones, in every solver backend, and its sessions must finish at the
+    same instant the discrete sessions would.
+    """
+
+    def _mirror_populations(self, seed, n_specs=6):
+        """Two flow sets over one line topology: aggregates and their clones."""
+        rng = np.random.default_rng(seed)
+        num_links = 5
+        capacities = rng.uniform(20 * MBPS, 200 * MBPS, size=num_links)
+        topo, nodes = build_line(num_links, capacities)
+        router = Router(topo)
+        aggregates, discretes = [], []
+        for _ in range(n_specs):
+            i = int(rng.integers(0, num_links))
+            j = int(rng.integers(i + 1, num_links + 1))
+            src, dst = nodes[i], nodes[j]
+            path = router.path(src, dst)
+            n = int(rng.integers(1, 40))
+            weight = float(rng.uniform(0.25, 4.0))
+            kw = {"priority_weight": weight}
+            if rng.random() < 0.4:
+                kw["app_limit_bps"] = float(rng.uniform(1 * MBPS, 50 * MBPS))
+            aggregates.append(Flow(src, dst, 1e9, path, multiplicity=n, **kw))
+            discretes.append([Flow(src, dst, 1e9, path, **kw) for _ in range(n)])
+        return aggregates, discretes
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("solver", ["python", "numpy", "incremental"])
+    def test_aggregate_rate_is_n_times_the_discrete_session_rate(self, seed, solver):
+        aggregates, discretes = self._mirror_populations(seed)
+        flat = [f for clones in discretes for f in clones]
+
+        kwargs = {}
+        if solver == "incremental":
+            agg_cache = IncidenceCache(aggregates)
+            DeltaWaterFiller.attach(agg_cache)
+            agg = max_min_shares(aggregates, solver=solver, cache=agg_cache)
+            disc_cache = IncidenceCache(flat)
+            DeltaWaterFiller.attach(disc_cache)
+            disc = max_min_shares(flat, solver=solver, cache=disc_cache)
+        else:
+            agg = max_min_shares(aggregates, solver=solver, **kwargs)
+            disc = max_min_shares(flat, solver=solver, **kwargs)
+
+        for aflow, clones in zip(aggregates, discretes):
+            per_session = agg[aflow.flow_id] / aflow.multiplicity
+            for clone in clones:
+                expected = disc[clone.flow_id]
+                tol = 1e-9 * max(1.0, abs(expected))
+                assert abs(per_session - expected) <= tol, (
+                    f"mult={aflow.multiplicity}: per-session {per_session!r} "
+                    f"vs discrete {expected!r} ({solver})"
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_explicit_weight_overrides_stay_per_session(self, seed):
+        """A runtime weights dict entry is per-session: × multiplicity inside."""
+        aggregates, discretes = self._mirror_populations(seed + 50, n_specs=4)
+        flat = [f for clones in discretes for f in clones]
+        rng = np.random.default_rng(seed + 999)
+        agg_weights, disc_weights = {}, {}
+        for aflow, clones in zip(aggregates, discretes):
+            if rng.random() < 0.6:
+                w = float(rng.uniform(0.5, 3.0))
+                agg_weights[aflow.flow_id] = w
+                for clone in clones:
+                    disc_weights[clone.flow_id] = w
+        agg = max_min_shares(aggregates, weights=agg_weights, solver="python")
+        disc = max_min_shares(flat, weights=disc_weights, solver="python")
+        np_agg = max_min_shares(aggregates, weights=agg_weights, solver="numpy")
+        assert_allocations_close(agg, np_agg)
+        for aflow, clones in zip(aggregates, discretes):
+            per_session = agg[aflow.flow_id] / aflow.multiplicity
+            for clone in clones:
+                tol = 1e-9 * max(1.0, abs(disc[clone.flow_id]))
+                assert abs(per_session - disc[clone.flow_id]) <= tol
+
+    def test_aggregate_fct_matches_n_discrete_sessions(self):
+        """One aggregate upload finishes exactly when its N clones would."""
+        from repro.network.fabric import FabricSimulator
+        from repro.network.transport import IdealMaxMinTransport
+        from repro.sim.engine import Simulator
+
+        n = 25
+        size = 40e6
+
+        def run(multiplicities):
+            rng = np.random.default_rng(123)
+            capacities = rng.uniform(50 * MBPS, 150 * MBPS, size=4)
+            topo, nodes = build_line(4, capacities)
+            sim = Simulator()
+            fabric = FabricSimulator(sim, topo, IdealMaxMinTransport())
+            finished = {}
+            fabric.on_flow_finished(lambda f, now: finished.setdefault(f.flow_id, now))
+            flows = [
+                fabric.start_flow(nodes[0], nodes[4], size, multiplicity=m)
+                for m in multiplicities
+            ]
+            # A competing cross flow so rates change mid-transfer.
+            fabric.start_flow(nodes[1], nodes[3], size / 2.0)
+            fabric.drain()
+            return [finished[f.flow_id] for f in flows]
+
+        (agg_fct,) = set(run([n]))
+        discrete_fcts = run([1] * n)
+        for fct in discrete_fcts:
+            assert fct == pytest.approx(agg_fct, rel=1e-9)
+
+    def test_multiplicity_one_is_bit_identical_to_default(self):
+        """multiplicity=1 must take the exact historical code path."""
+        rng = np.random.default_rng(21)
+        capacities = rng.uniform(20 * MBPS, 200 * MBPS, size=5)
+        topo, nodes = build_line(5, capacities)
+        router = Router(topo)
+
+        def population(**extra):
+            flows = []
+            for i in range(12):
+                src, dst = nodes[i % 5], nodes[5 - (i % 3)]
+                if src is dst:
+                    dst = nodes[0]
+                flows.append(
+                    Flow(
+                        src,
+                        dst,
+                        1e9,
+                        router.path(src, dst),
+                        priority_weight=1.0 + (i % 4) * 0.5,
+                        **extra,
+                    )
+                )
+            return flows
+
+        base = max_min_shares(population(), solver="numpy")
+        ones = max_min_shares(population(multiplicity=1), solver="numpy")
+        assert sorted(base.values()) == sorted(ones.values())
 
 
 class TestIncidenceTableCompaction:

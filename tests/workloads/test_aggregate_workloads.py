@@ -1,0 +1,165 @@
+"""Tests for the aggregate workload generators and multiplicity plumbing."""
+
+import pytest
+
+from repro.registry import WORKLOADS
+from repro.workloads.aggregate import (
+    DiurnalConfig,
+    FlashCrowdConfig,
+    MultiTenantConfig,
+    generate_diurnal_workload,
+    generate_flash_crowd_workload,
+    generate_multi_tenant_workload,
+)
+from repro.workloads.traces import FlowRequest, Workload
+
+
+class TestRegistration:
+    def test_aggregate_workloads_are_registered(self):
+        assert {"diurnal", "flash-crowd", "multi-tenant"} <= set(WORKLOADS.names())
+        assert WORKLOADS.get("crowd").name == "flash-crowd"
+        assert WORKLOADS.get("tenants").name == "multi-tenant"
+
+
+class TestFlowRequestMultiplicity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowRequest(0.0, 100.0, multiplicity=0)
+        with pytest.raises(ValueError):
+            FlowRequest(0.0, 100.0, multiplicity=-5)
+
+    def test_csv_round_trip_keeps_multiplicity_and_tenant(self, tmp_path):
+        workload = Workload(
+            [
+                FlowRequest(0.5, 1e6, multiplicity=2500, tenant="cdn-a"),
+                FlowRequest(1.0, 2e6),
+            ],
+            name="agg",
+        )
+        path = tmp_path / "w.csv"
+        workload.to_csv(path)
+        loaded = Workload.from_csv(path)
+        assert loaded[0].multiplicity == 2500
+        assert loaded[0].tenant == "cdn-a"
+        assert loaded[1].multiplicity == 1
+        assert loaded[1].tenant == ""
+
+    def test_old_csv_without_aggregate_columns_loads(self, tmp_path):
+        path = tmp_path / "old.csv"
+        path.write_text(
+            "arrival_time_s,size_bytes,client_index,operation,flow_kind,"
+            "content_class,content_ref\n"
+            "0.500000000,1000.000,0,write,data,lwhr,\n"
+        )
+        loaded = Workload.from_csv(path)
+        assert loaded[0].multiplicity == 1
+        assert loaded[0].tenant == ""
+
+    def test_total_sessions_and_summary(self):
+        workload = Workload(
+            [FlowRequest(0.0, 1e6, multiplicity=999), FlowRequest(1.0, 1e6)]
+        )
+        assert workload.total_sessions == 1000
+        assert workload.summary()["sessions"] == 1000.0
+
+
+class TestDiurnal:
+    def test_sessions_land_near_the_budget(self):
+        cfg = DiurnalConfig(sessions_total=50_000)
+        workload = generate_diurnal_workload(cfg, seed=1)
+        # Poisson bin draws: the total concentrates around the budget.
+        assert 0.9 * cfg.sessions_total < workload.total_sessions < 1.1 * cfg.sessions_total
+        assert len(workload) < 200  # a few flow objects, not 50k
+
+    def test_deterministic_in_the_seed(self):
+        a = generate_diurnal_workload(seed=4)
+        b = generate_diurnal_workload(seed=4)
+        c = generate_diurnal_workload(seed=5)
+        assert [(r.arrival_time_s, r.multiplicity) for r in a] == [
+            (r.arrival_time_s, r.multiplicity) for r in b
+        ]
+        assert [r.multiplicity for r in a] != [r.multiplicity for r in c]
+
+    def test_peak_bins_carry_more_sessions_than_trough_bins(self):
+        cfg = DiurnalConfig(
+            sessions_total=200_000, peak_to_trough=8.0, clients_per_bin=1
+        )
+        workload = generate_diurnal_workload(cfg, seed=2)
+        by_bin = {}
+        for r in workload:
+            by_bin[r.meta["bin"]] = by_bin.get(r.meta["bin"], 0) + r.multiplicity
+        # sin peaks at t = day/4 and troughs at t = 3·day/4.
+        bins_per_day = int(cfg.day_length_s / cfg.bin_s)
+        peak = by_bin.get(bins_per_day // 4, 0)
+        trough = by_bin.get(3 * bins_per_day // 4, 0)
+        assert peak > 2 * max(1, trough)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalConfig(peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            DiurnalConfig(sessions_total=0)
+
+
+class TestFlashCrowd:
+    def test_crowd_sessions_split_exactly_across_fanout(self):
+        cfg = FlashCrowdConfig(crowd_sessions=10_001, crowd_fanout=50)
+        workload = generate_flash_crowd_workload(cfg, seed=3)
+        crowd = [r for r in workload if r.tenant == cfg.crowd_tenant]
+        assert len(crowd) == 50
+        assert sum(r.multiplicity for r in crowd) == 10_001
+        assert all(
+            cfg.crowd_at_s <= r.arrival_time_s <= cfg.crowd_at_s + cfg.crowd_duration_s
+            for r in crowd
+        )
+
+    def test_baseline_runs_for_the_whole_duration(self):
+        cfg = FlashCrowdConfig()
+        workload = generate_flash_crowd_workload(cfg, seed=3)
+        baseline = [r for r in workload if r.tenant == cfg.baseline_tenant]
+        assert baseline
+        assert all(r.multiplicity == cfg.baseline_multiplicity for r in baseline)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(crowd_at_s=100.0, duration_s=60.0)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(crowd_sessions=10, crowd_fanout=50)
+
+
+class TestMultiTenant:
+    def test_session_budgets_are_exact_per_tenant(self):
+        cfg = MultiTenantConfig(sessions_per_tenant=(4000, 2000, 1000))
+        workload = generate_multi_tenant_workload(cfg, seed=9)
+        per_tenant = {}
+        for r in workload:
+            per_tenant[r.tenant] = per_tenant.get(r.tenant, 0) + r.multiplicity
+        assert per_tenant == {"gold": 4000, "silver": 2000, "bronze": 1000}
+
+    def test_adding_a_tenant_does_not_perturb_others(self):
+        base = MultiTenantConfig(
+            tenants=("a", "b"), sessions_per_tenant=(1000, 500)
+        )
+        more = MultiTenantConfig(
+            tenants=("a", "b", "c"), sessions_per_tenant=(1000, 500, 250)
+        )
+        wa = generate_multi_tenant_workload(base, seed=6)
+        wb = generate_multi_tenant_workload(more, seed=6)
+
+        def tenant_rows(workload, tenant):
+            return [
+                (r.arrival_time_s, r.size_bytes, r.multiplicity)
+                for r in workload
+                if r.tenant == tenant
+            ]
+
+        assert tenant_rows(wa, "a") == tenant_rows(wb, "a")
+        assert tenant_rows(wa, "b") == tenant_rows(wb, "b")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTenantConfig(tenants=("a", "a"), sessions_per_tenant=(1, 1))
+        with pytest.raises(ValueError):
+            MultiTenantConfig(tenants=("a",), sessions_per_tenant=(1, 2))
+        with pytest.raises(ValueError):
+            MultiTenantConfig(tenants=("",), sessions_per_tenant=(1,))
